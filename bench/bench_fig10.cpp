@@ -1,0 +1,101 @@
+// Figure 10 -- predicted versus actual (minimal) correction factor on the
+// held-out test set, per feature set.
+//
+// Paper: the relative 'Additional' features (and 'All') track the truth
+// noticeably better than the classical counts, especially at high CFs where
+// the biased training set starves the learners.
+
+#include <algorithm>
+#include <map>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+
+int main() {
+  using namespace mf;
+  bench::banner("Figure 10: predicted vs actual CF (random forest)",
+                "'Additional'/'All' follow the diagonal; classical features "
+                "flatten out at high CFs");
+
+  const Device dev = xc7z020_model();
+  const GroundTruth truth = bench::dataset_truth(dev);
+
+  const FeatureSet sets[] = {FeatureSet::Classical, FeatureSet::ClassicalStar,
+                             FeatureSet::Additional, FeatureSet::All};
+
+  // Bucket the test samples by actual CF and accumulate mean predictions of
+  // each feature set (deterministic split shared across sets).
+  std::map<int, std::map<FeatureSet, std::pair<double, int>>> buckets;
+  std::map<int, int> bucket_count;
+  CsvWriter csv({"actual_cf", "classical", "classical_star", "additional",
+                 "all", "count"});
+
+  for (FeatureSet set : sets) {
+    Rng rng(7);
+    const Dataset balanced = balance_by_target(
+        make_dataset(set, truth.samples), bench::kBinWidth, bench::kBinCap,
+        rng);
+    Rng split_rng(8);
+    const auto [train, test] =
+        train_test_split(balanced, bench::kTrainFraction, split_rng);
+    CfEstimator rf(EstimatorKind::RandomForest, set);
+    rf.train(train);
+    const std::vector<double> pred = rf.predict_rows(test.x);
+    for (std::size_t i = 0; i < test.y.size(); ++i) {
+      const int bucket = static_cast<int>(test.y[i] * 10.0 + 0.5);  // 0.1 bins
+      auto& [sum, count] = buckets[bucket][set];
+      sum += pred[i];
+      ++count;
+      if (set == sets[0]) ++bucket_count[bucket];
+    }
+  }
+
+  Table table({"actual CF", "n", "Classical", "Classical*", "Additional",
+               "All"});
+  for (const auto& [bucket, per_set] : buckets) {
+    const double actual = bucket / 10.0;
+    auto mean_of = [&](FeatureSet set) {
+      const auto it = per_set.find(set);
+      if (it == per_set.end() || it->second.second == 0) return 0.0;
+      return it->second.first / it->second.second;
+    };
+    table.row()
+        .cell(actual, 1)
+        .cell(bucket_count[bucket])
+        .cell(mean_of(FeatureSet::Classical), 3)
+        .cell(mean_of(FeatureSet::ClassicalStar), 3)
+        .cell(mean_of(FeatureSet::Additional), 3)
+        .cell(mean_of(FeatureSet::All), 3);
+    csv.row()
+        .cell(actual, 1)
+        .cell(mean_of(FeatureSet::Classical), 4)
+        .cell(mean_of(FeatureSet::ClassicalStar), 4)
+        .cell(mean_of(FeatureSet::Additional), 4)
+        .cell(mean_of(FeatureSet::All), 4)
+        .cell(bucket_count[bucket]);
+  }
+  table.print();
+
+  // High-CF tracking error (the paper's visual argument): mean |pred-actual|
+  // restricted to actual CF >= 1.4.
+  std::printf("\nhigh-CF (>=1.4) mean absolute deviation of the bucket "
+              "means from the diagonal:\n");
+  for (FeatureSet set : sets) {
+    double dev_sum = 0.0;
+    int dev_n = 0;
+    for (const auto& [bucket, per_set] : buckets) {
+      if (bucket < 14) continue;
+      const auto it = per_set.find(set);
+      if (it == per_set.end() || it->second.second == 0) continue;
+      dev_sum += std::abs(it->second.first / it->second.second -
+                          bucket / 10.0);
+      ++dev_n;
+    }
+    std::printf("  %-11s %.3f\n", to_string(set),
+                dev_n ? dev_sum / dev_n : 0.0);
+  }
+  if (csv.write("fig10_pred_vs_actual.csv")) {
+    std::printf("raw series written to fig10_pred_vs_actual.csv\n");
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 11 -- actual versus estimated CF when a *linear regression* trained
+// on the synthetic dataset predicts the cnvW1A1 blocks (the 63 modules left
+// after dropping one-/two-tile blocks).
+//
+// Paper: median absolute error 11.03% for linear regression; the NN-based
+// estimator using the Additional features reaches 9.5% on the same blocks.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+
+int main() {
+  using namespace mf;
+  bench::banner("Figure 11: linear regression on the cnvW1A1 blocks",
+                "median absolute error 11.03% (linreg); NN on Additional "
+                "features: 9.5%");
+
+  const Device dev = xc7z020_model();
+  const GroundTruth dataset = bench::dataset_truth(dev);
+  const GroundTruth cnv = bench::cnv_truth(dev, /*drop_tiny=*/true);
+  std::printf("estimator test set: %zu cnvW1A1 blocks [paper: 63]\n\n",
+              cnv.samples.size());
+
+  // Train on the balanced synthetic dataset, test on the real NN's blocks.
+  Rng rng(7);
+  const Dataset train = balance_by_target(
+      make_dataset(FeatureSet::LinReg9, dataset.samples), bench::kBinWidth,
+      bench::kBinCap, rng);
+  CfEstimator lin(EstimatorKind::LinearRegression, FeatureSet::LinReg9);
+  lin.train(train);
+
+  const Dataset test = make_dataset(FeatureSet::LinReg9, cnv.samples);
+  const std::vector<double> pred = lin.predict_rows(test.x);
+
+  Table table({"block", "actual CF", "estimated CF", "error"});
+  CsvWriter csv({"block", "actual", "estimated"});
+  // Order by actual CF like the figure's x-axis.
+  std::vector<std::size_t> order(test.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return test.y[a] < test.y[b];
+  });
+  for (std::size_t i : order) {
+    table.row()
+        .cell(test.labels[i])
+        .cell(test.y[i], 2)
+        .cell(pred[i], 2)
+        .cell(fmt(100.0 * std::abs(pred[i] - test.y[i]) / test.y[i], 1) + "%");
+    csv.row().cell(test.labels[i]).cell(test.y[i], 3).cell(pred[i], 3);
+  }
+  table.print();
+
+  std::printf("\nlinear regression: median abs error %.2f%% "
+              "[paper: 11.03%%], mean %.2f%%\n",
+              100.0 * median_relative_error(pred, test.y),
+              100.0 * mean_relative_error(pred, test.y));
+
+  // The paper's companion result: the NN estimator on Additional features.
+  {
+    Rng rng2(7);
+    const Dataset nn_train = balance_by_target(
+        make_dataset(FeatureSet::Additional, dataset.samples),
+        bench::kBinWidth, bench::kBinCap, rng2);
+    CfEstimator nn(EstimatorKind::NeuralNetwork, FeatureSet::Additional);
+    nn.train(nn_train);
+    const Dataset nn_test = make_dataset(FeatureSet::Additional, cnv.samples);
+    const std::vector<double> nn_pred = nn.predict_rows(nn_test.x);
+    std::printf("NN (Additional features): median abs error %.2f%% "
+                "[paper: 9.5%%]\n",
+                100.0 * median_relative_error(nn_pred, nn_test.y));
+  }
+  if (csv.write("fig11_linreg_cnv.csv")) {
+    std::printf("raw series written to fig11_linreg_cnv.csv\n");
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Figure 5 -- placed-and-routed cnvW1A1 on the xc7z020:
+//   a) the flat commercial tool fully places the design (99.98% of slices);
+//   b) RW with a constant CF (the per-design maximum, paper: 1.68) leaves
+//      68 of 175 blocks unplaced;
+//   c) RW with per-block minimal CFs leaves 52 unplaced.
+
+#include "bench_common.hpp"
+#include "flow/monolithic.hpp"
+#include "flow/rw_flow.hpp"
+
+namespace {
+
+using namespace mf;
+
+/// Coarse ASCII occupancy map of the stitched placement.
+void print_map(const Device& dev, const StitchProblem& problem,
+               const StitchResult& result) {
+  const int cell_cols = 4;  // device columns per character
+  const int cell_rows = 10;
+  const int w = (dev.num_columns() + cell_cols - 1) / cell_cols;
+  const int h = (dev.rows() + cell_rows - 1) / cell_rows;
+  std::vector<int> density(static_cast<std::size_t>(w * h), 0);
+  for (std::size_t i = 0; i < result.positions.size(); ++i) {
+    const BlockPlacement& p = result.positions[i];
+    if (!p.placed()) continue;
+    const Macro& macro = problem.macros[static_cast<std::size_t>(
+        problem.instances[i].macro)];
+    for (int c = p.col; c < p.col + macro.footprint.width(); ++c) {
+      for (int r = p.row; r < p.row + macro.footprint.height; ++r) {
+        ++density[static_cast<std::size_t>((r / cell_rows) * w +
+                                           (c / cell_cols))];
+      }
+    }
+  }
+  const int full = cell_cols * cell_rows;
+  for (int r = 0; r < h; ++r) {
+    for (int c = 0; c < w; ++c) {
+      const int d = density[static_cast<std::size_t>(r * w + c)];
+      std::putchar(d == 0 ? '.' : (d < full / 2 ? '+' : '#'));
+    }
+    std::putchar('\n');
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace mf;
+  bench::banner("Figure 5: full-device placement comparison on the xc7z020",
+                "a) flat tool 99.98% placed; b) RW const CF=1.68: 68 of 175 "
+                "blocks unplaced; c) RW minimal CFs: 52 unplaced");
+
+  const Device dev = xc7z020_model();
+  const CnvDesign design = build_cnv_w1a1();
+
+  // (a) Flat baseline.
+  Timer t_flat;
+  const MonolithicResult flat = place_monolithic(design, dev);
+  std::printf("a) flat tool: %s, slice utilization %.2f%% (%.1fs) "
+              "[paper: 99.98%%]\n\n",
+              flat.feasible ? "fully placed" : flat.fail_reason.c_str(),
+              100.0 * flat.utilization, t_flat.seconds());
+
+  RwFlowOptions opts;
+  opts.compute_timing = false;
+
+  // (c) Minimal CFs first (also yields the per-design max CF for (b)).
+  Timer t_min;
+  CfPolicy min_policy;
+  min_policy.mode = CfPolicy::Mode::MinSearch;
+  const RwFlowResult min_run = run_rw_flow(design, dev, min_policy, opts);
+  double max_cf = 0.0;
+  for (const ImplementedBlock& blk : min_run.blocks) {
+    if (blk.ok) max_cf = std::max(max_cf, blk.macro.cf);
+  }
+
+  // (b) Constant CF at the design maximum (the paper's 1.68 analogue: the
+  // smallest constant for which every block still implements).
+  Timer t_const;
+  CfPolicy const_policy;
+  const_policy.constant_cf = max_cf;
+  const RwFlowResult const_run = run_rw_flow(design, dev, const_policy, opts);
+
+  Table table({"flow", "CF policy", "unplaced blocks", "placed", "coverage",
+               "stitch wirelength", "seconds"});
+  table.row()
+      .cell("RW constant")
+      .cell("CF=" + fmt(max_cf, 2))
+      .cell(const_run.stitch.unplaced)
+      .cell(static_cast<int>(const_run.problem.instances.size()) -
+            const_run.stitch.unplaced)
+      .cell(const_run.stitch.coverage, 3)
+      .cell(const_run.stitch.wirelength, 0)
+      .cell(t_const.seconds(), 1);
+  table.row()
+      .cell("RW minimal")
+      .cell("per-block min")
+      .cell(min_run.stitch.unplaced)
+      .cell(static_cast<int>(min_run.problem.instances.size()) -
+            min_run.stitch.unplaced)
+      .cell(min_run.stitch.coverage, 3)
+      .cell(min_run.stitch.wirelength, 0)
+      .cell(t_min.seconds(), 1);
+  table.print();
+
+  const int delta = const_run.stitch.unplaced - min_run.stitch.unplaced;
+  std::printf(
+      "\nminimal CFs place %d more blocks than the constant CF "
+      "[paper: 16 more: 68 -> 52], i.e. %.0f%% more placed blocks "
+      "[paper abstract: 15%%]\n",
+      delta,
+      100.0 * delta /
+          std::max(1, static_cast<int>(const_run.problem.instances.size()) -
+                          const_run.stitch.unplaced));
+
+  std::printf("\nb) constant CF=%.2f stitched map ('.'=free '+'=partial "
+              "'#'=dense):\n", max_cf);
+  print_map(dev, const_run.problem, const_run.stitch);
+  std::printf("\nc) minimal-CF stitched map:\n");
+  print_map(dev, min_run.problem, min_run.stitch);
+  return 0;
+}

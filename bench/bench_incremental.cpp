@@ -1,0 +1,100 @@
+// Section I motivation -- recompilation cost under design changes.
+//
+// The paper motivates pre-implemented blocks with the weakness of vendor
+// incremental flows: "a 2x speed-up if at least 95% of the design is
+// reused", while NN architecture changes typically touch much more. This
+// bench measures, on this substrate, how the cached block flow's
+// recompilation cost scales with the fraction of unique blocks changed,
+// against re-running the flat full-device baseline every time.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "flow/monolithic.hpp"
+#include "flow/rw_flow.hpp"
+#include "nn/finn_blocks.hpp"
+
+int main() {
+  using namespace mf;
+  bench::banner("Incremental recompilation cost vs fraction of design changed",
+                "Section I: vendor incremental flows need >=95% reuse for a "
+                "2x gain; block caching keeps paying at much larger changes");
+
+  const Device dev = xc7z020_model();
+  const CnvDesign base = build_cnv_w1a1();
+
+  // Measure block *implementation* cost; the stitch re-runs identically in
+  // every iteration for every flow, so it is reported once, separately --
+  // on real tools the per-block place&route dominates by orders of
+  // magnitude, which is the regime the paper targets.
+  RwFlowOptions opts;
+  opts.compute_timing = false;
+  opts.run_stitch = false;
+  CfPolicy policy;
+  policy.constant_cf = 1.3;
+
+  // Flat baseline: every iteration re-places the whole design.
+  Timer t_flat;
+  place_monolithic(base, dev);
+  const double flat_seconds = t_flat.seconds();
+  std::printf("flat full-device compile: %.2fs per iteration (always)\n\n",
+              flat_seconds);
+
+  // Warm the cache once.
+  ModuleCache cache;
+  Timer t_cold;
+  cache.run(base, dev, policy, opts);
+  const double cold_seconds = t_cold.seconds();
+
+  Table table({"blocks changed", "% of design", "block compile s",
+               "tool runs", "vs flat", "vs cold block flow"});
+  table.row()
+      .cell("74 (cold)")
+      .cell("100%")
+      .cell(cold_seconds, 3)
+      .cell("-")
+      .cell(fmt(flat_seconds / cold_seconds, 2) + "x")
+      .cell("1.00x");
+
+  for (int changed : {1, 4, 8, 16, 30}) {
+    // Replace `changed` unique blocks with re-parameterised versions.
+    CnvDesign design = base;
+    Rng rng(1000 + static_cast<std::uint64_t>(changed));
+    for (int k = 0; k < changed; ++k) {
+      const int idx =
+          static_cast<int>((static_cast<std::size_t>(k) * 7) % design.unique_modules.size());
+      Module replacement = gen_threshold(
+          {6 + (k % 8), 16}, rng);
+      replacement.name = design.unique_modules[static_cast<std::size_t>(idx)]
+                             .name +
+                         "_v" + std::to_string(changed);
+      design.unique_modules[static_cast<std::size_t>(idx)] = replacement;
+    }
+    Timer timer;
+    const RwFlowResult r = cache.run(design, dev, policy, opts);
+    const double seconds = std::max(timer.seconds(), 1e-4);
+    table.row()
+        .cell(changed)
+        .cell(fmt(100.0 * changed / 74.0, 0) + "%")
+        .cell(seconds, 3)
+        .cell(r.total_tool_runs)
+        .cell(fmt(flat_seconds / seconds, 2) + "x")
+        .cell(fmt(cold_seconds / seconds, 2) + "x");
+  }
+  table.print();
+
+  // The per-iteration stitch cost, identical for every approach.
+  RwFlowOptions stitched = opts;
+  stitched.run_stitch = true;
+  Timer t_stitch;
+  cache.run(base, dev, policy, stitched);
+  std::printf("\n(+ stitch per iteration: %.2fs, identical for every "
+              "block-flow variant)\n", t_stitch.seconds());
+  std::printf(
+      "\nshape check (paper, Section I): the cached flow keeps a large\n"
+      "block-compile speed-up even when 20-40%% of the blocks change,\n"
+      "where a vendor incremental flow has already fallen back to full\n"
+      "recompilation. On real tools per-block place&route dominates, so\n"
+      "these ratios translate directly into end-to-end gains.\n");
+  return 0;
+}

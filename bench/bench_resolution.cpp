@@ -1,0 +1,118 @@
+// Section VI-C -- CF search resolution: small designs (<~100 LUTs) do not
+// need steps below 0.1 (PBlock quantization swallows smaller changes), while
+// designs around ~2,500 LUTs need ~0.02-0.03 steps; 85% of the dataset is
+// below 2,500 LUTs.
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/cf_search.hpp"
+#include "synth/optimize.hpp"
+
+namespace {
+
+using namespace mf;
+
+double min_cf_with_step(const Module& original, const Device& dev,
+                        double step) {
+  Module module = original;
+  optimize(module.netlist);
+  const ResourceReport report = make_report(module.netlist);
+  const ShapeReport shape = quick_place(report);
+  CfSearchOptions opts;
+  opts.step = step;
+  const CfSearchResult found = find_min_cf(module, report, shape, dev, opts);
+  return found.found ? found.min_cf : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mf;
+  bench::banner("Section VI-C: CF search-step resolution study",
+                "<100 LUT designs need no step below 0.1; ~2,500 LUT designs "
+                "need ~0.03; 85% of the dataset is below 2,500 LUTs");
+
+  const Device dev = xc7z020_model();
+  const std::vector<GenSpec> specs = dataset_sweep(bench::kSweep);
+
+  // How often does coarsening the step from 0.02 to 0.1 change the result,
+  // per size class? "Changed" means the coarse search lands more than half a
+  // coarse step above the fine minimum.
+  struct Bucket {
+    const char* label;
+    int lo;
+    int hi;
+    int modules = 0;
+    int changed = 0;
+    double waste = 0.0;  ///< mean extra CF paid by the coarse search
+  };
+  Bucket buckets[] = {{"< 100 LUTs", 0, 100, 0, 0, 0.0},
+                      {"100 - 1000", 100, 1000, 0, 0, 0.0},
+                      {"1000 - 2500", 1000, 2500, 0, 0, 0.0},
+                      {">= 2500", 2500, 1 << 30, 0, 0, 0.0}};
+
+  int below_2500 = 0;
+  int total = 0;
+  // Stride-sample the sweep for runtime; every family appears.
+  for (std::size_t i = 0; i < specs.size(); i += 5) {
+    Module module = realize(specs[i]);
+    optimize(module.netlist);
+    const ResourceReport report = make_report(module.netlist);
+    const int lut_sites = report.stats.luts + report.stats.m_lut_cells();
+    ++total;
+    if (lut_sites < 2500) ++below_2500;
+
+    const double fine = min_cf_with_step(module, dev, 0.02);
+    const double coarse = min_cf_with_step(module, dev, 0.1);
+    if (fine < 0.0 || coarse < 0.0) continue;
+    for (Bucket& b : buckets) {
+      if (lut_sites >= b.lo && lut_sites < b.hi) {
+        ++b.modules;
+        if (coarse > fine + 0.05) ++b.changed;
+        b.waste += coarse - fine;
+        break;
+      }
+    }
+  }
+
+  Table table({"size class", "modules", "coarse step differs", "mean extra CF",
+               ""});
+  for (const Bucket& b : buckets) {
+    table.row()
+        .cell(b.label)
+        .cell(b.modules)
+        .cell(fmt(100.0 * b.changed / std::max(1, b.modules), 1) + "%")
+        .cell(b.modules ? b.waste / b.modules : 0.0, 3)
+        .cell(b.lo == 0 ? "[paper: step 0.1 suffices]"
+                        : (b.lo >= 1000 ? "[paper: needs ~0.02-0.03]" : ""));
+  }
+  table.print();
+
+  std::printf("\ndataset below 2,500 LUTs: %.0f%% [paper: 85%%]\n",
+              100.0 * below_2500 / std::max(1, total));
+
+  // PBlock quantization mechanism: for a tiny module, consecutive CF steps
+  // often produce the *same* PBlock.
+  {
+    Module module = realize(specs[0]);  // smallest shift register
+    optimize(module.netlist);
+    const ResourceReport report = make_report(module.netlist);
+    const ShapeReport shape = quick_place(report);
+    int distinct = 0;
+    PBlock last{};
+    for (double cf = 0.9; cf <= 1.7; cf += 0.02) {
+      const auto pb = generate_pblock(dev, report, shape, cf);
+      if (pb && !(*pb == last)) {
+        ++distinct;
+        last = *pb;
+      }
+    }
+    std::printf(
+        "tiny module '%s': %d distinct PBlocks across 41 CF steps of 0.02 "
+        "(quantization swallows small steps)\n",
+        module.name.c_str(), distinct);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Train a correction-factor estimator from scratch: generate the synthetic
+// RTL dataset, label it with minimal CFs from the feasibility oracle,
+// balance, train all four model families, and compare them on held-out data
+// -- the paper's Sections VI and VII in one program.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/estimator.hpp"
+#include "fabric/catalog.hpp"
+#include "flow/ground_truth.hpp"
+#include "ml/metrics.hpp"
+
+int main() {
+  using namespace mf;
+
+  const Device device = xc7z020_model();
+
+  std::printf("1. generating and labelling the RTL dataset...\n");
+  Timer t_label;
+  const GroundTruth truth =
+      build_ground_truth(dataset_sweep({2000, 42}), device);
+  std::printf("   %zu modules labelled (%d infeasible dropped) in %.1fs\n",
+              truth.samples.size(), truth.infeasible, t_label.seconds());
+
+  std::printf("2. balancing to at most 75 samples per 0.02 CF bin...\n");
+  Rng rng(7);
+  const Dataset all = balance_by_target(
+      make_dataset(FeatureSet::All, truth.samples), 0.02, 75, rng);
+  Rng rng9(7);
+  const Dataset lin9 = balance_by_target(
+      make_dataset(FeatureSet::LinReg9, truth.samples), 0.02, 75, rng9);
+  std::printf("   %zu samples remain\n", all.size());
+
+  std::printf("3. training the four estimator families...\n\n");
+  Rng split_rng(8);
+  const auto [train, test] = train_test_split(all, 0.8, split_rng);
+  Rng split_rng9(8);
+  const auto [train9, test9] = train_test_split(lin9, 0.8, split_rng9);
+
+  Table table({"model", "features", "mean rel. error", "median", "train s"});
+  const EstimatorKind kinds[] = {
+      EstimatorKind::LinearRegression, EstimatorKind::DecisionTree,
+      EstimatorKind::RandomForest, EstimatorKind::NeuralNetwork};
+  for (EstimatorKind kind : kinds) {
+    const bool is_lin = kind == EstimatorKind::LinearRegression;
+    const FeatureSet set = is_lin ? FeatureSet::LinReg9 : FeatureSet::All;
+    CfEstimator est(kind, set);
+    Timer t_train;
+    est.train(is_lin ? train9 : train);
+    const double seconds = t_train.seconds();
+    const auto& eval = is_lin ? test9 : test;
+    const std::vector<double> pred = est.predict_rows(eval.x);
+    table.row()
+        .cell(to_string(kind))
+        .cell(to_string(set))
+        .cell(fmt(100.0 * mean_relative_error(pred, eval.y), 2) + "%")
+        .cell(fmt(100.0 * median_relative_error(pred, eval.y), 2) + "%")
+        .cell(seconds, 2);
+  }
+  table.print();
+
+  std::printf("\n4. what drives the forest's decisions:\n");
+  CfEstimator rf(EstimatorKind::RandomForest, FeatureSet::All);
+  rf.train(train);
+  const auto names = feature_names(FeatureSet::All);
+  const auto importance = rf.feature_importance();
+  std::vector<std::pair<std::string, double>> bars;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    bars.emplace_back(names[i], importance[i]);
+  }
+  std::fputs(bar_chart(bars, 40).c_str(), stdout);
+  return 0;
+}

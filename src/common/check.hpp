@@ -1,0 +1,37 @@
+#pragma once
+// Lightweight precondition / invariant checking.
+//
+// MF_CHECK is always on (these guard logic errors in a simulator whose whole
+// point is trustworthy numbers); failures throw mf::CheckError so tests can
+// assert on violations instead of aborting the process.
+
+#include <stdexcept>
+#include <string>
+
+namespace mf {
+
+/// Thrown when an MF_CHECK condition fails.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::string what = std::string("check failed: ") + expr + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) what += " -- " + msg;
+  throw CheckError(what);
+}
+
+}  // namespace mf
+
+#define MF_CHECK(cond)                                             \
+  do {                                                             \
+    if (!(cond)) ::mf::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define MF_CHECK_MSG(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) ::mf::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,68 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+
+namespace mf {
+namespace {
+
+std::string escape(const std::string& value) {
+  if (value.find_first_of(",\"\n") == std::string::npos) return value;
+  std::string out = "\"";
+  for (char ch : value) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  MF_CHECK(!header_.empty());
+}
+
+CsvWriter& CsvWriter::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(const std::string& value) {
+  MF_CHECK_MSG(!rows_.empty(), "call row() before cell()");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double value, int precision) {
+  return cell(fmt(value, precision));
+}
+
+CsvWriter& CsvWriter::cell(int value) { return cell(std::to_string(value)); }
+
+std::string CsvWriter::str() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << ',';
+      out << escape(cells[c]);
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+bool CsvWriter::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << str();
+  return static_cast<bool>(out);
+}
+
+}  // namespace mf

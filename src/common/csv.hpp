@@ -1,0 +1,31 @@
+#pragma once
+// Minimal CSV writer. Benches optionally dump the raw series behind each
+// figure so that downstream users can re-plot them with their own tooling.
+
+#include <string>
+#include <vector>
+
+namespace mf {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  CsvWriter& row();
+  CsvWriter& cell(const std::string& value);
+  CsvWriter& cell(double value, int precision = 6);
+  CsvWriter& cell(int value);
+
+  /// Serialise (header + rows) with RFC-4180 quoting where needed.
+  [[nodiscard]] std::string str() const;
+
+  /// Write to a file; returns false (and leaves no partial file contents
+  /// guarantees) on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mf

@@ -1,0 +1,147 @@
+#pragma once
+// Deterministic pseudo-random number generation for the whole library.
+//
+// Every stochastic component (placers, annealers, ML initialisation, dataset
+// sweeps) draws from an mf::Rng that is explicitly seeded by the caller, so
+// all benches and tests are reproducible bit-for-bit across runs.
+//
+// The generator is xoshiro256++ seeded through splitmix64, which is fast,
+// has a 2^256-1 period, and passes BigCrush -- more than adequate for
+// simulation workloads, and far cheaper than std::mt19937_64.
+
+#include <cstdint>
+#include <cstddef>
+#include <cmath>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace mf {
+
+/// splitmix64 step; used for seeding and for cheap hash mixing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic counter-free PRNG (xoshiro256++).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x6d61637266ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Uniform 64-bit word.
+  std::uint64_t u64() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(bounded(range));
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) noexcept { return bounded(n); }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Marsaglia polar method (cached spare).
+  double normal() noexcept {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    has_spare_ = true;
+    return u * mul;
+  }
+
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::swap(values[i - 1], values[index(i)]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& values) noexcept {
+    shuffle(std::span<T>(values));
+  }
+
+  /// Pick a uniformly random element of a non-empty span.
+  template <typename T>
+  T& pick(std::span<T> values) noexcept {
+    return values[index(values.size())];
+  }
+
+  /// Derive an independent child stream. Used so that, e.g., every generated
+  /// module in a sweep gets its own reproducible stream regardless of how
+  /// much randomness its siblings consumed.
+  Rng fork(std::uint64_t stream) noexcept {
+    std::uint64_t mix = state_[0] ^ (stream * 0x9e3779b97f4a7c15ULL);
+    return Rng(splitmix64(mix));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  /// Unbiased bounded draw (Lemire's method with rejection).
+  std::uint64_t bounded(std::uint64_t range) noexcept {
+    if (range <= 1) return 0;
+    // Rejection sampling on the top bits keeps the draw unbiased.
+    const std::uint64_t threshold = (0 - range) % range;
+    for (;;) {
+      const std::uint64_t r = u64();
+      if (r >= threshold) return r % range;
+    }
+  }
+
+  std::uint64_t state_[4]{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace mf

@@ -1,0 +1,116 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace mf {
+
+std::string fmt(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  MF_CHECK(!header_.empty());
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  MF_CHECK_MSG(!rows_.empty(), "call row() before cell()");
+  MF_CHECK_MSG(rows_.back().size() < header_.size(), "row has too many cells");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  return cell(fmt(value, precision));
+}
+
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& value = c < cells.size() ? cells[c] : std::string();
+      out << ' ' << value;
+      out << std::string(width[c] - value.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+
+  emit_row(header_);
+  out << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(width[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& r : rows_) emit_row(r);
+  return out.str();
+}
+
+void Table::print() const { std::fputs(str().c_str(), stdout); }
+
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& bars,
+                      int width) {
+  double peak = 0.0;
+  std::size_t label_width = 0;
+  for (const auto& [label, value] : bars) {
+    peak = std::max(peak, value);
+    label_width = std::max(label_width, label.size());
+  }
+  std::ostringstream out;
+  for (const auto& [label, value] : bars) {
+    const int len =
+        peak > 0.0 ? static_cast<int>(std::lround(value / peak * width)) : 0;
+    out << label << std::string(label_width - label.size(), ' ') << " |"
+        << std::string(static_cast<std::size_t>(len), '#') << ' '
+        << fmt(value, 3) << '\n';
+  }
+  return out.str();
+}
+
+std::string histogram(const std::vector<double>& values, double lo, double hi,
+                      double bin_width, int width) {
+  MF_CHECK(bin_width > 0.0 && hi > lo);
+  const int bins = static_cast<int>(std::ceil((hi - lo) / bin_width));
+  std::vector<int> count(static_cast<std::size_t>(bins), 0);
+  for (double v : values) {
+    int b = static_cast<int>(std::floor((v - lo) / bin_width));
+    b = std::clamp(b, 0, bins - 1);
+    ++count[static_cast<std::size_t>(b)];
+  }
+  std::vector<std::pair<std::string, double>> bars;
+  for (int b = 0; b < bins; ++b) {
+    if (count[static_cast<std::size_t>(b)] == 0) continue;
+    bars.emplace_back(fmt(lo + b * bin_width, 2),
+                      static_cast<double>(count[static_cast<std::size_t>(b)]));
+  }
+  return bar_chart(bars, width);
+}
+
+}  // namespace mf

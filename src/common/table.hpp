@@ -1,0 +1,53 @@
+#pragma once
+// ASCII table and histogram rendering used by the bench harnesses to print
+// the paper's tables and figures in a terminal-friendly form.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mf {
+
+/// Column-aligned ASCII table. Cells are strings; numeric helpers format
+/// with a fixed precision. Rendered with a header rule, matching the look of
+/// the paper's tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Begin a new row; subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(int value);
+  Table& cell(std::size_t value);
+
+  /// Render the table; every column is padded to its widest cell.
+  [[nodiscard]] std::string str() const;
+
+  /// Render to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a horizontal ASCII bar chart: one labelled bar per entry, scaled so
+/// the longest bar is `width` characters. Used for the figure benches
+/// (CF histograms, feature importances).
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& bars,
+                      int width = 50);
+
+/// Bucket `values` into bins of `bin_width` starting at `lo` and render a
+/// histogram (one bar per non-empty bin).
+std::string histogram(const std::vector<double>& values, double lo, double hi,
+                      double bin_width, int width = 50);
+
+/// Format a double with fixed precision (no trailing-zero trimming).
+std::string fmt(double value, int precision = 3);
+
+}  // namespace mf

@@ -1,0 +1,27 @@
+#pragma once
+// Wall-clock stopwatch. SA convergence results are reported primarily in
+// deterministic move counts; wall time is additional colour only.
+
+#include <chrono>
+
+namespace mf {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last restart.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mf

@@ -1,0 +1,127 @@
+#include "core/cf_search.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mf {
+namespace {
+
+/// One feasibility check: generate the PBlock at `cf` and try to place the
+/// module inside it. Returns nullopt when no PBlock exists at all.
+struct Attempt {
+  PBlock pblock;
+  PlaceResult place;
+};
+
+std::optional<Attempt> attempt_cf(const Module& module,
+                                  const ResourceReport& report,
+                                  const ShapeReport& shape,
+                                  const Device& device, double cf,
+                                  const CfSearchOptions& opts) {
+  const std::optional<PBlock> pb =
+      generate_pblock(device, report, shape, cf, opts.pblock);
+  if (!pb) return std::nullopt;
+  Attempt attempt;
+  attempt.pblock = *pb;
+  attempt.place = place_in_pblock(module, report, device, *pb, opts.place);
+  return attempt;
+}
+
+}  // namespace
+
+CfSearchResult find_min_cf(const Module& module, const ResourceReport& report,
+                           const ShapeReport& shape, const Device& device,
+                           const CfSearchOptions& opts) {
+  MF_CHECK(opts.step > 0.0);
+  CfSearchResult result;
+  PBlock last_tried;
+  bool last_feasible = false;
+
+  for (double cf = opts.start; cf <= opts.max_cf + 1e-9; cf += opts.step) {
+    const std::optional<PBlock> pb =
+        generate_pblock(device, report, shape, cf, opts.pblock);
+    if (!pb) continue;  // no rectangle at this CF (device too small)
+    if (opts.dedupe_pblocks && !last_tried.empty() && *pb == last_tried) {
+      if (last_feasible) {
+        // Unreachable in the upward sweep (we stop at first success), but
+        // kept for safety with custom callers.
+        result.min_cf = cf;
+        return result;
+      }
+      continue;
+    }
+    last_tried = *pb;
+    ++result.tool_runs;
+    PlaceResult place = place_in_pblock(module, report, device, *pb,
+                                        opts.place);
+    last_feasible = place.feasible;
+    if (place.feasible) {
+      result.found = true;
+      result.min_cf = cf;
+      result.pblock = *pb;
+      result.place = std::move(place);
+      return result;
+    }
+  }
+  return result;
+}
+
+SeededSearchResult seeded_cf_search(const Module& module,
+                                    const ResourceReport& report,
+                                    const ShapeReport& shape,
+                                    const Device& device, double seed_cf,
+                                    const CfSearchOptions& opts) {
+  SeededSearchResult result;
+
+  // First run at the seed.
+  std::optional<Attempt> first =
+      attempt_cf(module, report, shape, device, seed_cf, opts);
+  ++result.tool_runs;
+  if (first && first->place.feasible) {
+    result.found = true;
+    result.first_run_success = true;
+    result.cf = seed_cf;
+    result.pblock = first->pblock;
+    result.place = std::move(first->place);
+    return result;
+  }
+
+  // Coarse upward steps of 0.1.
+  double lo = seed_cf;
+  double hi = seed_cf;
+  std::optional<Attempt> feasible;
+  for (double cf = seed_cf + 0.1; cf <= opts.max_cf + 1e-9; cf += 0.1) {
+    std::optional<Attempt> attempt =
+        attempt_cf(module, report, shape, device, cf, opts);
+    ++result.tool_runs;
+    if (attempt && attempt->place.feasible) {
+      hi = cf;
+      feasible = std::move(attempt);
+      break;
+    }
+    lo = cf;
+  }
+  if (!feasible) return result;
+
+  // Refine (lo, hi] at the fine resolution; keep the smallest feasible CF.
+  for (double cf = lo + opts.step; cf < hi - 1e-9; cf += opts.step) {
+    std::optional<Attempt> attempt =
+        attempt_cf(module, report, shape, device, cf, opts);
+    ++result.tool_runs;
+    if (attempt && attempt->place.feasible) {
+      result.found = true;
+      result.cf = cf;
+      result.pblock = attempt->pblock;
+      result.place = std::move(attempt->place);
+      return result;
+    }
+  }
+  result.found = true;
+  result.cf = hi;
+  result.pblock = feasible->pblock;
+  result.place = std::move(feasible->place);
+  return result;
+}
+
+}  // namespace mf

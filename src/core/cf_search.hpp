@@ -1,0 +1,67 @@
+#pragma once
+// Correction-factor search loops.
+//
+// Two searches from the paper:
+//  * find_min_cf      -- ground truth: sweep the CF upward at a fixed
+//                        resolution until place-and-route inside the PBlock
+//                        succeeds (Section VII: start 0.9, step 0.02; the
+//                        Figure 4 study uses a lower start to expose the
+//                        hard-block-dominated bins).
+//  * seeded_cf_search -- production flow (Section VIII): run once at the
+//                        estimator's CF; on failure step up coarsely (+0.1)
+//                        until feasible, then refine the last interval at
+//                        0.02. Every feasibility check is one "tool run",
+//                        the cost metric the paper compares against a
+//                        constant-CF=0.9 search (which needs 1.8x more).
+
+#include <optional>
+
+#include "core/pblock_generator.hpp"
+#include "place/detailed_placer.hpp"
+#include "place/quick_placer.hpp"
+
+namespace mf {
+
+struct CfSearchOptions {
+  double start = 0.9;
+  double step = 0.02;
+  double max_cf = 3.0;  ///< search abandoned past this factor
+  DetailedPlaceOptions place;
+  PBlockGenOptions pblock;
+  /// Skip re-running placement when the CF step produced an identical
+  /// PBlock (pure speed-up; results are unchanged). Disabled when counting
+  /// tool runs the way the paper does.
+  bool dedupe_pblocks = true;
+};
+
+struct CfSearchResult {
+  bool found = false;
+  double min_cf = 0.0;
+  int tool_runs = 0;       ///< feasibility checks actually executed
+  PBlock pblock;           ///< PBlock at min_cf (valid when found)
+  PlaceResult place;       ///< placement at min_cf (valid when found)
+};
+
+/// Minimal feasible CF by upward sweep.
+CfSearchResult find_min_cf(const Module& module, const ResourceReport& report,
+                           const ShapeReport& shape, const Device& device,
+                           const CfSearchOptions& opts = {});
+
+struct SeededSearchResult {
+  bool found = false;
+  double cf = 0.0;             ///< CF actually used for the implementation
+  bool first_run_success = false;
+  int tool_runs = 0;
+  PBlock pblock;
+  PlaceResult place;
+};
+
+/// Estimator-seeded search (Section VIII). `seed_cf` is the estimator's
+/// prediction (or a constant like 0.9 for the baseline).
+SeededSearchResult seeded_cf_search(const Module& module,
+                                    const ResourceReport& report,
+                                    const ShapeReport& shape,
+                                    const Device& device, double seed_cf,
+                                    const CfSearchOptions& opts = {});
+
+}  // namespace mf

@@ -1,0 +1,115 @@
+#include "core/estimator.hpp"
+
+#include "common/check.hpp"
+
+namespace mf {
+
+Dataset make_dataset(FeatureSet set,
+                     const std::vector<LabeledModule>& samples) {
+  Dataset data;
+  data.feature_names = feature_names(set);
+  for (const LabeledModule& sample : samples) {
+    data.add(extract_features(set, sample.report, sample.shape),
+             sample.min_cf, sample.name);
+  }
+  return data;
+}
+
+const char* to_string(EstimatorKind kind) noexcept {
+  switch (kind) {
+    case EstimatorKind::LinearRegression:
+      return "LinearRegression";
+    case EstimatorKind::NeuralNetwork:
+      return "NeuralNetwork";
+    case EstimatorKind::DecisionTree:
+      return "DecisionTree";
+    case EstimatorKind::RandomForest:
+      return "RandomForest";
+    case EstimatorKind::GradientBoosting:
+      return "GradientBoosting";
+  }
+  return "?";
+}
+
+CfEstimator::CfEstimator(EstimatorKind kind, FeatureSet features,
+                         Options options)
+    : kind_(kind), features_(features), options_(options) {
+  switch (kind_) {
+    case EstimatorKind::LinearRegression:
+      model_ = LinearRegression(options_.linreg_ridge);
+      break;
+    case EstimatorKind::NeuralNetwork:
+      model_ = Mlp();
+      break;
+    case EstimatorKind::DecisionTree:
+      model_ = DecisionTree();
+      break;
+    case EstimatorKind::RandomForest:
+      model_ = RandomForest();
+      break;
+    case EstimatorKind::GradientBoosting:
+      model_ = GradientBoosting();
+      break;
+  }
+}
+
+void CfEstimator::train(const Dataset& data) {
+  MF_CHECK(data.size() > 0);
+  MF_CHECK_MSG(data.dim() == feature_names(features_).size(),
+               "dataset feature set mismatch");
+  switch (kind_) {
+    case EstimatorKind::LinearRegression:
+      std::get<LinearRegression>(model_).fit(data.x, data.y);
+      break;
+    case EstimatorKind::NeuralNetwork:
+      std::get<Mlp>(model_).fit(data.x, data.y, options_.mlp);
+      break;
+    case EstimatorKind::DecisionTree: {
+      Rng rng(options_.seed);
+      std::get<DecisionTree>(model_).fit(data.x, data.y, options_.dtree, rng);
+      break;
+    }
+    case EstimatorKind::RandomForest:
+      std::get<RandomForest>(model_).fit(data.x, data.y, options_.rforest);
+      break;
+    case EstimatorKind::GradientBoosting:
+      std::get<GradientBoosting>(model_).fit(data.x, data.y, options_.gboost);
+      break;
+  }
+  trained_ = true;
+}
+
+double CfEstimator::predict_row(const std::vector<double>& row) const {
+  MF_CHECK_MSG(trained_, "estimator not trained");
+  return std::visit([&](const auto& model) { return model.predict(row); },
+                    model_);
+}
+
+std::vector<double> CfEstimator::predict_rows(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(predict_row(row));
+  return out;
+}
+
+double CfEstimator::estimate(const ResourceReport& report,
+                             const ShapeReport& shape) const {
+  return predict_row(extract_features(features_, report, shape));
+}
+
+std::vector<double> CfEstimator::feature_importance() const {
+  MF_CHECK_MSG(trained_, "estimator not trained");
+  if (const auto* tree = std::get_if<DecisionTree>(&model_)) {
+    return tree->feature_importance();
+  }
+  if (const auto* forest = std::get_if<RandomForest>(&model_)) {
+    return forest->feature_importance();
+  }
+  if (const auto* gb = std::get_if<GradientBoosting>(&model_)) {
+    return gb->feature_importance();
+  }
+  return {};
+}
+
+}  // namespace mf

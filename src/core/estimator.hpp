@@ -1,0 +1,87 @@
+#pragma once
+// CfEstimator: the paper's second contribution, as a public API.
+//
+// Wraps the four model classes of Section VI-B (linear regression, shallow
+// NN, decision tree, random forest) behind one train/estimate interface
+// operating on (ResourceReport, ShapeReport) pairs -- i.e. exactly the
+// artefacts the Figure 1 pipeline has in hand when it must size a PBlock.
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/features.hpp"
+#include "ml/dataset.hpp"
+#include "ml/dtree.hpp"
+#include "ml/linreg.hpp"
+#include "ml/mlp.hpp"
+#include "ml/gboost.hpp"
+#include "ml/rforest.hpp"
+
+namespace mf {
+
+/// One labelled training sample: a module's synthesis artefacts plus its
+/// ground-truth minimal CF from find_min_cf.
+struct LabeledModule {
+  std::string name;
+  ResourceReport report;
+  ShapeReport shape;
+  double min_cf = 0.0;
+};
+
+/// Assemble a Dataset by extracting `set` features from every sample.
+Dataset make_dataset(FeatureSet set, const std::vector<LabeledModule>& samples);
+
+enum class EstimatorKind : int {
+  LinearRegression,
+  NeuralNetwork,
+  DecisionTree,
+  RandomForest,
+  GradientBoosting,  ///< extension beyond the paper's four families
+};
+
+[[nodiscard]] const char* to_string(EstimatorKind kind) noexcept;
+
+class CfEstimator {
+ public:
+  struct Options {
+    DTreeOptions dtree;      // depth 20 default, as in the paper
+    RForestOptions rforest;  // 1,000 trees, depth 20
+    MlpOptions mlp;          // 25 hidden neurons, ReLU, Adam
+    GBoostOptions gboost;    // extension: 300 rounds of depth-4 trees
+    double linreg_ridge = 1e-6;
+    std::uint64_t seed = 3;
+  };
+
+  CfEstimator(EstimatorKind kind, FeatureSet features)
+      : CfEstimator(kind, features, Options{}) {}
+  CfEstimator(EstimatorKind kind, FeatureSet features, Options options);
+
+  /// Train on a dataset whose rows were extracted with the same FeatureSet.
+  void train(const Dataset& data);
+
+  /// Predict the CF for one module.
+  [[nodiscard]] double estimate(const ResourceReport& report,
+                                const ShapeReport& shape) const;
+  [[nodiscard]] double predict_row(const std::vector<double>& row) const;
+  [[nodiscard]] std::vector<double> predict_rows(
+      const std::vector<std::vector<double>>& rows) const;
+
+  /// Impurity feature importance; empty for non-tree models.
+  [[nodiscard]] std::vector<double> feature_importance() const;
+
+  [[nodiscard]] EstimatorKind kind() const noexcept { return kind_; }
+  [[nodiscard]] FeatureSet features() const noexcept { return features_; }
+  [[nodiscard]] bool trained() const noexcept { return trained_; }
+
+ private:
+  EstimatorKind kind_;
+  FeatureSet features_;
+  Options options_;
+  bool trained_ = false;
+  std::variant<LinearRegression, Mlp, DecisionTree, RandomForest,
+               GradientBoosting>
+      model_;
+};
+
+}  // namespace mf

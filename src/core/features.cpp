@@ -1,0 +1,147 @@
+#include "core/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mf {
+namespace {
+
+std::vector<std::string> classical_names() {
+  return {"LUTs", "CLBMs", "FFs", "ControlSets", "Carry", "MaxFanout"};
+}
+
+std::vector<double> classical_values(const ResourceReport& r) {
+  return {static_cast<double>(r.stats.luts + r.stats.m_lut_cells()),
+          static_cast<double>(r.est_slices_m),
+          static_cast<double>(r.stats.ffs),
+          static_cast<double>(r.stats.control_sets),
+          static_cast<double>(r.stats.carry4),
+          static_cast<double>(r.stats.max_fanout)};
+}
+
+std::vector<std::string> placement_names() {
+  return {"ShapeArea", "ShapeAspect"};
+}
+
+std::vector<double> placement_values(const ShapeReport& s) {
+  return {static_cast<double>(s.area()), s.aspect()};
+}
+
+std::vector<std::string> additional_names() {
+  return {"Carry/All", "CLBM/All", "FF/All",
+          "Density",   "CS/FFsl",  "Fanout/Cells"};
+}
+
+std::vector<double> additional_values(const ResourceReport& r) {
+  const double all = std::max(1, r.est_slices);
+  const double carry_ratio = r.slices_for_carry / all;
+  const double m_ratio = r.est_slices_m / all;
+  const double ff_ratio = r.slices_for_ffs / all;
+  // Density (Section V-E): total per-class slice demand relative to the
+  // estimate. The estimate is the max of the three classes, so a value near
+  // 1 means one class dominates (easy packing) while values towards 3 mean
+  // LUTs, FFs and carry all fill the same slices and compete for them.
+  const double density =
+      (static_cast<double>(r.slices_for_luts) + r.slices_for_ffs +
+       r.slices_for_carry) /
+      all;
+  const double ff_slices = std::max(1, r.slices_for_ffs);
+  const double cs_per_ff_slice = r.stats.control_sets / ff_slices;
+  const double fanout_per_cell =
+      static_cast<double>(r.stats.max_fanout) / std::max(1, r.stats.cells);
+  return {carry_ratio, m_ratio,        ff_ratio,
+          density,     cs_per_ff_slice, fanout_per_cell};
+}
+
+template <typename T>
+void append(std::vector<T>& into, std::vector<T> from) {
+  into.insert(into.end(), std::make_move_iterator(from.begin()),
+              std::make_move_iterator(from.end()));
+}
+
+}  // namespace
+
+const char* to_string(FeatureSet set) noexcept {
+  switch (set) {
+    case FeatureSet::Classical:
+      return "Classical";
+    case FeatureSet::ClassicalStar:
+      return "Classical*";
+    case FeatureSet::Additional:
+      return "Additional";
+    case FeatureSet::All:
+      return "All";
+    case FeatureSet::LinReg9:
+      return "LinReg9";
+  }
+  return "?";
+}
+
+std::vector<std::string> feature_names(FeatureSet set) {
+  std::vector<std::string> names;
+  switch (set) {
+    case FeatureSet::Classical:
+      names = classical_names();
+      break;
+    case FeatureSet::ClassicalStar:
+      names = classical_names();
+      append(names, placement_names());
+      break;
+    case FeatureSet::Additional:
+      names = additional_names();
+      break;
+    case FeatureSet::All:
+      names = classical_names();
+      append(names, placement_names());
+      append(names, additional_names());
+      break;
+    case FeatureSet::LinReg9:
+      names = {"MaxFanout", "ControlSets", "Density",
+               "CLBM/All",  "Carry/All",   "ShapeW",
+               "ShapeH",    "ShapeArea",   "ShapeAspect"};
+      break;
+  }
+  return names;
+}
+
+std::vector<double> extract_features(FeatureSet set,
+                                     const ResourceReport& report,
+                                     const ShapeReport& shape) {
+  std::vector<double> values;
+  switch (set) {
+    case FeatureSet::Classical:
+      values = classical_values(report);
+      break;
+    case FeatureSet::ClassicalStar:
+      values = classical_values(report);
+      append(values, placement_values(shape));
+      break;
+    case FeatureSet::Additional:
+      values = additional_values(report);
+      break;
+    case FeatureSet::All:
+      values = classical_values(report);
+      append(values, placement_values(shape));
+      append(values, additional_values(report));
+      break;
+    case FeatureSet::LinReg9: {
+      const std::vector<double> rel = additional_values(report);
+      values = {static_cast<double>(report.stats.max_fanout),
+                static_cast<double>(report.stats.control_sets),
+                rel[3],  // density
+                rel[1],  // m ratio
+                rel[0],  // carry ratio
+                static_cast<double>(shape.bbox_w),
+                static_cast<double>(shape.bbox_h),
+                static_cast<double>(shape.area()),
+                shape.aspect()};
+      break;
+    }
+  }
+  MF_CHECK(values.size() == feature_names(set).size());
+  return values;
+}
+
+}  // namespace mf

@@ -1,0 +1,41 @@
+#pragma once
+// Estimator feature extraction (Sections VI-B and VII).
+//
+// Four feature sets match the paper's Table II columns:
+//   Classical       -- raw synthesis counts: LUTs, CLBMs (M slices), FFs,
+//                      control sets, carry elements, max fanout;
+//   ClassicalStar   -- Classical + quick-placement shape features
+//                      ("Classical Features with Placement Features");
+//   Additional      -- hand-crafted *relative* features, size-invariant:
+//                      Carry/All, CLBM/All, FF/All, density, control sets
+//                      per FF slice, fanout per cell;
+//   All             -- union of the above.
+// LinReg9 is the nine-input set Section VI-B feeds the linear regression.
+
+#include <string>
+#include <vector>
+
+#include "place/quick_placer.hpp"
+#include "synth/report.hpp"
+
+namespace mf {
+
+enum class FeatureSet : int {
+  Classical,
+  ClassicalStar,
+  Additional,
+  All,
+  LinReg9,
+};
+
+[[nodiscard]] const char* to_string(FeatureSet set) noexcept;
+
+/// Human-readable names, index-aligned with extract_features().
+std::vector<std::string> feature_names(FeatureSet set);
+
+/// Extract the feature vector for one module.
+std::vector<double> extract_features(FeatureSet set,
+                                     const ResourceReport& report,
+                                     const ShapeReport& shape);
+
+}  // namespace mf

@@ -1,0 +1,22 @@
+#include "fabric/catalog.hpp"
+
+namespace mf {
+
+Device xc7z020_model() {
+  // 89 CLB columns, every 3rd M-typed (~33% M slices, close to the real
+  // part's SLICEM share); 5 BRAM columns x 30 sites = 150 RAMB36;
+  // 4 DSP columns x 60 = 240 DSP48. Rows: 3 clock regions x 50.
+  return make_device("xc7z020", /*clb_columns=*/89, /*m_period=*/3,
+                     /*bram_columns=*/5, /*dsp_columns=*/4, /*rows=*/150,
+                     /*clock_region_rows=*/50);
+}
+
+Device xc7z045_model() {
+  // 219 CLB columns x 250 rows = 54,750 slices; 11 BRAM columns x 50 = 550
+  // RAMB36; 9 DSP columns x 100 = 900 DSP48. Rows: 5 clock regions x 50.
+  return make_device("xc7z045", /*clb_columns=*/219, /*m_period=*/3,
+                     /*bram_columns=*/11, /*dsp_columns=*/9, /*rows=*/250,
+                     /*clock_region_rows=*/50);
+}
+
+}  // namespace mf

@@ -1,0 +1,21 @@
+#pragma once
+// Device catalog: the two Zynq-7000 parts used in the paper, rebuilt as
+// synthetic column grids with matching resource totals (within a few percent;
+// exact floorplans are proprietary).
+//
+//   xc7z020: 13,300 slices, 53,200 LUTs, 106,400 FFs, 140 RAMB36, 220 DSP48
+//   xc7z045: 54,650 slices, 218,600 LUTs, 437,200 FFs, 545 RAMB36, 900 DSP48
+
+#include "fabric/device.hpp"
+
+namespace mf {
+
+/// xc7z020-like model: 89 CLB columns x 150 rows = 13,350 slices
+/// (target 13,300), 150 RAMB36, 240 DSP48, three clock regions.
+Device xc7z020_model();
+
+/// xc7z045-like model: 219 CLB columns x 250 rows = 54,750 slices
+/// (target 54,650), 550 RAMB36, 900 DSP48, five clock regions.
+Device xc7z045_model();
+
+}  // namespace mf

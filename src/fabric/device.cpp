@@ -1,0 +1,157 @@
+#include "fabric/device.hpp"
+
+#include <algorithm>
+
+namespace mf {
+
+const char* to_string(ColumnKind kind) noexcept {
+  switch (kind) {
+    case ColumnKind::ClbL:
+      return "CLBL";
+    case ColumnKind::ClbM:
+      return "CLBM";
+    case ColumnKind::Bram:
+      return "BRAM";
+    case ColumnKind::Dsp:
+      return "DSP";
+    case ColumnKind::Clock:
+      return "CLK";
+  }
+  return "?";
+}
+
+Device::Device(std::string name, std::vector<ColumnKind> columns, int rows,
+               int clock_region_rows)
+    : name_(std::move(name)),
+      columns_(std::move(columns)),
+      rows_(rows),
+      clock_region_rows_(clock_region_rows) {
+  MF_CHECK(rows_ > 0);
+  MF_CHECK(!columns_.empty());
+  MF_CHECK_MSG(clock_region_rows_ > 0 && rows_ % clock_region_rows_ == 0,
+               "rows must divide evenly into clock regions");
+  const PBlock whole{0, num_columns() - 1, 0, rows_ - 1};
+  totals_ = resources_in(whole);
+}
+
+bool Device::in_bounds(const PBlock& pb) const noexcept {
+  return !pb.empty() && pb.col_lo >= 0 && pb.col_hi < num_columns() &&
+         pb.row_lo >= 0 && pb.row_hi < rows_;
+}
+
+int Device::bram_sites_in_rows(int row_lo, int row_hi) noexcept {
+  if (row_hi < row_lo) return 0;
+  // First site whose base row >= row_lo.
+  const int first = (row_lo + kBramRowPitch - 1) / kBramRowPitch;
+  // Last site whose span [base, base + pitch - 1] ends <= row_hi.
+  const int last = (row_hi + 1) / kBramRowPitch - 1;
+  return std::max(0, last - first + 1);
+}
+
+int Device::dsp_sites_in_rows(int row_lo, int row_hi) noexcept {
+  return bram_sites_in_rows(row_lo, row_hi) * kDspPerPitch;
+}
+
+FabricResources Device::resources_in(const PBlock& pb) const {
+  FabricResources res;
+  if (pb.empty()) return res;
+  const int col_lo = std::max(pb.col_lo, 0);
+  const int col_hi = std::min(pb.col_hi, num_columns() - 1);
+  const int row_lo = std::max(pb.row_lo, 0);
+  const int row_hi = std::min(pb.row_hi, rows_ - 1);
+  const int height = row_hi - row_lo + 1;
+  if (height <= 0) return res;
+  for (int c = col_lo; c <= col_hi; ++c) {
+    switch (columns_[static_cast<std::size_t>(c)]) {
+      case ColumnKind::ClbL:
+        res.slices += height;
+        break;
+      case ColumnKind::ClbM:
+        res.slices += height;
+        res.slices_m += height;
+        break;
+      case ColumnKind::Bram:
+        res.bram36 += bram_sites_in_rows(row_lo, row_hi);
+        break;
+      case ColumnKind::Dsp:
+        res.dsp += dsp_sites_in_rows(row_lo, row_hi);
+        break;
+      case ColumnKind::Clock:
+        break;
+    }
+  }
+  return res;
+}
+
+std::vector<ColumnKind> Device::kinds_in(const PBlock& pb) const {
+  MF_CHECK(in_bounds(pb));
+  std::vector<ColumnKind> kinds;
+  kinds.reserve(static_cast<std::size_t>(pb.width()));
+  for (int c = pb.col_lo; c <= pb.col_hi; ++c) {
+    kinds.push_back(columns_[static_cast<std::size_t>(c)]);
+  }
+  return kinds;
+}
+
+Device make_device(std::string name, int clb_columns, int m_period,
+                   int bram_columns, int dsp_columns, int rows,
+                   int clock_region_rows) {
+  MF_CHECK(clb_columns > 0 && m_period > 0);
+  MF_CHECK(bram_columns >= 0 && dsp_columns >= 0);
+
+  // Distribute special columns evenly: insert a BRAM (or DSP) column after
+  // every `clb_columns / (bram_columns + 1)` CLB columns, alternating kinds
+  // so that BRAM and DSP columns do not clump together.
+  std::vector<ColumnKind> columns;
+  columns.reserve(
+      static_cast<std::size_t>(clb_columns + bram_columns + dsp_columns + 1));
+
+  const int specials = bram_columns + dsp_columns;
+  int emitted_clb = 0;
+  int emitted_bram = 0;
+  int emitted_dsp = 0;
+  int emitted_special = 0;
+  const int clock_at = clb_columns / 2;  // clock spine mid-fabric
+
+  for (int i = 0; i < clb_columns; ++i) {
+    if (i == clock_at) columns.push_back(ColumnKind::Clock);
+    columns.push_back(emitted_clb % m_period == m_period - 1 ? ColumnKind::ClbM
+                                                             : ColumnKind::ClbL);
+    ++emitted_clb;
+    // After this CLB column, decide whether a special column is due.
+    if (specials > 0) {
+      const int due = (emitted_clb * specials) / clb_columns;
+      while (emitted_special < due) {
+        // Alternate proportionally between BRAM and DSP.
+        const bool pick_bram =
+            emitted_bram * (dsp_columns + 1) <= emitted_dsp * (bram_columns + 1)
+                ? bram_columns > emitted_bram
+                : dsp_columns <= emitted_dsp;
+        if (pick_bram && emitted_bram < bram_columns) {
+          columns.push_back(ColumnKind::Bram);
+          ++emitted_bram;
+        } else if (emitted_dsp < dsp_columns) {
+          columns.push_back(ColumnKind::Dsp);
+          ++emitted_dsp;
+        } else if (emitted_bram < bram_columns) {
+          columns.push_back(ColumnKind::Bram);
+          ++emitted_bram;
+        }
+        ++emitted_special;
+      }
+    }
+  }
+  // Any stragglers (rounding) go at the right edge.
+  while (emitted_bram < bram_columns) {
+    columns.push_back(ColumnKind::Bram);
+    ++emitted_bram;
+  }
+  while (emitted_dsp < dsp_columns) {
+    columns.push_back(ColumnKind::Dsp);
+    ++emitted_dsp;
+  }
+
+  return Device(std::move(name), std::move(columns), rows, clock_region_rows);
+}
+
+}  // namespace mf

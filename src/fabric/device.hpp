@@ -1,0 +1,160 @@
+#pragma once
+// Column-based model of a Xilinx 7-series style FPGA fabric.
+//
+// Real 7-series parts are built from vertical columns of same-typed tiles:
+// CLB columns (SLICEL or SLICEM flavoured), block-RAM columns, DSP columns,
+// and the clock spine. This model keeps exactly that structure because it is
+// what the paper's mechanisms depend on:
+//   * PBlocks are rectangles over the column grid, so their resource content
+//     is a function of which column kinds they straddle;
+//   * pre-implemented macros can only be *relocated* to positions whose
+//     column-kind sequence matches the original (Section IV: "PBlocks can be
+//     relocated only on columns having the same resource type");
+//   * carry chains need vertically contiguous slices in one column;
+//   * block RAM sites repeat on a fixed row pitch, which constrains the row
+//     alignment of relocations for BRAM-using macros.
+//
+// Simplifications versus silicon (documented in DESIGN.md): one slice per
+// (column, row) grid cell (a real CLB tile holds two slices side by side --
+// we model the two as adjacent slice columns), no IO/PS columns, and uniform
+// clock regions.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mf {
+
+/// Kind of one vertical column of the fabric grid.
+enum class ColumnKind : std::uint8_t {
+  ClbL,   ///< column of SLICEL (LUT6x4, FFx8, CARRY4)
+  ClbM,   ///< column of SLICEM (SLICEL capabilities + LUTRAM/SRL)
+  Bram,   ///< column of RAMB36 sites (each splits into two RAMB18)
+  Dsp,    ///< column of DSP48 sites
+  Clock,  ///< clock spine; holds no user logic
+};
+
+[[nodiscard]] constexpr bool is_clb(ColumnKind kind) noexcept {
+  return kind == ColumnKind::ClbL || kind == ColumnKind::ClbM;
+}
+
+[[nodiscard]] const char* to_string(ColumnKind kind) noexcept;
+
+/// Per-slice capacities of the 7-series CLB (Section V-E of the paper).
+inline constexpr int kLutsPerSlice = 4;
+inline constexpr int kFfsPerSlice = 8;
+inline constexpr int kCarryPerSlice = 1;  // one CARRY4 segment per slice
+
+/// A RAMB36 site spans this many slice rows; DSP sites use the same pitch.
+inline constexpr int kBramRowPitch = 5;
+inline constexpr int kDspPerPitch = 2;  // DSP48s per kBramRowPitch rows
+
+/// Aggregate resources available inside some region of the fabric.
+struct FabricResources {
+  int slices = 0;    ///< total slices (L + M)
+  int slices_m = 0;  ///< M-type slices only
+  int bram36 = 0;    ///< whole RAMB36 sites fully contained in the region
+  int dsp = 0;       ///< DSP48 sites fully contained in the region
+
+  [[nodiscard]] int luts() const noexcept { return slices * kLutsPerSlice; }
+  [[nodiscard]] int ffs() const noexcept { return slices * kFfsPerSlice; }
+  [[nodiscard]] int bram18() const noexcept { return bram36 * 2; }
+
+  /// True when every field of `need` is covered.
+  [[nodiscard]] bool covers(const FabricResources& need) const noexcept {
+    return slices >= need.slices && slices_m >= need.slices_m &&
+           bram36 >= need.bram36 && dsp >= need.dsp;
+  }
+};
+
+/// Rectangular area constraint over the fabric grid (AMD "PBlock").
+/// All bounds are inclusive.
+struct PBlock {
+  int col_lo = 0;
+  int col_hi = -1;
+  int row_lo = 0;
+  int row_hi = -1;
+
+  [[nodiscard]] int width() const noexcept { return col_hi - col_lo + 1; }
+  [[nodiscard]] int height() const noexcept { return row_hi - row_lo + 1; }
+  [[nodiscard]] bool empty() const noexcept {
+    return col_hi < col_lo || row_hi < row_lo;
+  }
+  [[nodiscard]] long area() const noexcept {
+    return empty() ? 0 : static_cast<long>(width()) * height();
+  }
+  [[nodiscard]] bool contains(int col, int row) const noexcept {
+    return col >= col_lo && col <= col_hi && row >= row_lo && row <= row_hi;
+  }
+  [[nodiscard]] bool overlaps(const PBlock& other) const noexcept {
+    return col_lo <= other.col_hi && other.col_lo <= col_hi &&
+           row_lo <= other.row_hi && other.row_lo <= row_hi;
+  }
+  friend bool operator==(const PBlock&, const PBlock&) = default;
+};
+
+/// Immutable device description: a named grid of typed columns.
+class Device {
+ public:
+  /// `columns` lists the kind of every grid column, left to right.
+  /// `rows` is the slice-row count; `clock_region_rows` divides it evenly.
+  Device(std::string name, std::vector<ColumnKind> columns, int rows,
+         int clock_region_rows);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int num_columns() const noexcept {
+    return static_cast<int>(columns_.size());
+  }
+  [[nodiscard]] int clock_region_rows() const noexcept {
+    return clock_region_rows_;
+  }
+  [[nodiscard]] ColumnKind column(int col) const {
+    MF_CHECK(col >= 0 && col < num_columns());
+    return columns_[static_cast<std::size_t>(col)];
+  }
+  [[nodiscard]] const std::vector<ColumnKind>& columns() const noexcept {
+    return columns_;
+  }
+
+  /// Whole-device totals.
+  [[nodiscard]] const FabricResources& totals() const noexcept {
+    return totals_;
+  }
+
+  /// True when the PBlock lies fully inside the grid.
+  [[nodiscard]] bool in_bounds(const PBlock& pb) const noexcept;
+
+  /// Resources available inside `pb`. BRAM/DSP sites count only when fully
+  /// contained (a partially covered site is unusable, as on real parts).
+  [[nodiscard]] FabricResources resources_in(const PBlock& pb) const;
+
+  /// Column-kind sequence covered by `pb` -- the relocation footprint.
+  [[nodiscard]] std::vector<ColumnKind> kinds_in(const PBlock& pb) const;
+
+  /// Number of RAMB36 sites in one BRAM column restricted to rows
+  /// [row_lo, row_hi]; sites start at rows that are multiples of
+  /// kBramRowPitch and must fit entirely.
+  [[nodiscard]] static int bram_sites_in_rows(int row_lo, int row_hi) noexcept;
+
+  /// DSP48 sites for one DSP column restricted to [row_lo, row_hi].
+  [[nodiscard]] static int dsp_sites_in_rows(int row_lo, int row_hi) noexcept;
+
+ private:
+  std::string name_;
+  std::vector<ColumnKind> columns_;
+  int rows_;
+  int clock_region_rows_;
+  FabricResources totals_;
+};
+
+/// Construct a device by interleaving BRAM / DSP / clock columns evenly among
+/// CLB columns, with every `m_period`-th CLB column M-typed. This mirrors the
+/// regular column mix of real parts without hard-coding a floorplan image.
+Device make_device(std::string name, int clb_columns, int m_period,
+                   int bram_columns, int dsp_columns, int rows,
+                   int clock_region_rows);
+
+}  // namespace mf

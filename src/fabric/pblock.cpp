@@ -1,0 +1,81 @@
+#include "fabric/pblock.hpp"
+
+#include <sstream>
+
+namespace mf {
+
+std::string to_string(const PBlock& pb) {
+  std::ostringstream out;
+  out << "PBlock[" << pb.col_lo << ".." << pb.col_hi << " x " << pb.row_lo
+      << ".." << pb.row_hi << "] (" << pb.width() << 'x' << pb.height() << ')';
+  return out.str();
+}
+
+std::vector<int> clb_columns_in(const Device& device, const PBlock& pb) {
+  std::vector<int> cols;
+  for (int c = pb.col_lo; c <= pb.col_hi; ++c) {
+    if (is_clb(device.column(c))) cols.push_back(c);
+  }
+  return cols;
+}
+
+std::vector<int> m_columns_in(const Device& device, const PBlock& pb) {
+  std::vector<int> cols;
+  for (int c = pb.col_lo; c <= pb.col_hi; ++c) {
+    if (device.column(c) == ColumnKind::ClbM) cols.push_back(c);
+  }
+  return cols;
+}
+
+Footprint footprint_of(const Device& device, const PBlock& pb,
+                       bool uses_bram_or_dsp) {
+  Footprint fp;
+  fp.kinds = device.kinds_in(pb);
+  fp.height = pb.height();
+  fp.uses_bram_or_dsp = uses_bram_or_dsp;
+  return fp;
+}
+
+bool footprint_fits(const Device& device, const Footprint& fp, int col,
+                    int row, int anchor_row_origin) {
+  if (col < 0 || row < 0) return false;
+  if (col + fp.width() > device.num_columns()) return false;
+  if (row + fp.height > device.rows()) return false;
+  if (fp.uses_bram_or_dsp &&
+      (row - anchor_row_origin) % kBramRowPitch != 0) {
+    return false;
+  }
+  for (int i = 0; i < fp.width(); ++i) {
+    if (device.column(col + i) != fp.kinds[static_cast<std::size_t>(i)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::pair<int, int>> compatible_anchors(const Device& device,
+                                                    const Footprint& fp,
+                                                    int anchor_row_origin) {
+  std::vector<std::pair<int, int>> anchors;
+  const int row_stride = fp.uses_bram_or_dsp ? kBramRowPitch : 1;
+  // Start rows at the congruence class of the original anchor.
+  int row0 = fp.uses_bram_or_dsp ? anchor_row_origin % kBramRowPitch : 0;
+  for (int col = 0; col + fp.width() <= device.num_columns(); ++col) {
+    // Cheap reject: first column kind must match before scanning rows.
+    if (device.column(col) != fp.kinds.front()) continue;
+    bool kinds_ok = true;
+    for (int i = 1; i < fp.width(); ++i) {
+      if (device.column(col + i) != fp.kinds[static_cast<std::size_t>(i)]) {
+        kinds_ok = false;
+        break;
+      }
+    }
+    if (!kinds_ok) continue;
+    for (int row = row0; row + fp.height <= device.rows(); row += row_stride) {
+      anchors.emplace_back(col, row);
+    }
+  }
+  return anchors;
+}
+
+}  // namespace mf

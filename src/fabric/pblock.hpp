@@ -1,0 +1,54 @@
+#pragma once
+// PBlock helpers shared by the generator (src/core), the detailed placer
+// (src/place) and the stitcher (src/stitch).
+
+#include <string>
+#include <vector>
+
+#include "fabric/device.hpp"
+
+namespace mf {
+
+/// "PBlock[c0..c1 x r0..r1] (WxH)" -- for logs and bench output.
+std::string to_string(const PBlock& pb);
+
+/// Indices (absolute device columns) of the CLB columns inside `pb`,
+/// left to right. The detailed placer packs into these.
+std::vector<int> clb_columns_in(const Device& device, const PBlock& pb);
+
+/// Indices of the M-type CLB columns inside `pb`.
+std::vector<int> m_columns_in(const Device& device, const PBlock& pb);
+
+/// Relocation footprint of a PBlock: the column-kind sequence plus height.
+/// Two placements of the same macro are interchangeable iff the footprint
+/// kind sequences match column-for-column, the height fits, and (for macros
+/// using BRAM/DSP) the row anchor is congruent modulo the site pitch.
+struct Footprint {
+  std::vector<ColumnKind> kinds;
+  int height = 0;
+  bool uses_bram_or_dsp = false;
+
+  [[nodiscard]] int width() const noexcept {
+    return static_cast<int>(kinds.size());
+  }
+};
+
+/// Build the footprint of `pb` on `device`; `uses_bram_or_dsp` must be
+/// supplied by the caller (it depends on the module, not the rectangle).
+Footprint footprint_of(const Device& device, const PBlock& pb,
+                       bool uses_bram_or_dsp);
+
+/// True if the footprint can be anchored with its top-left at
+/// (col, row) on `device`: in bounds, kind sequence matches, and BRAM/DSP row
+/// alignment preserved relative to `anchor_row_origin` (the row the macro was
+/// originally implemented at).
+bool footprint_fits(const Device& device, const Footprint& fp, int col,
+                    int row, int anchor_row_origin);
+
+/// All (col, row) anchors where the footprint fits. `row_stride` thins the
+/// candidate rows (the stitcher uses the BRAM pitch for BRAM users).
+std::vector<std::pair<int, int>> compatible_anchors(const Device& device,
+                                                    const Footprint& fp,
+                                                    int anchor_row_origin);
+
+}  // namespace mf

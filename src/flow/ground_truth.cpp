@@ -1,0 +1,59 @@
+#include "flow/ground_truth.hpp"
+
+#include "synth/optimize.hpp"
+
+namespace mf {
+namespace {
+
+bool label_one(const Module& original, const Device& device,
+               const CfSearchOptions& search, LabeledModule& out) {
+  Module module = original;
+  optimize(module.netlist);
+  out.name = module.name;
+  out.report = make_report(module.netlist);
+  out.shape = quick_place(out.report);
+  const CfSearchResult found =
+      find_min_cf(module, out.report, out.shape, device, search);
+  if (!found.found) return false;
+  out.min_cf = found.min_cf;
+  return true;
+}
+
+}  // namespace
+
+GroundTruth build_ground_truth(const std::vector<GenSpec>& specs,
+                               const Device& device,
+                               const CfSearchOptions& search) {
+  GroundTruth truth;
+  truth.samples.reserve(specs.size());
+  for (const GenSpec& spec : specs) {
+    const Module module = realize(spec);
+    LabeledModule sample;
+    if (label_one(module, device, search, sample)) {
+      truth.samples.push_back(std::move(sample));
+    } else {
+      ++truth.infeasible;
+    }
+  }
+  return truth;
+}
+
+GroundTruth label_blocks(const BlockDesign& design, const Device& device,
+                         double search_start, int min_est_slices) {
+  CfSearchOptions search;
+  search.start = search_start;
+  GroundTruth truth;
+  truth.samples.reserve(design.unique_modules.size());
+  for (const Module& module : design.unique_modules) {
+    LabeledModule sample;
+    if (!label_one(module, device, search, sample)) {
+      ++truth.infeasible;
+      continue;
+    }
+    if (sample.report.est_slices < min_est_slices) continue;
+    truth.samples.push_back(std::move(sample));
+  }
+  return truth;
+}
+
+}  // namespace mf

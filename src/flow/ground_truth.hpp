@@ -1,0 +1,33 @@
+#pragma once
+// Ground-truth dataset construction shared by the estimator benches and the
+// examples: realize generator specs (or the cnvW1A1 blocks), synthesize, and
+// label each with its minimal feasible CF from the oracle search.
+
+#include <vector>
+
+#include "core/cf_search.hpp"
+#include "core/estimator.hpp"
+#include "rtlgen/sweep.hpp"
+#include "stitch/macro.hpp"
+
+namespace mf {
+
+struct GroundTruth {
+  std::vector<LabeledModule> samples;
+  int infeasible = 0;  ///< specs dropped because no CF <= max_cf worked
+};
+
+/// Label every spec of the sweep. `search.start` defaults to the paper's
+/// 0.9 for dataset generation (Section VII).
+GroundTruth build_ground_truth(const std::vector<GenSpec>& specs,
+                               const Device& device,
+                               const CfSearchOptions& search = {});
+
+/// Label the unique blocks of a block design (cnvW1A1: Figures 4/11/12).
+/// Uses a lower search start to expose hard-block-dominated minima and
+/// optionally drops trivially small blocks (the paper removes one-/two-tile
+/// modules, leaving 63 of 74 for the estimator evaluation).
+GroundTruth label_blocks(const BlockDesign& design, const Device& device,
+                         double search_start = 0.5, int min_est_slices = 0);
+
+}  // namespace mf

@@ -1,0 +1,113 @@
+#include "flow/monolithic.hpp"
+
+#include <set>
+
+#include "synth/optimize.hpp"
+
+namespace mf {
+
+Module flatten(const BlockDesign& design,
+               std::vector<std::pair<std::size_t, std::size_t>>* cell_ranges) {
+  Module flat;
+  flat.name = "flat";
+  Netlist& nl = flat.netlist;
+  if (cell_ranges != nullptr) {
+    cell_ranges->clear();
+    cell_ranges->reserve(design.instances.size());
+  }
+
+  int chain_offset = 0;
+  for (const BlockInstance& inst : design.instances) {
+    const Netlist& src =
+        design.unique_modules[static_cast<std::size_t>(inst.macro)].netlist;
+    const std::size_t cell_base = nl.num_cells();
+    const NetId net_base = static_cast<NetId>(nl.num_nets());
+
+    // Copy nets first so ids stay topological within the instance.
+    for (std::size_t n = 0; n < src.num_nets(); ++n) {
+      const Net& net = src.net(static_cast<NetId>(n));
+      nl.add_net(net.label, net.is_clock);
+    }
+    // Control sets: intern the remapped triples.
+    std::vector<ControlSetId> cs_map(src.num_control_sets());
+    for (std::size_t c = 0; c < src.num_control_sets(); ++c) {
+      const ControlSet& cs = src.control_set(static_cast<ControlSetId>(c));
+      auto remap = [&](NetId id) {
+        return id == kInvalidId ? kInvalidId : id + net_base;
+      };
+      cs_map[c] = nl.make_control_set(remap(cs.clk), remap(cs.sr),
+                                      remap(cs.ce));
+    }
+    // Cells.
+    int max_chain = -1;
+    for (std::size_t i = 0; i < src.num_cells(); ++i) {
+      const Cell& cell = src.cell(static_cast<CellId>(i));
+      const CellId id = nl.add_cell(cell.kind);
+      for (NetId in : cell.inputs) nl.connect_input(id, in + net_base);
+      if (cell.out != kInvalidId) nl.set_output(id, cell.out + net_base);
+      if (cell.control_set != kInvalidId) {
+        nl.bind_control_set(id,
+                            cs_map[static_cast<std::size_t>(cell.control_set)]);
+      }
+      if (cell.chain != kInvalidId) {
+        nl.set_chain(id, cell.chain + chain_offset, cell.chain_pos);
+        max_chain = std::max(max_chain, cell.chain);
+      }
+    }
+    chain_offset += max_chain + 1;
+    for (NetId out : src.outputs()) nl.mark_output(out + net_base);
+
+    if (cell_ranges != nullptr) {
+      cell_ranges->emplace_back(cell_base, nl.num_cells());
+    }
+  }
+  return flat;
+}
+
+MonolithicResult place_monolithic(const BlockDesign& design,
+                                  const Device& device,
+                                  const MonolithicOptions& opts) {
+  MonolithicResult result;
+  // Optimize per unique module *before* flattening: post-flatten optimisation
+  // would re-number cells and invalidate the per-instance ranges.
+  BlockDesign optimized = design;
+  for (Module& module : optimized.unique_modules) optimize(module.netlist);
+
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  Module flat = flatten(optimized, &ranges);
+  result.report = make_report(flat.netlist);
+
+  const PBlock whole{0, device.num_columns() - 1, 0, device.rows() - 1};
+  const PlaceResult place =
+      place_in_pblock(flat, result.report, device, whole, opts.place);
+  result.feasible = place.feasible;
+  result.fail_reason = place.fail_reason;
+  result.used_slices = place.used_slices;
+  result.utilization = static_cast<double>(place.used_slices) /
+                       std::max(1, device.totals().slices);
+
+  // Per-instance slice usage: distinct slice coordinates its cells occupy.
+  result.instance_slices.reserve(ranges.size());
+  for (const auto& [lo, hi] : ranges) {
+    std::set<std::pair<int, int>> coords;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const CellPlacement& p = place.placement[i];
+      const CellKind kind = flat.netlist.cell(static_cast<CellId>(i)).kind;
+      const bool clb = kind == CellKind::Lut || kind == CellKind::Ff ||
+                       kind == CellKind::Carry4 || kind == CellKind::Srl ||
+                       kind == CellKind::LutRam;
+      if (p.placed() && clb) coords.emplace(p.col, p.row);
+    }
+    result.instance_slices.push_back(static_cast<int>(coords.size()));
+  }
+
+  if (opts.compute_timing && place.used_slices > 0) {
+    result.longest_path_ns =
+        analyze_timing(flat.netlist, place.placement, place.route,
+                       opts.place.route.cell_capacity)
+            .longest_path_ns;
+  }
+  return result;
+}
+
+}  // namespace mf

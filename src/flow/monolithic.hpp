@@ -1,0 +1,61 @@
+#pragma once
+// Monolithic full-device baseline (the "AMD EDA tool" column of Table I and
+// Figure 5a).
+//
+// Flattens the whole block design into a single netlist and packs it into
+// the entire device with the same detailed placer the per-PBlock flow uses.
+// Because the device is the PBlock, the packer is free to interleave blocks
+// and reach near-total utilization -- the paper's flat run lands at 99.98%
+// of the xc7z020's slices. Per-instance slice usage is recovered from the
+// flattened cell ranges (the AMD column's 30/34/32/29 for the four mvau_18
+// instances arises the same way: each instance is implemented in context).
+
+#include <string>
+#include <vector>
+
+#include "place/detailed_placer.hpp"
+#include "stitch/macro.hpp"
+#include "timing/sta.hpp"
+
+namespace mf {
+
+struct MonolithicOptions {
+  MonolithicOptions() {
+    // Full-effort mode: the flat commercial flow closes designs at ~99.98%
+    // utilization by spending far more router effort (congestion-driven
+    // restructuring, detour routing) than the quick per-PBlock feasibility
+    // checks model -- 3x the channel budget stands in for that effort gap.
+    // It also spreads into whatever slack the device offers (no dense-pack
+    // margin), which is how the real tool ends up touching nearly every
+    // slice of a 95%-demand design.
+    place.route.cell_capacity *= 3.0;
+    place.spread_margin = 1.0;
+    place.spread_offset = 0.0;
+  }
+  DetailedPlaceOptions place;
+  bool compute_timing = true;
+};
+
+struct MonolithicResult {
+  bool feasible = false;
+  std::string fail_reason;
+  int used_slices = 0;
+  double utilization = 0.0;  ///< used slices / device slices
+  double longest_path_ns = 0.0;
+  /// Used slices per design instance, aligned with design.instances. Slices
+  /// shared between instances (packer seam effects) count for each sharer.
+  std::vector<int> instance_slices;
+  ResourceReport report;  ///< of the flattened netlist
+};
+
+/// Flatten `design` into one module (each instance gets a private copy of
+/// its unique module's netlist). Exposed for tests.
+Module flatten(const BlockDesign& design,
+               std::vector<std::pair<std::size_t, std::size_t>>* cell_ranges =
+                   nullptr);
+
+MonolithicResult place_monolithic(const BlockDesign& design,
+                                  const Device& device,
+                                  const MonolithicOptions& opts = {});
+
+}  // namespace mf

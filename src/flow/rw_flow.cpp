@@ -1,0 +1,228 @@
+#include "flow/rw_flow.hpp"
+
+#include "synth/optimize.hpp"
+
+namespace mf {
+namespace {
+
+/// Build the Macro record from a successful placement.
+Macro make_macro(const std::string& name, const Device& device,
+                 const ResourceReport& report, double cf, int tool_runs,
+                 const PBlock& pblock, const PlaceResult& place,
+                 const Module& module, const RwFlowOptions& opts) {
+  Macro macro;
+  macro.name = name;
+  macro.pblock = pblock;
+  macro.footprint = footprint_of(device, pblock, report.uses_bram_or_dsp());
+  macro.used_slices = place.used_slices;
+  macro.est_slices = report.est_slices;
+  macro.cf = cf;
+  macro.fill_ratio = place.fill_ratio;
+  macro.tool_runs = tool_runs;
+  if (opts.compute_timing) {
+    macro.longest_path_ns =
+        analyze_timing(module.netlist, place.placement, place.route,
+                       opts.search.place.route.cell_capacity)
+            .longest_path_ns;
+  }
+  return macro;
+}
+
+}  // namespace
+
+ImplementedBlock implement_block(const Module& module, const Device& device,
+                                 double seed_cf, const RwFlowOptions& opts) {
+  ImplementedBlock block;
+  block.name = module.name;
+  block.seed_cf = seed_cf;
+
+  // Synthesize & optimize on a private copy (the design owns its netlists).
+  Module synth = module;
+  optimize(synth.netlist);
+  block.report = make_report(synth.netlist);
+  block.shape = quick_place(block.report);
+
+  const SeededSearchResult search = seeded_cf_search(
+      synth, block.report, block.shape, device, seed_cf, opts.search);
+  if (!search.found) {
+    block.macro.tool_runs = search.tool_runs;
+    return block;
+  }
+  block.ok = true;
+  block.first_run_success = search.first_run_success;
+  block.macro = make_macro(module.name, device, block.report, search.cf,
+                           search.tool_runs, search.pblock, search.place,
+                           synth, opts);
+  return block;
+}
+
+RwFlowResult run_rw_flow(const BlockDesign& design, const Device& device,
+                         const CfPolicy& policy, const RwFlowOptions& opts) {
+  RwFlowResult result;
+  result.blocks.reserve(design.unique_modules.size());
+
+  for (const Module& module : design.unique_modules) {
+    ImplementedBlock block;
+    switch (policy.mode) {
+      case CfPolicy::Mode::Constant:
+        block = implement_block(module, device, policy.constant_cf, opts);
+        break;
+      case CfPolicy::Mode::Estimator: {
+        MF_CHECK_MSG(policy.estimator != nullptr && policy.estimator->trained(),
+                     "estimator policy needs a trained estimator");
+        // Synthesize once to extract features, then implement from the
+        // predicted CF (implement_block re-synthesizes; netlists are small
+        // enough that clarity wins over caching the synthesis).
+        Module synth = module;
+        optimize(synth.netlist);
+        const ResourceReport report = make_report(synth.netlist);
+        const ShapeReport shape = quick_place(report);
+        const double cf = policy.estimator->estimate(report, shape);
+        block = implement_block(module, device, cf, opts);
+        break;
+      }
+      case CfPolicy::Mode::MinSearch: {
+        Module synth = module;
+        optimize(synth.netlist);
+        const ResourceReport report = make_report(synth.netlist);
+        const ShapeReport shape = quick_place(report);
+        CfSearchOptions search = opts.search;
+        search.start = 0.5;  // expose hard-block-dominated minima
+        const CfSearchResult found =
+            find_min_cf(synth, report, shape, device, search);
+        block.name = module.name;
+        block.report = report;
+        block.shape = shape;
+        block.seed_cf = search.start;
+        if (found.found) {
+          block.ok = true;
+          block.macro =
+              make_macro(module.name, device, report, found.min_cf,
+                         found.tool_runs, found.pblock, found.place, synth,
+                         opts);
+        }
+        break;
+      }
+    }
+    result.total_tool_runs += block.macro.tool_runs;
+    if (!block.ok) ++result.failed_blocks;
+    result.blocks.push_back(std::move(block));
+  }
+
+  // Assemble and run the stitching problem over the successful blocks.
+  result.problem.macros.reserve(result.blocks.size());
+  std::vector<int> macro_index(result.blocks.size(), -1);
+  for (std::size_t i = 0; i < result.blocks.size(); ++i) {
+    if (!result.blocks[i].ok) continue;
+    macro_index[i] = static_cast<int>(result.problem.macros.size());
+    result.problem.macros.push_back(result.blocks[i].macro);
+  }
+  for (const BlockInstance& inst : design.instances) {
+    const int mapped = macro_index[static_cast<std::size_t>(inst.macro)];
+    if (mapped < 0) continue;  // block failed to implement
+    result.problem.instances.push_back(BlockInstance{inst.name, mapped});
+  }
+  // Re-map nets onto the surviving instance indices.
+  {
+    std::vector<int> inst_map(design.instances.size(), -1);
+    int next = 0;
+    for (std::size_t i = 0; i < design.instances.size(); ++i) {
+      if (macro_index[static_cast<std::size_t>(design.instances[i].macro)] >=
+          0) {
+        inst_map[i] = next++;
+      }
+    }
+    for (const BlockNet& net : design.nets) {
+      BlockNet mapped;
+      mapped.weight = net.weight;
+      for (int inst : net.instances) {
+        const int m = inst_map[static_cast<std::size_t>(inst)];
+        if (m >= 0) mapped.instances.push_back(m);
+      }
+      if (mapped.instances.size() >= 2) {
+        result.problem.nets.push_back(std::move(mapped));
+      }
+    }
+  }
+
+  if (opts.run_stitch && !result.problem.instances.empty()) {
+    result.stitch = stitch(device, result.problem, opts.stitch);
+  }
+  return result;
+}
+
+const ImplementedBlock* ModuleCache::find(const std::string& name) const {
+  const auto it = cache_.find(name);
+  if (it == cache_.end()) return nullptr;
+  ++hits_;
+  return &it->second;
+}
+
+void ModuleCache::store(ImplementedBlock block) {
+  ++misses_;
+  cache_[block.name] = std::move(block);
+}
+
+RwFlowResult ModuleCache::run(const BlockDesign& design, const Device& device,
+                              const CfPolicy& policy,
+                              const RwFlowOptions& opts) {
+  // Split the design into cached and uncached blocks, implement the misses,
+  // then delegate the assembly to run_rw_flow semantics by rebuilding the
+  // result from the cache.
+  RwFlowResult result;
+  result.blocks.reserve(design.unique_modules.size());
+  for (const Module& module : design.unique_modules) {
+    if (const ImplementedBlock* cached = find(module.name)) {
+      result.blocks.push_back(*cached);
+      continue;
+    }
+    double seed_cf = policy.constant_cf;
+    if (policy.mode == CfPolicy::Mode::Estimator) {
+      MF_CHECK(policy.estimator != nullptr && policy.estimator->trained());
+      Module synth = module;
+      optimize(synth.netlist);
+      const ResourceReport report = make_report(synth.netlist);
+      seed_cf = policy.estimator->estimate(report, quick_place(report));
+    }
+    ImplementedBlock block = implement_block(module, device, seed_cf, opts);
+    result.total_tool_runs += block.macro.tool_runs;
+    if (!block.ok) ++result.failed_blocks;
+    store(block);
+    result.blocks.push_back(std::move(block));
+  }
+
+  // Assembly identical to run_rw_flow's tail.
+  std::vector<int> macro_index(result.blocks.size(), -1);
+  for (std::size_t i = 0; i < result.blocks.size(); ++i) {
+    if (!result.blocks[i].ok) continue;
+    macro_index[i] = static_cast<int>(result.problem.macros.size());
+    result.problem.macros.push_back(result.blocks[i].macro);
+  }
+  std::vector<int> inst_map(design.instances.size(), -1);
+  int next = 0;
+  for (std::size_t i = 0; i < design.instances.size(); ++i) {
+    const int mi = macro_index[static_cast<std::size_t>(design.instances[i].macro)];
+    if (mi >= 0) {
+      result.problem.instances.push_back(
+          BlockInstance{design.instances[i].name, mi});
+      inst_map[i] = next++;
+    }
+  }
+  for (const BlockNet& net : design.nets) {
+    BlockNet mapped;
+    mapped.weight = net.weight;
+    for (int inst : net.instances) {
+      const int m = inst_map[static_cast<std::size_t>(inst)];
+      if (m >= 0) mapped.instances.push_back(m);
+    }
+    if (mapped.instances.size() >= 2) {
+      result.problem.nets.push_back(std::move(mapped));
+    }
+  }
+  if (opts.run_stitch && !result.problem.instances.empty()) {
+    result.stitch = stitch(device, result.problem, opts.stitch);
+  }
+  return result;
+}
+
+}  // namespace mf

@@ -1,0 +1,94 @@
+#pragma once
+// The RapidWright-style pre-implemented-block flow, end to end:
+//
+//   1. identify unique blocks in the block design;
+//   2. per unique block: synthesize & optimize, quick-place (shape report),
+//      pick a CF (constant or estimator), generate the PBlock, place & route
+//      inside it -- retrying per the Section VIII schedule when infeasible;
+//   3. cache the implementation (a Macro) and reuse it for every instance;
+//   4. stitch all instances onto the device with simulated annealing.
+//
+// The implementation cache is the flow's reason to exist: when a design
+// iteration touches one block, only that block re-runs steps 2-3.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cf_search.hpp"
+#include "core/estimator.hpp"
+#include "stitch/macro.hpp"
+#include "stitch/sa_stitcher.hpp"
+#include "timing/sta.hpp"
+
+namespace mf {
+
+/// How the flow chooses each block's correction factor.
+struct CfPolicy {
+  enum class Mode {
+    Constant,   ///< fixed CF for every block (RW's default, 1.5)
+    Estimator,  ///< per-block CF from a trained CfEstimator
+    MinSearch,  ///< exhaustive minimal-CF search (ground-truth baseline)
+  };
+  Mode mode = Mode::Constant;
+  double constant_cf = 1.5;
+  const CfEstimator* estimator = nullptr;  ///< required for Estimator mode
+};
+
+struct RwFlowOptions {
+  CfSearchOptions search;      ///< placement / search knobs
+  StitchOptions stitch;        ///< annealer knobs
+  bool run_stitch = true;
+  bool compute_timing = true;
+};
+
+/// One unique block after implementation.
+struct ImplementedBlock {
+  std::string name;
+  bool ok = false;
+  Macro macro;
+  ResourceReport report;
+  ShapeReport shape;
+  double seed_cf = 0.0;  ///< CF the policy proposed
+  bool first_run_success = false;
+};
+
+struct RwFlowResult {
+  std::vector<ImplementedBlock> blocks;  ///< aligned with unique_modules
+  StitchProblem problem;
+  StitchResult stitch;
+  int total_tool_runs = 0;
+  int failed_blocks = 0;
+};
+
+/// Implement one module: synthesize, quick-place, then run the seeded CF
+/// search from `seed_cf`.
+ImplementedBlock implement_block(const Module& module, const Device& device,
+                                 double seed_cf, const RwFlowOptions& opts);
+
+/// Full flow over a block design.
+RwFlowResult run_rw_flow(const BlockDesign& design, const Device& device,
+                         const CfPolicy& policy, const RwFlowOptions& opts = {});
+
+/// Implementation cache keyed by unique-block name, for DSE scenarios where
+/// a design revision re-uses most blocks (the paper's motivating use case).
+class ModuleCache {
+ public:
+  [[nodiscard]] const ImplementedBlock* find(const std::string& name) const;
+  void store(ImplementedBlock block);
+  [[nodiscard]] std::size_t size() const noexcept { return cache_.size(); }
+  [[nodiscard]] int hits() const noexcept { return hits_; }
+  [[nodiscard]] int misses() const noexcept { return misses_; }
+
+  /// Like run_rw_flow, but consults / fills the cache per unique block.
+  RwFlowResult run(const BlockDesign& design, const Device& device,
+                   const CfPolicy& policy, const RwFlowOptions& opts = {});
+
+ private:
+  std::map<std::string, ImplementedBlock> cache_;
+  mutable int hits_ = 0;
+  int misses_ = 0;
+};
+
+}  // namespace mf

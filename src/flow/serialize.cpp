@@ -1,0 +1,83 @@
+#include "flow/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace mf {
+namespace {
+
+constexpr const char* kHeader = "macroflow-ground-truth v2";
+
+}  // namespace
+
+std::string ground_truth_to_text(const std::vector<LabeledModule>& samples) {
+  std::ostringstream out;
+  out << kHeader << '\n';
+  out << "# name min_cf luts ffs carry4 srls lutrams bram18 bram36 dsp cells"
+         " control_sets max_fanout slices_luts slices_ffs slices_carry"
+         " est est_m bram36_equiv dsp_need bbox_w bbox_h min_height"
+         " carry_columns chains...\n";
+  for (const LabeledModule& s : samples) {
+    const NetlistStats& st = s.report.stats;
+    out << s.name << ' ' << s.min_cf << ' ' << st.luts << ' ' << st.ffs << ' '
+        << st.carry4 << ' ' << st.srls << ' ' << st.lutrams << ' '
+        << st.bram18 << ' ' << st.bram36 << ' ' << st.dsp << ' ' << st.cells
+        << ' ' << st.control_sets << ' ' << st.max_fanout << ' '
+        << s.report.slices_for_luts << ' ' << s.report.slices_for_ffs << ' '
+        << s.report.slices_for_carry << ' ' << s.report.est_slices << ' '
+        << s.report.est_slices_m << ' ' << s.report.bram36 << ' '
+        << s.report.dsp << ' ' << s.shape.bbox_w << ' ' << s.shape.bbox_h
+        << ' ' << s.shape.min_height << ' ' << s.shape.carry_columns;
+    for (int len : st.carry_chains) out << ' ' << len;
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::optional<std::vector<LabeledModule>> ground_truth_from_text(
+    const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) return std::nullopt;
+
+  std::vector<LabeledModule> samples;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream row(line);
+    LabeledModule s;
+    NetlistStats& st = s.report.stats;
+    if (!(row >> s.name >> s.min_cf >> st.luts >> st.ffs >> st.carry4 >>
+          st.srls >> st.lutrams >> st.bram18 >> st.bram36 >> st.dsp >>
+          st.cells >> st.control_sets >> st.max_fanout >>
+          s.report.slices_for_luts >> s.report.slices_for_ffs >>
+          s.report.slices_for_carry >> s.report.est_slices >>
+          s.report.est_slices_m >> s.report.bram36 >> s.report.dsp >>
+          s.shape.bbox_w >> s.shape.bbox_h >> s.shape.min_height >>
+          s.shape.carry_columns)) {
+      return std::nullopt;
+    }
+    int len = 0;
+    while (row >> len) st.carry_chains.push_back(len);
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+bool save_ground_truth(const std::string& path,
+                       const std::vector<LabeledModule>& samples) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ground_truth_to_text(samples);
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<LabeledModule>> load_ground_truth(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ground_truth_from_text(buffer.str());
+}
+
+}  // namespace mf

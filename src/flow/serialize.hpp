@@ -1,0 +1,30 @@
+#pragma once
+// Plain-text serialisation of labelled ground truth.
+//
+// Labelling 2,000 modules costs ~10 s; the estimator benches and the CLI can
+// cache the result on disk (opt-in via MACROFLOW_GT_CACHE) and reload it
+// instantly. The format is a versioned, self-describing text table -- stable
+// across runs, diffable, and safe to regenerate at any time.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/estimator.hpp"
+
+namespace mf {
+
+/// Serialise labelled samples (one line per sample, versioned header).
+std::string ground_truth_to_text(const std::vector<LabeledModule>& samples);
+
+/// Parse samples back; nullopt on malformed input or version mismatch.
+std::optional<std::vector<LabeledModule>> ground_truth_from_text(
+    const std::string& text);
+
+/// File helpers; load returns nullopt when the file is missing or invalid.
+bool save_ground_truth(const std::string& path,
+                       const std::vector<LabeledModule>& samples);
+std::optional<std::vector<LabeledModule>> load_ground_truth(
+    const std::string& path);
+
+}  // namespace mf

@@ -1,0 +1,70 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace mf {
+
+void Dataset::add(std::vector<double> features, double target,
+                  std::string label) {
+  MF_CHECK(features.size() == dim());
+  x.push_back(std::move(features));
+  y.push_back(target);
+  labels.push_back(std::move(label));
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.feature_names = feature_names;
+  out.x.reserve(indices.size());
+  out.y.reserve(indices.size());
+  out.labels.reserve(indices.size());
+  for (std::size_t i : indices) {
+    MF_CHECK(i < size());
+    out.x.push_back(x[i]);
+    out.y.push_back(y[i]);
+    out.labels.push_back(labels[i]);
+  }
+  return out;
+}
+
+Dataset balance_by_target(const Dataset& data, double bin_width, int cap,
+                          Rng& rng) {
+  MF_CHECK(bin_width > 0.0 && cap > 0);
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+
+  std::map<long, int> per_bin;
+  std::vector<std::size_t> keep;
+  keep.reserve(data.size());
+  for (std::size_t i : order) {
+    const long bin = std::lround(data.y[i] / bin_width);
+    if (per_bin[bin] >= cap) continue;
+    ++per_bin[bin];
+    keep.push_back(i);
+  }
+  std::sort(keep.begin(), keep.end());
+  return data.subset(keep);
+}
+
+std::pair<Dataset, Dataset> train_test_split(const Dataset& data,
+                                             double train_fraction, Rng& rng) {
+  MF_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  const std::size_t cut = static_cast<std::size_t>(
+      std::llround(train_fraction * static_cast<double>(data.size())));
+  const std::vector<std::size_t> train_idx(order.begin(),
+                                           order.begin() + static_cast<long>(cut));
+  const std::vector<std::size_t> test_idx(order.begin() + static_cast<long>(cut),
+                                          order.end());
+  return {data.subset(train_idx), data.subset(test_idx)};
+}
+
+}  // namespace mf

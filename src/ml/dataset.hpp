@@ -1,0 +1,40 @@
+#pragma once
+// Regression dataset container plus the paper's preprocessing steps:
+// CF-bin balancing (Section VII / Figure 8) and the 80/20 split.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mf {
+
+struct Dataset {
+  std::vector<std::string> feature_names;
+  std::vector<std::vector<double>> x;  ///< one row per sample
+  std::vector<double> y;               ///< target (minimal CF)
+  std::vector<std::string> labels;     ///< module names (provenance)
+
+  [[nodiscard]] std::size_t size() const noexcept { return y.size(); }
+  [[nodiscard]] std::size_t dim() const noexcept {
+    return feature_names.size();
+  }
+
+  void add(std::vector<double> features, double target, std::string label);
+
+  /// Keep only the samples at `indices`, in that order.
+  [[nodiscard]] Dataset subset(const std::vector<std::size_t>& indices) const;
+};
+
+/// Shuffle, then cap the number of samples per CF bin (bin width matching
+/// the search resolution). The paper caps at 75 samples per CF, shrinking
+/// ~2,000 modules to ~1,500 and flattening the target distribution.
+Dataset balance_by_target(const Dataset& data, double bin_width, int cap,
+                          Rng& rng);
+
+/// Random split: first element trains on `train_fraction` of the samples.
+std::pair<Dataset, Dataset> train_test_split(const Dataset& data,
+                                             double train_fraction, Rng& rng);
+
+}  // namespace mf

@@ -1,0 +1,178 @@
+#include "ml/dtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace mf {
+namespace {
+
+struct SplitCandidate {
+  int feature = -1;
+  double threshold = 0.0;
+  double gain = 0.0;  ///< SSE decrease
+  std::size_t left_count = 0;
+};
+
+double sse_of(const std::vector<double>& y,
+              const std::vector<std::size_t>& indices, std::size_t lo,
+              std::size_t hi) {
+  double sum = 0.0;
+  double sq = 0.0;
+  for (std::size_t k = lo; k < hi; ++k) {
+    sum += y[indices[k]];
+    sq += y[indices[k]] * y[indices[k]];
+  }
+  const double n = static_cast<double>(hi - lo);
+  return sq - sum * sum / n;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const std::vector<std::vector<double>>& x,
+                       const std::vector<double>& y, const DTreeOptions& opts,
+                       Rng& rng, const std::vector<std::size_t>* samples) {
+  MF_CHECK(!x.empty() && x.size() == y.size());
+  nodes_.clear();
+  depth_ = 0;
+  importance_.assign(x.front().size(), 0.0);
+
+  std::vector<std::size_t> indices;
+  if (samples != nullptr) {
+    indices = *samples;
+  } else {
+    indices.resize(x.size());
+    std::iota(indices.begin(), indices.end(), std::size_t{0});
+  }
+  MF_CHECK(!indices.empty());
+  build(x, y, indices, 0, indices.size(), 0, opts, rng);
+
+  double total = 0.0;
+  for (double v : importance_) total += v;
+  if (total > 0.0) {
+    for (double& v : importance_) v /= total;
+  }
+}
+
+int DecisionTree::build(const std::vector<std::vector<double>>& x,
+                        const std::vector<double>& y,
+                        std::vector<std::size_t>& indices, std::size_t lo,
+                        std::size_t hi, int depth, const DTreeOptions& opts,
+                        Rng& rng) {
+  depth_ = std::max(depth_, depth);
+  const std::size_t n = hi - lo;
+  double mean = 0.0;
+  for (std::size_t k = lo; k < hi; ++k) mean += y[indices[k]];
+  mean /= static_cast<double>(n);
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<std::size_t>(node_id)].value = mean;
+
+  const std::size_t min_leaf = static_cast<std::size_t>(opts.min_samples_leaf);
+  if (depth >= opts.max_depth || n < 2 * min_leaf) return node_id;
+
+  const double parent_sse = sse_of(y, indices, lo, hi);
+  if (parent_sse <= 1e-12) return node_id;
+
+  // Feature subset for this split.
+  const std::size_t dim = x.front().size();
+  std::vector<int> features(dim);
+  std::iota(features.begin(), features.end(), 0);
+  if (opts.mtry > 0 && static_cast<std::size_t>(opts.mtry) < dim) {
+    rng.shuffle(features);
+    features.resize(static_cast<std::size_t>(opts.mtry));
+  }
+
+  SplitCandidate best;
+  std::vector<std::size_t> scratch(indices.begin() + static_cast<long>(lo),
+                                   indices.begin() + static_cast<long>(hi));
+  for (int f : features) {
+    std::sort(scratch.begin(), scratch.end(), [&](std::size_t a, std::size_t b) {
+      return x[a][static_cast<std::size_t>(f)] < x[b][static_cast<std::size_t>(f)];
+    });
+    // Prefix scan of y over the sorted order.
+    double left_sum = 0.0;
+    double left_sq = 0.0;
+    double total_sum = 0.0;
+    double total_sq = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      total_sum += y[scratch[k]];
+      total_sq += y[scratch[k]] * y[scratch[k]];
+    }
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+      const double yk = y[scratch[k]];
+      left_sum += yk;
+      left_sq += yk * yk;
+      const std::size_t left_n = k + 1;
+      const std::size_t right_n = n - left_n;
+      if (left_n < min_leaf || right_n < min_leaf) continue;
+      const double xa = x[scratch[k]][static_cast<std::size_t>(f)];
+      const double xb = x[scratch[k + 1]][static_cast<std::size_t>(f)];
+      if (xb <= xa) continue;  // cannot split between equal values
+      // Guard against adjacent doubles where the midpoint rounds onto xb
+      // (which would send every sample left during partitioning).
+      double threshold = 0.5 * (xa + xb);
+      if (threshold >= xb || threshold < xa) threshold = xa;
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double child_sse =
+          (left_sq - left_sum * left_sum / static_cast<double>(left_n)) +
+          (right_sq - right_sum * right_sum / static_cast<double>(right_n));
+      const double gain = parent_sse - child_sse;
+      if (gain > best.gain) {
+        best.feature = f;
+        best.threshold = threshold;
+        best.gain = gain;
+        best.left_count = left_n;
+      }
+    }
+  }
+  if (best.feature < 0) return node_id;
+
+  importance_[static_cast<std::size_t>(best.feature)] += best.gain;
+
+  // Partition `indices[lo, hi)` around the threshold (stable enough: order
+  // within halves is irrelevant for tree building).
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<long>(lo),
+      indices.begin() + static_cast<long>(hi), [&](std::size_t i) {
+        return x[i][static_cast<std::size_t>(best.feature)] <= best.threshold;
+      });
+  const std::size_t mid =
+      static_cast<std::size_t>(mid_it - indices.begin());
+  MF_CHECK(mid > lo && mid < hi);
+
+  const int left = build(x, y, indices, lo, mid, depth + 1, opts, rng);
+  const int right = build(x, y, indices, mid, hi, depth + 1, opts, rng);
+  nodes_[static_cast<std::size_t>(node_id)].feature = best.feature;
+  nodes_[static_cast<std::size_t>(node_id)].threshold = best.threshold;
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+double DecisionTree::predict(const std::vector<double>& row) const {
+  MF_CHECK(!nodes_.empty());
+  int node = 0;
+  for (;;) {
+    const Node& nd = nodes_[static_cast<std::size_t>(node)];
+    if (nd.feature < 0) return nd.value;
+    node = row[static_cast<std::size_t>(nd.feature)] <= nd.threshold
+               ? nd.left
+               : nd.right;
+  }
+}
+
+std::vector<double> DecisionTree::predict(
+    const std::vector<std::vector<double>>& x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(predict(row));
+  return out;
+}
+
+}  // namespace mf

@@ -1,0 +1,63 @@
+#pragma once
+// CART regression tree (variance reduction splits) with impurity-based
+// feature importance -- the paper's single-DT estimator (depth 20) and the
+// building block of the random forest.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mf {
+
+struct DTreeOptions {
+  int max_depth = 20;
+  int min_samples_leaf = 2;
+  /// Features considered per split; 0 = all (single tree), forests pass a
+  /// random subset size.
+  int mtry = 0;
+};
+
+class DecisionTree {
+ public:
+  /// Fit on rows `samples` of (x, y); pass nullptr to use every row.
+  /// `rng` is only consulted when opts.mtry > 0.
+  void fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y, const DTreeOptions& opts, Rng& rng,
+           const std::vector<std::size_t>* samples = nullptr);
+
+  [[nodiscard]] double predict(const std::vector<double>& row) const;
+  [[nodiscard]] std::vector<double> predict(
+      const std::vector<std::vector<double>>& x) const;
+
+  /// Impurity-decrease importance, normalised to sum 1 (all-leaf trees
+  /// return all-zero).
+  [[nodiscard]] const std::vector<double>& feature_importance() const noexcept {
+    return importance_;
+  }
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] int depth() const noexcept { return depth_; }
+
+ private:
+  struct Node {
+    int feature = -1;  ///< -1 => leaf
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    double value = 0.0;
+  };
+
+  int build(const std::vector<std::vector<double>>& x,
+            const std::vector<double>& y, std::vector<std::size_t>& indices,
+            std::size_t lo, std::size_t hi, int depth,
+            const DTreeOptions& opts, Rng& rng);
+
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+  int depth_ = 0;
+};
+
+}  // namespace mf

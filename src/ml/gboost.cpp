@@ -1,0 +1,85 @@
+#include "ml/gboost.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace mf {
+
+void GradientBoosting::fit(const std::vector<std::vector<double>>& x,
+                           const std::vector<double>& y,
+                           const GBoostOptions& opts) {
+  MF_CHECK(!x.empty() && x.size() == y.size());
+  MF_CHECK(opts.rounds > 0 && opts.learning_rate > 0.0);
+  MF_CHECK(opts.subsample > 0.0 && opts.subsample <= 1.0);
+
+  learning_rate_ = opts.learning_rate;
+  base_ = std::accumulate(y.begin(), y.end(), 0.0) /
+          static_cast<double>(y.size());
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(opts.rounds));
+  importance_.assign(x.front().size(), 0.0);
+  loss_history_.clear();
+
+  std::vector<double> residual(y.size());
+  std::vector<double> prediction(y.size(), base_);
+  DTreeOptions tree_opts;
+  tree_opts.max_depth = opts.max_depth;
+  tree_opts.min_samples_leaf = opts.min_samples_leaf;
+
+  Rng rng(opts.seed);
+  const std::size_t sample_size = std::max<std::size_t>(
+      2, static_cast<std::size_t>(opts.subsample *
+                                  static_cast<double>(y.size())));
+  std::vector<std::size_t> all(y.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+
+  for (int round = 0; round < opts.rounds; ++round) {
+    double mse = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      residual[i] = y[i] - prediction[i];
+      mse += residual[i] * residual[i];
+    }
+    loss_history_.push_back(mse / static_cast<double>(y.size()));
+
+    rng.shuffle(all);
+    std::vector<std::size_t> sample(all.begin(),
+                                    all.begin() + static_cast<long>(sample_size));
+
+    DecisionTree tree;
+    tree.fit(x, residual, tree_opts, rng, &sample);
+    const std::vector<double>& imp = tree.feature_importance();
+    for (std::size_t j = 0; j < importance_.size(); ++j) {
+      importance_[j] += imp[j];
+    }
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      prediction[i] += learning_rate_ * tree.predict(x[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+
+  double total = 0.0;
+  for (double v : importance_) total += v;
+  if (total > 0.0) {
+    for (double& v : importance_) v /= total;
+  }
+}
+
+double GradientBoosting::predict(const std::vector<double>& row) const {
+  MF_CHECK(!trees_.empty());
+  double value = base_;
+  for (const DecisionTree& tree : trees_) {
+    value += learning_rate_ * tree.predict(row);
+  }
+  return value;
+}
+
+std::vector<double> GradientBoosting::predict(
+    const std::vector<std::vector<double>>& x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(predict(row));
+  return out;
+}
+
+}  // namespace mf

@@ -1,0 +1,55 @@
+#pragma once
+// Gradient-boosted regression trees (least-squares boosting).
+//
+// An *extension* beyond the paper's four estimator families: shallow trees
+// fitted sequentially to the residual, which often beats both the single
+// deep tree and the bagged forest on tabular regression. Included to probe
+// whether the paper's conclusion ("increasing the expressiveness of our
+// estimator does not always lead to better results") also holds for
+// boosting on this task -- see bench_ablation.
+
+#include <vector>
+
+#include "ml/dtree.hpp"
+
+namespace mf {
+
+struct GBoostOptions {
+  int rounds = 300;
+  int max_depth = 4;
+  int min_samples_leaf = 4;
+  double learning_rate = 0.1;
+  /// Row subsampling per round (stochastic gradient boosting).
+  double subsample = 0.8;
+  std::uint64_t seed = 17;
+};
+
+class GradientBoosting {
+ public:
+  void fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y, const GBoostOptions& opts = {});
+
+  [[nodiscard]] double predict(const std::vector<double>& row) const;
+  [[nodiscard]] std::vector<double> predict(
+      const std::vector<std::vector<double>>& x) const;
+
+  /// Accumulated impurity importance over all boosting rounds (sums to 1).
+  [[nodiscard]] const std::vector<double>& feature_importance() const noexcept {
+    return importance_;
+  }
+
+  [[nodiscard]] std::size_t rounds() const noexcept { return trees_.size(); }
+  /// Per-round training MSE (for overfitting diagnostics).
+  [[nodiscard]] const std::vector<double>& training_loss() const noexcept {
+    return loss_history_;
+  }
+
+ private:
+  double base_ = 0.0;
+  double learning_rate_ = 0.1;
+  std::vector<DecisionTree> trees_;
+  std::vector<double> importance_;
+  std::vector<double> loss_history_;
+};
+
+}  // namespace mf

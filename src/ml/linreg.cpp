@@ -1,0 +1,86 @@
+#include "ml/linreg.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mf {
+namespace {
+
+/// Solve A w = b for symmetric positive definite A via in-place Cholesky.
+std::vector<double> solve_spd(std::vector<double> a, std::vector<double> b,
+                              std::size_t n) {
+  // Factor A = L L^T.
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) diag -= a[j * n + k] * a[j * n + k];
+    MF_CHECK_MSG(diag > 0.0, "matrix not positive definite");
+    const double ljj = std::sqrt(diag);
+    a[j * n + j] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) v -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = v / ljj;
+    }
+  }
+  // Forward substitution: L z = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= a[i * n + k] * b[k];
+    b[i] = v / a[i * n + i];
+  }
+  // Back substitution: L^T w = z.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double v = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) v -= a[k * n + ii] * b[k];
+    b[ii] = v / a[ii * n + ii];
+  }
+  return b;
+}
+
+}  // namespace
+
+void LinearRegression::fit(const std::vector<std::vector<double>>& x,
+                           const std::vector<double>& y) {
+  MF_CHECK(!x.empty() && x.size() == y.size());
+  scaler_.fit(x);
+  const std::vector<std::vector<double>> xs = scaler_.transform(x);
+  const std::size_t dim = xs.front().size();
+  const std::size_t n = dim + 1;  // + intercept
+
+  std::vector<double> xtx(n * n, 0.0);
+  std::vector<double> xty(n, 0.0);
+  std::vector<double> row(n, 1.0);
+  for (std::size_t s = 0; s < xs.size(); ++s) {
+    for (std::size_t j = 0; j < dim; ++j) row[j] = xs[s][j];
+    row[dim] = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) xtx[i * n + j] += row[i] * row[j];
+      xty[i] += row[i] * y[s];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) xtx[i * n + j] = xtx[j * n + i];
+    xtx[i * n + i] += ridge_;
+  }
+  weights_ = solve_spd(std::move(xtx), std::move(xty), n);
+}
+
+double LinearRegression::predict(const std::vector<double>& row) const {
+  MF_CHECK(!weights_.empty());
+  const std::vector<double> xs = scaler_.transform(row);
+  MF_CHECK(xs.size() + 1 == weights_.size());
+  double v = weights_.back();
+  for (std::size_t j = 0; j < xs.size(); ++j) v += weights_[j] * xs[j];
+  return v;
+}
+
+std::vector<double> LinearRegression::predict(
+    const std::vector<std::vector<double>>& x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(predict(row));
+  return out;
+}
+
+}  // namespace mf

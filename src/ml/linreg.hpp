@@ -1,0 +1,35 @@
+#pragma once
+// Ordinary least squares with a small ridge term for conditioning, solved by
+// Cholesky factorisation of the normal equations. Inputs are standardised
+// internally so raw count features (LUTs in the thousands) coexist with
+// ratios in [0, 1].
+
+#include <vector>
+
+#include "ml/scaler.hpp"
+
+namespace mf {
+
+class LinearRegression {
+ public:
+  explicit LinearRegression(double ridge = 1e-6) : ridge_(ridge) {}
+
+  void fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y);
+
+  [[nodiscard]] double predict(const std::vector<double>& row) const;
+  [[nodiscard]] std::vector<double> predict(
+      const std::vector<std::vector<double>>& x) const;
+
+  /// Weights in standardised feature space (last entry is the intercept).
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+
+ private:
+  double ridge_;
+  StandardScaler scaler_;
+  std::vector<double> weights_;
+};
+
+}  // namespace mf

@@ -1,0 +1,56 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mf {
+namespace {
+
+std::vector<double> relative_errors(const std::vector<double>& pred,
+                                    const std::vector<double>& truth) {
+  MF_CHECK(pred.size() == truth.size() && !pred.empty());
+  std::vector<double> err(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    MF_CHECK(truth[i] > 0.0);
+    err[i] = std::abs(pred[i] - truth[i]) / truth[i];
+  }
+  return err;
+}
+
+}  // namespace
+
+double mean_relative_error(const std::vector<double>& pred,
+                           const std::vector<double>& truth) {
+  const std::vector<double> err = relative_errors(pred, truth);
+  double sum = 0.0;
+  for (double e : err) sum += e;
+  return sum / static_cast<double>(err.size());
+}
+
+double median_relative_error(const std::vector<double>& pred,
+                             const std::vector<double>& truth) {
+  std::vector<double> err = relative_errors(pred, truth);
+  const std::size_t mid = err.size() / 2;
+  std::nth_element(err.begin(), err.begin() + static_cast<long>(mid),
+                   err.end());
+  if (err.size() % 2 == 1) return err[mid];
+  const double hi = err[mid];
+  std::nth_element(err.begin(), err.begin() + static_cast<long>(mid) - 1,
+                   err.end());
+  return 0.5 * (hi + err[mid - 1]);
+}
+
+double mean_squared_error(const std::vector<double>& pred,
+                          const std::vector<double>& truth) {
+  MF_CHECK(pred.size() == truth.size() && !pred.empty());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - truth[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(pred.size());
+}
+
+}  // namespace mf

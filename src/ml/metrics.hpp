@@ -1,0 +1,21 @@
+#pragma once
+// Regression metrics used in the paper's evaluation: mean relative error
+// (Table II), median absolute relative error (Section VIII), MSE (training
+// objective).
+
+#include <vector>
+
+namespace mf {
+
+/// mean(|pred - truth| / truth); truth must be positive (CFs are).
+double mean_relative_error(const std::vector<double>& pred,
+                           const std::vector<double>& truth);
+
+/// median(|pred - truth| / truth).
+double median_relative_error(const std::vector<double>& pred,
+                             const std::vector<double>& truth);
+
+double mean_squared_error(const std::vector<double>& pred,
+                          const std::vector<double>& truth);
+
+}  // namespace mf

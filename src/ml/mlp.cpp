@@ -1,0 +1,157 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace mf {
+namespace {
+
+/// Adam state for one parameter vector.
+struct AdamState {
+  std::vector<double> m;
+  std::vector<double> v;
+
+  explicit AdamState(std::size_t n) : m(n, 0.0), v(n, 0.0) {}
+
+  void step(std::vector<double>& param, const std::vector<double>& grad,
+            double lr, double beta1, double beta2, double eps, double bc1,
+            double bc2) {
+    for (std::size_t i = 0; i < param.size(); ++i) {
+      m[i] = beta1 * m[i] + (1.0 - beta1) * grad[i];
+      v[i] = beta2 * v[i] + (1.0 - beta2) * grad[i] * grad[i];
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      param[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+    }
+  }
+};
+
+}  // namespace
+
+void Mlp::fit(const std::vector<std::vector<double>>& x,
+              const std::vector<double>& y, const MlpOptions& opts) {
+  MF_CHECK(!x.empty() && x.size() == y.size());
+  MF_CHECK(opts.hidden > 0 && opts.epochs > 0 && opts.batch_size > 0);
+
+  scaler_.fit(x);
+  const std::vector<std::vector<double>> xs = scaler_.transform(x);
+  in_dim_ = static_cast<int>(xs.front().size());
+  hidden_ = opts.hidden;
+
+  Rng rng(opts.seed);
+  const std::size_t h = static_cast<std::size_t>(hidden_);
+  const std::size_t d = static_cast<std::size_t>(in_dim_);
+  w1_.assign(h * d, 0.0);
+  b1_.assign(h, 0.0);
+  w2_.assign(h, 0.0);
+  b2_ = 0.0;
+  // He initialisation for the ReLU layer, Glorot-ish for the head.
+  const double s1 = std::sqrt(2.0 / static_cast<double>(d));
+  for (double& w : w1_) w = rng.normal(0.0, s1);
+  const double s2 = std::sqrt(1.0 / static_cast<double>(h));
+  for (double& w : w2_) w = rng.normal(0.0, s2);
+
+  AdamState a_w1(w1_.size());
+  AdamState a_b1(b1_.size());
+  AdamState a_w2(w2_.size());
+  AdamState a_b2(1);
+
+  std::vector<double> g_w1(w1_.size());
+  std::vector<double> g_b1(b1_.size());
+  std::vector<double> g_w2(w2_.size());
+  std::vector<double> g_b2(1);
+  std::vector<double> hidden_act(h);
+
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  loss_history_.clear();
+  loss_history_.reserve(static_cast<std::size_t>(opts.epochs));
+  long adam_t = 0;
+
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(opts.batch_size)) {
+      const std::size_t end = std::min(
+          order.size(), start + static_cast<std::size_t>(opts.batch_size));
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      std::fill(g_w1.begin(), g_w1.end(), 0.0);
+      std::fill(g_b1.begin(), g_b1.end(), 0.0);
+      std::fill(g_w2.begin(), g_w2.end(), 0.0);
+      g_b2[0] = 0.0;
+
+      for (std::size_t k = start; k < end; ++k) {
+        const std::vector<double>& row = xs[order[k]];
+        const double target = y[order[k]];
+        const double pred = forward(row, &hidden_act);
+        const double err = pred - target;
+        epoch_loss += err * err;
+
+        // Backprop: dL/dpred = 2*err (MSE), scaled into the batch mean.
+        const double dp = 2.0 * err * inv_batch;
+        g_b2[0] += dp;
+        for (std::size_t j = 0; j < h; ++j) {
+          g_w2[j] += dp * hidden_act[j];
+          if (hidden_act[j] > 0.0) {
+            const double dh = dp * w2_[j];
+            g_b1[j] += dh;
+            for (std::size_t i = 0; i < d; ++i) {
+              g_w1[j * d + i] += dh * row[i];
+            }
+          }
+        }
+      }
+
+      ++adam_t;
+      const double bc1 = 1.0 - std::pow(opts.adam_beta1, adam_t);
+      const double bc2 = 1.0 - std::pow(opts.adam_beta2, adam_t);
+      a_w1.step(w1_, g_w1, opts.learning_rate, opts.adam_beta1,
+                opts.adam_beta2, opts.adam_eps, bc1, bc2);
+      a_b1.step(b1_, g_b1, opts.learning_rate, opts.adam_beta1,
+                opts.adam_beta2, opts.adam_eps, bc1, bc2);
+      a_w2.step(w2_, g_w2, opts.learning_rate, opts.adam_beta1,
+                opts.adam_beta2, opts.adam_eps, bc1, bc2);
+      std::vector<double> b2v{b2_};
+      a_b2.step(b2v, g_b2, opts.learning_rate, opts.adam_beta1,
+                opts.adam_beta2, opts.adam_eps, bc1, bc2);
+      b2_ = b2v[0];
+    }
+    loss_history_.push_back(epoch_loss / static_cast<double>(xs.size()));
+  }
+}
+
+double Mlp::forward(const std::vector<double>& scaled,
+                    std::vector<double>* hidden_out) const {
+  const std::size_t h = static_cast<std::size_t>(hidden_);
+  const std::size_t d = static_cast<std::size_t>(in_dim_);
+  double out = b2_;
+  for (std::size_t j = 0; j < h; ++j) {
+    double act = b1_[j];
+    for (std::size_t i = 0; i < d; ++i) act += w1_[j * d + i] * scaled[i];
+    act = std::max(act, 0.0);  // ReLU
+    if (hidden_out != nullptr) (*hidden_out)[j] = act;
+    out += w2_[j] * act;
+  }
+  return out;
+}
+
+double Mlp::predict(const std::vector<double>& row) const {
+  MF_CHECK(in_dim_ > 0);
+  return forward(scaler_.transform(row), nullptr);
+}
+
+std::vector<double> Mlp::predict(
+    const std::vector<std::vector<double>>& x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(predict(row));
+  return out;
+}
+
+}  // namespace mf

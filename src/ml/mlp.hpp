@@ -1,0 +1,53 @@
+#pragma once
+// Shallow feed-forward regressor matching Section VI-B: one fully connected
+// hidden layer (25 neurons, ReLU), trained with Adam on the MSE between
+// predicted and actual minimal CF. Inputs are standardised internally;
+// dropout was evaluated by the paper and dropped, so it is not implemented.
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/scaler.hpp"
+
+namespace mf {
+
+struct MlpOptions {
+  int hidden = 25;
+  int epochs = 400;
+  int batch_size = 32;
+  double learning_rate = 1e-3;
+  double adam_beta1 = 0.9;
+  double adam_beta2 = 0.999;
+  double adam_eps = 1e-8;
+  std::uint64_t seed = 11;
+};
+
+class Mlp {
+ public:
+  /// Trains and records the per-epoch training MSE (retrievable afterwards).
+  void fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y, const MlpOptions& opts = {});
+
+  [[nodiscard]] double predict(const std::vector<double>& row) const;
+  [[nodiscard]] std::vector<double> predict(
+      const std::vector<std::vector<double>>& x) const;
+
+  [[nodiscard]] const std::vector<double>& training_loss() const noexcept {
+    return loss_history_;
+  }
+
+ private:
+  [[nodiscard]] double forward(const std::vector<double>& scaled,
+                               std::vector<double>* hidden_out) const;
+
+  int in_dim_ = 0;
+  int hidden_ = 0;
+  StandardScaler scaler_;
+  std::vector<double> w1_;  ///< [hidden x in]
+  std::vector<double> b1_;  ///< [hidden]
+  std::vector<double> w2_;  ///< [hidden]
+  double b2_ = 0.0;
+  std::vector<double> loss_history_;
+};
+
+}  // namespace mf

@@ -1,0 +1,57 @@
+#include "ml/rforest.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mf {
+
+void RandomForest::fit(const std::vector<std::vector<double>>& x,
+                       const std::vector<double>& y,
+                       const RForestOptions& opts) {
+  MF_CHECK(!x.empty() && x.size() == y.size());
+  MF_CHECK(opts.trees > 0);
+  const std::size_t n = x.size();
+  const std::size_t dim = x.front().size();
+
+  DTreeOptions tree_opts;
+  tree_opts.max_depth = opts.max_depth;
+  tree_opts.min_samples_leaf = opts.min_samples_leaf;
+  tree_opts.mtry = opts.mtry > 0
+                       ? opts.mtry
+                       : std::max(1, static_cast<int>(dim) / 3);
+
+  Rng rng(opts.seed);
+  trees_.assign(static_cast<std::size_t>(opts.trees), DecisionTree{});
+  importance_.assign(dim, 0.0);
+
+  std::vector<std::size_t> bootstrap(n);
+  for (DecisionTree& tree : trees_) {
+    for (std::size_t i = 0; i < n; ++i) bootstrap[i] = rng.index(n);
+    tree.fit(x, y, tree_opts, rng, &bootstrap);
+    const std::vector<double>& imp = tree.feature_importance();
+    for (std::size_t j = 0; j < dim; ++j) importance_[j] += imp[j];
+  }
+  double total = 0.0;
+  for (double v : importance_) total += v;
+  if (total > 0.0) {
+    for (double& v : importance_) v /= total;
+  }
+}
+
+double RandomForest::predict(const std::vector<double>& row) const {
+  MF_CHECK(!trees_.empty());
+  double sum = 0.0;
+  for (const DecisionTree& tree : trees_) sum += tree.predict(row);
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::predict(
+    const std::vector<std::vector<double>>& x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(predict(row));
+  return out;
+}
+
+}  // namespace mf

@@ -1,0 +1,49 @@
+#include "ml/scaler.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mf {
+
+void StandardScaler::fit(const std::vector<std::vector<double>>& x) {
+  MF_CHECK(!x.empty());
+  const std::size_t dim = x.front().size();
+  mean_.assign(dim, 0.0);
+  stddev_.assign(dim, 0.0);
+  for (const auto& row : x) {
+    MF_CHECK(row.size() == dim);
+    for (std::size_t j = 0; j < dim; ++j) mean_[j] += row[j];
+  }
+  for (double& m : mean_) m /= static_cast<double>(x.size());
+  for (const auto& row : x) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double d = row[j] - mean_[j];
+      stddev_[j] += d * d;
+    }
+  }
+  for (double& s : stddev_) {
+    s = std::sqrt(s / static_cast<double>(x.size()));
+    if (s < 1e-12) s = 1.0;  // constant feature: pass through centred
+  }
+}
+
+std::vector<double> StandardScaler::transform(
+    const std::vector<double>& row) const {
+  MF_CHECK(row.size() == mean_.size());
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    out[j] = (row[j] - mean_[j]) / stddev_[j];
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> StandardScaler::transform(
+    const std::vector<std::vector<double>>& x) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(transform(row));
+  return out;
+}
+
+}  // namespace mf

@@ -1,0 +1,30 @@
+#pragma once
+// Per-feature standardisation (zero mean, unit variance) for the models that
+// need it (linear regression conditioning, MLP training).
+
+#include <vector>
+
+namespace mf {
+
+class StandardScaler {
+ public:
+  void fit(const std::vector<std::vector<double>>& x);
+
+  [[nodiscard]] std::vector<double> transform(
+      const std::vector<double>& row) const;
+  [[nodiscard]] std::vector<std::vector<double>> transform(
+      const std::vector<std::vector<double>>& x) const;
+
+  [[nodiscard]] const std::vector<double>& mean() const noexcept {
+    return mean_;
+  }
+  [[nodiscard]] const std::vector<double>& stddev() const noexcept {
+    return stddev_;
+  }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace mf

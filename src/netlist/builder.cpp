@@ -1,0 +1,200 @@
+#include "netlist/builder.hpp"
+
+#include <algorithm>
+
+namespace mf {
+
+NetId NetlistBuilder::clock() {
+  if (clock_ == kInvalidId) clock_ = nl_.add_net("clk", /*is_clock=*/true);
+  return clock_;
+}
+
+NetId NetlistBuilder::input(std::string label) {
+  return nl_.add_net(std::move(label));
+}
+
+std::vector<NetId> NetlistBuilder::input_bus(int width,
+                                             const std::string& label) {
+  MF_CHECK(width > 0);
+  std::vector<NetId> bus(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    bus[static_cast<std::size_t>(i)] =
+        input(label.empty() ? std::string()
+                            : label + "[" + std::to_string(i) + "]");
+  }
+  return bus;
+}
+
+ControlSetId NetlistBuilder::control_set(NetId sr, NetId ce) {
+  return nl_.make_control_set(clock(), sr, ce);
+}
+
+NetId NetlistBuilder::lut(std::span<const NetId> inputs) {
+  MF_CHECK(!inputs.empty() && inputs.size() <= 6);
+  const CellId cell = nl_.add_cell(CellKind::Lut);
+  for (NetId n : inputs) nl_.connect_input(cell, n);
+  const NetId out = nl_.add_net();
+  nl_.set_output(cell, out);
+  return out;
+}
+
+NetId NetlistBuilder::lut(std::initializer_list<NetId> inputs) {
+  return lut(std::span<const NetId>(inputs.begin(), inputs.size()));
+}
+
+NetId NetlistBuilder::ff(NetId d, ControlSetId cs) {
+  const CellId cell = nl_.add_cell(CellKind::Ff);
+  nl_.connect_input(cell, d);
+  nl_.bind_control_set(cell, cs);
+  const NetId q = nl_.add_net();
+  nl_.set_output(cell, q);
+  return q;
+}
+
+NetId NetlistBuilder::srl(NetId d, ControlSetId cs) {
+  const CellId cell = nl_.add_cell(CellKind::Srl);
+  nl_.connect_input(cell, d);
+  nl_.bind_control_set(cell, cs);
+  const NetId q = nl_.add_net();
+  nl_.set_output(cell, q);
+  return q;
+}
+
+NetId NetlistBuilder::lutram(std::span<const NetId> addr, NetId din,
+                             ControlSetId cs) {
+  const CellId cell = nl_.add_cell(CellKind::LutRam);
+  for (NetId n : addr) nl_.connect_input(cell, n);
+  nl_.connect_input(cell, din);
+  nl_.bind_control_set(cell, cs);
+  const NetId q = nl_.add_net();
+  nl_.set_output(cell, q);
+  return q;
+}
+
+NetId NetlistBuilder::bram18(std::span<const NetId> addr,
+                             std::span<const NetId> din) {
+  const CellId cell = nl_.add_cell(CellKind::Bram18);
+  for (NetId n : addr) nl_.connect_input(cell, n);
+  for (NetId n : din) nl_.connect_input(cell, n);
+  const NetId q = nl_.add_net();
+  nl_.set_output(cell, q);
+  return q;
+}
+
+NetId NetlistBuilder::bram36(std::span<const NetId> addr,
+                             std::span<const NetId> din) {
+  const CellId cell = nl_.add_cell(CellKind::Bram36);
+  for (NetId n : addr) nl_.connect_input(cell, n);
+  for (NetId n : din) nl_.connect_input(cell, n);
+  const NetId q = nl_.add_net();
+  nl_.set_output(cell, q);
+  return q;
+}
+
+NetId NetlistBuilder::dsp48(std::span<const NetId> a,
+                            std::span<const NetId> b) {
+  const CellId cell = nl_.add_cell(CellKind::Dsp48);
+  for (NetId n : a) nl_.connect_input(cell, n);
+  for (NetId n : b) nl_.connect_input(cell, n);
+  const NetId p = nl_.add_net();
+  nl_.set_output(cell, p);
+  return p;
+}
+
+std::vector<NetId> NetlistBuilder::adder(std::span<const NetId> a,
+                                         std::span<const NetId> b) {
+  MF_CHECK(!a.empty() && a.size() == b.size());
+  const int width = static_cast<int>(a.size());
+
+  // One propagate/generate LUT per bit.
+  std::vector<NetId> prop(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    prop[static_cast<std::size_t>(i)] =
+        lut({a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]});
+  }
+
+  // Chained CARRY4 segments, 4 bits each. The segment's output net stands in
+  // for the carry-out; the sum bits are read from the propagate LUTs.
+  const int chain = next_chain_id();
+  NetId carry_in = kInvalidId;
+  const int segments = (width + 3) / 4;
+  for (int s = 0; s < segments; ++s) {
+    const CellId cell = nl_.add_cell(CellKind::Carry4);
+    nl_.set_chain(cell, chain, s);
+    if (carry_in != kInvalidId) nl_.connect_input(cell, carry_in);
+    for (int bit = 4 * s; bit < std::min(width, 4 * s + 4); ++bit) {
+      nl_.connect_input(cell, prop[static_cast<std::size_t>(bit)]);
+    }
+    const NetId carry_out = nl_.add_net();
+    nl_.set_output(cell, carry_out);
+    carry_in = carry_out;
+  }
+  return prop;
+}
+
+std::vector<NetId> NetlistBuilder::register_bus(std::span<const NetId> bus,
+                                                ControlSetId cs) {
+  std::vector<NetId> q;
+  q.reserve(bus.size());
+  for (NetId n : bus) q.push_back(ff(n, cs));
+  return q;
+}
+
+NetId NetlistBuilder::reduce(std::span<const NetId> inputs, int arity) {
+  MF_CHECK(!inputs.empty());
+  MF_CHECK(arity >= 2 && arity <= 6);
+  std::vector<NetId> level(inputs.begin(), inputs.end());
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    next.reserve(level.size() / static_cast<std::size_t>(arity) + 1);
+    for (std::size_t i = 0; i < level.size();
+         i += static_cast<std::size_t>(arity)) {
+      const std::size_t n =
+          std::min(level.size() - i, static_cast<std::size_t>(arity));
+      if (n == 1) {
+        next.push_back(level[i]);
+      } else {
+        next.push_back(lut(std::span<const NetId>(level.data() + i, n)));
+      }
+    }
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+std::vector<NetId> NetlistBuilder::lut_layer(std::span<const NetId> inputs,
+                                             int count, int arity) {
+  MF_CHECK(!inputs.empty() && count > 0);
+  MF_CHECK(arity >= 1 && arity <= 6);
+  std::vector<NetId> outs(static_cast<std::size_t>(count));
+  // Each LUT samples the input bus with its own (offset, stride) pair so
+  // the input combinations are combinatorially distinct -- otherwise the
+  // optimiser's duplicate merge (correctly) collapses the layer.
+  const std::size_t n = inputs.size();
+  for (int i = 0; i < count; ++i) {
+    const std::size_t offset = (static_cast<std::size_t>(i) * 7) % n;
+    const std::size_t stride =
+        n > 1 ? 1 + (static_cast<std::size_t>(i) / n) % (n - 1) : 1;
+    std::vector<NetId> picks(static_cast<std::size_t>(arity));
+    for (int k = 0; k < arity; ++k) {
+      picks[static_cast<std::size_t>(k)] =
+          inputs[(offset + static_cast<std::size_t>(k) * stride) % n];
+    }
+    outs[static_cast<std::size_t>(i)] = lut(picks);
+  }
+  return outs;
+}
+
+std::vector<NetId> NetlistBuilder::ff_chain(NetId d, int depth,
+                                            ControlSetId cs) {
+  MF_CHECK(depth > 0);
+  std::vector<NetId> taps(static_cast<std::size_t>(depth));
+  NetId cur = d;
+  for (int i = 0; i < depth; ++i) {
+    cur = ff(cur, cs);
+    taps[static_cast<std::size_t>(i)] = cur;
+  }
+  return taps;
+}
+
+}  // namespace mf

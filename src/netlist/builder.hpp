@@ -1,0 +1,90 @@
+#pragma once
+// Structural netlist construction helpers.
+//
+// The RTL generators (src/rtlgen) describe hardware in terms of buses,
+// adders, shift registers and memories; this builder lowers those idioms to
+// mapped cells with real connectivity so that fanout, control sets and carry
+// chains -- the features the paper's estimator learns from -- are genuine
+// properties of the produced netlist, not synthetic annotations.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace mf {
+
+class NetlistBuilder {
+ public:
+  explicit NetlistBuilder(Netlist& netlist) : nl_(netlist) {}
+
+  /// The module clock (one per module; created on first use).
+  NetId clock();
+
+  /// Fresh primary-input net.
+  NetId input(std::string label = {});
+
+  /// Fresh primary-input bus of `width` nets.
+  std::vector<NetId> input_bus(int width, const std::string& label = {});
+
+  /// Control set over the module clock. Pass kInvalidId for "no reset" /
+  /// "always enabled".
+  ControlSetId control_set(NetId sr = kInvalidId, NetId ce = kInvalidId);
+
+  // -- primitives -----------------------------------------------------------
+
+  /// k-input LUT (1 <= k <= 6); returns its output net.
+  NetId lut(std::span<const NetId> inputs);
+  NetId lut(std::initializer_list<NetId> inputs);
+
+  /// D flip-flop; returns Q.
+  NetId ff(NetId d, ControlSetId cs);
+
+  /// SRL shift register cell (one M-slice LUT site regardless of depth up to
+  /// 32, as on silicon); returns the serial output.
+  NetId srl(NetId d, ControlSetId cs);
+
+  /// Distributed-RAM cell: one M-slice LUT site, `addr` address lines and a
+  /// write data line; returns the read port net.
+  NetId lutram(std::span<const NetId> addr, NetId din, ControlSetId cs);
+
+  /// RAMB18 / RAMB36 with an address bus; returns the read-data bus of
+  /// `data_width` nets (all driven by the single BRAM cell's output net --
+  /// we model one output net with external fanout instead).
+  NetId bram18(std::span<const NetId> addr, std::span<const NetId> din);
+  NetId bram36(std::span<const NetId> addr, std::span<const NetId> din);
+
+  /// DSP48 multiply-accumulate; returns the product net.
+  NetId dsp48(std::span<const NetId> a, std::span<const NetId> b);
+
+  // -- composites -----------------------------------------------------------
+
+  /// Ripple-carry adder over two `width`-bit buses: `width` propagate LUTs
+  /// feeding ceil(width/4) chained CARRY4 cells. Returns the sum bus.
+  std::vector<NetId> adder(std::span<const NetId> a, std::span<const NetId> b);
+
+  /// Register every net of `bus`; returns the Q bus.
+  std::vector<NetId> register_bus(std::span<const NetId> bus, ControlSetId cs);
+
+  /// LUT reduction tree (arity <= 6) down to a single net.
+  NetId reduce(std::span<const NetId> inputs, int arity = 6);
+
+  /// One layer of `count` LUTs, each sampling `arity` nets round-robin from
+  /// `inputs`; returns the layer's output bus.
+  std::vector<NetId> lut_layer(std::span<const NetId> inputs, int count,
+                               int arity = 4);
+
+  /// Serial shift register of `depth` FFs; returns all taps (Q nets).
+  std::vector<NetId> ff_chain(NetId d, int depth, ControlSetId cs);
+
+  [[nodiscard]] Netlist& netlist() noexcept { return nl_; }
+  [[nodiscard]] int next_chain_id() noexcept { return chain_counter_++; }
+
+ private:
+  Netlist& nl_;
+  NetId clock_ = kInvalidId;
+  int chain_counter_ = 0;
+};
+
+}  // namespace mf

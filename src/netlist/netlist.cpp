@@ -1,0 +1,147 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+namespace mf {
+
+const char* to_string(CellKind kind) noexcept {
+  switch (kind) {
+    case CellKind::Lut:
+      return "LUT";
+    case CellKind::Ff:
+      return "FF";
+    case CellKind::Carry4:
+      return "CARRY4";
+    case CellKind::Srl:
+      return "SRL";
+    case CellKind::LutRam:
+      return "LUTRAM";
+    case CellKind::Bram18:
+      return "RAMB18";
+    case CellKind::Bram36:
+      return "RAMB36";
+    case CellKind::Dsp48:
+      return "DSP48";
+  }
+  return "?";
+}
+
+NetId Netlist::add_net(std::string label, bool is_clock) {
+  Net net;
+  net.label = std::move(label);
+  net.is_clock = is_clock;
+  nets_.push_back(std::move(net));
+  return static_cast<NetId>(nets_.size() - 1);
+}
+
+CellId Netlist::add_cell(CellKind kind) {
+  Cell cell;
+  cell.kind = kind;
+  cells_.push_back(std::move(cell));
+  return static_cast<CellId>(cells_.size() - 1);
+}
+
+void Netlist::connect_input(CellId cell, NetId net) {
+  MF_CHECK(cell >= 0 && static_cast<std::size_t>(cell) < cells_.size());
+  MF_CHECK(net >= 0 && static_cast<std::size_t>(net) < nets_.size());
+  cells_[static_cast<std::size_t>(cell)].inputs.push_back(net);
+  nets_[static_cast<std::size_t>(net)].sinks.push_back(cell);
+}
+
+void Netlist::set_output(CellId cell, NetId net) {
+  MF_CHECK(cell >= 0 && static_cast<std::size_t>(cell) < cells_.size());
+  MF_CHECK(net >= 0 && static_cast<std::size_t>(net) < nets_.size());
+  MF_CHECK_MSG(nets_[static_cast<std::size_t>(net)].driver == kInvalidId,
+               "net already driven");
+  cells_[static_cast<std::size_t>(cell)].out = net;
+  nets_[static_cast<std::size_t>(net)].driver = cell;
+}
+
+void Netlist::rewire_input(CellId cell, std::size_t index, NetId net) {
+  MF_CHECK(cell >= 0 && static_cast<std::size_t>(cell) < cells_.size());
+  MF_CHECK(net >= 0 && static_cast<std::size_t>(net) < nets_.size());
+  Cell& c = cells_[static_cast<std::size_t>(cell)];
+  MF_CHECK(index < c.inputs.size());
+  const NetId old = c.inputs[index];
+  if (old == net) return;
+  auto& old_sinks = nets_[static_cast<std::size_t>(old)].sinks;
+  const auto it = std::find(old_sinks.begin(), old_sinks.end(), cell);
+  MF_CHECK(it != old_sinks.end());
+  old_sinks.erase(it);
+  c.inputs[index] = net;
+  nets_[static_cast<std::size_t>(net)].sinks.push_back(cell);
+}
+
+ControlSetId Netlist::make_control_set(NetId clk, NetId sr, NetId ce) {
+  const ControlSet cs{clk, sr, ce};
+  const auto it = std::find(control_sets_.begin(), control_sets_.end(), cs);
+  if (it != control_sets_.end()) {
+    return static_cast<ControlSetId>(it - control_sets_.begin());
+  }
+  control_sets_.push_back(cs);
+  return static_cast<ControlSetId>(control_sets_.size() - 1);
+}
+
+void Netlist::bind_control_set(CellId cell, ControlSetId cs) {
+  MF_CHECK(cell >= 0 && static_cast<std::size_t>(cell) < cells_.size());
+  MF_CHECK(cs >= 0 && static_cast<std::size_t>(cs) < control_sets_.size());
+  Cell& c = cells_[static_cast<std::size_t>(cell)];
+  MF_CHECK_MSG(c.kind == CellKind::Ff || c.kind == CellKind::Srl ||
+                   c.kind == CellKind::LutRam,
+               "only sequential cells take control sets");
+  c.control_set = cs;
+  const ControlSet& set = control_sets_[static_cast<std::size_t>(cs)];
+  for (NetId n : {set.clk, set.sr, set.ce}) {
+    if (n != kInvalidId) ++nets_[static_cast<std::size_t>(n)].control_loads;
+  }
+}
+
+void Netlist::set_chain(CellId cell, std::int32_t chain, std::int32_t pos) {
+  MF_CHECK(cell >= 0 && static_cast<std::size_t>(cell) < cells_.size());
+  Cell& c = cells_[static_cast<std::size_t>(cell)];
+  MF_CHECK_MSG(c.kind == CellKind::Carry4, "only CARRY4 cells chain");
+  c.chain = chain;
+  c.chain_pos = pos;
+}
+
+void Netlist::mark_output(NetId net) {
+  MF_CHECK(net >= 0 && static_cast<std::size_t>(net) < nets_.size());
+  if (!is_output(net)) outputs_.push_back(net);
+}
+
+bool Netlist::is_output(NetId net) const {
+  return std::find(outputs_.begin(), outputs_.end(), net) != outputs_.end();
+}
+
+std::size_t Netlist::remove_cells(const std::vector<bool>& dead) {
+  MF_CHECK(dead.size() == cells_.size());
+  std::vector<CellId> remap(cells_.size(), kInvalidId);
+  std::vector<Cell> kept;
+  kept.reserve(cells_.size());
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (dead[i]) {
+      ++removed;
+      continue;
+    }
+    remap[i] = static_cast<CellId>(kept.size());
+    kept.push_back(std::move(cells_[i]));
+  }
+  cells_ = std::move(kept);
+
+  for (Net& net : nets_) {
+    if (net.driver != kInvalidId) {
+      net.driver = remap[static_cast<std::size_t>(net.driver)];
+    }
+    std::vector<CellId> sinks;
+    sinks.reserve(net.sinks.size());
+    for (CellId s : net.sinks) {
+      const CellId m = remap[static_cast<std::size_t>(s)];
+      if (m != kInvalidId) sinks.push_back(m);
+    }
+    net.sinks = std::move(sinks);
+  }
+  return removed;
+}
+
+}  // namespace mf

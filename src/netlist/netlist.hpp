@@ -1,0 +1,141 @@
+#pragma once
+// Technology-mapped netlist representation.
+//
+// The paper's estimator consumes *post-synthesis* artefacts: LUT/FF/carry/
+// SRL/LUTRAM/BRAM/DSP counts, control sets, and net fanout. We therefore
+// model netlists directly at the mapped-cell level -- the RTL generators in
+// src/rtlgen emit these cells, standing in for Vivado synthesis output.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mf {
+
+using CellId = std::int32_t;
+using NetId = std::int32_t;
+using ControlSetId = std::int32_t;
+inline constexpr std::int32_t kInvalidId = -1;
+
+/// Mapped primitive kinds (7-series library subset).
+enum class CellKind : std::uint8_t {
+  Lut,     ///< LUT1..LUT6 (distinguished by input count)
+  Ff,      ///< FDRE/FDSE/FDCE/FDPE -- control-set bound
+  Carry4,  ///< one CARRY4 segment; chains occupy vertical slice runs
+  Srl,     ///< SRL16/SRL32 shift register (M-slice LUT site)
+  LutRam,  ///< distributed RAM (M-slice LUT site)
+  Bram18,  ///< RAMB18 half-site
+  Bram36,  ///< RAMB36 full site
+  Dsp48,   ///< DSP48 slice
+};
+
+[[nodiscard]] const char* to_string(CellKind kind) noexcept;
+
+/// Control set: the (clock, set/reset, clock-enable) net triple that gates a
+/// sequential element. Two FFs with different control sets cannot share a
+/// slice FF half (Section V-B of the paper).
+struct ControlSet {
+  NetId clk = kInvalidId;
+  NetId sr = kInvalidId;
+  NetId ce = kInvalidId;
+  friend bool operator==(const ControlSet&, const ControlSet&) = default;
+};
+
+struct Cell {
+  CellKind kind = CellKind::Lut;
+  ControlSetId control_set = kInvalidId;  ///< Ff / Srl / LutRam only
+  std::int32_t chain = kInvalidId;        ///< carry-chain id (Carry4 only)
+  std::int32_t chain_pos = 0;             ///< position within the chain
+  NetId out = kInvalidId;                 ///< driven net (may be invalid)
+  std::vector<NetId> inputs;              ///< data inputs (not control nets)
+};
+
+struct Net {
+  std::string label;            ///< optional; empty for anonymous nets
+  CellId driver = kInvalidId;   ///< kInvalidId => primary input / constant
+  std::vector<CellId> sinks;    ///< cells reading this net (data pins)
+  std::int32_t control_loads = 0;  ///< extra loads via control-set pins
+  bool is_clock = false;
+
+  /// Total electrical fanout, control pins included. The paper explicitly
+  /// calls out FF resets and other high-fanout control signals (Section II).
+  [[nodiscard]] int fanout() const noexcept {
+    return static_cast<int>(sinks.size()) + control_loads;
+  }
+};
+
+/// Growable netlist container with interned control sets.
+class Netlist {
+ public:
+  // -- construction --------------------------------------------------------
+  NetId add_net(std::string label = {}, bool is_clock = false);
+  CellId add_cell(CellKind kind);
+
+  /// Connect `net` to a data input of `cell`.
+  void connect_input(CellId cell, NetId net);
+  /// Make `cell` the driver of `net`.
+  void set_output(CellId cell, NetId net);
+
+  /// Re-point data input `index` of `cell` to `net`, fixing up sink lists.
+  void rewire_input(CellId cell, std::size_t index, NetId net);
+
+  /// Intern a control set and bind it to a sequential cell. Control nets
+  /// accrue `control_loads` so their fanout is observable.
+  ControlSetId make_control_set(NetId clk, NetId sr, NetId ce);
+  void bind_control_set(CellId cell, ControlSetId cs);
+
+  /// Assign a Carry4 cell to chain `chain` at position `pos`.
+  void set_chain(CellId cell, std::int32_t chain, std::int32_t pos);
+
+  /// Mark `net` as a module output port. The optimiser keeps logic reachable
+  /// from output ports and sweeps the rest.
+  void mark_output(NetId net);
+  [[nodiscard]] bool is_output(NetId net) const;
+  [[nodiscard]] const std::vector<NetId>& outputs() const noexcept {
+    return outputs_;
+  }
+
+  // -- access ---------------------------------------------------------------
+  [[nodiscard]] std::size_t num_cells() const noexcept { return cells_.size(); }
+  [[nodiscard]] std::size_t num_nets() const noexcept { return nets_.size(); }
+  [[nodiscard]] std::size_t num_control_sets() const noexcept {
+    return control_sets_.size();
+  }
+  [[nodiscard]] const Cell& cell(CellId id) const {
+    MF_CHECK(id >= 0 && static_cast<std::size_t>(id) < cells_.size());
+    return cells_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const Net& net(NetId id) const {
+    MF_CHECK(id >= 0 && static_cast<std::size_t>(id) < nets_.size());
+    return nets_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const ControlSet& control_set(ControlSetId id) const {
+    MF_CHECK(id >= 0 && static_cast<std::size_t>(id) < control_sets_.size());
+    return control_sets_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const std::vector<Cell>& cells() const noexcept {
+    return cells_;
+  }
+  [[nodiscard]] const std::vector<Net>& nets() const noexcept { return nets_; }
+
+  /// Remove cells flagged dead by the optimiser; compacts ids. Returns the
+  /// number of removed cells. `dead` must have one flag per cell.
+  std::size_t remove_cells(const std::vector<bool>& dead);
+
+ private:
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+  std::vector<ControlSet> control_sets_;
+  std::vector<NetId> outputs_;
+};
+
+/// A named netlist plus provenance metadata -- the unit the flow implements.
+struct Module {
+  std::string name;
+  std::string params;  ///< generator parameter string (provenance)
+  Netlist netlist;
+};
+
+}  // namespace mf

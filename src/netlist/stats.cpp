@@ -1,0 +1,60 @@
+#include "netlist/stats.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mf {
+
+NetlistStats compute_stats(const Netlist& netlist) {
+  NetlistStats s;
+  s.cells = static_cast<int>(netlist.num_cells());
+
+  std::unordered_set<ControlSetId> used_sets;
+  std::unordered_map<std::int32_t, int> chain_len;
+
+  for (const Cell& cell : netlist.cells()) {
+    switch (cell.kind) {
+      case CellKind::Lut:
+        ++s.luts;
+        break;
+      case CellKind::Ff:
+        ++s.ffs;
+        break;
+      case CellKind::Carry4:
+        ++s.carry4;
+        if (cell.chain != kInvalidId) ++chain_len[cell.chain];
+        break;
+      case CellKind::Srl:
+        ++s.srls;
+        break;
+      case CellKind::LutRam:
+        ++s.lutrams;
+        break;
+      case CellKind::Bram18:
+        ++s.bram18;
+        break;
+      case CellKind::Bram36:
+        ++s.bram36;
+        break;
+      case CellKind::Dsp48:
+        ++s.dsp;
+        break;
+    }
+    if (cell.control_set != kInvalidId) used_sets.insert(cell.control_set);
+  }
+  s.control_sets = static_cast<int>(used_sets.size());
+
+  for (const Net& net : netlist.nets()) {
+    if (net.is_clock) continue;  // clocks ride dedicated global routing
+    s.max_fanout = std::max(s.max_fanout, net.fanout());
+  }
+
+  s.carry_chains.reserve(chain_len.size());
+  for (const auto& [chain, len] : chain_len) s.carry_chains.push_back(len);
+  std::sort(s.carry_chains.begin(), s.carry_chains.end(),
+            std::greater<int>());
+  return s;
+}
+
+}  // namespace mf

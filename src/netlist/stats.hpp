@@ -1,0 +1,43 @@
+#pragma once
+// Netlist statistics: the raw measurements the resource report and the
+// estimator features are derived from.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace mf {
+
+struct NetlistStats {
+  int luts = 0;
+  int ffs = 0;
+  int carry4 = 0;
+  int srls = 0;
+  int lutrams = 0;
+  int bram18 = 0;
+  int bram36 = 0;
+  int dsp = 0;
+  int cells = 0;
+  int control_sets = 0;  ///< distinct control sets bound to >=1 cell
+  int max_fanout = 0;    ///< over non-clock nets; control loads included
+  std::vector<int> carry_chains;  ///< per-chain length in CARRY4 cells
+
+  /// Cells occupying M-slice LUT sites.
+  [[nodiscard]] int m_lut_cells() const noexcept { return srls + lutrams; }
+
+  /// Longest carry chain in CARRY4 cells == minimum PBlock height in slices.
+  [[nodiscard]] int longest_chain() const noexcept {
+    int longest = 0;
+    for (int len : carry_chains) longest = std::max(longest, len);
+    return longest;
+  }
+
+  /// Total BRAM36-equivalents (two RAMB18 fit one RAMB36 site).
+  [[nodiscard]] int bram36_equiv() const noexcept {
+    return bram36 + (bram18 + 1) / 2;
+  }
+};
+
+NetlistStats compute_stats(const Netlist& netlist);
+
+}  // namespace mf

@@ -1,0 +1,39 @@
+#pragma once
+// Netlist and design exporters.
+//
+// A downstream user of a pre-implemented-block flow needs to move artefacts
+// into vendor tooling and documentation:
+//   * write_verilog  -- structural Verilog of a mapped module (generic
+//     primitive library: LUTk, FDRE, CARRY4, SRL, RAM64X1S, RAMB18/36,
+//     DSP48), round-trippable into synthesis for cross-checking;
+//   * write_dot      -- GraphViz view of a block design's instance graph
+//     (the Figure 2 diagram);
+//   * write_xdc      -- the PBlock floorplan as Vivado-style XDC commands
+//     (create_pblock / resize_pblock / add_cells_to_pblock), the exact
+//     artefact RapidWright-like flows feed the vendor tool.
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "stitch/macro.hpp"
+#include "stitch/sa_stitcher.hpp"
+
+namespace mf {
+
+/// Structural Verilog for one module. Net names are synthesised from labels
+/// where present (`n<id>` otherwise); cells become instantiations of a small
+/// generic primitive library.
+std::string write_verilog(const Module& module);
+
+/// GraphViz digraph of a block design: one node per instance (labelled with
+/// its unique block), one edge set per block net.
+std::string write_dot(const BlockDesign& design);
+
+/// Vivado-style XDC floorplan constraints for a set of placed macros.
+/// `positions` maps each StitchProblem instance to its anchor; unplaced
+/// instances are emitted as comments.
+std::string write_xdc(const StitchProblem& problem,
+                      const std::vector<BlockPlacement>& positions);
+
+}  // namespace mf

@@ -1,0 +1,292 @@
+#include "nn/cnv_w1a1.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "nn/finn_blocks.hpp"
+
+namespace mf {
+namespace {
+
+/// Incremental design assembly: tracks unique modules, instances and the
+/// dataflow nets between consecutive pipeline stages.
+class DesignBuilder {
+ public:
+  explicit DesignBuilder(std::uint64_t seed) : rng_(seed) {}
+
+  /// Register a unique module under `name`, instantiating it `count` times.
+  /// Returns the instance ids created.
+  template <typename Params, typename Gen>
+  std::vector<int> add(const std::string& name, int count,
+                       const Params& params, const Gen& gen) {
+    Rng module_rng = rng_.fork(static_cast<std::uint64_t>(
+        design_.unique_modules.size() + 1));
+    Module module = gen(params, module_rng);
+    module.name = name;
+    const int unique = static_cast<int>(design_.unique_modules.size());
+    design_.unique_modules.push_back(std::move(module));
+
+    std::vector<int> ids;
+    ids.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      const int inst = static_cast<int>(design_.instances.size());
+      design_.instances.push_back(
+          BlockInstance{name + "_i" + std::to_string(i), unique});
+      ids.push_back(inst);
+    }
+    return ids;
+  }
+
+  /// Connect a set of instances with one block-level net.
+  void net(std::vector<int> instances, double weight = 1.0) {
+    if (instances.size() < 2) return;
+    design_.nets.push_back(BlockNet{std::move(instances), weight});
+  }
+
+  CnvDesign take() { return std::move(design_); }
+
+ private:
+  CnvDesign design_;
+  Rng rng_;
+};
+
+/// Per-layer weight-block inventory: how many instances and how they fold
+/// onto unique configurations ({unique_count, duplicated} pairs; the
+/// duplicated uniques get two instances each).
+struct WeightsLayout {
+  int instances = 0;
+  int uniques = 0;
+  int bits = 4096;
+  int decode = 64;
+  bool bram = false;
+};
+
+}  // namespace
+
+CnvDesign build_cnv_w1a1(std::uint64_t seed) {
+  DesignBuilder b(seed);
+
+  // -- MVAU configurations ---------------------------------------------------
+  // Names follow the paper's exemplars: `mvau_18` is the four-instance FC
+  // MVAU of Table I (~31 slices); layers 1+2 share `mvau_2` (48 instances),
+  // layers 3+4 share `mvau_6` (20 instances).
+  const MvauParams mvau_a{34, 2, 16, 2};   // conv1/conv2
+  const MvauParams mvau_b{56, 2, 16, 2};   // conv3/conv4
+  const MvauParams mvau_c{53, 3, 16, 6};   // conv5/conv6 (deep folding)
+  const MvauParams mvau_d{70, 4, 16, 8};   // fc1 (deep folding)
+  const MvauParams mvau_e{44, 1, 16, 1};   // fc2 (mvau_18)
+  const MvauParams mvau_f{70, 2, 16, 2};   // fc3
+
+  // -- per-layer structural parameters ----------------------------------------
+  const SwuParams swu_l1{3, 32, 3, false};
+  const SwuParams swu_l2{64, 32, 3, false};
+  const SwuParams swu_l3{64, 16, 3, false};
+  const SwuParams swu_l4{128, 16, 3, false};
+  const SwuParams swu_l5{128, 8, 3, false};
+  const SwuParams swu_l6{256, 8, 3, false};
+
+  const ThresholdParams thr[9] = {
+      {6, 16},  {8, 16},  {10, 16}, {10, 16}, {12, 16},
+      {12, 16}, {14, 16}, {10, 16}, {6, 16},
+  };
+
+  const PoolParams pool1{64, 2};
+  const PoolParams pool2{128, 2};
+
+  // Weight storage per layer. Conv1/conv2 kernels live in BRAM (tiny slice
+  // footprint, hard-block-driven PBlocks -- the sub-0.7 CF bins of Fig. 4);
+  // the big FC matrix (weights_14) is the LUTRAM giant of Table I.
+  const WeightsLayout wl[9] = {
+      {4, 4, 2 * 18432, 24, true},    // L1
+      {6, 6, 2 * 18432, 24, true},    // L2
+      {6, 6, 4000, 130, false},       // L3
+      {7, 7, 4000, 130, false},       // L4
+      {8, 4, 4800, 155, false},       // L5 (4 uniques x 2 instances)
+      {9, 6, 4800, 155, false},       // L6 (3 x 2 + 3 x 1)
+      {9, 5, 5500, 180, false},     // L7 (4 x 2 + 1 x 1; + weights_14)
+      {7, 7, 4000, 140, false},       // L8
+      {5, 5, 3100, 115, false},       // L9
+  };
+  // weights_14: the fc1 weight matrix, 512x256 binary weights.
+  const WeightsParams weights_14{110080, 16, 2600, false};
+
+  // -- assemble ----------------------------------------------------------------
+  // MVAU uniques (shared across layers).
+  const std::vector<int> mvau_a_ids = b.add("mvau_2", 48, mvau_a, gen_mvau);
+  const std::vector<int> mvau_b_ids = b.add("mvau_6", 20, mvau_b, gen_mvau);
+  const std::vector<int> mvau_c_ids = b.add("mvau_10", 16, mvau_c, gen_mvau);
+  const std::vector<int> mvau_d_ids = b.add("mvau_14", 6, mvau_d, gen_mvau);
+  const std::vector<int> mvau_e_ids = b.add("mvau_18", 4, mvau_e, gen_mvau);
+  const std::vector<int> mvau_f_ids = b.add("mvau_22", 2, mvau_f, gen_mvau);
+
+  // Slice the shared MVAU instance pools per layer.
+  auto pool_slice = [](const std::vector<int>& ids, int from, int count) {
+    return std::vector<int>(ids.begin() + from, ids.begin() + from + count);
+  };
+  const std::vector<std::vector<int>> layer_mvaus = {
+      pool_slice(mvau_a_ids, 0, 24), pool_slice(mvau_a_ids, 24, 24),
+      pool_slice(mvau_b_ids, 0, 10), pool_slice(mvau_b_ids, 10, 10),
+      pool_slice(mvau_c_ids, 0, 8),  pool_slice(mvau_c_ids, 8, 8),
+      mvau_d_ids,                    mvau_e_ids,
+      mvau_f_ids};
+
+  // SWUs (conv layers only).
+  std::vector<std::vector<int>> layer_swus(9);
+  layer_swus[0] = b.add("swu_0", 1, swu_l1, gen_swu);
+  layer_swus[1] = b.add("swu_1", 1, swu_l2, gen_swu);
+  layer_swus[2] = b.add("swu_2", 1, swu_l3, gen_swu);
+  layer_swus[3] = b.add("swu_3", 1, swu_l4, gen_swu);
+  layer_swus[4] = b.add("swu_4", 1, swu_l5, gen_swu);
+  layer_swus[5] = b.add("swu_5", 1, swu_l6, gen_swu);
+
+  // Thresholding (activation) blocks, one per layer.
+  std::vector<std::vector<int>> layer_thr(9);
+  for (int layer = 0; layer < 9; ++layer) {
+    layer_thr[static_cast<std::size_t>(layer)] =
+        b.add("thres_" + std::to_string(layer), 1,
+              thr[static_cast<std::size_t>(layer)], gen_threshold);
+  }
+
+  // Max pools after layers 2 and 4 (0-indexed: after layer index 1 and 3).
+  const std::vector<int> pool1_ids = b.add("pool_0", 1, pool1, gen_pool);
+  const std::vector<int> pool2_ids = b.add("pool_1", 1, pool2, gen_pool);
+
+  // Weight blocks. Unique names are numbered in creation order, except that
+  // the fc1 giant takes the paper's name `weights_14`.
+  std::vector<std::vector<int>> layer_weights(9);
+  int weights_counter = 0;
+  auto next_weights_name = [&] {
+    // Skip 14: that name is reserved for the fc1 block.
+    if (weights_counter == 14) ++weights_counter;
+    return "weights_" + std::to_string(weights_counter++);
+  };
+  for (int layer = 0; layer < 9; ++layer) {
+    const WeightsLayout& layout = wl[static_cast<std::size_t>(layer)];
+    WeightsParams params;
+    params.total_bits = layout.bits;
+    params.decode_luts = layout.decode;
+    params.use_bram = layout.bram;
+    params.readers = 4;
+
+    const int duplicated = layout.instances - layout.uniques;
+    MF_CHECK(duplicated >= 0 && duplicated <= layout.uniques);
+    std::vector<int>& ids = layer_weights[static_cast<std::size_t>(layer)];
+    for (int u = 0; u < layout.uniques; ++u) {
+      // Vary sizes slightly so uniques inside a layer differ (they hold
+      // different weight sub-matrices but similar structure).
+      WeightsParams p = params;
+      p.total_bits += 256 * u;
+      p.decode_luts += 4 * u;
+      const int count = u < duplicated ? 2 : 1;
+      const std::vector<int> made = b.add(next_weights_name(), count, p,
+                                          gen_weights);
+      ids.insert(ids.end(), made.begin(), made.end());
+    }
+    if (layer == 6) {
+      // fc1: add the giant block as one more unique with one instance.
+      const std::vector<int> made =
+          b.add("weights_14", 1, weights_14, gen_weights);
+      ids.insert(ids.end(), made.begin(), made.end());
+    }
+  }
+
+  // -- connectivity -------------------------------------------------------------
+  // Dataflow: [swu ->] mvaus -> threshold -> (pool ->) next stage.
+  std::vector<int> previous_stage;  // instances driving the current layer
+  for (int layer = 0; layer < 9; ++layer) {
+    const auto& mvaus = layer_mvaus[static_cast<std::size_t>(layer)];
+    const auto& thresh = layer_thr[static_cast<std::size_t>(layer)];
+    const auto& weights = layer_weights[static_cast<std::size_t>(layer)];
+    const auto& swus = layer_swus[static_cast<std::size_t>(layer)];
+
+    std::vector<int> feed = previous_stage;
+    if (!swus.empty()) {
+      // previous stage -> SWU, SWU -> MVAUs.
+      if (!feed.empty()) {
+        std::vector<int> link = feed;
+        link.push_back(swus.front());
+        b.net(std::move(link));
+      }
+      feed = swus;
+    }
+    // Activation broadcast: feeder(s) + every MVAU of the layer.
+    {
+      std::vector<int> link = feed;
+      link.insert(link.end(), mvaus.begin(), mvaus.end());
+      b.net(std::move(link), 2.0);
+    }
+    // Weights feed: distribute weight blocks round-robin over the MVAUs.
+    for (std::size_t wi = 0; wi < weights.size(); ++wi) {
+      b.net({weights[wi], mvaus[wi % mvaus.size()]});
+    }
+    // MVAUs -> threshold.
+    {
+      std::vector<int> link = mvaus;
+      link.push_back(thresh.front());
+      b.net(std::move(link), 2.0);
+    }
+    previous_stage = thresh;
+    if (layer == 1) {
+      b.net({thresh.front(), pool1_ids.front()});
+      previous_stage = pool1_ids;
+    } else if (layer == 3) {
+      b.net({thresh.front(), pool2_ids.front()});
+      previous_stage = pool2_ids;
+    }
+  }
+
+  CnvDesign design = b.take();
+  MF_CHECK(static_cast<int>(design.instances.size()) == kCnvTotalInstances);
+  MF_CHECK(static_cast<int>(design.unique_modules.size()) == kCnvUniqueBlocks);
+  return design;
+}
+
+BlockDesign build_tfc_w1a1(std::uint64_t seed) {
+  DesignBuilder b(seed);
+
+  // Four FC layers (784-64, 64-64, 64-64, 64-10), each: a few MVAUs sharing
+  // one configuration within the layer, a weight block, a threshold block.
+  struct FcLayer {
+    const char* mvau_name;
+    MvauParams mvau;
+    int mvau_count;
+    const char* weights_name;
+    WeightsParams weights;
+    const char* thr_name;
+    ThresholdParams thr;
+  };
+  const FcLayer layers[] = {
+      {"tfc_mvau_0", {49, 4, 16, 2}, 4, "tfc_weights_0",
+       {784 * 64 / 16, 8, 400, false}, "tfc_thres_0", {8, 16}},
+      {"tfc_mvau_1", {32, 2, 16, 2}, 2, "tfc_weights_1",
+       {64 * 64, 4, 120, false}, "tfc_thres_1", {8, 16}},
+      {"tfc_mvau_2", {32, 2, 16, 2}, 2, "tfc_weights_2",
+       {64 * 64, 4, 120, false}, "tfc_thres_2", {8, 16}},
+      {"tfc_mvau_3", {32, 1, 16, 1}, 1, "tfc_weights_3",
+       {64 * 10, 2, 48, false}, "tfc_thres_3", {4, 16}},
+  };
+
+  std::vector<int> previous;
+  for (const FcLayer& layer : layers) {
+    const std::vector<int> mvaus =
+        b.add(layer.mvau_name, layer.mvau_count, layer.mvau, gen_mvau);
+    const std::vector<int> weights =
+        b.add(layer.weights_name, 1, layer.weights, gen_weights);
+    const std::vector<int> thr =
+        b.add(layer.thr_name, 1, layer.thr, gen_threshold);
+
+    std::vector<int> feed = previous;
+    feed.insert(feed.end(), mvaus.begin(), mvaus.end());
+    b.net(std::move(feed), 2.0);
+    for (std::size_t wi = 0; wi < weights.size(); ++wi) {
+      b.net({weights[wi], mvaus[wi % mvaus.size()]});
+    }
+    std::vector<int> collect = mvaus;
+    collect.push_back(thr.front());
+    b.net(std::move(collect), 2.0);
+    previous = thr;
+  }
+  return b.take();
+}
+
+}  // namespace mf

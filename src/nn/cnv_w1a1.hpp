@@ -1,0 +1,44 @@
+#pragma once
+// The cnvW1A1 block design (Figure 2 of the paper).
+//
+// cnvW1A1 (BNN-PYNQ) is a VGG-style binarised CNN: six convolutional and
+// three fully connected layers plus two max-pool layers. The paper
+// partitions it RapidWright-style into SWU / MVAU / weights / threshold /
+// pool blocks: 175 block instances of which only 74 are unique, with the
+// largest reuse on the MVAUs (layers 1+2 share one MVAU configuration across
+// 48 instances, layers 3+4 across 20; the paper's `mvau_18` has four
+// instances and `weights_14` is the largest block). This builder reproduces
+// that inventory exactly (asserted) and sizes the blocks so the whole
+// design fills ~99% of the model xc7z020 -- the regime where PBlock quality
+// decides how many blocks the stitcher can place.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "stitch/macro.hpp"
+
+namespace mf {
+
+/// The cnvW1A1 instance of the generic BlockDesign (74 unique blocks, 175
+/// instances, dataflow + weight-feed connectivity).
+using CnvDesign = BlockDesign;
+
+/// Build the full design. Deterministic per seed.
+CnvDesign build_cnv_w1a1(std::uint64_t seed = 2024);
+
+/// The TFC-W1A1 network from the same BNN-PYNQ suite: a small binarised MLP
+/// (784-64-64-64-10) with fully connected layers only. Included to show the
+/// flow's transferability beyond the paper's convolutional case study -- it
+/// is far below device capacity, so every block places and the flow's value
+/// is pure recompilation speed.
+BlockDesign build_tfc_w1a1(std::uint64_t seed = 2025);
+
+/// Expected inventory constants (asserted by the builder and the tests).
+inline constexpr int kCnvTotalInstances = 175;
+inline constexpr int kCnvUniqueBlocks = 74;
+inline constexpr int kCnvLayer12MvauInstances = 48;
+inline constexpr int kCnvLayer34MvauInstances = 20;
+
+}  // namespace mf

@@ -1,0 +1,262 @@
+#include "nn/finn_blocks.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "netlist/builder.hpp"
+
+namespace mf {
+
+Module gen_mvau(const MvauParams& params, Rng& rng) {
+  MF_CHECK(params.simd >= 4 && params.pe >= 1 && params.acc_width >= 4);
+  Module module;
+  module.name = "mvau";
+  module.params = "simd=" + std::to_string(params.simd) +
+                  " pe=" + std::to_string(params.pe) +
+                  " acc=" + std::to_string(params.acc_width);
+  NetlistBuilder b(module.netlist);
+
+  std::vector<ControlSetId> sets;
+  for (int i = 0; i < params.control_sets; ++i) {
+    sets.push_back(b.control_set(b.input("rst" + std::to_string(i)),
+                                 b.input("en" + std::to_string(i))));
+  }
+  auto cs_of = [&](int pe) {
+    return sets[static_cast<std::size_t>(pe) % sets.size()];
+  };
+
+  const std::vector<NetId> act = b.input_bus(params.simd, "act");
+
+  // Folding-control broadcast: the MVAU's weight-phase select gates every
+  // XNOR lane, a genuine high-fanout net (fanout = simd * pe) that makes
+  // larger MVAUs need looser PBlocks (Section V-D).
+  const NetId mode = b.lut({act[0], act[act.size() / 2], act.back()});
+
+  for (int pe = 0; pe < params.pe; ++pe) {
+    const std::vector<NetId> w =
+        b.input_bus(params.simd, "w" + std::to_string(pe));
+
+    // XNOR stage (binary multiply) + input pipeline register.
+    std::vector<NetId> xnor(static_cast<std::size_t>(params.simd));
+    for (int i = 0; i < params.simd; ++i) {
+      xnor[static_cast<std::size_t>(i)] =
+          b.lut({act[static_cast<std::size_t>(i)],
+                 w[static_cast<std::size_t>(i)], mode});
+    }
+    const std::vector<NetId> xq = b.register_bus(xnor, cs_of(pe));
+
+    // Popcount: 6:3 compressor LUT layers down to acc_width partial sums.
+    std::vector<NetId> level = xq;
+    while (static_cast<int>(level.size()) > params.acc_width) {
+      const int next = std::max(params.acc_width,
+                                static_cast<int>(level.size()) / 2);
+      level = b.lut_layer(level, next, 6);
+    }
+
+    // Accumulate + threshold subtract: two ripple-carry adders.
+    std::vector<NetId> acc(level.begin(),
+                           level.begin() +
+                               std::min<std::size_t>(level.size(),
+                                                     static_cast<std::size_t>(
+                                                         params.acc_width)));
+    const std::vector<NetId> accq = b.register_bus(acc, cs_of(pe));
+    const std::vector<NetId> sum = b.adder(accq, acc);
+    const std::vector<NetId> sumq = b.register_bus(sum, cs_of(pe));
+    const std::vector<NetId> thresholded = b.adder(sumq, accq);
+
+    // Binary activation out.
+    const NetId bit = b.reduce(thresholded, 6);
+    module.netlist.mark_output(b.ff(bit, cs_of(pe)));
+    (void)rng;
+  }
+  return module;
+}
+
+Module gen_swu(const SwuParams& params, Rng& rng) {
+  MF_CHECK(params.channels >= 1 && params.line_width >= 4 &&
+           params.kernel >= 2);
+  Module module;
+  module.name = "swu";
+  module.params = "ch=" + std::to_string(params.channels) +
+                  " w=" + std::to_string(params.line_width) +
+                  " k=" + std::to_string(params.kernel);
+  NetlistBuilder b(module.netlist);
+
+  const ControlSetId cs = b.control_set(b.input("rst"), b.input("en"));
+
+  // Line buffers: (kernel - 1) rows of line_width x channels bits. One SRL
+  // holds 32 bits of delay, so each row needs ceil(width*channels/32) SRLs
+  // chained per channel; deep buffers use BRAM instead.
+  const int bits_per_row = params.line_width * params.channels;
+  const std::vector<NetId> din = b.input_bus(std::min(params.channels, 32),
+                                             "px");
+  for (int row = 0; row < params.kernel - 1; ++row) {
+    if (params.use_bram) {
+      const int brams = std::max(1, bits_per_row / 18432);
+      const std::span<const NetId> addr(din.data(),
+                                        std::min<std::size_t>(din.size(), 10));
+      for (int k = 0; k < brams; ++k) {
+        module.netlist.mark_output(b.bram18(addr, addr));
+      }
+    } else {
+      // Two buffered bits per SRL (cascaded SRLC32E halves), keeping the
+      // line buffers M-flavoured without making the SWU M-slice dominated.
+      const int srls = std::max(1, bits_per_row / 64);
+      for (int k = 0; k < srls; ++k) {
+        NetId d = din[rng.index(din.size())];
+        module.netlist.mark_output(b.srl(d, cs));
+      }
+    }
+  }
+
+  // Read/write address counters: one incrementer per row plus the column
+  // counter -- the carry content of an SWU.
+  for (int c = 0; c < params.kernel; ++c) {
+    const std::vector<NetId> state = b.input_bus(10, "cnt" + std::to_string(c));
+    const std::vector<NetId> stateq = b.register_bus(state, cs);
+    const std::vector<NetId> next = b.adder(stateq, state);
+    module.netlist.mark_output(next.back());
+  }
+
+  // Window assembly muxes: kernel^2 taps per (bounded) channel group, all
+  // switched by one column-phase select -- a high-fanout broadcast net.
+  const int taps = params.kernel * params.kernel *
+                   std::min(params.channels, 16);
+  const NetId phase = b.lut({din[0], din.back()});
+  std::vector<NetId> mux_in = din;
+  mux_in.push_back(phase);
+  std::vector<NetId> window = b.lut_layer(din, taps, 3);
+  for (NetId& w : window) {
+    w = b.lut({w, phase});
+  }
+  const std::vector<NetId> windowq = b.register_bus(window, cs);
+  module.netlist.mark_output(windowq.back());
+  return module;
+}
+
+Module gen_weights(const WeightsParams& params, Rng& rng) {
+  MF_CHECK(params.total_bits >= 32 && params.readers >= 1);
+  Module module;
+  module.name = "weights";
+  module.params = "bits=" + std::to_string(params.total_bits) +
+                  " readers=" + std::to_string(params.readers) +
+                  (params.use_bram ? " bram" : " lutram");
+  NetlistBuilder b(module.netlist);
+
+  const ControlSetId cs = b.control_set(kInvalidId, b.input("we"));
+  const std::vector<NetId> addr = b.input_bus(12, "addr");
+  const std::span<const NetId> low_addr(addr.data(), 5);
+
+  std::vector<NetId> storage_outs;
+  if (params.use_bram) {
+    const int brams = std::max(1, params.total_bits / 18432);
+    const std::span<const NetId> baddr(addr.data(), 10);
+    for (int k = 0; k < brams; ++k) {
+      storage_outs.push_back(b.bram18(baddr, low_addr));
+    }
+  } else {
+    // One LUTRAM cell stores 64 bits (RAM64X1S on a 6-LUT M site).
+    const int cells = std::max(1, params.total_bits / 64);
+    for (int k = 0; k < cells; ++k) {
+      storage_outs.push_back(
+          b.lutram(low_addr, addr[rng.index(addr.size())], cs));
+    }
+  }
+
+  // Address decode and weight-reshaping logic (wide in FINN's streaming
+  // weight generators; this keeps large weight blocks slice-driven rather
+  // than purely M-slice-driven, as observed for weights_14 in Table I).
+  if (params.decode_luts > 0) {
+    std::vector<NetId> decode_in = addr;
+    decode_in.insert(decode_in.end(), storage_outs.begin(),
+                     storage_outs.end());
+    const std::vector<NetId> decode =
+        b.lut_layer(decode_in, params.decode_luts, 5);
+    module.netlist.mark_output(b.reduce(decode, 6));
+  }
+
+  // Read-side mux trees, one per reader, over a slice of the storage.
+  const std::size_t per_reader = std::max<std::size_t>(
+      1, storage_outs.size() / static_cast<std::size_t>(params.readers));
+  for (int r = 0; r < params.readers; ++r) {
+    const std::size_t begin =
+        std::min(storage_outs.size() - 1, static_cast<std::size_t>(r) * per_reader);
+    const std::size_t len =
+        std::min(per_reader, storage_outs.size() - begin);
+    const std::span<const NetId> bank(storage_outs.data() + begin, len);
+    module.netlist.mark_output(b.reduce(bank, 4));
+  }
+
+  // Streaming address counter (small carry chain).
+  const std::vector<NetId> cnt = b.register_bus(addr, cs);
+  const std::vector<NetId> next = b.adder(cnt, addr);
+  module.netlist.mark_output(next.back());
+  return module;
+}
+
+Module gen_threshold(const ThresholdParams& params, Rng& rng) {
+  MF_CHECK(params.channels >= 1 && params.bits >= 4);
+  Module module;
+  module.name = "threshold";
+  module.params = "ch=" + std::to_string(params.channels) +
+                  " bits=" + std::to_string(params.bits);
+  NetlistBuilder b(module.netlist);
+
+  // FINN thresholding cores gate each channel group's comparator registers
+  // independently (per-channel stream flow control), giving these blocks a
+  // rich control-set mix -- one of the Section V-B drivers.
+  std::vector<ControlSetId> sets;
+  const int groups = std::max(1, params.channels / 2);
+  for (int g = 0; g < groups; ++g) {
+    sets.push_back(b.control_set(b.input("rst" + std::to_string(g)),
+                                 b.input("en" + std::to_string(g))));
+  }
+  const std::vector<NetId> acc = b.input_bus(params.bits, "acc");
+  for (int c = 0; c < params.channels; ++c) {
+    const ControlSetId cs = sets[static_cast<std::size_t>(c) % sets.size()];
+    // Comparator: subtract the per-channel threshold (carry chain), register
+    // the sign bit. Each channel mixes in its own threshold select net so
+    // the comparators stay structurally distinct (different constants on
+    // silicon).
+    const NetId select = b.input("thr" + std::to_string(c));
+    std::vector<NetId> threshold(static_cast<std::size_t>(params.bits));
+    for (int i = 0; i < params.bits; ++i) {
+      threshold[static_cast<std::size_t>(i)] =
+          b.lut({acc[rng.index(acc.size())], select});
+    }
+    const std::vector<NetId> diff = b.adder(acc, threshold);
+    module.netlist.mark_output(b.ff(diff.back(), cs));
+  }
+  return module;
+}
+
+Module gen_pool(const PoolParams& params, Rng& rng) {
+  MF_CHECK(params.channels >= 1 && params.window >= 2);
+  Module module;
+  module.name = "pool";
+  module.params = "ch=" + std::to_string(params.channels) +
+                  " win=" + std::to_string(params.window);
+  NetlistBuilder b(module.netlist);
+
+  const ControlSetId cs = b.control_set(b.input("rst"), b.input("en"));
+  const std::vector<NetId> din = b.input_bus(std::min(params.channels, 32),
+                                             "px");
+  for (int c = 0; c < params.channels; ++c) {
+    // Binary max over the window = OR tree; a row delay via SRL.
+    std::vector<NetId> taps;
+    const NetId src = din[rng.index(din.size())];
+    NetId delayed = src;
+    for (int wdw = 0; wdw < params.window - 1; ++wdw) {
+      delayed = b.srl(delayed, cs);
+      taps.push_back(delayed);
+    }
+    taps.push_back(src);
+    for (int wdw = 0; wdw < params.window; ++wdw) {
+      taps.push_back(b.ff(taps[rng.index(taps.size())], cs));
+    }
+    module.netlist.mark_output(b.reduce(taps, 4));
+  }
+  return module;
+}
+
+}  // namespace mf

@@ -1,0 +1,63 @@
+#pragma once
+// FINN-like hardware blocks of the cnvW1A1 network (Section III).
+//
+// The paper partitions the FINN-generated cnvW1A1 into matrix-vector
+// activation units (MVAU), sliding-window units (SWU), weight storage,
+// thresholding (activation) and max-pool blocks. These generators emit
+// mapped netlists with the characteristic resource mix of the binarised
+// (W1A1) FINN cores:
+//   MVAU      -- XNOR layers + popcount adder trees + accumulators:
+//                LUT and carry heavy, pipeline FFs;
+//   SWU       -- line buffers in SRLs plus address counters:
+//                M-slice heavy with carry counters;
+//   weights   -- LUTRAM (or BRAM) weight storage plus read muxes:
+//                strongly M-slice / BRAM dominated (e.g. weights_14);
+//   threshold -- per-channel comparators: LUTs + short carries;
+//   maxpool   -- comparators + SRL delay lines.
+//
+// Parameters are FINN-ish (SIMD/PE/channels); the cnvW1A1 table in
+// cnv_w1a1.cpp picks them so the whole design fills ~99.9% of the model
+// xc7z020, the regime the paper studies.
+
+#include "common/rng.hpp"
+#include "netlist/netlist.hpp"
+
+namespace mf {
+
+struct MvauParams {
+  int simd = 32;       ///< dot-product lanes per PE
+  int pe = 2;          ///< processing elements
+  int acc_width = 16;  ///< accumulator bits
+  int control_sets = 2;
+};
+Module gen_mvau(const MvauParams& params, Rng& rng);
+
+struct SwuParams {
+  int channels = 64;   ///< input feature-map channels
+  int line_width = 32; ///< pixels per row buffered
+  int kernel = 3;
+  bool use_bram = false;  ///< deep buffers spill to BRAM
+};
+Module gen_swu(const SwuParams& params, Rng& rng);
+
+struct WeightsParams {
+  int total_bits = 4096;  ///< binary weight bits stored (64 bits per LUTRAM)
+  int readers = 4;        ///< parallel read ports (mux trees)
+  int decode_luts = 64;   ///< address decode / reshaping logic (plain LUTs)
+  bool use_bram = false;  ///< BRAM instead of LUTRAM storage
+};
+Module gen_weights(const WeightsParams& params, Rng& rng);
+
+struct ThresholdParams {
+  int channels = 64;
+  int bits = 16;  ///< comparator width
+};
+Module gen_threshold(const ThresholdParams& params, Rng& rng);
+
+struct PoolParams {
+  int channels = 64;
+  int window = 2;  ///< pooling window (window x window)
+};
+Module gen_pool(const PoolParams& params, Rng& rng);
+
+}  // namespace mf

@@ -1,0 +1,65 @@
+#pragma once
+// Detailed placement of a module inside a PBlock.
+//
+// This is the feasibility oracle behind the minimal correction factor: a
+// module/PBlock pair is *feasible* when every cell can legally be packed
+// into the PBlock's slices and the resulting placement passes the
+// routability proxy. The packer enforces precisely the factors Section V of
+// the paper identifies as drivers of the PBlock size:
+//
+//   V-A  CLB type      -- SRL/LUTRAM cells only fit M-slice LUT sites;
+//   V-B  control sets  -- a slice owns two 4-FF halves, each bound to one
+//                         control set; mismatched FFs fragment slices;
+//   V-C  carry chains  -- CARRY4 runs need vertically contiguous slices in a
+//                         single column, fixing the PBlock's minimum height;
+//   V-D  fanin/fanout  -- via the routability proxy's congestion check;
+//   V-E  density       -- a slice hosting a CARRY4 loses half its FF
+//                         capacity and its LUT slots are reserved for the
+//                         chain's propagate LUTs, so designs dense in all
+//                         three resources interfere.
+//
+// Placement strategy: cells are packed in netlist creation order (the
+// generators emit dataflow order, so this is a topological order with good
+// locality) into a snake of slices across the PBlock's CLB columns, keeping
+// a small frontier of partially filled slices open. FFs first try the slice
+// of their driver (LUT/FF pairing, as packers do for timing).
+
+#include <string>
+
+#include "fabric/device.hpp"
+#include "netlist/netlist.hpp"
+#include "place/placement.hpp"
+#include "route/routability.hpp"
+#include "synth/report.hpp"
+
+namespace mf {
+
+struct DetailedPlaceOptions {
+  RoutabilityOptions route;
+  int frontier = 12;  ///< partially filled slices kept open for packing
+  bool check_routability = true;
+  /// Safety margin on the estimate when computing the spread factor.
+  double spread_margin = 1.05;
+  /// Slack below which the packer stays fully dense (see build_grid).
+  double spread_offset = 0.12;
+};
+
+struct PlaceResult {
+  bool feasible = false;
+  std::string fail_reason;  ///< empty when feasible
+  int used_slices = 0;      ///< slices with at least one placed element
+  Placement placement;      ///< per-cell locations (device coordinates)
+  RouteEstimate route;      ///< congestion estimate (valid when placed)
+  PBlock used_bbox;         ///< bounding box of the used slices/sites
+
+  /// used_slices / CLB slice positions inside used_bbox: 1.0 = perfectly
+  /// rectangular occupancy. The paper's Figure 3 irregularity argument is
+  /// quantified with this plus the bbox dimensions.
+  double fill_ratio = 0.0;
+};
+
+PlaceResult place_in_pblock(const Module& module, const ResourceReport& report,
+                            const Device& device, const PBlock& pblock,
+                            const DetailedPlaceOptions& opts = {});
+
+}  // namespace mf

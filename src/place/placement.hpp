@@ -1,0 +1,22 @@
+#pragma once
+// Cell placement record shared by the placers, the routability model and
+// static timing analysis.
+
+#include <cstdint>
+#include <vector>
+
+namespace mf {
+
+/// Grid location of one cell (absolute device coordinates). BRAM/DSP cells
+/// carry their site's column/row; unplaced cells stay at (-1, -1).
+struct CellPlacement {
+  std::int16_t col = -1;
+  std::int16_t row = -1;
+
+  [[nodiscard]] bool placed() const noexcept { return col >= 0; }
+};
+
+/// One entry per CellId of the associated netlist.
+using Placement = std::vector<CellPlacement>;
+
+}  // namespace mf

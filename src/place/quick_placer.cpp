@@ -1,0 +1,63 @@
+#include "place/quick_placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "fabric/device.hpp"
+
+namespace mf {
+
+ShapeReport quick_place(const ResourceReport& report) {
+  ShapeReport shape;
+  const int slices = std::max(report.est_slices, 1);
+  const int longest = report.stats.longest_chain();
+  shape.min_height = std::max(longest, 1);
+
+  // Square-ish box, stretched vertically if a chain forces it.
+  int height = static_cast<int>(
+      std::ceil(std::sqrt(static_cast<double>(slices))));
+  height = std::max(height, shape.min_height);
+
+  // First-fit-decreasing chain packing into columns of `height`.
+  int carry_columns = 0;
+  if (!report.stats.carry_chains.empty()) {
+    std::vector<int> free_rows;  // per started column
+    for (int len : report.stats.carry_chains) {  // already sorted desc
+      MF_CHECK(len <= height);
+      bool placed = false;
+      for (int& rows : free_rows) {
+        if (rows >= len) {
+          rows -= len;
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        free_rows.push_back(height - len);
+        ++carry_columns;
+      }
+    }
+  }
+  shape.carry_columns = carry_columns;
+
+  int width = (slices + height - 1) / height;
+  width = std::max(width, carry_columns);
+  // BRAM/DSP-dominated blocks stretch vertically: the hard-block column must
+  // span enough site pitches regardless of slice demand.
+  const int hard_rows =
+      std::max(report.bram36,
+               (report.dsp + kDspPerPitch - 1) / kDspPerPitch) *
+      kBramRowPitch;
+  if (hard_rows > height) {
+    height = hard_rows;
+    width = std::max((slices + height - 1) / height,
+                     std::max(carry_columns, 1));
+  }
+
+  shape.bbox_w = std::max(width, 1);
+  shape.bbox_h = height;
+  return shape;
+}
+
+}  // namespace mf

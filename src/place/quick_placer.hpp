@@ -1,0 +1,30 @@
+#pragma once
+// Quick placement -> shape report (stage two of Figure 1).
+//
+// RapidWright runs a fast placement of each module to learn the geometric
+// shape a PBlock must have: the bounding-box aspect ratio and the vertical
+// extent forced by carry chains. We reproduce that with a deterministic
+// shape construction: carry chains are packed into columns first (they are
+// rigid vertical runs), then the remaining slices fill a near-square box.
+
+#include "synth/report.hpp"
+
+namespace mf {
+
+struct ShapeReport {
+  int bbox_w = 1;       ///< quick-placement bounding box width (slices)
+  int bbox_h = 1;       ///< bounding box height (slices)
+  int min_height = 1;   ///< longest carry chain = minimum PBlock height
+  int carry_columns = 0;  ///< columns consumed by chain packing
+
+  [[nodiscard]] double aspect() const noexcept {
+    return static_cast<double>(bbox_w) / static_cast<double>(bbox_h);
+  }
+  [[nodiscard]] long area() const noexcept {
+    return static_cast<long>(bbox_w) * bbox_h;
+  }
+};
+
+ShapeReport quick_place(const ResourceReport& report);
+
+}  // namespace mf

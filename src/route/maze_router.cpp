@@ -1,0 +1,217 @@
+#include "route/maze_router.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace mf {
+namespace {
+
+/// Channel graph over the region grid: a node per cell, an edge to each of
+/// the 4 neighbours. Edges are stored per direction-pair once (right/down
+/// from each cell).
+class ChannelGraph {
+ public:
+  ChannelGraph(const PBlock& region, const MazeRouteOptions& opts)
+      : width_(region.width()),
+        height_(region.height()),
+        col0_(region.col_lo),
+        row0_(region.row_lo),
+        opts_(opts) {
+    // Edge layout: [node * 2 + 0] = edge to the right, [+1] = edge down.
+    usage_.assign(static_cast<std::size_t>(width_) * height_ * 2, 0);
+    history_.assign(usage_.size(), 0.0);
+  }
+
+  [[nodiscard]] int nodes() const noexcept { return width_ * height_; }
+  [[nodiscard]] int node_of(int col, int row) const noexcept {
+    return (row - row0_) * width_ + (col - col0_);
+  }
+
+  /// Edge id between adjacent nodes a, b; -1 when not adjacent.
+  [[nodiscard]] int edge_between(int a, int b) const noexcept {
+    const int ax = a % width_;
+    const int ay = a / width_;
+    const int bx = b % width_;
+    const int by = b / width_;
+    if (ay == by && bx == ax + 1) return a * 2;
+    if (ay == by && ax == bx + 1) return b * 2;
+    if (ax == bx && by == ay + 1) return a * 2 + 1;
+    if (ax == bx && ay == by + 1) return b * 2 + 1;
+    return -1;
+  }
+
+  /// Neighbours of node `n` (up to 4), written into `out`; returns count.
+  int neighbours(int n, int out[4]) const noexcept {
+    const int x = n % width_;
+    const int y = n / width_;
+    int count = 0;
+    if (x + 1 < width_) out[count++] = n + 1;
+    if (x > 0) out[count++] = n - 1;
+    if (y + 1 < height_) out[count++] = n + width_;
+    if (y > 0) out[count++] = n - width_;
+    return count;
+  }
+
+  [[nodiscard]] double edge_cost(int edge) const noexcept {
+    const int over =
+        std::max(0, usage_[static_cast<std::size_t>(edge)] + 1 -
+                        opts_.channel_capacity);
+    return 1.0 + opts_.present_factor * over +
+           history_[static_cast<std::size_t>(edge)];
+  }
+
+  void add_usage(int edge, int delta) noexcept {
+    usage_[static_cast<std::size_t>(edge)] += delta;
+  }
+
+  /// Accumulate history cost on every currently over-used edge.
+  void accumulate_history() noexcept {
+    for (std::size_t e = 0; e < usage_.size(); ++e) {
+      if (usage_[e] > opts_.channel_capacity) {
+        history_[e] += opts_.history_factor *
+                       (usage_[e] - opts_.channel_capacity);
+      }
+    }
+  }
+
+  [[nodiscard]] std::pair<int, int> overflow() const noexcept {
+    int edges = 0;
+    int worst = 0;
+    for (int u : usage_) {
+      if (u > opts_.channel_capacity) {
+        ++edges;
+        worst = std::max(worst, u - opts_.channel_capacity);
+      }
+    }
+    return {edges, worst};
+  }
+
+ private:
+  int width_;
+  int height_;
+  int col0_;
+  int row0_;
+  MazeRouteOptions opts_;
+  std::vector<int> usage_;
+  std::vector<double> history_;
+};
+
+struct RoutableNet {
+  int driver_node = -1;
+  std::vector<int> sink_nodes;
+  std::vector<int> edges;  ///< current route (edge ids, deduplicated)
+};
+
+}  // namespace
+
+MazeRouteResult maze_route(const Netlist& netlist, const Placement& placement,
+                           const PBlock& region,
+                           const MazeRouteOptions& opts) {
+  MF_CHECK(placement.size() == netlist.num_cells());
+  MF_CHECK(!region.empty());
+  ChannelGraph graph(region, opts);
+  MazeRouteResult result;
+
+  // Collect routable nets.
+  std::vector<RoutableNet> nets;
+  for (const Net& net : netlist.nets()) {
+    if (net.is_clock || net.driver == kInvalidId) continue;
+    const CellPlacement& dp =
+        placement[static_cast<std::size_t>(net.driver)];
+    if (!dp.placed() || !region.contains(dp.col, dp.row)) continue;
+    RoutableNet rn;
+    rn.driver_node = graph.node_of(dp.col, dp.row);
+    std::set<int> sinks;
+    for (CellId sink : net.sinks) {
+      const CellPlacement& sp = placement[static_cast<std::size_t>(sink)];
+      if (!sp.placed() || !region.contains(sp.col, sp.row)) continue;
+      const int node = graph.node_of(sp.col, sp.row);
+      if (node != rn.driver_node) sinks.insert(node);
+    }
+    if (sinks.empty()) continue;
+    rn.sink_nodes.assign(sinks.begin(), sinks.end());
+    nets.push_back(std::move(rn));
+  }
+  result.nets_routed = static_cast<int>(nets.size());
+
+  // Dijkstra scratch buffers, reused across nets.
+  const int node_count = graph.nodes();
+  std::vector<double> dist(static_cast<std::size_t>(node_count));
+  std::vector<int> previous(static_cast<std::size_t>(node_count));
+  using QEntry = std::pair<double, int>;
+
+  /// Route one net as a union of shortest driver->sink paths over the
+  /// current cost field; fills rn.edges (deduplicated) and adds usage.
+  auto route_net = [&](RoutableNet& rn) {
+    std::set<int> net_edges;
+    // Grow a routing tree: sources = driver node plus everything already
+    // routed for this net, so later sinks can tap earlier branches.
+    std::set<int> tree_nodes{rn.driver_node};
+    for (int target : rn.sink_nodes) {
+      std::fill(dist.begin(), dist.end(), 1e300);
+      std::fill(previous.begin(), previous.end(), -1);
+      std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> queue;
+      for (int s : tree_nodes) {
+        dist[static_cast<std::size_t>(s)] = 0.0;
+        queue.emplace(0.0, s);
+      }
+      while (!queue.empty()) {
+        const auto [d, node] = queue.top();
+        queue.pop();
+        if (d > dist[static_cast<std::size_t>(node)]) continue;
+        if (node == target) break;
+        int nbr[4];
+        const int count = graph.neighbours(node, nbr);
+        for (int k = 0; k < count; ++k) {
+          const int edge = graph.edge_between(node, nbr[k]);
+          const double nd = d + graph.edge_cost(edge);
+          if (nd < dist[static_cast<std::size_t>(nbr[k])]) {
+            dist[static_cast<std::size_t>(nbr[k])] = nd;
+            previous[static_cast<std::size_t>(nbr[k])] = node;
+            queue.emplace(nd, nbr[k]);
+          }
+        }
+      }
+      // Trace back to whatever tree node the path grew from.
+      for (int node = target;
+           previous[static_cast<std::size_t>(node)] != -1;) {
+        const int prev = previous[static_cast<std::size_t>(node)];
+        net_edges.insert(graph.edge_between(prev, node));
+        tree_nodes.insert(node);
+        node = prev;
+      }
+      tree_nodes.insert(target);
+    }
+    rn.edges.assign(net_edges.begin(), net_edges.end());
+    for (int e : rn.edges) graph.add_usage(e, +1);
+  };
+
+  // Initial route, then negotiation rounds.
+  for (RoutableNet& rn : nets) route_net(rn);
+  for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    result.iterations = iter;
+    const auto [edges, worst] = graph.overflow();
+    if (edges == 0) break;
+    graph.accumulate_history();
+    // Rip up and re-route every net against the updated cost field.
+    for (RoutableNet& rn : nets) {
+      for (int e : rn.edges) graph.add_usage(e, -1);
+      rn.edges.clear();
+      route_net(rn);
+    }
+  }
+
+  const auto [edges, worst] = graph.overflow();
+  result.overflow_edges = edges;
+  result.max_overuse = worst;
+  result.routed = edges == 0;
+  for (const RoutableNet& rn : nets) {
+    result.total_wirelength += static_cast<long>(rn.edges.size());
+  }
+  return result;
+}
+
+}  // namespace mf

@@ -1,0 +1,48 @@
+#pragma once
+// Negotiated-congestion maze router (PathFinder-style).
+//
+// The CF search uses the fast congestion *proxy* in routability.hpp -- a
+// feasibility check must run in ~1 ms to make exhaustive sweeps practical.
+// This router is the slow, higher-fidelity cross-check: it actually routes
+// every net over a channel graph with per-edge capacities, rip-up and
+// re-route, and history costs, and reports the remaining overflow. The
+// proxy is validated against it in bench_ablation / tests: placements the
+// proxy accepts should route with (near-)zero overflow, and the proxy's
+// peak congestion should rank placements the same way router overflow does.
+
+#include <vector>
+
+#include "fabric/device.hpp"
+#include "netlist/netlist.hpp"
+#include "place/placement.hpp"
+
+namespace mf {
+
+struct MazeRouteOptions {
+  /// Wires per routing channel segment (edge between adjacent grid cells).
+  int channel_capacity = 26;
+  /// Negotiation iterations (rip-up & re-route rounds).
+  int max_iterations = 10;
+  /// Cost added per unit of present over-use of an edge.
+  double present_factor = 1.2;
+  /// Cost accumulated per iteration an edge stayed over capacity.
+  double history_factor = 0.6;
+};
+
+struct MazeRouteResult {
+  bool routed = false;       ///< zero overflow within the iteration budget
+  int overflow_edges = 0;    ///< edges still over capacity at the end
+  int max_overuse = 0;       ///< worst per-edge over-use
+  long total_wirelength = 0; ///< routed edge count over all nets
+  int iterations = 0;        ///< negotiation rounds actually run
+  int nets_routed = 0;
+};
+
+/// Route all placed nets of `netlist` inside `region`. Nets with fewer than
+/// two placed endpoints and clock nets are skipped (clocks use dedicated
+/// trees on real parts).
+MazeRouteResult maze_route(const Netlist& netlist, const Placement& placement,
+                           const PBlock& region,
+                           const MazeRouteOptions& opts = {});
+
+}  // namespace mf

@@ -1,0 +1,72 @@
+#include <string>
+
+#include "netlist/builder.hpp"
+#include "rtlgen/generators.hpp"
+
+namespace mf {
+
+Module gen_carry(const CarryParams& params, Rng& rng) {
+  (void)rng;
+  MF_CHECK(params.terms >= 1 && params.width >= 2);
+
+  Module module;
+  module.name = "carry";
+  module.params = "terms=" + std::to_string(params.terms) +
+                  " width=" + std::to_string(params.width);
+  NetlistBuilder b(module.netlist);
+
+  // sum = x0^2 + x1^2 + ... : each square is a shift-add ladder (width/2
+  // adders of growing width), then an accumulation tree -- all ripple-carry,
+  // producing many chains whose longest one dictates PBlock height.
+  std::vector<std::vector<NetId>> squares;
+  squares.reserve(static_cast<std::size_t>(params.terms));
+  for (int t = 0; t < params.terms; ++t) {
+    const std::vector<NetId> x =
+        b.input_bus(params.width, "x" + std::to_string(t));
+    // Partial-product rows: x & x[i], modelled as one AND LUT per bit, then
+    // summed pairwise. We use width/2 rows to keep the module from exploding
+    // quadratically while still being carry-dominated.
+    const int rows = std::max(2, params.width / 2);
+    std::vector<std::vector<NetId>> partials;
+    partials.reserve(static_cast<std::size_t>(rows));
+    for (int r = 0; r < rows; ++r) {
+      std::vector<NetId> row(static_cast<std::size_t>(params.width));
+      for (int i = 0; i < params.width; ++i) {
+        row[static_cast<std::size_t>(i)] =
+            b.lut({x[static_cast<std::size_t>(i)],
+                   x[static_cast<std::size_t>(r) % x.size()]});
+      }
+      partials.push_back(std::move(row));
+    }
+    // Reduce rows with a balanced adder tree.
+    while (partials.size() > 1) {
+      std::vector<std::vector<NetId>> next;
+      for (std::size_t i = 0; i + 1 < partials.size(); i += 2) {
+        next.push_back(b.adder(partials[i], partials[i + 1]));
+      }
+      if (partials.size() % 2 == 1) next.push_back(partials.back());
+      partials = std::move(next);
+    }
+    squares.push_back(std::move(partials.front()));
+  }
+
+  // Accumulate the squares.
+  while (squares.size() > 1) {
+    std::vector<std::vector<NetId>> next;
+    for (std::size_t i = 0; i + 1 < squares.size(); i += 2) {
+      next.push_back(b.adder(squares[i], squares[i + 1]));
+    }
+    if (squares.size() % 2 == 1) next.push_back(squares.back());
+    squares = std::move(next);
+  }
+
+  std::vector<NetId> sum = squares.front();
+  if (params.register_output) {
+    const ControlSetId cs = b.control_set(b.input("rst"));
+    sum = b.register_bus(sum, cs);
+  }
+  for (NetId n : sum) module.netlist.mark_output(n);
+  return module;
+}
+
+}  // namespace mf

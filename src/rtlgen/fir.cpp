@@ -1,0 +1,63 @@
+#include <string>
+
+#include "netlist/builder.hpp"
+#include "rtlgen/generators.hpp"
+
+namespace mf {
+
+Module gen_fir(const FirParams& params, Rng& rng) {
+  MF_CHECK(params.taps >= 2 && params.width >= 4);
+  Module module;
+  module.name = "fir";
+  module.params = "taps=" + std::to_string(params.taps) +
+                  " width=" + std::to_string(params.width) +
+                  (params.use_dsp ? " dsp" : " fabric");
+  NetlistBuilder b(module.netlist);
+
+  const ControlSetId cs = b.control_set(b.input("rst"), b.input("en"));
+  const std::vector<NetId> sample = b.input_bus(params.width, "x");
+
+  // Tap delay line: a registered bus per tap.
+  std::vector<std::vector<NetId>> taps;
+  taps.push_back(sample);
+  for (int t = 1; t < params.taps; ++t) {
+    taps.push_back(b.register_bus(taps.back(), cs));
+  }
+
+  // Products: DSP blocks when asked for, otherwise shift-add ladders whose
+  // carry chains make the FIR a prime carry-stress workload.
+  std::vector<std::vector<NetId>> products;
+  for (int t = 0; t < params.taps; ++t) {
+    if (params.use_dsp) {
+      const std::span<const NetId> a(taps[static_cast<std::size_t>(t)].data(),
+                                     std::min(params.width, 16));
+      const NetId p = b.dsp48(a, a);
+      products.push_back(std::vector<NetId>(
+          static_cast<std::size_t>(params.width), p));
+    } else {
+      // Coefficient multiply approximated by two shifted adds.
+      const auto& x = taps[static_cast<std::size_t>(t)];
+      std::vector<NetId> shifted(x.size());
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        shifted[i] = x[(i + 1 + rng.index(2)) % x.size()];
+      }
+      products.push_back(b.adder(x, shifted));
+    }
+  }
+
+  // Accumulator tree.
+  while (products.size() > 1) {
+    std::vector<std::vector<NetId>> next;
+    for (std::size_t i = 0; i + 1 < products.size(); i += 2) {
+      next.push_back(b.adder(products[i], products[i + 1]));
+    }
+    if (products.size() % 2 == 1) next.push_back(products.back());
+    products = std::move(next);
+  }
+
+  const std::vector<NetId> y = b.register_bus(products.front(), cs);
+  for (NetId n : y) module.netlist.mark_output(n);
+  return module;
+}
+
+}  // namespace mf

@@ -1,0 +1,49 @@
+#include <string>
+
+#include "netlist/builder.hpp"
+#include "rtlgen/generators.hpp"
+
+namespace mf {
+
+Module gen_fsm(const FsmParams& params, Rng& rng) {
+  MF_CHECK(params.state_bits >= 2 && params.state_bits <= 12);
+  MF_CHECK(params.outputs >= 1 && params.transitions_per_state >= 1);
+  Module module;
+  module.name = "fsm";
+  module.params = "bits=" + std::to_string(params.state_bits) +
+                  " outs=" + std::to_string(params.outputs) +
+                  " tps=" + std::to_string(params.transitions_per_state);
+  NetlistBuilder b(module.netlist);
+
+  const ControlSetId cs = b.control_set(b.input("rst"));
+  const std::vector<NetId> events = b.input_bus(8, "ev");
+
+  // State register; its Q bits drive the entire next-state cloud and output
+  // decoder -- naturally high-fanout nets (Section V-D).
+  std::vector<NetId> state_d(static_cast<std::size_t>(params.state_bits));
+  for (auto& d : state_d) d = b.input();
+  std::vector<NetId> state_q = b.register_bus(state_d, cs);
+
+  // Next-state cloud: per state bit, a tree over state + events, replicated
+  // per transition for combinational depth.
+  std::vector<NetId> cloud_in = state_q;
+  cloud_in.insert(cloud_in.end(), events.begin(), events.end());
+  for (int bit = 0; bit < params.state_bits; ++bit) {
+    std::vector<NetId> terms;
+    for (int t = 0; t < params.transitions_per_state; ++t) {
+      std::vector<NetId> picks(5);
+      for (NetId& p : picks) p = cloud_in[rng.index(cloud_in.size())];
+      terms.push_back(b.lut(picks));
+    }
+    const NetId next = b.reduce(terms, 6);
+    module.netlist.mark_output(b.ff(next, cs));
+  }
+
+  // Moore output decoder.
+  const std::vector<NetId> outs =
+      b.lut_layer(state_q, params.outputs, std::min(params.state_bits, 6));
+  for (NetId n : outs) module.netlist.mark_output(n);
+  return module;
+}
+
+}  // namespace mf

@@ -1,0 +1,92 @@
+#pragma once
+// Synthetic RTL generators (Section VI-A of the paper).
+//
+// The paper builds its training set not from cnvW1A1 variants but from
+// generic RTL generators, each stressing one of the PBlock-size factors of
+// Section V:
+//   * shift registers  -> FF-dominated designs, parametrizable control sets
+//     and fanin (a tool attribute forces FF mapping, i.e. no SRLs);
+//   * LUTRAM memories  -> register-free, M-slice dominated designs;
+//   * sum-of-squares   -> carry-chain dominated designs;
+//   * LFSRs            -> FF + LUT + carry + SRL mixes;
+//   * a generic template (Figure 6) covering the whole design space.
+//
+// Each generator returns a mapped Module with genuine connectivity, so
+// control sets, fanout and carry chains are measured, not asserted.
+
+#include "common/rng.hpp"
+#include "netlist/netlist.hpp"
+
+namespace mf {
+
+/// Parallel shift registers mapped to FFs ("mostly FFs" corner case).
+struct ShiftRegParams {
+  int chains = 8;        ///< parallel FF chains
+  int depth = 16;        ///< FFs per chain
+  int control_sets = 1;  ///< distinct (reset, enable) groups, >= 1
+  int fanin = 4;         ///< inputs of the LUT feeding each chain head
+};
+Module gen_shiftreg(const ShiftRegParams& params, Rng& rng);
+
+/// Distributed-RAM memory ("no registers at all, mainly LUTRAMs").
+struct LutRamParams {
+  int width = 8;   ///< data bits
+  int depth = 64;  ///< words; one LutRam cell covers 32 words x 1 bit
+};
+Module gen_lutram(const LutRamParams& params, Rng& rng);
+
+/// Sum of squares over `terms` inputs of `width` bits (carry-chain heavy).
+struct CarryParams {
+  int terms = 4;
+  int width = 16;
+  bool register_output = true;
+};
+Module gen_carry(const CarryParams& params, Rng& rng);
+
+/// Bank of LFSRs with tap LUTs, cycle counters (carry) and SRL delay lines.
+struct LfsrParams {
+  int count = 4;         ///< parallel LFSRs
+  int width = 16;        ///< register length per LFSR
+  int taps = 4;          ///< feedback taps (LUT fanin)
+  int srl_delay = 1;     ///< SRL cells per LFSR output (0 = none)
+  int control_sets = 1;
+};
+Module gen_lfsr(const LfsrParams& params, Rng& rng);
+
+/// FIR filter: tap delay line + multiply/accumulate ladder. The carry-and-
+/// register workload of classic DSP datapaths; `use_dsp` moves the products
+/// into DSP48 blocks (hard-block-driven PBlocks).
+struct FirParams {
+  int taps = 8;
+  int width = 16;
+  bool use_dsp = false;
+};
+Module gen_fir(const FirParams& params, Rng& rng);
+
+/// Moore FSM: state register, random next-state cloud, output decoder.
+/// State bits are natural high-fanout nets.
+struct FsmParams {
+  int state_bits = 6;
+  int outputs = 24;
+  int transitions_per_state = 6;
+};
+Module gen_fsm(const FsmParams& params, Rng& rng);
+
+/// Generic design-space template (Figure 6): datapath of LUT layers and
+/// registers with adder chains, SRL/LUTRAM side structures, optional hard
+/// blocks, and a tunable high-fanout broadcast net.
+struct MixedParams {
+  int luts = 200;         ///< approximate LUT target
+  int ffs = 200;          ///< approximate FF target
+  int carry_adders = 2;   ///< number of adder chains
+  int carry_width = 16;   ///< bits per adder
+  int srls = 0;
+  int lutrams = 0;
+  int bram = 0;           ///< RAMB36 cells
+  int dsp = 0;
+  int control_sets = 2;
+  int fanout_boost = 0;   ///< extra LUT loads on one broadcast net
+};
+Module gen_mixed(const MixedParams& params, Rng& rng);
+
+}  // namespace mf

@@ -1,0 +1,59 @@
+#include <string>
+
+#include "netlist/builder.hpp"
+#include "rtlgen/generators.hpp"
+
+namespace mf {
+
+Module gen_lfsr(const LfsrParams& params, Rng& rng) {
+  MF_CHECK(params.count >= 1 && params.width >= 3);
+  MF_CHECK(params.taps >= 2 && params.taps <= 6);
+  MF_CHECK(params.control_sets >= 1 && params.srl_delay >= 0);
+
+  Module module;
+  module.name = "lfsr";
+  module.params = "count=" + std::to_string(params.count) +
+                  " width=" + std::to_string(params.width) +
+                  " taps=" + std::to_string(params.taps) +
+                  " srl=" + std::to_string(params.srl_delay);
+  NetlistBuilder b(module.netlist);
+
+  std::vector<ControlSetId> sets;
+  for (int i = 0; i < params.control_sets; ++i) {
+    sets.push_back(b.control_set(b.input("rst" + std::to_string(i)),
+                                 b.input("en" + std::to_string(i))));
+  }
+
+  const NetId seed = b.input("seed");
+  for (int i = 0; i < params.count; ++i) {
+    const ControlSetId cs = sets[static_cast<std::size_t>(i) % sets.size()];
+
+    // The register body: seed -> FF chain; feedback taps picked at random.
+    const std::vector<NetId> taps_bus = b.ff_chain(seed, params.width, cs);
+    std::vector<NetId> feedback_in(static_cast<std::size_t>(params.taps));
+    feedback_in[0] = taps_bus.back();
+    for (int t = 1; t < params.taps; ++t) {
+      feedback_in[static_cast<std::size_t>(t)] =
+          taps_bus[rng.index(taps_bus.size() - 1)];
+    }
+    const NetId feedback = b.lut(feedback_in);
+
+    // Cycle counter per LFSR: a carry-chain incrementer with registered
+    // state, so the generator exercises FF + LUT + carry together.
+    const std::vector<NetId> count_q =
+        b.register_bus(std::vector<NetId>(taps_bus.begin(), taps_bus.end()),
+                       cs);
+    const std::vector<NetId> incremented = b.adder(count_q, taps_bus);
+    module.netlist.mark_output(incremented.back());
+
+    // SRL delay line on the feedback bit.
+    NetId delayed = feedback;
+    for (int d = 0; d < params.srl_delay; ++d) {
+      delayed = b.srl(delayed, cs);
+    }
+    module.netlist.mark_output(delayed);
+  }
+  return module;
+}
+
+}  // namespace mf

@@ -1,0 +1,54 @@
+#include <string>
+
+#include "netlist/builder.hpp"
+#include "rtlgen/generators.hpp"
+
+namespace mf {
+
+Module gen_lutram(const LutRamParams& params, Rng& rng) {
+  (void)rng;  // fully deterministic in its parameters
+  MF_CHECK(params.width > 0 && params.depth > 0);
+
+  Module module;
+  module.name = "lutram";
+  module.params = "width=" + std::to_string(params.width) +
+                  " depth=" + std::to_string(params.depth);
+  NetlistBuilder b(module.netlist);
+
+  // One LutRam cell models a RAM32X1: 32 words x 1 bit on an M-slice LUT
+  // site. A width x depth memory therefore needs width * ceil(depth/32)
+  // cells plus a read-mux LUT tree per data bit.
+  const int banks = (params.depth + 31) / 32;
+  const int addr_bits = [&] {
+    int bits = 0;
+    while ((1 << bits) < params.depth) ++bits;
+    return std::max(bits, 1);
+  }();
+
+  const std::vector<NetId> addr = b.input_bus(addr_bits, "addr");
+  const std::vector<NetId> din = b.input_bus(params.width, "din");
+  const NetId we = b.input("we");
+  const ControlSetId cs = b.control_set(kInvalidId, we);
+
+  const std::size_t low_bits = std::min<std::size_t>(addr.size(), 5);
+  const std::span<const NetId> low_addr(addr.data(), low_bits);
+
+  for (int bit = 0; bit < params.width; ++bit) {
+    std::vector<NetId> bank_outs;
+    bank_outs.reserve(static_cast<std::size_t>(banks));
+    for (int bank = 0; bank < banks; ++bank) {
+      bank_outs.push_back(
+          b.lutram(low_addr, din[static_cast<std::size_t>(bit)], cs));
+    }
+    // Read mux over banks (plus the high address bits as selects).
+    std::vector<NetId> mux_in = bank_outs;
+    for (std::size_t i = low_bits; i < addr.size(); ++i) {
+      mux_in.push_back(addr[i]);
+    }
+    const NetId q = b.reduce(mux_in, 4);
+    module.netlist.mark_output(q);
+  }
+  return module;
+}
+
+}  // namespace mf

@@ -1,0 +1,129 @@
+#include <algorithm>
+#include <string>
+
+#include "netlist/builder.hpp"
+#include "rtlgen/generators.hpp"
+
+namespace mf {
+
+Module gen_mixed(const MixedParams& params, Rng& rng) {
+  MF_CHECK(params.luts >= 4 && params.ffs >= 0);
+  MF_CHECK(params.control_sets >= 1);
+  MF_CHECK(params.carry_adders >= 0 && params.carry_width >= 0);
+
+  Module module;
+  module.name = "mixed";
+  module.params = "luts=" + std::to_string(params.luts) +
+                  " ffs=" + std::to_string(params.ffs) +
+                  " carry=" + std::to_string(params.carry_adders) + "x" +
+                  std::to_string(params.carry_width) +
+                  " srls=" + std::to_string(params.srls) +
+                  " lutrams=" + std::to_string(params.lutrams) +
+                  " cs=" + std::to_string(params.control_sets) +
+                  " fo=" + std::to_string(params.fanout_boost);
+  NetlistBuilder b(module.netlist);
+
+  std::vector<ControlSetId> sets;
+  for (int i = 0; i < params.control_sets; ++i) {
+    sets.push_back(b.control_set(b.input("rst" + std::to_string(i)),
+                                 b.input("en" + std::to_string(i))));
+  }
+  auto next_cs = [&, i = std::size_t{0}]() mutable {
+    return sets[i++ % sets.size()];
+  };
+
+  const std::vector<NetId> primary = b.input_bus(16, "din");
+  const NetId broadcast = b.input("bcast");
+
+  // LUT budget accounting: the adder propagate LUTs and the LUTRAM read
+  // muxes also consume LUT cells, so the datapath layers take what remains.
+  int lut_budget = params.luts;
+
+  // 1) Carry section: parallel adders over registered operands.
+  std::vector<NetId> carry_outs;
+  for (int a = 0; a < params.carry_adders && params.carry_width >= 2; ++a) {
+    std::vector<NetId> lhs(static_cast<std::size_t>(params.carry_width));
+    std::vector<NetId> rhs(static_cast<std::size_t>(params.carry_width));
+    for (int i = 0; i < params.carry_width; ++i) {
+      lhs[static_cast<std::size_t>(i)] = primary[rng.index(primary.size())];
+      rhs[static_cast<std::size_t>(i)] = primary[rng.index(primary.size())];
+    }
+    const std::vector<NetId> sum = b.adder(lhs, rhs);
+    lut_budget -= params.carry_width;
+    carry_outs.insert(carry_outs.end(), sum.begin(), sum.end());
+  }
+
+  // 2) SRL and LUTRAM side structures.
+  std::vector<NetId> side_outs;
+  for (int i = 0; i < params.srls; ++i) {
+    side_outs.push_back(b.srl(primary[rng.index(primary.size())], next_cs()));
+  }
+  if (params.lutrams > 0) {
+    const std::span<const NetId> addr(primary.data(), 5);
+    for (int i = 0; i < params.lutrams; ++i) {
+      side_outs.push_back(
+          b.lutram(addr, primary[rng.index(primary.size())], next_cs()));
+    }
+  }
+
+  // 3) Hard blocks.
+  for (int i = 0; i < params.bram; ++i) {
+    const std::span<const NetId> addr(primary.data(), 10);
+    const std::span<const NetId> din(primary.data(), 8);
+    side_outs.push_back(b.bram36(addr, din));
+  }
+  for (int i = 0; i < params.dsp; ++i) {
+    const std::span<const NetId> a(primary.data(), 8);
+    const std::span<const NetId> bb(primary.data() + 8, 8);
+    side_outs.push_back(b.dsp48(a, bb));
+  }
+
+  // 4) Datapath: LUT layers interleaved with pipeline registers until both
+  // budgets are spent. The broadcast net is mixed into `fanout_boost` LUTs.
+  std::vector<NetId> wave = primary;
+  wave.insert(wave.end(), carry_outs.begin(), carry_outs.end());
+  wave.insert(wave.end(), side_outs.begin(), side_outs.end());
+
+  int ff_budget = params.ffs;
+  int boost_left = params.fanout_boost;
+  while (lut_budget > 0) {
+    const int layer = std::min(lut_budget, 32);
+    std::vector<NetId> outs(static_cast<std::size_t>(layer));
+    for (int i = 0; i < layer; ++i) {
+      std::vector<NetId> ins;
+      const int arity = static_cast<int>(rng.uniform_int(2, 5));
+      for (int k = 0; k < arity; ++k) {
+        ins.push_back(wave[rng.index(wave.size())]);
+      }
+      if (boost_left > 0) {
+        ins.back() = broadcast;
+        --boost_left;
+      }
+      outs[static_cast<std::size_t>(i)] = b.lut(ins);
+    }
+    lut_budget -= layer;
+
+    if (ff_budget > 0) {
+      const int regs = std::min<int>(ff_budget, layer);
+      const std::span<const NetId> head(outs.data(),
+                                        static_cast<std::size_t>(regs));
+      const std::vector<NetId> q = b.register_bus(head, next_cs());
+      std::copy(q.begin(), q.end(), outs.begin());
+      ff_budget -= regs;
+    }
+    wave = std::move(outs);
+  }
+  // Spend any remaining FF budget on chains off the last wave.
+  while (ff_budget > 0) {
+    const int depth = std::min(ff_budget, 16);
+    const std::vector<NetId> taps =
+        b.ff_chain(wave[rng.index(wave.size())], depth, next_cs());
+    module.netlist.mark_output(taps.back());
+    ff_budget -= depth;
+  }
+
+  for (NetId n : wave) module.netlist.mark_output(n);
+  return module;
+}
+
+}  // namespace mf

@@ -1,0 +1,52 @@
+#include <string>
+
+#include "netlist/builder.hpp"
+#include "rtlgen/generators.hpp"
+
+namespace mf {
+
+Module gen_shiftreg(const ShiftRegParams& params, Rng& rng) {
+  MF_CHECK(params.chains > 0 && params.depth > 0);
+  MF_CHECK(params.control_sets >= 1 && params.fanin >= 1 &&
+           params.fanin <= 6);
+
+  Module module;
+  module.name = "shiftreg";
+  module.params = "chains=" + std::to_string(params.chains) +
+                  " depth=" + std::to_string(params.depth) +
+                  " cs=" + std::to_string(params.control_sets) +
+                  " fanin=" + std::to_string(params.fanin);
+  NetlistBuilder b(module.netlist);
+
+  // Distinct control sets: every group gets its own reset and enable nets.
+  // These nets pick up one control load per FF, so a design with few groups
+  // exhibits exactly the high-fanout resets Section V-D talks about.
+  std::vector<ControlSetId> sets;
+  sets.reserve(static_cast<std::size_t>(params.control_sets));
+  for (int i = 0; i < params.control_sets; ++i) {
+    const NetId sr = b.input("rst" + std::to_string(i));
+    const NetId ce = b.input("en" + std::to_string(i));
+    sets.push_back(b.control_set(sr, ce));
+  }
+
+  // Shared input pool the head LUTs draw from; pool smaller than total LUT
+  // input demand => genuine multi-load fanin nets.
+  const int pool_size = std::max(2, params.fanin * 2);
+  const std::vector<NetId> pool = b.input_bus(pool_size, "din");
+
+  for (int c = 0; c < params.chains; ++c) {
+    std::vector<NetId> head_inputs(static_cast<std::size_t>(params.fanin));
+    for (int k = 0; k < params.fanin; ++k) {
+      head_inputs[static_cast<std::size_t>(k)] =
+          pool[rng.index(pool.size())];
+    }
+    const NetId head = b.lut(head_inputs);
+    const ControlSetId cs =
+        sets[static_cast<std::size_t>(c) % sets.size()];
+    const std::vector<NetId> taps = b.ff_chain(head, params.depth, cs);
+    module.netlist.mark_output(taps.back());
+  }
+  return module;
+}
+
+}  // namespace mf

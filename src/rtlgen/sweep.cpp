@@ -1,0 +1,153 @@
+#include "rtlgen/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mf {
+
+const char* to_string(GenKind kind) noexcept {
+  switch (kind) {
+    case GenKind::ShiftReg:
+      return "shiftreg";
+    case GenKind::LutRam:
+      return "lutram";
+    case GenKind::Carry:
+      return "carry";
+    case GenKind::Lfsr:
+      return "lfsr";
+    case GenKind::Fir:
+      return "fir";
+    case GenKind::Fsm:
+      return "fsm";
+    case GenKind::Mixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+namespace {
+
+// Overload trampoline so std::visit can dispatch to the free generators.
+Module gen_module(const ShiftRegParams& p, Rng& rng) {
+  return gen_shiftreg(p, rng);
+}
+Module gen_module(const LutRamParams& p, Rng& rng) {
+  return gen_lutram(p, rng);
+}
+Module gen_module(const CarryParams& p, Rng& rng) { return gen_carry(p, rng); }
+Module gen_module(const LfsrParams& p, Rng& rng) { return gen_lfsr(p, rng); }
+Module gen_module(const FirParams& p, Rng& rng) { return gen_fir(p, rng); }
+Module gen_module(const FsmParams& p, Rng& rng) { return gen_fsm(p, rng); }
+Module gen_module(const MixedParams& p, Rng& rng) { return gen_mixed(p, rng); }
+
+}  // namespace
+
+Module realize(const GenSpec& spec) {
+  Rng rng(spec.seed);
+  Module module = std::visit(
+      [&](const auto& params) { return gen_module(params, rng); },
+      spec.params);
+  module.name = spec.name;
+  return module;
+}
+
+std::vector<GenSpec> dataset_sweep(const SweepOptions& opts) {
+  MF_CHECK(opts.target_modules > 0);
+  std::vector<GenSpec> specs;
+  specs.reserve(static_cast<std::size_t>(opts.target_modules));
+  Rng rng(opts.seed);
+  int counter = 0;
+
+  auto push = [&](GenKind kind, auto params) {
+    if (static_cast<int>(specs.size()) >= opts.target_modules) return;
+    GenSpec spec;
+    spec.kind = kind;
+    spec.name = std::string(to_string(kind)) + "_" + std::to_string(counter);
+    spec.params = params;
+    spec.seed = opts.seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(counter);
+    ++counter;
+    specs.push_back(std::move(spec));
+  };
+
+  // -- corner-case grids (Section VI-A) ------------------------------------
+  for (int chains : {4, 8, 16, 32, 64, 96}) {
+    for (int depth : {4, 8, 16, 32}) {
+      for (int cs : {1, 2, 4, 8, 16}) {
+        for (int fanin : {2, 4, 6}) {
+          if (cs > chains) continue;
+          push(GenKind::ShiftReg, ShiftRegParams{chains, depth, cs, fanin});
+        }
+      }
+    }
+  }
+  for (int width : {1, 2, 4, 8, 16, 32}) {
+    for (int depth : {32, 64, 128, 256, 512, 1024}) {
+      push(GenKind::LutRam, LutRamParams{width, depth});
+    }
+  }
+  for (int terms : {1, 2, 4}) {
+    for (int width : {4, 8, 12, 16, 24}) {
+      for (bool reg : {false, true}) {
+        push(GenKind::Carry, CarryParams{terms, width, reg});
+      }
+    }
+  }
+  for (int count : {1, 2, 4, 8, 16}) {
+    for (int width : {8, 16, 24, 32}) {
+      for (int taps : {3, 5}) {
+        for (int srl : {0, 2, 4}) {
+          for (int cs : {1, 4}) {
+            if (cs > count) continue;
+            push(GenKind::Lfsr, LfsrParams{count, width, taps, srl, cs});
+          }
+        }
+      }
+    }
+  }
+
+  for (int taps : {4, 8, 16, 32}) {
+    for (int width : {8, 16, 24}) {
+      for (bool dsp : {false, true}) {
+        push(GenKind::Fir, FirParams{taps, width, dsp});
+      }
+    }
+  }
+  for (int bits : {4, 6, 8, 10}) {
+    for (int outputs : {8, 32, 96}) {
+      for (int tps : {4, 8}) {
+        push(GenKind::Fsm, FsmParams{bits, outputs, tps});
+      }
+    }
+  }
+
+  // -- generic template fill (Figure 6) -------------------------------------
+  // Log-uniform LUT target in [12, 5000]; 85% of draws stay below 2,500 LUTs
+  // by construction of the log range, matching Section VI-C's observation.
+  while (static_cast<int>(specs.size()) < opts.target_modules) {
+    MixedParams p;
+    const double log_lut =
+        rng.uniform(std::log(12.0), std::log(5000.0));
+    p.luts = static_cast<int>(std::exp(log_lut));
+    p.ffs = static_cast<int>(p.luts * rng.uniform(0.2, 2.4));
+    p.carry_adders = static_cast<int>(rng.uniform_int(0, 6));
+    p.carry_width = static_cast<int>(rng.uniform_int(4, 32));
+    p.srls = rng.bernoulli(0.4)
+                 ? static_cast<int>(rng.uniform_int(0, std::max(1, p.luts / 4)))
+                 : 0;
+    p.lutrams =
+        rng.bernoulli(0.3)
+            ? static_cast<int>(rng.uniform_int(0, std::max(1, p.luts / 6)))
+            : 0;
+    p.bram = rng.bernoulli(0.15) ? static_cast<int>(rng.uniform_int(1, 8)) : 0;
+    p.dsp = rng.bernoulli(0.1) ? static_cast<int>(rng.uniform_int(1, 8)) : 0;
+    p.control_sets = static_cast<int>(rng.uniform_int(1, 16));
+    p.fanout_boost =
+        rng.bernoulli(0.35) ? static_cast<int>(rng.uniform_int(8, 200)) : 0;
+    push(GenKind::Mixed, p);
+  }
+  return specs;
+}
+
+}  // namespace mf

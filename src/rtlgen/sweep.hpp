@@ -1,0 +1,50 @@
+#pragma once
+// Dataset sweep: enumerates ~2,000 generator configurations covering the
+// design space of Figure 7 (12 .. ~5,000 LUTs, all resource mixes).
+//
+// Specs are lightweight descriptions; modules are realised on demand so a
+// full sweep never holds 2,000 netlists in memory at once.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "rtlgen/generators.hpp"
+
+namespace mf {
+
+enum class GenKind : std::uint8_t {
+  ShiftReg,
+  LutRam,
+  Carry,
+  Lfsr,
+  Fir,
+  Fsm,
+  Mixed,
+};
+
+[[nodiscard]] const char* to_string(GenKind kind) noexcept;
+
+struct GenSpec {
+  std::string name;
+  GenKind kind = GenKind::Mixed;
+  std::variant<ShiftRegParams, LutRamParams, CarryParams, LfsrParams,
+               FirParams, FsmParams, MixedParams>
+      params;
+  std::uint64_t seed = 0;
+};
+
+/// Instantiate the module described by `spec` (deterministic per spec).
+Module realize(const GenSpec& spec);
+
+struct SweepOptions {
+  int target_modules = 2000;  ///< total spec count (grid + random fill)
+  std::uint64_t seed = 42;
+};
+
+/// Grid sweeps over the four corner-case generators plus random sampling of
+/// the generic template until `target_modules` specs exist.
+std::vector<GenSpec> dataset_sweep(const SweepOptions& opts = {});
+
+}  // namespace mf

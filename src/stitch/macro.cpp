@@ -1,0 +1,12 @@
+#include "stitch/macro.hpp"
+
+namespace mf {
+
+int BlockDesign::unique_index(const std::string& name) const {
+  for (std::size_t i = 0; i < unique_modules.size(); ++i) {
+    if (unique_modules[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace mf

@@ -1,0 +1,59 @@
+#pragma once
+// Pre-implemented macro and the block-level stitching problem.
+//
+// A Macro is one unique block after per-PBlock implementation: its rectangle
+// (hence relocation footprint), resource usage and quality metrics. The
+// StitchProblem is the block design of Figure 2 reduced to what the stitcher
+// needs: instances referencing macros, plus inter-block nets.
+
+#include <string>
+#include <vector>
+
+#include "fabric/pblock.hpp"
+#include "netlist/netlist.hpp"
+
+namespace mf {
+
+struct Macro {
+  std::string name;
+  PBlock pblock;        ///< rectangle at its implementation origin
+  Footprint footprint;  ///< relocation constraint derived from `pblock`
+  int used_slices = 0;
+  int est_slices = 0;
+  double cf = 0.0;          ///< correction factor it was implemented with
+  double fill_ratio = 0.0;  ///< placement regularity (1.0 = rectangular)
+  int tool_runs = 0;        ///< feasibility checks spent implementing it
+  double longest_path_ns = 0.0;
+
+  [[nodiscard]] long area() const noexcept { return pblock.area(); }
+};
+
+struct BlockInstance {
+  std::string name;
+  int macro = -1;  ///< index into StitchProblem::macros
+};
+
+/// Inter-block net: indices into StitchProblem::instances.
+struct BlockNet {
+  std::vector<int> instances;
+  double weight = 1.0;
+};
+
+struct StitchProblem {
+  std::vector<Macro> macros;
+  std::vector<BlockInstance> instances;
+  std::vector<BlockNet> nets;
+};
+
+/// A block design before implementation: the input of the RW-style flow
+/// (unique modules + the instance/connectivity diagram).
+struct BlockDesign {
+  std::vector<Module> unique_modules;
+  std::vector<BlockInstance> instances;  ///< macro = unique module index
+  std::vector<BlockNet> nets;
+
+  /// Index of a unique module by name; -1 when absent.
+  [[nodiscard]] int unique_index(const std::string& name) const;
+};
+
+}  // namespace mf

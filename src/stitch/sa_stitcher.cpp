@@ -1,0 +1,450 @@
+#include "stitch/sa_stitcher.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace mf {
+namespace {
+
+/// Mutable SA state over one stitching run.
+class Annealer {
+ public:
+  Annealer(const Device& device, const StitchProblem& problem,
+           const StitchOptions& opts)
+      : device_(device), problem_(problem), opts_(opts), rng_(opts.seed) {}
+
+  StitchResult run() {
+    Timer timer;
+    prepare();
+    greedy_initial();
+    anneal();
+    final_fill();
+    finish();
+    result_.seconds = timer.seconds();
+    return std::move(result_);
+  }
+
+ private:
+  // -- setup ----------------------------------------------------------------
+  void prepare() {
+    grid_.assign(static_cast<std::size_t>(device_.num_columns()) *
+                     static_cast<std::size_t>(device_.rows()),
+                 -1);
+    anchors_.resize(problem_.macros.size());
+    for (std::size_t m = 0; m < problem_.macros.size(); ++m) {
+      const Macro& macro = problem_.macros[m];
+      anchors_[m] = compatible_anchors(device_, macro.footprint,
+                                       macro.pblock.row_lo);
+    }
+    positions_.assign(problem_.instances.size(), BlockPlacement{});
+    nets_of_.assign(problem_.instances.size(), {});
+    for (std::size_t n = 0; n < problem_.nets.size(); ++n) {
+      for (int inst : problem_.nets[n].instances) {
+        nets_of_[static_cast<std::size_t>(inst)].push_back(
+            static_cast<int>(n));
+      }
+    }
+    if (opts_.unplaced_penalty > 0.0) {
+      penalty_ = opts_.unplaced_penalty;
+    } else {
+      penalty_ = 4.0 * (device_.num_columns() + device_.rows());
+    }
+  }
+
+  [[nodiscard]] const Macro& macro_of(int instance) const {
+    return problem_.macros[static_cast<std::size_t>(
+        problem_.instances[static_cast<std::size_t>(instance)].macro)];
+  }
+
+  [[nodiscard]] int& grid_at(int col, int row) {
+    return grid_[static_cast<std::size_t>(col) *
+                     static_cast<std::size_t>(device_.rows()) +
+                 static_cast<std::size_t>(row)];
+  }
+
+  [[nodiscard]] bool region_free(int instance, int col, int row) {
+    const Macro& macro = macro_of(instance);
+    const int w = macro.footprint.width();
+    const int h = macro.footprint.height;
+    for (int c = col; c < col + w; ++c) {
+      for (int r = row; r < row + h; ++r) {
+        const int occupant = grid_at(c, r);
+        if (occupant != -1 && occupant != instance) return false;
+      }
+    }
+    return true;
+  }
+
+  void fill_region(int instance, int col, int row, int value) {
+    const Macro& macro = macro_of(instance);
+    for (int c = col; c < col + macro.footprint.width(); ++c) {
+      for (int r = row; r < row + macro.footprint.height; ++r) {
+        grid_at(c, r) = value;
+      }
+    }
+  }
+
+  void place(int instance, int col, int row) {
+    fill_region(instance, col, row, instance);
+    positions_[static_cast<std::size_t>(instance)] = {col, row};
+  }
+
+  void unplace(int instance) {
+    const BlockPlacement& p = positions_[static_cast<std::size_t>(instance)];
+    if (!p.placed()) return;
+    fill_region(instance, p.col, p.row, -1);
+    positions_[static_cast<std::size_t>(instance)] = BlockPlacement{};
+  }
+
+  // -- cost -------------------------------------------------------------------
+  [[nodiscard]] std::pair<double, double> center_of(int instance) const {
+    const BlockPlacement& p = positions_[static_cast<std::size_t>(instance)];
+    const Macro& macro = macro_of(instance);
+    return {p.col + macro.footprint.width() / 2.0,
+            p.row + macro.footprint.height / 2.0};
+  }
+
+  [[nodiscard]] double net_cost(int net) const {
+    const BlockNet& bn = problem_.nets[static_cast<std::size_t>(net)];
+    double c0 = 0.0;
+    double c1 = 0.0;
+    double r0 = 0.0;
+    double r1 = 0.0;
+    int count = 0;
+    for (int inst : bn.instances) {
+      if (!positions_[static_cast<std::size_t>(inst)].placed()) continue;
+      const auto [cc, rr] = center_of(inst);
+      if (count == 0) {
+        c0 = c1 = cc;
+        r0 = r1 = rr;
+      } else {
+        c0 = std::min(c0, cc);
+        c1 = std::max(c1, cc);
+        r0 = std::min(r0, rr);
+        r1 = std::max(r1, rr);
+      }
+      ++count;
+    }
+    if (count < 2) return 0.0;
+    return bn.weight * ((c1 - c0) + (r1 - r0));
+  }
+
+  [[nodiscard]] double full_wirelength() const {
+    double total = 0.0;
+    for (std::size_t n = 0; n < problem_.nets.size(); ++n) {
+      total += net_cost(static_cast<int>(n));
+    }
+    return total;
+  }
+
+  [[nodiscard]] double local_cost(int instance) const {
+    double total = 0.0;
+    for (int n : nets_of_[static_cast<std::size_t>(instance)]) {
+      total += net_cost(n);
+    }
+    return total;
+  }
+
+  [[nodiscard]] int unplaced_count() const {
+    int count = 0;
+    for (const BlockPlacement& p : positions_) {
+      if (!p.placed()) ++count;
+    }
+    return count;
+  }
+
+  // -- initial placement ------------------------------------------------------
+  void greedy_initial() {
+    std::vector<int> order(problem_.instances.size());
+    std::iota(order.begin(), order.end(), 0);
+    // Anchor-constrained blocks first (BRAM/DSP users have few legal
+    // positions -- give them first pick), then big blocks before small.
+    auto anchor_count = [&](int inst) {
+      return anchors_[static_cast<std::size_t>(
+                          problem_.instances[static_cast<std::size_t>(inst)]
+                              .macro)]
+          .size();
+    };
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const std::size_t ca = anchor_count(a);
+      const std::size_t cb = anchor_count(b);
+      if (ca != cb) return ca < cb;
+      const long aa = macro_of(a).area();
+      const long bb = macro_of(b).area();
+      if (aa != bb) return aa > bb;  // big blocks first
+      return a < b;
+    });
+    for (int inst : order) {
+      const auto& candidates = anchors_[static_cast<std::size_t>(
+          problem_.instances[static_cast<std::size_t>(inst)].macro)];
+      for (const auto& [col, row] : candidates) {
+        if (region_free(inst, col, row)) {
+          place(inst, col, row);
+          break;
+        }
+      }
+    }
+  }
+
+  // -- annealing ---------------------------------------------------------------
+  void anneal() {
+    wirelength_ = full_wirelength();
+    double cost = wirelength_ + penalty_ * unplaced_count();
+    const double t0 =
+        opts_.initial_temp > 0.0
+            ? opts_.initial_temp
+            : 0.2 * (device_.num_columns() + device_.rows());
+    const int moves_per_temp =
+        opts_.moves_per_temp > 0
+            ? opts_.moves_per_temp
+            : 10 * static_cast<int>(problem_.instances.size());
+    const double t_min = t0 * opts_.min_temp_ratio;
+
+    result_.cost_trace.emplace_back(0, cost);
+    double stagnant_best = cost;
+    int stagnant_temps = 0;
+    double best_cost = cost;
+    std::vector<BlockPlacement> best_positions = positions_;
+    for (double temp = t0; temp > t_min; temp *= opts_.cooling) {
+      for (int k = 0; k < moves_per_temp; ++k) {
+        ++result_.total_moves;
+        if (opts_.place_retry_every > 0 &&
+            result_.total_moves % opts_.place_retry_every == 0 &&
+            try_unpark(cost)) {
+          continue;
+        }
+        displace_move(temp, cost);
+      }
+      result_.cost_trace.emplace_back(result_.total_moves, cost);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_positions = positions_;
+      }
+      // Quiescence detection: when the cost has not improved by more than
+      // 0.1% for a while, further cooling is wasted annealing. Easier
+      // placement problems (tighter macros, fewer illegal moves) quiesce
+      // sooner -- the mechanism behind the paper's "converged 1.37x faster".
+      // Only once every block is placed: while blocks are parked, progress
+      // arrives in rare unpark events that a stagnation window would miss.
+      if (opts_.stagnation_temps > 0 && unplaced_count() == 0) {
+        if (cost < stagnant_best * 0.999) {
+          stagnant_best = cost;
+          stagnant_temps = 0;
+        } else if (++stagnant_temps >= opts_.stagnation_temps) {
+          break;
+        }
+      }
+    }
+    // Keep the best solution seen, not wherever the walk happened to stop.
+    if (best_cost < cost - 1e-9) {
+      restore(best_positions);
+    }
+  }
+
+  /// Rebuild the occupancy grid and positions from a snapshot.
+  void restore(const std::vector<BlockPlacement>& snapshot) {
+    std::fill(grid_.begin(), grid_.end(), -1);
+    positions_.assign(positions_.size(), BlockPlacement{});
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+      if (snapshot[i].placed()) {
+        place(static_cast<int>(i), snapshot[i].col, snapshot[i].row);
+      }
+    }
+  }
+
+  /// Attempt to place a parked block; always accepted when legal (the
+  /// penalty dwarfs any wirelength increase). Mostly samples random anchors
+  /// (cheap); every few calls it scans the instance's full anchor list so a
+  /// lone remaining hole is found eventually.
+  bool try_unpark(double& cost) {
+    std::vector<int> parked;
+    for (std::size_t i = 0; i < positions_.size(); ++i) {
+      if (!positions_[i].placed()) parked.push_back(static_cast<int>(i));
+    }
+    if (parked.empty()) return false;
+    const int inst = parked[rng_.index(parked.size())];
+    const auto& candidates = anchors_[static_cast<std::size_t>(
+        problem_.instances[static_cast<std::size_t>(inst)].macro)];
+    if (candidates.empty()) return false;
+
+    auto place_at = [&](int col, int row) {
+      const double before = local_cost(inst);
+      place(inst, col, row);
+      cost += local_cost(inst) - before - penalty_;
+      ++result_.accepted;
+    };
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      const auto& [col, row] = candidates[rng_.index(candidates.size())];
+      if (!region_free(inst, col, row)) continue;
+      place_at(col, row);
+      return true;
+    }
+    if (++unpark_failures_ % 8 == 0) {
+      for (const auto& [col, row] : candidates) {
+        if (!region_free(inst, col, row)) continue;
+        place_at(col, row);
+        return true;
+      }
+    }
+    ++result_.illegal;
+    return true;  // consumed the move
+  }
+
+  /// Post-anneal greedy fill: repeatedly scan every parked block's full
+  /// anchor list (largest blocks first) until no more fit. RW's stitcher
+  /// ends the same way -- whatever still fits is placed, the rest is
+  /// reported unplaced (Figure 5's counts).
+  void final_fill() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      std::vector<int> parked;
+      for (std::size_t i = 0; i < positions_.size(); ++i) {
+        if (!positions_[i].placed()) parked.push_back(static_cast<int>(i));
+      }
+      std::sort(parked.begin(), parked.end(), [&](int a, int b) {
+        return macro_of(a).area() > macro_of(b).area();
+      });
+      for (int inst : parked) {
+        const auto& candidates = anchors_[static_cast<std::size_t>(
+            problem_.instances[static_cast<std::size_t>(inst)].macro)];
+        for (const auto& [col, row] : candidates) {
+          if (!region_free(inst, col, row)) continue;
+          place(inst, col, row);
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+
+  void displace_move(double temp, double& cost) {
+    std::vector<int>* placed = &placed_scratch_;
+    placed->clear();
+    for (std::size_t i = 0; i < positions_.size(); ++i) {
+      if (positions_[i].placed()) placed->push_back(static_cast<int>(i));
+    }
+    if (placed->empty()) return;
+    const int inst = (*placed)[rng_.index(placed->size())];
+    const auto& candidates = anchors_[static_cast<std::size_t>(
+        problem_.instances[static_cast<std::size_t>(inst)].macro)];
+    if (candidates.empty()) return;
+
+    // 1-in-5 moves are compaction attempts: try the lowest-index (leftmost)
+    // free anchor, which keeps free space contiguous instead of fragmenting
+    // it across the fabric. The rest are uniform random displacements.
+    int col = -1;
+    int row = -1;
+    if (rng_.index(5) == 0) {
+      const BlockPlacement current = positions_[static_cast<std::size_t>(inst)];
+      fill_region(inst, current.col, current.row, -1);
+      for (const auto& [c, r] : candidates) {
+        if (c == current.col && r == current.row) break;  // already leftmost
+        if (region_free(inst, c, r)) {
+          col = c;
+          row = r;
+          break;
+        }
+      }
+      fill_region(inst, current.col, current.row, inst);
+      if (col < 0) {
+        ++result_.illegal;
+        return;
+      }
+    } else {
+      const auto& pick = candidates[rng_.index(candidates.size())];
+      col = pick.first;
+      row = pick.second;
+    }
+    const BlockPlacement old = positions_[static_cast<std::size_t>(inst)];
+    if (col == old.col && row == old.row) return;
+
+    // Temporarily lift the block so self-overlap does not block the move.
+    fill_region(inst, old.col, old.row, -1);
+    if (!region_free(inst, col, row)) {
+      fill_region(inst, old.col, old.row, inst);
+      ++result_.illegal;
+      return;
+    }
+    const double before = local_cost(inst);
+    place(inst, col, row);
+    const double delta = local_cost(inst) - before;
+    if (delta <= 0.0 || rng_.uniform() < std::exp(-delta / temp)) {
+      cost += delta;
+      ++result_.accepted;
+    } else {
+      unplace(inst);
+      place(inst, old.col, old.row);
+      ++result_.rejected;
+    }
+  }
+
+  // -- wrap-up -----------------------------------------------------------------
+  void finish() {
+    wirelength_ = full_wirelength();
+    cost_ = wirelength_ + penalty_ * unplaced_count();
+    result_.positions = positions_;
+    result_.unplaced = unplaced_count();
+    result_.wirelength = wirelength_;
+    result_.cost = cost_;
+
+    long covered = 0;
+    for (std::size_t i = 0; i < positions_.size(); ++i) {
+      if (!positions_[i].placed()) continue;
+      const Macro& macro = macro_of(static_cast<int>(i));
+      int clb_cols = 0;
+      for (ColumnKind kind : macro.footprint.kinds) {
+        if (is_clb(kind)) ++clb_cols;
+      }
+      covered += static_cast<long>(clb_cols) * macro.footprint.height;
+    }
+    result_.coverage = static_cast<double>(covered) /
+                       std::max(1, device_.totals().slices);
+
+    // Convergence: first trace sample whose cost is within 1% of the final.
+    const double threshold = result_.cost * 1.01 + 1e-9;
+    result_.converge_move = result_.total_moves;
+    for (const auto& [move, cost] : result_.cost_trace) {
+      if (cost <= threshold) {
+        result_.converge_move = move;
+        break;
+      }
+    }
+  }
+
+  const Device& device_;
+  const StitchProblem& problem_;
+  const StitchOptions& opts_;
+  Rng rng_;
+
+  std::vector<int> grid_;
+  std::vector<std::vector<std::pair<int, int>>> anchors_;  ///< per macro
+  std::vector<BlockPlacement> positions_;
+  std::vector<std::vector<int>> nets_of_;
+  std::vector<int> placed_scratch_;
+  long unpark_failures_ = 0;
+  double penalty_ = 0.0;
+  double wirelength_ = 0.0;
+  double cost_ = 0.0;
+  StitchResult result_;
+};
+
+}  // namespace
+
+StitchResult stitch(const Device& device, const StitchProblem& problem,
+                    const StitchOptions& opts) {
+  MF_CHECK(!problem.instances.empty());
+  for (const BlockInstance& inst : problem.instances) {
+    MF_CHECK(inst.macro >= 0 &&
+             static_cast<std::size_t>(inst.macro) < problem.macros.size());
+  }
+  Annealer annealer(device, problem, opts);
+  return annealer.run();
+}
+
+}  // namespace mf

@@ -1,0 +1,108 @@
+#include "synth/optimize.hpp"
+
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+namespace mf {
+namespace {
+
+/// Cells that must never be swept: they hold state or drive the outside
+/// world through means other than their data output.
+bool is_anchor(const Cell& cell) {
+  switch (cell.kind) {
+    case CellKind::Ff:
+    case CellKind::Srl:
+    case CellKind::LutRam:
+    case CellKind::Bram18:
+    case CellKind::Bram36:
+    case CellKind::Dsp48:
+    case CellKind::Carry4:
+      return true;
+    case CellKind::Lut:
+      return false;
+  }
+  return true;
+}
+
+std::size_t sweep_dangling(Netlist& netlist) {
+  std::size_t total = 0;
+  // Iterate to a fixed point: removing one LUT can orphan its fan-in.
+  for (;;) {
+    std::unordered_set<NetId> output_ports(netlist.outputs().begin(),
+                                           netlist.outputs().end());
+    std::vector<bool> dead(netlist.num_cells(), false);
+    std::size_t found = 0;
+    for (std::size_t i = 0; i < netlist.num_cells(); ++i) {
+      const Cell& cell = netlist.cell(static_cast<CellId>(i));
+      if (is_anchor(cell)) continue;
+      const bool used = cell.out != kInvalidId &&
+                        (!netlist.net(cell.out).sinks.empty() ||
+                         netlist.net(cell.out).control_loads > 0 ||
+                         output_ports.count(cell.out) > 0);
+      if (!used) {
+        dead[i] = true;
+        ++found;
+      }
+    }
+    if (found == 0) break;
+    total += netlist.remove_cells(dead);
+  }
+  return total;
+}
+
+std::size_t merge_duplicate_luts(Netlist& netlist) {
+  // Key: the exact input net sequence (LUT masks are not modelled, so two
+  // LUTs with identical input order are considered equivalent -- this is the
+  // conservative direction for a resource estimator).
+  std::map<std::vector<NetId>, CellId> seen;
+  std::vector<bool> dead(netlist.num_cells(), false);
+  std::vector<std::pair<NetId, NetId>> rewires;  // duplicate out -> keeper out
+  std::size_t merged = 0;
+
+  for (std::size_t i = 0; i < netlist.num_cells(); ++i) {
+    const Cell& cell = netlist.cell(static_cast<CellId>(i));
+    if (cell.kind != CellKind::Lut || cell.out == kInvalidId) continue;
+    if (netlist.is_output(cell.out)) continue;  // keep port drivers distinct
+    auto [it, inserted] =
+        seen.emplace(cell.inputs, static_cast<CellId>(i));
+    if (inserted) continue;
+    const Cell& keeper = netlist.cell(it->second);
+    rewires.emplace_back(cell.out, keeper.out);
+    dead[i] = true;
+    ++merged;
+  }
+  if (merged == 0) return 0;
+
+  // Re-point every sink of a duplicate's output to the keeper's output.
+  // Done via a rebuild of sink lists inside remove_cells semantics: we first
+  // rewrite the cells' input lists, then drop the duplicates.
+  std::map<NetId, NetId> rewire_map(rewires.begin(), rewires.end());
+  for (std::size_t i = 0; i < netlist.num_cells(); ++i) {
+    if (dead[i]) continue;
+    const Cell& cell = netlist.cell(static_cast<CellId>(i));
+    for (std::size_t k = 0; k < cell.inputs.size(); ++k) {
+      const auto it = rewire_map.find(cell.inputs[k]);
+      if (it != rewire_map.end()) {
+        netlist.rewire_input(static_cast<CellId>(i), k, it->second);
+      }
+    }
+  }
+  netlist.remove_cells(dead);
+  return merged;
+}
+
+}  // namespace
+
+OptimizeResult optimize(Netlist& netlist, const OptimizeOptions& opts) {
+  OptimizeResult result;
+  if (opts.merge_duplicate_luts) {
+    result.merged = merge_duplicate_luts(netlist);
+  }
+  if (opts.sweep_dangling) {
+    result.swept = sweep_dangling(netlist);
+  }
+  return result;
+}
+
+}  // namespace mf

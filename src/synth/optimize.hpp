@@ -1,0 +1,30 @@
+#pragma once
+// Post-mapping netlist optimisation.
+//
+// Stands in for the "synthesize & optimize" stage of Figure 1. Two passes:
+//   * dangling-logic sweep: combinational cells whose outputs reach no
+//     output port, sequential element or hard block are removed (transitively);
+//   // * duplicate merge: structurally identical LUTs (same kind, same input
+//     nets) are folded into one, re-pointing sinks.
+// Sequential cells, carry cells and hard blocks are never removed: their
+// side effects (state, memory contents) are observable by construction.
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace mf {
+
+struct OptimizeOptions {
+  bool sweep_dangling = true;
+  bool merge_duplicate_luts = true;
+};
+
+struct OptimizeResult {
+  std::size_t swept = 0;   ///< dangling cells removed
+  std::size_t merged = 0;  ///< duplicate LUTs folded
+};
+
+OptimizeResult optimize(Netlist& netlist, const OptimizeOptions& opts = {});
+
+}  // namespace mf

@@ -1,0 +1,38 @@
+#include "synth/report.hpp"
+
+#include <algorithm>
+
+#include "fabric/device.hpp"
+
+namespace mf {
+
+bool ResourceReport::hard_block_dominated() const noexcept {
+  // A rectangle tall enough for the required BRAM/DSP sites brings in at
+  // least this many slices per adjacent CLB column; when the slice demand is
+  // small relative to the hard-block demand, the PBlock size is set by the
+  // hard blocks and the CF on slices stops mattering.
+  const int rows_for_bram = bram36 * kBramRowPitch;
+  const int rows_for_dsp = (dsp + kDspPerPitch - 1) / kDspPerPitch * kBramRowPitch;
+  const int forced_rows = std::max(rows_for_bram, rows_for_dsp);
+  return forced_rows > 0 && est_slices < 2 * forced_rows;
+}
+
+ResourceReport make_report(const Netlist& netlist) {
+  ResourceReport report;
+  report.stats = compute_stats(netlist);
+  const NetlistStats& s = report.stats;
+
+  const int lut_sites = s.luts + s.m_lut_cells();
+  report.slices_for_luts = (lut_sites + kLutsPerSlice - 1) / kLutsPerSlice;
+  report.slices_for_ffs = (s.ffs + kFfsPerSlice - 1) / kFfsPerSlice;
+  report.slices_for_carry = s.carry4;
+  report.est_slices = std::max({report.slices_for_luts, report.slices_for_ffs,
+                                report.slices_for_carry, 1});
+  report.est_slices_m =
+      (s.m_lut_cells() + kLutsPerSlice - 1) / kLutsPerSlice;
+  report.bram36 = s.bram36_equiv();
+  report.dsp = s.dsp;
+  return report;
+}
+
+}  // namespace mf

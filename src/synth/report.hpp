@@ -1,0 +1,36 @@
+#pragma once
+// Resource report: the output of the synthesis stage of Figure 1.
+//
+// `est_slices` is the deliberately *naive* slice estimate RapidWright
+// multiplies by the correction factor (CF): perfect packing, no control-set
+// fragmentation, no congestion. The gap between this estimate and what the
+// detailed placer actually needs is exactly what the CF -- and hence the
+// paper's estimator -- captures.
+
+#include "netlist/stats.hpp"
+
+namespace mf {
+
+struct ResourceReport {
+  NetlistStats stats;
+
+  int slices_for_luts = 0;   ///< ceil(LUT-site cells / 4)
+  int slices_for_ffs = 0;    ///< ceil(FFs / 8)
+  int slices_for_carry = 0;  ///< one slice per CARRY4
+  int est_slices = 0;        ///< max of the three (perfect-packing bound)
+  int est_slices_m = 0;      ///< M slices needed by SRL/LUTRAM cells
+  int bram36 = 0;            ///< RAMB36-equivalent sites needed
+  int dsp = 0;
+
+  [[nodiscard]] bool uses_bram_or_dsp() const noexcept {
+    return bram36 > 0 || dsp > 0;
+  }
+
+  /// Whether the block's PBlock is driven by hard-block columns rather than
+  /// slice count (the paper's explanation for optimal CFs below 0.7).
+  [[nodiscard]] bool hard_block_dominated() const noexcept;
+};
+
+ResourceReport make_report(const Netlist& netlist);
+
+}  // namespace mf

@@ -1,0 +1,176 @@
+#include "timing/sta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mf {
+namespace {
+
+bool is_sequential(CellKind kind) noexcept {
+  switch (kind) {
+    case CellKind::Ff:
+    case CellKind::Srl:
+    case CellKind::LutRam:
+    case CellKind::Bram18:
+    case CellKind::Bram36:
+    case CellKind::Dsp48:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+TimingResult analyze_timing(const Netlist& netlist, const Placement& placement,
+                            const RouteEstimate& route, double capacity,
+                            const TimingOptions& opts) {
+  MF_CHECK(placement.size() == netlist.num_cells());
+  TimingResult result;
+
+  auto launch_delay = [&](CellKind kind) {
+    switch (kind) {
+      case CellKind::Ff:
+      case CellKind::Srl:
+      case CellKind::LutRam:
+        return opts.clk_to_q;
+      case CellKind::Bram18:
+      case CellKind::Bram36:
+        return opts.bram_delay;
+      case CellKind::Dsp48:
+        return opts.dsp_delay;
+      case CellKind::Lut:
+        return opts.lut_delay;
+      case CellKind::Carry4:
+        return opts.carry_delay;
+    }
+    return 0.0;
+  };
+
+  auto wire_delay = [&](const CellPlacement& from, const CellPlacement& to,
+                        int fanout) {
+    if (!from.placed() || !to.placed()) return opts.wire_base;
+    const double dist = std::abs(static_cast<double>(from.col) - to.col) +
+                        std::abs(static_cast<double>(from.row) - to.row);
+    double delay = opts.wire_base +
+                   opts.wire_per_dist * std::pow(dist, opts.wire_dist_exp) +
+                   opts.fanout_load * std::max(fanout - 1, 0);
+    if (!route.demand.empty() && capacity > 0.0) {
+      const double congestion =
+          0.5 * (route.congestion_at(from.col, from.row, capacity) +
+                 route.congestion_at(to.col, to.row, capacity));
+      delay *= 1.0 + opts.congestion_slope *
+                         std::max(0.0, congestion - opts.congestion_knee);
+    }
+    return delay;
+  };
+
+  // arrival[net] = worst arrival at the net's driver pin plus the driver's
+  // logic delay; sink-specific wire delay is added per edge. Net ids are a
+  // topological order (nets precede the cells that read them). `critical_in`
+  // remembers which input determined the arrival, for path tracing.
+  std::vector<double> arrival(netlist.num_nets(), 0.0);
+  std::vector<NetId> critical_in(netlist.num_nets(), kInvalidId);
+
+  for (std::size_t n = 0; n < netlist.num_nets(); ++n) {
+    const Net& net = netlist.net(static_cast<NetId>(n));
+    if (net.is_clock) continue;
+    const CellId driver = net.driver;
+    if (driver == kInvalidId) {
+      arrival[n] = 0.0;  // primary input
+      continue;
+    }
+    const Cell& cell = netlist.cell(driver);
+    double input_arrival = 0.0;
+    if (!is_sequential(cell.kind)) {
+      for (NetId in : cell.inputs) {
+        MF_CHECK_MSG(static_cast<std::size_t>(in) < n,
+                     "netlist is not in topological net order");
+        const Net& src = netlist.net(in);
+        const CellPlacement& from =
+            src.driver != kInvalidId
+                ? placement[static_cast<std::size_t>(src.driver)]
+                : CellPlacement{};
+        const double edge =
+            arrival[static_cast<std::size_t>(in)] +
+            wire_delay(from, placement[static_cast<std::size_t>(driver)],
+                       src.fanout());
+        if (edge > input_arrival) {
+          input_arrival = edge;
+          critical_in[n] = in;
+        }
+      }
+    }
+    arrival[n] = input_arrival + launch_delay(cell.kind);
+  }
+
+  // Endpoints: data inputs of sequential cells.
+  for (std::size_t i = 0; i < netlist.num_cells(); ++i) {
+    const Cell& cell = netlist.cell(static_cast<CellId>(i));
+    if (!is_sequential(cell.kind)) continue;
+    for (NetId in : cell.inputs) {
+      const Net& src = netlist.net(in);
+      const CellPlacement& from =
+          src.driver != kInvalidId
+              ? placement[static_cast<std::size_t>(src.driver)]
+              : CellPlacement{};
+      const double path =
+          arrival[static_cast<std::size_t>(in)] +
+          wire_delay(from, placement[i], src.fanout()) + opts.setup;
+      if (path > result.longest_path_ns) {
+        result.longest_path_ns = path;
+        result.critical_endpoint = in;
+      }
+    }
+  }
+  // Also consider paths ending at output ports.
+  for (NetId out : netlist.outputs()) {
+    const double path = arrival[static_cast<std::size_t>(out)];
+    if (path > result.longest_path_ns) {
+      result.longest_path_ns = path;
+      result.critical_endpoint = out;
+    }
+  }
+
+  // Trace the critical path back from the endpoint.
+  if (result.critical_endpoint != kInvalidId) {
+    for (NetId n = result.critical_endpoint; n != kInvalidId;
+         n = critical_in[static_cast<std::size_t>(n)]) {
+      result.critical_path.push_back(n);
+    }
+    std::reverse(result.critical_path.begin(), result.critical_path.end());
+  }
+  return result;
+}
+
+std::string format_timing_report(const Netlist& netlist,
+                                 const Placement& placement,
+                                 const TimingResult& result) {
+  std::ostringstream out;
+  out << "critical path: " << result.critical_path.size() << " stages, "
+      << result.longest_path_ns << " ns\n";
+  for (NetId n : result.critical_path) {
+    const Net& net = netlist.net(n);
+    out << "  ";
+    if (net.driver == kInvalidId) {
+      out << "<input>";
+    } else {
+      const Cell& cell = netlist.cell(net.driver);
+      out << to_string(cell.kind);
+      const CellPlacement& p = placement[static_cast<std::size_t>(net.driver)];
+      if (p.placed()) {
+        out << " @(" << p.col << ',' << p.row << ')';
+      }
+    }
+    out << " -> net " << n;
+    if (!net.label.empty()) out << " '" << net.label << '\'';
+    out << " (fanout " << net.fanout() << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace mf

@@ -1,0 +1,71 @@
+#pragma once
+// Static timing analysis over a placed netlist.
+//
+// Purpose: reproduce Table I's "Longest Path (ns)" columns and, crucially,
+// the paper's observation that *tighter* PBlocks give *worse* timing: with
+// everything packed densely, routing congestion forces detours, so wire
+// delay carries a congestion multiplier fed by the routability model's grid.
+//
+// Delay model (loosely calibrated against 7-series -1 speed grade):
+//   LUT logic          0.124 ns
+//   CARRY4 segment     0.057 ns
+//   FF clk->Q          0.350 ns (added at launch)
+//   FF setup           0.050 ns (added at capture)
+//   BRAM clk->DO       1.500 ns, DSP 1.800 ns
+//   wire(driver,sink)  0.30 + 0.065 * dist^0.75, scaled by
+//                      (1 + 4.5 * max(0, congestion - 0.45))
+//   fanout loading     0.015 ns per extra sink
+//
+// The netlist is acyclic over combinational cells by construction (nets are
+// created before the cells that read them), so propagation in net-id order
+// is a topological traversal.
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "place/placement.hpp"
+#include "route/routability.hpp"
+
+namespace mf {
+
+struct TimingOptions {
+  double lut_delay = 0.124;
+  double carry_delay = 0.057;
+  double clk_to_q = 0.350;
+  double setup = 0.050;
+  double bram_delay = 1.500;
+  double dsp_delay = 1.800;
+  double wire_base = 0.30;
+  double wire_per_dist = 0.065;
+  double wire_dist_exp = 0.75;
+  double fanout_load = 0.015;
+  double congestion_knee = 0.45;   ///< congestion ratio where detours start
+  double congestion_slope = 4.5;   ///< delay multiplier slope past the knee
+};
+
+struct TimingResult {
+  double longest_path_ns = 0.0;
+  /// Worst register-to-register (or port-to-register) arrival, per net id of
+  /// the critical endpoint; -1 when the netlist has no timed paths.
+  NetId critical_endpoint = kInvalidId;
+  /// Nets along the critical path, start point first (one entry per logic
+  /// stage, ending at critical_endpoint). Empty when nothing is timed.
+  std::vector<NetId> critical_path;
+};
+
+/// Human-readable critical path report: one line per stage with the driving
+/// primitive, its location and the cumulative arrival time.
+std::string format_timing_report(const Netlist& netlist,
+                                 const Placement& placement,
+                                 const TimingResult& result);
+
+/// Analyse `netlist` with cells placed per `placement`; `route` supplies the
+/// congestion grid (pass a default-constructed estimate to disable the
+/// congestion multiplier), `capacity` is the routability cell capacity used
+/// to normalise it.
+TimingResult analyze_timing(const Netlist& netlist, const Placement& placement,
+                            const RouteEstimate& route, double capacity,
+                            const TimingOptions& opts = {});
+
+}  // namespace mf

@@ -1,0 +1,165 @@
+#include "netlist/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "netlist/stats.hpp"
+
+namespace mf {
+namespace {
+
+TEST(Builder, ClockIsSingleton) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  EXPECT_EQ(b.clock(), b.clock());
+  EXPECT_TRUE(nl.net(b.clock()).is_clock);
+}
+
+TEST(Builder, LutArityBounds) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId in = b.input();
+  EXPECT_NO_THROW(b.lut({in}));
+  EXPECT_NO_THROW(b.lut({in, in, in, in, in, in}));
+  EXPECT_THROW(b.lut({in, in, in, in, in, in, in}), CheckError);
+}
+
+TEST(Builder, FfBindsControlSet) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const ControlSetId cs = b.control_set(b.input("rst"));
+  const NetId q = b.ff(b.input("d"), cs);
+  const Cell& ff = nl.cell(nl.net(q).driver);
+  EXPECT_EQ(ff.kind, CellKind::Ff);
+  EXPECT_EQ(ff.control_set, cs);
+}
+
+TEST(Builder, AdderStructure) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const std::vector<NetId> a = b.input_bus(10, "a");
+  const std::vector<NetId> c = b.input_bus(10, "b");
+  const std::vector<NetId> sum = b.adder(a, c);
+  EXPECT_EQ(sum.size(), 10u);
+
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.luts, 10);              // one propagate LUT per bit
+  EXPECT_EQ(s.carry4, 3);             // ceil(10/4) chained segments
+  ASSERT_EQ(s.carry_chains.size(), 1u);
+  EXPECT_EQ(s.carry_chains[0], 3);
+}
+
+TEST(Builder, AdderChainsAreSequential) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const std::vector<NetId> a = b.input_bus(8, "a");
+  b.adder(a, a);
+  std::map<int, std::set<int>> positions;
+  for (const Cell& cell : nl.cells()) {
+    if (cell.kind == CellKind::Carry4) {
+      positions[cell.chain].insert(cell.chain_pos);
+    }
+  }
+  ASSERT_EQ(positions.size(), 1u);
+  EXPECT_EQ(*positions.begin()->second.begin(), 0);
+  EXPECT_EQ(*positions.begin()->second.rbegin(), 1);
+}
+
+TEST(Builder, DistinctAddersGetDistinctChains) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const std::vector<NetId> a = b.input_bus(4, "a");
+  b.adder(a, a);
+  b.adder(a, a);
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.carry_chains.size(), 2u);
+}
+
+TEST(Builder, ReduceConvergesToOneNet) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const std::vector<NetId> inputs = b.input_bus(100, "x");
+  b.reduce(inputs, 4);
+  const NetlistStats s = compute_stats(nl);
+  // Arity-4 tree over 100 leaves: 25 + 6 + 2 + 1 = 34 LUTs (a lone
+  // leftover net passes through a level without a LUT).
+  EXPECT_EQ(s.luts, 34);
+}
+
+TEST(Builder, ReduceSingleInputIsFree) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId x = b.input();
+  EXPECT_EQ(b.reduce(std::vector<NetId>{x}), x);
+  EXPECT_EQ(compute_stats(nl).luts, 0);
+}
+
+TEST(Builder, FfChainDepthAndLinkage) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const ControlSetId cs = b.control_set();
+  const std::vector<NetId> taps = b.ff_chain(b.input("d"), 5, cs);
+  EXPECT_EQ(taps.size(), 5u);
+  EXPECT_EQ(compute_stats(nl).ffs, 5);
+  // Each tap drives exactly the next FF.
+  for (std::size_t i = 0; i + 1 < taps.size(); ++i) {
+    EXPECT_EQ(nl.net(taps[i]).sinks.size(), 1u);
+  }
+}
+
+TEST(Builder, LutLayerProducesDistinctLuts) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const std::vector<NetId> inputs = b.input_bus(16, "x");
+  const std::vector<NetId> outs = b.lut_layer(inputs, 40, 4);
+  EXPECT_EQ(outs.size(), 40u);
+  // No two LUTs may share the exact input sequence (the optimiser would
+  // merge them, shrinking the layer).
+  std::set<std::vector<NetId>> combos;
+  for (const Cell& cell : nl.cells()) {
+    if (cell.kind == CellKind::Lut) combos.insert(cell.inputs);
+  }
+  EXPECT_EQ(combos.size(), 40u);
+}
+
+TEST(Builder, SrlAndLutRamAreMTyped) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const ControlSetId cs = b.control_set();
+  b.srl(b.input(), cs);
+  const std::vector<NetId> addr = b.input_bus(5, "a");
+  b.lutram(addr, b.input(), cs);
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.srls, 1);
+  EXPECT_EQ(s.lutrams, 1);
+  EXPECT_EQ(s.m_lut_cells(), 2);
+}
+
+TEST(Builder, HardBlocks) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const std::vector<NetId> addr = b.input_bus(10, "a");
+  b.bram18(addr, addr);
+  b.bram36(addr, addr);
+  b.dsp48(std::span<const NetId>(addr.data(), 8),
+          std::span<const NetId>(addr.data(), 8));
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.bram18, 1);
+  EXPECT_EQ(s.bram36, 1);
+  EXPECT_EQ(s.dsp, 1);
+  EXPECT_EQ(s.bram36_equiv(), 2);
+}
+
+TEST(Builder, RegisterBusWidthPreserved) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const ControlSetId cs = b.control_set();
+  const std::vector<NetId> bus = b.input_bus(7, "d");
+  EXPECT_EQ(b.register_bus(bus, cs).size(), 7u);
+  EXPECT_EQ(compute_stats(nl).ffs, 7);
+}
+
+}  // namespace
+}  // namespace mf

@@ -1,0 +1,200 @@
+#include "nn/cnv_w1a1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "fabric/catalog.hpp"
+#include "nn/finn_blocks.hpp"
+#include "synth/optimize.hpp"
+#include "synth/report.hpp"
+
+namespace mf {
+namespace {
+
+class CnvFixture : public ::testing::Test {
+ protected:
+  static const CnvDesign& design() {
+    static const CnvDesign instance = build_cnv_w1a1();
+    return instance;
+  }
+};
+
+TEST_F(CnvFixture, InventoryMatchesPaper) {
+  // Section III: 175 block instances, 74 unique.
+  EXPECT_EQ(static_cast<int>(design().instances.size()), kCnvTotalInstances);
+  EXPECT_EQ(static_cast<int>(design().unique_modules.size()),
+            kCnvUniqueBlocks);
+}
+
+TEST_F(CnvFixture, MvauReuseMatchesPaper) {
+  // Layers 1+2 share one MVAU config (48 instances), layers 3+4 another
+  // (20 instances); mvau_18 has exactly four instances (Table I footnote).
+  std::map<int, int> counts;
+  for (const BlockInstance& inst : design().instances) {
+    ++counts[inst.macro];
+  }
+  EXPECT_EQ(counts[design().unique_index("mvau_2")],
+            kCnvLayer12MvauInstances);
+  EXPECT_EQ(counts[design().unique_index("mvau_6")],
+            kCnvLayer34MvauInstances);
+  EXPECT_EQ(counts[design().unique_index("mvau_18")], 4);
+}
+
+TEST_F(CnvFixture, PaperExemplarBlocksExist) {
+  EXPECT_GE(design().unique_index("weights_14"), 0);
+  EXPECT_GE(design().unique_index("mvau_18"), 0);
+  EXPECT_GE(design().unique_index("swu_0"), 0);
+  EXPECT_GE(design().unique_index("pool_1"), 0);
+}
+
+TEST_F(CnvFixture, Weights14IsTheLargestBlock) {
+  int largest = -1;
+  int largest_est = 0;
+  for (std::size_t u = 0; u < design().unique_modules.size(); ++u) {
+    Module m = design().unique_modules[u];
+    optimize(m.netlist);
+    const int est = make_report(m.netlist).est_slices;
+    if (est > largest_est) {
+      largest_est = est;
+      largest = static_cast<int>(u);
+    }
+  }
+  EXPECT_EQ(largest, design().unique_index("weights_14"));
+  // Paper's weights_14 lands around 1,400-1,500 slices.
+  EXPECT_NEAR(largest_est, 1400, 200);
+}
+
+TEST_F(CnvFixture, UniqueNamesAreUnique) {
+  std::set<std::string> names;
+  for (const Module& m : design().unique_modules) names.insert(m.name);
+  EXPECT_EQ(names.size(), design().unique_modules.size());
+}
+
+TEST_F(CnvFixture, InstancesReferenceValidMacros) {
+  for (const BlockInstance& inst : design().instances) {
+    ASSERT_GE(inst.macro, 0);
+    ASSERT_LT(inst.macro,
+              static_cast<int>(design().unique_modules.size()));
+  }
+}
+
+TEST_F(CnvFixture, NetsReferenceValidInstances) {
+  for (const BlockNet& net : design().nets) {
+    EXPECT_GE(net.instances.size(), 2u);
+    for (int inst : net.instances) {
+      ASSERT_GE(inst, 0);
+      ASSERT_LT(inst, static_cast<int>(design().instances.size()));
+    }
+  }
+}
+
+TEST_F(CnvFixture, EveryInstanceConnected) {
+  std::set<int> connected;
+  for (const BlockNet& net : design().nets) {
+    connected.insert(net.instances.begin(), net.instances.end());
+  }
+  EXPECT_EQ(connected.size(), design().instances.size());
+}
+
+TEST_F(CnvFixture, DesignFillsTheDevice) {
+  // Section IV: the design uses essentially all of the xc7z020. We assert
+  // the estimate lands in the 90-100% band (the monolithic run then packs
+  // to ~100%).
+  const Device dev = xc7z020_model();
+  long total = 0;
+  std::map<int, int> counts;
+  for (const BlockInstance& inst : design().instances) ++counts[inst.macro];
+  for (std::size_t u = 0; u < design().unique_modules.size(); ++u) {
+    Module m = design().unique_modules[u];
+    optimize(m.netlist);
+    total += static_cast<long>(make_report(m.netlist).est_slices) *
+             counts[static_cast<int>(u)];
+  }
+  const double ratio = static_cast<double>(total) / dev.totals().slices;
+  EXPECT_GT(ratio, 0.90);
+  EXPECT_LT(ratio, 1.02);
+}
+
+TEST_F(CnvFixture, ConvWeightsUseBram) {
+  // Layer 1/2 weight blocks are BRAM-backed (the hard-block-driven sub-0.7
+  // CF population of Figure 4).
+  Module m = design().unique_modules[static_cast<std::size_t>(
+      design().unique_index("weights_0"))];
+  optimize(m.netlist);
+  EXPECT_GT(make_report(m.netlist).bram36, 0);
+}
+
+TEST_F(CnvFixture, DeterministicAcrossBuilds) {
+  const CnvDesign again = build_cnv_w1a1();
+  ASSERT_EQ(again.unique_modules.size(), design().unique_modules.size());
+  for (std::size_t u = 0; u < again.unique_modules.size(); ++u) {
+    EXPECT_EQ(again.unique_modules[u].name, design().unique_modules[u].name);
+    EXPECT_EQ(again.unique_modules[u].netlist.num_cells(),
+              design().unique_modules[u].netlist.num_cells());
+  }
+}
+
+// -- individual FINN blocks ---------------------------------------------------
+
+TEST(FinnBlocks, MvauIsLutCarryHeavy) {
+  Rng rng(1);
+  Module m = gen_mvau({48, 2, 16, 2}, rng);
+  optimize(m.netlist);
+  const ResourceReport r = make_report(m.netlist);
+  EXPECT_GT(r.stats.luts, 100);
+  EXPECT_GT(r.stats.carry4, 8);
+  EXPECT_GT(r.stats.ffs, 48);
+  EXPECT_EQ(r.stats.lutrams, 0);
+}
+
+TEST(FinnBlocks, MvauBroadcastFanout) {
+  Rng rng(2);
+  Module m = gen_mvau({64, 4, 16, 2}, rng);
+  optimize(m.netlist);
+  const ResourceReport r = make_report(m.netlist);
+  // The mode net fans out to every XNOR lane: >= simd * pe.
+  EXPECT_GE(r.stats.max_fanout, 64 * 4);
+}
+
+TEST(FinnBlocks, SwuIsMemoryFlavoured) {
+  Rng rng(3);
+  Module m = gen_swu({64, 32, 3, false}, rng);
+  optimize(m.netlist);
+  const ResourceReport r = make_report(m.netlist);
+  EXPECT_GT(r.stats.srls, 30);
+  EXPECT_GT(r.stats.carry4, 0);  // address counters
+}
+
+TEST(FinnBlocks, WeightsScaleWithBits) {
+  Rng rng(4);
+  Module small = gen_weights({4096, 4, 64, false}, rng);
+  Rng rng2(4);
+  Module big = gen_weights({16384, 4, 64, false}, rng2);
+  optimize(small.netlist);
+  optimize(big.netlist);
+  EXPECT_GT(make_report(big.netlist).est_slices_m,
+            make_report(small.netlist).est_slices_m);
+}
+
+TEST(FinnBlocks, ThresholdCarryPerChannel) {
+  Rng rng(5);
+  Module m = gen_threshold({10, 16}, rng);
+  optimize(m.netlist);
+  const ResourceReport r = make_report(m.netlist);
+  EXPECT_EQ(r.stats.carry4, 10 * 4);  // ceil(16/4) per channel
+  EXPECT_GT(r.stats.control_sets, 1);
+}
+
+TEST(FinnBlocks, PoolUsesComparatorsAndSrl) {
+  Rng rng(6);
+  Module m = gen_pool({32, 2}, rng);
+  optimize(m.netlist);
+  const ResourceReport r = make_report(m.netlist);
+  EXPECT_EQ(r.stats.srls, 32);
+  EXPECT_GT(r.stats.ffs, 32);
+}
+
+}  // namespace
+}  // namespace mf

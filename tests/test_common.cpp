@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace mf {
+namespace {
+
+TEST(Check, PassesOnTrue) { EXPECT_NO_THROW(MF_CHECK(1 + 1 == 2)); }
+
+TEST(Check, ThrowsOnFalse) {
+  EXPECT_THROW(MF_CHECK(false), CheckError);
+  EXPECT_THROW(MF_CHECK_MSG(false, "context"), CheckError);
+}
+
+TEST(Check, MessageCarriesContext) {
+  try {
+    MF_CHECK_MSG(false, "the detail");
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("the detail"), std::string::npos);
+  }
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().cell("a").cell(1);
+  t.row().cell("long-name").cell(12345);
+  const std::string out = t.str();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  // Header + rule + 2 rows = 4 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"only"});
+  t.row().cell("x");
+  EXPECT_THROW(t.cell("overflow"), CheckError);
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell("x"), CheckError);
+}
+
+TEST(Table, FormatsDoublesWithPrecision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(2.0, 3), "2.000");
+}
+
+TEST(BarChart, ScalesToPeak) {
+  const std::string out = bar_chart({{"a", 10.0}, {"b", 5.0}}, 10);
+  // "a" gets the full 10 hashes, "b" half.
+  EXPECT_NE(out.find("##########"), std::string::npos);
+  EXPECT_NE(out.find("#####"), std::string::npos);
+}
+
+TEST(Histogram, BucketsAndClampsOutliers) {
+  const std::string out =
+      histogram({0.95, 0.95, 1.05, 5.0 /* clamped into last bin */}, 0.9, 1.2,
+                0.1, 10);
+  EXPECT_NE(out.find("0.90"), std::string::npos);
+  EXPECT_NE(out.find("1.00"), std::string::npos);
+  EXPECT_NE(out.find("1.10"), std::string::npos);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  CsvWriter csv({"a", "b"});
+  csv.row().cell("plain").cell("with,comma");
+  csv.row().cell("with\"quote").cell(1.5, 1);
+  const std::string out = csv.str();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+}
+
+TEST(Csv, HeaderFirstLine) {
+  CsvWriter csv({"x", "y"});
+  csv.row().cell(1).cell(2);
+  EXPECT_EQ(csv.str().substr(0, 4), "x,y\n");
+}
+
+}  // namespace
+}  // namespace mf

@@ -1,0 +1,261 @@
+// Tests for the paper's core: PBlock generation (Fig. 1), the minimal-CF
+// search, the seeded search schedule (Section VIII), and feature extraction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cf_search.hpp"
+#include "core/features.hpp"
+#include "fabric/catalog.hpp"
+#include "netlist/builder.hpp"
+#include "rtlgen/generators.hpp"
+#include "synth/optimize.hpp"
+
+namespace mf {
+namespace {
+
+struct Prepared {
+  Module module;
+  ResourceReport report;
+  ShapeReport shape;
+};
+
+Prepared prepare(Module module) {
+  optimize(module.netlist);
+  Prepared p{std::move(module), {}, {}};
+  p.report = make_report(p.module.netlist);
+  p.shape = quick_place(p.report);
+  return p;
+}
+
+Prepared sample_module(std::uint64_t seed = 1, int luts = 400, int ffs = 350) {
+  Rng rng(seed);
+  MixedParams params;
+  params.luts = luts;
+  params.ffs = ffs;
+  params.carry_adders = 2;
+  params.carry_width = 12;
+  params.control_sets = 3;
+  return prepare(gen_mixed(params, rng));
+}
+
+TEST(PBlockGenerator, CoversScaledNeeds) {
+  const Device dev = xc7z020_model();
+  const Prepared p = sample_module();
+  for (double cf : {1.0, 1.3, 1.7}) {
+    const auto pb = generate_pblock(dev, p.report, p.shape, cf);
+    ASSERT_TRUE(pb.has_value());
+    const FabricResources r = dev.resources_in(*pb);
+    EXPECT_GE(r.slices, static_cast<int>(p.report.est_slices * cf));
+    EXPECT_GE(r.slices_m, p.report.est_slices_m);
+  }
+}
+
+TEST(PBlockGenerator, SlicesMonotoneInCf) {
+  const Device dev = xc7z020_model();
+  const Prepared p = sample_module();
+  int prev = 0;
+  for (double cf = 0.9; cf <= 2.0; cf += 0.1) {
+    const auto pb = generate_pblock(dev, p.report, p.shape, cf);
+    ASSERT_TRUE(pb.has_value());
+    const int slices = dev.resources_in(*pb).slices;
+    EXPECT_GE(slices, prev);
+    prev = slices;
+  }
+}
+
+TEST(PBlockGenerator, RespectsCarryMinHeight) {
+  const Device dev = xc7z020_model();
+  Rng rng(2);
+  const Prepared p = prepare(gen_carry({1, 48, false}, rng));
+  const auto pb = generate_pblock(dev, p.report, p.shape, 1.0);
+  ASSERT_TRUE(pb.has_value());
+  EXPECT_GE(pb->height(), p.report.stats.longest_chain());
+}
+
+TEST(PBlockGenerator, HardBlocksForceTallRectangles) {
+  const Device dev = xc7z020_model();
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const std::vector<NetId> addr = b.input_bus(10, "a");
+  for (int i = 0; i < 10; ++i) b.bram36(addr, addr);
+  nl.mark_output(b.lut({addr[0]}));
+  Module m;
+  m.netlist = std::move(nl);
+  const Prepared p = prepare(std::move(m));
+  const auto pb = generate_pblock(dev, p.report, p.shape, 1.0);
+  ASSERT_TRUE(pb.has_value());
+  EXPECT_GE(dev.resources_in(*pb).bram36, 10);
+  EXPECT_GE(pb->height(), 10 * kBramRowPitch);
+}
+
+TEST(PBlockGenerator, HardBlockDominatedIgnoresSmallCf) {
+  // For a BRAM-driven module, CF changes below ~1 do not change the PBlock:
+  // the paper's explanation for the sub-0.7 Figure 4 bins.
+  const Device dev = xc7z020_model();
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const std::vector<NetId> addr = b.input_bus(10, "a");
+  for (int i = 0; i < 6; ++i) b.bram36(addr, addr);
+  nl.mark_output(b.lut({addr[0]}));
+  Module m;
+  m.netlist = std::move(nl);
+  const Prepared p = prepare(std::move(m));
+  const auto small = generate_pblock(dev, p.report, p.shape, 0.5);
+  const auto one = generate_pblock(dev, p.report, p.shape, 0.9);
+  ASSERT_TRUE(small && one);
+  EXPECT_EQ(*small, *one);
+}
+
+TEST(PBlockGenerator, ImpossibleNeedsReturnNullopt) {
+  const Device dev = xc7z020_model();
+  const Prepared p = sample_module();
+  ResourceReport huge = p.report;
+  huge.est_slices = dev.totals().slices + 1;
+  EXPECT_FALSE(generate_pblock(dev, huge, p.shape, 1.0).has_value());
+}
+
+TEST(PBlockDims, AreaTracksTarget) {
+  const Device dev = xc7z020_model();
+  const Prepared p = sample_module();
+  const PBlockDims d1 = pblock_dims(p.report, p.shape, 1.0, dev);
+  const PBlockDims d2 = pblock_dims(p.report, p.shape, 2.0, dev);
+  EXPECT_GE(static_cast<long>(d1.width) * d1.height, p.report.est_slices);
+  EXPECT_GT(static_cast<long>(d2.width) * d2.height,
+            static_cast<long>(d1.width) * d1.height);
+}
+
+TEST(CfSearch, FindsMinimalFeasible) {
+  const Device dev = xc7z020_model();
+  const Prepared p = sample_module();
+  const CfSearchResult found = find_min_cf(p.module, p.report, p.shape, dev);
+  ASSERT_TRUE(found.found);
+  EXPECT_GE(found.min_cf, 0.9);
+  EXPECT_LE(found.min_cf, 2.5);
+  EXPECT_TRUE(found.place.feasible);
+}
+
+TEST(CfSearch, ReportedCfIsTight) {
+  // One step below the reported minimum must be infeasible (unless the
+  // PBlock is identical due to quantization).
+  const Device dev = xc7z020_model();
+  const Prepared p = sample_module(3, 700, 500);
+  CfSearchOptions opts;
+  const CfSearchResult found =
+      find_min_cf(p.module, p.report, p.shape, dev, opts);
+  ASSERT_TRUE(found.found);
+  if (found.min_cf > opts.start + 1e-9) {
+    const double below = found.min_cf - opts.step;
+    const auto pb = generate_pblock(dev, p.report, p.shape, below);
+    ASSERT_TRUE(pb.has_value());
+    if (!(*pb == found.pblock)) {
+      const PlaceResult r =
+          place_in_pblock(p.module, p.report, dev, *pb, opts.place);
+      EXPECT_FALSE(r.feasible);
+    }
+  }
+}
+
+TEST(CfSearch, ToolRunsCounted) {
+  const Device dev = xc7z020_model();
+  const Prepared p = sample_module();
+  const CfSearchResult found = find_min_cf(p.module, p.report, p.shape, dev);
+  ASSERT_TRUE(found.found);
+  EXPECT_GE(found.tool_runs, 1);
+  // Never more runs than CF steps in the searched interval.
+  EXPECT_LE(found.tool_runs,
+            static_cast<int>((found.min_cf - 0.9) / 0.02) + 2);
+}
+
+TEST(SeededSearch, FirstRunSuccessWhenSeedGenerous) {
+  const Device dev = xc7z020_model();
+  const Prepared p = sample_module();
+  const SeededSearchResult r =
+      seeded_cf_search(p.module, p.report, p.shape, dev, 2.2);
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(r.first_run_success);
+  EXPECT_EQ(r.tool_runs, 1);
+  EXPECT_DOUBLE_EQ(r.cf, 2.2);
+}
+
+TEST(SeededSearch, ClimbsFromUnderestimate) {
+  const Device dev = xc7z020_model();
+  const Prepared p = sample_module(5, 800, 700);
+  const CfSearchResult truth = find_min_cf(p.module, p.report, p.shape, dev);
+  ASSERT_TRUE(truth.found);
+  const SeededSearchResult r =
+      seeded_cf_search(p.module, p.report, p.shape, dev, 0.9);
+  ASSERT_TRUE(r.found);
+  if (truth.min_cf > 0.9 + 1e-9) {
+    EXPECT_FALSE(r.first_run_success);
+    EXPECT_GT(r.tool_runs, 1);
+  }
+  // The seeded schedule never lands below the true minimum.
+  EXPECT_GE(r.cf, truth.min_cf - 0.021);
+}
+
+TEST(SeededSearch, MoreRunsFromWorseSeed) {
+  const Device dev = xc7z020_model();
+  const Prepared p = sample_module(5, 800, 700);
+  const SeededSearchResult far =
+      seeded_cf_search(p.module, p.report, p.shape, dev, 0.9);
+  const CfSearchResult truth = find_min_cf(p.module, p.report, p.shape, dev);
+  ASSERT_TRUE(truth.found && far.found);
+  const SeededSearchResult close = seeded_cf_search(
+      p.module, p.report, p.shape, dev, truth.min_cf + 0.01);
+  EXPECT_LE(close.tool_runs, far.tool_runs);
+}
+
+// -- features -----------------------------------------------------------------
+
+class FeatureSetTest : public ::testing::TestWithParam<FeatureSet> {};
+
+TEST_P(FeatureSetTest, NamesAlignWithValues) {
+  const Prepared p = sample_module();
+  const auto names = feature_names(GetParam());
+  const auto values = extract_features(GetParam(), p.report, p.shape);
+  EXPECT_EQ(names.size(), values.size());
+  EXPECT_FALSE(names.empty());
+  for (double v : values) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSets, FeatureSetTest,
+                         ::testing::Values(FeatureSet::Classical,
+                                           FeatureSet::ClassicalStar,
+                                           FeatureSet::Additional,
+                                           FeatureSet::All,
+                                           FeatureSet::LinReg9));
+
+TEST(Features, LinReg9HasNineInputs) {
+  EXPECT_EQ(feature_names(FeatureSet::LinReg9).size(), 9u);
+}
+
+TEST(Features, AdditionalAreRelative) {
+  // Scaling a design up should leave the relative features nearly unchanged.
+  const Prepared small = sample_module(7, 200, 160);
+  const Prepared big = sample_module(7, 2000, 1600);
+  const auto fs = extract_features(FeatureSet::Additional, small.report,
+                                   small.shape);
+  const auto fb =
+      extract_features(FeatureSet::Additional, big.report, big.shape);
+  // Carry ratio (index 0) shrinks with size here (fixed adder count), but
+  // FF/All (index 2) must stay comparable.
+  EXPECT_NEAR(fs[2], fb[2], 0.25);
+}
+
+TEST(Features, CarryRatioReflectsCarryContent) {
+  Rng rng(8);
+  const Prepared carry = prepare(gen_carry({2, 16, false}, rng));
+  const Prepared plain = sample_module(9, 400, 100);
+  const auto fc =
+      extract_features(FeatureSet::Additional, carry.report, carry.shape);
+  const auto fp =
+      extract_features(FeatureSet::Additional, plain.report, plain.shape);
+  EXPECT_GT(fc[0], fp[0]);  // Carry/All
+}
+
+}  // namespace
+}  // namespace mf

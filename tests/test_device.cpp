@@ -1,0 +1,166 @@
+#include "fabric/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabric/catalog.hpp"
+
+namespace mf {
+namespace {
+
+TEST(Device, Xc7z020TotalsMatchTargets) {
+  const Device dev = xc7z020_model();
+  EXPECT_EQ(dev.totals().slices, 89 * 150);
+  EXPECT_NEAR(dev.totals().slices, 13300, 100);  // real part: 13,300
+  EXPECT_NEAR(dev.totals().bram36, 140, 15);     // real part: 140
+  EXPECT_NEAR(dev.totals().dsp, 220, 25);        // real part: 220
+  // SLICEM share ~1/3 like the real family.
+  EXPECT_NEAR(static_cast<double>(dev.totals().slices_m) / dev.totals().slices,
+              1.0 / 3.0, 0.05);
+}
+
+TEST(Device, Xc7z045TotalsMatchTargets) {
+  const Device dev = xc7z045_model();
+  EXPECT_NEAR(dev.totals().slices, 54650, 200);
+  EXPECT_NEAR(dev.totals().bram36, 545, 10);
+  EXPECT_EQ(dev.totals().dsp, 900);
+}
+
+TEST(Device, RowsDivideIntoClockRegions) {
+  EXPECT_EQ(xc7z020_model().rows() % xc7z020_model().clock_region_rows(), 0);
+  EXPECT_EQ(xc7z045_model().rows() % xc7z045_model().clock_region_rows(), 0);
+}
+
+TEST(Device, WholeDeviceResourcesEqualTotals) {
+  const Device dev = xc7z020_model();
+  const PBlock whole{0, dev.num_columns() - 1, 0, dev.rows() - 1};
+  const FabricResources r = dev.resources_in(whole);
+  EXPECT_EQ(r.slices, dev.totals().slices);
+  EXPECT_EQ(r.slices_m, dev.totals().slices_m);
+  EXPECT_EQ(r.bram36, dev.totals().bram36);
+  EXPECT_EQ(r.dsp, dev.totals().dsp);
+}
+
+TEST(Device, ResourcesScaleWithHeight) {
+  const Device dev = xc7z020_model();
+  const PBlock half{0, dev.num_columns() - 1, 0, dev.rows() / 2 - 1};
+  const FabricResources r = dev.resources_in(half);
+  EXPECT_EQ(r.slices, dev.totals().slices / 2);
+}
+
+TEST(Device, BramSitesNeedFullPitch) {
+  // Site at rows [5,9] requires the whole span inside the range.
+  EXPECT_EQ(Device::bram_sites_in_rows(0, 4), 1);   // site [0,4]
+  EXPECT_EQ(Device::bram_sites_in_rows(0, 3), 0);   // cut off
+  EXPECT_EQ(Device::bram_sites_in_rows(1, 9), 1);   // only [5,9]
+  EXPECT_EQ(Device::bram_sites_in_rows(0, 9), 2);
+  EXPECT_EQ(Device::bram_sites_in_rows(6, 9), 0);
+  EXPECT_EQ(Device::bram_sites_in_rows(5, 4), 0);   // empty range
+}
+
+TEST(Device, DspSitesTwicePerPitch) {
+  EXPECT_EQ(Device::dsp_sites_in_rows(0, 9), 2 * kDspPerPitch);
+}
+
+TEST(Device, InBoundsRejectsOutOfRange) {
+  const Device dev = xc7z020_model();
+  EXPECT_TRUE(dev.in_bounds(PBlock{0, 0, 0, 0}));
+  EXPECT_FALSE(dev.in_bounds(PBlock{-1, 0, 0, 0}));
+  EXPECT_FALSE(dev.in_bounds(PBlock{0, dev.num_columns(), 0, 0}));
+  EXPECT_FALSE(dev.in_bounds(PBlock{0, 0, 0, dev.rows()}));
+  EXPECT_FALSE(dev.in_bounds(PBlock{}));  // empty
+}
+
+TEST(Device, KindsInMatchesColumns) {
+  const Device dev = xc7z020_model();
+  const PBlock pb{3, 7, 0, 0};
+  const std::vector<ColumnKind> kinds = dev.kinds_in(pb);
+  ASSERT_EQ(kinds.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(kinds[static_cast<std::size_t>(i)], dev.column(3 + i));
+  }
+}
+
+TEST(PBlockGeometry, WidthHeightAreaOverlap) {
+  const PBlock a{0, 3, 0, 4};
+  EXPECT_EQ(a.width(), 4);
+  EXPECT_EQ(a.height(), 5);
+  EXPECT_EQ(a.area(), 20);
+  EXPECT_TRUE(a.contains(3, 4));
+  EXPECT_FALSE(a.contains(4, 4));
+  EXPECT_TRUE(a.overlaps(PBlock{3, 5, 4, 8}));
+  EXPECT_FALSE(a.overlaps(PBlock{4, 5, 0, 4}));
+  EXPECT_FALSE(a.overlaps(PBlock{0, 3, 5, 8}));
+}
+
+TEST(MakeDevice, EmitsRequestedColumnCounts) {
+  const Device dev = make_device("t", 30, 3, 4, 2, 50, 50);
+  int clb = 0;
+  int m = 0;
+  int bram = 0;
+  int dsp = 0;
+  for (ColumnKind kind : dev.columns()) {
+    switch (kind) {
+      case ColumnKind::ClbL:
+        ++clb;
+        break;
+      case ColumnKind::ClbM:
+        ++clb;
+        ++m;
+        break;
+      case ColumnKind::Bram:
+        ++bram;
+        break;
+      case ColumnKind::Dsp:
+        ++dsp;
+        break;
+      case ColumnKind::Clock:
+        break;
+    }
+  }
+  EXPECT_EQ(clb, 30);
+  EXPECT_EQ(m, 10);
+  EXPECT_EQ(bram, 4);
+  EXPECT_EQ(dsp, 2);
+}
+
+TEST(MakeDevice, SpecialColumnsSpreadOut) {
+  const Device dev = make_device("t", 40, 3, 4, 4, 50, 50);
+  // No two special (BRAM/DSP) columns adjacent.
+  for (int c = 1; c < dev.num_columns(); ++c) {
+    const bool special_prev = dev.column(c - 1) == ColumnKind::Bram ||
+                              dev.column(c - 1) == ColumnKind::Dsp;
+    const bool special_here = dev.column(c) == ColumnKind::Bram ||
+                              dev.column(c) == ColumnKind::Dsp;
+    EXPECT_FALSE(special_prev && special_here) << "adjacent at " << c;
+  }
+}
+
+class DeviceParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeviceParamTest, ResourceCountingConsistentAcrossRects) {
+  // Property: resources of a rect equal the sum of a vertical split.
+  const Device dev = GetParam() == 0 ? xc7z020_model() : xc7z045_model();
+  const int mid_row = dev.rows() / 2;
+  const PBlock whole{2, 20, 0, dev.rows() - 1};
+  const PBlock top{2, 20, 0, mid_row - 1};
+  const PBlock bottom{2, 20, mid_row, dev.rows() - 1};
+  const FabricResources w = dev.resources_in(whole);
+  const FabricResources t = dev.resources_in(top);
+  const FabricResources b = dev.resources_in(bottom);
+  EXPECT_EQ(w.slices, t.slices + b.slices);
+  EXPECT_EQ(w.slices_m, t.slices_m + b.slices_m);
+  // BRAM/DSP sites can only be lost at the cut, never gained.
+  EXPECT_GE(w.bram36, t.bram36 + b.bram36);
+  EXPECT_GE(w.dsp, t.dsp + b.dsp);
+  // The split is on a clock-region boundary multiple of the pitch when
+  // mid_row % pitch == 0, in which case nothing is lost.
+  if (mid_row % kBramRowPitch == 0) {
+    EXPECT_EQ(w.bram36, t.bram36 + b.bram36);
+    EXPECT_EQ(w.dsp, t.dsp + b.dsp);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, DeviceParamTest, ::testing::Values(0, 1));
+
+}  // namespace
+}  // namespace mf

@@ -1,0 +1,181 @@
+// Tests for the extension features: FIR/FSM generators, gradient boosting,
+// and the MinWaste anchor policy.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/pblock_generator.hpp"
+#include "fabric/catalog.hpp"
+#include "ml/gboost.hpp"
+#include "ml/metrics.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/stats.hpp"
+#include "place/quick_placer.hpp"
+#include "rtlgen/generators.hpp"
+#include "rtlgen/sweep.hpp"
+#include "synth/optimize.hpp"
+
+namespace mf {
+namespace {
+
+NetlistStats stats_of(Module module) {
+  optimize(module.netlist);
+  return compute_stats(module.netlist);
+}
+
+TEST(FirGen, CarryAndRegisterHeavy) {
+  Rng rng(1);
+  const NetlistStats s = stats_of(gen_fir({8, 16, false}, rng));
+  EXPECT_GT(s.carry4, 8 * 4);       // tap products + adder tree
+  EXPECT_GE(s.ffs, 8 * 16);         // delay line
+  EXPECT_GT(s.carry_chains.size(), 7u);
+}
+
+TEST(FirGen, DspVariantMovesProductsToHardBlocks) {
+  Rng rng(2);
+  const NetlistStats fabric = stats_of(gen_fir({8, 16, false}, rng));
+  Rng rng2(2);
+  const NetlistStats dsp = stats_of(gen_fir({8, 16, true}, rng2));
+  EXPECT_EQ(fabric.dsp, 0);
+  EXPECT_EQ(dsp.dsp, 8);
+  EXPECT_LT(dsp.carry4, fabric.carry4);
+}
+
+TEST(FsmGen, StateBitsHaveHighFanout) {
+  Rng rng(3);
+  const NetlistStats s = stats_of(gen_fsm({6, 96, 8}, rng));
+  // Each state bit feeds the output decoder and the next-state cloud.
+  EXPECT_GE(s.max_fanout, 40);
+  EXPECT_EQ(s.carry4, 0);
+  EXPECT_GE(s.ffs, 6);
+}
+
+TEST(FsmGen, OutputsScaleLutCount) {
+  Rng rng(4);
+  const NetlistStats small = stats_of(gen_fsm({6, 8, 4}, rng));
+  Rng rng2(4);
+  const NetlistStats big = stats_of(gen_fsm({6, 96, 4}, rng2));
+  EXPECT_GT(big.luts, small.luts + 60);
+}
+
+TEST(SweepExtension, FirAndFsmInTheSweep) {
+  int fir = 0;
+  int fsm = 0;
+  for (const GenSpec& spec : dataset_sweep({800, 42})) {
+    if (spec.kind == GenKind::Fir) ++fir;
+    if (spec.kind == GenKind::Fsm) ++fsm;
+  }
+  EXPECT_EQ(fir, 24);
+  EXPECT_EQ(fsm, 24);
+}
+
+TEST(GBoost, FitsNonlinearTarget) {
+  Rng rng(5);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 600; ++i) {
+    const double a = rng.uniform(0.0, 1.0);
+    const double b = rng.uniform(0.0, 1.0);
+    x.push_back({a, b});
+    y.push_back(a * b + (a > 0.7 ? 0.5 : 0.0));
+  }
+  GradientBoosting gb;
+  GBoostOptions opts;
+  opts.rounds = 150;
+  gb.fit(x, y, opts);
+  EXPECT_LT(mean_squared_error(gb.predict(x), y), 0.003);
+}
+
+TEST(GBoost, LossMonotonicallyImproves) {
+  Rng rng(6);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    x.push_back({a});
+    y.push_back(a * a);
+  }
+  GradientBoosting gb;
+  GBoostOptions opts;
+  opts.rounds = 60;
+  gb.fit(x, y, opts);
+  const auto& loss = gb.training_loss();
+  ASSERT_EQ(loss.size(), 60u);
+  EXPECT_LT(loss.back(), loss.front() * 0.2);
+}
+
+TEST(GBoost, ImportanceNormalised) {
+  Rng rng(7);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform(0.0, 1.0);
+    const double b = rng.uniform(0.0, 1.0);
+    x.push_back({a, b});
+    y.push_back(2.0 * a);  // feature 0 is everything
+  }
+  GradientBoosting gb;
+  gb.fit(x, y, {});
+  const auto& imp = gb.feature_importance();
+  double total = 0.0;
+  for (double v : imp) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Later rounds fit residual noise on the spurious feature, so the share
+  // is well below 1.0 -- but the informative feature must clearly dominate.
+  EXPECT_GT(imp[0], imp[1]);
+  EXPECT_GT(imp[0], 0.55);
+}
+
+TEST(AnchorPolicy, MinWasteAvoidsUnneededHardColumns) {
+  // A plain-LUT module wide enough that first-fit would straddle a BRAM
+  // column; MinWaste should pick a window with fewer unused hard blocks
+  // (or at worst the same).
+  const Device dev = xc7z020_model();
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const std::vector<NetId> ins = b.input_bus(12, "x");
+  for (NetId n : b.lut_layer(ins, 700, 4)) nl.mark_output(n);
+  Module m;
+  m.netlist = std::move(nl);
+  optimize(m.netlist);
+  const ResourceReport report = make_report(m.netlist);
+  const ShapeReport shape = quick_place(report);
+
+  PBlockGenOptions first;
+  PBlockGenOptions waste;
+  waste.policy = AnchorPolicy::MinWaste;
+  const auto a = generate_pblock(dev, report, shape, 1.3, first);
+  const auto w = generate_pblock(dev, report, shape, 1.3, waste);
+  ASSERT_TRUE(a && w);
+  const FabricResources ra = dev.resources_in(*a);
+  const FabricResources rw = dev.resources_in(*w);
+  EXPECT_LE(rw.bram36 + rw.dsp, ra.bram36 + ra.dsp);
+  EXPECT_GE(rw.slices, report.est_slices);
+}
+
+TEST(AnchorPolicy, MinWasteStillCoversNeeds) {
+  const Device dev = xc7z020_model();
+  Rng rng(8);
+  Module m = gen_mixed(
+      [] {
+        MixedParams p;
+        p.luts = 300;
+        p.ffs = 250;
+        p.bram = 2;
+        return p;
+      }(),
+      rng);
+  optimize(m.netlist);
+  const ResourceReport report = make_report(m.netlist);
+  const ShapeReport shape = quick_place(report);
+  PBlockGenOptions waste;
+  waste.policy = AnchorPolicy::MinWaste;
+  const auto pb = generate_pblock(dev, report, shape, 1.2, waste);
+  ASSERT_TRUE(pb.has_value());
+  const FabricResources r = dev.resources_in(*pb);
+  EXPECT_GE(r.bram36, report.bram36);
+  EXPECT_GE(r.slices, static_cast<int>(report.est_slices * 1.2));
+}
+
+}  // namespace
+}  // namespace mf

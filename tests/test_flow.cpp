@@ -1,0 +1,215 @@
+#include "flow/rw_flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabric/catalog.hpp"
+#include "flow/ground_truth.hpp"
+#include "flow/monolithic.hpp"
+#include "nn/cnv_w1a1.hpp"
+#include "nn/finn_blocks.hpp"
+#include "rtlgen/generators.hpp"
+
+namespace mf {
+namespace {
+
+/// Small synthetic block design: 3 unique blocks, 8 instances, a chain of
+/// nets -- fast enough for per-test flow runs.
+BlockDesign small_design() {
+  BlockDesign design;
+  Rng rng(1);
+  MixedParams a;
+  a.luts = 120;
+  a.ffs = 100;
+  design.unique_modules.push_back(gen_mixed(a, rng));
+  design.unique_modules.back().name = "block_a";
+  MixedParams bparams;
+  bparams.luts = 60;
+  bparams.ffs = 90;
+  bparams.carry_adders = 1;
+  design.unique_modules.push_back(gen_mixed(bparams, rng));
+  design.unique_modules.back().name = "block_b";
+  Rng rng2(2);
+  design.unique_modules.push_back(gen_mvau({32, 1, 16, 1}, rng2));
+  design.unique_modules.back().name = "block_c";
+
+  const int pattern[] = {0, 1, 2, 1, 0, 2, 1, 1};
+  for (int i = 0; i < 8; ++i) {
+    design.instances.push_back(
+        BlockInstance{"i" + std::to_string(i), pattern[i]});
+  }
+  for (int i = 0; i + 1 < 8; ++i) {
+    design.nets.push_back(BlockNet{{i, i + 1}, 1.0});
+  }
+  return design;
+}
+
+RwFlowOptions fast_opts() {
+  RwFlowOptions opts;
+  opts.compute_timing = false;
+  opts.stitch.moves_per_temp = 100;
+  opts.stitch.cooling = 0.8;
+  return opts;
+}
+
+TEST(ImplementBlock, ProducesValidMacro) {
+  const Device dev = xc7z020_model();
+  Rng rng(3);
+  MixedParams p;
+  p.luts = 150;
+  p.ffs = 120;
+  Module module = gen_mixed(p, rng);
+  module.name = "m";
+  const ImplementedBlock blk = implement_block(module, dev, 1.5, fast_opts());
+  ASSERT_TRUE(blk.ok);
+  EXPECT_EQ(blk.macro.name, "m");
+  EXPECT_GT(blk.macro.used_slices, 0);
+  EXPECT_GT(blk.macro.area(), 0);
+  EXPECT_EQ(blk.macro.footprint.width(), blk.macro.pblock.width());
+  EXPECT_GE(blk.macro.cf, 1.5);
+  EXPECT_GE(blk.macro.tool_runs, 1);
+}
+
+TEST(ImplementBlock, TimingComputedWhenRequested) {
+  const Device dev = xc7z020_model();
+  Rng rng(4);
+  MixedParams p;
+  p.luts = 100;
+  p.ffs = 80;
+  Module module = gen_mixed(p, rng);
+  RwFlowOptions opts = fast_opts();
+  opts.compute_timing = true;
+  const ImplementedBlock blk = implement_block(module, dev, 1.5, opts);
+  ASSERT_TRUE(blk.ok);
+  EXPECT_GT(blk.macro.longest_path_ns, 0.5);
+}
+
+TEST(RwFlow, ConstantPolicyImplementsAllBlocks) {
+  const Device dev = xc7z020_model();
+  const BlockDesign design = small_design();
+  CfPolicy policy;
+  policy.constant_cf = 1.8;
+  const RwFlowResult r = run_rw_flow(design, dev, policy, fast_opts());
+  EXPECT_EQ(r.failed_blocks, 0);
+  EXPECT_EQ(r.blocks.size(), 3u);
+  EXPECT_EQ(r.problem.instances.size(), 8u);
+  EXPECT_EQ(r.stitch.unplaced, 0);
+}
+
+TEST(RwFlow, MinSearchFindsTighterPBlocksThanConstant) {
+  const Device dev = xc7z020_model();
+  const BlockDesign design = small_design();
+  CfPolicy constant;
+  constant.constant_cf = 2.0;
+  CfPolicy min_search;
+  min_search.mode = CfPolicy::Mode::MinSearch;
+  const RwFlowResult c = run_rw_flow(design, dev, constant, fast_opts());
+  const RwFlowResult m = run_rw_flow(design, dev, min_search, fast_opts());
+  ASSERT_EQ(c.failed_blocks, 0);
+  ASSERT_EQ(m.failed_blocks, 0);
+  long c_area = 0;
+  long m_area = 0;
+  for (std::size_t i = 0; i < c.blocks.size(); ++i) {
+    c_area += c.blocks[i].macro.area();
+    m_area += m.blocks[i].macro.area();
+  }
+  EXPECT_LT(m_area, c_area);
+}
+
+TEST(RwFlow, NetsRemapToSurvivingInstances) {
+  const Device dev = xc7z020_model();
+  const BlockDesign design = small_design();
+  CfPolicy policy;
+  policy.constant_cf = 1.8;
+  const RwFlowResult r = run_rw_flow(design, dev, policy, fast_opts());
+  for (const BlockNet& net : r.problem.nets) {
+    for (int inst : net.instances) {
+      ASSERT_GE(inst, 0);
+      ASSERT_LT(inst, static_cast<int>(r.problem.instances.size()));
+    }
+  }
+}
+
+TEST(ModuleCache, SecondRunHitsCache) {
+  const Device dev = xc7z020_model();
+  const BlockDesign design = small_design();
+  CfPolicy policy;
+  policy.constant_cf = 1.8;
+  ModuleCache cache;
+  const RwFlowResult first = cache.run(design, dev, policy, fast_opts());
+  EXPECT_EQ(cache.misses(), 3);
+  EXPECT_EQ(cache.hits(), 0);
+  const int runs_first = first.total_tool_runs;
+  EXPECT_GT(runs_first, 0);
+
+  const RwFlowResult second = cache.run(design, dev, policy, fast_opts());
+  EXPECT_EQ(cache.hits(), 3);
+  EXPECT_EQ(second.total_tool_runs, 0);  // everything cached
+  EXPECT_EQ(second.problem.instances.size(), first.problem.instances.size());
+}
+
+TEST(ModuleCache, DesignChangeOnlyRecompilesNewBlock) {
+  const Device dev = xc7z020_model();
+  BlockDesign design = small_design();
+  CfPolicy policy;
+  policy.constant_cf = 1.8;
+  ModuleCache cache;
+  cache.run(design, dev, policy, fast_opts());
+
+  // DSE iteration: modify one block (new name = new configuration).
+  Rng rng(9);
+  MixedParams p;
+  p.luts = 200;
+  p.ffs = 64;
+  design.unique_modules[1] = gen_mixed(p, rng);
+  design.unique_modules[1].name = "block_b_v2";
+  const RwFlowResult r = cache.run(design, dev, policy, fast_opts());
+  EXPECT_EQ(cache.misses(), 4);  // only the new block compiled
+  EXPECT_EQ(r.failed_blocks, 0);
+}
+
+TEST(Monolithic, FlattenPreservesTotals) {
+  const BlockDesign design = small_design();
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  const Module flat = flatten(design, &ranges);
+  ASSERT_EQ(ranges.size(), design.instances.size());
+  std::size_t expected = 0;
+  for (const BlockInstance& inst : design.instances) {
+    expected += design
+                    .unique_modules[static_cast<std::size_t>(inst.macro)]
+                    .netlist.num_cells();
+  }
+  EXPECT_EQ(flat.netlist.num_cells(), expected);
+  EXPECT_EQ(ranges.back().second, expected);
+}
+
+TEST(Monolithic, PlacesSmallDesign) {
+  const Device dev = xc7z020_model();
+  const BlockDesign design = small_design();
+  const MonolithicResult r = place_monolithic(design, dev);
+  EXPECT_TRUE(r.feasible) << r.fail_reason;
+  ASSERT_EQ(r.instance_slices.size(), design.instances.size());
+  for (int slices : r.instance_slices) EXPECT_GT(slices, 0);
+  EXPECT_GT(r.longest_path_ns, 0.0);
+}
+
+TEST(GroundTruth, LabelsSweepSamples) {
+  const Device dev = xc7z020_model();
+  const std::vector<GenSpec> specs = dataset_sweep({40, 11});
+  const GroundTruth truth = build_ground_truth(specs, dev);
+  EXPECT_GT(truth.samples.size(), 30u);
+  for (const LabeledModule& s : truth.samples) {
+    EXPECT_GE(s.min_cf, 0.9);
+    EXPECT_GT(s.report.est_slices, 0);
+  }
+}
+
+TEST(GroundTruth, LabelBlocksDropsTinyModules) {
+  const Device dev = xc7z020_model();
+  const CnvDesign design = build_cnv_w1a1();
+  const GroundTruth all = label_blocks(design, dev, 0.5, 0);
+  const GroundTruth filtered = label_blocks(design, dev, 0.5, 10);
+  EXPECT_LT(filtered.samples.size(), all.samples.size());
+}
+
+}  // namespace
+}  // namespace mf

@@ -1,0 +1,148 @@
+// Flow-level coverage for the estimator policy, search knobs, and the
+// TFC/cnv designs under different CF policies.
+
+#include <gtest/gtest.h>
+
+#include "fabric/catalog.hpp"
+#include "flow/ground_truth.hpp"
+#include "flow/rw_flow.hpp"
+#include "nn/cnv_w1a1.hpp"
+#include "synth/optimize.hpp"
+
+namespace mf {
+namespace {
+
+class PolicyFixture : public ::testing::Test {
+ protected:
+  static const CfEstimator& estimator() {
+    static const CfEstimator instance = [] {
+      const Device dev = xc7z020_model();
+      const GroundTruth truth =
+          build_ground_truth(dataset_sweep({300, 21}), dev);
+      CfEstimator::Options options;
+      options.rforest.trees = 60;
+      CfEstimator est(EstimatorKind::RandomForest, FeatureSet::All, options);
+      est.train(make_dataset(FeatureSet::All, truth.samples));
+      return est;
+    }();
+    return instance;
+  }
+};
+
+TEST_F(PolicyFixture, EstimatorPolicyRunsTheTfcFlow) {
+  const Device dev = xc7z020_model();
+  const BlockDesign tfc = build_tfc_w1a1();
+  RwFlowOptions opts;
+  opts.compute_timing = false;
+  opts.stitch.moves_per_temp = 100;
+  opts.stitch.cooling = 0.8;
+  CfPolicy policy;
+  policy.mode = CfPolicy::Mode::Estimator;
+  policy.estimator = &estimator();
+  const RwFlowResult r = run_rw_flow(tfc, dev, policy, opts);
+  EXPECT_EQ(r.failed_blocks, 0);
+  EXPECT_EQ(r.stitch.unplaced, 0);
+  for (const ImplementedBlock& blk : r.blocks) {
+    EXPECT_GT(blk.seed_cf, 0.4) << blk.name;
+    EXPECT_LT(blk.seed_cf, 3.0) << blk.name;
+  }
+}
+
+TEST_F(PolicyFixture, EstimatorPolicyRequiresTrainedEstimator) {
+  const Device dev = xc7z020_model();
+  const BlockDesign tfc = build_tfc_w1a1();
+  CfPolicy policy;
+  policy.mode = CfPolicy::Mode::Estimator;
+  CfEstimator untrained(EstimatorKind::DecisionTree, FeatureSet::All);
+  policy.estimator = &untrained;
+  RwFlowOptions opts;
+  opts.run_stitch = false;
+  EXPECT_THROW(run_rw_flow(tfc, dev, policy, opts), CheckError);
+}
+
+TEST(FlowKnobs, DedupeOffCountsEveryRun) {
+  // With PBlock dedupe disabled, the min-CF sweep charges one tool run per
+  // CF step, like the paper's Vivado loop would.
+  const Device dev = xc7z020_model();
+  const BlockDesign tfc = build_tfc_w1a1();
+  Module module = tfc.unique_modules.front();
+
+  RwFlowOptions base;
+  base.run_stitch = false;
+  base.compute_timing = false;
+
+  auto runs_with = [&](bool dedupe) {
+    Module copy = module;
+    optimize(copy.netlist);
+    const ResourceReport report = make_report(copy.netlist);
+    const ShapeReport shape = quick_place(report);
+    CfSearchOptions opts = base.search;
+    opts.dedupe_pblocks = dedupe;
+    const CfSearchResult r = find_min_cf(copy, report, shape, dev, opts);
+    EXPECT_TRUE(r.found);
+    return r.tool_runs;
+  };
+  EXPECT_LE(runs_with(true), runs_with(false));
+}
+
+TEST(FlowKnobs, AnchorPolicyPropagatesThroughTheFlow) {
+  const Device dev = xc7z020_model();
+  const BlockDesign tfc = build_tfc_w1a1();
+  RwFlowOptions opts;
+  opts.compute_timing = false;
+  opts.run_stitch = false;
+  opts.search.pblock.policy = AnchorPolicy::MinWaste;
+  CfPolicy policy;
+  policy.constant_cf = 1.5;
+  const RwFlowResult r = run_rw_flow(tfc, dev, policy, opts);
+  EXPECT_EQ(r.failed_blocks, 0);
+
+  RwFlowOptions first_fit = opts;
+  first_fit.search.pblock.policy = AnchorPolicy::FirstFit;
+  const RwFlowResult base = run_rw_flow(tfc, dev, policy, first_fit);
+
+  // MinWaste never covers *more* unneeded hard blocks than first-fit (wide
+  // rectangles cannot dodge every special column, so zero is not always
+  // achievable).
+  for (std::size_t i = 0; i < r.blocks.size(); ++i) {
+    if (r.blocks[i].report.uses_bram_or_dsp()) continue;
+    const FabricResources tuned = dev.resources_in(r.blocks[i].macro.pblock);
+    const FabricResources ff = dev.resources_in(base.blocks[i].macro.pblock);
+    EXPECT_LE(tuned.bram36 + tuned.dsp, ff.bram36 + ff.dsp)
+        << r.blocks[i].name;
+  }
+}
+
+TEST(FlowKnobs, StitchCanBeSkipped) {
+  const Device dev = xc7z020_model();
+  const BlockDesign tfc = build_tfc_w1a1();
+  RwFlowOptions opts;
+  opts.run_stitch = false;
+  opts.compute_timing = false;
+  CfPolicy policy;
+  policy.constant_cf = 1.5;
+  const RwFlowResult r = run_rw_flow(tfc, dev, policy, opts);
+  EXPECT_EQ(r.stitch.total_moves, 0);
+  EXPECT_FALSE(r.problem.macros.empty());
+}
+
+TEST(FlowKnobs, FailedBlocksDropOutOfTheStitchProblem) {
+  // Force a failure by capping the search absurdly low: every surviving
+  // structure must stay consistent.
+  const Device dev = xc7z020_model();
+  const BlockDesign tfc = build_tfc_w1a1();
+  RwFlowOptions opts;
+  opts.compute_timing = false;
+  opts.run_stitch = false;
+  opts.search.max_cf = 0.4;  // nothing implements
+  CfPolicy policy;
+  policy.constant_cf = 0.3;
+  const RwFlowResult r = run_rw_flow(tfc, dev, policy, opts);
+  EXPECT_EQ(r.failed_blocks,
+            static_cast<int>(tfc.unique_modules.size()));
+  EXPECT_TRUE(r.problem.instances.empty());
+  EXPECT_TRUE(r.problem.nets.empty());
+}
+
+}  // namespace
+}  // namespace mf

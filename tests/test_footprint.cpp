@@ -1,0 +1,106 @@
+#include "fabric/pblock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabric/catalog.hpp"
+
+namespace mf {
+namespace {
+
+TEST(Footprint, MatchesAtOrigin) {
+  const Device dev = xc7z020_model();
+  const PBlock pb{4, 9, 10, 19};
+  const Footprint fp = footprint_of(dev, pb, /*uses_bram_or_dsp=*/false);
+  EXPECT_EQ(fp.width(), 6);
+  EXPECT_EQ(fp.height, 10);
+  EXPECT_TRUE(footprint_fits(dev, fp, 4, 10, 10));
+}
+
+TEST(Footprint, RejectsMismatchedColumns) {
+  const Device dev = xc7z020_model();
+  const PBlock pb{4, 9, 10, 19};
+  const Footprint fp = footprint_of(dev, pb, false);
+  // Shifting by one column scrambles the L/M pattern (period 3, so +1 is a
+  // mismatch unless the local pattern happens to repeat).
+  bool any_rejected = false;
+  for (int shift = 1; shift <= 2; ++shift) {
+    if (!footprint_fits(dev, fp, 4 + shift, 10, 10)) any_rejected = true;
+  }
+  EXPECT_TRUE(any_rejected);
+}
+
+TEST(Footprint, PatternPeriodRepeats) {
+  const Device dev = xc7z020_model();
+  // A pure-CLB footprint repeats on the m_period of 3 columns as long as no
+  // special column interferes.
+  const PBlock pb{0, 2, 0, 9};
+  const Footprint fp = footprint_of(dev, pb, false);
+  const auto anchors = compatible_anchors(dev, fp, 0);
+  EXPECT_GT(anchors.size(), 100u);
+  for (const auto& [col, row] : anchors) {
+    ASSERT_TRUE(footprint_fits(dev, fp, col, row, 0));
+  }
+}
+
+TEST(Footprint, VerticalFreedomWithoutHardBlocks) {
+  const Device dev = xc7z020_model();
+  const PBlock pb{0, 2, 0, 9};
+  const Footprint fp = footprint_of(dev, pb, false);
+  // Every row 0..rows-height must be available at the original column.
+  const auto anchors = compatible_anchors(dev, fp, 0);
+  int at_col0 = 0;
+  for (const auto& [col, row] : anchors) {
+    if (col == 0) ++at_col0;
+  }
+  EXPECT_EQ(at_col0, dev.rows() - fp.height + 1);
+}
+
+TEST(Footprint, BramUsersAlignToPitch) {
+  const Device dev = xc7z020_model();
+  // Find a BRAM column and build a footprint spanning it.
+  int bram_col = -1;
+  for (int c = 0; c < dev.num_columns(); ++c) {
+    if (dev.column(c) == ColumnKind::Bram) {
+      bram_col = c;
+      break;
+    }
+  }
+  ASSERT_GE(bram_col, 0);
+  const PBlock pb{bram_col - 1, bram_col + 1, 0, 9};
+  const Footprint fp = footprint_of(dev, pb, /*uses_bram_or_dsp=*/true);
+  const auto anchors = compatible_anchors(dev, fp, 0);
+  ASSERT_FALSE(anchors.empty());
+  for (const auto& [col, row] : anchors) {
+    EXPECT_EQ(row % kBramRowPitch, 0) << "misaligned row " << row;
+  }
+  EXPECT_FALSE(footprint_fits(dev, fp, bram_col - 1, 3, 0));
+  EXPECT_TRUE(footprint_fits(dev, fp, bram_col - 1, kBramRowPitch, 0));
+}
+
+TEST(Footprint, OutOfBoundsRejected) {
+  const Device dev = xc7z020_model();
+  const PBlock pb{0, 2, 0, 9};
+  const Footprint fp = footprint_of(dev, pb, false);
+  EXPECT_FALSE(footprint_fits(dev, fp, -1, 0, 0));
+  EXPECT_FALSE(footprint_fits(dev, fp, dev.num_columns() - 1, 0, 0));
+  EXPECT_FALSE(footprint_fits(dev, fp, 0, dev.rows() - 5, 0));
+}
+
+TEST(PBlockHelpers, ClbAndMColumnLists) {
+  const Device dev = xc7z020_model();
+  const PBlock pb{0, 10, 0, 0};
+  const std::vector<int> clb = clb_columns_in(dev, pb);
+  const std::vector<int> m = m_columns_in(dev, pb);
+  EXPECT_FALSE(clb.empty());
+  for (int c : clb) EXPECT_TRUE(is_clb(dev.column(c)));
+  for (int c : m) EXPECT_EQ(dev.column(c), ColumnKind::ClbM);
+  EXPECT_LT(m.size(), clb.size());
+}
+
+TEST(PBlockHelpers, ToStringMentionsDims) {
+  const std::string s = to_string(PBlock{1, 4, 2, 7});
+  EXPECT_NE(s.find("4x6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mf

@@ -1,0 +1,157 @@
+#include "route/maze_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cf_search.hpp"
+#include "fabric/catalog.hpp"
+#include "netlist/builder.hpp"
+#include "rtlgen/generators.hpp"
+#include "synth/optimize.hpp"
+
+namespace mf {
+namespace {
+
+TEST(MazeRouter, EmptyNetlistRoutesTrivially) {
+  Netlist nl;
+  Placement placement;
+  const MazeRouteResult r = maze_route(nl, placement, PBlock{0, 5, 0, 5});
+  EXPECT_TRUE(r.routed);
+  EXPECT_EQ(r.nets_routed, 0);
+  EXPECT_EQ(r.total_wirelength, 0);
+}
+
+TEST(MazeRouter, SingleNetTakesManhattanPath) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId l1 = b.lut({b.input()});
+  const NetId l2 = b.lut({l1});
+  nl.mark_output(l2);
+  Placement placement(nl.num_cells());
+  placement[0] = {0, 0};
+  placement[1] = {3, 4};
+  const MazeRouteResult r = maze_route(nl, placement, PBlock{0, 9, 0, 9});
+  EXPECT_TRUE(r.routed);
+  EXPECT_EQ(r.nets_routed, 1);
+  EXPECT_EQ(r.total_wirelength, 7);  // |dx| + |dy|
+}
+
+TEST(MazeRouter, FanoutSharesTreeEdges) {
+  // A driver with two sinks on the same row: the shared trunk is counted
+  // once (routing tree, not independent two-point paths).
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId src = b.lut({b.input()});
+  const NetId s1 = b.lut({src});
+  const NetId s2 = b.lut({src});
+  nl.mark_output(s1);
+  nl.mark_output(s2);
+  Placement placement(nl.num_cells());
+  placement[0] = {0, 0};  // driver
+  placement[1] = {4, 0};
+  placement[2] = {6, 0};
+  const MazeRouteResult r = maze_route(nl, placement, PBlock{0, 9, 0, 3});
+  EXPECT_TRUE(r.routed);
+  EXPECT_EQ(r.total_wirelength, 6);  // 0->4 plus 4->6, trunk shared
+}
+
+TEST(MazeRouter, CongestionForcesDetoursOrOverflow) {
+  // Many parallel nets through a 1-row corridor: far beyond one channel's
+  // capacity, the router must report overflow.
+  Netlist nl;
+  NetlistBuilder b(nl);
+  std::vector<CellId> drivers;
+  const int kNets = 40;
+  for (int i = 0; i < kNets; ++i) {
+    const NetId d = b.lut({b.input()});
+    nl.mark_output(b.lut({d}));
+  }
+  Placement placement(nl.num_cells());
+  for (int i = 0; i < kNets; ++i) {
+    placement[static_cast<std::size_t>(2 * i)] = {0, 0};
+    placement[static_cast<std::size_t>(2 * i + 1)] = {7, 0};
+  }
+  MazeRouteOptions opts;
+  opts.channel_capacity = 4;
+  const MazeRouteResult r =
+      maze_route(nl, placement, PBlock{0, 7, 0, 0}, opts);
+  EXPECT_FALSE(r.routed);
+  EXPECT_GT(r.max_overuse, 0);
+}
+
+TEST(MazeRouter, NegotiationResolvesModerateCongestion) {
+  // Same corridor but with a second row available: negotiation should move
+  // some nets to the alternate row and converge.
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const int kNets = 7;
+  for (int i = 0; i < kNets; ++i) {
+    const NetId d = b.lut({b.input()});
+    nl.mark_output(b.lut({d}));
+  }
+  Placement placement(nl.num_cells());
+  for (int i = 0; i < kNets; ++i) {
+    placement[static_cast<std::size_t>(2 * i)] = {0, 0};
+    placement[static_cast<std::size_t>(2 * i + 1)] = {5, 0};
+  }
+  MazeRouteOptions opts;
+  opts.channel_capacity = 4;
+  const MazeRouteResult r =
+      maze_route(nl, placement, PBlock{0, 5, 0, 2}, opts);
+  EXPECT_TRUE(r.routed) << "overflow " << r.overflow_edges;
+  EXPECT_GT(r.iterations, 0);
+}
+
+TEST(MazeRouter, ValidatesTheProxyDirection) {
+  // The fast proxy's verdicts must rank placements like the real router:
+  // a placement squeezed below the minimal CF shows more over-use than the
+  // placement at the minimal CF.
+  const Device dev = xc7z020_model();
+  Rng rng(1);
+  MixedParams params;
+  params.luts = 400;
+  params.ffs = 350;
+  params.carry_adders = 2;
+  params.control_sets = 3;
+  Module m = gen_mixed(params, rng);
+  optimize(m.netlist);
+  const ResourceReport report = make_report(m.netlist);
+  const ShapeReport shape = quick_place(report);
+  const CfSearchResult at_min = find_min_cf(m, report, shape, dev);
+  ASSERT_TRUE(at_min.found);
+  ASSERT_GE(at_min.min_cf, 1.1);
+
+  const auto tight_pb =
+      generate_pblock(dev, report, shape, at_min.min_cf - 0.2);
+  ASSERT_TRUE(tight_pb.has_value());
+  DetailedPlaceOptions no_proxy;
+  no_proxy.check_routability = false;
+  const PlaceResult tight =
+      place_in_pblock(m, report, dev, *tight_pb, no_proxy);
+  ASSERT_GT(tight.used_slices, 0);
+
+  const MazeRouteResult r_min =
+      maze_route(m.netlist, at_min.place.placement, at_min.pblock);
+  const MazeRouteResult r_tight =
+      maze_route(m.netlist, tight.placement, *tight_pb);
+  EXPECT_GT(r_tight.max_overuse, r_min.max_overuse);
+}
+
+TEST(MazeRouter, DeterministicResult) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  for (int i = 0; i < 10; ++i) {
+    nl.mark_output(b.lut({b.lut({b.input()})}));
+  }
+  Placement placement(nl.num_cells());
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    placement[i] = {static_cast<std::int16_t>(i % 5),
+                    static_cast<std::int16_t>(i / 5)};
+  }
+  const MazeRouteResult a = maze_route(nl, placement, PBlock{0, 5, 0, 5});
+  const MazeRouteResult c = maze_route(nl, placement, PBlock{0, 5, 0, 5});
+  EXPECT_EQ(a.total_wirelength, c.total_wirelength);
+  EXPECT_EQ(a.overflow_edges, c.overflow_edges);
+}
+
+}  // namespace
+}  // namespace mf

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+#include "ml/dtree.hpp"
+#include "ml/linreg.hpp"
+#include "ml/metrics.hpp"
+#include "ml/mlp.hpp"
+#include "ml/rforest.hpp"
+#include "ml/scaler.hpp"
+
+namespace mf {
+namespace {
+
+/// y = 2*x0 - 3*x1 + 0.5 + noise
+std::pair<std::vector<std::vector<double>>, std::vector<double>>
+linear_data(std::size_t n, double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(-2.0, 2.0);
+    const double b = rng.uniform(-2.0, 2.0);
+    x.push_back({a, b});
+    y.push_back(2.0 * a - 3.0 * b + 0.5 + noise * rng.normal());
+  }
+  return {x, y};
+}
+
+/// Piecewise target only trees can express exactly.
+std::pair<std::vector<std::vector<double>>, std::vector<double>>
+step_data(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(0.0, 1.0);
+    const double b = rng.uniform(0.0, 1.0);
+    x.push_back({a, b});
+    y.push_back((a > 0.5 ? 1.0 : 0.0) + (b > 0.3 ? 0.5 : 0.0) + 1.0);
+  }
+  return {x, y};
+}
+
+TEST(Scaler, ZeroMeanUnitVariance) {
+  StandardScaler scaler;
+  const auto [x, y] = linear_data(500, 0.0, 1);
+  scaler.fit(x);
+  const auto xs = scaler.transform(x);
+  double mean = 0.0;
+  double var = 0.0;
+  for (const auto& row : xs) mean += row[0];
+  mean /= static_cast<double>(xs.size());
+  for (const auto& row : xs) var += (row[0] - mean) * (row[0] - mean);
+  var /= static_cast<double>(xs.size());
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+  EXPECT_NEAR(var, 1.0, 1e-9);
+}
+
+TEST(Scaler, ConstantFeatureSurvives) {
+  StandardScaler scaler;
+  scaler.fit({{1.0, 5.0}, {2.0, 5.0}, {3.0, 5.0}});
+  const auto out = scaler.transform(std::vector<double>{2.0, 5.0});
+  EXPECT_TRUE(std::isfinite(out[1]));
+  EXPECT_NEAR(out[1], 0.0, 1e-9);
+}
+
+TEST(LinReg, RecoversLinearFunction) {
+  const auto [x, y] = linear_data(400, 0.0, 2);
+  LinearRegression model;
+  model.fit(x, y);
+  EXPECT_NEAR(model.predict({1.0, 1.0}), -0.5, 1e-6);
+  EXPECT_NEAR(model.predict({0.0, 0.0}), 0.5, 1e-6);
+}
+
+TEST(LinReg, RobustToNoise) {
+  const auto [x, y] = linear_data(2000, 0.1, 3);
+  LinearRegression model;
+  model.fit(x, y);
+  EXPECT_NEAR(model.predict({1.0, -1.0}), 5.5, 0.05);
+}
+
+TEST(LinReg, HandlesCollinearFeatures) {
+  // x1 == x0: ridge keeps the normal equations solvable.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    x.push_back({a, a});
+    y.push_back(3.0 * a);
+  }
+  LinearRegression model(1e-6);
+  EXPECT_NO_THROW(model.fit(x, y));
+  EXPECT_NEAR(model.predict({0.5, 0.5}), 1.5, 1e-3);
+}
+
+TEST(DTree, FitsStepFunctionExactly) {
+  const auto [x, y] = step_data(500, 5);
+  DecisionTree tree;
+  Rng rng(1);
+  tree.fit(x, y, {}, rng);
+  const auto pred = tree.predict(x);
+  EXPECT_LT(mean_squared_error(pred, y), 1e-9);
+}
+
+TEST(DTree, RespectsMaxDepth) {
+  const auto [x, y] = linear_data(500, 0.0, 6);
+  DecisionTree tree;
+  DTreeOptions opts;
+  opts.max_depth = 3;
+  Rng rng(1);
+  tree.fit(x, y, opts, rng);
+  EXPECT_LE(tree.depth(), 3);
+}
+
+TEST(DTree, ImportanceSumsToOne) {
+  const auto [x, y] = step_data(500, 7);
+  DecisionTree tree;
+  Rng rng(1);
+  tree.fit(x, y, {}, rng);
+  const auto& imp = tree.feature_importance();
+  double total = 0.0;
+  for (double v : imp) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Feature 0 explains the bigger step (1.0 vs 0.5): higher importance.
+  EXPECT_GT(imp[0], imp[1]);
+}
+
+TEST(DTree, ConstantTargetIsLeaf) {
+  std::vector<std::vector<double>> x = {{1.0}, {2.0}, {3.0}};
+  std::vector<double> y = {5.0, 5.0, 5.0};
+  DecisionTree tree;
+  Rng rng(1);
+  tree.fit(x, y, {}, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{9.0}), 5.0);
+}
+
+TEST(RForest, BeatsSingleTreeOnNoisyData) {
+  Rng noise_rng(8);
+  auto [x, y] = step_data(600, 8);
+  for (double& v : y) v += 0.2 * noise_rng.normal();
+  // Held-out set.
+  const auto [xt, yt_clean] = step_data(300, 9);
+
+  DecisionTree tree;
+  Rng rng(1);
+  tree.fit(x, y, {}, rng);
+  RandomForest forest;
+  RForestOptions opts;
+  opts.trees = 60;
+  forest.fit(x, y, opts);
+
+  const double tree_err = mean_squared_error(tree.predict(xt), yt_clean);
+  const double forest_err = mean_squared_error(forest.predict(xt), yt_clean);
+  EXPECT_LT(forest_err, tree_err);
+}
+
+TEST(RForest, ImportanceNormalised) {
+  const auto [x, y] = step_data(400, 10);
+  RandomForest forest;
+  RForestOptions opts;
+  opts.trees = 40;
+  forest.fit(x, y, opts);
+  double total = 0.0;
+  for (double v : forest.feature_importance()) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RForest, DeterministicPerSeed) {
+  const auto [x, y] = step_data(200, 11);
+  RForestOptions opts;
+  opts.trees = 10;
+  RandomForest a;
+  RandomForest b;
+  a.fit(x, y, opts);
+  b.fit(x, y, opts);
+  const std::vector<double> probe{0.4, 0.6};
+  EXPECT_DOUBLE_EQ(a.predict(probe), b.predict(probe));
+}
+
+TEST(Mlp, LossDecreasesDuringTraining) {
+  const auto [x, y] = linear_data(300, 0.05, 12);
+  Mlp mlp;
+  MlpOptions opts;
+  opts.epochs = 100;
+  mlp.fit(x, y, opts);
+  const auto& loss = mlp.training_loss();
+  ASSERT_EQ(loss.size(), 100u);
+  EXPECT_LT(loss.back(), loss.front() * 0.2);
+}
+
+TEST(Mlp, ApproximatesSmoothFunction) {
+  const auto [x, y] = linear_data(600, 0.0, 13);
+  Mlp mlp;
+  MlpOptions opts;
+  opts.epochs = 300;
+  mlp.fit(x, y, opts);
+  const double pred = mlp.predict({1.0, 1.0});
+  EXPECT_NEAR(pred, -0.5, 0.25);
+}
+
+TEST(Metrics, MeanAndMedianRelativeError) {
+  const std::vector<double> truth = {1.0, 2.0, 4.0};
+  const std::vector<double> pred = {1.1, 2.0, 3.0};
+  EXPECT_NEAR(mean_relative_error(pred, truth), (0.1 + 0.0 + 0.25) / 3.0,
+              1e-12);
+  EXPECT_NEAR(median_relative_error(pred, truth), 0.1, 1e-12);
+}
+
+TEST(Metrics, MedianEvenCount) {
+  const std::vector<double> truth = {1.0, 1.0, 1.0, 1.0};
+  const std::vector<double> pred = {1.1, 1.2, 1.3, 1.4};
+  EXPECT_NEAR(median_relative_error(pred, truth), 0.25, 1e-12);
+}
+
+TEST(Dataset, BalanceCapsPerBin) {
+  Dataset data;
+  data.feature_names = {"x"};
+  Rng rng(14);
+  for (int i = 0; i < 300; ++i) data.add({1.0 * i}, 0.9, "a");
+  for (int i = 0; i < 40; ++i) data.add({2.0 * i}, 1.3, "b");
+  Rng balance_rng(15);
+  const Dataset balanced = balance_by_target(data, 0.02, 75, balance_rng);
+  int at_09 = 0;
+  int at_13 = 0;
+  for (double v : balanced.y) {
+    if (v < 1.0) ++at_09;
+    if (v > 1.0) ++at_13;
+  }
+  EXPECT_EQ(at_09, 75);
+  EXPECT_EQ(at_13, 40);
+}
+
+TEST(Dataset, SplitSizesAndDisjoint) {
+  Dataset data;
+  data.feature_names = {"x"};
+  for (int i = 0; i < 100; ++i) {
+    data.add({static_cast<double>(i)}, 1.0, std::to_string(i));
+  }
+  Rng rng(16);
+  const auto [train, test] = train_test_split(data, 0.8, rng);
+  EXPECT_EQ(train.size(), 80u);
+  EXPECT_EQ(test.size(), 20u);
+  std::set<std::string> labels(train.labels.begin(), train.labels.end());
+  for (const std::string& l : test.labels) {
+    EXPECT_EQ(labels.count(l), 0u);
+  }
+}
+
+TEST(Dataset, SubsetPreservesOrder) {
+  Dataset data;
+  data.feature_names = {"x"};
+  for (int i = 0; i < 10; ++i) {
+    data.add({static_cast<double>(i)}, i, std::to_string(i));
+  }
+  const Dataset sub = data.subset({2, 5, 7});
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.y[0], 2.0);
+  EXPECT_EQ(sub.y[2], 7.0);
+}
+
+}  // namespace
+}  // namespace mf

@@ -1,0 +1,171 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/stats.hpp"
+
+namespace mf {
+namespace {
+
+TEST(Netlist, ConnectTracksSinksAndDriver) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const CellId lut = nl.add_cell(CellKind::Lut);
+  nl.connect_input(lut, a);
+  const NetId out = nl.add_net();
+  nl.set_output(lut, out);
+  EXPECT_EQ(nl.net(a).sinks.size(), 1u);
+  EXPECT_EQ(nl.net(a).sinks.front(), lut);
+  EXPECT_EQ(nl.net(out).driver, lut);
+  EXPECT_EQ(nl.cell(lut).out, out);
+}
+
+TEST(Netlist, DoubleDriverRejected) {
+  Netlist nl;
+  const NetId n = nl.add_net();
+  const CellId a = nl.add_cell(CellKind::Lut);
+  const CellId b = nl.add_cell(CellKind::Lut);
+  nl.set_output(a, n);
+  EXPECT_THROW(nl.set_output(b, n), CheckError);
+}
+
+TEST(Netlist, ControlSetsAreInterned) {
+  Netlist nl;
+  const NetId clk = nl.add_net("clk", true);
+  const NetId rst = nl.add_net("rst");
+  const ControlSetId a = nl.make_control_set(clk, rst, kInvalidId);
+  const ControlSetId b = nl.make_control_set(clk, rst, kInvalidId);
+  const ControlSetId c = nl.make_control_set(clk, kInvalidId, kInvalidId);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(nl.num_control_sets(), 2u);
+}
+
+TEST(Netlist, BindControlSetCountsLoads) {
+  Netlist nl;
+  const NetId clk = nl.add_net("clk", true);
+  const NetId rst = nl.add_net("rst");
+  const ControlSetId cs = nl.make_control_set(clk, rst, kInvalidId);
+  for (int i = 0; i < 5; ++i) {
+    const CellId ff = nl.add_cell(CellKind::Ff);
+    nl.bind_control_set(ff, cs);
+  }
+  EXPECT_EQ(nl.net(rst).control_loads, 5);
+  EXPECT_EQ(nl.net(rst).fanout(), 5);
+  EXPECT_EQ(nl.net(clk).control_loads, 5);
+}
+
+TEST(Netlist, ControlSetOnLutRejected) {
+  Netlist nl;
+  const NetId clk = nl.add_net("clk", true);
+  const ControlSetId cs = nl.make_control_set(clk, kInvalidId, kInvalidId);
+  const CellId lut = nl.add_cell(CellKind::Lut);
+  EXPECT_THROW(nl.bind_control_set(lut, cs), CheckError);
+}
+
+TEST(Netlist, RewireInputMovesSink) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const CellId lut = nl.add_cell(CellKind::Lut);
+  nl.connect_input(lut, a);
+  nl.rewire_input(lut, 0, b);
+  EXPECT_TRUE(nl.net(a).sinks.empty());
+  EXPECT_EQ(nl.net(b).sinks.size(), 1u);
+  EXPECT_EQ(nl.cell(lut).inputs.front(), b);
+}
+
+TEST(Netlist, RemoveCellsRemapsEverything) {
+  Netlist nl;
+  const NetId in = nl.add_net("in");
+  const CellId dead = nl.add_cell(CellKind::Lut);
+  nl.connect_input(dead, in);
+  const NetId dead_out = nl.add_net();
+  nl.set_output(dead, dead_out);
+
+  const CellId kept = nl.add_cell(CellKind::Lut);
+  nl.connect_input(kept, in);
+  const NetId kept_out = nl.add_net();
+  nl.set_output(kept, kept_out);
+
+  std::vector<bool> flags = {true, false};
+  EXPECT_EQ(nl.remove_cells(flags), 1u);
+  ASSERT_EQ(nl.num_cells(), 1u);
+  EXPECT_EQ(nl.net(kept_out).driver, 0);
+  EXPECT_EQ(nl.net(dead_out).driver, kInvalidId);
+  ASSERT_EQ(nl.net(in).sinks.size(), 1u);
+  EXPECT_EQ(nl.net(in).sinks.front(), 0);
+}
+
+TEST(Netlist, ChainOnlyOnCarry) {
+  Netlist nl;
+  const CellId carry = nl.add_cell(CellKind::Carry4);
+  nl.set_chain(carry, 0, 0);
+  EXPECT_EQ(nl.cell(carry).chain, 0);
+  const CellId lut = nl.add_cell(CellKind::Lut);
+  EXPECT_THROW(nl.set_chain(lut, 1, 0), CheckError);
+}
+
+TEST(Netlist, OutputMarkingIsIdempotent) {
+  Netlist nl;
+  const NetId n = nl.add_net();
+  nl.mark_output(n);
+  nl.mark_output(n);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_TRUE(nl.is_output(n));
+}
+
+TEST(Stats, CountsKindsAndChains) {
+  Netlist nl;
+  const NetId clk = nl.add_net("clk", true);
+  const ControlSetId cs = nl.make_control_set(clk, kInvalidId, kInvalidId);
+  for (int i = 0; i < 3; ++i) nl.add_cell(CellKind::Lut);
+  for (int i = 0; i < 2; ++i) {
+    nl.bind_control_set(nl.add_cell(CellKind::Ff), cs);
+  }
+  for (int pos = 0; pos < 4; ++pos) {
+    const CellId c = nl.add_cell(CellKind::Carry4);
+    nl.set_chain(c, 7, pos);
+  }
+  const CellId short_chain = nl.add_cell(CellKind::Carry4);
+  nl.set_chain(short_chain, 8, 0);
+  nl.add_cell(CellKind::Srl);
+  nl.add_cell(CellKind::Bram36);
+
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.luts, 3);
+  EXPECT_EQ(s.ffs, 2);
+  EXPECT_EQ(s.carry4, 5);
+  EXPECT_EQ(s.srls, 1);
+  EXPECT_EQ(s.bram36, 1);
+  EXPECT_EQ(s.control_sets, 1);
+  ASSERT_EQ(s.carry_chains.size(), 2u);
+  EXPECT_EQ(s.carry_chains[0], 4);  // sorted descending
+  EXPECT_EQ(s.carry_chains[1], 1);
+  EXPECT_EQ(s.longest_chain(), 4);
+}
+
+TEST(Stats, MaxFanoutIgnoresClock) {
+  Netlist nl;
+  const NetId clk = nl.add_net("clk", true);
+  const NetId data = nl.add_net("d");
+  const ControlSetId cs = nl.make_control_set(clk, kInvalidId, kInvalidId);
+  for (int i = 0; i < 10; ++i) {
+    const CellId ff = nl.add_cell(CellKind::Ff);
+    nl.connect_input(ff, data);
+    nl.bind_control_set(ff, cs);
+  }
+  const NetlistStats s = compute_stats(nl);
+  // clk has 10 control loads but is excluded; data has 10 sinks.
+  EXPECT_EQ(s.max_fanout, 10);
+}
+
+TEST(Stats, Bram36Equivalents) {
+  NetlistStats s;
+  s.bram18 = 3;
+  s.bram36 = 1;
+  EXPECT_EQ(s.bram36_equiv(), 3);  // 1 + ceil(3/2)
+}
+
+}  // namespace
+}  // namespace mf

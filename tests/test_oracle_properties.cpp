@@ -1,0 +1,134 @@
+// Property tests over the feasibility oracle, swept across the dataset:
+// whatever module the generators produce, a successful minimal-CF search
+// must yield a *legal* placement (slice capacities, control sets, chain
+// contiguity, M-typing, bounds) and be deterministic.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/cf_search.hpp"
+#include "fabric/catalog.hpp"
+#include "rtlgen/sweep.hpp"
+#include "synth/optimize.hpp"
+
+namespace mf {
+namespace {
+
+struct OracleCase {
+  Module module;
+  ResourceReport report;
+  ShapeReport shape;
+  CfSearchResult result;
+};
+
+OracleCase run_case(int index) {
+  static const std::vector<GenSpec> specs = dataset_sweep({2000, 42});
+  // Spread the parameter over the whole sweep so every family is hit.
+  const std::size_t pick =
+      static_cast<std::size_t>(index) * (specs.size() - 1) / 11;
+  OracleCase c{realize(specs[pick]), {}, {}, {}};
+  optimize(c.module.netlist);
+  c.report = make_report(c.module.netlist);
+  c.shape = quick_place(c.report);
+  c.result = find_min_cf(c.module, c.report, c.shape, xc7z020_model());
+  return c;
+}
+
+class OracleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OracleProperty, MinCfPlacementIsLegal) {
+  const Device dev = xc7z020_model();
+  const OracleCase c = run_case(GetParam());
+  ASSERT_TRUE(c.result.found) << c.module.name;
+  const PlaceResult& place = c.result.place;
+  ASSERT_TRUE(place.feasible);
+
+  const Netlist& nl = c.module.netlist;
+  std::map<std::pair<int, int>, int> lut_sites;
+  std::map<std::pair<int, int>, int> ff_count;
+  std::map<std::pair<int, int>, std::set<ControlSetId>> cs_in_slice;
+  std::map<std::pair<int, int>, int> carry_in_slice;
+
+  for (std::size_t i = 0; i < nl.num_cells(); ++i) {
+    const Cell& cell = nl.cell(static_cast<CellId>(i));
+    const CellPlacement& p = place.placement[i];
+    ASSERT_TRUE(p.placed()) << c.module.name << " cell " << i;
+    ASSERT_TRUE(c.result.pblock.contains(p.col, p.row))
+        << c.module.name << " cell outside PBlock";
+    const auto key = std::make_pair<int, int>(p.col, p.row);
+    switch (cell.kind) {
+      case CellKind::Lut:
+      case CellKind::Srl:
+      case CellKind::LutRam:
+        ++lut_sites[key];
+        if (cell.kind != CellKind::Lut) {
+          ASSERT_EQ(dev.column(p.col), ColumnKind::ClbM)
+              << c.module.name << " memory cell in L slice";
+        }
+        break;
+      case CellKind::Ff:
+        ++ff_count[key];
+        cs_in_slice[key].insert(cell.control_set);
+        break;
+      case CellKind::Carry4:
+        ++carry_in_slice[key];
+        break;
+      case CellKind::Bram18:
+        ASSERT_EQ(dev.column(p.col), ColumnKind::Bram);
+        break;
+      case CellKind::Bram36:
+        ASSERT_EQ(dev.column(p.col), ColumnKind::Bram);
+        break;
+      case CellKind::Dsp48:
+        ASSERT_EQ(dev.column(p.col), ColumnKind::Dsp);
+        break;
+    }
+  }
+  for (const auto& [pos, n] : lut_sites) {
+    ASSERT_LE(n, kLutsPerSlice) << c.module.name;
+  }
+  for (const auto& [pos, n] : ff_count) {
+    ASSERT_LE(n, kFfsPerSlice) << c.module.name;
+  }
+  for (const auto& [pos, sets] : cs_in_slice) {
+    ASSERT_LE(sets.size(), 2u) << c.module.name;
+  }
+  for (const auto& [pos, n] : carry_in_slice) {
+    ASSERT_LE(n, kCarryPerSlice) << c.module.name;
+  }
+}
+
+TEST_P(OracleProperty, SearchIsDeterministic) {
+  const OracleCase a = run_case(GetParam());
+  const OracleCase b = run_case(GetParam());
+  ASSERT_EQ(a.result.found, b.result.found);
+  if (!a.result.found) return;
+  EXPECT_DOUBLE_EQ(a.result.min_cf, b.result.min_cf);
+  EXPECT_EQ(a.result.pblock, b.result.pblock);
+  EXPECT_EQ(a.result.place.used_slices, b.result.place.used_slices);
+}
+
+TEST_P(OracleProperty, UsedSlicesNeverExceedPBlock) {
+  const Device dev = xc7z020_model();
+  const OracleCase c = run_case(GetParam());
+  ASSERT_TRUE(c.result.found);
+  const FabricResources avail = dev.resources_in(c.result.pblock);
+  EXPECT_LE(c.result.place.used_slices, avail.slices);
+  EXPECT_GE(c.result.place.used_slices,
+            std::min(c.report.est_slices, avail.slices) / 2);
+}
+
+TEST_P(OracleProperty, MinCfWithinSearchBounds) {
+  const OracleCase c = run_case(GetParam());
+  ASSERT_TRUE(c.result.found);
+  EXPECT_GE(c.result.min_cf, 0.9 - 1e-9);
+  EXPECT_LE(c.result.min_cf, 3.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossDataset, OracleProperty,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace mf

@@ -1,0 +1,271 @@
+#include "place/detailed_placer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "fabric/catalog.hpp"
+#include "fabric/pblock.hpp"
+#include "netlist/builder.hpp"
+#include "place/quick_placer.hpp"
+#include "rtlgen/generators.hpp"
+#include "synth/optimize.hpp"
+
+namespace mf {
+namespace {
+
+struct Prepared {
+  Module module;
+  ResourceReport report;
+  ShapeReport shape;
+};
+
+Prepared prepare(Module module) {
+  optimize(module.netlist);
+  Prepared p{std::move(module), {}, {}};
+  p.report = make_report(p.module.netlist);
+  p.shape = quick_place(p.report);
+  return p;
+}
+
+Prepared mixed_module(int luts, int ffs, int adders = 1, int cs = 2,
+                      std::uint64_t seed = 1) {
+  Rng rng(seed);
+  MixedParams params;
+  params.luts = luts;
+  params.ffs = ffs;
+  params.carry_adders = adders;
+  params.carry_width = 12;
+  params.control_sets = cs;
+  return prepare(gen_mixed(params, rng));
+}
+
+TEST(QuickPlacer, SquareishBox) {
+  const Prepared p = mixed_module(400, 300);
+  EXPECT_GE(p.shape.bbox_w * p.shape.bbox_h, p.report.est_slices);
+  EXPECT_NEAR(p.shape.aspect(), 1.0, 0.5);
+}
+
+TEST(QuickPlacer, CarryChainSetsMinHeight) {
+  Rng rng(2);
+  const Prepared p = prepare(gen_carry({1, 32, false}, rng));
+  EXPECT_EQ(p.shape.min_height, p.report.stats.longest_chain());
+  EXPECT_GE(p.shape.bbox_h, p.shape.min_height);
+}
+
+TEST(QuickPlacer, BramStretchesHeight) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const std::vector<NetId> addr = b.input_bus(10, "a");
+  for (int i = 0; i < 12; ++i) b.bram36(addr, addr);
+  Module m;
+  m.netlist = std::move(nl);
+  const Prepared p = prepare(std::move(m));
+  EXPECT_GE(p.shape.bbox_h, 12 * kBramRowPitch);
+}
+
+TEST(DetailedPlacer, FeasibleInGenerousPBlock) {
+  const Device dev = xc7z020_model();
+  const Prepared p = mixed_module(300, 250);
+  const PBlock pb{0, 30, 0, 40};
+  const PlaceResult r =
+      place_in_pblock(p.module, p.report, dev, pb, {});
+  EXPECT_TRUE(r.feasible) << r.fail_reason;
+  EXPECT_GT(r.used_slices, 0);
+}
+
+TEST(DetailedPlacer, AllCellsPlacedInsidePBlock) {
+  const Device dev = xc7z020_model();
+  const Prepared p = mixed_module(300, 250, 2, 4);
+  const PBlock pb{0, 30, 0, 40};
+  const PlaceResult r = place_in_pblock(p.module, p.report, dev, pb, {});
+  ASSERT_TRUE(r.feasible);
+  for (std::size_t i = 0; i < r.placement.size(); ++i) {
+    const CellPlacement& cp = r.placement[i];
+    ASSERT_TRUE(cp.placed()) << "cell " << i << " unplaced";
+    ASSERT_TRUE(pb.contains(cp.col, cp.row));
+  }
+}
+
+TEST(DetailedPlacer, SliceCapacitiesRespected) {
+  const Device dev = xc7z020_model();
+  const Prepared p = mixed_module(500, 600, 2, 6);
+  const PBlock pb{0, 25, 0, 30};
+  const PlaceResult r = place_in_pblock(p.module, p.report, dev, pb, {});
+  ASSERT_TRUE(r.feasible) << r.fail_reason;
+
+  std::map<std::pair<int, int>, int> lut_sites;
+  std::map<std::pair<int, int>, int> ffs;
+  std::map<std::pair<int, int>, std::set<ControlSetId>> slice_cs;
+  const Netlist& nl = p.module.netlist;
+  for (std::size_t i = 0; i < nl.num_cells(); ++i) {
+    const Cell& cell = nl.cell(static_cast<CellId>(i));
+    const CellPlacement& cp = r.placement[i];
+    const auto key = std::make_pair<int, int>(cp.col, cp.row);
+    switch (cell.kind) {
+      case CellKind::Lut:
+      case CellKind::Srl:
+      case CellKind::LutRam:
+        ++lut_sites[key];
+        break;
+      case CellKind::Ff:
+        ++ffs[key];
+        slice_cs[key].insert(cell.control_set);
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& [pos, count] : lut_sites) {
+    EXPECT_LE(count, kLutsPerSlice) << "LUT overflow at " << pos.first;
+  }
+  for (const auto& [pos, count] : ffs) {
+    EXPECT_LE(count, kFfsPerSlice) << "FF overflow";
+  }
+  for (const auto& [pos, sets] : slice_cs) {
+    EXPECT_LE(sets.size(), 2u) << "more than two control sets in a slice";
+  }
+}
+
+TEST(DetailedPlacer, CarryChainsVerticallyContiguous) {
+  const Device dev = xc7z020_model();
+  Rng rng(5);
+  const Prepared p = prepare(gen_carry({2, 24, true}, rng));
+  const PBlock pb{0, 20, 0, 30};
+  const PlaceResult r = place_in_pblock(p.module, p.report, dev, pb, {});
+  ASSERT_TRUE(r.feasible) << r.fail_reason;
+
+  std::map<int, std::vector<std::pair<int, int>>> chains;  // chain -> (pos, row/col)
+  const Netlist& nl = p.module.netlist;
+  for (std::size_t i = 0; i < nl.num_cells(); ++i) {
+    const Cell& cell = nl.cell(static_cast<CellId>(i));
+    if (cell.kind != CellKind::Carry4) continue;
+    chains[cell.chain].push_back(
+        {cell.chain_pos,
+         r.placement[i].col * 1000 + r.placement[i].row});
+  }
+  for (auto& [chain, cells] : chains) {
+    std::sort(cells.begin(), cells.end());
+    // Contiguous vertical run in a single column; direction depends on the
+    // snake orientation of the column, but must be consistent.
+    int direction = 0;
+    for (std::size_t k = 1; k < cells.size(); ++k) {
+      const int prev_col = cells[k - 1].second / 1000;
+      const int prev_row = cells[k - 1].second % 1000;
+      const int col = cells[k].second / 1000;
+      const int row = cells[k].second % 1000;
+      EXPECT_EQ(col, prev_col) << "chain " << chain << " switches column";
+      const int step = row - prev_row;
+      EXPECT_EQ(std::abs(step), 1) << "chain " << chain << " not contiguous";
+      if (direction == 0) direction = step;
+      EXPECT_EQ(step, direction) << "chain " << chain << " changes direction";
+    }
+  }
+}
+
+TEST(DetailedPlacer, MemCellsLandInMColumns) {
+  const Device dev = xc7z020_model();
+  Rng rng(6);
+  const Prepared p = prepare(gen_lutram({8, 256}, rng));
+  const PBlock pb{0, 30, 0, 30};
+  const PlaceResult r = place_in_pblock(p.module, p.report, dev, pb, {});
+  ASSERT_TRUE(r.feasible) << r.fail_reason;
+  const Netlist& nl = p.module.netlist;
+  for (std::size_t i = 0; i < nl.num_cells(); ++i) {
+    const Cell& cell = nl.cell(static_cast<CellId>(i));
+    if (cell.kind == CellKind::LutRam || cell.kind == CellKind::Srl) {
+      EXPECT_EQ(dev.column(r.placement[i].col), ColumnKind::ClbM);
+    }
+  }
+}
+
+TEST(DetailedPlacer, FailsWhenSlicesShort) {
+  const Device dev = xc7z020_model();
+  const Prepared p = mixed_module(800, 100);
+  const PBlock pb{0, 5, 0, 5};  // ~30 slices for ~200 needed
+  const PlaceResult r = place_in_pblock(p.module, p.report, dev, pb, {});
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.fail_reason, "lut capacity");
+}
+
+TEST(DetailedPlacer, FailsWhenCarryTooTall) {
+  const Device dev = xc7z020_model();
+  Rng rng(7);
+  const Prepared p = prepare(gen_carry({1, 64, false}, rng));  // 16-high chain
+  const PBlock pb{0, 30, 0, 7};  // height 8 < 16
+  const PlaceResult r = place_in_pblock(p.module, p.report, dev, pb, {});
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.fail_reason, "carry chain does not fit");
+}
+
+TEST(DetailedPlacer, FailsWithoutMSlices) {
+  // A PBlock over pure-L columns cannot host LUTRAM.
+  const Device dev = xc7z020_model();
+  Rng rng(8);
+  const Prepared p = prepare(gen_lutram({4, 64}, rng));
+  // Columns 0..1 are L-typed in the model (period 3 puts M at index 2).
+  const PBlock pb{0, 1, 0, 40};
+  ASSERT_TRUE(m_columns_in(dev, pb).empty());
+  const PlaceResult r = place_in_pblock(p.module, p.report, dev, pb, {});
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.fail_reason, "m-slice capacity");
+}
+
+TEST(DetailedPlacer, BramCapacityEnforced) {
+  const Device dev = xc7z020_model();
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const std::vector<NetId> addr = b.input_bus(10, "a");
+  for (int i = 0; i < 4; ++i) b.bram36(addr, addr);
+  Module m;
+  m.netlist = std::move(nl);
+  const Prepared p = prepare(std::move(m));
+  // Narrow CLB-only window: no BRAM columns at all.
+  const PBlock pb{0, 1, 0, 40};
+  const PlaceResult r = place_in_pblock(p.module, p.report, dev, pb, {});
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.fail_reason, "bram capacity");
+}
+
+TEST(DetailedPlacer, UsedSlicesGrowWithPBlockSize) {
+  // The spreading rule: more area -> more (sparser) used slices. This is
+  // the mechanism behind Table I's used-slice growth at looser CFs.
+  const Device dev = xc7z020_model();
+  const Prepared p = mixed_module(600, 500, 2, 4);
+  const PlaceResult tight =
+      place_in_pblock(p.module, p.report, dev, PBlock{0, 17, 0, 15}, {});
+  const PlaceResult loose =
+      place_in_pblock(p.module, p.report, dev, PBlock{0, 24, 0, 23}, {});
+  ASSERT_TRUE(tight.feasible) << tight.fail_reason;
+  ASSERT_TRUE(loose.feasible);
+  EXPECT_GT(loose.used_slices, tight.used_slices);
+}
+
+TEST(DetailedPlacer, CongestionRelaxesWithArea) {
+  const Device dev = xc7z020_model();
+  const Prepared p = mixed_module(600, 500, 2, 4);
+  const PlaceResult tight =
+      place_in_pblock(p.module, p.report, dev, PBlock{0, 17, 0, 15}, {});
+  const PlaceResult loose =
+      place_in_pblock(p.module, p.report, dev, PBlock{0, 29, 0, 27}, {});
+  ASSERT_TRUE(tight.feasible) << tight.fail_reason;
+  ASSERT_TRUE(loose.feasible);
+  EXPECT_LT(loose.route.peak, tight.route.peak);
+}
+
+TEST(DetailedPlacer, DeterministicResult) {
+  const Device dev = xc7z020_model();
+  const Prepared p = mixed_module(300, 250);
+  const PBlock pb{0, 30, 0, 40};
+  const PlaceResult a = place_in_pblock(p.module, p.report, dev, pb, {});
+  const PlaceResult b = place_in_pblock(p.module, p.report, dev, pb, {});
+  ASSERT_EQ(a.placement.size(), b.placement.size());
+  for (std::size_t i = 0; i < a.placement.size(); ++i) {
+    ASSERT_EQ(a.placement[i].col, b.placement[i].col);
+    ASSERT_EQ(a.placement[i].row, b.placement[i].row);
+  }
+}
+
+}  // namespace
+}  // namespace mf

@@ -1,0 +1,141 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace mf {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.u64(), b.u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.u64() == b.u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_int(4, 4), 4);
+  }
+}
+
+TEST(Rng, IndexStaysBelowBound) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_LT(rng.index(13), 13u);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  rng.shuffle(values);
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, ShuffleActuallyMoves) {
+  Rng rng(23);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  rng.shuffle(values);
+  int moved = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (values[static_cast<std::size_t>(i)] != i) ++moved;
+  }
+  EXPECT_GT(moved, 80);
+}
+
+TEST(Rng, ForkStreamsAreIndependent) {
+  Rng parent(29);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.u64() == b.u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng p1(31);
+  Rng p2(31);
+  Rng a = p1.fork(5);
+  Rng b = p2.fork(5);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.u64(), b.u64());
+}
+
+TEST(Rng, SplitMixDeterministic) {
+  std::uint64_t s1 = 42;
+  std::uint64_t s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace mf

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "fabric/catalog.hpp"
+#include "netlist/builder.hpp"
+#include "place/detailed_placer.hpp"
+#include "place/quick_placer.hpp"
+#include "route/routability.hpp"
+#include "rtlgen/generators.hpp"
+#include "synth/optimize.hpp"
+#include "timing/sta.hpp"
+
+namespace mf {
+namespace {
+
+TEST(Routability, EmptyPlacementIsRoutable) {
+  Netlist nl;
+  Placement placement;
+  const RouteEstimate e =
+      estimate_routability(nl, placement, PBlock{0, 9, 0, 9}, {});
+  EXPECT_TRUE(e.routable);
+  EXPECT_EQ(e.peak, 0.0);
+}
+
+TEST(Routability, DemandAccumulatesOnNets) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId in = b.input();
+  const NetId l1 = b.lut({in});
+  const NetId l2 = b.lut({l1});
+  nl.mark_output(l2);
+  Placement placement(nl.num_cells());
+  placement[0] = {2, 2};
+  placement[1] = {5, 5};
+  const RouteEstimate e =
+      estimate_routability(nl, placement, PBlock{0, 9, 0, 9}, {});
+  EXPECT_GT(e.mean, 0.0);
+}
+
+TEST(Routability, FanoutEscapeMakesHotspot) {
+  RoutabilityOptions opts;
+  auto build = [&](int fanout) {
+    Netlist nl;
+    NetlistBuilder b(nl);
+    const NetId src = b.lut({b.input()});
+    for (int i = 0; i < fanout; ++i) nl.mark_output(b.lut({src}));
+    Placement placement(nl.num_cells());
+    // Driver centre, sinks spread.
+    placement[0] = {5, 5};
+    for (std::size_t i = 1; i < placement.size(); ++i) {
+      placement[i] = {static_cast<std::int16_t>(i % 10),
+                      static_cast<std::int16_t>((i / 10) % 10)};
+    }
+    return estimate_routability(nl, placement, PBlock{0, 9, 0, 9}, opts).peak;
+  };
+  EXPECT_GT(build(64), build(4));
+}
+
+TEST(Routability, ControlBroadcastAddsDemand) {
+  RoutabilityOptions with;
+  RoutabilityOptions without = with;
+  without.control_scale = 0.0;
+
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const ControlSetId cs = b.control_set(b.input("rst"), b.input("en"));
+  for (int i = 0; i < 64; ++i) b.ff(b.input(), cs);
+  Placement placement(nl.num_cells());
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    placement[i] = {static_cast<std::int16_t>(i % 8),
+                    static_cast<std::int16_t>(i / 8)};
+  }
+  const double peak_with =
+      estimate_routability(nl, placement, PBlock{0, 7, 0, 7}, with).mean;
+  const double peak_without =
+      estimate_routability(nl, placement, PBlock{0, 7, 0, 7}, without).mean;
+  EXPECT_GT(peak_with, peak_without);
+}
+
+TEST(Routability, CongestionAtLookup) {
+  RouteEstimate e;
+  e.grid_w = 2;
+  e.grid_h = 2;
+  e.col0 = 10;
+  e.row0 = 20;
+  e.demand = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(e.congestion_at(10, 20, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(e.congestion_at(11, 21, 2.0), 2.0);
+  // Clamped outside.
+  EXPECT_DOUBLE_EQ(e.congestion_at(0, 0, 2.0), 0.5);
+}
+
+// -- timing -----------------------------------------------------------------
+
+TEST(Timing, PathGrowsWithLogicDepth) {
+  TimingOptions opts;
+  auto longest = [&](int depth) {
+    Netlist nl;
+    NetlistBuilder b(nl);
+    NetId n = b.input();
+    for (int i = 0; i < depth; ++i) n = b.lut({n});
+    nl.mark_output(n);
+    Placement placement(nl.num_cells());
+    for (std::size_t i = 0; i < placement.size(); ++i) {
+      placement[i] = {static_cast<std::int16_t>(i), 0};
+    }
+    return analyze_timing(nl, placement, {}, 0.0, opts).longest_path_ns;
+  };
+  EXPECT_GT(longest(8), longest(2));
+}
+
+TEST(Timing, WireDistanceMatters) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId l1 = b.lut({b.input()});
+  const NetId l2 = b.lut({l1});
+  nl.mark_output(l2);
+
+  Placement near(nl.num_cells());
+  near[0] = {0, 0};
+  near[1] = {1, 0};
+  Placement far = near;
+  far[1] = {60, 60};
+  const double t_near = analyze_timing(nl, near, {}, 0.0, {}).longest_path_ns;
+  const double t_far = analyze_timing(nl, far, {}, 0.0, {}).longest_path_ns;
+  EXPECT_GT(t_far, t_near + 0.3);
+}
+
+TEST(Timing, RegisterToRegisterPath) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const ControlSetId cs = b.control_set();
+  const NetId q = b.ff(b.input(), cs);
+  const NetId l = b.lut({q});
+  const NetId q2 = b.ff(l, cs);
+  nl.mark_output(q2);
+  Placement placement(nl.num_cells(), CellPlacement{0, 0});
+  const TimingResult t = analyze_timing(nl, placement, {}, 0.0, {});
+  TimingOptions opts;
+  // clk->Q + wire + LUT + wire + setup.
+  EXPECT_GT(t.longest_path_ns, opts.clk_to_q + opts.lut_delay + opts.setup);
+  EXPECT_LT(t.longest_path_ns, 3.0);
+}
+
+TEST(Timing, CongestionSlowsWires) {
+  // The Table I inversion: the same placement with a congested grid yields
+  // a longer critical path.
+  Netlist nl;
+  NetlistBuilder b(nl);
+  NetId n = b.input();
+  for (int i = 0; i < 6; ++i) n = b.lut({n});
+  nl.mark_output(n);
+  Placement placement(nl.num_cells());
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    placement[i] = {static_cast<std::int16_t>(i * 3), 0};
+  }
+  RouteEstimate congested;
+  congested.grid_w = 30;
+  congested.grid_h = 1;
+  congested.demand.assign(30, 20.0);  // demand 20 vs capacity 10 => ratio 2
+
+  const double clean = analyze_timing(nl, placement, {}, 0.0, {}).longest_path_ns;
+  const double hot =
+      analyze_timing(nl, placement, congested, 10.0, {}).longest_path_ns;
+  EXPECT_GT(hot, clean * 1.5);
+}
+
+TEST(Timing, CriticalPathTracesThroughTheChain) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  NetId n = b.input("start");
+  std::vector<NetId> chain{n};
+  for (int i = 0; i < 4; ++i) {
+    n = b.lut({n});
+    chain.push_back(n);
+  }
+  nl.mark_output(n);
+  Placement placement(nl.num_cells());
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    placement[i] = {static_cast<std::int16_t>(i), 0};
+  }
+  const TimingResult t = analyze_timing(nl, placement, {}, 0.0, {});
+  ASSERT_EQ(t.critical_path.size(), chain.size());
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    EXPECT_EQ(t.critical_path[i], chain[i]);
+  }
+  EXPECT_EQ(t.critical_endpoint, chain.back());
+}
+
+TEST(Timing, ReportMentionsStagesAndLocations) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId x = b.input("x");
+  const NetId y = b.lut({x});
+  nl.mark_output(y);
+  Placement placement(nl.num_cells(), CellPlacement{7, 9});
+  const TimingResult t = analyze_timing(nl, placement, {}, 0.0, {});
+  const std::string report = format_timing_report(nl, placement, t);
+  EXPECT_NE(report.find("critical path: 2 stages"), std::string::npos);
+  EXPECT_NE(report.find("<input>"), std::string::npos);
+  EXPECT_NE(report.find("LUT @(7,9)"), std::string::npos);
+  EXPECT_NE(report.find("'x'"), std::string::npos);
+}
+
+TEST(Timing, TightPBlockSlowerThanLoose) {
+  // End to end: place the same module in a tight and a loose PBlock; the
+  // tight one uses fewer slices but has the longer critical path.
+  const Device dev = xc7z020_model();
+  Rng rng(3);
+  MixedParams params;
+  params.luts = 500;
+  params.ffs = 400;
+  params.carry_adders = 2;
+  params.control_sets = 3;
+  Module module = gen_mixed(params, rng);
+  optimize(module.netlist);
+  const ResourceReport report = make_report(module.netlist);
+
+  // Paper regime: the loose PBlock is ~1.5x the tight one (CF 1.5 vs 1.0),
+  // where congestion relief outweighs the slightly longer wires.
+  DetailedPlaceOptions opts;
+  const PlaceResult tight =
+      place_in_pblock(module, report, dev, PBlock{0, 13, 0, 12}, opts);
+  const PlaceResult loose =
+      place_in_pblock(module, report, dev, PBlock{0, 16, 0, 15}, opts);
+  ASSERT_TRUE(tight.feasible) << tight.fail_reason;
+  ASSERT_TRUE(loose.feasible);
+  const double t_tight =
+      analyze_timing(module.netlist, tight.placement, tight.route,
+                     opts.route.cell_capacity)
+          .longest_path_ns;
+  const double t_loose =
+      analyze_timing(module.netlist, loose.placement, loose.route,
+                     opts.route.cell_capacity)
+          .longest_path_ns;
+  EXPECT_LT(tight.used_slices, loose.used_slices);
+  EXPECT_GT(t_tight, t_loose);
+}
+
+}  // namespace
+}  // namespace mf

@@ -1,0 +1,190 @@
+#include "rtlgen/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "netlist/stats.hpp"
+#include "rtlgen/sweep.hpp"
+#include "synth/optimize.hpp"
+
+namespace mf {
+namespace {
+
+NetlistStats stats_of(Module module) {
+  optimize(module.netlist);
+  return compute_stats(module.netlist);
+}
+
+TEST(ShiftRegGen, HonoursParameters) {
+  Rng rng(1);
+  const ShiftRegParams p{8, 16, 4, 3};
+  const NetlistStats s = stats_of(gen_shiftreg(p, rng));
+  EXPECT_EQ(s.ffs, 8 * 16);
+  EXPECT_EQ(s.control_sets, 4);
+  EXPECT_EQ(s.luts, 8);  // one head LUT per chain
+  EXPECT_EQ(s.carry4, 0);
+  EXPECT_EQ(s.srls, 0);  // "tool attribute" forces FF mapping
+}
+
+TEST(ShiftRegGen, ControlNetsHaveHighFanout) {
+  Rng rng(2);
+  const ShiftRegParams p{32, 16, 1, 2};
+  const NetlistStats s = stats_of(gen_shiftreg(p, rng));
+  // One reset over 512 FFs dominates fanout.
+  EXPECT_GE(s.max_fanout, 512);
+}
+
+TEST(LutRamGen, RegisterFree) {
+  Rng rng(3);
+  const LutRamParams p{8, 128};
+  const NetlistStats s = stats_of(gen_lutram(p, rng));
+  EXPECT_EQ(s.ffs, 0);
+  EXPECT_EQ(s.lutrams, 8 * 4);  // width * ceil(128/32)
+  EXPECT_GT(s.luts, 0);         // read muxes
+}
+
+TEST(CarryGen, CarryDominated) {
+  Rng rng(4);
+  const CarryParams p{2, 16, false};
+  Module m = gen_carry(p, rng);
+  optimize(m.netlist);
+  const NetlistStats s = compute_stats(m.netlist);
+  EXPECT_GT(s.carry4, 10);
+  EXPECT_GT(static_cast<int>(s.carry_chains.size()), 5);
+  EXPECT_EQ(s.ffs, 0);
+}
+
+TEST(CarryGen, RegisteredOutputAddsFfs) {
+  Rng rng(5);
+  const NetlistStats without = stats_of(gen_carry({2, 8, false}, rng));
+  const NetlistStats with = stats_of(gen_carry({2, 8, true}, rng));
+  EXPECT_EQ(without.ffs, 0);
+  EXPECT_EQ(with.ffs, 8);
+}
+
+TEST(LfsrGen, MixesAllResourceClasses) {
+  Rng rng(6);
+  const LfsrParams p{4, 16, 4, 2, 2};
+  const NetlistStats s = stats_of(gen_lfsr(p, rng));
+  EXPECT_GT(s.ffs, 4 * 16);  // register body + counters
+  EXPECT_GT(s.luts, 0);
+  EXPECT_GT(s.carry4, 0);
+  EXPECT_EQ(s.srls, 4 * 2);
+  EXPECT_EQ(s.control_sets, 2);
+}
+
+TEST(MixedGen, ApproximatesBudgets) {
+  Rng rng(7);
+  MixedParams p;
+  p.luts = 400;
+  p.ffs = 300;
+  p.carry_adders = 2;
+  p.carry_width = 12;
+  p.srls = 25;
+  p.control_sets = 5;
+  const NetlistStats s = stats_of(gen_mixed(p, rng));
+  EXPECT_NEAR(s.luts, 400, 60);
+  EXPECT_GE(s.ffs, 300);
+  EXPECT_EQ(s.srls, 25);
+  EXPECT_EQ(s.control_sets, 5);
+  EXPECT_EQ(static_cast<int>(s.carry_chains.size()), 2);
+}
+
+TEST(MixedGen, FanoutBoostRaisesMaxFanout) {
+  Rng rng(8);
+  MixedParams base;
+  base.luts = 300;
+  base.ffs = 100;
+  base.fanout_boost = 0;
+  MixedParams boosted = base;
+  boosted.fanout_boost = 150;
+  Rng rng2(8);
+  const NetlistStats sb = stats_of(gen_mixed(base, rng));
+  const NetlistStats sf = stats_of(gen_mixed(boosted, rng2));
+  EXPECT_GE(sf.max_fanout, 140);  // the boost net collects ~150 loads
+  EXPECT_GT(sf.max_fanout, sb.max_fanout);
+}
+
+TEST(MixedGen, HardBlocks) {
+  Rng rng(9);
+  MixedParams p;
+  p.luts = 50;
+  p.ffs = 20;
+  p.bram = 3;
+  p.dsp = 2;
+  const NetlistStats s = stats_of(gen_mixed(p, rng));
+  EXPECT_EQ(s.bram36, 3);
+  EXPECT_EQ(s.dsp, 2);
+}
+
+TEST(Sweep, ProducesRequestedCountAndAllFamilies) {
+  // The corner-case grids hold ~600 specs; 800 guarantees Mixed appears.
+  const std::vector<GenSpec> specs = dataset_sweep({800, 42});
+  EXPECT_EQ(specs.size(), 800u);
+  bool families[7] = {};
+  for (const GenSpec& spec : specs) {
+    families[static_cast<int>(spec.kind)] = true;
+  }
+  for (bool seen : families) EXPECT_TRUE(seen);
+}
+
+TEST(Sweep, NamesAreUnique) {
+  const std::vector<GenSpec> specs = dataset_sweep({800, 42});
+  std::set<std::string> names;
+  for (const GenSpec& spec : specs) names.insert(spec.name);
+  EXPECT_EQ(names.size(), specs.size());
+}
+
+TEST(Sweep, RealizeIsDeterministic) {
+  const std::vector<GenSpec> specs = dataset_sweep({2000, 42});
+  const GenSpec& spec = specs[1900];  // a random mixed spec
+  Module a = realize(spec);
+  Module b = realize(spec);
+  EXPECT_EQ(a.netlist.num_cells(), b.netlist.num_cells());
+  EXPECT_EQ(a.netlist.num_nets(), b.netlist.num_nets());
+  EXPECT_EQ(a.params, b.params);
+}
+
+TEST(Sweep, SizesStayWithinPaperRange) {
+  // Figure 7: modules range from ~12 LUTs to ~5,000 LUTs; Section VI-C: 85%
+  // below 2,500 LUTs.
+  const std::vector<GenSpec> specs = dataset_sweep({2000, 42});
+  int below_2500 = 0;
+  int total = 0;
+  for (std::size_t i = 0; i < specs.size(); i += 20) {
+    Module m = realize(specs[i]);
+    optimize(m.netlist);
+    const NetlistStats s = compute_stats(m.netlist);
+    const int lut_sites = s.luts + s.m_lut_cells();
+    EXPECT_LE(lut_sites, 13000) << specs[i].name;
+    if (lut_sites <= 2500) ++below_2500;
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(below_2500) / total, 0.75);
+}
+
+class GeneratorDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorDeterminism, SameSeedSameNetlist) {
+  const std::vector<GenSpec> specs = dataset_sweep({2000, 42});
+  const std::size_t index =
+      static_cast<std::size_t>(GetParam()) * specs.size() / 8;
+  const Module a = realize(specs[index]);
+  const Module b = realize(specs[index]);
+  ASSERT_EQ(a.netlist.num_cells(), b.netlist.num_cells());
+  for (std::size_t i = 0; i < a.netlist.num_cells(); ++i) {
+    const Cell& ca = a.netlist.cell(static_cast<CellId>(i));
+    const Cell& cb = b.netlist.cell(static_cast<CellId>(i));
+    ASSERT_EQ(ca.kind, cb.kind);
+    ASSERT_EQ(ca.inputs, cb.inputs);
+    ASSERT_EQ(ca.control_set, cb.control_set);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossSweep, GeneratorDeterminism,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace mf

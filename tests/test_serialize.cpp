@@ -1,0 +1,76 @@
+#include "flow/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "fabric/catalog.hpp"
+#include "flow/ground_truth.hpp"
+
+namespace mf {
+namespace {
+
+std::vector<LabeledModule> small_truth() {
+  const Device dev = xc7z020_model();
+  return build_ground_truth(dataset_sweep({25, 11}), dev).samples;
+}
+
+TEST(Serialize, RoundTripsEveryField) {
+  const std::vector<LabeledModule> original = small_truth();
+  ASSERT_FALSE(original.empty());
+  const auto parsed = ground_truth_from_text(ground_truth_to_text(original));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const LabeledModule& a = original[i];
+    const LabeledModule& b = (*parsed)[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_DOUBLE_EQ(a.min_cf, b.min_cf);
+    EXPECT_EQ(a.report.stats.luts, b.report.stats.luts);
+    EXPECT_EQ(a.report.stats.control_sets, b.report.stats.control_sets);
+    EXPECT_EQ(a.report.stats.max_fanout, b.report.stats.max_fanout);
+    EXPECT_EQ(a.report.stats.carry_chains, b.report.stats.carry_chains);
+    EXPECT_EQ(a.report.est_slices, b.report.est_slices);
+    EXPECT_EQ(a.report.est_slices_m, b.report.est_slices_m);
+    EXPECT_EQ(a.shape.bbox_w, b.shape.bbox_w);
+    EXPECT_EQ(a.shape.min_height, b.shape.min_height);
+  }
+}
+
+TEST(Serialize, FeaturesSurviveTheRoundTrip) {
+  // The point of the cache: extracted features must be bit-identical.
+  const std::vector<LabeledModule> original = small_truth();
+  const auto parsed = ground_truth_from_text(ground_truth_to_text(original));
+  ASSERT_TRUE(parsed.has_value());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const auto fa = extract_features(FeatureSet::All, original[i].report,
+                                     original[i].shape);
+    const auto fb = extract_features(FeatureSet::All, (*parsed)[i].report,
+                                     (*parsed)[i].shape);
+    ASSERT_EQ(fa, fb);
+  }
+}
+
+TEST(Serialize, RejectsWrongHeader) {
+  EXPECT_FALSE(ground_truth_from_text("not-a-cache v0\n").has_value());
+  EXPECT_FALSE(ground_truth_from_text("").has_value());
+}
+
+TEST(Serialize, RejectsTruncatedRow) {
+  std::string text = "macroflow-ground-truth v2\nmodule 1.1 2 3\n";
+  EXPECT_FALSE(ground_truth_from_text(text).has_value());
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::vector<LabeledModule> original = small_truth();
+  const std::string path = "/tmp/mf_gt_test.txt";
+  ASSERT_TRUE(save_ground_truth(path, original));
+  const auto loaded = load_ground_truth(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), original.size());
+  std::remove(path.c_str());
+  EXPECT_FALSE(load_ground_truth(path).has_value());
+}
+
+}  // namespace
+}  // namespace mf

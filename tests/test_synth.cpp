@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hpp"
+#include "synth/optimize.hpp"
+#include "synth/report.hpp"
+
+namespace mf {
+namespace {
+
+TEST(Optimize, SweepsDanglingLutCones) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId in = b.input("in");
+  // A cone of LUTs whose final output is NOT marked: all dead.
+  const NetId l1 = b.lut({in});
+  const NetId l2 = b.lut({l1});
+  b.lut({l2});
+  // A kept cone.
+  const NetId k1 = b.lut({in});
+  nl.mark_output(k1);
+
+  const OptimizeResult r = optimize(nl);
+  EXPECT_EQ(r.swept, 3u);
+  EXPECT_EQ(nl.num_cells(), 1u);
+}
+
+TEST(Optimize, NeverSweepsSequentialOrHardCells) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const ControlSetId cs = b.control_set();
+  b.ff(b.input(), cs);   // unobserved FF: kept (holds state)
+  b.srl(b.input(), cs);  // kept
+  const std::vector<NetId> addr = b.input_bus(10, "a");
+  b.bram18(addr, addr);  // kept
+  optimize(nl);
+  EXPECT_EQ(nl.num_cells(), 3u);
+}
+
+TEST(Optimize, LutFeedingFlopIsKept) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const ControlSetId cs = b.control_set();
+  const NetId l = b.lut({b.input()});
+  b.ff(l, cs);
+  optimize(nl);
+  EXPECT_EQ(nl.num_cells(), 2u);
+}
+
+TEST(Optimize, MergesStructuralDuplicates) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId x = b.input("x");
+  const NetId y = b.input("y");
+  const NetId a = b.lut({x, y});
+  const NetId c = b.lut({x, y});  // duplicate of a
+  const ControlSetId cs = b.control_set();
+  const NetId fa = b.ff(a, cs);
+  const NetId fc = b.ff(c, cs);
+  nl.mark_output(fa);
+  nl.mark_output(fc);
+
+  const OptimizeResult r = optimize(nl);
+  EXPECT_EQ(r.merged, 1u);
+  // Both FFs must now read the surviving LUT's output.
+  CellId lut_cell = kInvalidId;
+  int luts = 0;
+  for (std::size_t i = 0; i < nl.num_cells(); ++i) {
+    if (nl.cell(static_cast<CellId>(i)).kind == CellKind::Lut) {
+      ++luts;
+      lut_cell = static_cast<CellId>(i);
+    }
+  }
+  ASSERT_EQ(luts, 1);
+  for (const Cell& cell : nl.cells()) {
+    if (cell.kind == CellKind::Ff) {
+      EXPECT_EQ(nl.net(cell.inputs.front()).driver, lut_cell);
+    }
+  }
+}
+
+TEST(Optimize, DifferentInputOrderNotMerged) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId x = b.input("x");
+  const NetId y = b.input("y");
+  const NetId a = b.lut({x, y});
+  const NetId c = b.lut({y, x});  // different mask semantics possible
+  const ControlSetId cs = b.control_set();
+  nl.mark_output(b.ff(a, cs));
+  nl.mark_output(b.ff(c, cs));
+  EXPECT_EQ(optimize(nl).merged, 0u);
+}
+
+TEST(Optimize, OutputPortDriversSurvive) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const NetId out = b.lut({b.input()});
+  nl.mark_output(out);
+  optimize(nl);
+  EXPECT_EQ(nl.num_cells(), 1u);
+}
+
+TEST(Report, NaiveSliceEstimate) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const ControlSetId cs = b.control_set();
+  // 9 LUTs -> 3 slices worth of LUT sites; 20 FFs -> 3 slices of FFs;
+  // the estimate is the max.
+  const std::vector<NetId> ins = b.input_bus(6, "x");
+  for (int i = 0; i < 9; ++i) nl.mark_output(b.lut_layer(ins, 1, 3).front());
+  for (int i = 0; i < 20; ++i) b.ff(ins[0], cs);
+  const ResourceReport r = make_report(nl);
+  EXPECT_EQ(r.slices_for_luts, 3);
+  EXPECT_EQ(r.slices_for_ffs, 3);
+  EXPECT_EQ(r.est_slices, 3);
+}
+
+TEST(Report, CarryDominatesWhenLongest) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const std::vector<NetId> a = b.input_bus(64, "a");
+  const std::vector<NetId> sum = b.adder(a, a);
+  for (NetId s : sum) nl.mark_output(s);
+  const ResourceReport r = make_report(nl);
+  EXPECT_EQ(r.slices_for_carry, 16);
+  EXPECT_EQ(r.est_slices, std::max(r.slices_for_luts, 16));
+}
+
+TEST(Report, MSliceRequirement) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const ControlSetId cs = b.control_set();
+  for (int i = 0; i < 10; ++i) b.srl(b.input(), cs);
+  const ResourceReport r = make_report(nl);
+  EXPECT_EQ(r.est_slices_m, 3);  // ceil(10/4)
+}
+
+TEST(Report, HardBlockDomination) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const std::vector<NetId> addr = b.input_bus(10, "a");
+  for (int i = 0; i < 8; ++i) b.bram36(addr, addr);
+  nl.mark_output(b.lut({addr[0]}));
+  const ResourceReport r = make_report(nl);
+  EXPECT_TRUE(r.uses_bram_or_dsp());
+  EXPECT_TRUE(r.hard_block_dominated());
+}
+
+TEST(Report, LargeLogicNotHardBlockDominated) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const std::vector<NetId> ins = b.input_bus(16, "x");
+  const std::vector<NetId> layer = b.lut_layer(ins, 800, 4);
+  for (NetId n : layer) nl.mark_output(n);
+  b.bram36(std::span<const NetId>(ins.data(), 10),
+           std::span<const NetId>(ins.data(), 8));
+  const ResourceReport r = make_report(nl);
+  EXPECT_TRUE(r.uses_bram_or_dsp());
+  EXPECT_FALSE(r.hard_block_dominated());
+}
+
+TEST(Report, EmptyNetlistHasMinimalEstimate) {
+  Netlist nl;
+  const ResourceReport r = make_report(nl);
+  EXPECT_EQ(r.est_slices, 1);
+}
+
+}  // namespace
+}  // namespace mf

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "fabric/catalog.hpp"
+#include "flow/rw_flow.hpp"
+#include "nn/cnv_w1a1.hpp"
+#include "synth/optimize.hpp"
+#include "synth/report.hpp"
+
+namespace mf {
+namespace {
+
+TEST(Tfc, InventoryIsSmallMlp) {
+  const BlockDesign tfc = build_tfc_w1a1();
+  // 4 layers x (mvaus + weights + threshold) = 12 unique blocks,
+  // 4+2+2+1 MVAUs + 4 weights + 4 thresholds = 17 instances.
+  EXPECT_EQ(tfc.unique_modules.size(), 12u);
+  EXPECT_EQ(tfc.instances.size(), 17u);
+  EXPECT_GE(tfc.unique_index("tfc_mvau_0"), 0);
+  EXPECT_GE(tfc.unique_index("tfc_weights_3"), 0);
+}
+
+TEST(Tfc, FitsComfortablyOnTheDevice) {
+  const Device dev = xc7z020_model();
+  const BlockDesign tfc = build_tfc_w1a1();
+  long total = 0;
+  for (const Module& module : tfc.unique_modules) {
+    Module m = module;
+    optimize(m.netlist);
+    total += make_report(m.netlist).est_slices;
+  }
+  // Far below capacity: TFC's value is recompile speed, not packing.
+  EXPECT_LT(total, dev.totals().slices / 4);
+}
+
+TEST(Tfc, FullFlowPlacesEverything) {
+  const Device dev = xc7z020_model();
+  const BlockDesign tfc = build_tfc_w1a1();
+  RwFlowOptions opts;
+  opts.compute_timing = false;
+  opts.stitch.moves_per_temp = 100;
+  opts.stitch.cooling = 0.8;
+  CfPolicy policy;
+  policy.constant_cf = 1.5;
+  const RwFlowResult r = run_rw_flow(tfc, dev, policy, opts);
+  EXPECT_EQ(r.failed_blocks, 0);
+  EXPECT_EQ(r.stitch.unplaced, 0);
+  EXPECT_EQ(r.problem.instances.size(), tfc.instances.size());
+}
+
+TEST(Tfc, DeterministicBuild) {
+  const BlockDesign a = build_tfc_w1a1();
+  const BlockDesign b = build_tfc_w1a1();
+  ASSERT_EQ(a.unique_modules.size(), b.unique_modules.size());
+  for (std::size_t i = 0; i < a.unique_modules.size(); ++i) {
+    EXPECT_EQ(a.unique_modules[i].netlist.num_cells(),
+              b.unique_modules[i].netlist.num_cells());
+  }
+}
+
+}  // namespace
+}  // namespace mf

@@ -1,0 +1,100 @@
+#include "netlist/writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabric/catalog.hpp"
+#include "netlist/builder.hpp"
+#include "nn/cnv_w1a1.hpp"
+#include "rtlgen/generators.hpp"
+
+namespace mf {
+namespace {
+
+Module tiny_module() {
+  Module m;
+  m.name = "tiny";
+  NetlistBuilder b(m.netlist);
+  const ControlSetId cs = b.control_set(b.input("rst"), b.input("en"));
+  const NetId x = b.input("x");
+  const NetId y = b.input("y");
+  const NetId q = b.ff(b.lut({x, y}), cs);
+  m.netlist.mark_output(q);
+  return m;
+}
+
+TEST(VerilogWriter, EmitsModuleSkeleton) {
+  const std::string v = write_verilog(tiny_module());
+  EXPECT_NE(v.find("module tiny ("), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("input wire x"), std::string::npos);
+  EXPECT_NE(v.find("output wire"), std::string::npos);
+}
+
+TEST(VerilogWriter, EmitsPrimitives) {
+  const std::string v = write_verilog(tiny_module());
+  EXPECT_NE(v.find("LUT2"), std::string::npos);
+  EXPECT_NE(v.find("FDRE"), std::string::npos);
+  // Control pins rendered.
+  EXPECT_NE(v.find(".C(clk)"), std::string::npos);
+  EXPECT_NE(v.find(".R(rst)"), std::string::npos);
+  EXPECT_NE(v.find(".CE(en)"), std::string::npos);
+}
+
+TEST(VerilogWriter, CellCountMatchesInstances) {
+  Rng rng(1);
+  Module m = gen_carry({1, 8, true}, rng);
+  m.name = "c";
+  const std::string v = write_verilog(m);
+  std::size_t instances = 0;
+  for (std::size_t pos = v.find(" u"); pos != std::string::npos;
+       pos = v.find(" u", pos + 1)) {
+    if (std::isdigit(static_cast<unsigned char>(v[pos + 2]))) ++instances;
+  }
+  EXPECT_EQ(instances, m.netlist.num_cells());
+  EXPECT_NE(v.find("CARRY4"), std::string::npos);
+}
+
+TEST(DotWriter, OneNodePerInstance) {
+  const CnvDesign design = build_cnv_w1a1();
+  const std::string dot = write_dot(design);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  std::size_t nodes = 0;
+  for (std::size_t pos = dot.find("[label="); pos != std::string::npos;
+       pos = dot.find("[label=", pos + 1)) {
+    ++nodes;
+  }
+  EXPECT_EQ(nodes, design.instances.size());
+  EXPECT_NE(dot.find("weights_14"), std::string::npos);
+}
+
+TEST(XdcWriter, PlacedBlocksGetPBlocks) {
+  const Device dev = xc7z020_model();
+  StitchProblem problem;
+  Macro macro;
+  macro.name = "m";
+  macro.pblock = PBlock{0, 2, 0, 4};
+  macro.footprint = footprint_of(dev, macro.pblock, false);
+  problem.macros.push_back(macro);
+  problem.instances.push_back(BlockInstance{"m_i0", 0});
+  problem.instances.push_back(BlockInstance{"m_i1", 0});
+
+  std::vector<BlockPlacement> positions(2);
+  positions[0] = {3, 10};
+  // instance 1 unplaced.
+  const std::string xdc = write_xdc(problem, positions);
+  EXPECT_NE(xdc.find("create_pblock pblock_m_i0"), std::string::npos);
+  EXPECT_NE(xdc.find("SLICE_X3Y10:SLICE_X5Y14"), std::string::npos);
+  EXPECT_NE(xdc.find("# UNPLACED: m_i1"), std::string::npos);
+  EXPECT_EQ(xdc.find("create_pblock pblock_m_i1"), std::string::npos);
+}
+
+TEST(XdcWriter, SizeMismatchRejected) {
+  StitchProblem problem;
+  problem.macros.push_back(Macro{});
+  problem.instances.push_back(BlockInstance{"x", 0});
+  std::vector<BlockPlacement> wrong;  // empty
+  EXPECT_THROW(write_xdc(problem, wrong), CheckError);
+}
+
+}  // namespace
+}  // namespace mf

@@ -1,0 +1,244 @@
+// Calibration tool: sweeps a slice of the RTL dataset through the minimal-CF
+// search and prints the resulting CF distribution plus per-generator module
+// sizes. Used to tune the routability / packing constants so the oracle's
+// CF distribution matches the paper's 0.9..1.7 range (Figure 8), and to size
+// the cnvW1A1 blocks against the device budget.
+//
+// Usage: calibrate [num_modules] [--cnv | --cnvcf | --mono | --flow]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/cf_search.hpp"
+#include "fabric/catalog.hpp"
+#include "flow/monolithic.hpp"
+#include "flow/rw_flow.hpp"
+#include "nn/cnv_w1a1.hpp"
+#include "rtlgen/sweep.hpp"
+#include "synth/optimize.hpp"
+
+using namespace mf;
+
+namespace {
+
+void sweep_dataset(int count) {
+  const Device device = xc7z020_model();
+  std::vector<GenSpec> specs = dataset_sweep({2000, 42});
+  if (count < static_cast<int>(specs.size())) {
+    // Stride-sample so every generator family is represented.
+    std::vector<GenSpec> sampled;
+    const double stride =
+        static_cast<double>(specs.size()) / static_cast<double>(count);
+    for (int i = 0; i < count; ++i) {
+      sampled.push_back(specs[static_cast<std::size_t>(i * stride)]);
+    }
+    specs = std::move(sampled);
+  }
+  std::vector<double> cfs;
+  Table table({"module", "luts", "ffs", "carry", "srl+ram", "cs", "fanout",
+               "est", "minCF", "runs"});
+  Timer timer;
+  int infeasible = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    Module module = realize(specs[i]);
+    optimize(module.netlist);
+    const ResourceReport report = make_report(module.netlist);
+    const ShapeReport shape = quick_place(report);
+    const CfSearchResult found = find_min_cf(module, report, shape, device);
+    if (!found.found) {
+      ++infeasible;
+      std::string reason = "no pblock";
+      double peak = 0.0;
+      if (const auto pb = generate_pblock(device, report, shape, 3.0)) {
+        const PlaceResult res = place_in_pblock(module, report, device, *pb);
+        reason = res.fail_reason;
+        peak = res.route.peak;
+      }
+      std::printf("INFEASIBLE: %s (%s) est=%d reason@3.0=%s peak=%.2f\n",
+                  module.name.c_str(), module.params.c_str(),
+                  report.est_slices, reason.c_str(), peak);
+      continue;
+    }
+    cfs.push_back(found.min_cf);
+    if (i % 7 == 0) {  // sample rows to keep output readable
+      table.row()
+          .cell(module.name)
+          .cell(report.stats.luts)
+          .cell(report.stats.ffs)
+          .cell(report.stats.carry4)
+          .cell(report.stats.srls + report.stats.lutrams)
+          .cell(report.stats.control_sets)
+          .cell(report.stats.max_fanout)
+          .cell(report.est_slices)
+          .cell(found.min_cf, 2)
+          .cell(found.tool_runs);
+    }
+  }
+  table.print();
+  std::printf("\nCF distribution over %zu modules (%d infeasible), %.1fs:\n",
+              cfs.size(), infeasible, timer.seconds());
+  std::fputs(histogram(cfs, 0.5, 2.2, 0.05).c_str(), stdout);
+}
+
+void cnv_sizes() {
+  const Device device = xc7z020_model();
+  const CnvDesign design = build_cnv_w1a1();
+  Table table({"block", "insts", "luts", "ffs", "carry", "mem", "bram", "cs",
+               "est", "estM"});
+  long total_est = 0;
+  for (std::size_t u = 0; u < design.unique_modules.size(); ++u) {
+    Module module = design.unique_modules[u];
+    optimize(module.netlist);
+    const ResourceReport report = make_report(module.netlist);
+    int insts = 0;
+    for (const BlockInstance& inst : design.instances) {
+      if (inst.macro == static_cast<int>(u)) ++insts;
+    }
+    total_est += static_cast<long>(report.est_slices) * insts;
+    table.row()
+        .cell(module.name)
+        .cell(insts)
+        .cell(report.stats.luts)
+        .cell(report.stats.ffs)
+        .cell(report.stats.carry4)
+        .cell(report.stats.srls + report.stats.lutrams)
+        .cell(report.bram36)
+        .cell(report.stats.control_sets)
+        .cell(report.est_slices)
+        .cell(report.est_slices_m);
+  }
+  table.print();
+  std::printf("\ntotal est slices x instances: %ld (device %d, ratio %.3f)\n",
+              total_est, device.totals().slices,
+              static_cast<double>(total_est) / device.totals().slices);
+}
+
+void cnv_min_cf() {
+  const Device device = xc7z020_model();
+  const CnvDesign design = build_cnv_w1a1();
+  std::vector<double> cfs;
+  Timer timer;
+  Table table({"block", "est", "minCF", "used", "pblock", "runs"});
+  for (const Module& original : design.unique_modules) {
+    Module module = original;
+    optimize(module.netlist);
+    const ResourceReport report = make_report(module.netlist);
+    const ShapeReport shape = quick_place(report);
+    CfSearchOptions opts;
+    opts.start = 0.5;  // expose hard-block-dominated minima (Fig. 4)
+    const CfSearchResult found = find_min_cf(module, report, shape, device, opts);
+    if (!found.found) {
+      std::printf("INFEASIBLE: %s est=%d\n", module.name.c_str(),
+                  report.est_slices);
+      continue;
+    }
+    cfs.push_back(found.min_cf);
+    table.row()
+        .cell(module.name)
+        .cell(report.est_slices)
+        .cell(found.min_cf, 2)
+        .cell(found.place.used_slices)
+        .cell(to_string(found.pblock))
+        .cell(found.tool_runs);
+  }
+  table.print();
+  std::printf("\nminimal CF distribution over %zu cnv blocks (%.1fs):\n",
+              cfs.size(), timer.seconds());
+  std::fputs(histogram(cfs, 0.4, 2.4, 0.1).c_str(), stdout);
+}
+
+void mono() {
+  const Device device = xc7z020_model();
+  const CnvDesign design = build_cnv_w1a1();
+  Timer timer;
+  MonolithicResult result = place_monolithic(design, device);
+  std::printf("monolithic: %s (%s), used=%d util=%.4f longest=%.2fns %.1fs\n",
+              result.feasible ? "OK" : "FAIL", result.fail_reason.c_str(),
+              result.used_slices, result.utilization, result.longest_path_ns,
+              timer.seconds());
+  const int m18 = design.unique_index("mvau_18");
+  for (std::size_t i = 0; i < design.instances.size(); ++i) {
+    if (design.instances[i].macro == m18) {
+      std::printf("  mvau_18 instance %s: %d slices\n",
+                  design.instances[i].name.c_str(),
+                  result.instance_slices[i]);
+    }
+  }
+  const int w14 = design.unique_index("weights_14");
+  for (std::size_t i = 0; i < design.instances.size(); ++i) {
+    if (design.instances[i].macro == w14) {
+      std::printf("  weights_14 instance: %d slices\n",
+                  result.instance_slices[i]);
+    }
+  }
+}
+
+void flow_experiment() {
+  const Device device = xc7z020_model();
+  const CnvDesign design = build_cnv_w1a1();
+  RwFlowOptions opts;
+  opts.compute_timing = false;
+
+  Timer t1;
+  CfPolicy min_policy;
+  min_policy.mode = CfPolicy::Mode::MinSearch;
+  RwFlowResult min_run = run_rw_flow(design, device, min_policy, opts);
+  double max_cf = 0.0;
+  for (const ImplementedBlock& blk : min_run.blocks) {
+    if (blk.ok) max_cf = std::max(max_cf, blk.macro.cf);
+  }
+  std::printf(
+      "min-CF flow: %.1fs, failed=%d, tool_runs=%d, max_cf=%.2f\n"
+      "  stitch: unplaced=%d/%zu wl=%.0f cost=%.0f converge=%ld/%ld moves "
+      "coverage=%.3f %.1fs\n",
+      t1.seconds(), min_run.failed_blocks, min_run.total_tool_runs, max_cf,
+      min_run.stitch.unplaced, min_run.problem.instances.size(),
+      min_run.stitch.wirelength, min_run.stitch.cost,
+      min_run.stitch.converge_move, min_run.stitch.total_moves,
+      min_run.stitch.coverage, min_run.stitch.seconds);
+
+  Timer t2;
+  CfPolicy const_policy;
+  const_policy.mode = CfPolicy::Mode::Constant;
+  const_policy.constant_cf = max_cf;
+  RwFlowResult const_run = run_rw_flow(design, device, const_policy, opts);
+  std::printf(
+      "const-CF=%.2f flow: %.1fs, failed=%d, tool_runs=%d\n"
+      "  stitch: unplaced=%d/%zu wl=%.0f cost=%.0f converge=%ld/%ld moves "
+      "coverage=%.3f %.1fs\n",
+      max_cf, t2.seconds(), const_run.failed_blocks,
+      const_run.total_tool_runs, const_run.stitch.unplaced,
+      const_run.problem.instances.size(), const_run.stitch.wirelength,
+      const_run.stitch.cost, const_run.stitch.converge_move,
+      const_run.stitch.total_moves, const_run.stitch.coverage,
+      const_run.stitch.seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int count = 120;
+  const char* mode = "dataset";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      mode = argv[i] + 2;
+    } else {
+      count = std::atoi(argv[i]);
+    }
+  }
+  if (std::strcmp(mode, "cnv") == 0) {
+    cnv_sizes();
+  } else if (std::strcmp(mode, "cnvcf") == 0) {
+    cnv_min_cf();
+  } else if (std::strcmp(mode, "mono") == 0) {
+    mono();
+  } else if (std::strcmp(mode, "flow") == 0) {
+    flow_experiment();
+  } else {
+    sweep_dataset(count);
+  }
+  return 0;
+}

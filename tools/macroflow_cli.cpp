@@ -1,0 +1,271 @@
+// macroflow command-line interface.
+//
+// Subcommands:
+//   devices                    -- list the device catalog
+//   sweep [N]                  -- enumerate the RTL dataset specs
+//   implement <module> [--cf X | --min] [--verilog out.v]
+//                              -- implement one dataset module (by sweep
+//                                 name) or a cnvW1A1 block (by block name)
+//   estimate <module>          -- train a quick RF estimator and predict the
+//                                 module's CF
+//   cnv [--xdc out.xdc] [--dot out.dot]
+//                              -- run the cnvW1A1 flow and export artefacts
+//
+// Exit status: 0 on success, 1 on user error, 2 on flow failure.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/cf_search.hpp"
+#include "core/estimator.hpp"
+#include "fabric/catalog.hpp"
+#include "flow/ground_truth.hpp"
+#include "flow/rw_flow.hpp"
+#include "netlist/writer.hpp"
+#include "nn/cnv_w1a1.hpp"
+#include "synth/optimize.hpp"
+
+namespace {
+
+using namespace mf;
+
+int usage() {
+  std::fputs(
+      "usage: macroflow_cli <command> [options]\n"
+      "  devices\n"
+      "  sweep [N]\n"
+      "  implement <module> [--cf X | --min] [--verilog FILE]\n"
+      "  estimate <module>\n"
+      "  cnv [--xdc FILE] [--dot FILE]\n",
+      stderr);
+  return 1;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+  return static_cast<bool>(out);
+}
+
+/// Look the module up in the dataset sweep first, then in cnvW1A1.
+std::optional<Module> find_module(const std::string& name) {
+  for (const GenSpec& spec : dataset_sweep({2000, 42})) {
+    if (spec.name == name) return realize(spec);
+  }
+  const CnvDesign design = build_cnv_w1a1();
+  const int idx = design.unique_index(name);
+  if (idx >= 0) {
+    return design.unique_modules[static_cast<std::size_t>(idx)];
+  }
+  return std::nullopt;
+}
+
+int cmd_devices() {
+  Table table({"device", "slices", "M slices", "RAMB36", "DSP48", "grid"});
+  for (const Device& dev : {xc7z020_model(), xc7z045_model()}) {
+    table.row()
+        .cell(dev.name())
+        .cell(dev.totals().slices)
+        .cell(dev.totals().slices_m)
+        .cell(dev.totals().bram36)
+        .cell(dev.totals().dsp)
+        .cell(std::to_string(dev.num_columns()) + "x" +
+              std::to_string(dev.rows()));
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_sweep(int count) {
+  const std::vector<GenSpec> specs = dataset_sweep({count, 42});
+  Table table({"name", "kind"});
+  for (const GenSpec& spec : specs) {
+    table.row().cell(spec.name).cell(to_string(spec.kind));
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_implement(const std::string& name, std::optional<double> cf,
+                  bool min_search, const std::string& verilog_path) {
+  const std::optional<Module> found = find_module(name);
+  if (!found) {
+    std::fprintf(stderr, "unknown module '%s'\n", name.c_str());
+    return 1;
+  }
+  Module module = *found;
+  optimize(module.netlist);
+  const ResourceReport report = make_report(module.netlist);
+  const ShapeReport shape = quick_place(report);
+  const Device dev = xc7z020_model();
+
+  std::printf("%s: %d LUTs, %d FFs, %d CARRY4, %d SRL/RAM, est %d slices\n",
+              name.c_str(), report.stats.luts, report.stats.ffs,
+              report.stats.carry4, report.stats.m_lut_cells(),
+              report.est_slices);
+
+  PBlock pblock;
+  PlaceResult place;
+  double used_cf = 0.0;
+  if (min_search || !cf) {
+    CfSearchOptions opts;
+    opts.start = 0.5;
+    const CfSearchResult result =
+        find_min_cf(module, report, shape, dev, opts);
+    if (!result.found) {
+      std::fprintf(stderr, "no feasible CF found\n");
+      return 2;
+    }
+    pblock = result.pblock;
+    place = result.place;
+    used_cf = result.min_cf;
+    std::printf("minimal CF: %.2f (%d tool runs)\n", used_cf,
+                result.tool_runs);
+  } else {
+    const auto pb = generate_pblock(dev, report, shape, *cf);
+    if (!pb) {
+      std::fprintf(stderr, "no PBlock at CF %.2f\n", *cf);
+      return 2;
+    }
+    place = place_in_pblock(module, report, dev, *pb, {});
+    if (!place.feasible) {
+      std::fprintf(stderr, "infeasible at CF %.2f: %s\n", *cf,
+                   place.fail_reason.c_str());
+      return 2;
+    }
+    pblock = *pb;
+    used_cf = *cf;
+  }
+  std::printf("PBlock %s, %d used slices, fill ratio %.2f\n",
+              to_string(pblock).c_str(), place.used_slices, place.fill_ratio);
+
+  if (!verilog_path.empty()) {
+    if (!write_file(verilog_path, write_verilog(module))) {
+      std::fprintf(stderr, "cannot write %s\n", verilog_path.c_str());
+      return 2;
+    }
+    std::printf("structural netlist written to %s\n", verilog_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_estimate(const std::string& name) {
+  const std::optional<Module> found = find_module(name);
+  if (!found) {
+    std::fprintf(stderr, "unknown module '%s'\n", name.c_str());
+    return 1;
+  }
+  Module module = *found;
+  optimize(module.netlist);
+  const ResourceReport report = make_report(module.netlist);
+  const ShapeReport shape = quick_place(report);
+  const Device dev = xc7z020_model();
+
+  std::printf("training a random-forest estimator (~15 s, cached nothing: "
+              "fully reproducible)...\n");
+  Timer timer;
+  const GroundTruth truth = build_ground_truth(dataset_sweep({2000, 42}), dev);
+  Rng rng(7);
+  const Dataset train = balance_by_target(
+      make_dataset(FeatureSet::All, truth.samples), 0.02, 75, rng);
+  CfEstimator::Options options;
+  options.rforest.trees = 200;
+  CfEstimator rf(EstimatorKind::RandomForest, FeatureSet::All, options);
+  rf.train(train);
+
+  const double predicted = rf.estimate(report, shape);
+  std::printf("trained in %.1fs\npredicted CF for '%s': %.3f\n",
+              timer.seconds(), name.c_str(), predicted);
+
+  CfSearchOptions opts;
+  opts.start = 0.5;
+  const CfSearchResult actual = find_min_cf(module, report, shape, dev, opts);
+  if (actual.found) {
+    std::printf("actual minimal CF: %.2f (error %.1f%%)\n", actual.min_cf,
+                100.0 * std::abs(predicted - actual.min_cf) / actual.min_cf);
+  }
+  return 0;
+}
+
+int cmd_cnv(const std::string& xdc_path, const std::string& dot_path) {
+  const Device dev = xc7z020_model();
+  const CnvDesign design = build_cnv_w1a1();
+  if (!dot_path.empty()) {
+    if (!write_file(dot_path, write_dot(design))) return 2;
+    std::printf("block diagram written to %s\n", dot_path.c_str());
+  }
+  RwFlowOptions opts;
+  opts.compute_timing = false;
+  CfPolicy policy;
+  policy.mode = CfPolicy::Mode::MinSearch;
+  Timer timer;
+  const RwFlowResult result = run_rw_flow(design, dev, policy, opts);
+  std::printf("flow: %d tool runs, %d failed blocks, %d/%zu unplaced "
+              "(%.1fs)\n",
+              result.total_tool_runs, result.failed_blocks,
+              result.stitch.unplaced, result.problem.instances.size(),
+              timer.seconds());
+  if (!xdc_path.empty()) {
+    if (!write_file(xdc_path,
+                    write_xdc(result.problem, result.stitch.positions))) {
+      return 2;
+    }
+    std::printf("floorplan constraints written to %s\n", xdc_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+
+  if (command == "devices") return cmd_devices();
+  if (command == "sweep") {
+    const int count = argc > 2 ? std::atoi(argv[2]) : 100;
+    return cmd_sweep(count > 0 ? count : 100);
+  }
+  if (command == "implement") {
+    if (argc < 3) return usage();
+    std::optional<double> cf;
+    bool min_search = false;
+    std::string verilog;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--cf") == 0 && i + 1 < argc) {
+        cf = std::atof(argv[++i]);
+      } else if (std::strcmp(argv[i], "--min") == 0) {
+        min_search = true;
+      } else if (std::strcmp(argv[i], "--verilog") == 0 && i + 1 < argc) {
+        verilog = argv[++i];
+      } else {
+        return usage();
+      }
+    }
+    return cmd_implement(argv[2], cf, min_search, verilog);
+  }
+  if (command == "estimate") {
+    if (argc < 3) return usage();
+    return cmd_estimate(argv[2]);
+  }
+  if (command == "cnv") {
+    std::string xdc;
+    std::string dot;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--xdc") == 0 && i + 1 < argc) {
+        xdc = argv[++i];
+      } else if (std::strcmp(argv[i], "--dot") == 0 && i + 1 < argc) {
+        dot = argv[++i];
+      } else {
+        return usage();
+      }
+    }
+    return cmd_cnv(xdc, dot);
+  }
+  return usage();
+}
