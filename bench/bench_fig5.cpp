@@ -71,7 +71,7 @@ int main() {
   const RwFlowResult min_run = run_rw_flow(design, dev, min_policy, opts);
   double max_cf = 0.0;
   for (const ImplementedBlock& blk : min_run.blocks) {
-    if (blk.ok) max_cf = std::max(max_cf, blk.macro.cf);
+    if (blk.ok()) max_cf = std::max(max_cf, blk.macro.cf);
   }
 
   // (b) Constant CF at the design maximum (the paper's 1.68 analogue: the

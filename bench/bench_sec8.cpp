@@ -46,7 +46,7 @@ FlowStats run_flow(const CnvDesign& design, const Device& dev,
   const RwFlowResult r = run_rw_flow(design, dev, policy, opts);
   FlowStats s;
   for (const ImplementedBlock& blk : r.blocks) {
-    if (!blk.ok) continue;
+    if (!blk.ok()) continue;
     ++s.blocks;
     s.tool_runs += blk.macro.tool_runs;
     if (blk.first_run_success) ++s.first_run;
@@ -125,7 +125,7 @@ int main() {
   const RwFlowResult min45 = run_rw_flow(design, z45, min_policy, probe);
   double max_cf = 0.0;
   for (const ImplementedBlock& blk : min45.blocks) {
-    if (blk.ok) max_cf = std::max(max_cf, blk.macro.cf);
+    if (blk.ok()) max_cf = std::max(max_cf, blk.macro.cf);
   }
   CfPolicy const_policy;
   const_policy.constant_cf = max_cf;

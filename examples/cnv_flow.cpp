@@ -62,7 +62,7 @@ int main() {
   for (const char* name : {"mvau_2", "mvau_18", "weights_14", "swu_1",
                            "thres_4", "pool_1"}) {
     for (const ImplementedBlock& blk : with_min.blocks) {
-      if (blk.name != name || !blk.ok) continue;
+      if (blk.name != name || !blk.ok()) continue;
       blocks.row()
           .cell(blk.name)
           .cell(blk.macro.cf, 2)

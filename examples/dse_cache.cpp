@@ -8,6 +8,7 @@
 #include "common/timer.hpp"
 #include "fabric/catalog.hpp"
 #include "flow/rw_flow.hpp"
+#include "flow/serialize.hpp"
 #include "nn/cnv_w1a1.hpp"
 #include "nn/finn_blocks.hpp"
 
@@ -79,6 +80,28 @@ int main() {
         .cell(r.total_tool_runs)
         .cell(r.stitch.unplaced)
         .cell(timer.seconds(), 2);
+  }
+
+  // Iteration 4: the session is killed and resumed. Checkpoint the cache,
+  // reload it into a fresh process stand-in, and re-run: zero compiles.
+  {
+    const std::string path = "/tmp/macroflow_dse_cache.txt";
+    save_module_cache(path, cache);
+    ModuleCache resumed;
+    const CacheLoadStats stats = load_module_cache(path, resumed);
+    std::remove(path.c_str());
+
+    Timer timer;
+    const RwFlowResult r = resumed.run(design, device, policy, opts);
+    table.row()
+        .cell("4: resume from checkpoint")
+        .cell(resumed.misses())
+        .cell(resumed.hits())
+        .cell(r.total_tool_runs)
+        .cell(r.stitch.unplaced)
+        .cell(timer.seconds(), 2);
+    std::printf("checkpoint: %d entries restored, %d corrupted\n",
+                stats.loaded, stats.corrupted);
   }
 
   table.print();

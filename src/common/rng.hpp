@@ -13,10 +13,23 @@
 #include <cstddef>
 #include <cmath>
 #include <span>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 namespace mf {
+
+/// FNV-1a over a byte string. Used wherever a stable, seed-independent
+/// digest of text is needed (fault-injection stream selection, checkpoint
+/// entry checksums) -- not a cryptographic hash.
+constexpr std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
 
 /// splitmix64 step; used for seeding and for cheap hash mixing.
 constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {

@@ -8,24 +8,40 @@ namespace mf {
 namespace {
 
 /// One feasibility check: generate the PBlock at `cf` and try to place the
-/// module inside it. Returns nullopt when no PBlock exists at all.
+/// module inside it. `attempt == nullopt` with `error.failed()` means the
+/// tool-run layer gave up on the check; plain nullopt means no PBlock exists
+/// at this CF at all (not a tool run).
 struct Attempt {
   PBlock pblock;
   PlaceResult place;
 };
 
-std::optional<Attempt> attempt_cf(const Module& module,
-                                  const ResourceReport& report,
-                                  const ShapeReport& shape,
-                                  const Device& device, double cf,
-                                  const CfSearchOptions& opts) {
+struct AttemptResult {
+  std::optional<Attempt> attempt;
+  FlowError error;
+};
+
+AttemptResult attempt_cf(const Module& module, const ResourceReport& report,
+                         const ShapeReport& shape, const Device& device,
+                         double cf, const CfSearchOptions& opts) {
+  AttemptResult result;
   const std::optional<PBlock> pb =
       generate_pblock(device, report, shape, cf, opts.pblock);
-  if (!pb) return std::nullopt;
-  Attempt attempt;
-  attempt.pblock = *pb;
-  attempt.place = place_in_pblock(module, report, device, *pb, opts.place);
-  return attempt;
+  if (!pb) return result;
+  if (opts.runner != nullptr) {
+    ToolRunner::CheckOutcome out = opts.runner->run_check(
+        module.name, cf,
+        [&] { return place_in_pblock(module, report, device, *pb, opts.place); });
+    if (!out.completed) {
+      result.error = std::move(out.error);
+      return result;
+    }
+    result.attempt = Attempt{*pb, std::move(out.place)};
+    return result;
+  }
+  result.attempt =
+      Attempt{*pb, place_in_pblock(module, report, device, *pb, opts.place)};
+  return result;
 }
 
 }  // namespace
@@ -33,7 +49,9 @@ std::optional<Attempt> attempt_cf(const Module& module,
 CfSearchResult find_min_cf(const Module& module, const ResourceReport& report,
                            const ShapeReport& shape, const Device& device,
                            const CfSearchOptions& opts) {
-  MF_CHECK(opts.step > 0.0);
+  MF_CHECK_MSG(opts.step > 0.0, "CF search step must be positive");
+  MF_CHECK_MSG(opts.max_cf >= opts.start,
+               "CF search range is empty: max_cf must be >= start");
   CfSearchResult result;
   PBlock last_tried;
   bool last_feasible = false;
@@ -52,9 +70,21 @@ CfSearchResult find_min_cf(const Module& module, const ResourceReport& report,
       continue;
     }
     last_tried = *pb;
+    PlaceResult place;
+    if (opts.runner != nullptr) {
+      ToolRunner::CheckOutcome out = opts.runner->run_check(
+          module.name, cf, [&] {
+            return place_in_pblock(module, report, device, *pb, opts.place);
+          });
+      if (!out.completed) {
+        result.error = std::move(out.error);
+        return result;
+      }
+      place = std::move(out.place);
+    } else {
+      place = place_in_pblock(module, report, device, *pb, opts.place);
+    }
     ++result.tool_runs;
-    PlaceResult place = place_in_pblock(module, report, device, *pb,
-                                        opts.place);
     last_feasible = place.feasible;
     if (place.feasible) {
       result.found = true;
@@ -72,18 +102,29 @@ SeededSearchResult seeded_cf_search(const Module& module,
                                     const ShapeReport& shape,
                                     const Device& device, double seed_cf,
                                     const CfSearchOptions& opts) {
+  MF_CHECK_MSG(opts.step > 0.0, "CF search step must be positive");
+  MF_CHECK_MSG(seed_cf > 0.0, "seed CF must be positive");
+  MF_CHECK_MSG(seed_cf <= opts.max_cf + 1e-9,
+               "seed CF above max_cf: the search could never refine past the "
+               "cap -- raise max_cf or fix the seed");
   SeededSearchResult result;
 
-  // First run at the seed.
-  std::optional<Attempt> first =
-      attempt_cf(module, report, shape, device, seed_cf, opts);
+  // First run at the seed. Counting note: like the seed implementation, the
+  // seeded search counts every *attempt* as a tool run (a no-PBlock attempt
+  // still launched the tool); only an attempt the runner aborted without a
+  // verdict is uncounted.
+  AttemptResult first = attempt_cf(module, report, shape, device, seed_cf, opts);
+  if (first.error.failed()) {
+    result.error = std::move(first.error);
+    return result;
+  }
   ++result.tool_runs;
-  if (first && first->place.feasible) {
+  if (first.attempt && first.attempt->place.feasible) {
     result.found = true;
     result.first_run_success = true;
     result.cf = seed_cf;
-    result.pblock = first->pblock;
-    result.place = std::move(first->place);
+    result.pblock = first.attempt->pblock;
+    result.place = std::move(first.attempt->place);
     return result;
   }
 
@@ -92,12 +133,16 @@ SeededSearchResult seeded_cf_search(const Module& module,
   double hi = seed_cf;
   std::optional<Attempt> feasible;
   for (double cf = seed_cf + 0.1; cf <= opts.max_cf + 1e-9; cf += 0.1) {
-    std::optional<Attempt> attempt =
+    AttemptResult attempt =
         attempt_cf(module, report, shape, device, cf, opts);
+    if (attempt.error.failed()) {
+      result.error = std::move(attempt.error);
+      return result;
+    }
     ++result.tool_runs;
-    if (attempt && attempt->place.feasible) {
+    if (attempt.attempt && attempt.attempt->place.feasible) {
       hi = cf;
-      feasible = std::move(attempt);
+      feasible = std::move(attempt.attempt);
       break;
     }
     lo = cf;
@@ -106,14 +151,18 @@ SeededSearchResult seeded_cf_search(const Module& module,
 
   // Refine (lo, hi] at the fine resolution; keep the smallest feasible CF.
   for (double cf = lo + opts.step; cf < hi - 1e-9; cf += opts.step) {
-    std::optional<Attempt> attempt =
+    AttemptResult attempt =
         attempt_cf(module, report, shape, device, cf, opts);
+    if (attempt.error.failed()) {
+      result.error = std::move(attempt.error);
+      return result;
+    }
     ++result.tool_runs;
-    if (attempt && attempt->place.feasible) {
+    if (attempt.attempt && attempt.attempt->place.feasible) {
       result.found = true;
       result.cf = cf;
-      result.pblock = attempt->pblock;
-      result.place = std::move(attempt->place);
+      result.pblock = attempt.attempt->pblock;
+      result.place = std::move(attempt.attempt->place);
       return result;
     }
   }

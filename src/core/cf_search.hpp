@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "core/pblock_generator.hpp"
+#include "flow/tool_run.hpp"
 #include "place/detailed_placer.hpp"
 #include "place/quick_placer.hpp"
 
@@ -32,6 +33,11 @@ struct CfSearchOptions {
   /// PBlock (pure speed-up; results are unchanged). Disabled when counting
   /// tool runs the way the paper does.
   bool dedupe_pblocks = true;
+  /// Optional fault-tolerant tool-run layer. When set, every feasibility
+  /// check routes through it (fault injection + retry/backoff); when the
+  /// runner gives up on a check, the search aborts with `error` set. A null
+  /// runner reproduces the historical infallible-tool behaviour exactly.
+  ToolRunner* runner = nullptr;
 };
 
 struct CfSearchResult {
@@ -40,6 +46,7 @@ struct CfSearchResult {
   int tool_runs = 0;       ///< feasibility checks actually executed
   PBlock pblock;           ///< PBlock at min_cf (valid when found)
   PlaceResult place;       ///< placement at min_cf (valid when found)
+  FlowError error;         ///< persistent tool failure that aborted the search
 };
 
 /// Minimal feasible CF by upward sweep.
@@ -54,10 +61,14 @@ struct SeededSearchResult {
   int tool_runs = 0;
   PBlock pblock;
   PlaceResult place;
+  FlowError error;             ///< persistent tool failure that aborted the search
 };
 
 /// Estimator-seeded search (Section VIII). `seed_cf` is the estimator's
-/// prediction (or a constant like 0.9 for the baseline).
+/// prediction (or a constant like 0.9 for the baseline). Fails fast (throws
+/// CheckError) on contradictory options: `step <= 0`, or a `seed_cf` outside
+/// `(0, max_cf]` -- a seed above the cap could never refine and used to burn
+/// one attempt before silently returning `found = false`.
 SeededSearchResult seeded_cf_search(const Module& module,
                                     const ResourceReport& report,
                                     const ShapeReport& shape,

@@ -1,8 +1,20 @@
 #include "flow/rw_flow.hpp"
 
+#include <algorithm>
+
 #include "synth/optimize.hpp"
 
 namespace mf {
+
+const char* to_string(FlowStatus status) noexcept {
+  switch (status) {
+    case FlowStatus::Ok: return "ok";
+    case FlowStatus::Degraded: return "degraded";
+    case FlowStatus::Failed: return "failed";
+  }
+  return "?";
+}
+
 namespace {
 
 /// Build the Macro record from a successful placement.
@@ -42,17 +54,64 @@ ImplementedBlock implement_block(const Module& module, const Device& device,
   block.report = make_report(synth.netlist);
   block.shape = quick_place(block.report);
 
+  ToolRunner* runner = opts.search.runner;
+  const long invocations_before =
+      runner != nullptr ? runner->stats().invocations : 0;
+
   const SeededSearchResult search = seeded_cf_search(
       synth, block.report, block.shape, device, seed_cf, opts.search);
-  if (!search.found) {
-    block.macro.tool_runs = search.tool_runs;
-    return block;
+  int tool_runs = search.tool_runs;
+
+  if (search.found) {
+    block.status = FlowStatus::Ok;
+    block.first_run_success = search.first_run_success;
+    block.macro = make_macro(module.name, device, block.report, search.cf,
+                             tool_runs, search.pblock, search.place, synth,
+                             opts);
+  } else {
+    FlowError why = search.error.failed()
+                        ? search.error
+                        : FlowError{FlowErrorKind::Infeasible, module.name,
+                                    seed_cf, 0};
+    // Graceful degradation: under an active fault model any single verdict
+    // may be lying (spurious infeasible) or the retry budget may have been
+    // burned by transients, so escalate once to a generous constant CF with
+    // a fresh budget. Deliberately armed only when injection is enabled --
+    // an unfaulted flow stays bit-identical to the historical behaviour.
+    const bool degrade = opts.degrade_on_failure && runner != nullptr &&
+                         runner->fault_injection_enabled();
+    bool rescued = false;
+    if (degrade) {
+      runner->grant_fresh_budget(module.name);
+      const double fallback_cf = std::min(std::max(opts.degrade_cf, seed_cf),
+                                          opts.search.max_cf);
+      const SeededSearchResult fallback = seeded_cf_search(
+          synth, block.report, block.shape, device, fallback_cf, opts.search);
+      tool_runs += fallback.tool_runs;
+      if (fallback.found) {
+        rescued = true;
+        block.status = FlowStatus::Degraded;
+        block.error = why;  // records why the primary search failed
+        block.macro = make_macro(module.name, device, block.report,
+                                 fallback.cf, tool_runs, fallback.pblock,
+                                 fallback.place, synth, opts);
+      } else {
+        why = fallback.error.failed()
+                  ? fallback.error
+                  : FlowError{FlowErrorKind::DegradedExhausted, module.name,
+                              fallback_cf, 0};
+      }
+    }
+    if (!rescued) {
+      block.status = FlowStatus::Failed;
+      block.error = why;
+      block.macro.tool_runs = tool_runs;
+    }
   }
-  block.ok = true;
-  block.first_run_success = search.first_run_success;
-  block.macro = make_macro(module.name, device, block.report, search.cf,
-                           search.tool_runs, search.pblock, search.place,
-                           synth, opts);
+  if (runner != nullptr) {
+    block.attempts =
+        static_cast<int>(runner->stats().invocations - invocations_before);
+  }
   return block;
 }
 
@@ -95,17 +154,28 @@ RwFlowResult run_rw_flow(const BlockDesign& design, const Device& device,
         block.shape = shape;
         block.seed_cf = search.start;
         if (found.found) {
-          block.ok = true;
+          block.status = FlowStatus::Ok;
           block.macro =
               make_macro(module.name, device, report, found.min_cf,
                          found.tool_runs, found.pblock, found.place, synth,
                          opts);
+        } else {
+          block.error = found.error.failed()
+                            ? found.error
+                            : FlowError{FlowErrorKind::Infeasible,
+                                        module.name, search.start, 0};
+          block.macro.tool_runs = found.tool_runs;
         }
         break;
       }
     }
     result.total_tool_runs += block.macro.tool_runs;
-    if (!block.ok) ++result.failed_blocks;
+    if (!block.ok()) {
+      ++result.failed_blocks;
+      result.errors.push_back(block.error);
+    } else if (block.degraded()) {
+      ++result.degraded_blocks;
+    }
     result.blocks.push_back(std::move(block));
   }
 
@@ -113,7 +183,7 @@ RwFlowResult run_rw_flow(const BlockDesign& design, const Device& device,
   result.problem.macros.reserve(result.blocks.size());
   std::vector<int> macro_index(result.blocks.size(), -1);
   for (std::size_t i = 0; i < result.blocks.size(); ++i) {
-    if (!result.blocks[i].ok) continue;
+    if (!result.blocks[i].ok()) continue;
     macro_index[i] = static_cast<int>(result.problem.macros.size());
     result.problem.macros.push_back(result.blocks[i].macro);
   }
@@ -163,6 +233,10 @@ void ModuleCache::store(ImplementedBlock block) {
   cache_[block.name] = std::move(block);
 }
 
+void ModuleCache::restore(ImplementedBlock block) {
+  cache_[block.name] = std::move(block);
+}
+
 RwFlowResult ModuleCache::run(const BlockDesign& design, const Device& device,
                               const CfPolicy& policy,
                               const RwFlowOptions& opts) {
@@ -173,6 +247,7 @@ RwFlowResult ModuleCache::run(const BlockDesign& design, const Device& device,
   result.blocks.reserve(design.unique_modules.size());
   for (const Module& module : design.unique_modules) {
     if (const ImplementedBlock* cached = find(module.name)) {
+      if (cached->degraded()) ++result.degraded_blocks;
       result.blocks.push_back(*cached);
       continue;
     }
@@ -186,15 +261,24 @@ RwFlowResult ModuleCache::run(const BlockDesign& design, const Device& device,
     }
     ImplementedBlock block = implement_block(module, device, seed_cf, opts);
     result.total_tool_runs += block.macro.tool_runs;
-    if (!block.ok) ++result.failed_blocks;
-    store(block);
+    if (!block.ok()) {
+      ++result.failed_blocks;
+      result.errors.push_back(block.error);
+      // A failed implementation is compiled (a miss) but never cached:
+      // caching it would pin a transient tool fault across design
+      // iterations. The next run retries the block from scratch.
+      ++misses_;
+    } else {
+      if (block.degraded()) ++result.degraded_blocks;
+      store(block);
+    }
     result.blocks.push_back(std::move(block));
   }
 
   // Assembly identical to run_rw_flow's tail.
   std::vector<int> macro_index(result.blocks.size(), -1);
   for (std::size_t i = 0; i < result.blocks.size(); ++i) {
-    if (!result.blocks[i].ok) continue;
+    if (!result.blocks[i].ok()) continue;
     macro_index[i] = static_cast<int>(result.problem.macros.size());
     result.problem.macros.push_back(result.blocks[i].macro);
   }

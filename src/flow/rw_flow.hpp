@@ -18,6 +18,7 @@
 
 #include "core/cf_search.hpp"
 #include "core/estimator.hpp"
+#include "flow/tool_run.hpp"
 #include "stitch/macro.hpp"
 #include "stitch/sa_stitcher.hpp"
 #include "timing/sta.hpp"
@@ -37,21 +38,46 @@ struct CfPolicy {
 };
 
 struct RwFlowOptions {
-  CfSearchOptions search;      ///< placement / search knobs
+  CfSearchOptions search;      ///< placement / search knobs (incl. runner)
   StitchOptions stitch;        ///< annealer knobs
   bool run_stitch = true;
   bool compute_timing = true;
+  /// Graceful degradation: when the primary search fails *under fault
+  /// injection* (search.runner attached and injection enabled), retry once
+  /// with an escalated constant CF before declaring the block failed. With
+  /// injection disabled the flow is bit-identical to the infallible-tool
+  /// behaviour -- no extra searches, no extra tool runs.
+  bool degrade_on_failure = true;
+  double degrade_cf = 2.5;  ///< escalated CF for the fallback attempt
 };
+
+/// Per-block outcome of the flow.
+enum class FlowStatus : std::uint8_t {
+  Ok,        ///< implemented at the policy's CF (possibly after refinement)
+  Degraded,  ///< primary search failed; escalated constant-CF fallback stuck
+  Failed,    ///< no implementation; excluded from the stitch problem
+};
+
+[[nodiscard]] const char* to_string(FlowStatus status) noexcept;
 
 /// One unique block after implementation.
 struct ImplementedBlock {
   std::string name;
-  bool ok = false;
+  FlowStatus status = FlowStatus::Failed;
+  FlowError error;   ///< why the block failed (or why it was degraded)
+  int attempts = 0;  ///< physical tool invocations incl. retries (0: no runner)
   Macro macro;
   ResourceReport report;
   ShapeReport shape;
   double seed_cf = 0.0;  ///< CF the policy proposed
   bool first_run_success = false;
+
+  /// Compatibility accessor for the old `bool ok` field: true when the block
+  /// produced a usable macro (cleanly or degraded).
+  [[nodiscard]] bool ok() const noexcept { return status != FlowStatus::Failed; }
+  [[nodiscard]] bool degraded() const noexcept {
+    return status == FlowStatus::Degraded;
+  }
 };
 
 struct RwFlowResult {
@@ -60,6 +86,8 @@ struct RwFlowResult {
   StitchResult stitch;
   int total_tool_runs = 0;
   int failed_blocks = 0;
+  int degraded_blocks = 0;
+  std::vector<FlowError> errors;  ///< one per failed block, in block order
 };
 
 /// Implement one module: synthesize, quick-place, then run the seeded CF
@@ -73,13 +101,27 @@ RwFlowResult run_rw_flow(const BlockDesign& design, const Device& device,
 
 /// Implementation cache keyed by unique-block name, for DSE scenarios where
 /// a design revision re-uses most blocks (the paper's motivating use case).
+///
+/// Failure semantics: only blocks that produced a usable macro are stored.
+/// A failed implementation is *not* cached, so the next run retries it --
+/// caching a failure would pin a transient tool fault forever.
+///
+/// The cache can be checkpointed to disk (versioned, per-entry checksummed;
+/// see flow/serialize.hpp) so an interrupted flow resumes with its
+/// implemented macros intact and re-runs only missing/corrupted blocks.
 class ModuleCache {
  public:
   [[nodiscard]] const ImplementedBlock* find(const std::string& name) const;
   void store(ImplementedBlock block);
+  /// Insert without counting a miss -- used by checkpoint restore.
+  void restore(ImplementedBlock block);
   [[nodiscard]] std::size_t size() const noexcept { return cache_.size(); }
   [[nodiscard]] int hits() const noexcept { return hits_; }
   [[nodiscard]] int misses() const noexcept { return misses_; }
+  [[nodiscard]] const std::map<std::string, ImplementedBlock>& entries()
+      const noexcept {
+    return cache_;
+  }
 
   /// Like run_rw_flow, but consults / fills the cache per unique block.
   RwFlowResult run(const BlockDesign& design, const Device& device,

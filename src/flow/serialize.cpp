@@ -1,12 +1,27 @@
 #include "flow/serialize.hpp"
 
+#include <cstdint>
 #include <fstream>
+#include <iomanip>
 #include <sstream>
+
+#include "common/rng.hpp"
 
 namespace mf {
 namespace {
 
-constexpr const char* kHeader = "macroflow-ground-truth v2";
+constexpr const char* kHeader = "macroflow-ground-truth v3";
+constexpr const char* kSampleFooter = "# samples ";
+
+constexpr const char* kCacheHeader = "macroflow-module-cache v1";
+constexpr const char* kCacheFooter = "# entries ";
+
+/// Hex checksum of one entry's payload text.
+std::string checksum_of(const std::string& payload) {
+  std::ostringstream out;
+  out << std::hex << std::setw(16) << std::setfill('0') << fnv1a64(payload);
+  return out.str();
+}
 
 }  // namespace
 
@@ -31,6 +46,9 @@ std::string ground_truth_to_text(const std::vector<LabeledModule>& samples) {
     for (int len : st.carry_chains) out << ' ' << len;
     out << '\n';
   }
+  // Sample-count footer: a truncated file fails to parse instead of
+  // silently yielding a prefix of the dataset.
+  out << kSampleFooter << samples.size() << '\n';
   return out.str();
 }
 
@@ -41,8 +59,18 @@ std::optional<std::vector<LabeledModule>> ground_truth_from_text(
   if (!std::getline(in, line) || line != kHeader) return std::nullopt;
 
   std::vector<LabeledModule> samples;
+  bool footer_seen = false;
+  std::size_t footer_count = 0;
   while (std::getline(in, line)) {
-    if (line.empty() || line.front() == '#') continue;
+    if (line.empty()) continue;
+    if (line.rfind(kSampleFooter, 0) == 0) {
+      std::istringstream footer(line.substr(std::string(kSampleFooter).size()));
+      if (!(footer >> footer_count)) return std::nullopt;
+      footer_seen = true;
+      continue;
+    }
+    if (line.front() == '#') continue;
+    if (footer_seen) return std::nullopt;  // data after the footer: corrupt
     std::istringstream row(line);
     LabeledModule s;
     NetlistStats& st = s.report.stats;
@@ -60,6 +88,7 @@ std::optional<std::vector<LabeledModule>> ground_truth_from_text(
     while (row >> len) st.carry_chains.push_back(len);
     samples.push_back(std::move(s));
   }
+  if (!footer_seen || footer_count != samples.size()) return std::nullopt;
   return samples;
 }
 
@@ -78,6 +107,148 @@ std::optional<std::vector<LabeledModule>> load_ground_truth(
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return ground_truth_from_text(buffer.str());
+}
+
+namespace {
+
+/// Payload (everything but the trailing checksum) of one cache entry.
+std::string cache_entry_payload(const ImplementedBlock& b) {
+  std::ostringstream out;
+  out << std::setprecision(17);
+  const Macro& m = b.macro;
+  out << b.name << ' ' << static_cast<int>(b.status) << ' ' << b.seed_cf
+      << ' ' << (b.first_run_success ? 1 : 0) << ' ' << b.attempts << ' '
+      << static_cast<int>(b.error.kind) << ' ' << b.error.cf << ' '
+      << b.error.attempts << ' ' << m.cf << ' ' << m.fill_ratio << ' '
+      << m.tool_runs << ' ' << m.used_slices << ' ' << m.est_slices << ' '
+      << m.longest_path_ns << ' ' << m.pblock.col_lo << ' '
+      << m.pblock.col_hi << ' ' << m.pblock.row_lo << ' ' << m.pblock.row_hi
+      << ' ' << m.footprint.height << ' '
+      << (m.footprint.uses_bram_or_dsp ? 1 : 0) << ' '
+      << m.footprint.kinds.size();
+  for (ColumnKind kind : m.footprint.kinds) {
+    out << ' ' << static_cast<int>(kind);
+  }
+  return out.str();
+}
+
+std::optional<ImplementedBlock> parse_cache_entry(const std::string& payload) {
+  std::istringstream row(payload);
+  ImplementedBlock b;
+  int status = 0;
+  int first = 0;
+  int error_kind = 0;
+  int hard = 0;
+  std::size_t num_kinds = 0;
+  Macro& m = b.macro;
+  if (!(row >> b.name >> status >> b.seed_cf >> first >> b.attempts >>
+        error_kind >> b.error.cf >> b.error.attempts >> m.cf >>
+        m.fill_ratio >> m.tool_runs >> m.used_slices >> m.est_slices >>
+        m.longest_path_ns >> m.pblock.col_lo >> m.pblock.col_hi >>
+        m.pblock.row_lo >> m.pblock.row_hi >> m.footprint.height >> hard >>
+        num_kinds)) {
+    return std::nullopt;
+  }
+  if (status < 0 || status > static_cast<int>(FlowStatus::Failed)) {
+    return std::nullopt;
+  }
+  b.status = static_cast<FlowStatus>(status);
+  if (b.status == FlowStatus::Failed) return std::nullopt;  // never cached
+  b.first_run_success = first != 0;
+  if (error_kind < 0 ||
+      error_kind > static_cast<int>(FlowErrorKind::DegradedExhausted)) {
+    return std::nullopt;
+  }
+  b.error.kind = static_cast<FlowErrorKind>(error_kind);
+  b.error.block = b.name;
+  m.name = b.name;
+  m.footprint.uses_bram_or_dsp = hard != 0;
+  m.footprint.kinds.reserve(num_kinds);
+  for (std::size_t i = 0; i < num_kinds; ++i) {
+    int kind = 0;
+    if (!(row >> kind) || kind < 0 ||
+        kind > static_cast<int>(ColumnKind::Clock)) {
+      return std::nullopt;
+    }
+    m.footprint.kinds.push_back(static_cast<ColumnKind>(kind));
+  }
+  int extra = 0;
+  if (row >> extra) return std::nullopt;  // trailing garbage
+  return b;
+}
+
+}  // namespace
+
+std::string module_cache_to_text(const ModuleCache& cache) {
+  std::ostringstream out;
+  out << kCacheHeader << '\n';
+  out << "# name status seed_cf first attempts err_kind err_cf err_attempts"
+         " cf fill tool_runs used_slices est_slices longest_ns"
+         " pblock(c0 c1 r0 r1) fp_height fp_hard n_kinds kinds... checksum\n";
+  for (const auto& [name, block] : cache.entries()) {
+    const std::string payload = cache_entry_payload(block);
+    out << payload << ' ' << checksum_of(payload) << '\n';
+  }
+  out << kCacheFooter << cache.entries().size() << '\n';
+  return out.str();
+}
+
+CacheLoadStats module_cache_from_text(const std::string& text,
+                                      ModuleCache& cache) {
+  CacheLoadStats stats;
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kCacheHeader) return stats;
+  stats.header_ok = true;
+
+  bool footer_seen = false;
+  std::size_t footer_count = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind(kCacheFooter, 0) == 0) {
+      std::istringstream footer(line.substr(std::string(kCacheFooter).size()));
+      if (footer >> footer_count) footer_seen = true;
+      continue;
+    }
+    if (line.front() == '#') continue;
+    // Split off the trailing checksum; verify before parsing.
+    const std::size_t cut = line.find_last_of(' ');
+    if (cut == std::string::npos) {
+      ++stats.corrupted;
+      continue;
+    }
+    const std::string payload = line.substr(0, cut);
+    if (line.substr(cut + 1) != checksum_of(payload)) {
+      ++stats.corrupted;
+      continue;
+    }
+    std::optional<ImplementedBlock> block = parse_cache_entry(payload);
+    if (!block) {
+      ++stats.corrupted;
+      continue;
+    }
+    cache.restore(std::move(*block));
+    ++stats.loaded;
+  }
+  stats.complete =
+      footer_seen &&
+      footer_count == static_cast<std::size_t>(stats.loaded + stats.corrupted);
+  return stats;
+}
+
+bool save_module_cache(const std::string& path, const ModuleCache& cache) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << module_cache_to_text(cache);
+  return static_cast<bool>(out);
+}
+
+CacheLoadStats load_module_cache(const std::string& path, ModuleCache& cache) {
+  std::ifstream in(path);
+  if (!in) return CacheLoadStats{};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return module_cache_from_text(buffer.str(), cache);
 }
 
 }  // namespace mf

@@ -1,23 +1,34 @@
 #pragma once
-// Plain-text serialisation of labelled ground truth.
+// Plain-text serialisation of labelled ground truth and of the module cache.
 //
 // Labelling 2,000 modules costs ~10 s; the estimator benches and the CLI can
 // cache the result on disk (opt-in via MACROFLOW_GT_CACHE) and reload it
 // instantly. The format is a versioned, self-describing text table -- stable
-// across runs, diffable, and safe to regenerate at any time.
+// across runs, diffable, and safe to regenerate at any time. A sample-count
+// footer makes truncation detectable: a cut-off file is rejected as corrupt
+// instead of silently loading a prefix of the dataset.
+//
+// The module-cache checkpoint is the flow's crash-recovery story: every
+// implemented macro is written as one line with a per-entry FNV-1a checksum
+// plus an entry-count footer. On reload, entries with a bad checksum (or a
+// truncated tail) are dropped and counted, so an interrupted flow resumes
+// with its good macros intact and re-runs only the corrupted/missing blocks.
 
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/estimator.hpp"
+#include "flow/rw_flow.hpp"
 
 namespace mf {
 
-/// Serialise labelled samples (one line per sample, versioned header).
+/// Serialise labelled samples (one line per sample, versioned header,
+/// sample-count footer).
 std::string ground_truth_to_text(const std::vector<LabeledModule>& samples);
 
-/// Parse samples back; nullopt on malformed input or version mismatch.
+/// Parse samples back; nullopt on malformed input, version mismatch, or a
+/// missing/mismatching footer (truncated file).
 std::optional<std::vector<LabeledModule>> ground_truth_from_text(
     const std::string& text);
 
@@ -26,5 +37,28 @@ bool save_ground_truth(const std::string& path,
                        const std::vector<LabeledModule>& samples);
 std::optional<std::vector<LabeledModule>> load_ground_truth(
     const std::string& path);
+
+/// Outcome of restoring a ModuleCache checkpoint.
+struct CacheLoadStats {
+  bool header_ok = false;  ///< file existed and carried the right version
+  bool complete = false;   ///< footer present and every entry accounted for
+  int loaded = 0;          ///< entries restored into the cache
+  int corrupted = 0;       ///< entries dropped (checksum/parse failure)
+};
+
+/// Serialise every cached implementation (macro + status metadata). Blocks
+/// re-derive report/shape on re-synthesis, so only what the stitcher and
+/// the accounting need is persisted.
+std::string module_cache_to_text(const ModuleCache& cache);
+
+/// Restore entries into `cache` (via ModuleCache::restore -- no miss
+/// accounting). Corrupted entries are skipped and counted; the caller
+/// re-runs whatever the next flow invocation finds missing.
+CacheLoadStats module_cache_from_text(const std::string& text,
+                                      ModuleCache& cache);
+
+/// File helpers for checkpoint/resume of an interrupted flow.
+bool save_module_cache(const std::string& path, const ModuleCache& cache);
+CacheLoadStats load_module_cache(const std::string& path, ModuleCache& cache);
 
 }  // namespace mf

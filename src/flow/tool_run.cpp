@@ -1,0 +1,136 @@
+#include "flow/tool_run.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace mf {
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::None: return "none";
+    case FaultKind::Crash: return "crash";
+    case FaultKind::Timeout: return "timeout";
+    case FaultKind::SpuriousInfeasible: return "spurious-infeasible";
+  }
+  return "?";
+}
+
+const char* to_string(FlowErrorKind kind) noexcept {
+  switch (kind) {
+    case FlowErrorKind::None: return "none";
+    case FlowErrorKind::ToolCrash: return "tool-crash";
+    case FlowErrorKind::ToolTimeout: return "tool-timeout";
+    case FlowErrorKind::Infeasible: return "infeasible";
+    case FlowErrorKind::NoPBlock: return "no-pblock";
+    case FlowErrorKind::DegradedExhausted: return "degraded-exhausted";
+  }
+  return "?";
+}
+
+std::string to_string(const FlowError& error) {
+  std::ostringstream out;
+  out << to_string(error.kind) << " block=" << error.block << " cf=" << error.cf
+      << " attempts=" << error.attempts;
+  return out.str();
+}
+
+FaultInjector::FaultInjector(const FaultInjectorOptions& opts) : opts_(opts) {
+  MF_CHECK_MSG(opts.p_crash >= 0.0 && opts.p_timeout >= 0.0 &&
+                   opts.p_spurious_infeasible >= 0.0,
+               "fault probabilities must be non-negative");
+  MF_CHECK_MSG(
+      opts.p_crash + opts.p_timeout + opts.p_spurious_infeasible <= 1.0,
+      "fault probabilities must sum to <= 1");
+}
+
+FaultKind FaultInjector::draw(std::string_view block, int ordinal) const {
+  if (!opts_.enabled) return FaultKind::None;
+  // Pure hash of (seed, block, ordinal): the decision stream of one block is
+  // independent of every other block's, so chaos runs replay bit-identically
+  // under any interleaving (and later, any parallel schedule).
+  std::uint64_t state = opts_.seed;
+  state ^= splitmix64(state) ^ fnv1a64(block);
+  state ^= splitmix64(state) ^ static_cast<std::uint64_t>(ordinal);
+  const std::uint64_t word = splitmix64(state);
+  const double u = static_cast<double>(word >> 11) * 0x1.0p-53;
+  if (u < opts_.p_crash) return FaultKind::Crash;
+  if (u < opts_.p_crash + opts_.p_timeout) return FaultKind::Timeout;
+  if (u < opts_.p_crash + opts_.p_timeout + opts_.p_spurious_infeasible) {
+    return FaultKind::SpuriousInfeasible;
+  }
+  return FaultKind::None;
+}
+
+ToolRunner::ToolRunner(const ToolRunnerOptions& opts)
+    : opts_(opts), injector_(opts.fault) {
+  MF_CHECK_MSG(opts.retry.max_attempts_per_check >= 1,
+               "a check needs at least one attempt");
+  MF_CHECK_MSG(opts.retry.retry_budget_per_block >= 0,
+               "retry budget must be non-negative");
+}
+
+int ToolRunner::retries_used(const std::string& block) const {
+  const auto it = retries_used_.find(block);
+  return it == retries_used_.end() ? 0 : it->second;
+}
+
+void ToolRunner::grant_fresh_budget(const std::string& block) {
+  retries_used_[block] = 0;
+}
+
+ToolRunner::CheckOutcome ToolRunner::run_check(
+    const std::string& block, double cf,
+    const std::function<PlaceResult()>& check) {
+  CheckOutcome outcome;
+  for (;;) {
+    const int ordinal = ordinal_[block]++;
+    ++stats_.invocations;
+    ++outcome.attempts;
+    const FaultKind fault = injector_.draw(block, ordinal);
+    if (fault == FaultKind::Crash || fault == FaultKind::Timeout) {
+      if (fault == FaultKind::Crash) {
+        ++stats_.crashes;
+      } else {
+        ++stats_.timeouts;
+      }
+      const bool check_exhausted =
+          outcome.attempts >= opts_.retry.max_attempts_per_check;
+      const bool block_exhausted =
+          retries_used_[block] >= opts_.retry.retry_budget_per_block;
+      if (check_exhausted || block_exhausted) {
+        outcome.error.kind = fault == FaultKind::Crash
+                                 ? FlowErrorKind::ToolCrash
+                                 : FlowErrorKind::ToolTimeout;
+        outcome.error.block = block;
+        outcome.error.cf = cf;
+        outcome.error.attempts = outcome.attempts;
+        return outcome;
+      }
+      ++retries_used_[block];
+      ++stats_.retries;
+      // Capped exponential backoff, accounted rather than slept: attempt 1
+      // waits base, attempt 2 waits base*factor, ... up to the cap.
+      double wait = opts_.retry.backoff_base_ms;
+      for (int i = 1; i < outcome.attempts; ++i) {
+        wait *= opts_.retry.backoff_factor;
+      }
+      stats_.backoff_ms += std::min(wait, opts_.retry.backoff_cap_ms);
+      continue;
+    }
+    // The invocation completes and yields a verdict: one paper tool run.
+    outcome.place = check();
+    ++stats_.completed;
+    if (fault == FaultKind::SpuriousInfeasible && outcome.place.feasible) {
+      ++stats_.spurious;
+      outcome.place.feasible = false;
+      outcome.place.fail_reason = "injected: spurious infeasible verdict";
+    }
+    outcome.completed = true;
+    return outcome;
+  }
+}
+
+}  // namespace mf

@@ -19,13 +19,13 @@ class Annealer {
       : device_(device), problem_(problem), opts_(opts), rng_(opts.seed) {}
 
   StitchResult run() {
-    Timer timer;
+    timer_.restart();
     prepare();
     greedy_initial();
     anneal();
     final_fill();
     finish();
-    result_.seconds = timer.seconds();
+    result_.seconds = timer_.seconds();
     return std::move(result_);
   }
 
@@ -210,8 +210,18 @@ class Annealer {
     int stagnant_temps = 0;
     double best_cost = cost;
     std::vector<BlockPlacement> best_positions = positions_;
-    for (double temp = t0; temp > t_min; temp *= opts_.cooling) {
+    for (double temp = t0; temp > t_min && !result_.watchdog_fired;
+         temp *= opts_.cooling) {
       for (int k = 0; k < moves_per_temp; ++k) {
+        // Watchdog: a budgeted anneal stops mid-schedule and degrades to
+        // the best snapshot seen so far (restored below). The wall-clock
+        // check is amortised over 32 moves to keep the hot loop cheap.
+        if ((opts_.max_moves > 0 && result_.total_moves >= opts_.max_moves) ||
+            (opts_.max_seconds > 0.0 && result_.total_moves % 32 == 0 &&
+             timer_.seconds() >= opts_.max_seconds)) {
+          result_.watchdog_fired = true;
+          break;
+        }
         ++result_.total_moves;
         if (opts_.place_retry_every > 0 &&
             result_.total_moves % opts_.place_retry_every == 0 &&
@@ -421,6 +431,7 @@ class Annealer {
   const StitchProblem& problem_;
   const StitchOptions& opts_;
   Rng rng_;
+  Timer timer_;
 
   std::vector<int> grid_;
   std::vector<std::vector<std::pair<int, int>>> anchors_;  ///< per macro

@@ -34,6 +34,15 @@ struct StitchOptions {
   /// improvement (0 = anneal the full schedule). Easier problems quiesce
   /// sooner, which is what makes SA convergence a quality metric.
   int stagnation_temps = 15;
+  /// Watchdog: hard iteration budget on the anneal (0 = unbounded). When the
+  /// budget trips, the walk stops and the best-so-far snapshot is restored,
+  /// so an over-budget anneal degrades to its best intermediate placement
+  /// instead of running unbounded. Deterministic (move-count based).
+  long max_moves = 0;
+  /// Watchdog: wall-clock budget in seconds on the anneal (0 = unbounded).
+  /// Same degradation semantics as max_moves, but non-deterministic -- meant
+  /// for production service deadlines, not for reproducible experiments.
+  double max_seconds = 0.0;
 };
 
 struct BlockPlacement {
@@ -54,6 +63,9 @@ struct StitchResult {
   /// First move index after which the cost stays within 1% of the final
   /// cost -- the convergence metric behind the paper's "1.37x faster".
   long converge_move = 0;
+  /// True when a watchdog budget (max_moves / max_seconds) cut the anneal
+  /// short; the result is the best placement seen up to that point.
+  bool watchdog_fired = false;
   double seconds = 0.0;
   /// (move index, cost) samples for convergence plots.
   std::vector<std::pair<long, double>> cost_trace;

@@ -142,7 +142,7 @@ TEST_F(EstimatorFixture, EstimatorPolicyBeatsConstantLowSeed) {
     }();
     const ImplementedBlock with_const = implement_block(module, dev, 0.9,
                                                         opts);
-    if (!with_est.ok || !with_const.ok) continue;
+    if (!with_est.ok() || !with_const.ok()) continue;
     runs_estimator += with_est.macro.tool_runs;
     runs_constant += with_const.macro.tool_runs;
     ++compared;

@@ -5,6 +5,7 @@
 #include "fabric/catalog.hpp"
 #include "flow/ground_truth.hpp"
 #include "flow/monolithic.hpp"
+#include "flow/serialize.hpp"
 #include "nn/cnv_w1a1.hpp"
 #include "nn/finn_blocks.hpp"
 #include "rtlgen/generators.hpp"
@@ -60,7 +61,7 @@ TEST(ImplementBlock, ProducesValidMacro) {
   Module module = gen_mixed(p, rng);
   module.name = "m";
   const ImplementedBlock blk = implement_block(module, dev, 1.5, fast_opts());
-  ASSERT_TRUE(blk.ok);
+  ASSERT_TRUE(blk.ok());
   EXPECT_EQ(blk.macro.name, "m");
   EXPECT_GT(blk.macro.used_slices, 0);
   EXPECT_GT(blk.macro.area(), 0);
@@ -79,7 +80,7 @@ TEST(ImplementBlock, TimingComputedWhenRequested) {
   RwFlowOptions opts = fast_opts();
   opts.compute_timing = true;
   const ImplementedBlock blk = implement_block(module, dev, 1.5, opts);
-  ASSERT_TRUE(blk.ok);
+  ASSERT_TRUE(blk.ok());
   EXPECT_GT(blk.macro.longest_path_ns, 0.5);
 }
 
@@ -165,6 +166,56 @@ TEST(ModuleCache, DesignChangeOnlyRecompilesNewBlock) {
   const RwFlowResult r = cache.run(design, dev, policy, fast_opts());
   EXPECT_EQ(cache.misses(), 4);  // only the new block compiled
   EXPECT_EQ(r.failed_blocks, 0);
+}
+
+TEST(ModuleCache, FailedBlockIsNeverStoredOrReused) {
+  // Caching a failure would pin a transient tool fault forever; a block that
+  // fails to implement must stay out of the cache and retry on the next run.
+  const Device dev = xc7z020_model();
+  const BlockDesign design = small_design();
+  CfPolicy policy;
+  policy.constant_cf = 0.3;  // far below any feasible CF
+  RwFlowOptions opts = fast_opts();
+  opts.search.max_cf = 0.4;
+  ModuleCache cache;
+  const RwFlowResult first = cache.run(design, dev, policy, opts);
+  EXPECT_EQ(first.failed_blocks, 3);
+  EXPECT_EQ(cache.size(), 0u);  // nothing stored
+  EXPECT_EQ(cache.misses(), 3);
+  for (const FlowError& err : first.errors) {
+    EXPECT_EQ(err.kind, FlowErrorKind::Infeasible);
+  }
+
+  const RwFlowResult second = cache.run(design, dev, policy, opts);
+  EXPECT_EQ(cache.hits(), 0);    // failures are never served from the cache
+  EXPECT_EQ(cache.misses(), 6);  // every block retried
+  EXPECT_GT(second.total_tool_runs, 0);
+}
+
+TEST(ModuleCache, ReloadedCacheReproducesTheSameMacros) {
+  const Device dev = xc7z020_model();
+  const BlockDesign design = small_design();
+  CfPolicy policy;
+  policy.constant_cf = 1.8;
+  ModuleCache cache;
+  const RwFlowResult first = cache.run(design, dev, policy, fast_opts());
+  ASSERT_EQ(first.failed_blocks, 0);
+
+  ModuleCache reloaded;
+  const CacheLoadStats stats =
+      module_cache_from_text(module_cache_to_text(cache), reloaded);
+  ASSERT_TRUE(stats.complete);
+  ASSERT_EQ(stats.corrupted, 0);
+  const RwFlowResult second = reloaded.run(design, dev, policy, fast_opts());
+  EXPECT_EQ(second.total_tool_runs, 0);  // everything resumed from checkpoint
+  ASSERT_EQ(second.blocks.size(), first.blocks.size());
+  for (std::size_t i = 0; i < first.blocks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(second.blocks[i].macro.cf, first.blocks[i].macro.cf);
+    EXPECT_TRUE(second.blocks[i].macro.pblock == first.blocks[i].macro.pblock);
+    EXPECT_EQ(second.blocks[i].macro.used_slices,
+              first.blocks[i].macro.used_slices);
+  }
+  EXPECT_EQ(second.problem.instances.size(), first.problem.instances.size());
 }
 
 TEST(Monolithic, FlattenPreservesTotals) {

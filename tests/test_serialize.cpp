@@ -57,8 +57,40 @@ TEST(Serialize, RejectsWrongHeader) {
 }
 
 TEST(Serialize, RejectsTruncatedRow) {
-  std::string text = "macroflow-ground-truth v2\nmodule 1.1 2 3\n";
+  std::string text =
+      "macroflow-ground-truth v3\nmodule 1.1 2 3\n# samples 1\n";
   EXPECT_FALSE(ground_truth_from_text(text).has_value());
+}
+
+TEST(Serialize, RejectsStaleV2Header) {
+  // v3 added the sample-count footer; v2 files must re-label, not half-load.
+  EXPECT_FALSE(
+      ground_truth_from_text("macroflow-ground-truth v2\n").has_value());
+}
+
+TEST(Serialize, RejectsTruncatedFile) {
+  // A ground-truth cache that lost its tail (killed writer, full disk) must
+  // be rejected wholesale: training on a silently shortened sample set would
+  // skew the estimator without any visible error.
+  const std::string text = ground_truth_to_text(small_truth());
+
+  // Drop the footer line entirely.
+  const std::size_t footer = text.rfind("# samples ");
+  ASSERT_NE(footer, std::string::npos);
+  EXPECT_FALSE(ground_truth_from_text(text.substr(0, footer)).has_value());
+
+  // Drop the last sample row but keep the footer: count mismatch.
+  const std::size_t last_row = text.rfind('\n', footer - 2);
+  ASSERT_NE(last_row, std::string::npos);
+  std::string missing_row =
+      text.substr(0, last_row + 1) + text.substr(footer);
+  EXPECT_FALSE(ground_truth_from_text(missing_row).has_value());
+
+  // Data after the footer is equally suspect.
+  EXPECT_FALSE(ground_truth_from_text(text + "stray row\n").has_value());
+
+  // The untampered text still parses -- the guards above are not vacuous.
+  EXPECT_TRUE(ground_truth_from_text(text).has_value());
 }
 
 TEST(Serialize, FileRoundTrip) {

@@ -188,7 +188,7 @@ void flow_experiment() {
   RwFlowResult min_run = run_rw_flow(design, device, min_policy, opts);
   double max_cf = 0.0;
   for (const ImplementedBlock& blk : min_run.blocks) {
-    if (blk.ok) max_cf = std::max(max_cf, blk.macro.cf);
+    if (blk.ok()) max_cf = std::max(max_cf, blk.macro.cf);
   }
   std::printf(
       "min-CF flow: %.1fs, failed=%d, tool_runs=%d, max_cf=%.2f\n"
