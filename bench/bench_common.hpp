@@ -38,6 +38,16 @@ inline void banner(const char* experiment, const char* paper_summary) {
   std::printf("==================================================================\n");
 }
 
+/// Worker threads for dataset / flow construction in the benches: the
+/// MACROFLOW_JOBS env var (0 = hardware concurrency), defaulting to the
+/// build's MF_JOBS_DEFAULT. Every labelled dataset is bit-identical at any
+/// value, so this only changes how long a bench takes to set up.
+inline int bench_jobs() {
+  const char* env = std::getenv("MACROFLOW_JOBS");
+  if (env == nullptr || *env == '\0') return MF_JOBS_DEFAULT;
+  return std::atoi(env);
+}
+
 /// Full labelled dataset (built in ~10 s). Set MACROFLOW_GT_CACHE=<path> to
 /// cache the labels on disk across bench invocations; the cache is fully
 /// regenerable and validated on load.
@@ -50,7 +60,8 @@ inline GroundTruth dataset_truth(const Device& device) {
       return truth;
     }
   }
-  GroundTruth truth = build_ground_truth(dataset_sweep(kSweep), device);
+  GroundTruth truth =
+      build_ground_truth(dataset_sweep(kSweep), device, {}, bench_jobs());
   if (cache != nullptr) save_ground_truth(cache, truth.samples);
   return truth;
 }
@@ -71,7 +82,7 @@ inline GroundTruth cnv_truth(const Device& device, bool drop_tiny) {
   // "removed the modules that had one or two tiles ... 63 implemented
   // modules" (Section VIII).
   return label_blocks(design, device, /*search_start=*/0.5,
-                      /*min_est_slices=*/drop_tiny ? 18 : 0);
+                      /*min_est_slices=*/drop_tiny ? 18 : 0, bench_jobs());
 }
 
 }  // namespace mf::bench

@@ -1,0 +1,151 @@
+// Scaling bench for the deterministic parallel flow engine: the three hot
+// loops the thread pool fans out (per-block CF search on cnvW1A1, the
+// ground-truth dataset sweep, random-forest training) measured at
+// jobs = 1 / 2 / 4 / 8.
+//
+// google-benchmark binary, so `--benchmark_format=json` emits the same JSON
+// the perf bench does. A speedup-vs-jobs=1 summary is printed to stderr
+// after the runs (stderr so a JSON stdout stays machine-parseable). The
+// results themselves are bit-identical at every jobs value -- the parallel
+// suite asserts that; this bench only measures wall clock. Speedup tops out
+// at the machine's core count (this is the acceptance target: >= 2x at 4+
+// hardware threads).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "fabric/catalog.hpp"
+#include "flow/ground_truth.hpp"
+#include "flow/rw_flow.hpp"
+#include "ml/rforest.hpp"
+#include "nn/cnv_w1a1.hpp"
+#include "rtlgen/sweep.hpp"
+
+namespace {
+
+using namespace mf;
+
+// Best (minimum) wall-clock seconds per (loop, jobs), for the summary.
+std::mutex g_times_mutex;
+std::map<std::string, std::map<int, double>> g_times;
+
+void record(const std::string& loop, int jobs, double seconds) {
+  std::lock_guard<std::mutex> lock(g_times_mutex);
+  auto [it, inserted] = g_times[loop].try_emplace(jobs, seconds);
+  if (!inserted) it->second = std::min(it->second, seconds);
+}
+
+const CnvDesign& cnv_design() {
+  static const CnvDesign design = build_cnv_w1a1();
+  return design;
+}
+
+const std::vector<GenSpec>& sweep_slice() {
+  static const std::vector<GenSpec> specs = dataset_sweep({200, 42});
+  return specs;
+}
+
+void BM_CnvPerBlockSearch(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const Device dev = xc7z020_model();
+  CfPolicy policy;
+  policy.constant_cf = 1.5;
+  RwFlowOptions opts;
+  opts.compute_timing = false;
+  opts.run_stitch = false;  // the stitch is sequential; measure the fan-out
+  opts.jobs = jobs;
+  for (auto _ : state) {
+    Timer t;
+    RwFlowResult r = run_rw_flow(cnv_design(), dev, policy, opts);
+    benchmark::DoNotOptimize(r.total_tool_runs);
+    record("cnv_per_block_search", jobs, t.seconds());
+  }
+}
+BENCHMARK(BM_CnvPerBlockSearch)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_DatasetSweepLabel(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const Device dev = xc7z020_model();
+  for (auto _ : state) {
+    Timer t;
+    GroundTruth truth = build_ground_truth(sweep_slice(), dev, {}, jobs);
+    benchmark::DoNotOptimize(truth.samples.size());
+    record("dataset_sweep_label", jobs, t.seconds());
+  }
+}
+BENCHMARK(BM_DatasetSweepLabel)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ForestFit(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  static const auto data = [] {
+    Rng rng(3);
+    std::pair<std::vector<std::vector<double>>, std::vector<double>> d;
+    for (int i = 0; i < 800; ++i) {
+      const double a = rng.uniform(-2.0, 2.0);
+      const double b = rng.uniform(-2.0, 2.0);
+      const double c = rng.uniform(-2.0, 2.0);
+      d.first.push_back({a, b, c});
+      d.second.push_back((a > 0.3 ? 2.0 : -1.0) + 0.5 * b - 0.2 * c);
+    }
+    return d;
+  }();
+  RForestOptions opts;
+  opts.trees = 120;
+  opts.jobs = jobs;
+  for (auto _ : state) {
+    Timer t;
+    RandomForest forest;
+    forest.fit(data.first, data.second, opts);
+    benchmark::DoNotOptimize(forest.tree_count());
+    record("forest_fit", jobs, t.seconds());
+  }
+}
+BENCHMARK(BM_ForestFit)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void print_speedup_summary() {
+  std::lock_guard<std::mutex> lock(g_times_mutex);
+  if (g_times.empty()) return;
+  std::fprintf(stderr, "\nspeedup vs jobs=1 (best wall clock; %u hardware threads)\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(stderr, "%-24s %6s %10s %8s\n", "loop", "jobs", "ms", "speedup");
+  for (const auto& [loop, by_jobs] : g_times) {
+    const auto base = by_jobs.find(1);
+    for (const auto& [jobs, seconds] : by_jobs) {
+      const double speedup =
+          base != by_jobs.end() && seconds > 0.0 ? base->second / seconds : 0.0;
+      std::fprintf(stderr, "%-24s %6d %10.2f %7.2fx\n", loop.c_str(), jobs,
+                   seconds * 1e3, speedup);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_speedup_summary();
+  return 0;
+}

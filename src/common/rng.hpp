@@ -40,6 +40,17 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+/// Seed for one task of a parallel region: splitmix64(base ^ fnv1a64(key)).
+/// A pure function of the base seed and the task's stable key (block name,
+/// "tree:17", spec name, ...), so every task gets an independent stream that
+/// does not depend on sibling scheduling -- the keystone of the guarantee
+/// that parallel regions are bit-identical at any thread count.
+constexpr std::uint64_t task_seed(std::uint64_t base_seed,
+                                  std::string_view task_key) noexcept {
+  std::uint64_t state = base_seed ^ fnv1a64(task_key);
+  return splitmix64(state);
+}
+
 /// Deterministic counter-free PRNG (xoshiro256++).
 class Rng {
  public:

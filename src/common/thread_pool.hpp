@@ -1,0 +1,213 @@
+#pragma once
+// Fixed-size worker pool with a bounded task queue, plus the
+// parallel_for_each helper every parallel region in the library is built on.
+//
+// Design rules (DESIGN.md section "Parallel execution model"):
+//
+//   * Determinism is non-negotiable. A parallel region must produce
+//     bit-identical results at any thread count, so tasks never share a
+//     mutable RNG or append to shared containers -- each task writes its
+//     result into a pre-sized slot indexed by task id, and any per-task
+//     randomness is seeded via task_seed() (common/rng.hpp), a pure function
+//     of (base seed, task key).
+//   * Exceptions propagate. A worker exception is captured and rethrown
+//     from wait() / for_each() on the calling thread. for_each() rethrows
+//     the exception of the *lowest-indexed* failing task, which is exactly
+//     the exception a sequential loop would have thrown (task indices are
+//     claimed in order, so every index below a recorded failure has run).
+//   * The queue is bounded. submit() blocks when `queue_capacity` tasks are
+//     already waiting, so a fast producer cannot accumulate unbounded
+//     std::function state.
+//   * Pools are reusable: after wait() (even a throwing one) the pool
+//     accepts new work; multiple for_each regions may run back to back.
+//
+// `jobs` convention used across the library (RwFlowOptions, RForestOptions,
+// build_ground_truth, the CLI's --jobs):  1 = sequential in the calling
+// thread (no pool, no threads -- the historical behaviour), N > 1 = pool of
+// N workers, 0 = auto (hardware concurrency). The compile-time default is
+// the MF_JOBS_DEFAULT CMake cache option (1 unless overridden).
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+#ifndef MF_JOBS_DEFAULT
+#define MF_JOBS_DEFAULT 1
+#endif
+
+namespace mf {
+
+/// Resolve a `jobs` knob to a concrete worker count: values >= 1 pass
+/// through, 0 (and negatives) mean "auto" = hardware concurrency.
+[[nodiscard]] inline int resolve_jobs(int jobs) noexcept {
+  if (jobs >= 1) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads, std::size_t queue_capacity = 256)
+      : capacity_(std::max<std::size_t>(1, queue_capacity)) {
+    MF_CHECK_MSG(threads >= 1, "a thread pool needs at least one worker");
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    not_empty_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  [[nodiscard]] int thread_count() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Enqueue one task. Blocks while the queue is at capacity.
+  void submit(std::function<void()> task) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait(lock, [this] { return queue_.size() < capacity_; });
+      queue_.push_back(std::move(task));
+      ++pending_;
+    }
+    not_empty_.notify_one();
+  }
+
+  /// Block until every submitted task has finished. Rethrows the first
+  /// exception a worker captured since the last wait(); the pool stays
+  /// usable afterwards.
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return pending_ == 0; });
+    if (exception_) {
+      std::exception_ptr error = std::exchange(exception_, nullptr);
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+  }
+
+  /// Run fn(i) for every i in [0, count) across the pool's workers.
+  /// Indices are claimed in order from a shared counter (dynamic load
+  /// balancing -- per-block search times vary by >10x), results must be
+  /// written to slots indexed by i. Blocks until the region completes;
+  /// rethrows the lowest-indexed task exception. After an exception is
+  /// recorded no *new* indices are claimed, but indices already claimed run
+  /// to completion.
+  template <typename Fn>
+  void for_each(std::size_t count, Fn&& fn) {
+    if (count == 0) return;
+    struct Region {
+      std::atomic<std::size_t> next{0};
+      std::mutex mutex;
+      std::exception_ptr exception;
+      std::size_t exception_index = std::numeric_limits<std::size_t>::max();
+    };
+    auto region = std::make_shared<Region>();
+    Fn& task = fn;  // for_each blocks until done; by-ref capture is safe
+    const std::size_t drains =
+        std::min<std::size_t>(workers_.size(), count);
+    for (std::size_t t = 0; t < drains; ++t) {
+      submit([region, &task, count] {
+        for (;;) {
+          const std::size_t i =
+              region->next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= count) return;
+          {
+            std::lock_guard<std::mutex> lock(region->mutex);
+            if (region->exception != nullptr) return;
+          }
+          try {
+            task(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(region->mutex);
+            if (i < region->exception_index) {
+              region->exception = std::current_exception();
+              region->exception_index = i;
+            }
+          }
+        }
+      });
+    }
+    wait();
+    if (region->exception != nullptr) {
+      std::rethrow_exception(region->exception);
+    }
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_empty_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop requested and queue drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      not_full_.notify_one();
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (exception_ == nullptr) exception_ = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  const std::size_t capacity_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::condition_variable idle_;
+  long pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr exception_;
+};
+
+/// One-shot parallel region: run fn(i) for i in [0, count). jobs <= 1 runs
+/// the plain sequential loop in the calling thread (bit-identical to the
+/// historical code and the baseline every parallel run must reproduce);
+/// jobs == 0 resolves to hardware concurrency.
+template <typename Fn>
+void parallel_for_each(int jobs, std::size_t count, Fn&& fn) {
+  const int workers = resolve_jobs(jobs);
+  if (workers <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(workers), count)));
+  pool.for_each(count, std::forward<Fn>(fn));
+}
+
+}  // namespace mf

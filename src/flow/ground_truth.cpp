@@ -1,5 +1,8 @@
 #include "flow/ground_truth.hpp"
 
+#include <optional>
+
+#include "common/thread_pool.hpp"
 #include "synth/optimize.hpp"
 
 namespace mf {
@@ -23,14 +26,25 @@ bool label_one(const Module& original, const Device& device,
 
 GroundTruth build_ground_truth(const std::vector<GenSpec>& specs,
                                const Device& device,
-                               const CfSearchOptions& search) {
-  GroundTruth truth;
-  truth.samples.reserve(specs.size());
-  for (const GenSpec& spec : specs) {
-    const Module module = realize(spec);
+                               const CfSearchOptions& search, int jobs) {
+  // Realize + label each spec independently (realize() seeds its own Rng
+  // from the spec, so tasks share nothing), collect into spec-indexed slots,
+  // then compact sequentially -- sample order and the infeasible count are
+  // bit-identical at any thread count.
+  std::vector<std::optional<LabeledModule>> labeled(specs.size());
+  parallel_for_each(jobs, specs.size(), [&](std::size_t i) {
+    const Module module = realize(specs[i]);
     LabeledModule sample;
     if (label_one(module, device, search, sample)) {
-      truth.samples.push_back(std::move(sample));
+      labeled[i] = std::move(sample);
+    }
+  });
+
+  GroundTruth truth;
+  truth.samples.reserve(specs.size());
+  for (std::optional<LabeledModule>& sample : labeled) {
+    if (sample) {
+      truth.samples.push_back(std::move(*sample));
     } else {
       ++truth.infeasible;
     }
@@ -39,19 +53,27 @@ GroundTruth build_ground_truth(const std::vector<GenSpec>& specs,
 }
 
 GroundTruth label_blocks(const BlockDesign& design, const Device& device,
-                         double search_start, int min_est_slices) {
+                         double search_start, int min_est_slices, int jobs) {
   CfSearchOptions search;
   search.start = search_start;
+  std::vector<std::optional<LabeledModule>> labeled(
+      design.unique_modules.size());
+  parallel_for_each(jobs, design.unique_modules.size(), [&](std::size_t i) {
+    LabeledModule sample;
+    if (label_one(design.unique_modules[i], device, search, sample)) {
+      labeled[i] = std::move(sample);
+    }
+  });
+
   GroundTruth truth;
   truth.samples.reserve(design.unique_modules.size());
-  for (const Module& module : design.unique_modules) {
-    LabeledModule sample;
-    if (!label_one(module, device, search, sample)) {
+  for (std::optional<LabeledModule>& sample : labeled) {
+    if (!sample) {
       ++truth.infeasible;
       continue;
     }
-    if (sample.report.est_slices < min_est_slices) continue;
-    truth.samples.push_back(std::move(sample));
+    if (sample->report.est_slices < min_est_slices) continue;
+    truth.samples.push_back(std::move(*sample));
   }
   return truth;
 }

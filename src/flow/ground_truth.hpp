@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "core/cf_search.hpp"
 #include "core/estimator.hpp"
 #include "rtlgen/sweep.hpp"
@@ -18,16 +19,20 @@ struct GroundTruth {
 };
 
 /// Label every spec of the sweep. `search.start` defaults to the paper's
-/// 0.9 for dataset generation (Section VII).
+/// 0.9 for dataset generation (Section VII). `jobs` fans the per-spec
+/// realize + min-CF search out over a worker pool; results are
+/// bit-identical at any value (1 = sequential, 0 = hardware concurrency).
 GroundTruth build_ground_truth(const std::vector<GenSpec>& specs,
                                const Device& device,
-                               const CfSearchOptions& search = {});
+                               const CfSearchOptions& search = {},
+                               int jobs = MF_JOBS_DEFAULT);
 
 /// Label the unique blocks of a block design (cnvW1A1: Figures 4/11/12).
 /// Uses a lower search start to expose hard-block-dominated minima and
 /// optionally drops trivially small blocks (the paper removes one-/two-tile
 /// modules, leaving 63 of 74 for the estimator evaluation).
 GroundTruth label_blocks(const BlockDesign& design, const Device& device,
-                         double search_start = 0.5, int min_est_slices = 0);
+                         double search_start = 0.5, int min_est_slices = 0,
+                         int jobs = MF_JOBS_DEFAULT);
 
 }  // namespace mf

@@ -40,6 +40,114 @@ Macro make_macro(const std::string& name, const Device& device,
   return macro;
 }
 
+/// One unique block under the given policy -- the task body of the parallel
+/// per-block loop. Pure function of (module, device, policy, opts): it
+/// touches no shared mutable state except the (thread-safe, per-block)
+/// ToolRunner, so tasks may run in any order on any thread.
+ImplementedBlock implement_with_policy(const Module& module,
+                                       const Device& device,
+                                       const CfPolicy& policy,
+                                       const RwFlowOptions& opts) {
+  switch (policy.mode) {
+    case CfPolicy::Mode::Constant:
+      return implement_block(module, device, policy.constant_cf, opts);
+    case CfPolicy::Mode::Estimator: {
+      MF_CHECK_MSG(policy.estimator != nullptr && policy.estimator->trained(),
+                   "estimator policy needs a trained estimator");
+      // Synthesize once to extract features, then implement from the
+      // predicted CF (implement_block re-synthesizes; netlists are small
+      // enough that clarity wins over caching the synthesis).
+      Module synth = module;
+      optimize(synth.netlist);
+      const ResourceReport report = make_report(synth.netlist);
+      const ShapeReport shape = quick_place(report);
+      const double cf = policy.estimator->estimate(report, shape);
+      return implement_block(module, device, cf, opts);
+    }
+    case CfPolicy::Mode::MinSearch: {
+      ImplementedBlock block;
+      Module synth = module;
+      optimize(synth.netlist);
+      const ResourceReport report = make_report(synth.netlist);
+      const ShapeReport shape = quick_place(report);
+      CfSearchOptions search = opts.search;
+      search.start = 0.5;  // expose hard-block-dominated minima
+      const CfSearchResult found =
+          find_min_cf(synth, report, shape, device, search);
+      block.name = module.name;
+      block.report = report;
+      block.shape = shape;
+      block.seed_cf = search.start;
+      if (found.found) {
+        block.status = FlowStatus::Ok;
+        block.macro =
+            make_macro(module.name, device, report, found.min_cf,
+                       found.tool_runs, found.pblock, found.place, synth,
+                       opts);
+      } else {
+        block.error = found.error.failed()
+                          ? found.error
+                          : FlowError{FlowErrorKind::Infeasible,
+                                      module.name, search.start, 0};
+        block.macro.tool_runs = found.tool_runs;
+      }
+      return block;
+    }
+  }
+  return ImplementedBlock{};  // unreachable
+}
+
+/// Accumulate one finished block into the result counters (sequential, in
+/// unique-module order, so totals and error order match jobs=1 exactly).
+void account_block(RwFlowResult& result, const ImplementedBlock& block) {
+  result.total_tool_runs += block.macro.tool_runs;
+  if (!block.ok()) {
+    ++result.failed_blocks;
+    result.errors.push_back(block.error);
+  } else if (block.degraded()) {
+    ++result.degraded_blocks;
+  }
+}
+
+/// Assemble the stitch problem over the successful blocks and run the
+/// annealer. Shared tail of run_rw_flow and ModuleCache::run.
+void assemble_and_stitch(RwFlowResult& result, const BlockDesign& design,
+                         const Device& device, const RwFlowOptions& opts) {
+  result.problem.macros.reserve(result.blocks.size());
+  std::vector<int> macro_index(result.blocks.size(), -1);
+  for (std::size_t i = 0; i < result.blocks.size(); ++i) {
+    if (!result.blocks[i].ok()) continue;
+    macro_index[i] = static_cast<int>(result.problem.macros.size());
+    result.problem.macros.push_back(result.blocks[i].macro);
+  }
+  std::vector<int> inst_map(design.instances.size(), -1);
+  int next = 0;
+  for (std::size_t i = 0; i < design.instances.size(); ++i) {
+    const int mi =
+        macro_index[static_cast<std::size_t>(design.instances[i].macro)];
+    if (mi >= 0) {
+      result.problem.instances.push_back(
+          BlockInstance{design.instances[i].name, mi});
+      inst_map[i] = next++;
+    }
+  }
+  // Re-map nets onto the surviving instance indices.
+  for (const BlockNet& net : design.nets) {
+    BlockNet mapped;
+    mapped.weight = net.weight;
+    for (int inst : net.instances) {
+      const int m = inst_map[static_cast<std::size_t>(inst)];
+      if (m >= 0) mapped.instances.push_back(m);
+    }
+    if (mapped.instances.size() >= 2) {
+      result.problem.nets.push_back(std::move(mapped));
+    }
+  }
+  if (opts.run_stitch && !result.problem.instances.empty()) {
+    result.stitch = stitch(device, result.problem, opts.stitch);
+  }
+}
+
 }  // namespace
 
 ImplementedBlock implement_block(const Module& module, const Device& device,
@@ -55,8 +163,10 @@ ImplementedBlock implement_block(const Module& module, const Device& device,
   block.shape = quick_place(block.report);
 
   ToolRunner* runner = opts.search.runner;
+  // Per-block delta, not a global-invocations delta: sibling blocks running
+  // on other workers must not leak into this block's attempt count.
   const long invocations_before =
-      runner != nullptr ? runner->stats().invocations : 0;
+      runner != nullptr ? runner->invocations_for(module.name) : 0;
 
   const SeededSearchResult search = seeded_cf_search(
       synth, block.report, block.shape, device, seed_cf, opts.search);
@@ -109,8 +219,8 @@ ImplementedBlock implement_block(const Module& module, const Device& device,
     }
   }
   if (runner != nullptr) {
-    block.attempts =
-        static_cast<int>(runner->stats().invocations - invocations_before);
+    block.attempts = static_cast<int>(runner->invocations_for(module.name) -
+                                      invocations_before);
   }
   return block;
 }
@@ -118,110 +228,28 @@ ImplementedBlock implement_block(const Module& module, const Device& device,
 RwFlowResult run_rw_flow(const BlockDesign& design, const Device& device,
                          const CfPolicy& policy, const RwFlowOptions& opts) {
   RwFlowResult result;
-  result.blocks.reserve(design.unique_modules.size());
 
-  for (const Module& module : design.unique_modules) {
-    ImplementedBlock block;
-    switch (policy.mode) {
-      case CfPolicy::Mode::Constant:
-        block = implement_block(module, device, policy.constant_cf, opts);
-        break;
-      case CfPolicy::Mode::Estimator: {
-        MF_CHECK_MSG(policy.estimator != nullptr && policy.estimator->trained(),
-                     "estimator policy needs a trained estimator");
-        // Synthesize once to extract features, then implement from the
-        // predicted CF (implement_block re-synthesizes; netlists are small
-        // enough that clarity wins over caching the synthesis).
-        Module synth = module;
-        optimize(synth.netlist);
-        const ResourceReport report = make_report(synth.netlist);
-        const ShapeReport shape = quick_place(report);
-        const double cf = policy.estimator->estimate(report, shape);
-        block = implement_block(module, device, cf, opts);
-        break;
-      }
-      case CfPolicy::Mode::MinSearch: {
-        Module synth = module;
-        optimize(synth.netlist);
-        const ResourceReport report = make_report(synth.netlist);
-        const ShapeReport shape = quick_place(report);
-        CfSearchOptions search = opts.search;
-        search.start = 0.5;  // expose hard-block-dominated minima
-        const CfSearchResult found =
-            find_min_cf(synth, report, shape, device, search);
-        block.name = module.name;
-        block.report = report;
-        block.shape = shape;
-        block.seed_cf = search.start;
-        if (found.found) {
-          block.status = FlowStatus::Ok;
-          block.macro =
-              make_macro(module.name, device, report, found.min_cf,
-                         found.tool_runs, found.pblock, found.place, synth,
-                         opts);
-        } else {
-          block.error = found.error.failed()
-                            ? found.error
-                            : FlowError{FlowErrorKind::Infeasible,
-                                        module.name, search.start, 0};
-          block.macro.tool_runs = found.tool_runs;
-        }
-        break;
-      }
-    }
-    result.total_tool_runs += block.macro.tool_runs;
-    if (!block.ok()) {
-      ++result.failed_blocks;
-      result.errors.push_back(block.error);
-    } else if (block.degraded()) {
-      ++result.degraded_blocks;
-    }
-    result.blocks.push_back(std::move(block));
+  // Per-block implement, fanned out over opts.jobs workers. Each task owns
+  // one pre-sized slot; the ToolRunner (if any) is shard-locked with
+  // per-block counters; nothing else is shared. Accumulation below runs
+  // sequentially in unique-module order, so the result -- including error
+  // order and tool-run totals -- is bit-identical at any thread count.
+  result.blocks.resize(design.unique_modules.size());
+  parallel_for_each(opts.jobs, design.unique_modules.size(),
+                    [&](std::size_t i) {
+                      result.blocks[i] = implement_with_policy(
+                          design.unique_modules[i], device, policy, opts);
+                    });
+  for (const ImplementedBlock& block : result.blocks) {
+    account_block(result, block);
   }
 
-  // Assemble and run the stitching problem over the successful blocks.
-  result.problem.macros.reserve(result.blocks.size());
-  std::vector<int> macro_index(result.blocks.size(), -1);
-  for (std::size_t i = 0; i < result.blocks.size(); ++i) {
-    if (!result.blocks[i].ok()) continue;
-    macro_index[i] = static_cast<int>(result.problem.macros.size());
-    result.problem.macros.push_back(result.blocks[i].macro);
-  }
-  for (const BlockInstance& inst : design.instances) {
-    const int mapped = macro_index[static_cast<std::size_t>(inst.macro)];
-    if (mapped < 0) continue;  // block failed to implement
-    result.problem.instances.push_back(BlockInstance{inst.name, mapped});
-  }
-  // Re-map nets onto the surviving instance indices.
-  {
-    std::vector<int> inst_map(design.instances.size(), -1);
-    int next = 0;
-    for (std::size_t i = 0; i < design.instances.size(); ++i) {
-      if (macro_index[static_cast<std::size_t>(design.instances[i].macro)] >=
-          0) {
-        inst_map[i] = next++;
-      }
-    }
-    for (const BlockNet& net : design.nets) {
-      BlockNet mapped;
-      mapped.weight = net.weight;
-      for (int inst : net.instances) {
-        const int m = inst_map[static_cast<std::size_t>(inst)];
-        if (m >= 0) mapped.instances.push_back(m);
-      }
-      if (mapped.instances.size() >= 2) {
-        result.problem.nets.push_back(std::move(mapped));
-      }
-    }
-  }
-
-  if (opts.run_stitch && !result.problem.instances.empty()) {
-    result.stitch = stitch(device, result.problem, opts.stitch);
-  }
+  assemble_and_stitch(result, design, device, opts);
   return result;
 }
 
 const ImplementedBlock* ModuleCache::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = cache_.find(name);
   if (it == cache_.end()) return nullptr;
   ++hits_;
@@ -229,37 +257,62 @@ const ImplementedBlock* ModuleCache::find(const std::string& name) const {
 }
 
 void ModuleCache::store(ImplementedBlock block) {
+  std::lock_guard<std::mutex> lock(mutex_);
   ++misses_;
   cache_[block.name] = std::move(block);
 }
 
 void ModuleCache::restore(ImplementedBlock block) {
+  std::lock_guard<std::mutex> lock(mutex_);
   cache_[block.name] = std::move(block);
 }
 
 RwFlowResult ModuleCache::run(const BlockDesign& design, const Device& device,
                               const CfPolicy& policy,
                               const RwFlowOptions& opts) {
-  // Split the design into cached and uncached blocks, implement the misses,
-  // then delegate the assembly to run_rw_flow semantics by rebuilding the
-  // result from the cache.
+  // Split the design into cached and uncached blocks (sequential -- the
+  // hit/miss counters and cache insertion order must not depend on the
+  // schedule), implement the misses in parallel, then merge in block order.
   RwFlowResult result;
-  result.blocks.reserve(design.unique_modules.size());
-  for (const Module& module : design.unique_modules) {
-    if (const ImplementedBlock* cached = find(module.name)) {
-      if (cached->degraded()) ++result.degraded_blocks;
-      result.blocks.push_back(*cached);
+  result.blocks.resize(design.unique_modules.size());
+  std::vector<std::size_t> miss_indices;
+  for (std::size_t i = 0; i < design.unique_modules.size(); ++i) {
+    if (const ImplementedBlock* cached =
+            find(design.unique_modules[i].name)) {
+      result.blocks[i] = *cached;
+    } else {
+      miss_indices.push_back(i);
+    }
+  }
+
+  parallel_for_each(
+      opts.jobs, miss_indices.size(), [&](std::size_t m) {
+        const Module& module = design.unique_modules[miss_indices[m]];
+        double seed_cf = policy.constant_cf;
+        if (policy.mode == CfPolicy::Mode::Estimator) {
+          MF_CHECK(policy.estimator != nullptr &&
+                   policy.estimator->trained());
+          Module synth = module;
+          optimize(synth.netlist);
+          const ResourceReport report = make_report(synth.netlist);
+          seed_cf = policy.estimator->estimate(report, quick_place(report));
+        }
+        result.blocks[miss_indices[m]] =
+            implement_block(module, device, seed_cf, opts);
+      });
+
+  // Sequential merge in unique-module order: counters, error order, and
+  // cache insertions all match the jobs=1 run exactly.
+  std::size_t next_miss = 0;
+  for (std::size_t i = 0; i < design.unique_modules.size(); ++i) {
+    const ImplementedBlock& block = result.blocks[i];
+    const bool was_miss =
+        next_miss < miss_indices.size() && miss_indices[next_miss] == i;
+    if (!was_miss) {
+      if (block.degraded()) ++result.degraded_blocks;
       continue;
     }
-    double seed_cf = policy.constant_cf;
-    if (policy.mode == CfPolicy::Mode::Estimator) {
-      MF_CHECK(policy.estimator != nullptr && policy.estimator->trained());
-      Module synth = module;
-      optimize(synth.netlist);
-      const ResourceReport report = make_report(synth.netlist);
-      seed_cf = policy.estimator->estimate(report, quick_place(report));
-    }
-    ImplementedBlock block = implement_block(module, device, seed_cf, opts);
+    ++next_miss;
     result.total_tool_runs += block.macro.tool_runs;
     if (!block.ok()) {
       ++result.failed_blocks;
@@ -267,45 +320,15 @@ RwFlowResult ModuleCache::run(const BlockDesign& design, const Device& device,
       // A failed implementation is compiled (a miss) but never cached:
       // caching it would pin a transient tool fault across design
       // iterations. The next run retries the block from scratch.
+      std::lock_guard<std::mutex> lock(mutex_);
       ++misses_;
     } else {
       if (block.degraded()) ++result.degraded_blocks;
       store(block);
     }
-    result.blocks.push_back(std::move(block));
   }
 
-  // Assembly identical to run_rw_flow's tail.
-  std::vector<int> macro_index(result.blocks.size(), -1);
-  for (std::size_t i = 0; i < result.blocks.size(); ++i) {
-    if (!result.blocks[i].ok()) continue;
-    macro_index[i] = static_cast<int>(result.problem.macros.size());
-    result.problem.macros.push_back(result.blocks[i].macro);
-  }
-  std::vector<int> inst_map(design.instances.size(), -1);
-  int next = 0;
-  for (std::size_t i = 0; i < design.instances.size(); ++i) {
-    const int mi = macro_index[static_cast<std::size_t>(design.instances[i].macro)];
-    if (mi >= 0) {
-      result.problem.instances.push_back(
-          BlockInstance{design.instances[i].name, mi});
-      inst_map[i] = next++;
-    }
-  }
-  for (const BlockNet& net : design.nets) {
-    BlockNet mapped;
-    mapped.weight = net.weight;
-    for (int inst : net.instances) {
-      const int m = inst_map[static_cast<std::size_t>(inst)];
-      if (m >= 0) mapped.instances.push_back(m);
-    }
-    if (mapped.instances.size() >= 2) {
-      result.problem.nets.push_back(std::move(mapped));
-    }
-  }
-  if (opts.run_stitch && !result.problem.instances.empty()) {
-    result.stitch = stitch(device, result.problem, opts.stitch);
-  }
+  assemble_and_stitch(result, design, device, opts);
   return result;
 }
 

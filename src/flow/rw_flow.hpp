@@ -12,10 +12,12 @@
 // iteration touches one block, only that block re-runs steps 2-3.
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "core/cf_search.hpp"
 #include "core/estimator.hpp"
 #include "flow/tool_run.hpp"
@@ -49,6 +51,12 @@ struct RwFlowOptions {
   /// behaviour -- no extra searches, no extra tool runs.
   bool degrade_on_failure = true;
   double degrade_cf = 2.5;  ///< escalated CF for the fallback attempt
+  /// Worker threads for the per-block implement loop (the blocks are
+  /// independent; the stitch stays sequential). 1 = sequential, 0 = auto
+  /// (hardware concurrency). Results are bit-identical at any value: blocks
+  /// land in pre-sized slots, the ToolRunner keeps per-block state, and the
+  /// fault-injection stream is a pure function of (seed, block, ordinal).
+  int jobs = MF_JOBS_DEFAULT;
 };
 
 /// Per-block outcome of the flow.
@@ -109,6 +117,13 @@ RwFlowResult run_rw_flow(const BlockDesign& design, const Device& device,
 /// The cache can be checkpointed to disk (versioned, per-entry checksummed;
 /// see flow/serialize.hpp) so an interrupted flow resumes with its
 /// implemented macros intact and re-runs only missing/corrupted blocks.
+///
+/// Thread safety: find/store/restore take an internal mutex, so concurrent
+/// lookups and insertions are safe. `run` itself consults the cache and
+/// inserts new blocks sequentially (only the implement work fans out), so
+/// hit/miss counters and insertion order are identical at any `jobs` value.
+/// find()'s returned pointer stays valid across inserts (std::map nodes are
+/// stable) but callers must not hold it across an erase (none exists).
 class ModuleCache {
  public:
   [[nodiscard]] const ImplementedBlock* find(const std::string& name) const;
@@ -128,6 +143,7 @@ class ModuleCache {
                    const CfPolicy& policy, const RwFlowOptions& opts = {});
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, ImplementedBlock> cache_;
   mutable int hits_ = 0;
   int misses_ = 0;

@@ -23,6 +23,15 @@ std::string checksum_of(const std::string& payload) {
   return out.str();
 }
 
+/// std::getline keeps a trailing '\r' when the file has CRLF line endings
+/// (written on Windows or round-tripped through a CRLF-normalizing tool).
+/// Strip it before header compares, checksums, and parsing -- otherwise a
+/// CRLF checkpoint is rejected wholesale (header mismatch) or every entry
+/// is miscounted as corrupt (checksum over "payload\r").
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
 }  // namespace
 
 std::string ground_truth_to_text(const std::vector<LabeledModule>& samples) {
@@ -56,12 +65,15 @@ std::optional<std::vector<LabeledModule>> ground_truth_from_text(
     const std::string& text) {
   std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line) || line != kHeader) return std::nullopt;
+  if (!std::getline(in, line)) return std::nullopt;
+  strip_cr(line);
+  if (line != kHeader) return std::nullopt;
 
   std::vector<LabeledModule> samples;
   bool footer_seen = false;
   std::size_t footer_count = 0;
   while (std::getline(in, line)) {
+    strip_cr(line);
     if (line.empty()) continue;
     if (line.rfind(kSampleFooter, 0) == 0) {
       std::istringstream footer(line.substr(std::string(kSampleFooter).size()));
@@ -198,12 +210,15 @@ CacheLoadStats module_cache_from_text(const std::string& text,
   CacheLoadStats stats;
   std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line) || line != kCacheHeader) return stats;
+  if (!std::getline(in, line)) return stats;
+  strip_cr(line);
+  if (line != kCacheHeader) return stats;
   stats.header_ok = true;
 
   bool footer_seen = false;
   std::size_t footer_count = 0;
   while (std::getline(in, line)) {
+    strip_cr(line);
     if (line.empty()) continue;
     if (line.rfind(kCacheFooter, 0) == 0) {
       std::istringstream footer(line.substr(std::string(kCacheFooter).size()));

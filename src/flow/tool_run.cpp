@@ -72,34 +72,102 @@ ToolRunner::ToolRunner(const ToolRunnerOptions& opts)
                "retry budget must be non-negative");
 }
 
+ToolRunner::ToolRunner(const ToolRunner& other)
+    : opts_(other.opts_), injector_(other.injector_) {
+  for (std::size_t s = 0; s < kShards; ++s) {
+    std::lock_guard<std::mutex> lock(other.shards_[s].mutex);
+    shards_[s].blocks = other.shards_[s].blocks;
+  }
+}
+
+ToolRunner& ToolRunner::operator=(const ToolRunner& other) {
+  if (this == &other) return *this;
+  opts_ = other.opts_;
+  injector_ = other.injector_;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    std::map<std::string, BlockState> copy;
+    {
+      std::lock_guard<std::mutex> lock(other.shards_[s].mutex);
+      copy = other.shards_[s].blocks;
+    }
+    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    shards_[s].blocks = std::move(copy);
+  }
+  return *this;
+}
+
+ToolRunner::Shard& ToolRunner::shard_of(std::string_view block)
+    const noexcept {
+  return shards_[fnv1a64(block) % kShards];
+}
+
+ToolRunner::BlockState& ToolRunner::state_of(const std::string& block) const {
+  Shard& shard = shard_of(block);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.blocks[block];  // std::map nodes never move on insert
+}
+
+ToolRunStats ToolRunner::stats() const {
+  // Per-block contributions are schedule-independent, and the (shard, name)
+  // summation order depends only on the block names present, so the
+  // aggregate -- including the floating-point backoff_ms sum -- is
+  // bit-identical at any thread count.
+  ToolRunStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [name, state] : shard.blocks) {
+      total.invocations += state.stats.invocations;
+      total.completed += state.stats.completed;
+      total.crashes += state.stats.crashes;
+      total.timeouts += state.stats.timeouts;
+      total.spurious += state.stats.spurious;
+      total.retries += state.stats.retries;
+      total.backoff_ms += state.stats.backoff_ms;
+    }
+  }
+  return total;
+}
+
 int ToolRunner::retries_used(const std::string& block) const {
-  const auto it = retries_used_.find(block);
-  return it == retries_used_.end() ? 0 : it->second;
+  Shard& shard = shard_of(block);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.blocks.find(block);
+  return it == shard.blocks.end() ? 0 : it->second.retries_used;
+}
+
+long ToolRunner::invocations_for(const std::string& block) const {
+  Shard& shard = shard_of(block);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.blocks.find(block);
+  return it == shard.blocks.end() ? 0 : it->second.stats.invocations;
 }
 
 void ToolRunner::grant_fresh_budget(const std::string& block) {
-  retries_used_[block] = 0;
+  state_of(block).retries_used = 0;
 }
 
 ToolRunner::CheckOutcome ToolRunner::run_check(
     const std::string& block, double cf,
     const std::function<PlaceResult()>& check) {
+  // Contract: all checks for one block come from a single task, so `state`
+  // is mutated without the shard lock (the lock only guards the map).
+  BlockState& state = state_of(block);
   CheckOutcome outcome;
   for (;;) {
-    const int ordinal = ordinal_[block]++;
-    ++stats_.invocations;
+    const int ordinal = state.ordinal++;
+    ++state.stats.invocations;
     ++outcome.attempts;
     const FaultKind fault = injector_.draw(block, ordinal);
     if (fault == FaultKind::Crash || fault == FaultKind::Timeout) {
       if (fault == FaultKind::Crash) {
-        ++stats_.crashes;
+        ++state.stats.crashes;
       } else {
-        ++stats_.timeouts;
+        ++state.stats.timeouts;
       }
       const bool check_exhausted =
           outcome.attempts >= opts_.retry.max_attempts_per_check;
       const bool block_exhausted =
-          retries_used_[block] >= opts_.retry.retry_budget_per_block;
+          state.retries_used >= opts_.retry.retry_budget_per_block;
       if (check_exhausted || block_exhausted) {
         outcome.error.kind = fault == FaultKind::Crash
                                  ? FlowErrorKind::ToolCrash
@@ -109,22 +177,22 @@ ToolRunner::CheckOutcome ToolRunner::run_check(
         outcome.error.attempts = outcome.attempts;
         return outcome;
       }
-      ++retries_used_[block];
-      ++stats_.retries;
+      ++state.retries_used;
+      ++state.stats.retries;
       // Capped exponential backoff, accounted rather than slept: attempt 1
       // waits base, attempt 2 waits base*factor, ... up to the cap.
       double wait = opts_.retry.backoff_base_ms;
       for (int i = 1; i < outcome.attempts; ++i) {
         wait *= opts_.retry.backoff_factor;
       }
-      stats_.backoff_ms += std::min(wait, opts_.retry.backoff_cap_ms);
+      state.stats.backoff_ms += std::min(wait, opts_.retry.backoff_cap_ms);
       continue;
     }
     // The invocation completes and yields a verdict: one paper tool run.
     outcome.place = check();
-    ++stats_.completed;
+    ++state.stats.completed;
     if (fault == FaultKind::SpuriousInfeasible && outcome.place.feasible) {
-      ++stats_.spurious;
+      ++state.stats.spurious;
       outcome.place.feasible = false;
       outcome.place.fail_reason = "injected: spurious infeasible verdict";
     }

@@ -25,9 +25,11 @@
 // model) but is consumed by core/cf_search, which hosts the feasibility
 // checks being wrapped. It depends only on place/ and common/.
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -128,10 +130,22 @@ struct ToolRunStats {
 };
 
 /// Wraps feasibility checks with fault injection and a retry policy.
+///
+/// Thread safety: one runner may be shared by a parallel flow, with the
+/// contract that all checks for a given block come from a single task (the
+/// flow implements one block per task, so this holds by construction).
+/// Per-block state lives in a shard-locked map -- the shard lock covers only
+/// the map lookup/insert, never the placement call -- and every counter is
+/// per-block, so the final aggregate stats() are bit-identical at any thread
+/// count (FaultInjector::draw is a pure function of (seed, block, ordinal),
+/// and backoff_ms is summed in shard-then-name order, which depends only on
+/// the set of block names, not on scheduling).
 class ToolRunner {
  public:
   ToolRunner() : ToolRunner(ToolRunnerOptions{}) {}
   explicit ToolRunner(const ToolRunnerOptions& opts);
+  ToolRunner(const ToolRunner& other);
+  ToolRunner& operator=(const ToolRunner& other);
 
   struct CheckOutcome {
     bool completed = false;  ///< a verdict was produced (possibly spurious)
@@ -154,18 +168,37 @@ class ToolRunner {
   [[nodiscard]] bool fault_injection_enabled() const noexcept {
     return injector_.enabled();
   }
-  [[nodiscard]] const ToolRunStats& stats() const noexcept { return stats_; }
+  /// Aggregate over every block, summed in a schedule-independent order.
+  [[nodiscard]] ToolRunStats stats() const;
   [[nodiscard]] int retries_used(const std::string& block) const;
+  /// Physical invocations spent on one block so far. Parallel flows use the
+  /// per-block delta instead of a global-invocations delta, which would
+  /// absorb sibling blocks' interleaved checks.
+  [[nodiscard]] long invocations_for(const std::string& block) const;
   [[nodiscard]] const ToolRunnerOptions& options() const noexcept {
     return opts_;
   }
 
  private:
+  /// All mutable per-block state, touched only by the task implementing the
+  /// block (node pointers into the shard map stay valid across inserts).
+  struct BlockState {
+    int ordinal = 0;       ///< per-block invocation count
+    int retries_used = 0;  ///< per-block budget tracking
+    ToolRunStats stats;    ///< this block's contribution to the aggregate
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, BlockState> blocks;
+  };
+  static constexpr std::size_t kShards = 16;
+
+  [[nodiscard]] Shard& shard_of(std::string_view block) const noexcept;
+  [[nodiscard]] BlockState& state_of(const std::string& block) const;
+
   ToolRunnerOptions opts_;
   FaultInjector injector_;
-  ToolRunStats stats_;
-  std::map<std::string, int> ordinal_;       ///< per-block invocation count
-  std::map<std::string, int> retries_used_;  ///< per-block budget tracking
+  mutable std::array<Shard, kShards> shards_;
 };
 
 }  // namespace mf

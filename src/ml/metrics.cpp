@@ -8,12 +8,28 @@
 namespace mf {
 namespace {
 
-std::vector<double> relative_errors(const std::vector<double>& pred,
+// Uniform contract for every metric (audited after the even-median /
+// empty-input edge cases were only guarded in some paths): prediction and
+// truth vectors must be the same non-zero length, and relative metrics
+// additionally require strictly positive truth values. Violations throw
+// CheckError with a message naming the metric -- no divide-by-zero path is
+// reachable past these guards.
+void check_paired(const char* metric, const std::vector<double>& pred,
+                  const std::vector<double>& truth) {
+  MF_CHECK_MSG(pred.size() == truth.size(),
+               std::string(metric) + ": pred/truth size mismatch");
+  MF_CHECK_MSG(!pred.empty(),
+               std::string(metric) + ": empty input (metric undefined)");
+}
+
+std::vector<double> relative_errors(const char* metric,
+                                    const std::vector<double>& pred,
                                     const std::vector<double>& truth) {
-  MF_CHECK(pred.size() == truth.size() && !pred.empty());
+  check_paired(metric, pred, truth);
   std::vector<double> err(pred.size());
   for (std::size_t i = 0; i < pred.size(); ++i) {
-    MF_CHECK(truth[i] > 0.0);
+    MF_CHECK_MSG(truth[i] > 0.0,
+                 std::string(metric) + ": truth values must be positive");
     err[i] = std::abs(pred[i] - truth[i]) / truth[i];
   }
   return err;
@@ -23,7 +39,8 @@ std::vector<double> relative_errors(const std::vector<double>& pred,
 
 double mean_relative_error(const std::vector<double>& pred,
                            const std::vector<double>& truth) {
-  const std::vector<double> err = relative_errors(pred, truth);
+  const std::vector<double> err =
+      relative_errors("mean_relative_error", pred, truth);
   double sum = 0.0;
   for (double e : err) sum += e;
   return sum / static_cast<double>(err.size());
@@ -31,7 +48,10 @@ double mean_relative_error(const std::vector<double>& pred,
 
 double median_relative_error(const std::vector<double>& pred,
                              const std::vector<double>& truth) {
-  std::vector<double> err = relative_errors(pred, truth);
+  std::vector<double> err =
+      relative_errors("median_relative_error", pred, truth);
+  // Even-sized inputs average the two middle order statistics (size 2 ->
+  // mean of both; size 1 -> the single element).
   const std::size_t mid = err.size() / 2;
   std::nth_element(err.begin(), err.begin() + static_cast<long>(mid),
                    err.end());
@@ -44,7 +64,7 @@ double median_relative_error(const std::vector<double>& pred,
 
 double mean_squared_error(const std::vector<double>& pred,
                           const std::vector<double>& truth) {
-  MF_CHECK(pred.size() == truth.size() && !pred.empty());
+  check_paired("mean_squared_error", pred, truth);
   double sum = 0.0;
   for (std::size_t i = 0; i < pred.size(); ++i) {
     const double d = pred[i] - truth[i];

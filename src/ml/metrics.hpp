@@ -7,6 +7,11 @@
 
 namespace mf {
 
+// Contract (uniform across all metrics): `pred` and `truth` must be the
+// same non-zero length or CheckError is thrown; the relative metrics also
+// require every truth value to be strictly positive (CFs are). An
+// even-sized median averages the two middle order statistics.
+
 /// mean(|pred - truth| / truth); truth must be positive (CFs are).
 double mean_relative_error(const std::vector<double>& pred,
                            const std::vector<double>& truth);

@@ -1,6 +1,7 @@
 #include "ml/rforest.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.hpp"
 
@@ -21,14 +22,20 @@ void RandomForest::fit(const std::vector<std::vector<double>>& x,
                        ? opts.mtry
                        : std::max(1, static_cast<int>(dim) / 3);
 
-  Rng rng(opts.seed);
   trees_.assign(static_cast<std::size_t>(opts.trees), DecisionTree{});
   importance_.assign(dim, 0.0);
 
-  std::vector<std::size_t> bootstrap(n);
-  for (DecisionTree& tree : trees_) {
+  // Each tree trains from its own Rng, seeded as a pure function of the
+  // forest seed and the tree index -- not from a shared generator -- so the
+  // loop parallelizes with bit-identical results at any jobs value.
+  parallel_for_each(opts.jobs, trees_.size(), [&](std::size_t t) {
+    Rng rng(task_seed(opts.seed, "tree:" + std::to_string(t)));
+    std::vector<std::size_t> bootstrap(n);
     for (std::size_t i = 0; i < n; ++i) bootstrap[i] = rng.index(n);
-    tree.fit(x, y, tree_opts, rng, &bootstrap);
+    trees_[t].fit(x, y, tree_opts, rng, &bootstrap);
+  });
+  // Importance merge is sequential in tree order (deterministic FP sums).
+  for (const DecisionTree& tree : trees_) {
     const std::vector<double>& imp = tree.feature_importance();
     for (std::size_t j = 0; j < dim; ++j) importance_[j] += imp[j];
   }

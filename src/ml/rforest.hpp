@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "ml/dtree.hpp"
 
 namespace mf {
@@ -16,6 +17,11 @@ struct RForestOptions {
   /// Per-split feature subset size; 0 = max(1, dim / 3) (regression default).
   int mtry = 0;
   std::uint64_t seed = 7;
+  /// Worker threads for tree training (1 = sequential, 0 = hardware
+  /// concurrency). Every tree draws from its own Rng seeded by
+  /// task_seed(seed, "tree:<index>"), so the fitted forest is bit-identical
+  /// at any jobs value.
+  int jobs = MF_JOBS_DEFAULT;
 };
 
 class RandomForest {

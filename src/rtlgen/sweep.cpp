@@ -53,6 +53,13 @@ Module realize(const GenSpec& spec) {
   return module;
 }
 
+std::vector<Module> realize_all(const std::vector<GenSpec>& specs, int jobs) {
+  std::vector<Module> modules(specs.size());
+  parallel_for_each(jobs, specs.size(),
+                    [&](std::size_t i) { modules[i] = realize(specs[i]); });
+  return modules;
+}
+
 std::vector<GenSpec> dataset_sweep(const SweepOptions& opts) {
   MF_CHECK(opts.target_modules > 0);
   std::vector<GenSpec> specs;

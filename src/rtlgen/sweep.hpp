@@ -10,6 +10,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "rtlgen/generators.hpp"
 
 namespace mf {
@@ -37,6 +38,15 @@ struct GenSpec {
 
 /// Instantiate the module described by `spec` (deterministic per spec).
 Module realize(const GenSpec& spec);
+
+/// Realize every spec, fanned out over `jobs` workers (1 = sequential,
+/// 0 = hardware concurrency). Each spec seeds its own Rng, so the returned
+/// modules are bit-identical to sequential realization in spec order. Note
+/// this holds every netlist in memory at once -- the labelling flows prefer
+/// realize-on-demand (flow/ground_truth.cpp); this is for callers that need
+/// the whole sweep materialized (statistics, export).
+std::vector<Module> realize_all(const std::vector<GenSpec>& specs,
+                                int jobs = MF_JOBS_DEFAULT);
 
 struct SweepOptions {
   int target_modules = 2000;  ///< total spec count (grid + random fill)

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -56,6 +57,13 @@ RwFlowOptions fast_opts() {
   opts.compute_timing = false;
   opts.stitch.moves_per_temp = 100;
   opts.stitch.cooling = 0.8;
+  // ctest re-runs this suite as `chaos_parallel_jobs` with MF_TEST_JOBS=8 so
+  // fault injection and the parallel engine are exercised together. Every
+  // expectation below is unconditional on the thread count -- determinism is
+  // the contract being tested.
+  if (const char* jobs = std::getenv("MF_TEST_JOBS")) {
+    opts.jobs = std::max(1, std::atoi(jobs));
+  }
   return opts;
 }
 

@@ -4,6 +4,7 @@
 #include <set>
 #include <string>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "ml/dataset.hpp"
 #include "ml/dtree.hpp"
@@ -217,6 +218,42 @@ TEST(Metrics, MedianEvenCount) {
   const std::vector<double> truth = {1.0, 1.0, 1.0, 1.0};
   const std::vector<double> pred = {1.1, 1.2, 1.3, 1.4};
   EXPECT_NEAR(median_relative_error(pred, truth), 0.25, 1e-12);
+}
+
+TEST(Metrics, MedianDegenerateSizes) {
+  // Size 1: the single element. Size 2: mean of both (the smallest even
+  // input exercises the two-order-statistics path with mid-1 == 0).
+  EXPECT_DOUBLE_EQ(median_relative_error({1.3}, {1.0}), 0.3);
+  EXPECT_NEAR(median_relative_error({1.1, 1.5}, {1.0, 1.0}), 0.3, 1e-12);
+}
+
+TEST(Metrics, UniformContractRejectsEmptyAndMismatchedInputs) {
+  // All three metrics share one guard set: empty input and size mismatch
+  // throw CheckError instead of dividing by zero / reading out of range.
+  const std::vector<double> empty;
+  const std::vector<double> one = {1.0};
+  const std::vector<double> two = {1.0, 2.0};
+  EXPECT_THROW(mean_relative_error(empty, empty), CheckError);
+  EXPECT_THROW(median_relative_error(empty, empty), CheckError);
+  EXPECT_THROW(mean_squared_error(empty, empty), CheckError);
+  EXPECT_THROW(mean_relative_error(one, two), CheckError);
+  EXPECT_THROW(median_relative_error(one, two), CheckError);
+  EXPECT_THROW(mean_squared_error(one, two), CheckError);
+}
+
+TEST(Metrics, RelativeMetricsRequirePositiveTruth) {
+  // CFs are strictly positive; a zero or negative truth value is corrupt
+  // input, not a case to silently produce inf/NaN for. MSE has no such
+  // restriction.
+  const std::vector<double> pred = {1.0, 2.0};
+  const std::vector<double> zero_truth = {1.0, 0.0};
+  const std::vector<double> neg_truth = {-1.0, 2.0};
+  EXPECT_THROW(mean_relative_error(pred, zero_truth), CheckError);
+  EXPECT_THROW(median_relative_error(pred, zero_truth), CheckError);
+  EXPECT_THROW(mean_relative_error(pred, neg_truth), CheckError);
+  EXPECT_THROW(median_relative_error(pred, neg_truth), CheckError);
+  EXPECT_DOUBLE_EQ(mean_squared_error(pred, zero_truth), (0.0 + 4.0) / 2.0);
+  EXPECT_DOUBLE_EQ(mean_squared_error(pred, neg_truth), (4.0 + 0.0) / 2.0);
 }
 
 TEST(Dataset, BalanceCapsPerBin) {

@@ -1,0 +1,340 @@
+// Tests for the deterministic parallel flow engine: the ThreadPool itself
+// (ordering independence, bounded queue, exception propagation, reuse) and
+// the A/B contract that every parallel region in the library -- per-block
+// flow, dataset labelling, module-cache runs, forest training -- produces
+// bit-identical results at jobs=1 and jobs=8.
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "fabric/catalog.hpp"
+#include "flow/ground_truth.hpp"
+#include "flow/rw_flow.hpp"
+#include "flow/tool_run.hpp"
+#include "ml/rforest.hpp"
+#include "nn/cnv_w1a1.hpp"
+#include "nn/finn_blocks.hpp"
+#include "rtlgen/generators.hpp"
+#include "rtlgen/sweep.hpp"
+
+namespace mf {
+namespace {
+
+// -- ThreadPool -------------------------------------------------------------
+
+TEST(ThreadPool, ResolveJobsConvention) {
+  EXPECT_EQ(resolve_jobs(1), 1);
+  EXPECT_EQ(resolve_jobs(5), 5);
+  EXPECT_GE(resolve_jobs(0), 1);   // auto: hardware concurrency
+  EXPECT_GE(resolve_jobs(-3), 1);  // negatives treated as auto
+}
+
+TEST(ThreadPool, ForEachFillsEverySlotExactlyOnce) {
+  ThreadPool pool(7);
+  const std::size_t n = 5000;
+  std::vector<std::atomic<int>> writes(n);
+  std::vector<std::size_t> slots(n, 0);
+  pool.for_each(n, [&](std::size_t i) {
+    slots[i] = i * 3 + 1;
+    writes[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(writes[i].load(), 1) << i;
+    EXPECT_EQ(slots[i], i * 3 + 1) << i;
+  }
+}
+
+TEST(ThreadPool, BoundedQueueStillCompletesEveryTask) {
+  // Queue capacity far below the task count: submit() must block (not drop
+  // or grow unbounded) and every task must still run.
+  ThreadPool pool(2, /*queue_capacity=*/4);
+  std::atomic<int> done{0};
+  for (int k = 0; k < 200; ++k) {
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPool, SubmitExceptionPropagatesToWait) {
+  ThreadPool pool(3);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The pool stays usable after a throwing wait().
+  std::atomic<int> done{0};
+  pool.submit([&done] { ++done; });
+  pool.wait();
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPool, ForEachRethrowsLowestFailingIndex) {
+  // Indices 5, 23 and 90 all fail; a sequential loop would have thrown at
+  // index 5, so for_each must surface exactly that exception.
+  ThreadPool pool(8);
+  try {
+    pool.for_each(100, [](std::size_t i) {
+      if (i == 5 || i == 23 || i == 90) {
+        throw std::runtime_error(std::to_string(i));
+      }
+    });
+    FAIL() << "for_each should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "5");
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossRegions) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<int> out(64, -1);
+    pool.for_each(out.size(), [&](std::size_t i) {
+      out[i] = round * 100 + static_cast<int>(i);
+    });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], round * 100 + static_cast<int>(i));
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForEachSequentialFallback) {
+  // jobs <= 1 and count <= 1 never touch a pool: plain loop on this thread.
+  std::vector<int> out(10, 0);
+  parallel_for_each(1, out.size(), [&](std::size_t i) {
+    out[i] = static_cast<int>(i);
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i));
+  }
+  int calls = 0;
+  parallel_for_each(8, 1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, TaskSeedIsPureAndKeySensitive) {
+  EXPECT_EQ(task_seed(42, "tree:3"), task_seed(42, "tree:3"));
+  EXPECT_NE(task_seed(42, "tree:3"), task_seed(42, "tree:4"));
+  EXPECT_NE(task_seed(42, "tree:3"), task_seed(43, "tree:3"));
+  // Two Rngs from the same task seed generate identical streams.
+  Rng a(task_seed(7, "block_a"));
+  Rng b(task_seed(7, "block_a"));
+  for (int k = 0; k < 100; ++k) EXPECT_EQ(a.index(1000), b.index(1000));
+}
+
+// -- Parallel flow A/B: bit-identical at any jobs value ---------------------
+
+/// Same synthetic design as test_fault_tolerance.cpp: 3 unique blocks.
+BlockDesign small_design() {
+  BlockDesign design;
+  Rng rng(1);
+  MixedParams a;
+  a.luts = 120;
+  a.ffs = 100;
+  design.unique_modules.push_back(gen_mixed(a, rng));
+  design.unique_modules.back().name = "block_a";
+  MixedParams bparams;
+  bparams.luts = 60;
+  bparams.ffs = 90;
+  bparams.carry_adders = 1;
+  design.unique_modules.push_back(gen_mixed(bparams, rng));
+  design.unique_modules.back().name = "block_b";
+  Rng rng2(2);
+  design.unique_modules.push_back(gen_mvau({32, 1, 16, 1}, rng2));
+  design.unique_modules.back().name = "block_c";
+  const int pattern[] = {0, 1, 2, 1, 0, 2, 1, 1};
+  for (int i = 0; i < 8; ++i) {
+    design.instances.push_back(
+        BlockInstance{"i" + std::to_string(i), pattern[i]});
+  }
+  for (int i = 0; i + 1 < 8; ++i) {
+    design.nets.push_back(BlockNet{{i, i + 1}, 1.0});
+  }
+  return design;
+}
+
+RwFlowOptions fast_opts(int jobs) {
+  RwFlowOptions opts;
+  opts.compute_timing = false;
+  opts.stitch.moves_per_temp = 100;
+  opts.stitch.cooling = 0.8;
+  opts.jobs = jobs;
+  return opts;
+}
+
+void expect_same_flow(const RwFlowResult& a, const RwFlowResult& b) {
+  EXPECT_EQ(a.total_tool_runs, b.total_tool_runs);
+  EXPECT_EQ(a.failed_blocks, b.failed_blocks);
+  EXPECT_EQ(a.degraded_blocks, b.degraded_blocks);
+  EXPECT_EQ(a.errors.size(), b.errors.size());
+  ASSERT_EQ(a.blocks.size(), b.blocks.size());
+  for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+    EXPECT_EQ(a.blocks[i].name, b.blocks[i].name);
+    EXPECT_EQ(a.blocks[i].status, b.blocks[i].status);
+    EXPECT_EQ(a.blocks[i].attempts, b.blocks[i].attempts);
+    EXPECT_DOUBLE_EQ(a.blocks[i].seed_cf, b.blocks[i].seed_cf);
+    EXPECT_DOUBLE_EQ(a.blocks[i].macro.cf, b.blocks[i].macro.cf);
+    EXPECT_EQ(a.blocks[i].macro.tool_runs, b.blocks[i].macro.tool_runs);
+    EXPECT_EQ(a.blocks[i].macro.used_slices, b.blocks[i].macro.used_slices);
+    EXPECT_TRUE(a.blocks[i].macro.pblock == b.blocks[i].macro.pblock);
+  }
+  EXPECT_EQ(a.problem.instances.size(), b.problem.instances.size());
+  EXPECT_EQ(a.stitch.unplaced, b.stitch.unplaced);
+  EXPECT_DOUBLE_EQ(a.stitch.cost, b.stitch.cost);
+  EXPECT_DOUBLE_EQ(a.stitch.wirelength, b.stitch.wirelength);
+}
+
+TEST(ParallelFlow, CnvFlowBitIdenticalJobs1VsJobs8) {
+  // The acceptance A/B on the paper's application design: the whole result
+  // -- every macro, the tool-run count, the stitch -- must not move when the
+  // per-block loop fans out over 8 workers.
+  const Device dev = xc7z020_model();
+  const CnvDesign design = build_cnv_w1a1();
+  CfPolicy policy;
+  policy.constant_cf = 1.5;
+  const RwFlowResult seq = run_rw_flow(design, dev, policy, fast_opts(1));
+  const RwFlowResult par = run_rw_flow(design, dev, policy, fast_opts(8));
+  expect_same_flow(seq, par);
+}
+
+TEST(ParallelFlow, ChaosFlowBitIdenticalJobs1VsJobs8) {
+  // Fault injection under parallelism: the injector draw is a pure function
+  // of (seed, block, ordinal) and the ToolRunner keeps per-block state, so
+  // even the chaos stats must agree exactly across thread counts.
+  const BlockDesign design = small_design();
+  const Device dev = xc7z020_model();
+  CfPolicy policy;
+  policy.constant_cf = 1.8;
+  ToolRunnerOptions ro;
+  ro.fault.enabled = true;
+  ro.fault.seed = 0xdead;
+  ro.fault.p_crash = 0.2;
+  ro.fault.p_timeout = 0.15;
+  ro.fault.p_spurious_infeasible = 0.15;
+  ro.retry.max_attempts_per_check = 4;
+  ro.retry.retry_budget_per_block = 8;
+
+  ToolRunner seq_runner(ro);
+  RwFlowOptions seq_opts = fast_opts(1);
+  seq_opts.search.runner = &seq_runner;
+  const RwFlowResult seq = run_rw_flow(design, dev, policy, seq_opts);
+
+  ToolRunner par_runner(ro);
+  RwFlowOptions par_opts = fast_opts(8);
+  par_opts.search.runner = &par_runner;
+  const RwFlowResult par = run_rw_flow(design, dev, policy, par_opts);
+
+  expect_same_flow(seq, par);
+  EXPECT_EQ(seq_runner.stats().invocations, par_runner.stats().invocations);
+  EXPECT_EQ(seq_runner.stats().completed, par_runner.stats().completed);
+  EXPECT_EQ(seq_runner.stats().crashes, par_runner.stats().crashes);
+  EXPECT_EQ(seq_runner.stats().timeouts, par_runner.stats().timeouts);
+  EXPECT_EQ(seq_runner.stats().spurious, par_runner.stats().spurious);
+  EXPECT_EQ(seq_runner.stats().retries, par_runner.stats().retries);
+  EXPECT_DOUBLE_EQ(seq_runner.stats().backoff_ms,
+                   par_runner.stats().backoff_ms);
+}
+
+TEST(ParallelFlow, ModuleCacheRunMatchesSequentialAndCountsDeterministically) {
+  const BlockDesign design = small_design();
+  const Device dev = xc7z020_model();
+  CfPolicy policy;
+  policy.constant_cf = 1.8;
+
+  ModuleCache seq_cache;
+  const RwFlowResult seq = seq_cache.run(design, dev, policy, fast_opts(1));
+  ModuleCache par_cache;
+  const RwFlowResult par = par_cache.run(design, dev, policy, fast_opts(8));
+
+  expect_same_flow(seq, par);
+  EXPECT_EQ(seq_cache.hits(), par_cache.hits());
+  EXPECT_EQ(seq_cache.misses(), par_cache.misses());
+  ASSERT_EQ(seq_cache.size(), par_cache.size());
+  auto pit = par_cache.entries().begin();
+  for (const auto& [name, block] : seq_cache.entries()) {
+    EXPECT_EQ(name, pit->first);
+    EXPECT_DOUBLE_EQ(block.macro.cf, pit->second.macro.cf);
+    EXPECT_EQ(block.macro.used_slices, pit->second.macro.used_slices);
+    ++pit;
+  }
+  // A warm parallel re-run is all hits: no tool runs at all.
+  const RwFlowResult warm = par_cache.run(design, dev, policy, fast_opts(8));
+  EXPECT_EQ(warm.total_tool_runs, 0);
+  EXPECT_EQ(par_cache.misses(), 3);
+  EXPECT_EQ(par_cache.hits(), 3);
+}
+
+TEST(ParallelFlow, DatasetSweepSliceBitIdenticalJobs1VsJobs8) {
+  // Ground-truth labelling (realize + min-CF search per spec) is the other
+  // acceptance A/B: sample order, every label, and the infeasible count must
+  // match the sequential sweep.
+  const Device dev = xc7z020_model();
+  const std::vector<GenSpec> specs = dataset_sweep({120, 42});
+  const GroundTruth seq = build_ground_truth(specs, dev, {}, /*jobs=*/1);
+  const GroundTruth par = build_ground_truth(specs, dev, {}, /*jobs=*/8);
+  EXPECT_EQ(seq.infeasible, par.infeasible);
+  ASSERT_EQ(seq.samples.size(), par.samples.size());
+  for (std::size_t i = 0; i < seq.samples.size(); ++i) {
+    EXPECT_EQ(seq.samples[i].name, par.samples[i].name);
+    EXPECT_DOUBLE_EQ(seq.samples[i].min_cf, par.samples[i].min_cf);
+    EXPECT_EQ(seq.samples[i].report.est_slices, par.samples[i].report.est_slices);
+    EXPECT_EQ(seq.samples[i].shape.bbox_w, par.samples[i].shape.bbox_w);
+    EXPECT_EQ(seq.samples[i].shape.bbox_h, par.samples[i].shape.bbox_h);
+  }
+}
+
+TEST(ParallelFlow, RealizeAllMatchesSequentialRealize) {
+  const std::vector<GenSpec> specs = dataset_sweep({60, 42});
+  const std::vector<Module> seq = realize_all(specs, /*jobs=*/1);
+  const std::vector<Module> par = realize_all(specs, /*jobs=*/8);
+  ASSERT_EQ(seq.size(), specs.size());
+  ASSERT_EQ(par.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(seq[i].name, par[i].name);
+    ASSERT_EQ(seq[i].netlist.num_cells(), par[i].netlist.num_cells());
+    EXPECT_EQ(seq[i].netlist.num_nets(), par[i].netlist.num_nets());
+    // Realization is seeded per spec, so the one-at-a-time API agrees too.
+    const Module one = realize(specs[i]);
+    EXPECT_EQ(one.name, par[i].name);
+    EXPECT_EQ(one.netlist.num_cells(), par[i].netlist.num_cells());
+  }
+}
+
+TEST(ParallelForest, FitBitIdenticalJobs1VsJobs4) {
+  Rng rng(3);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform(-2.0, 2.0);
+    const double b = rng.uniform(-2.0, 2.0);
+    x.push_back({a, b});
+    y.push_back((a > 0.3 ? 2.0 : -1.0) + 0.5 * b);
+  }
+  RForestOptions opts;
+  opts.trees = 40;
+  RandomForest seq;
+  opts.jobs = 1;
+  seq.fit(x, y, opts);
+  RandomForest par;
+  opts.jobs = 4;
+  par.fit(x, y, opts);
+
+  ASSERT_EQ(seq.tree_count(), par.tree_count());
+  for (const std::vector<double>& row : x) {
+    EXPECT_DOUBLE_EQ(seq.predict(row), par.predict(row));
+  }
+  const std::vector<double>& si = seq.feature_importance();
+  const std::vector<double>& pi = par.feature_importance();
+  ASSERT_EQ(si.size(), pi.size());
+  for (std::size_t i = 0; i < si.size(); ++i) {
+    EXPECT_DOUBLE_EQ(si[i], pi[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mf

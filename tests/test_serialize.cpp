@@ -4,8 +4,11 @@
 
 #include <cstdio>
 
+#include "common/rng.hpp"
 #include "fabric/catalog.hpp"
 #include "flow/ground_truth.hpp"
+#include "flow/rw_flow.hpp"
+#include "rtlgen/generators.hpp"
 
 namespace mf {
 namespace {
@@ -91,6 +94,72 @@ TEST(Serialize, RejectsTruncatedFile) {
 
   // The untampered text still parses -- the guards above are not vacuous.
   EXPECT_TRUE(ground_truth_from_text(text).has_value());
+}
+
+TEST(Serialize, CrlfCheckpointRoundTrips) {
+  // A checkpoint round-tripped through a CRLF-normalizing tool (Windows
+  // editor, some git configs) keeps a '\r' on every line that std::getline
+  // hands back. Before the fix, the header compare failed and the whole file
+  // was rejected; with the fix a CRLF file loads identically to LF.
+  const std::vector<LabeledModule> original = small_truth();
+  ASSERT_FALSE(original.empty());
+  std::string text = ground_truth_to_text(original);
+  std::string crlf;
+  crlf.reserve(text.size() + 64);
+  for (char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  const auto parsed = ground_truth_from_text(crlf);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].name, original[i].name);
+    EXPECT_DOUBLE_EQ((*parsed)[i].min_cf, original[i].min_cf);
+    EXPECT_EQ((*parsed)[i].report.stats.carry_chains,
+              original[i].report.stats.carry_chains);
+  }
+}
+
+TEST(Serialize, CrlfModuleCacheRoundTrips) {
+  // The module-cache entries carry a trailing per-line checksum, so a kept
+  // '\r' used to corrupt *every* entry (checksum over "payload\r") even when
+  // the header happened to match. CRLF must now load with zero corrupt rows.
+  const Device dev = xc7z020_model();
+  BlockDesign design;
+  Rng rng(5);
+  MixedParams p;
+  p.luts = 90;
+  p.ffs = 70;
+  design.unique_modules.push_back(gen_mixed(p, rng));
+  design.unique_modules.back().name = "crlf_block";
+  design.instances.push_back(BlockInstance{"i0", 0});
+  CfPolicy policy;
+  policy.constant_cf = 1.8;
+  RwFlowOptions opts;
+  opts.compute_timing = false;
+  opts.run_stitch = false;
+  ModuleCache cache;
+  ASSERT_EQ(cache.run(design, dev, policy, opts).failed_blocks, 0);
+
+  std::string text = module_cache_to_text(cache);
+  std::string crlf;
+  for (char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  ModuleCache reloaded;
+  const CacheLoadStats stats = module_cache_from_text(crlf, reloaded);
+  EXPECT_TRUE(stats.header_ok);
+  EXPECT_TRUE(stats.complete);
+  EXPECT_EQ(stats.loaded, 1);
+  EXPECT_EQ(stats.corrupted, 0);
+  const ImplementedBlock* restored = reloaded.find("crlf_block");
+  ASSERT_NE(restored, nullptr);
+  const ImplementedBlock* first = cache.find("crlf_block");
+  ASSERT_NE(first, nullptr);
+  EXPECT_DOUBLE_EQ(restored->macro.cf, first->macro.cf);
+  EXPECT_EQ(restored->macro.used_slices, first->macro.used_slices);
 }
 
 TEST(Serialize, FileRoundTrip) {

@@ -13,6 +13,7 @@
 //
 // Exit status: 0 on success, 1 on user error, 2 on flow failure.
 
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -40,10 +41,71 @@ int usage() {
       "  devices\n"
       "  sweep [N]\n"
       "  implement <module> [--cf X | --min] [--verilog FILE]\n"
-      "  estimate <module>\n"
-      "  cnv [--xdc FILE] [--dot FILE]\n",
+      "  estimate <module> [--jobs N]\n"
+      "  cnv [--xdc FILE] [--dot FILE] [--jobs N]\n"
+      "--jobs: worker threads (1 = sequential, 0 = all hardware threads);\n"
+      "results are bit-identical at any value.\n",
       stderr);
   return 1;
+}
+
+// -- checked numeric option parsing -----------------------------------------
+// std::atof/atoi silently turn a malformed value into 0 (and a flag given
+// last would read past argv); every numeric option instead goes through
+// std::from_chars with full-consumption, range, and missing-value checks,
+// and a bad option exits non-zero with a message naming the flag.
+
+std::optional<double> parse_double(const char* text) {
+  double value = 0.0;
+  const char* end = text + std::strlen(text);
+  const auto [ptr, ec] = std::from_chars(text, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<int> parse_int(const char* text) {
+  int value = 0;
+  const char* end = text + std::strlen(text);
+  const auto [ptr, ec] = std::from_chars(text, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+/// Value of option `flag` at argv[i + 1]; exits via the returned nullopt
+/// after printing a "missing value" message when the list ends at the flag.
+const char* option_value(int argc, char** argv, int& i, const char* flag) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "missing value for %s\n", flag);
+    return nullptr;
+  }
+  return argv[++i];
+}
+
+std::optional<double> parse_double_option(int argc, char** argv, int& i,
+                                          const char* flag, double min,
+                                          double max) {
+  const char* text = option_value(argc, argv, i, flag);
+  if (text == nullptr) return std::nullopt;
+  const std::optional<double> value = parse_double(text);
+  if (!value || !(*value >= min && *value <= max)) {
+    std::fprintf(stderr, "invalid value '%s' for %s (expected %g..%g)\n",
+                 text, flag, min, max);
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<int> parse_int_option(int argc, char** argv, int& i,
+                                    const char* flag, int min, int max) {
+  const char* text = option_value(argc, argv, i, flag);
+  if (text == nullptr) return std::nullopt;
+  const std::optional<int> value = parse_int(text);
+  if (!value || *value < min || *value > max) {
+    std::fprintf(stderr, "invalid value '%s' for %s (expected %d..%d)\n",
+                 text, flag, min, max);
+    return std::nullopt;
+  }
+  return value;
 }
 
 bool write_file(const std::string& path, const std::string& content) {
@@ -154,7 +216,7 @@ int cmd_implement(const std::string& name, std::optional<double> cf,
   return 0;
 }
 
-int cmd_estimate(const std::string& name) {
+int cmd_estimate(const std::string& name, int jobs) {
   const std::optional<Module> found = find_module(name);
   if (!found) {
     std::fprintf(stderr, "unknown module '%s'\n", name.c_str());
@@ -166,15 +228,17 @@ int cmd_estimate(const std::string& name) {
   const ShapeReport shape = quick_place(report);
   const Device dev = xc7z020_model();
 
-  std::printf("training a random-forest estimator (~15 s, cached nothing: "
-              "fully reproducible)...\n");
+  std::printf("training a random-forest estimator (~15 s at --jobs 1, "
+              "cached nothing: fully reproducible)...\n");
   Timer timer;
-  const GroundTruth truth = build_ground_truth(dataset_sweep({2000, 42}), dev);
+  const GroundTruth truth =
+      build_ground_truth(dataset_sweep({2000, 42}), dev, {}, jobs);
   Rng rng(7);
   const Dataset train = balance_by_target(
       make_dataset(FeatureSet::All, truth.samples), 0.02, 75, rng);
   CfEstimator::Options options;
   options.rforest.trees = 200;
+  options.rforest.jobs = jobs;
   CfEstimator rf(EstimatorKind::RandomForest, FeatureSet::All, options);
   rf.train(train);
 
@@ -192,7 +256,8 @@ int cmd_estimate(const std::string& name) {
   return 0;
 }
 
-int cmd_cnv(const std::string& xdc_path, const std::string& dot_path) {
+int cmd_cnv(const std::string& xdc_path, const std::string& dot_path,
+            int jobs) {
   const Device dev = xc7z020_model();
   const CnvDesign design = build_cnv_w1a1();
   if (!dot_path.empty()) {
@@ -201,6 +266,7 @@ int cmd_cnv(const std::string& xdc_path, const std::string& dot_path) {
   }
   RwFlowOptions opts;
   opts.compute_timing = false;
+  opts.jobs = jobs;
   CfPolicy policy;
   policy.mode = CfPolicy::Mode::MinSearch;
   Timer timer;
@@ -228,8 +294,19 @@ int main(int argc, char** argv) {
 
   if (command == "devices") return cmd_devices();
   if (command == "sweep") {
-    const int count = argc > 2 ? std::atoi(argv[2]) : 100;
-    return cmd_sweep(count > 0 ? count : 100);
+    if (argc > 3) return usage();
+    int count = 100;
+    if (argc == 3) {
+      const std::optional<int> parsed = parse_int(argv[2]);
+      if (!parsed || *parsed <= 0) {
+        std::fprintf(stderr,
+                     "invalid sweep size '%s' (expected a positive integer)\n",
+                     argv[2]);
+        return 1;
+      }
+      count = *parsed;
+    }
+    return cmd_sweep(count);
   }
   if (command == "implement") {
     if (argc < 3) return usage();
@@ -237,12 +314,15 @@ int main(int argc, char** argv) {
     bool min_search = false;
     std::string verilog;
     for (int i = 3; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--cf") == 0 && i + 1 < argc) {
-        cf = std::atof(argv[++i]);
+      if (std::strcmp(argv[i], "--cf") == 0) {
+        cf = parse_double_option(argc, argv, i, "--cf", 0.01, 100.0);
+        if (!cf) return 1;
       } else if (std::strcmp(argv[i], "--min") == 0) {
         min_search = true;
-      } else if (std::strcmp(argv[i], "--verilog") == 0 && i + 1 < argc) {
-        verilog = argv[++i];
+      } else if (std::strcmp(argv[i], "--verilog") == 0) {
+        const char* path = option_value(argc, argv, i, "--verilog");
+        if (path == nullptr) return 1;
+        verilog = path;
       } else {
         return usage();
       }
@@ -251,21 +331,42 @@ int main(int argc, char** argv) {
   }
   if (command == "estimate") {
     if (argc < 3) return usage();
-    return cmd_estimate(argv[2]);
-  }
-  if (command == "cnv") {
-    std::string xdc;
-    std::string dot;
-    for (int i = 2; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--xdc") == 0 && i + 1 < argc) {
-        xdc = argv[++i];
-      } else if (std::strcmp(argv[i], "--dot") == 0 && i + 1 < argc) {
-        dot = argv[++i];
+    int jobs = MF_JOBS_DEFAULT;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--jobs") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--jobs", 0, 1024);
+        if (!parsed) return 1;
+        jobs = *parsed;
       } else {
         return usage();
       }
     }
-    return cmd_cnv(xdc, dot);
+    return cmd_estimate(argv[2], jobs);
+  }
+  if (command == "cnv") {
+    std::string xdc;
+    std::string dot;
+    int jobs = MF_JOBS_DEFAULT;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--xdc") == 0) {
+        const char* path = option_value(argc, argv, i, "--xdc");
+        if (path == nullptr) return 1;
+        xdc = path;
+      } else if (std::strcmp(argv[i], "--dot") == 0) {
+        const char* path = option_value(argc, argv, i, "--dot");
+        if (path == nullptr) return 1;
+        dot = path;
+      } else if (std::strcmp(argv[i], "--jobs") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--jobs", 0, 1024);
+        if (!parsed) return 1;
+        jobs = *parsed;
+      } else {
+        return usage();
+      }
+    }
+    return cmd_cnv(xdc, dot, jobs);
   }
   return usage();
 }
