@@ -1,0 +1,191 @@
+// Stitcher engine bench: incremental-vs-reference A/B plus multi-start
+// scaling, on the fig5-scale cnvW1A1 stitch problem (constant CF 1.5).
+//
+// Two claims are measured and *checked*, not just timed:
+//   1. the incremental cost engine (cached net boxes, bitset occupancy,
+//      memoized anchor scans) returns bit-identical placements to the
+//      pre-change reference engine while moving >= 3x faster;
+//   2. multi-start annealing (restarts > 1) returns bit-identical results
+//      at every `jobs` value.
+// A violated invariant aborts the bench via MF_CHECK -- the ctest entry
+// (`--quick`) relies on that to turn this into a correctness gate.
+//
+// Results land in BENCH_STITCH.json (machine-readable: moves/sec, final
+// cost, wall ms per configuration) next to a human-readable table on
+// stdout. Plain main, not google-benchmark: the A/B structure (interleaved
+// best-of-N with cross-run equality asserts) does not fit the BM_ harness.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+#include "fabric/catalog.hpp"
+#include "flow/rw_flow.hpp"
+#include "nn/cnv_w1a1.hpp"
+
+namespace {
+
+using namespace mf;
+
+struct Sample {
+  std::string name;
+  long moves = 0;
+  double seconds = 0.0;
+  double cost = 0.0;
+  int unplaced = 0;
+  [[nodiscard]] double moves_per_sec() const {
+    return seconds > 0.0 ? moves / seconds : 0.0;
+  }
+};
+
+/// Same positions, cost, and counters -- the bit-identity contract.
+void check_identical(const StitchResult& a, const StitchResult& b) {
+  MF_CHECK(a.cost == b.cost);
+  MF_CHECK(a.wirelength == b.wirelength);
+  MF_CHECK(a.unplaced == b.unplaced);
+  MF_CHECK(a.total_moves == b.total_moves);
+  MF_CHECK(a.positions.size() == b.positions.size());
+  for (std::size_t i = 0; i < a.positions.size(); ++i) {
+    MF_CHECK(a.positions[i].col == b.positions[i].col);
+    MF_CHECK(a.positions[i].row == b.positions[i].row);
+  }
+}
+
+Sample run_once(const char* name, const Device& dev,
+                const StitchProblem& problem, const StitchOptions& opts,
+                StitchResult* out = nullptr) {
+  Timer t;
+  StitchResult r = stitch(dev, problem, opts);
+  Sample s;
+  s.name = name;
+  s.moves = r.restart_moves;
+  s.seconds = t.seconds();
+  s.cost = r.cost;
+  s.unplaced = r.unplaced;
+  if (out != nullptr) *out = std::move(r);
+  return s;
+}
+
+void append_json(std::string& json, const Sample& s, bool first) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%s\n  {\"name\": \"%s\", \"moves\": %ld, \"wall_ms\": %.3f, "
+                "\"moves_per_sec\": %.0f, \"cost\": %.6f, \"unplaced\": %d}",
+                first ? "" : ",", s.name.c_str(), s.moves, s.seconds * 1e3,
+                s.moves_per_sec(), s.cost, s.unplaced);
+  json += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  // Fig5-scale stitch problem: every cnvW1A1 block implemented at the
+  // paper's constant CF 1.5, stitch deferred to the measured runs below.
+  const Device dev = xc7z020_model();
+  const CnvDesign design = build_cnv_w1a1();
+  RwFlowOptions fopts;
+  fopts.compute_timing = false;
+  fopts.run_stitch = false;
+  fopts.jobs = 0;
+  CfPolicy policy;
+  policy.constant_cf = 1.5;
+  const RwFlowResult flow = run_rw_flow(design, dev, policy, fopts);
+  const StitchProblem& problem = flow.problem;
+  std::printf("stitch problem: %zu instances, %zu nets, %zu macros\n",
+              problem.instances.size(), problem.nets.size(),
+              problem.macros.size());
+
+  std::vector<Sample> samples;
+  std::string json;
+
+  // -- A/B: reference vs incremental engine, interleaved best-of-N --------
+  StitchOptions ref_opts;
+  ref_opts.reference_engine = true;
+  StitchOptions inc_opts;
+  const int reps = quick ? 1 : 3;
+  Sample ref, inc;
+  StitchResult ref_result, inc_result;
+  for (int rep = 0; rep < reps; ++rep) {
+    const Sample a = run_once("reference", dev, problem, ref_opts, &ref_result);
+    const Sample b = run_once("incremental", dev, problem, inc_opts,
+                              &inc_result);
+    check_identical(ref_result, inc_result);
+    if (rep == 0 || a.seconds < ref.seconds) ref = a;
+    if (rep == 0 || b.seconds < inc.seconds) inc = b;
+  }
+  samples.push_back(ref);
+  samples.push_back(inc);
+  const double speedup = inc.moves_per_sec() / ref.moves_per_sec();
+  std::printf("\n%-16s %10s %10s %12s %12s %9s\n", "engine", "moves",
+              "wall ms", "moves/sec", "cost", "unplaced");
+  for (const Sample& s : {ref, inc}) {
+    std::printf("%-16s %10ld %10.1f %12.0f %12.1f %9d\n", s.name.c_str(),
+                s.moves, s.seconds * 1e3, s.moves_per_sec(), s.cost,
+                s.unplaced);
+  }
+  std::printf("incremental speedup: %.2fx (acceptance target >= 3x)\n",
+              speedup);
+
+  // -- multi-start scaling: restarts fixed, jobs swept --------------------
+  const int restarts = quick ? 4 : 8;
+  const std::vector<int> jobs_sweep = quick ? std::vector<int>{1, 4}
+                                            : std::vector<int>{1, 2, 4, 8};
+  std::printf("\n%-16s %10s %10s %12s %12s %9s\n", "restarts x jobs", "moves",
+              "wall ms", "moves/sec", "cost", "unplaced");
+  StitchResult jobs1_result;
+  for (std::size_t i = 0; i < jobs_sweep.size(); ++i) {
+    StitchOptions opts;
+    opts.restarts = restarts;
+    opts.jobs = jobs_sweep[i];
+    const std::string name = std::to_string(restarts) + "x" +
+                             std::to_string(jobs_sweep[i]);
+    StitchResult result;
+    Sample s = run_once(("multistart_" + name).c_str(), dev, problem, opts,
+                        &result);
+    if (i == 0) {
+      jobs1_result = std::move(result);
+    } else {
+      // Determinism across the fan-out width: bit-identical winner.
+      check_identical(jobs1_result, result);
+      MF_CHECK(jobs1_result.restart_index == result.restart_index);
+    }
+    std::printf("%-16s %10ld %10.1f %12.0f %12.1f %9d\n", name.c_str(),
+                s.moves, s.seconds * 1e3, s.moves_per_sec(), s.cost,
+                s.unplaced);
+    samples.push_back(std::move(s));
+  }
+  std::printf("multi-start winner: restart %d of %d (cost %.1f)\n",
+              jobs1_result.restart_index, restarts, jobs1_result.cost);
+
+  json += "{\n \"problem\": {\"instances\": " +
+          std::to_string(problem.instances.size()) +
+          ", \"nets\": " + std::to_string(problem.nets.size()) +
+          ", \"macros\": " + std::to_string(problem.macros.size()) + "},\n";
+  char head[128];
+  std::snprintf(head, sizeof head, " \"incremental_speedup\": %.3f,\n \"runs\": [",
+                speedup);
+  json += head;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    append_json(json, samples[i], i == 0);
+  }
+  json += "\n ]\n}\n";
+  std::FILE* out = std::fopen("BENCH_STITCH.json", "w");
+  if (out != nullptr) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("\nwrote BENCH_STITCH.json\n");
+  } else {
+    std::fprintf(stderr, "could not write BENCH_STITCH.json\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+#pragma once
+// Order-statistics set over a fixed id universe [0, n).
+//
+// The SA stitcher picks "a uniformly random placed block" (and, for unpark
+// moves, a uniformly random *parked* block) millions of times per anneal.
+// The historical code rebuilt an ascending vector of candidate ids and
+// indexed into it -- O(n) per move. This set keeps the same selection
+// semantics (the k-th smallest member id) at O(log n) per insert / erase /
+// k-th query via a Fenwick tree of membership bits, so swapping it in
+// changes nothing about which id a given random k maps to.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mf {
+
+class IndexedIdSet {
+ public:
+  IndexedIdSet() = default;
+
+  explicit IndexedIdSet(std::size_t universe)
+      : present_(universe, 0), tree_(universe + 1, 0) {
+    top_bit_ = 1;
+    while (static_cast<std::size_t>(top_bit_) * 2 <= universe) top_bit_ *= 2;
+  }
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] bool contains(int id) const {
+    return present_[static_cast<std::size_t>(id)] != 0;
+  }
+
+  /// No-op when already present.
+  void insert(int id) {
+    auto& bit = present_[static_cast<std::size_t>(id)];
+    if (bit != 0) return;
+    bit = 1;
+    ++size_;
+    update(id + 1, +1);
+  }
+
+  /// No-op when absent.
+  void erase(int id) {
+    auto& bit = present_[static_cast<std::size_t>(id)];
+    if (bit == 0) return;
+    bit = 0;
+    --size_;
+    update(id + 1, -1);
+  }
+
+  void clear() {
+    std::fill(present_.begin(), present_.end(), std::uint8_t{0});
+    std::fill(tree_.begin(), tree_.end(), 0);
+    size_ = 0;
+  }
+
+  /// k-th smallest member id, 0-based. Requires 0 <= k < size().
+  [[nodiscard]] int kth(int k) const {
+    MF_CHECK(k >= 0 && k < size_);
+    int idx = 0;       // largest tree index with prefix-sum < k + 1
+    int remain = k + 1;
+    const int n = static_cast<int>(tree_.size()) - 1;
+    for (int bit = top_bit_; bit > 0; bit >>= 1) {
+      const int next = idx + bit;
+      if (next <= n && tree_[static_cast<std::size_t>(next)] < remain) {
+        idx = next;
+        remain -= tree_[static_cast<std::size_t>(idx)];
+      }
+    }
+    return idx;  // tree position idx+1 holds the k-th member: id == idx
+  }
+
+ private:
+  void update(int pos, int delta) {
+    const int n = static_cast<int>(tree_.size()) - 1;
+    for (; pos <= n; pos += pos & -pos) {
+      tree_[static_cast<std::size_t>(pos)] += delta;
+    }
+  }
+
+  std::vector<std::uint8_t> present_;
+  std::vector<int> tree_;  ///< Fenwick tree over membership bits, 1-based
+  int top_bit_ = 0;
+  int size_ = 0;
+};
+
+}  // namespace mf

@@ -52,7 +52,8 @@ struct RwFlowOptions {
   bool degrade_on_failure = true;
   double degrade_cf = 2.5;  ///< escalated CF for the fallback attempt
   /// Worker threads for the per-block implement loop (the blocks are
-  /// independent; the stitch stays sequential). 1 = sequential, 0 = auto
+  /// independent). The stitch parallelises separately via multi-start
+  /// annealing: set stitch.restarts / stitch.jobs. 1 = sequential, 0 = auto
   /// (hardware concurrency). Results are bit-identical at any value: blocks
   /// land in pre-sized slots, the ToolRunner keeps per-block state, and the
   /// fault-injection stream is a pure function of (seed, block, ordinal).

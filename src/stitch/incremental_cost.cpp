@@ -1,0 +1,194 @@
+#include "stitch/incremental_cost.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mf {
+
+IncrementalWirelength::IncrementalWirelength(const StitchProblem& problem)
+    : problem_(&problem),
+      boxes_(problem.nets.size()),
+      nets_of_(problem.instances.size()),
+      half_w_(problem.instances.size()),
+      half_h_(problem.instances.size()),
+      center_c_(problem.instances.size(), 0.0),
+      center_r_(problem.instances.size(), 0.0),
+      placed_(problem.instances.size(), 0) {
+  for (std::size_t i = 0; i < problem.instances.size(); ++i) {
+    const Macro& macro =
+        problem.macros[static_cast<std::size_t>(problem.instances[i].macro)];
+    half_w_[i] = macro.footprint.width() / 2.0;
+    half_h_[i] = macro.footprint.height / 2.0;
+  }
+  for (std::size_t n = 0; n < problem.nets.size(); ++n) {
+    for (int inst : problem.nets[n].instances) {
+      nets_of_[static_cast<std::size_t>(inst)].push_back(static_cast<int>(n));
+    }
+  }
+}
+
+void IncrementalWirelength::add_center(NetBox& box, double cc, double rr) {
+  if (box.placed == 0) {
+    box.cmin = box.cmax = cc;
+    box.rmin = box.rmax = rr;
+    box.at_cmin = box.at_cmax = 1;
+    box.at_rmin = box.at_rmax = 1;
+  } else {
+    if (cc < box.cmin) {
+      box.cmin = cc;
+      box.at_cmin = 1;
+    } else if (cc == box.cmin) {
+      ++box.at_cmin;
+    }
+    if (cc > box.cmax) {
+      box.cmax = cc;
+      box.at_cmax = 1;
+    } else if (cc == box.cmax) {
+      ++box.at_cmax;
+    }
+    if (rr < box.rmin) {
+      box.rmin = rr;
+      box.at_rmin = 1;
+    } else if (rr == box.rmin) {
+      ++box.at_rmin;
+    }
+    if (rr > box.rmax) {
+      box.rmax = rr;
+      box.at_rmax = 1;
+    } else if (rr == box.rmax) {
+      ++box.at_rmax;
+    }
+  }
+  ++box.placed;
+}
+
+bool IncrementalWirelength::remove_center(NetBox& box, double cc, double rr) {
+  if (box.placed == 1) {
+    box = NetBox{};
+    return true;
+  }
+  // A boundary whose only occupant leaves forces a rescan: the new extreme
+  // is held by some interior center the box does not remember.
+  if ((cc == box.cmin && box.at_cmin == 1) ||
+      (cc == box.cmax && box.at_cmax == 1) ||
+      (rr == box.rmin && box.at_rmin == 1) ||
+      (rr == box.rmax && box.at_rmax == 1)) {
+    return false;
+  }
+  if (cc == box.cmin) --box.at_cmin;
+  if (cc == box.cmax) --box.at_cmax;
+  if (rr == box.rmin) --box.at_rmin;
+  if (rr == box.rmax) --box.at_rmax;
+  --box.placed;
+  return true;
+}
+
+void IncrementalWirelength::rescan_net(int net) {
+  NetBox box;
+  const BlockNet& bn = problem_->nets[static_cast<std::size_t>(net)];
+  for (int inst : bn.instances) {
+    const auto i = static_cast<std::size_t>(inst);
+    if (placed_[i] == 0) continue;
+    add_center(box, center_c_[i], center_r_[i]);
+  }
+  boxes_[static_cast<std::size_t>(net)] = box;
+  ++rescans_;
+  refresh_cost(net);
+}
+
+void IncrementalWirelength::refresh_cost(int net) {
+  NetBox& box = boxes_[static_cast<std::size_t>(net)];
+  if (box.placed < 2) {
+    box.cost = 0.0;
+    return;
+  }
+  const BlockNet& bn = problem_->nets[static_cast<std::size_t>(net)];
+  box.cost = bn.weight * ((box.cmax - box.cmin) + (box.rmax - box.rmin));
+}
+
+void IncrementalWirelength::place(int instance, int col, int row) {
+  const auto i = static_cast<std::size_t>(instance);
+  const bool moving = placed_[i] != 0;
+  const double old_cc = center_c_[i];
+  const double old_rr = center_r_[i];
+  const double cc = col + half_w_[i];
+  const double rr = row + half_h_[i];
+  // Commit the authoritative position first so a rescan sees final state.
+  center_c_[i] = cc;
+  center_r_[i] = rr;
+  placed_[i] = 1;
+  for (int n : nets_of_[i]) {
+    NetBox& box = boxes_[static_cast<std::size_t>(n)];
+    if (moving && !remove_center(box, old_cc, old_rr)) {
+      rescan_net(n);  // rescan already includes the new center
+      continue;
+    }
+    add_center(box, cc, rr);
+    refresh_cost(n);
+  }
+}
+
+void IncrementalWirelength::unplace(int instance) {
+  const auto i = static_cast<std::size_t>(instance);
+  if (placed_[i] == 0) return;
+  placed_[i] = 0;
+  const double cc = center_c_[i];
+  const double rr = center_r_[i];
+  for (int n : nets_of_[i]) {
+    NetBox& box = boxes_[static_cast<std::size_t>(n)];
+    if (!remove_center(box, cc, rr)) {
+      rescan_net(n);
+      continue;
+    }
+    refresh_cost(n);
+  }
+}
+
+void IncrementalWirelength::clear() {
+  std::fill(placed_.begin(), placed_.end(), char{0});
+  std::fill(boxes_.begin(), boxes_.end(), NetBox{});
+}
+
+double IncrementalWirelength::instance_cost(int instance) const {
+  double total = 0.0;
+  for (int n : nets_of_[static_cast<std::size_t>(instance)]) {
+    total += boxes_[static_cast<std::size_t>(n)].cost;
+  }
+  return total;
+}
+
+double IncrementalWirelength::total() const {
+  double total = 0.0;
+  for (const NetBox& box : boxes_) total += box.cost;
+  return total;
+}
+
+double IncrementalWirelength::full_recompute() const {
+  double total = 0.0;
+  for (std::size_t n = 0; n < problem_->nets.size(); ++n) {
+    const BlockNet& bn = problem_->nets[n];
+    double c0 = 0.0, c1 = 0.0, r0 = 0.0, r1 = 0.0;
+    int count = 0;
+    for (int inst : bn.instances) {
+      const auto i = static_cast<std::size_t>(inst);
+      if (placed_[i] == 0) continue;
+      const double cc = center_c_[i];
+      const double rr = center_r_[i];
+      if (count == 0) {
+        c0 = c1 = cc;
+        r0 = r1 = rr;
+      } else {
+        c0 = std::min(c0, cc);
+        c1 = std::max(c1, cc);
+        r0 = std::min(r0, rr);
+        r1 = std::max(r1, rr);
+      }
+      ++count;
+    }
+    if (count >= 2) total += bn.weight * ((c1 - c0) + (r1 - r0));
+  }
+  return total;
+}
+
+}  // namespace mf

@@ -1,0 +1,104 @@
+#pragma once
+// Bitset occupancy grid for the SA stitcher.
+//
+// The stitcher only ever asks two questions of the device grid: "is this
+// w x h rectangle free?" and "mark / unmark this rectangle". The historical
+// representation (a vector<int> of occupant ids) answered both one cell at a
+// time. Since the annealer always lifts a block off the grid before probing
+// its own destination, occupant *identity* is never actually needed -- a
+// plain occupied/free bit per cell suffices, and a row of a footprint can be
+// tested with one or two 64-bit mask ANDs instead of w individual loads.
+//
+// Layout: row-major words, `words_per_row = ceil(cols / 64)`; bit c of row
+// r's word block is column c. A w-wide footprint spans at most
+// ceil(w / 64) + 1 words per row.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mf {
+
+class OccupancyGrid {
+ public:
+  OccupancyGrid() = default;
+
+  OccupancyGrid(int cols, int rows)
+      : cols_(cols),
+        rows_(rows),
+        words_per_row_((cols + 63) / 64),
+        words_(static_cast<std::size_t>(words_per_row_) *
+                   static_cast<std::size_t>(rows),
+               0) {
+    MF_CHECK(cols >= 0 && rows >= 0);
+  }
+
+  /// True when no cell of the w x h rectangle anchored at (col, row) is set.
+  [[nodiscard]] bool region_free(int col, int row, int w, int h) const {
+    const int w_lo = col >> 6;
+    const int w_hi = (col + w - 1) >> 6;
+    for (int wi = w_lo; wi <= w_hi; ++wi) {
+      const std::uint64_t mask = word_mask(wi, col, w);
+      const std::uint64_t* p = words_.data() +
+                               static_cast<std::size_t>(row) * words_per_row_ +
+                               wi;
+      for (int r = 0; r < h; ++r, p += words_per_row_) {
+        if ((*p & mask) != 0) return false;
+      }
+    }
+    return true;
+  }
+
+  void fill(int col, int row, int w, int h) { apply<true>(col, row, w, h); }
+  void clear(int col, int row, int w, int h) { apply<false>(col, row, w, h); }
+
+  /// Single-cell probe (tests / invariant checks only).
+  [[nodiscard]] bool occupied(int col, int row) const {
+    const std::uint64_t word =
+        words_[static_cast<std::size_t>(row) * words_per_row_ + (col >> 6)];
+    return (word >> (col & 63)) & 1;
+  }
+
+  void reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+
+ private:
+  /// Bits of word `wi` covered by columns [col, col + w).
+  [[nodiscard]] std::uint64_t word_mask(int wi, int col, int w) const {
+    const int base = wi << 6;
+    const int lo = col > base ? col - base : 0;
+    const int hi = (col + w - base) < 64 ? (col + w - base) : 64;
+    const std::uint64_t span = hi - lo == 64
+                                   ? ~std::uint64_t{0}
+                                   : ((std::uint64_t{1} << (hi - lo)) - 1);
+    return span << lo;
+  }
+
+  template <bool Set>
+  void apply(int col, int row, int w, int h) {
+    const int w_lo = col >> 6;
+    const int w_hi = (col + w - 1) >> 6;
+    for (int wi = w_lo; wi <= w_hi; ++wi) {
+      const std::uint64_t mask = word_mask(wi, col, w);
+      std::uint64_t* p = words_.data() +
+                         static_cast<std::size_t>(row) * words_per_row_ + wi;
+      for (int r = 0; r < h; ++r, p += words_per_row_) {
+        if constexpr (Set) {
+          *p |= mask;
+        } else {
+          *p &= ~mask;
+        }
+      }
+    }
+  }
+
+  int cols_ = 0;
+  int rows_ = 0;
+  int words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace mf

@@ -13,12 +13,24 @@
 // overlap. Looser CFs mean larger, more irregular footprints, fewer legal
 // anchors, more rejected moves -- which is exactly why the paper's estimator
 // speeds SA convergence 1.37x and cuts the final cost by 40%.
+//
+// The hot loop runs on an incremental cost engine (stitch/incremental_cost:
+// per-net bounding boxes with boundary multiplicities) and a bitset
+// occupancy grid (stitch/occupancy), with O(log n) random block selection
+// (common/indexed_set) -- all bit-identical in behaviour to the naive
+// reference engine, which `StitchOptions::reference_engine` keeps available
+// for differential tests and benches. `restarts` / `jobs` add deterministic
+// parallel multi-start annealing on top.
 
 #include <cstdint>
 #include <vector>
 
 #include "fabric/device.hpp"
 #include "stitch/macro.hpp"
+
+#ifndef MF_JOBS_DEFAULT
+#define MF_JOBS_DEFAULT 1
+#endif
 
 namespace mf {
 
@@ -43,6 +55,22 @@ struct StitchOptions {
   /// Same degradation semantics as max_moves, but non-deterministic -- meant
   /// for production service deadlines, not for reproducible experiments.
   double max_seconds = 0.0;
+  /// Independent annealing restarts (multi-start SA). 1 = one anneal seeded
+  /// with `seed` -- exactly the historical single-start behaviour, move for
+  /// move. K > 1 runs K independent anneals, restart k seeded with
+  /// task_seed(seed, "restart:<k>"); the lowest final cost wins, ties going
+  /// to the lowest k. Deterministic at any `jobs` value.
+  int restarts = 1;
+  /// Worker threads for the multi-start fan-out (1 = sequential, 0 = auto,
+  /// i.e. hardware concurrency). Results are bit-identical at any value --
+  /// each restart is an isolated annealer with its own derived seed.
+  int jobs = MF_JOBS_DEFAULT;
+  /// Run the pre-incremental reference cost engine: naive per-net bounding
+  /// box rescans, a per-cell occupant grid, and O(instances) candidate
+  /// scans per move. Kept for differential tests and the bench_stitch A/B;
+  /// results are bit-identical to the default incremental engine, only
+  /// slower.
+  bool reference_engine = false;
 };
 
 struct BlockPlacement {
@@ -66,8 +94,14 @@ struct StitchResult {
   /// True when a watchdog budget (max_moves / max_seconds) cut the anneal
   /// short; the result is the best placement seen up to that point.
   bool watchdog_fired = false;
-  double seconds = 0.0;
-  /// (move index, cost) samples for convergence plots.
+  double seconds = 0.0;  ///< wall clock of the whole stitch (all restarts)
+  /// Which restart produced this result (0 when restarts = 1).
+  int restart_index = 0;
+  /// SA moves summed over every restart (== total_moves when restarts = 1).
+  long restart_moves = 0;
+  /// (move index, cost) samples for convergence plots; one sample per
+  /// temperature step, downsampled by stride doubling to at most ~4096
+  /// entries so pathological schedules cannot grow the trace unbounded.
   std::vector<std::pair<long, double>> cost_trace;
   /// Fraction of device slices covered by placed macro rectangles.
   double coverage = 0.0;

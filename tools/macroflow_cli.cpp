@@ -43,8 +43,13 @@ int usage() {
       "  implement <module> [--cf X | --min] [--verilog FILE]\n"
       "  estimate <module> [--jobs N]\n"
       "  cnv [--xdc FILE] [--dot FILE] [--jobs N]\n"
+      "      [--stitch-restarts K] [--stitch-jobs N]\n"
       "--jobs: worker threads (1 = sequential, 0 = all hardware threads);\n"
-      "results are bit-identical at any value.\n",
+      "results are bit-identical at any value.\n"
+      "--stitch-restarts: independent SA stitch anneals, best result wins\n"
+      "(default 1 = the single-start anneal).\n"
+      "--stitch-jobs: worker threads for the stitch restarts (same 0/1\n"
+      "semantics and bit-identical guarantee as --jobs).\n",
       stderr);
   return 1;
 }
@@ -257,7 +262,7 @@ int cmd_estimate(const std::string& name, int jobs) {
 }
 
 int cmd_cnv(const std::string& xdc_path, const std::string& dot_path,
-            int jobs) {
+            int jobs, int stitch_restarts, int stitch_jobs) {
   const Device dev = xc7z020_model();
   const CnvDesign design = build_cnv_w1a1();
   if (!dot_path.empty()) {
@@ -267,6 +272,8 @@ int cmd_cnv(const std::string& xdc_path, const std::string& dot_path,
   RwFlowOptions opts;
   opts.compute_timing = false;
   opts.jobs = jobs;
+  opts.stitch.restarts = stitch_restarts;
+  opts.stitch.jobs = stitch_jobs;
   CfPolicy policy;
   policy.mode = CfPolicy::Mode::MinSearch;
   Timer timer;
@@ -348,6 +355,8 @@ int main(int argc, char** argv) {
     std::string xdc;
     std::string dot;
     int jobs = MF_JOBS_DEFAULT;
+    int stitch_restarts = 1;
+    int stitch_jobs = MF_JOBS_DEFAULT;
     for (int i = 2; i < argc; ++i) {
       if (std::strcmp(argv[i], "--xdc") == 0) {
         const char* path = option_value(argc, argv, i, "--xdc");
@@ -362,11 +371,21 @@ int main(int argc, char** argv) {
             parse_int_option(argc, argv, i, "--jobs", 0, 1024);
         if (!parsed) return 1;
         jobs = *parsed;
+      } else if (std::strcmp(argv[i], "--stitch-restarts") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--stitch-restarts", 1, 4096);
+        if (!parsed) return 1;
+        stitch_restarts = *parsed;
+      } else if (std::strcmp(argv[i], "--stitch-jobs") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--stitch-jobs", 0, 1024);
+        if (!parsed) return 1;
+        stitch_jobs = *parsed;
       } else {
         return usage();
       }
     }
-    return cmd_cnv(xdc, dot, jobs);
+    return cmd_cnv(xdc, dot, jobs, stitch_restarts, stitch_jobs);
   }
   return usage();
 }
