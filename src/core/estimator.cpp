@@ -1,6 +1,7 @@
 #include "core/estimator.hpp"
 
 #include "common/check.hpp"
+#include "ml/model_io.hpp"
 
 namespace mf {
 
@@ -29,6 +30,24 @@ const char* to_string(EstimatorKind kind) noexcept {
       return "GradientBoosting";
   }
   return "?";
+}
+
+std::optional<EstimatorKind> estimator_kind_from_string(
+    const std::string& text) {
+  const EstimatorKind kinds[] = {
+      EstimatorKind::LinearRegression, EstimatorKind::NeuralNetwork,
+      EstimatorKind::DecisionTree, EstimatorKind::RandomForest,
+      EstimatorKind::GradientBoosting,
+  };
+  for (EstimatorKind kind : kinds) {
+    if (text == to_string(kind)) return kind;
+  }
+  if (text == "linreg") return EstimatorKind::LinearRegression;
+  if (text == "mlp") return EstimatorKind::NeuralNetwork;
+  if (text == "dtree") return EstimatorKind::DecisionTree;
+  if (text == "rforest") return EstimatorKind::RandomForest;
+  if (text == "gboost") return EstimatorKind::GradientBoosting;
+  return std::nullopt;
 }
 
 CfEstimator::CfEstimator(EstimatorKind kind, FeatureSet features,
@@ -96,6 +115,117 @@ std::vector<double> CfEstimator::predict_rows(
 double CfEstimator::estimate(const ResourceReport& report,
                              const ShapeReport& shape) const {
   return predict_row(extract_features(features_, report, shape));
+}
+
+namespace {
+
+void save_options(ModelWriter& out, const CfEstimator::Options& o) {
+  out.i64(o.dtree.max_depth);
+  out.i64(o.dtree.min_samples_leaf);
+  out.i64(o.dtree.mtry);
+  out.i64(o.rforest.trees);
+  out.i64(o.rforest.max_depth);
+  out.i64(o.rforest.min_samples_leaf);
+  out.i64(o.rforest.mtry);
+  out.u64(o.rforest.seed);
+  out.i64(o.mlp.hidden);
+  out.i64(o.mlp.epochs);
+  out.i64(o.mlp.batch_size);
+  out.f64(o.mlp.learning_rate);
+  out.f64(o.mlp.adam_beta1);
+  out.f64(o.mlp.adam_beta2);
+  out.f64(o.mlp.adam_eps);
+  out.u64(o.mlp.seed);
+  out.i64(o.gboost.rounds);
+  out.i64(o.gboost.max_depth);
+  out.i64(o.gboost.min_samples_leaf);
+  out.f64(o.gboost.learning_rate);
+  out.f64(o.gboost.subsample);
+  out.u64(o.gboost.seed);
+  out.f64(o.linreg_ridge);
+  out.u64(o.seed);
+  out.endl();
+}
+
+CfEstimator::Options load_options(ModelReader& in) {
+  // jobs knobs are machine-local execution policy, not model state: they
+  // are not serialised and keep their compile-time default on load.
+  CfEstimator::Options o;
+  o.dtree.max_depth = static_cast<int>(in.i64_in(1, 1 << 20));
+  o.dtree.min_samples_leaf = static_cast<int>(in.i64_in(1, 1 << 20));
+  o.dtree.mtry = static_cast<int>(in.i64_in(0, 1 << 20));
+  o.rforest.trees = static_cast<int>(in.i64_in(1, 1 << 20));
+  o.rforest.max_depth = static_cast<int>(in.i64_in(1, 1 << 20));
+  o.rforest.min_samples_leaf = static_cast<int>(in.i64_in(1, 1 << 20));
+  o.rforest.mtry = static_cast<int>(in.i64_in(0, 1 << 20));
+  o.rforest.seed = in.u64();
+  o.mlp.hidden = static_cast<int>(in.i64_in(1, 1 << 20));
+  o.mlp.epochs = static_cast<int>(in.i64_in(1, 1 << 20));
+  o.mlp.batch_size = static_cast<int>(in.i64_in(1, 1 << 20));
+  o.mlp.learning_rate = in.f64();
+  o.mlp.adam_beta1 = in.f64();
+  o.mlp.adam_beta2 = in.f64();
+  o.mlp.adam_eps = in.f64();
+  o.mlp.seed = in.u64();
+  o.gboost.rounds = static_cast<int>(in.i64_in(1, 1 << 20));
+  o.gboost.max_depth = static_cast<int>(in.i64_in(1, 1 << 20));
+  o.gboost.min_samples_leaf = static_cast<int>(in.i64_in(1, 1 << 20));
+  o.gboost.learning_rate = in.f64();
+  o.gboost.subsample = in.f64();
+  o.gboost.seed = in.u64();
+  o.linreg_ridge = in.f64();
+  o.seed = in.u64();
+  return o;
+}
+
+}  // namespace
+
+void CfEstimator::save(ModelWriter& out) const {
+  MF_CHECK_MSG(trained_, "only trained estimators can be saved");
+  out.str(to_string(kind_));
+  out.str(to_string(features_));
+  out.endl();
+  save_options(out, options_);
+  std::visit([&](const auto& model) { model.save(out); }, model_);
+}
+
+std::optional<CfEstimator> CfEstimator::load(ModelReader& in) {
+  const std::optional<EstimatorKind> kind =
+      estimator_kind_from_string(in.str());
+  const std::string set_name = in.str();
+  std::optional<FeatureSet> features;
+  for (FeatureSet set :
+       {FeatureSet::Classical, FeatureSet::ClassicalStar,
+        FeatureSet::Additional, FeatureSet::All, FeatureSet::LinReg9}) {
+    if (set_name == to_string(set)) features = set;
+  }
+  if (!in.ok() || !kind || !features) {
+    in.fail();
+    return std::nullopt;
+  }
+  CfEstimator estimator(*kind, *features, load_options(in));
+  std::visit([&](auto& model) { model.load(in); }, estimator.model_);
+  if (!in.ok()) return std::nullopt;
+  // The fitted model must accept exactly this feature set's input width.
+  const std::size_t dim = feature_names(*features).size();
+  const bool dim_ok = std::visit(
+      [&](const auto& model) {
+        using M = std::decay_t<decltype(model)>;
+        if constexpr (std::is_same_v<M, LinearRegression>) {
+          return model.weights().size() == dim + 1;
+        } else if constexpr (std::is_same_v<M, Mlp>) {
+          return model.in_dim() == static_cast<int>(dim);
+        } else {
+          return model.feature_importance().size() == dim;
+        }
+      },
+      estimator.model_);
+  if (!dim_ok) {
+    in.fail();
+    return std::nullopt;
+  }
+  estimator.trained_ = true;
+  return estimator;
 }
 
 std::vector<double> CfEstimator::feature_importance() const {

@@ -6,6 +6,7 @@
 // operating on (ResourceReport, ShapeReport) pairs -- i.e. exactly the
 // artefacts the Figure 1 pipeline has in hand when it must size a PBlock.
 
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -42,6 +43,11 @@ enum class EstimatorKind : int {
 
 [[nodiscard]] const char* to_string(EstimatorKind kind) noexcept;
 
+/// Parse the to_string() spelling (or a CLI-friendly lowercase alias:
+/// linreg, mlp, dtree, rforest, gboost) back to a kind.
+std::optional<EstimatorKind> estimator_kind_from_string(
+    const std::string& text);
+
 class CfEstimator {
  public:
   struct Options {
@@ -69,6 +75,13 @@ class CfEstimator {
 
   /// Impurity feature importance; empty for non-tree models.
   [[nodiscard]] std::vector<double> feature_importance() const;
+
+  /// Bit-exact persistence of a *trained* estimator (kind, feature set,
+  /// training options, fitted model) via ml/model_io.hpp. load() returns
+  /// nullopt on any malformed token or inconsistent model state; callers
+  /// wanting checksummed, versioned files use serve/bundle.hpp on top.
+  void save(ModelWriter& out) const;
+  static std::optional<CfEstimator> load(ModelReader& in);
 
   [[nodiscard]] EstimatorKind kind() const noexcept { return kind_; }
   [[nodiscard]] FeatureSet features() const noexcept { return features_; }

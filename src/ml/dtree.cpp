@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/check.hpp"
+#include "ml/model_io.hpp"
 
 namespace mf {
 namespace {
@@ -153,6 +154,60 @@ int DecisionTree::build(const std::vector<std::vector<double>>& x,
   nodes_[static_cast<std::size_t>(node_id)].left = left;
   nodes_[static_cast<std::size_t>(node_id)].right = right;
   return node_id;
+}
+
+void DecisionTree::save(ModelWriter& out) const {
+  out.u64(nodes_.size());
+  out.i64(depth_);
+  out.endl();
+  for (const Node& node : nodes_) {
+    out.i64(node.feature);
+    out.f64(node.threshold);
+    out.i64(node.left);
+    out.i64(node.right);
+    out.f64(node.value);
+    out.endl();
+  }
+  out.vec(importance_);
+  out.endl();
+}
+
+void DecisionTree::load(ModelReader& in) {
+  const std::uint64_t count = in.u64();
+  depth_ = static_cast<int>(in.i64_in(0, 1 << 20));
+  if (!in.ok() || count > (1u << 26)) {
+    in.fail();
+    return;
+  }
+  nodes_.clear();
+  nodes_.reserve(static_cast<std::size_t>(count));
+  const auto last = static_cast<std::int64_t>(count) - 1;
+  for (std::uint64_t i = 0; i < count && in.ok(); ++i) {
+    Node node;
+    node.feature = static_cast<int>(in.i64_in(-1, 1 << 20));
+    node.threshold = in.f64();
+    // Children must point at later nodes (build() appends parents first),
+    // which also rules out traversal cycles in a tampered file.
+    const auto lo = static_cast<std::int64_t>(i) + 1;
+    if (node.feature >= 0) {
+      node.left = static_cast<int>(in.i64_in(lo, last));
+      node.right = static_cast<int>(in.i64_in(lo, last));
+    } else {
+      node.left = static_cast<int>(in.i64_in(-1, -1));
+      node.right = static_cast<int>(in.i64_in(-1, -1));
+    }
+    node.value = in.f64();
+    nodes_.push_back(node);
+  }
+  importance_ = in.vec();
+  if (!in.ok()) return;
+  for (const Node& node : nodes_) {
+    if (node.feature >= 0 &&
+        static_cast<std::size_t>(node.feature) >= importance_.size()) {
+      in.fail();
+      return;
+    }
+  }
 }
 
 double DecisionTree::predict(const std::vector<double>& row) const {

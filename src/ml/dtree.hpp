@@ -10,6 +10,9 @@
 
 namespace mf {
 
+class ModelReader;
+class ModelWriter;
+
 struct DTreeOptions {
   int max_depth = 20;
   int min_samples_leaf = 2;
@@ -40,6 +43,11 @@ class DecisionTree {
     return nodes_.size();
   }
   [[nodiscard]] int depth() const noexcept { return depth_; }
+
+  /// Bit-exact persistence (ml/model_io.hpp); load validates node indices
+  /// so a corrupt tree cannot send predict() out of bounds.
+  void save(ModelWriter& out) const;
+  void load(ModelReader& in);
 
  private:
   struct Node {

@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "common/check.hpp"
+#include "ml/model_io.hpp"
 
 namespace mf {
 
@@ -62,6 +63,40 @@ void GradientBoosting::fit(const std::vector<std::vector<double>>& x,
   for (double v : importance_) total += v;
   if (total > 0.0) {
     for (double& v : importance_) v /= total;
+  }
+}
+
+void GradientBoosting::save(ModelWriter& out) const {
+  out.f64(base_);
+  out.f64(learning_rate_);
+  out.u64(trees_.size());
+  out.endl();
+  for (const DecisionTree& tree : trees_) tree.save(out);
+  out.vec(importance_);
+  out.endl();
+}
+
+void GradientBoosting::load(ModelReader& in) {
+  base_ = in.f64();
+  learning_rate_ = in.f64();
+  const std::uint64_t count = in.u64();
+  if (!in.ok() || count == 0 || count > (1u << 20)) {
+    in.fail();
+    return;
+  }
+  trees_.assign(static_cast<std::size_t>(count), DecisionTree{});
+  for (DecisionTree& tree : trees_) {
+    tree.load(in);
+    if (!in.ok()) return;
+  }
+  importance_ = in.vec();
+  loss_history_.clear();
+  if (!in.ok()) return;
+  for (const DecisionTree& tree : trees_) {
+    if (tree.feature_importance().size() != importance_.size()) {
+      in.fail();
+      return;
+    }
   }
 }
 

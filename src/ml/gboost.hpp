@@ -38,6 +38,11 @@ class GradientBoosting {
     return importance_;
   }
 
+  /// Bit-exact persistence of the fitted ensemble (ml/model_io.hpp). The
+  /// per-round training loss is a fit-time diagnostic and is not persisted.
+  void save(ModelWriter& out) const;
+  void load(ModelReader& in);
+
   [[nodiscard]] std::size_t rounds() const noexcept { return trees_.size(); }
   /// Per-round training MSE (for overfitting diagnostics).
   [[nodiscard]] const std::vector<double>& training_loss() const noexcept {

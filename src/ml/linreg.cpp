@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "ml/model_io.hpp"
 
 namespace mf {
 namespace {
@@ -64,6 +65,21 @@ void LinearRegression::fit(const std::vector<std::vector<double>>& x,
     xtx[i * n + i] += ridge_;
   }
   weights_ = solve_spd(std::move(xtx), std::move(xty), n);
+}
+
+void LinearRegression::save(ModelWriter& out) const {
+  out.f64(ridge_);
+  out.endl();
+  scaler_.save(out);
+  out.vec(weights_);
+  out.endl();
+}
+
+void LinearRegression::load(ModelReader& in) {
+  ridge_ = in.f64();
+  scaler_.load(in);
+  weights_ = in.vec();
+  if (in.ok() && weights_.size() != scaler_.mean().size() + 1) in.fail();
 }
 
 double LinearRegression::predict(const std::vector<double>& row) const {

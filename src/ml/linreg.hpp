@@ -21,6 +21,10 @@ class LinearRegression {
   [[nodiscard]] std::vector<double> predict(
       const std::vector<std::vector<double>>& x) const;
 
+  /// Bit-exact persistence (ml/model_io.hpp).
+  void save(ModelWriter& out) const;
+  void load(ModelReader& in);
+
   /// Weights in standardised feature space (last entry is the intercept).
   [[nodiscard]] const std::vector<double>& weights() const noexcept {
     return weights_;

@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "ml/model_io.hpp"
 
 namespace mf {
 namespace {
@@ -123,6 +124,39 @@ void Mlp::fit(const std::vector<std::vector<double>>& x,
       b2_ = b2v[0];
     }
     loss_history_.push_back(epoch_loss / static_cast<double>(xs.size()));
+  }
+}
+
+void Mlp::save(ModelWriter& out) const {
+  out.i64(in_dim_);
+  out.i64(hidden_);
+  out.endl();
+  scaler_.save(out);
+  out.vec(w1_);
+  out.endl();
+  out.vec(b1_);
+  out.endl();
+  out.vec(w2_);
+  out.endl();
+  out.f64(b2_);
+  out.endl();
+}
+
+void Mlp::load(ModelReader& in) {
+  in_dim_ = static_cast<int>(in.i64_in(1, 1 << 20));
+  hidden_ = static_cast<int>(in.i64_in(1, 1 << 20));
+  scaler_.load(in);
+  w1_ = in.vec();
+  b1_ = in.vec();
+  w2_ = in.vec();
+  b2_ = in.f64();
+  loss_history_.clear();
+  if (!in.ok()) return;
+  const auto h = static_cast<std::size_t>(hidden_);
+  const auto d = static_cast<std::size_t>(in_dim_);
+  if (w1_.size() != h * d || b1_.size() != h || w2_.size() != h ||
+      scaler_.mean().size() != d) {
+    in.fail();
   }
 }
 

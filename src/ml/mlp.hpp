@@ -36,6 +36,13 @@ class Mlp {
     return loss_history_;
   }
 
+  /// Bit-exact persistence of the fitted network (ml/model_io.hpp). The
+  /// training-loss history is a fit-time diagnostic and is not persisted.
+  void save(ModelWriter& out) const;
+  void load(ModelReader& in);
+
+  [[nodiscard]] int in_dim() const noexcept { return in_dim_; }
+
  private:
   [[nodiscard]] double forward(const std::vector<double>& scaled,
                                std::vector<double>* hidden_out) const;

@@ -1,0 +1,163 @@
+#include "ml/model_io.hpp"
+
+#include <charconv>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace mf {
+namespace {
+
+constexpr std::size_t kMaxVec = 1u << 28;  // 256M doubles: corruption guard
+
+}  // namespace
+
+void ModelWriter::f64(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof value);
+  std::memcpy(&bits, &value, sizeof bits);
+  char buf[18];
+  buf[0] = 'x';
+  for (int i = 0; i < 16; ++i) {
+    buf[1 + i] = "0123456789abcdef"[(bits >> (60 - 4 * i)) & 0xF];
+  }
+  buf[17] = '\0';
+  if (line_open_) out_ << ' ';
+  out_ << buf;
+  line_open_ = true;
+}
+
+void ModelWriter::i64(std::int64_t value) {
+  if (line_open_) out_ << ' ';
+  out_ << value;
+  line_open_ = true;
+}
+
+void ModelWriter::u64(std::uint64_t value) {
+  if (line_open_) out_ << ' ';
+  out_ << value;
+  line_open_ = true;
+}
+
+void ModelWriter::str(const std::string& token) {
+  MF_CHECK_MSG(!token.empty() &&
+                   token.find_first_of(" \t\r\n") == std::string::npos,
+               "serialised string tokens must be whitespace-free");
+  if (line_open_) out_ << ' ';
+  out_ << token;
+  line_open_ = true;
+}
+
+void ModelWriter::vec(const std::vector<double>& values) {
+  u64(values.size());
+  for (double v : values) f64(v);
+}
+
+void ModelWriter::endl() {
+  out_ << '\n';
+  line_open_ = false;
+}
+
+bool ModelReader::next_token(std::string& token) {
+  if (!ok_) return false;
+  if (!(in_ >> token)) {
+    ok_ = false;
+    return false;
+  }
+  // std::getline-free input skips '\r' as whitespace already, but a token
+  // at end of a CRLF line picks the '\r' up via some stream buffers; strip.
+  while (!token.empty() && token.back() == '\r') token.pop_back();
+  if (token.empty()) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+double ModelReader::f64() {
+  std::string token;
+  if (!next_token(token)) return 0.0;
+  if (token.size() != 17 || token[0] != 'x') {
+    ok_ = false;
+    return 0.0;
+  }
+  std::uint64_t bits = 0;
+  for (std::size_t i = 1; i < token.size(); ++i) {
+    const char c = token[i];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      ok_ = false;
+      return 0.0;
+    }
+    bits = (bits << 4) | digit;
+  }
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
+std::int64_t ModelReader::i64() {
+  std::string token;
+  if (!next_token(token)) return 0;
+  std::int64_t value = 0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    ok_ = false;
+    return 0;
+  }
+  return value;
+}
+
+std::uint64_t ModelReader::u64() {
+  std::string token;
+  if (!next_token(token)) return 0;
+  std::uint64_t value = 0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    ok_ = false;
+    return 0;
+  }
+  return value;
+}
+
+std::string ModelReader::str() {
+  std::string token;
+  if (!next_token(token)) return {};
+  return token;
+}
+
+std::vector<double> ModelReader::vec() {
+  const std::uint64_t n = u64();
+  if (!ok_ || n > kMaxVec) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n && ok_; ++i) values.push_back(f64());
+  if (!ok_) return {};
+  return values;
+}
+
+std::int64_t ModelReader::i64_in(std::int64_t lo, std::int64_t hi) {
+  const std::int64_t value = i64();
+  if (!ok_) return lo;
+  if (value < lo || value > hi) {
+    ok_ = false;
+    return lo;
+  }
+  return value;
+}
+
+}  // namespace mf

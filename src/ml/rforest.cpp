@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/check.hpp"
+#include "ml/model_io.hpp"
 
 namespace mf {
 
@@ -43,6 +44,37 @@ void RandomForest::fit(const std::vector<std::vector<double>>& x,
   for (double v : importance_) total += v;
   if (total > 0.0) {
     for (double& v : importance_) v /= total;
+  }
+}
+
+void RandomForest::save(ModelWriter& out) const {
+  out.u64(trees_.size());
+  out.endl();
+  for (const DecisionTree& tree : trees_) tree.save(out);
+  out.vec(importance_);
+  out.endl();
+}
+
+void RandomForest::load(ModelReader& in) {
+  const std::uint64_t count = in.u64();
+  if (!in.ok() || count == 0 || count > (1u << 20)) {
+    in.fail();
+    return;
+  }
+  trees_.assign(static_cast<std::size_t>(count), DecisionTree{});
+  for (DecisionTree& tree : trees_) {
+    tree.load(in);
+    if (!in.ok()) return;
+  }
+  importance_ = in.vec();
+  if (!in.ok()) return;
+  // Every tree must have been fitted against the same feature width,
+  // otherwise predict() would index rows out of bounds.
+  for (const DecisionTree& tree : trees_) {
+    if (tree.feature_importance().size() != importance_.size()) {
+      in.fail();
+      return;
+    }
   }
 }
 

@@ -42,6 +42,10 @@ class RandomForest {
     return trees_.size();
   }
 
+  /// Bit-exact persistence (ml/model_io.hpp).
+  void save(ModelWriter& out) const;
+  void load(ModelReader& in);
+
  private:
   std::vector<DecisionTree> trees_;
   std::vector<double> importance_;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "ml/model_io.hpp"
 
 namespace mf {
 
@@ -26,6 +27,18 @@ void StandardScaler::fit(const std::vector<std::vector<double>>& x) {
     s = std::sqrt(s / static_cast<double>(x.size()));
     if (s < 1e-12) s = 1.0;  // constant feature: pass through centred
   }
+}
+
+void StandardScaler::save(ModelWriter& out) const {
+  out.vec(mean_);
+  out.vec(stddev_);
+  out.endl();
+}
+
+void StandardScaler::load(ModelReader& in) {
+  mean_ = in.vec();
+  stddev_ = in.vec();
+  if (mean_.size() != stddev_.size()) in.fail();
 }
 
 std::vector<double> StandardScaler::transform(

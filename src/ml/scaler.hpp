@@ -6,9 +6,17 @@
 
 namespace mf {
 
+class ModelReader;
+class ModelWriter;
+
 class StandardScaler {
  public:
   void fit(const std::vector<std::vector<double>>& x);
+
+  /// Bit-exact persistence (ml/model_io.hpp); load reports failure via the
+  /// reader's sticky ok() flag.
+  void save(ModelWriter& out) const;
+  void load(ModelReader& in);
 
   [[nodiscard]] std::vector<double> transform(
       const std::vector<double>& row) const;

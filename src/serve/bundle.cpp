@@ -1,0 +1,182 @@
+#include "serve/bundle.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "ml/model_io.hpp"
+
+namespace mf {
+namespace {
+
+constexpr const char* kMagic = "macroflow-model-bundle";
+constexpr const char* kFooterPrefix = "# payload ";
+
+std::string checksum_of(const std::string& payload) {
+  std::ostringstream out;
+  out << std::hex << std::setw(16) << std::setfill('0') << fnv1a64(payload);
+  return out.str();
+}
+
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+bool set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+std::string bundle_to_text(const ModelBundle& bundle) {
+  MF_CHECK_MSG(bundle.estimator.trained(),
+               "only trained estimators can be bundled");
+  MF_CHECK_MSG(!bundle.name.empty() &&
+                   bundle.name.find_first_of(" \t/\\\r\n") == std::string::npos,
+               "bundle names must be non-empty, whitespace- and slash-free");
+  MF_CHECK(bundle.version >= 1);
+
+  // Payload: identity + provenance + estimator token stream, as lines.
+  std::ostringstream payload_out;
+  ModelWriter writer(payload_out);
+  writer.str(bundle.name);
+  writer.i64(bundle.version);
+  writer.endl();
+  const BundleProvenance& p = bundle.provenance;
+  writer.u64(p.seed);
+  writer.u64(p.dataset_seed);
+  writer.i64(p.dataset_rows);
+  writer.i64(p.holdout_rows);
+  writer.f64(p.holdout_mean_rel_err);
+  writer.f64(p.holdout_median_rel_err);
+  writer.endl();
+  bundle.estimator.save(writer);
+  const std::string payload = payload_out.str();
+
+  // Count payload lines for the footer (payload always ends in '\n').
+  std::size_t lines = 0;
+  for (char c : payload) {
+    if (c == '\n') ++lines;
+  }
+
+  std::ostringstream out;
+  out << kMagic << " v" << kBundleFormatVersion << '\n';
+  out << "# name version | seed dataset_seed train_rows holdout_rows"
+         " mean_rel_err median_rel_err | estimator...\n";
+  out << payload;
+  out << kFooterPrefix << lines << " checksum " << checksum_of(payload)
+      << '\n';
+  return out.str();
+}
+
+std::optional<ModelBundle> bundle_from_text(const std::string& text,
+                                            std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) {
+    set_error(error, "empty file");
+    return std::nullopt;
+  }
+  strip_cr(line);
+  const std::string magic = std::string(kMagic) + " v";
+  if (line.rfind(magic, 0) != 0) {
+    set_error(error, "bad magic: not a model bundle");
+    return std::nullopt;
+  }
+  const std::string version_text = line.substr(magic.size());
+  if (version_text != std::to_string(kBundleFormatVersion)) {
+    set_error(error, "unsupported bundle format version v" + version_text);
+    return std::nullopt;
+  }
+
+  // Gather payload lines (everything except comments before the payload and
+  // the footer), normalising CRLF, and find the footer.
+  std::string payload;
+  std::size_t payload_lines = 0;
+  bool footer_seen = false;
+  std::size_t footer_lines = 0;
+  std::string footer_checksum;
+  while (std::getline(in, line)) {
+    strip_cr(line);
+    if (line.rfind(kFooterPrefix, 0) == 0) {
+      std::istringstream footer(
+          line.substr(std::string(kFooterPrefix).size()));
+      std::string keyword;
+      if (!(footer >> footer_lines >> keyword >> footer_checksum) ||
+          keyword != "checksum") {
+        set_error(error, "malformed footer");
+        return std::nullopt;
+      }
+      footer_seen = true;
+      continue;
+    }
+    if (footer_seen) {
+      set_error(error, "data after the footer");
+      return std::nullopt;
+    }
+    if (!line.empty() && line.front() == '#') continue;
+    payload += line;
+    payload += '\n';
+    ++payload_lines;
+  }
+  if (!footer_seen) {
+    set_error(error, "missing footer (truncated bundle)");
+    return std::nullopt;
+  }
+  if (footer_lines != payload_lines) {
+    set_error(error, "payload line count mismatch (truncated bundle)");
+    return std::nullopt;
+  }
+  if (checksum_of(payload) != footer_checksum) {
+    set_error(error, "payload checksum mismatch (corrupt bundle)");
+    return std::nullopt;
+  }
+
+  std::istringstream payload_in(payload);
+  ModelReader reader(payload_in);
+  ModelBundle bundle;
+  bundle.name = reader.str();
+  bundle.version = static_cast<int>(reader.i64_in(1, 1 << 20));
+  BundleProvenance& p = bundle.provenance;
+  p.seed = reader.u64();
+  p.dataset_seed = reader.u64();
+  p.dataset_rows = reader.i64_in(0, 1LL << 40);
+  p.holdout_rows = reader.i64_in(0, 1LL << 40);
+  p.holdout_mean_rel_err = reader.f64();
+  p.holdout_median_rel_err = reader.f64();
+  if (!reader.ok()) {
+    set_error(error, "malformed bundle identity/provenance");
+    return std::nullopt;
+  }
+  std::optional<CfEstimator> estimator = CfEstimator::load(reader);
+  if (!estimator) {
+    set_error(error, "malformed estimator payload");
+    return std::nullopt;
+  }
+  bundle.estimator = std::move(*estimator);
+  return bundle;
+}
+
+bool save_bundle(const std::string& path, const ModelBundle& bundle) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << bundle_to_text(bundle);
+  return static_cast<bool>(out);
+}
+
+std::optional<ModelBundle> load_bundle(const std::string& path,
+                                       std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return bundle_from_text(buffer.str(), error);
+}
+
+}  // namespace mf

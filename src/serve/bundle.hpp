@@ -1,0 +1,68 @@
+#pragma once
+// Versioned on-disk model bundles (DESIGN.md section 8).
+//
+// A bundle is one self-contained text file holding a trained CfEstimator
+// plus its training provenance -- everything the serving layer needs to
+// answer "which model is this, what was it trained on, and how good was
+// it?" without retraining. The file layout follows the checkpoint
+// conventions of flow/serialize.*:
+//
+//   macroflow-model-bundle v1          <- magic + format version
+//   # <human-readable column hints>
+//   <name> <bundle-version>            <- registry identity
+//   <provenance line>
+//   <estimator payload lines...>       <- core/estimator save() token stream
+//   # payload <N> checksum <16 hex>    <- footer over the payload lines
+//
+// The footer carries both the payload line count (truncation detection) and
+// an FNV-1a checksum of the CR-normalised payload (bit-flip detection), so
+// a damaged bundle is rejected wholesale -- never half-loaded -- with a
+// diagnostic naming what failed. CRLF round-trips are tolerated the same
+// way the PR-2 checkpoint readers tolerate them: every line is '\r'-stripped
+// before compares, counts, and checksums.
+
+#include <optional>
+#include <string>
+
+#include "core/estimator.hpp"
+
+namespace mf {
+
+/// Where a bundle's model came from: recorded at train time, surfaced by
+/// the CLI and the registry so a served prediction is attributable.
+struct BundleProvenance {
+  std::uint64_t seed = 0;        ///< estimator seed used for training
+  std::uint64_t dataset_seed = 0;///< sweep seed of the labelled dataset
+  std::int64_t dataset_rows = 0; ///< training rows after balancing/split
+  std::int64_t holdout_rows = 0; ///< evaluation rows (0: trained on all)
+  double holdout_mean_rel_err = 0.0;
+  double holdout_median_rel_err = 0.0;
+};
+
+struct ModelBundle {
+  /// Registry identity: whitespace-free name plus a version that counts up
+  /// per put(); resolve() serves the newest compatible version.
+  std::string name = "default";
+  int version = 1;
+  BundleProvenance provenance;
+  CfEstimator estimator{EstimatorKind::RandomForest, FeatureSet::All};
+};
+
+/// Current bundle format version (the `v1` of the magic line).
+inline constexpr int kBundleFormatVersion = 1;
+
+/// Serialise a bundle (estimator must be trained).
+std::string bundle_to_text(const ModelBundle& bundle);
+
+/// Parse a bundle; nullopt on any damage (bad magic, unknown version,
+/// truncation, checksum mismatch, malformed payload). When `error` is
+/// non-null it receives a one-line diagnostic naming the failure.
+std::optional<ModelBundle> bundle_from_text(const std::string& text,
+                                            std::string* error = nullptr);
+
+/// File helpers; load returns nullopt when the file is missing or damaged.
+bool save_bundle(const std::string& path, const ModelBundle& bundle);
+std::optional<ModelBundle> load_bundle(const std::string& path,
+                                       std::string* error = nullptr);
+
+}  // namespace mf

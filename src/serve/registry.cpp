@@ -1,0 +1,111 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <filesystem>
+#include <system_error>
+
+namespace mf {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kExtension = ".mfb";
+
+/// Parse `<name>-v<version>.mfb` back into (name, version).
+std::optional<RegistryEntry> parse_filename(const fs::path& path) {
+  if (path.extension() != kExtension) return std::nullopt;
+  const std::string stem = path.stem().string();
+  const std::size_t cut = stem.rfind("-v");
+  if (cut == std::string::npos || cut == 0) return std::nullopt;
+  const char* begin = stem.data() + cut + 2;
+  const char* end = stem.data() + stem.size();
+  int version = 0;
+  const auto [ptr, ec] = std::from_chars(begin, end, version);
+  if (ec != std::errc{} || ptr != end || version < 1) return std::nullopt;
+  RegistryEntry entry;
+  entry.name = stem.substr(0, cut);
+  entry.version = version;
+  entry.path = path.string();
+  return entry;
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);  // best effort; put() reports failures
+}
+
+std::vector<RegistryEntry> ModelRegistry::list() const {
+  std::vector<RegistryEntry> entries;
+  std::error_code ec;
+  for (const auto& item : fs::directory_iterator(dir_, ec)) {
+    if (!item.is_regular_file(ec)) continue;
+    if (auto entry = parse_filename(item.path())) {
+      entries.push_back(std::move(*entry));
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const RegistryEntry& a, const RegistryEntry& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.version > b.version;
+            });
+  return entries;
+}
+
+std::optional<RegistryEntry> ModelRegistry::put(ModelBundle bundle) {
+  int next_version = 1;
+  for (const RegistryEntry& entry : list()) {
+    if (entry.name == bundle.name) {
+      next_version = std::max(next_version, entry.version + 1);
+    }
+  }
+  bundle.version = next_version;
+  RegistryEntry entry;
+  entry.name = bundle.name;
+  entry.version = next_version;
+  entry.path = (fs::path(dir_) /
+                (bundle.name + "-v" + std::to_string(next_version) +
+                 kExtension))
+                   .string();
+  if (!save_bundle(entry.path, bundle)) return std::nullopt;
+  return entry;
+}
+
+std::optional<ModelBundle> ModelRegistry::resolve(
+    const std::string& name, std::optional<FeatureSet> features,
+    std::optional<EstimatorKind> kind, ResolveStats* stats) const {
+  ResolveStats local;
+  ResolveStats& s = stats != nullptr ? *stats : local;
+  s = ResolveStats{};
+  for (const RegistryEntry& entry : list()) {
+    if (entry.name != name) continue;
+    ++s.considered;
+    std::string error;
+    std::optional<ModelBundle> bundle = load_bundle(entry.path, &error);
+    if (!bundle) {
+      ++s.corrupt;
+      s.last_error = entry.path + ": " + error;
+      continue;
+    }
+    if ((features && bundle->estimator.features() != *features) ||
+        (kind && bundle->estimator.kind() != *kind)) {
+      ++s.incompatible;
+      continue;
+    }
+    return bundle;
+  }
+  return std::nullopt;
+}
+
+std::optional<ModelBundle> ModelRegistry::load(const std::string& name,
+                                               int version,
+                                               std::string* error) const {
+  const std::string path =
+      (fs::path(dir_) / (name + "-v" + std::to_string(version) + kExtension))
+          .string();
+  return load_bundle(path, error);
+}
+
+}  // namespace mf

@@ -1,0 +1,72 @@
+#pragma once
+// Directory-backed model registry (DESIGN.md section 8).
+//
+// One directory, one file per (name, version): `<name>-v<version>.mfb`.
+// put() assigns the next free version for a name; resolve() serves the
+// newest version that loads cleanly and matches the caller's compatibility
+// constraints (feature set and, optionally, estimator kind). Damaged
+// bundles are never served: a corrupt newest version is skipped -- and
+// counted -- so a registry with one good older bundle still resolves.
+//
+// The registry itself is stateless between calls (every operation re-scans
+// the directory), which makes concurrent writers from separate processes
+// safe in the usual POSIX rename-free sense: a half-written bundle fails
+// its checksum and is skipped by readers.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/bundle.hpp"
+
+namespace mf {
+
+/// One bundle file the registry knows about (not yet validated).
+struct RegistryEntry {
+  std::string name;
+  int version = 0;
+  std::string path;
+};
+
+/// Outcome bookkeeping for resolve(): which versions were tried and why
+/// they were passed over, for the CLI's "which path was taken" logging.
+struct ResolveStats {
+  int considered = 0;   ///< entries with the requested name
+  int corrupt = 0;      ///< skipped: failed to load/validate
+  int incompatible = 0; ///< skipped: loaded but wrong features/kind
+  std::string last_error;
+};
+
+class ModelRegistry {
+ public:
+  /// Opens (and creates, if missing) the registry directory.
+  explicit ModelRegistry(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// Store a bundle under the next free version of its name (the bundle's
+  /// own version field is overwritten). Returns the stored entry, or
+  /// nullopt when the directory is not writable.
+  std::optional<RegistryEntry> put(ModelBundle bundle);
+
+  /// Every bundle file in the directory, sorted by name then by version
+  /// descending (newest first).
+  [[nodiscard]] std::vector<RegistryEntry> list() const;
+
+  /// Newest bundle named `name` that loads cleanly and matches the
+  /// constraints. `features`/`kind` nullopt = no constraint.
+  std::optional<ModelBundle> resolve(
+      const std::string& name,
+      std::optional<FeatureSet> features = std::nullopt,
+      std::optional<EstimatorKind> kind = std::nullopt,
+      ResolveStats* stats = nullptr) const;
+
+  /// Load one exact (name, version); nullopt when missing or damaged.
+  std::optional<ModelBundle> load(const std::string& name, int version,
+                                  std::string* error = nullptr) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace mf

@@ -1,0 +1,135 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.hpp"
+
+namespace mf {
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+EstimatorService::EstimatorService(std::string registry_dir,
+                                   ServiceOptions options)
+    : registry_(std::move(registry_dir)), options_(options) {
+  MF_CHECK_MSG(options_.max_loaded_bundles >= 1,
+               "the bundle LRU needs capacity >= 1");
+  MF_CHECK_MSG(options_.batch_grain >= 1, "batch grain must be >= 1");
+}
+
+std::shared_ptr<const ModelBundle> EstimatorService::acquire(
+    const std::string& model) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(model);
+    if (it != index_.end()) {
+      // Refresh recency: splice the hit to the front of the LRU list.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.lru_hits;
+      return it->second->second;
+    }
+  }
+  // Resolve outside the lock: disk + parse is the slow path, and two
+  // threads racing on the same cold name both load a valid bundle (the
+  // second insert wins the cache slot; both predictions are correct).
+  ResolveStats resolve_stats;
+  std::optional<ModelBundle> bundle =
+      registry_.resolve(model, std::nullopt, std::nullopt, &resolve_stats);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!bundle) {
+    last_error_ = resolve_stats.considered == 0
+                      ? "no bundle named '" + model + "' in " +
+                            registry_.dir()
+                      : "all " + std::to_string(resolve_stats.considered) +
+                            " bundle(s) named '" + model +
+                            "' rejected: " + resolve_stats.last_error;
+    return nullptr;
+  }
+  ++stats_.bundle_loads;
+  auto shared = std::make_shared<const ModelBundle>(std::move(*bundle));
+  const auto it = index_.find(model);
+  if (it != index_.end()) {
+    // A racing loader beat us; serve the freshly parsed copy but keep the
+    // cache single-entry-per-name.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->second = shared;
+    return shared;
+  }
+  lru_.emplace_front(model, shared);
+  index_[model] = lru_.begin();
+  while (lru_.size() > options_.max_loaded_bundles) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return shared;
+}
+
+std::optional<double> EstimatorService::estimate(const std::string& model,
+                                                 const ResourceReport& report,
+                                                 const ShapeReport& shape) {
+  const std::uint64_t start = now_ns();
+  const std::shared_ptr<const ModelBundle> bundle = acquire(model);
+  if (bundle == nullptr) return std::nullopt;
+  const double value = bundle->estimator.estimate(report, shape);
+  record_latency(now_ns() - start, 1);
+  return value;
+}
+
+std::optional<std::vector<double>> EstimatorService::predict_rows(
+    const std::string& model,
+    const std::vector<std::vector<double>>& rows) {
+  const std::uint64_t start = now_ns();
+  const std::shared_ptr<const ModelBundle> bundle = acquire(model);
+  if (bundle == nullptr) return std::nullopt;
+
+  // Deterministic micro-batching: grain g covers the half-open slot range
+  // [g*grain, min((g+1)*grain, n)) of the pre-sized output. Prediction is
+  // pure and every slot is written by exactly one grain, so the result is
+  // bit-identical at any jobs value (and to the sequential loop).
+  std::vector<double> out(rows.size());
+  const std::size_t grain = options_.batch_grain;
+  const std::size_t grains = (rows.size() + grain - 1) / grain;
+  const CfEstimator& estimator = bundle->estimator;
+  parallel_for_each(options_.jobs, grains, [&](std::size_t g) {
+    const std::size_t lo = g * grain;
+    const std::size_t hi = std::min(rows.size(), lo + grain);
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[i] = estimator.predict_row(rows[i]);
+    }
+  });
+  record_latency(now_ns() - start, rows.size());
+  return out;
+}
+
+std::shared_ptr<const ModelBundle> EstimatorService::bundle(
+    const std::string& model) {
+  return acquire(model);
+}
+
+void EstimatorService::record_latency(std::uint64_t ns, std::uint64_t rows) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.requests;
+  stats_.rows += rows;
+  stats_.latency_ns += ns;
+}
+
+ServiceStats EstimatorService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::string EstimatorService::last_error() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_error_;
+}
+
+}  // namespace mf

@@ -1,0 +1,96 @@
+#pragma once
+// EstimatorService: load a model bundle once, answer estimate() calls from
+// any number of threads (DESIGN.md section 8).
+//
+// Serving rules:
+//   * Bundles are resolved through the ModelRegistry and cached in a small
+//     LRU keyed by model name; a served bundle is immutable and shared, so
+//     an eviction never invalidates an in-flight prediction (shared_ptr
+//     keeps it alive until the last request drops it).
+//   * Batched prediction is deterministic micro-batching over the PR-2
+//     ThreadPool: rows are split into fixed-size grains, each grain writes
+//     into a pre-sized slot range of the output vector, and prediction is
+//     pure, so results are bit-identical at any `jobs` value and identical
+//     to the sequential loop.
+//   * Counters (requests, rows, loads, LRU hits/misses/evictions, latency)
+//     are aggregated under the same mutex that guards the LRU, and are
+//     monotonically increasing totals -- cheap enough at estimator-service
+//     granularity (one lock per request, never per row).
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "serve/registry.hpp"
+
+namespace mf {
+
+struct ServiceOptions {
+  /// LRU capacity in loaded bundles (>= 1).
+  std::size_t max_loaded_bundles = 4;
+  /// Worker threads for batched prediction: 1 = sequential, 0 = hardware
+  /// concurrency. Bit-identical results at any value.
+  int jobs = MF_JOBS_DEFAULT;
+  /// Rows per micro-batch grain; small enough to load-balance, large
+  /// enough to amortise task dispatch.
+  std::size_t batch_grain = 256;
+};
+
+/// Monotonic service counters (totals since construction).
+struct ServiceStats {
+  std::uint64_t requests = 0;      ///< estimate() + predict_rows() calls
+  std::uint64_t rows = 0;          ///< total rows predicted
+  std::uint64_t bundle_loads = 0;  ///< registry resolutions (LRU misses)
+  std::uint64_t lru_hits = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t latency_ns = 0;    ///< summed wall time inside predict calls
+};
+
+class EstimatorService {
+ public:
+  EstimatorService(std::string registry_dir, ServiceOptions options = {});
+
+  /// Predict one module's CF with the named model. nullopt when no usable
+  /// bundle resolves; last_error() then explains why.
+  std::optional<double> estimate(const std::string& model,
+                                 const ResourceReport& report,
+                                 const ShapeReport& shape);
+
+  /// Batched prediction over pre-extracted feature rows. Row i of the
+  /// result corresponds to rows[i]; bit-identical at any jobs value.
+  std::optional<std::vector<double>> predict_rows(
+      const std::string& model,
+      const std::vector<std::vector<double>>& rows);
+
+  /// The bundle a name currently serves (loading it if needed) -- for
+  /// provenance display; shares the LRU with the predict paths.
+  std::shared_ptr<const ModelBundle> bundle(const std::string& model);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] std::string last_error() const;
+  [[nodiscard]] const ModelRegistry& registry() const noexcept {
+    return registry_;
+  }
+
+ private:
+  std::shared_ptr<const ModelBundle> acquire(const std::string& model);
+  void record_latency(std::uint64_t ns, std::uint64_t rows);
+
+  ModelRegistry registry_;
+  ServiceOptions options_;
+
+  mutable std::mutex mutex_;
+  /// LRU: most-recently-used at the front; list nodes own the cache keys.
+  std::list<std::pair<std::string, std::shared_ptr<const ModelBundle>>> lru_;
+  std::unordered_map<std::string, decltype(lru_)::iterator> index_;
+  ServiceStats stats_;
+  std::string last_error_;
+};
+
+}  // namespace mf

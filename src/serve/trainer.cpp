@@ -1,0 +1,54 @@
+#include "serve/trainer.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "flow/ground_truth.hpp"
+#include "ml/metrics.hpp"
+#include "rtlgen/sweep.hpp"
+
+namespace mf {
+
+ModelBundle train_bundle(const TrainSpec& spec, const Device& device) {
+  MF_CHECK(spec.dataset_count > 0);
+  MF_CHECK(spec.train_fraction > 0.0 && spec.train_fraction <= 1.0);
+
+  const GroundTruth truth = build_ground_truth(
+      dataset_sweep({spec.dataset_count, spec.dataset_seed}), device, {},
+      spec.jobs);
+  MF_CHECK_MSG(!truth.samples.empty(), "no feasible training samples");
+
+  Rng balance_rng(task_seed(spec.options.seed, "serve:balance"));
+  const Dataset balanced =
+      balance_by_target(make_dataset(spec.features, truth.samples),
+                        spec.bin_width, spec.bin_cap, balance_rng);
+
+  Dataset train = balanced;
+  Dataset holdout;
+  if (spec.train_fraction < 1.0) {
+    Rng split_rng(task_seed(spec.options.seed, "serve:split"));
+    std::tie(train, holdout) =
+        train_test_split(balanced, spec.train_fraction, split_rng);
+  }
+
+  CfEstimator::Options options = spec.options;
+  options.rforest.jobs = spec.jobs;
+  ModelBundle bundle;
+  bundle.name = spec.name;
+  bundle.estimator = CfEstimator(spec.kind, spec.features, options);
+  bundle.estimator.train(train);
+
+  BundleProvenance& p = bundle.provenance;
+  p.seed = spec.options.seed;
+  p.dataset_seed = spec.dataset_seed;
+  p.dataset_rows = static_cast<std::int64_t>(train.size());
+  p.holdout_rows = static_cast<std::int64_t>(holdout.size());
+  if (holdout.size() > 0) {
+    const std::vector<double> pred =
+        bundle.estimator.predict_rows(holdout.x);
+    p.holdout_mean_rel_err = mean_relative_error(pred, holdout.y);
+    p.holdout_median_rel_err = median_relative_error(pred, holdout.y);
+  }
+  return bundle;
+}
+
+}  // namespace mf

@@ -1,0 +1,36 @@
+#pragma once
+// Train-to-bundle recipe shared by the CLI (`train`, the `estimate`
+// fallback) and bench_serve: build the labelled ground truth, balance it
+// (Section VII), hold out a split for honest metrics, train, and wrap the
+// result in a provenance-carrying ModelBundle ready for the registry.
+
+#include <string>
+
+#include "fabric/device.hpp"
+#include "serve/bundle.hpp"
+
+namespace mf {
+
+struct TrainSpec {
+  std::string name = "default";
+  EstimatorKind kind = EstimatorKind::RandomForest;
+  FeatureSet features = FeatureSet::All;
+  /// Synthetic-dataset sweep size + seed (dataset_sweep spec).
+  int dataset_count = 2000;
+  std::uint64_t dataset_seed = 42;
+  /// Section VII balancing: cap per 0.02-wide CF bin.
+  double bin_width = 0.02;
+  int bin_cap = 75;
+  /// Fraction trained on; the rest is the holdout used for the bundle's
+  /// recorded metrics. 1.0 = train on everything, no holdout metrics.
+  double train_fraction = 0.8;
+  CfEstimator::Options options;
+  /// Worker threads for labelling + forest training (0 = auto).
+  int jobs = MF_JOBS_DEFAULT;
+};
+
+/// Run the full recipe. The spec's options.seed also reseeds the balancing
+/// and split RNGs, so two trainings with the same spec are bit-identical.
+ModelBundle train_bundle(const TrainSpec& spec, const Device& device);
+
+}  // namespace mf

@@ -1,0 +1,435 @@
+// Serving subsystem tests: bundle round-trips (bitwise prediction
+// equality for every estimator family), corruption rejection, registry
+// versioning/resolution, and EstimatorService determinism + thread safety.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "place/quick_placer.hpp"
+#include "rtlgen/generators.hpp"
+#include "serve/bundle.hpp"
+#include "serve/registry.hpp"
+#include "serve/service.hpp"
+#include "synth/optimize.hpp"
+#include "synth/report.hpp"
+
+namespace mf {
+namespace {
+
+namespace fs = std::filesystem;
+
+// -- fixtures ---------------------------------------------------------------
+// Serialisation correctness is independent of how the training data was
+// labelled, so the suite trains on a synthetic regression set with the
+// right feature width instead of paying for a ground-truth build.
+
+Dataset synthetic_dataset(FeatureSet set, std::size_t n, std::uint64_t seed) {
+  Dataset data;
+  data.feature_names = feature_names(set);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(data.feature_names.size());
+    double target = 0.4;
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      // Mix raw-count and ratio scales like real features do.
+      row[j] = j % 2 == 0 ? rng.uniform(0.0, 4000.0) : rng.uniform(0.0, 1.0);
+      target += row[j] * (j % 3 == 0 ? 2.5e-4 : 0.05);
+    }
+    target += rng.uniform(0.0, 0.2);
+    data.add(std::move(row), target, "s" + std::to_string(i));
+  }
+  return data;
+}
+
+std::vector<std::vector<double>> synthetic_rows(FeatureSet set,
+                                                std::size_t n,
+                                                std::uint64_t seed) {
+  return synthetic_dataset(set, n, seed).x;
+}
+
+/// Small-but-nontrivial training options so the full suite stays fast.
+CfEstimator::Options fast_options() {
+  CfEstimator::Options options;
+  options.dtree.max_depth = 8;
+  options.rforest.trees = 25;
+  options.rforest.max_depth = 8;
+  options.mlp.hidden = 8;
+  options.mlp.epochs = 30;
+  options.gboost.rounds = 30;
+  return options;
+}
+
+ModelBundle make_bundle(EstimatorKind kind, const std::string& name = "m") {
+  ModelBundle bundle;
+  bundle.name = name;
+  bundle.provenance.seed = 3;
+  bundle.provenance.dataset_seed = 42;
+  bundle.provenance.dataset_rows = 300;
+  bundle.provenance.holdout_rows = 60;
+  bundle.provenance.holdout_mean_rel_err = 0.081;
+  bundle.provenance.holdout_median_rel_err = 0.052;
+  bundle.estimator = CfEstimator(kind, FeatureSet::Classical, fast_options());
+  bundle.estimator.train(synthetic_dataset(FeatureSet::Classical, 300, 7));
+  return bundle;
+}
+
+const std::vector<EstimatorKind> kAllKinds = {
+    EstimatorKind::LinearRegression, EstimatorKind::NeuralNetwork,
+    EstimatorKind::DecisionTree, EstimatorKind::RandomForest,
+    EstimatorKind::GradientBoosting,
+};
+
+/// Scratch directory wiped per test.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_((fs::temp_directory_path() / ("mf_serve_" + tag)).string()) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// -- estimator round trip ---------------------------------------------------
+
+TEST(ServeBundle, RoundTripIsBitwiseForEveryKind) {
+  const auto rows = synthetic_rows(FeatureSet::Classical, 1000, 99);
+  for (EstimatorKind kind : kAllKinds) {
+    SCOPED_TRACE(to_string(kind));
+    const ModelBundle original = make_bundle(kind);
+    const std::string text = bundle_to_text(original);
+    std::string error;
+    const std::optional<ModelBundle> loaded = bundle_from_text(text, &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+
+    EXPECT_EQ(loaded->name, original.name);
+    EXPECT_EQ(loaded->estimator.kind(), kind);
+    EXPECT_EQ(loaded->estimator.features(), FeatureSet::Classical);
+    EXPECT_TRUE(loaded->estimator.trained());
+    EXPECT_EQ(loaded->provenance.seed, original.provenance.seed);
+    EXPECT_EQ(loaded->provenance.dataset_rows,
+              original.provenance.dataset_rows);
+    EXPECT_EQ(loaded->provenance.holdout_mean_rel_err,
+              original.provenance.holdout_mean_rel_err);
+
+    const std::vector<double> expected = original.estimator.predict_rows(rows);
+    const std::vector<double> actual = loaded->estimator.predict_rows(rows);
+    ASSERT_EQ(expected.size(), actual.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      // Bitwise, not approximate: the serving contract.
+      ASSERT_EQ(expected[i], actual[i]) << "row " << i;
+    }
+    EXPECT_EQ(loaded->estimator.feature_importance(),
+              original.estimator.feature_importance());
+  }
+}
+
+TEST(ServeBundle, SecondSerialisationIsIdentical) {
+  const ModelBundle original = make_bundle(EstimatorKind::GradientBoosting);
+  const std::string text = bundle_to_text(original);
+  const std::optional<ModelBundle> loaded = bundle_from_text(text);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(bundle_to_text(*loaded), text);
+}
+
+TEST(ServeBundle, RefusesUntrainedEstimators) {
+  ModelBundle bundle;  // default estimator: never trained
+  EXPECT_THROW(bundle_to_text(bundle), CheckError);
+}
+
+// -- corruption -------------------------------------------------------------
+
+TEST(ServeBundle, RejectsBadMagic) {
+  std::string error;
+  EXPECT_FALSE(bundle_from_text("", &error).has_value());
+  EXPECT_FALSE(bundle_from_text("macroflow-module-cache v1\n", &error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(ServeBundle, RejectsWrongFormatVersion) {
+  std::string text = bundle_to_text(make_bundle(EstimatorKind::DecisionTree));
+  const std::string magic = "macroflow-model-bundle v1";
+  ASSERT_EQ(text.rfind(magic, 0), 0u);
+  text.replace(magic.size() - 1, 1, "9");
+  std::string error;
+  EXPECT_FALSE(bundle_from_text(text, &error).has_value());
+  EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+TEST(ServeBundle, RejectsTruncation) {
+  const std::string text =
+      bundle_to_text(make_bundle(EstimatorKind::DecisionTree));
+  std::string error;
+  // Cut anywhere: missing footer, or footer line-count mismatch.
+  EXPECT_FALSE(bundle_from_text(text.substr(0, text.size() / 2), &error));
+  const std::size_t footer = text.rfind("# payload ");
+  ASSERT_NE(footer, std::string::npos);
+  EXPECT_FALSE(bundle_from_text(text.substr(0, footer), &error).has_value());
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+  // A payload line dropped while the footer survives: count mismatch.
+  const std::size_t line = text.find('\n', text.find('\n') + 1);
+  std::string dropped = text.substr(0, line + 1);
+  dropped += text.substr(text.find('\n', line + 1) + 1);
+  EXPECT_FALSE(bundle_from_text(dropped).has_value());
+  // Data after the footer is equally corrupt.
+  EXPECT_FALSE(bundle_from_text(text + "stray\n").has_value());
+}
+
+TEST(ServeBundle, RejectsFlippedChecksumByte) {
+  const std::string text =
+      bundle_to_text(make_bundle(EstimatorKind::RandomForest));
+  // Flip one payload byte (inside some x<hex> token past the header lines).
+  const std::size_t pos = text.find("x");
+  ASSERT_NE(pos, std::string::npos);
+  std::string flipped = text;
+  flipped[pos + 3] = flipped[pos + 3] == '0' ? '1' : '0';
+  std::string error;
+  EXPECT_FALSE(bundle_from_text(flipped, &error).has_value());
+  EXPECT_NE(error.find("checksum"), std::string::npos);
+
+  // Flip a byte of the recorded checksum itself.
+  const std::size_t footer = text.rfind("checksum ");
+  std::string bad_footer = text;
+  char& digit = bad_footer[footer + std::strlen("checksum ")];
+  digit = digit == '0' ? '1' : '0';
+  EXPECT_FALSE(bundle_from_text(bad_footer, &error).has_value());
+}
+
+TEST(ServeBundle, CrlfRoundTrips) {
+  const ModelBundle original = make_bundle(EstimatorKind::NeuralNetwork);
+  const std::string text = bundle_to_text(original);
+  std::string crlf;
+  crlf.reserve(text.size() + 256);
+  for (char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  std::string error;
+  const std::optional<ModelBundle> loaded = bundle_from_text(crlf, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  const auto rows = synthetic_rows(FeatureSet::Classical, 100, 5);
+  EXPECT_EQ(loaded->estimator.predict_rows(rows),
+            original.estimator.predict_rows(rows));
+}
+
+// -- registry ---------------------------------------------------------------
+
+TEST(ServeRegistry, VersionsCountUpAndNewestWins) {
+  TempDir dir("registry_versions");
+  ModelRegistry registry(dir.path());
+  EXPECT_TRUE(registry.list().empty());
+
+  const auto e1 = registry.put(make_bundle(EstimatorKind::DecisionTree));
+  ASSERT_TRUE(e1.has_value());
+  EXPECT_EQ(e1->version, 1);
+  const auto e2 = registry.put(make_bundle(EstimatorKind::RandomForest));
+  ASSERT_TRUE(e2.has_value());
+  EXPECT_EQ(e2->version, 2);
+
+  const auto entries = registry.list();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries.front().version, 2);  // newest first
+
+  const auto resolved = registry.resolve("m");
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(resolved->version, 2);
+  EXPECT_EQ(resolved->estimator.kind(), EstimatorKind::RandomForest);
+
+  const auto exact = registry.load("m", 1);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->estimator.kind(), EstimatorKind::DecisionTree);
+}
+
+TEST(ServeRegistry, CorruptNewestFallsBackToOlderGoodBundle) {
+  TempDir dir("registry_corrupt");
+  ModelRegistry registry(dir.path());
+  ASSERT_TRUE(registry.put(make_bundle(EstimatorKind::DecisionTree)));
+  const auto e2 = registry.put(make_bundle(EstimatorKind::RandomForest));
+  ASSERT_TRUE(e2.has_value());
+
+  // Chop the newest file in half on disk.
+  std::ifstream in(e2->path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  const std::string text = buffer.str();
+  std::ofstream out(e2->path, std::ios::trunc);
+  out << text.substr(0, text.size() / 3);
+  out.close();
+
+  ResolveStats stats;
+  const auto resolved =
+      registry.resolve("m", std::nullopt, std::nullopt, &stats);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(resolved->version, 1);
+  EXPECT_EQ(resolved->estimator.kind(), EstimatorKind::DecisionTree);
+  EXPECT_EQ(stats.corrupt, 1);
+  EXPECT_NE(stats.last_error.find(e2->path), std::string::npos);
+}
+
+TEST(ServeRegistry, CompatibilityConstraintsFilter) {
+  TempDir dir("registry_compat");
+  ModelRegistry registry(dir.path());
+  ASSERT_TRUE(registry.put(make_bundle(EstimatorKind::DecisionTree)));
+
+  ResolveStats stats;
+  EXPECT_FALSE(registry
+                   .resolve("m", std::nullopt, EstimatorKind::RandomForest,
+                            &stats)
+                   .has_value());
+  EXPECT_EQ(stats.incompatible, 1);
+  EXPECT_FALSE(
+      registry.resolve("m", FeatureSet::All, std::nullopt, &stats));
+  EXPECT_TRUE(registry
+                  .resolve("m", FeatureSet::Classical,
+                           EstimatorKind::DecisionTree, &stats)
+                  .has_value());
+  EXPECT_FALSE(registry.resolve("absent", std::nullopt, std::nullopt, &stats));
+  EXPECT_EQ(stats.considered, 0);
+}
+
+// -- service ----------------------------------------------------------------
+
+TEST(EstimatorService, BatchedPredictionIsBitIdenticalAtAnyJobs) {
+  TempDir dir("service_jobs");
+  {
+    ModelRegistry registry(dir.path());
+    ASSERT_TRUE(registry.put(make_bundle(EstimatorKind::RandomForest)));
+  }
+  const auto rows = synthetic_rows(FeatureSet::Classical, 1000, 123);
+
+  ServiceOptions seq;
+  seq.jobs = 1;
+  seq.batch_grain = 64;
+  EstimatorService sequential(dir.path(), seq);
+  const auto base = sequential.predict_rows("m", rows);
+  ASSERT_TRUE(base.has_value());
+
+  // Unbatched reference: one estimate() per row through the same bundle.
+  const auto bundle = sequential.bundle("m");
+  ASSERT_NE(bundle, nullptr);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    ASSERT_EQ((*base)[i], bundle->estimator.predict_row(rows[i]));
+  }
+
+  for (int jobs : {2, 8}) {
+    ServiceOptions par;
+    par.jobs = jobs;
+    par.batch_grain = 17;  // ragged last grain on purpose
+    EstimatorService parallel(dir.path(), par);
+    const auto out = parallel.predict_rows("m", rows);
+    ASSERT_TRUE(out.has_value());
+    ASSERT_EQ(out->size(), base->size());
+    for (std::size_t i = 0; i < base->size(); ++i) {
+      ASSERT_EQ((*out)[i], (*base)[i]) << "jobs " << jobs << " row " << i;
+    }
+  }
+}
+
+TEST(EstimatorService, ServesRealModulesEndToEnd) {
+  TempDir dir("service_module");
+  {
+    ModelRegistry registry(dir.path());
+    ASSERT_TRUE(registry.put(make_bundle(EstimatorKind::GradientBoosting)));
+  }
+  Rng rng(17);
+  MixedParams params;
+  params.luts = 120;
+  params.ffs = 90;
+  Module module = gen_mixed(params, rng);
+  optimize(module.netlist);
+  const ResourceReport report = make_report(module.netlist);
+  const ShapeReport shape = quick_place(report);
+
+  EstimatorService service(dir.path());
+  const auto cf = service.estimate("m", report, shape);
+  ASSERT_TRUE(cf.has_value());
+  const auto bundle = service.bundle("m");
+  ASSERT_NE(bundle, nullptr);
+  EXPECT_EQ(*cf, bundle->estimator.estimate(report, shape));
+
+  EXPECT_FALSE(service.estimate("no-such-model", report, shape).has_value());
+  EXPECT_NE(service.last_error().find("no-such-model"), std::string::npos);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.bundle_loads, 1u);  // loaded once, then LRU-served
+  EXPECT_GE(stats.lru_hits, 1u);
+  EXPECT_GE(stats.requests, 1u);
+}
+
+TEST(EstimatorService, LruEvictsLeastRecentlyUsed) {
+  TempDir dir("service_lru");
+  {
+    ModelRegistry registry(dir.path());
+    ASSERT_TRUE(registry.put(make_bundle(EstimatorKind::DecisionTree, "a")));
+    ASSERT_TRUE(registry.put(make_bundle(EstimatorKind::DecisionTree, "b")));
+  }
+  ServiceOptions options;
+  options.max_loaded_bundles = 1;
+  EstimatorService service(dir.path(), options);
+  const auto rows = synthetic_rows(FeatureSet::Classical, 10, 1);
+
+  ASSERT_TRUE(service.predict_rows("a", rows).has_value());
+  ASSERT_TRUE(service.predict_rows("b", rows).has_value());  // evicts a
+  ASSERT_TRUE(service.predict_rows("a", rows).has_value());  // reloads a
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.bundle_loads, 3u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.rows, 30u);
+}
+
+TEST(EstimatorService, ConcurrentRequestsAreSafeAndConsistent) {
+  TempDir dir("service_threads");
+  {
+    ModelRegistry registry(dir.path());
+    ASSERT_TRUE(registry.put(make_bundle(EstimatorKind::RandomForest, "a")));
+    ASSERT_TRUE(registry.put(make_bundle(EstimatorKind::DecisionTree, "b")));
+  }
+  const auto rows = synthetic_rows(FeatureSet::Classical, 200, 55);
+
+  ServiceOptions options;
+  options.max_loaded_bundles = 1;  // force eviction races on purpose
+  options.jobs = 2;
+  EstimatorService service(dir.path(), options);
+  const auto expect_a = service.predict_rows("a", rows);
+  const auto expect_b = service.predict_rows("b", rows);
+  ASSERT_TRUE(expect_a.has_value() && expect_b.has_value());
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string model = t % 2 == 0 ? "a" : "b";
+      const auto& expected = t % 2 == 0 ? *expect_a : *expect_b;
+      for (int round = 0; round < 5; ++round) {
+        const auto out = service.predict_rows(model, rows);
+        if (!out.has_value() || *out != expected) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 42u);  // 2 warmups + 8 threads x 5 rounds
+  EXPECT_EQ(stats.rows, 42u * 200u);
+}
+
+}  // namespace
+}  // namespace mf

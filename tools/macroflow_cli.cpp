@@ -6,8 +6,12 @@
 //   implement <module> [--cf X | --min] [--verilog out.v]
 //                              -- implement one dataset module (by sweep
 //                                 name) or a cnvW1A1 block (by block name)
-//   estimate <module>          -- train a quick RF estimator and predict the
-//                                 module's CF
+//   estimate <module>          -- predict the module's CF with a registry
+//                                 bundle (training + saving one on a miss)
+//   train                      -- train a CF estimator and store it as a
+//                                 model bundle (file or registry)
+//   predict <module>           -- answer from a stored bundle, never
+//                                 retraining
 //   cnv [--xdc out.xdc] [--dot out.dot]
 //                              -- run the cnvW1A1 flow and export artefacts
 //
@@ -15,11 +19,13 @@
 
 #include <charconv>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
 
+#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "core/cf_search.hpp"
@@ -29,6 +35,9 @@
 #include "flow/rw_flow.hpp"
 #include "netlist/writer.hpp"
 #include "nn/cnv_w1a1.hpp"
+#include "serve/registry.hpp"
+#include "serve/service.hpp"
+#include "serve/trainer.hpp"
 #include "synth/optimize.hpp"
 
 namespace {
@@ -41,11 +50,19 @@ int usage() {
       "  devices\n"
       "  sweep [N]\n"
       "  implement <module> [--cf X | --min] [--verilog FILE]\n"
-      "  estimate <module> [--jobs N]\n"
-      "  cnv [--xdc FILE] [--dot FILE] [--jobs N]\n"
+      "  estimate <module> [--jobs N] [--seed S] [--registry DIR]\n"
+      "  train [--kind linreg|mlp|dtree|rforest|gboost] [--name NAME]\n"
+      "        [--count N] [--trees N] [--seed S] [--jobs N]\n"
+      "        [--out FILE | --registry DIR]\n"
+      "  predict <module> (--model FILE | --name NAME [--registry DIR])\n"
+      "  cnv [--xdc FILE] [--dot FILE] [--jobs N] [--model FILE-or-NAME]\n"
       "      [--stitch-restarts K] [--stitch-jobs N]\n"
       "--jobs: worker threads (1 = sequential, 0 = all hardware threads);\n"
       "results are bit-identical at any value.\n"
+      "--seed: estimator training seed (default 3).\n"
+      "--registry: model-bundle directory (default $MACROFLOW_MODEL_DIR or\n"
+      "./macroflow-models). `estimate` serves a matching bundle from it and\n"
+      "only trains (then saves) on a miss; `predict` never trains.\n"
       "--stitch-restarts: independent SA stitch anneals, best result wins\n"
       "(default 1 = the single-start anneal).\n"
       "--stitch-jobs: worker threads for the stitch restarts (same 0/1\n"
@@ -221,7 +238,42 @@ int cmd_implement(const std::string& name, std::optional<double> cf,
   return 0;
 }
 
-int cmd_estimate(const std::string& name, int jobs) {
+/// Registry directory: --registry beats $MACROFLOW_MODEL_DIR beats ./.
+std::string default_registry_dir(const std::string& flag_value) {
+  if (!flag_value.empty()) return flag_value;
+  const char* env = std::getenv("MACROFLOW_MODEL_DIR");
+  if (env != nullptr && env[0] != '\0') return env;
+  return "macroflow-models";
+}
+
+/// Apply the checked --seed flag to every family's training stream. The
+/// sub-seeds are derived (not copied) so different families trained from
+/// the same flag value still draw independent streams.
+void apply_seed(CfEstimator::Options& options, std::uint64_t seed) {
+  options.seed = seed;
+  options.rforest.seed = task_seed(seed, "cli:rforest");
+  options.mlp.seed = task_seed(seed, "cli:mlp");
+  options.gboost.seed = task_seed(seed, "cli:gboost");
+}
+
+void print_bundle_info(const ModelBundle& bundle) {
+  const BundleProvenance& p = bundle.provenance;
+  std::printf("bundle '%s' v%d: %s on %s, seed %llu, %lld train rows",
+              bundle.name.c_str(), bundle.version,
+              to_string(bundle.estimator.kind()),
+              to_string(bundle.estimator.features()),
+              static_cast<unsigned long long>(p.seed),
+              static_cast<long long>(p.dataset_rows));
+  if (p.holdout_rows > 0) {
+    std::printf(", holdout mean rel. err %.1f%% (median %.1f%%)",
+                100.0 * p.holdout_mean_rel_err,
+                100.0 * p.holdout_median_rel_err);
+  }
+  std::printf("\n");
+}
+
+int cmd_estimate(const std::string& name, int jobs, std::uint64_t seed,
+                 const std::string& registry_dir) {
   const std::optional<Module> found = find_module(name);
   if (!found) {
     std::fprintf(stderr, "unknown module '%s'\n", name.c_str());
@@ -233,22 +285,47 @@ int cmd_estimate(const std::string& name, int jobs) {
   const ShapeReport shape = quick_place(report);
   const Device dev = xc7z020_model();
 
-  std::printf("training a random-forest estimator (~15 s at --jobs 1, "
-              "cached nothing: fully reproducible)...\n");
+  // Registry first: retraining the estimator for every invocation is the
+  // exact cost the serving layer exists to remove. The bundle name encodes
+  // the training seed so --seed never serves a mismatched model.
+  const std::string model_name = "cli-rforest-s" + std::to_string(seed);
+  ModelRegistry registry(default_registry_dir(registry_dir));
+  ResolveStats resolve_stats;
+  std::optional<ModelBundle> bundle =
+      registry.resolve(model_name, FeatureSet::All,
+                       EstimatorKind::RandomForest, &resolve_stats);
   Timer timer;
-  const GroundTruth truth =
-      build_ground_truth(dataset_sweep({2000, 42}), dev, {}, jobs);
-  Rng rng(7);
-  const Dataset train = balance_by_target(
-      make_dataset(FeatureSet::All, truth.samples), 0.02, 75, rng);
-  CfEstimator::Options options;
-  options.rforest.trees = 200;
-  options.rforest.jobs = jobs;
-  CfEstimator rf(EstimatorKind::RandomForest, FeatureSet::All, options);
-  rf.train(train);
+  if (bundle) {
+    std::printf("estimator source: registry %s (no retraining)\n",
+                registry.dir().c_str());
+  } else {
+    if (resolve_stats.corrupt > 0) {
+      std::fprintf(stderr, "warning: %d corrupt bundle(s) skipped: %s\n",
+                   resolve_stats.corrupt, resolve_stats.last_error.c_str());
+    }
+    std::printf("estimator source: trained from scratch (no bundle named "
+                "'%s' in %s); ~15 s at --jobs 1\n",
+                model_name.c_str(), registry.dir().c_str());
+    TrainSpec spec;
+    spec.name = model_name;
+    spec.kind = EstimatorKind::RandomForest;
+    spec.features = FeatureSet::All;
+    spec.options.rforest.trees = 200;
+    apply_seed(spec.options, seed);
+    spec.jobs = jobs;
+    bundle = train_bundle(spec, dev);
+    if (const auto entry = registry.put(*bundle)) {
+      std::printf("saved bundle to %s for future runs\n",
+                  entry->path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write bundle into %s\n",
+                   registry.dir().c_str());
+    }
+  }
+  print_bundle_info(*bundle);
 
-  const double predicted = rf.estimate(report, shape);
-  std::printf("trained in %.1fs\npredicted CF for '%s': %.3f\n",
+  const double predicted = bundle->estimator.estimate(report, shape);
+  std::printf("ready in %.1fs\npredicted CF for '%s': %.3f\n",
               timer.seconds(), name.c_str(), predicted);
 
   CfSearchOptions opts;
@@ -261,8 +338,100 @@ int cmd_estimate(const std::string& name, int jobs) {
   return 0;
 }
 
+int cmd_train(const std::string& kind_text, const std::string& model_name,
+              int count, int trees, std::uint64_t seed, int jobs,
+              const std::string& out_path, const std::string& registry_dir) {
+  const std::optional<EstimatorKind> kind =
+      estimator_kind_from_string(kind_text);
+  if (!kind) {
+    std::fprintf(stderr, "unknown estimator kind '%s'\n", kind_text.c_str());
+    return 1;
+  }
+  TrainSpec spec;
+  spec.name = model_name;
+  spec.kind = *kind;
+  spec.features = *kind == EstimatorKind::LinearRegression
+                      ? FeatureSet::LinReg9
+                      : FeatureSet::All;
+  spec.dataset_count = count;
+  spec.options.rforest.trees = trees;
+  apply_seed(spec.options, seed);
+  spec.jobs = jobs;
+
+  std::printf("training %s on a %d-spec sweep (seed %llu)...\n",
+              to_string(*kind), count,
+              static_cast<unsigned long long>(seed));
+  Timer timer;
+  const ModelBundle bundle = train_bundle(spec, xc7z020_model());
+  std::printf("trained in %.1fs\n", timer.seconds());
+
+  if (!out_path.empty()) {
+    if (!save_bundle(out_path, bundle)) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    std::printf("bundle written to %s\n", out_path.c_str());
+    print_bundle_info(bundle);
+    return 0;
+  }
+  ModelRegistry registry(default_registry_dir(registry_dir));
+  const auto entry = registry.put(bundle);
+  if (!entry) {
+    std::fprintf(stderr, "cannot write bundle into %s\n",
+                 registry.dir().c_str());
+    return 2;
+  }
+  std::printf("bundle stored as %s\n", entry->path.c_str());
+  ModelBundle stored = bundle;
+  stored.version = entry->version;
+  print_bundle_info(stored);
+  return 0;
+}
+
+int cmd_predict(const std::string& name, const std::string& model_path,
+                const std::string& model_name,
+                const std::string& registry_dir) {
+  const std::optional<Module> found = find_module(name);
+  if (!found) {
+    std::fprintf(stderr, "unknown module '%s'\n", name.c_str());
+    return 1;
+  }
+  Module module = *found;
+  optimize(module.netlist);
+  const ResourceReport report = make_report(module.netlist);
+  const ShapeReport shape = quick_place(report);
+
+  Timer timer;
+  std::optional<double> predicted;
+  if (!model_path.empty()) {
+    std::string error;
+    const std::optional<ModelBundle> bundle =
+        load_bundle(model_path, &error);
+    if (!bundle) {
+      std::fprintf(stderr, "cannot serve %s: %s\n", model_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    print_bundle_info(*bundle);
+    predicted = bundle->estimator.estimate(report, shape);
+  } else {
+    EstimatorService service(default_registry_dir(registry_dir));
+    predicted = service.estimate(model_name, report, shape);
+    if (!predicted) {
+      std::fprintf(stderr, "cannot serve '%s': %s\n", model_name.c_str(),
+                   service.last_error().c_str());
+      return 2;
+    }
+    print_bundle_info(*service.bundle(model_name));
+  }
+  std::printf("predicted CF for '%s': %.3f (%.0f ms, no retraining)\n",
+              name.c_str(), *predicted, timer.seconds() * 1e3);
+  return 0;
+}
+
 int cmd_cnv(const std::string& xdc_path, const std::string& dot_path,
-            int jobs, int stitch_restarts, int stitch_jobs) {
+            int jobs, int stitch_restarts, int stitch_jobs,
+            const std::string& model, const std::string& registry_dir) {
   const Device dev = xc7z020_model();
   const CnvDesign design = build_cnv_w1a1();
   if (!dot_path.empty()) {
@@ -276,6 +445,34 @@ int cmd_cnv(const std::string& xdc_path, const std::string& dot_path,
   opts.stitch.jobs = stitch_jobs;
   CfPolicy policy;
   policy.mode = CfPolicy::Mode::MinSearch;
+
+  // --model swaps the exhaustive per-block min-CF search for one trained
+  // estimator call per block -- the paper's headline trade. The value is a
+  // bundle file first, a registry name second.
+  std::optional<ModelBundle> bundle;
+  if (!model.empty()) {
+    std::string error;
+    bundle = load_bundle(model, &error);
+    if (bundle) {
+      std::printf("cf policy: estimator from bundle file %s\n",
+                  model.c_str());
+    } else {
+      const ModelRegistry registry(default_registry_dir(registry_dir));
+      bundle = registry.resolve(model);
+      if (!bundle) {
+        std::fprintf(stderr,
+                     "cannot load '%s' as a bundle file (%s) or resolve it "
+                     "in registry %s\n",
+                     model.c_str(), error.c_str(), registry.dir().c_str());
+        return 1;
+      }
+      std::printf("cf policy: estimator from registry %s\n",
+                  registry.dir().c_str());
+    }
+    print_bundle_info(*bundle);
+    policy.mode = CfPolicy::Mode::Estimator;
+    policy.estimator = &bundle->estimator;
+  }
   Timer timer;
   const RwFlowResult result = run_rw_flow(design, dev, policy, opts);
   std::printf("flow: %d tool runs, %d failed blocks, %d/%zu unplaced "
@@ -339,17 +536,113 @@ int main(int argc, char** argv) {
   if (command == "estimate") {
     if (argc < 3) return usage();
     int jobs = MF_JOBS_DEFAULT;
+    int seed = 3;  // the historical hard-coded Options::seed
+    std::string registry_dir;
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--jobs") == 0) {
         const std::optional<int> parsed =
             parse_int_option(argc, argv, i, "--jobs", 0, 1024);
         if (!parsed) return 1;
         jobs = *parsed;
+      } else if (std::strcmp(argv[i], "--seed") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--seed", 0, 1 << 30);
+        if (!parsed) return 1;
+        seed = *parsed;
+      } else if (std::strcmp(argv[i], "--registry") == 0) {
+        const char* path = option_value(argc, argv, i, "--registry");
+        if (path == nullptr) return 1;
+        registry_dir = path;
       } else {
         return usage();
       }
     }
-    return cmd_estimate(argv[2], jobs);
+    return cmd_estimate(argv[2], jobs, static_cast<std::uint64_t>(seed),
+                        registry_dir);
+  }
+  if (command == "train") {
+    std::string kind = "rforest";
+    std::string name = "default";
+    int count = 2000;
+    int trees = 200;
+    int seed = 3;
+    int jobs = MF_JOBS_DEFAULT;
+    std::string out;
+    std::string registry_dir;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--kind") == 0) {
+        const char* text = option_value(argc, argv, i, "--kind");
+        if (text == nullptr) return 1;
+        kind = text;
+      } else if (std::strcmp(argv[i], "--name") == 0) {
+        const char* text = option_value(argc, argv, i, "--name");
+        if (text == nullptr) return 1;
+        name = text;
+      } else if (std::strcmp(argv[i], "--count") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--count", 10, 100000);
+        if (!parsed) return 1;
+        count = *parsed;
+      } else if (std::strcmp(argv[i], "--trees") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--trees", 1, 100000);
+        if (!parsed) return 1;
+        trees = *parsed;
+      } else if (std::strcmp(argv[i], "--seed") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--seed", 0, 1 << 30);
+        if (!parsed) return 1;
+        seed = *parsed;
+      } else if (std::strcmp(argv[i], "--jobs") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--jobs", 0, 1024);
+        if (!parsed) return 1;
+        jobs = *parsed;
+      } else if (std::strcmp(argv[i], "--out") == 0) {
+        const char* path = option_value(argc, argv, i, "--out");
+        if (path == nullptr) return 1;
+        out = path;
+      } else if (std::strcmp(argv[i], "--registry") == 0) {
+        const char* path = option_value(argc, argv, i, "--registry");
+        if (path == nullptr) return 1;
+        registry_dir = path;
+      } else {
+        return usage();
+      }
+    }
+    return cmd_train(kind, name, count, trees,
+                     static_cast<std::uint64_t>(seed), jobs, out,
+                     registry_dir);
+  }
+  if (command == "predict") {
+    if (argc < 3) return usage();
+    std::string model_path;
+    std::string model_name;
+    std::string registry_dir;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--model") == 0) {
+        const char* path = option_value(argc, argv, i, "--model");
+        if (path == nullptr) return 1;
+        model_path = path;
+      } else if (std::strcmp(argv[i], "--name") == 0) {
+        const char* text = option_value(argc, argv, i, "--name");
+        if (text == nullptr) return 1;
+        model_name = text;
+      } else if (std::strcmp(argv[i], "--registry") == 0) {
+        const char* path = option_value(argc, argv, i, "--registry");
+        if (path == nullptr) return 1;
+        registry_dir = path;
+      } else {
+        return usage();
+      }
+    }
+    if (model_path.empty() == model_name.empty()) {
+      std::fprintf(stderr,
+                   "predict needs exactly one of --model FILE or --name "
+                   "NAME\n");
+      return 1;
+    }
+    return cmd_predict(argv[2], model_path, model_name, registry_dir);
   }
   if (command == "cnv") {
     std::string xdc;
@@ -357,6 +650,8 @@ int main(int argc, char** argv) {
     int jobs = MF_JOBS_DEFAULT;
     int stitch_restarts = 1;
     int stitch_jobs = MF_JOBS_DEFAULT;
+    std::string model;
+    std::string registry_dir;
     for (int i = 2; i < argc; ++i) {
       if (std::strcmp(argv[i], "--xdc") == 0) {
         const char* path = option_value(argc, argv, i, "--xdc");
@@ -381,11 +676,20 @@ int main(int argc, char** argv) {
             parse_int_option(argc, argv, i, "--stitch-jobs", 0, 1024);
         if (!parsed) return 1;
         stitch_jobs = *parsed;
+      } else if (std::strcmp(argv[i], "--model") == 0) {
+        const char* text = option_value(argc, argv, i, "--model");
+        if (text == nullptr) return 1;
+        model = text;
+      } else if (std::strcmp(argv[i], "--registry") == 0) {
+        const char* path = option_value(argc, argv, i, "--registry");
+        if (path == nullptr) return 1;
+        registry_dir = path;
       } else {
         return usage();
       }
     }
-    return cmd_cnv(xdc, dot, jobs, stitch_restarts, stitch_jobs);
+    return cmd_cnv(xdc, dot, jobs, stitch_restarts, stitch_jobs, model,
+                   registry_dir);
   }
   return usage();
 }
