@@ -1,0 +1,263 @@
+// Robustness bench: what the crash-safety and self-healing machinery costs.
+//
+// Three prices are measured, and the invariants behind them are *checked*
+// (MF_CHECK aborts on violation, which the ctest `--quick` entry relies on
+// to turn this into a correctness gate):
+//   1. atomic checkpoint writes (temp + fsync + rename) vs a raw ofstream
+//      dump of the same payload -- plus a mini crash sweep asserting the
+//      old-or-new invariant at a spread of byte boundaries;
+//   2. cancellation latency: how long a pre-cancelled token takes to stop a
+//      large batched prediction and a stitch anneal (the amortised watchdog
+//      bounds the stitch to < 32 moves);
+//   3. open-circuit-breaker serving vs cold registry misses: once the
+//      breaker trips, a request must not pay the directory-scan + parse
+//      attempt, so fallback throughput should dwarf the miss path.
+//
+// Results land in BENCH_ROBUSTNESS.json next to a table on stdout. Plain
+// main, like bench_serve: cross-phase checks do not fit the BM_ harness.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.hpp"
+#include "common/cancel.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "fabric/catalog.hpp"
+#include "flow/rw_flow.hpp"
+#include "flow/serialize.hpp"
+#include "rtlgen/generators.hpp"
+#include "serve/bundle.hpp"
+#include "serve/registry.hpp"
+#include "serve/service.hpp"
+#include "stitch/sa_stitcher.hpp"
+
+namespace {
+
+using namespace mf;
+namespace fs = std::filesystem;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// A checkpoint-sized payload: a module cache with `n` synthetic entries.
+std::string checkpoint_payload(int n) {
+  ModuleCache cache;
+  for (int i = 0; i < n; ++i) {
+    ImplementedBlock b;
+    b.name = "block_" + std::to_string(i);
+    b.status = FlowStatus::Ok;
+    b.seed_cf = 1.3 + 0.01 * i;
+    b.macro.name = b.name;
+    b.macro.cf = 1.2;
+    b.macro.used_slices = 20 + i;
+    b.macro.est_slices = 20 + i;
+    b.macro.pblock = PBlock{0, 4, 0, 7};
+    b.macro.footprint.height = 8;
+    b.macro.footprint.kinds = {ColumnKind::ClbL, ColumnKind::ClbM};
+    cache.restore(std::move(b));
+  }
+  return module_cache_to_text(cache);
+}
+
+std::vector<std::vector<double>> make_rows(std::size_t n) {
+  const std::size_t dim = feature_names(FeatureSet::Classical).size();
+  Rng rng(99);
+  std::vector<std::vector<double>> rows(n);
+  for (std::vector<double>& row : rows) {
+    row.resize(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      row[j] = j % 2 == 0 ? rng.uniform(0.0, 5000.0) : rng.uniform(0.0, 1.0);
+    }
+  }
+  return rows;
+}
+
+ModelBundle quick_bundle() {
+  Dataset data;
+  data.feature_names = feature_names(FeatureSet::Classical);
+  Rng rng(5);
+  for (std::size_t i = 0; i < 120; ++i) {
+    std::vector<double> row(data.feature_names.size());
+    double target = 0.5;
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      row[j] = j % 2 == 0 ? rng.uniform(0.0, 4000.0) : rng.uniform(0.0, 1.0);
+      target += row[j] * (j % 3 == 0 ? 2.5e-4 : 0.05);
+    }
+    data.add(std::move(row), target, "s" + std::to_string(i));
+  }
+  CfEstimator::Options options;
+  options.dtree.max_depth = 6;
+  ModelBundle bundle;
+  bundle.name = "bench";
+  bundle.estimator =
+      CfEstimator(EstimatorKind::DecisionTree, FeatureSet::Classical, options);
+  bundle.estimator.train(data);
+  return bundle;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const std::string work_dir =
+      (fs::temp_directory_path() / "mf_bench_robustness").string();
+  std::error_code ec;
+  fs::remove_all(work_dir, ec);
+  fs::create_directories(work_dir);
+
+  // -- 1. atomic-write overhead + old-or-new under injected crashes -------
+  const std::string payload = checkpoint_payload(quick ? 64 : 512);
+  const std::string atomic_path = work_dir + "/atomic.ckpt";
+  const std::string raw_path = work_dir + "/raw.ckpt";
+  const int write_reps = quick ? 20 : 200;
+
+  Timer raw_timer;
+  for (int i = 0; i < write_reps; ++i) {
+    std::ofstream out(raw_path, std::ios::binary | std::ios::trunc);
+    out << payload;
+  }
+  const double raw_ms = raw_timer.seconds() * 1e3 / write_reps;
+
+  Timer atomic_timer;
+  for (int i = 0; i < write_reps; ++i) {
+    MF_CHECK(atomic_write_file(atomic_path, payload));
+  }
+  const double atomic_ms = atomic_timer.seconds() * 1e3 / write_reps;
+  MF_CHECK(read_file(atomic_path) == payload);
+
+  // Mini crash sweep: old-or-new must hold at a spread of byte boundaries
+  // (the exhaustive every-byte sweep lives in tests/test_robustness.cpp).
+  const std::string old_payload = checkpoint_payload(quick ? 63 : 511);
+  MF_CHECK(atomic_write_file(atomic_path, old_payload));
+  const long step = quick ? 97 : 13;
+  int crash_points = 0;
+  for (long n = 0; n <= static_cast<long>(payload.size()); n += step) {
+    ScopedWriteCrash crash(n);
+    MF_CHECK(!atomic_write_file(atomic_path, payload));
+    MF_CHECK_MSG(read_file(atomic_path) == old_payload,
+                 "crash left a torn checkpoint on disk");
+    ++crash_points;
+  }
+  std::printf("atomic write %.3f ms vs raw %.3f ms (%.1fx, %zu-byte "
+              "payload); old-or-new held at %d crash points\n",
+              atomic_ms, raw_ms, raw_ms > 0.0 ? atomic_ms / raw_ms : 0.0,
+              payload.size(), crash_points);
+
+  // -- 2. cancellation latency --------------------------------------------
+  ModelRegistry registry(work_dir);
+  MF_CHECK(registry.put(quick_bundle()).has_value());
+  const auto rows = make_rows(quick ? 20000 : 200000);
+
+  CancelToken cancelled;
+  cancelled.cancel();
+  ServiceOptions cancel_options;
+  cancel_options.jobs = 4;
+  cancel_options.cancel = &cancelled;
+  EstimatorService cancel_service(work_dir, cancel_options);
+  MF_CHECK(cancel_service.predict_rows("bench", {rows.front()}).has_value() ==
+           false);  // already cancelled: no partial batches, ever
+  Timer cancel_timer;
+  const auto cancelled_batch = cancel_service.predict_rows("bench", rows);
+  const double cancel_ms = cancel_timer.seconds() * 1e3;
+  MF_CHECK(!cancelled_batch.has_value());
+
+  const BlockDesign design = [] {
+    BlockDesign d;
+    Rng rng(1);
+    MixedParams p;
+    p.luts = 120;
+    p.ffs = 100;
+    d.unique_modules.push_back(gen_mixed(p, rng));
+    for (int i = 0; i < 6; ++i) {
+      d.instances.push_back(BlockInstance{"i" + std::to_string(i), 0});
+    }
+    for (int i = 0; i + 1 < 6; ++i) d.nets.push_back(BlockNet{{i, i + 1}, 1.0});
+    return d;
+  }();
+  RwFlowOptions flow_opts;
+  flow_opts.compute_timing = false;
+  const RwFlowResult flow =
+      run_rw_flow(design, xc7z020_model(), CfPolicy{}, flow_opts);
+  StitchOptions stitch_opts = flow_opts.stitch;
+  stitch_opts.cancel = &cancelled;
+  Timer stitch_timer;
+  const StitchResult aborted = stitch(xc7z020_model(), flow.problem,
+                                      stitch_opts);
+  const double stitch_cancel_ms = stitch_timer.seconds() * 1e3;
+  MF_CHECK(aborted.watchdog_fired);
+  MF_CHECK_MSG(aborted.total_moves < 32,
+               "stitch watchdog must fire within one amortised check window");
+  std::printf("cancel latency: predict_rows(%zu rows) %.2f ms, stitch %.2f "
+              "ms (%ld moves)\n",
+              rows.size(), cancel_ms, stitch_cancel_ms, aborted.total_moves);
+
+  // -- 3. breaker fallback vs cold registry misses ------------------------
+  const std::string empty_dir = work_dir + "/empty_registry";
+  fs::create_directories(empty_dir);
+  const int requests = quick ? 500 : 5000;
+  ResourceReport report;
+  ShapeReport shape;
+
+  ServiceOptions miss_options;  // breaker disabled: every miss hits disk
+  EstimatorService miss_service(empty_dir, miss_options);
+  Timer miss_timer;
+  for (int i = 0; i < requests; ++i) {
+    MF_CHECK(!miss_service.estimate("ghost", report, shape).has_value());
+  }
+  const double miss_per_sec = requests / miss_timer.seconds();
+
+  ServiceOptions breaker_options;
+  breaker_options.breaker_failure_threshold = 3;
+  breaker_options.breaker_cooldown_seconds = 3600.0;
+  breaker_options.fallback_cf = 1.5;
+  EstimatorService breaker_service(empty_dir, breaker_options);
+  Timer breaker_timer;
+  for (int i = 0; i < requests; ++i) {
+    const auto cf = breaker_service.estimate("ghost", report, shape);
+    MF_CHECK(cf.has_value() && *cf == 1.5);  // degraded, never an error
+  }
+  const double breaker_per_sec = requests / breaker_timer.seconds();
+  const ServiceStats stats = breaker_service.stats();
+  MF_CHECK_MSG(stats.breaker_trips == 1 && stats.resolve_failures == 3,
+               "open breaker must stop consulting the registry");
+  std::printf("degraded serving: %.0f req/s open-breaker vs %.0f req/s "
+              "cold-miss (%.1fx)\n",
+              breaker_per_sec, miss_per_sec,
+              miss_per_sec > 0.0 ? breaker_per_sec / miss_per_sec : 0.0);
+
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\n \"atomic_write_ms\": %.4f,\n \"raw_write_ms\": %.4f,\n"
+                " \"crash_points\": %d,\n \"cancel_predict_ms\": %.3f,\n"
+                " \"cancel_stitch_ms\": %.3f,\n"
+                " \"breaker_req_per_sec\": %.0f,\n"
+                " \"cold_miss_req_per_sec\": %.0f\n}\n",
+                atomic_ms, raw_ms, crash_points, cancel_ms, stitch_cancel_ms,
+                breaker_per_sec, miss_per_sec);
+  std::FILE* out = std::fopen("BENCH_ROBUSTNESS.json", "w");
+  if (out != nullptr) {
+    std::fputs(buf, out);
+    std::fclose(out);
+    std::printf("wrote BENCH_ROBUSTNESS.json\n");
+  } else {
+    std::fprintf(stderr, "could not write BENCH_ROBUSTNESS.json\n");
+    return 1;
+  }
+  fs::remove_all(work_dir, ec);
+  return 0;
+}

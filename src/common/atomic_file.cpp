@@ -1,0 +1,126 @@
+#include "common/atomic_file.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace mf {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::atomic<long> g_crash_after_bytes{-1};
+
+/// Monotonic counter so concurrent writers (and crash-test retries that
+/// leave temp files behind) never collide on a temp name.
+std::atomic<unsigned long> g_temp_counter{0};
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+    if (errno != 0) {
+      *error += ": ";
+      *error += std::strerror(errno);
+    }
+  }
+  return false;
+}
+
+#if !defined(_WIN32)
+/// Durability barrier on the parent directory: makes the rename itself
+/// survive a power cut. Best effort -- some filesystems reject O_RDONLY
+/// directory fsync, and the old-or-new guarantee does not depend on it.
+void sync_directory(const fs::path& dir) {
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+#endif
+
+}  // namespace
+
+void set_atomic_write_crash_after(long bytes) noexcept {
+  g_crash_after_bytes.store(bytes, std::memory_order_relaxed);
+}
+
+bool atomic_write_file(const std::string& path, const std::string& content,
+                       std::string* error, const AtomicWriteOptions& options) {
+  const fs::path target(path);
+  const unsigned long serial =
+      g_temp_counter.fetch_add(1, std::memory_order_relaxed);
+  const fs::path temp =
+      target.parent_path() /
+      (target.filename().string() + ".tmp." + std::to_string(serial));
+
+  const long crash_after = g_crash_after_bytes.load(std::memory_order_relaxed);
+  const std::size_t to_write =
+      crash_after >= 0 && static_cast<std::size_t>(crash_after) < content.size()
+          ? static_cast<std::size_t>(crash_after)
+          : content.size();
+
+  errno = 0;
+  std::FILE* out = std::fopen(temp.string().c_str(), "wb");
+  if (out == nullptr) {
+    return fail(error, "cannot create temp file " + temp.string());
+  }
+  const std::size_t written =
+      to_write == 0 ? 0 : std::fwrite(content.data(), 1, to_write, out);
+  const bool short_write = written != to_write;
+  const bool flush_failed = std::fflush(out) != 0;
+
+  if (crash_after >= 0) {
+    // Simulated process death mid-write: the temp file stays on disk (as it
+    // would after a real crash), the target is never touched.
+    std::fclose(out);
+    return fail(error, "simulated crash after " +
+                           std::to_string(to_write) + " bytes");
+  }
+  if (short_write || flush_failed) {
+    std::fclose(out);
+    std::error_code ec;
+    fs::remove(temp, ec);
+    return fail(error, "short write to " + temp.string());
+  }
+#if !defined(_WIN32)
+  if (options.sync && ::fsync(::fileno(out)) != 0) {
+    std::fclose(out);
+    std::error_code ec;
+    fs::remove(temp, ec);
+    return fail(error, "fsync failed for " + temp.string());
+  }
+#endif
+  if (std::fclose(out) != 0) {
+    std::error_code ec;
+    fs::remove(temp, ec);
+    return fail(error, "close failed for " + temp.string());
+  }
+
+  // The atomic commit point: readers see the complete old or the complete
+  // new file, never a prefix.
+  std::error_code ec;
+  fs::rename(temp, target, ec);
+  if (ec) {
+    errno = 0;
+    std::error_code rm;
+    fs::remove(temp, rm);
+    return fail(error, "rename " + temp.string() + " -> " + path + " failed: " +
+                           ec.message());
+  }
+#if !defined(_WIN32)
+  if (options.sync) sync_directory(target.parent_path());
+#endif
+  return true;
+}
+
+}  // namespace mf

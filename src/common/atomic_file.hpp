@@ -1,0 +1,66 @@
+#pragma once
+// Crash-safe file persistence (DESIGN.md section 9).
+//
+// Every persisted artifact in the library -- flow checkpoints, ground-truth
+// footers, model bundles -- is load-bearing state: a torn file poisons the
+// next resume. A bare `std::ofstream out(path)` truncates the old version
+// the moment it opens, so a crash (or ENOSPC) mid-write destroys the only
+// good copy. atomic_write_file() instead follows the classic protocol:
+//
+//   1. write the new content to a unique temp file *in the same directory*
+//      (rename is only atomic within one filesystem);
+//   2. flush and check the stream state -- a short write (full disk, I/O
+//      error) is reported, never silently swallowed;
+//   3. fsync the temp file so the bytes are durable before they become
+//      visible under the real name;
+//   4. rename(temp, path) -- POSIX guarantees readers see either the old
+//      or the new complete file, never a mix;
+//   5. fsync the directory so the rename itself survives a power cut.
+//
+// A crash at any point before step 4 leaves the target file untouched (a
+// stray *.tmp.* file may remain; writers overwrite-by-rename, readers never
+// match temp names). The crash-injection hook simulates exactly that: abort
+// after N payload bytes, leaving the temp file behind and the target alone.
+// tests/test_robustness.cpp walks N over every byte boundary and asserts
+// the old-or-new invariant for all three persisted formats.
+
+#include <string>
+
+namespace mf {
+
+struct AtomicWriteOptions {
+  /// fsync file + directory (step 3/5). Tests may disable for speed; the
+  /// rename-based old-or-new guarantee holds either way against process
+  /// crashes (fsync only adds power-loss durability).
+  bool sync = true;
+};
+
+/// Write `content` to `path` via the temp-file + rename protocol above.
+/// Returns false (with `*error` filled when non-null) on any failure --
+/// unwritable directory, short write, failed flush/rename; the previous
+/// file content is preserved in every failure case.
+bool atomic_write_file(const std::string& path, const std::string& content,
+                       std::string* error = nullptr,
+                       const AtomicWriteOptions& options = {});
+
+/// Crash-injection hook for the robustness suite: the next calls to
+/// atomic_write_file abort (simulated process death) after writing `bytes`
+/// payload bytes into the temp file -- the temp file is left behind, the
+/// rename never happens, and the call returns false. -1 disables. Global
+/// and sticky (applies to every subsequent call until reset) so tests can
+/// reach the writes buried inside save_bundle / save_module_cache /
+/// save_ground_truth / ModelRegistry::put without widening their APIs.
+void set_atomic_write_crash_after(long bytes) noexcept;
+
+/// RAII guard for the hook above.
+class ScopedWriteCrash {
+ public:
+  explicit ScopedWriteCrash(long bytes) noexcept {
+    set_atomic_write_crash_after(bytes);
+  }
+  ~ScopedWriteCrash() { set_atomic_write_crash_after(-1); }
+  ScopedWriteCrash(const ScopedWriteCrash&) = delete;
+  ScopedWriteCrash& operator=(const ScopedWriteCrash&) = delete;
+};
+
+}  // namespace mf

@@ -1,0 +1,36 @@
+#include "common/cancel.hpp"
+
+#include <csignal>
+#include <cstdlib>
+
+namespace mf {
+namespace {
+
+/// Handler state. Plain atomics only: everything the handler touches must
+/// be async-signal-safe.
+std::atomic<CancelToken*> g_signal_token{nullptr};
+std::atomic<int> g_signal_count{0};
+
+void on_signal(int) {
+  if (g_signal_count.fetch_add(1, std::memory_order_relaxed) >= 1) {
+    // Second Ctrl-C: the user wants out *now*; skip atexit/destructors.
+    std::_Exit(130);
+  }
+  CancelToken* token = g_signal_token.load(std::memory_order_relaxed);
+  if (token != nullptr) token->cancel();
+}
+
+}  // namespace
+
+bool install_signal_cancel(CancelToken* token) noexcept {
+  g_signal_token.store(token, std::memory_order_relaxed);
+  g_signal_count.store(0, std::memory_order_relaxed);
+  if (token == nullptr) {
+    return std::signal(SIGINT, SIG_DFL) != SIG_ERR &&
+           std::signal(SIGTERM, SIG_DFL) != SIG_ERR;
+  }
+  return std::signal(SIGINT, &on_signal) != SIG_ERR &&
+         std::signal(SIGTERM, &on_signal) != SIG_ERR;
+}
+
+}  // namespace mf

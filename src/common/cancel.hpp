@@ -1,0 +1,96 @@
+#pragma once
+// Cooperative cancellation and deadlines (DESIGN.md section 9).
+//
+// Long-running work -- the per-block implement fan-out, multi-start SA,
+// forest training, batched prediction -- polls a shared CancelToken at its
+// natural checkpoints instead of being killed mid-write. A token trips for
+// one of three reasons:
+//
+//   * cancel()        -- explicit, e.g. the CLI's SIGINT handler;
+//   * a deadline      -- set_deadline_seconds(s) arms a steady_clock budget
+//                        (the CLI's --deadline-seconds);
+//   * cancel_after(n) -- test hook: trip on the n-th cancelled() poll, so
+//                        suites can stop a flow at a deterministic point.
+//
+// cancelled() is an atomic flag read on the fast path (safe to poll from
+// any thread, ThreadSanitizer-clean); the deadline clock is consulted only
+// until it trips, after which the sticky flag answers alone. Work that can
+// park partial results (the flow's per-block loop) drains in-flight tasks,
+// checkpoints, and returns a distinct status; work with no resumable state
+// (forest training) throws CancelledError instead.
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace mf {
+
+/// Thrown at cancellation points that cannot return a partial result.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("cancelled") {}
+  explicit CancelledError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Trip the token. Async-signal-safe (a single atomic store), so the
+  /// SIGINT handler may call it directly.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arm a wall-clock deadline `seconds` from now (<= 0 trips immediately).
+  /// The token reports cancelled once the deadline passes.
+  void set_deadline_seconds(double seconds) noexcept {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(seconds));
+    has_deadline_.store(true, std::memory_order_release);
+  }
+
+  /// Test hook: trip on the n-th cancelled() poll (n >= 1). Deterministic
+  /// with a sequential poller; used to stop flows at exact points.
+  void cancel_after(long polls) noexcept {
+    polls_left_.store(polls, std::memory_order_relaxed);
+  }
+
+  /// True once tripped (sticky). Cheap: one relaxed load on the fast path.
+  [[nodiscard]] bool cancelled() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (polls_left_.load(std::memory_order_relaxed) >= 0 &&
+        polls_left_.fetch_sub(1, std::memory_order_relaxed) <= 1) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    if (has_deadline_.load(std::memory_order_acquire) &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  std::atomic<bool> has_deadline_{false};
+  std::chrono::steady_clock::time_point deadline_{};
+  /// -1 = hook disarmed; otherwise the number of polls left before tripping.
+  mutable std::atomic<long> polls_left_{-1};
+};
+
+/// Poll helper for cancellation points that abort by exception.
+inline void throw_if_cancelled(const CancelToken* token) {
+  if (token != nullptr && token->cancelled()) throw CancelledError();
+}
+
+/// Install a SIGINT/SIGTERM handler that trips `token` (pass nullptr to
+/// detach). The first signal cancels cooperatively -- running work drains
+/// and checkpoints; a second signal hard-exits with status 130. Returns
+/// false when handler installation failed.
+bool install_signal_cancel(CancelToken* token) noexcept;
+
+}  // namespace mf

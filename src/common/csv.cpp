@@ -1,8 +1,8 @@
 #include "common/csv.hpp"
 
-#include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.hpp"
 #include "common/check.hpp"
 #include "common/table.hpp"
 
@@ -59,10 +59,9 @@ std::string CsvWriter::str() const {
 }
 
 bool CsvWriter::write(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << str();
-  return static_cast<bool>(out);
+  // Atomic replace like every other persisted artifact: a bench result file
+  // is either the complete old run or the complete new one, never torn.
+  return atomic_write_file(path, str());
 }
 
 }  // namespace mf

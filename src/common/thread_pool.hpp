@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/check.hpp"
 
 #ifndef MF_JOBS_DEFAULT
@@ -115,8 +116,17 @@ class ThreadPool {
   /// rethrows the lowest-indexed task exception. After an exception is
   /// recorded no *new* indices are claimed, but indices already claimed run
   /// to completion.
+  ///
+  /// `cancel` adds a cooperative cancellation point per index: once the
+  /// token trips, no new index runs fn (in-flight calls drain normally) and
+  /// for_each returns early. Callers that need to know *which* indices ran
+  /// keep their own per-slot done flags -- the set of completed indices
+  /// under cancellation is schedule-dependent by nature; determinism is
+  /// recovered at the resume level (every completed slot is a pure function
+  /// of its index alone).
   template <typename Fn>
-  void for_each(std::size_t count, Fn&& fn) {
+  void for_each(std::size_t count, Fn&& fn,
+                const CancelToken* cancel = nullptr) {
     if (count == 0) return;
     struct Region {
       std::atomic<std::size_t> next{0};
@@ -129,8 +139,9 @@ class ThreadPool {
     const std::size_t drains =
         std::min<std::size_t>(workers_.size(), count);
     for (std::size_t t = 0; t < drains; ++t) {
-      submit([region, &task, count] {
+      submit([region, &task, count, cancel] {
         for (;;) {
+          if (cancel != nullptr && cancel->cancelled()) return;
           const std::size_t i =
               region->next.fetch_add(1, std::memory_order_relaxed);
           if (i >= count) return;
@@ -196,18 +207,24 @@ class ThreadPool {
 /// One-shot parallel region: run fn(i) for i in [0, count). jobs <= 1 runs
 /// the plain sequential loop in the calling thread (bit-identical to the
 /// historical code and the baseline every parallel run must reproduce);
-/// jobs == 0 resolves to hardware concurrency.
+/// jobs == 0 resolves to hardware concurrency. A tripped `cancel` token
+/// stops new iterations (the sequential path polls it before every i, so a
+/// jobs=1 region with cancel_after(n) cancels after a deterministic count).
 template <typename Fn>
-void parallel_for_each(int jobs, std::size_t count, Fn&& fn) {
+void parallel_for_each(int jobs, std::size_t count, Fn&& fn,
+                       const CancelToken* cancel = nullptr) {
   const int workers = resolve_jobs(jobs);
   if (workers <= 1 || count <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) return;
+      fn(i);
+    }
     return;
   }
   ThreadPool pool(
       static_cast<int>(std::min<std::size_t>(
           static_cast<std::size_t>(workers), count)));
-  pool.for_each(count, std::forward<Fn>(fn));
+  pool.for_each(count, std::forward<Fn>(fn), cancel);
 }
 
 }  // namespace mf

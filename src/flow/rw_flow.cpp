@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "flow/serialize.hpp"
 #include "synth/optimize.hpp"
 
 namespace mf {
@@ -11,6 +12,7 @@ const char* to_string(FlowStatus status) noexcept {
     case FlowStatus::Ok: return "ok";
     case FlowStatus::Degraded: return "degraded";
     case FlowStatus::Failed: return "failed";
+    case FlowStatus::Cancelled: return "cancelled";
   }
   return "?";
 }
@@ -144,8 +146,33 @@ void assemble_and_stitch(RwFlowResult& result, const BlockDesign& design,
     }
   }
   if (opts.run_stitch && !result.problem.instances.empty()) {
-    result.stitch = stitch(device, result.problem, opts.stitch);
+    // Forward the flow token so a deadline also bounds the annealer (every
+    // restart polls it through the stitcher's amortized watchdog).
+    StitchOptions stitch_opts = opts.stitch;
+    if (stitch_opts.cancel == nullptr) stitch_opts.cancel = opts.cancel;
+    result.stitch = stitch(device, result.problem, stitch_opts);
   }
+}
+
+/// Mark every not-yet-implemented slot Cancelled (its name filled in so
+/// diagnostics and checkpoints stay readable) and record the cancellation
+/// in the result. Returns true when the run was cancelled.
+bool finish_cancelled(RwFlowResult& result, const BlockDesign& design,
+                      const std::vector<char>& done,
+                      const std::vector<std::size_t>* indices,
+                      const CancelToken* cancel) {
+  for (std::size_t k = 0; k < done.size(); ++k) {
+    if (done[k]) continue;
+    const std::size_t i = indices != nullptr ? (*indices)[k] : k;
+    ImplementedBlock& block = result.blocks[i];
+    block = ImplementedBlock{};
+    block.name = design.unique_modules[i].name;
+    block.status = FlowStatus::Cancelled;
+    ++result.cancelled_blocks;
+  }
+  result.cancelled =
+      result.cancelled_blocks > 0 || (cancel != nullptr && cancel->cancelled());
+  return result.cancelled;
 }
 
 }  // namespace
@@ -235,16 +262,24 @@ RwFlowResult run_rw_flow(const BlockDesign& design, const Device& device,
   // sequentially in unique-module order, so the result -- including error
   // order and tool-run totals -- is bit-identical at any thread count.
   result.blocks.resize(design.unique_modules.size());
+  std::vector<char> done(design.unique_modules.size(), 0);
   parallel_for_each(opts.jobs, design.unique_modules.size(),
                     [&](std::size_t i) {
                       result.blocks[i] = implement_with_policy(
                           design.unique_modules[i], device, policy, opts);
-                    });
+                      done[i] = 1;
+                    },
+                    opts.cancel);
+  const bool cancelled =
+      finish_cancelled(result, design, done, nullptr, opts.cancel);
   for (const ImplementedBlock& block : result.blocks) {
+    if (block.status == FlowStatus::Cancelled) continue;
     account_block(result, block);
   }
 
-  assemble_and_stitch(result, design, device, opts);
+  // A cancelled run returns its completed blocks but no stitch: a partial
+  // placement would be mistaken for a real QoR result.
+  if (!cancelled) assemble_and_stitch(result, design, device, opts);
   return result;
 }
 
@@ -285,8 +320,10 @@ RwFlowResult ModuleCache::run(const BlockDesign& design, const Device& device,
     }
   }
 
+  std::vector<char> done(miss_indices.size(), 0);
   parallel_for_each(
-      opts.jobs, miss_indices.size(), [&](std::size_t m) {
+      opts.jobs, miss_indices.size(),
+      [&](std::size_t m) {
         const Module& module = design.unique_modules[miss_indices[m]];
         double seed_cf = policy.constant_cf;
         if (policy.mode == CfPolicy::Mode::Estimator) {
@@ -299,7 +336,11 @@ RwFlowResult ModuleCache::run(const BlockDesign& design, const Device& device,
         }
         result.blocks[miss_indices[m]] =
             implement_block(module, device, seed_cf, opts);
-      });
+        done[m] = 1;
+      },
+      opts.cancel);
+  const bool cancelled =
+      finish_cancelled(result, design, done, &miss_indices, opts.cancel);
 
   // Sequential merge in unique-module order: counters, error order, and
   // cache insertions all match the jobs=1 run exactly.
@@ -313,6 +354,9 @@ RwFlowResult ModuleCache::run(const BlockDesign& design, const Device& device,
       continue;
     }
     ++next_miss;
+    // A cancelled slot never ran: no tool runs, no miss, nothing to cache.
+    // The resumed run compiles it as a fresh miss.
+    if (block.status == FlowStatus::Cancelled) continue;
     result.total_tool_runs += block.macro.tool_runs;
     if (!block.ok()) {
       ++result.failed_blocks;
@@ -328,7 +372,14 @@ RwFlowResult ModuleCache::run(const BlockDesign& design, const Device& device,
     }
   }
 
-  assemble_and_stitch(result, design, device, opts);
+  // Checkpoint the cache -- including (especially) on cancellation, so a
+  // cancelled run resumes with every completed block intact. The write is
+  // atomic; a crash here leaves the previous checkpoint, never a torn one.
+  if (!opts.checkpoint_path.empty()) {
+    save_module_cache(opts.checkpoint_path, *this);
+  }
+
+  if (!cancelled) assemble_and_stitch(result, design, device, opts);
   return result;
 }
 

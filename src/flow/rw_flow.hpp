@@ -58,6 +58,16 @@ struct RwFlowOptions {
   /// land in pre-sized slots, the ToolRunner keeps per-block state, and the
   /// fault-injection stream is a pure function of (seed, block, ordinal).
   int jobs = MF_JOBS_DEFAULT;
+  /// Cooperative cancellation (common/cancel.hpp). A tripped token stops new
+  /// per-block implements (in-flight blocks drain), skips the stitch, and
+  /// marks not-yet-implemented blocks FlowStatus::Cancelled. The same token
+  /// is forwarded into the annealer (subsumes stitch.max_seconds) so a
+  /// deadline covers the flow end to end.
+  const CancelToken* cancel = nullptr;
+  /// ModuleCache::run only: when non-empty, the cache is checkpointed here
+  /// (atomically; flow/serialize.hpp) after the merge -- including on
+  /// cancellation, so a cancelled run resumes with its completed blocks.
+  std::string checkpoint_path;
 };
 
 /// Per-block outcome of the flow.
@@ -65,6 +75,7 @@ enum class FlowStatus : std::uint8_t {
   Ok,        ///< implemented at the policy's CF (possibly after refinement)
   Degraded,  ///< primary search failed; escalated constant-CF fallback stuck
   Failed,    ///< no implementation; excluded from the stitch problem
+  Cancelled, ///< flow cancelled before this block ran; retried on resume
 };
 
 [[nodiscard]] const char* to_string(FlowStatus status) noexcept;
@@ -82,8 +93,11 @@ struct ImplementedBlock {
   bool first_run_success = false;
 
   /// Compatibility accessor for the old `bool ok` field: true when the block
-  /// produced a usable macro (cleanly or degraded).
-  [[nodiscard]] bool ok() const noexcept { return status != FlowStatus::Failed; }
+  /// produced a usable macro (cleanly or degraded). Cancelled blocks never
+  /// ran, so they are not ok -- and not cached either.
+  [[nodiscard]] bool ok() const noexcept {
+    return status == FlowStatus::Ok || status == FlowStatus::Degraded;
+  }
   [[nodiscard]] bool degraded() const noexcept {
     return status == FlowStatus::Degraded;
   }
@@ -96,6 +110,11 @@ struct RwFlowResult {
   int total_tool_runs = 0;
   int failed_blocks = 0;
   int degraded_blocks = 0;
+  /// Cancellation outcome: `cancelled` is true when the token tripped during
+  /// the run (even if every block had already finished -- the stitch is then
+  /// skipped); cancelled_blocks counts blocks marked FlowStatus::Cancelled.
+  bool cancelled = false;
+  int cancelled_blocks = 0;
   std::vector<FlowError> errors;  ///< one per failed block, in block order
 };
 

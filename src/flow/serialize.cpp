@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/atomic_file.hpp"
 #include "common/rng.hpp"
 
 namespace mf {
@@ -106,10 +107,10 @@ std::optional<std::vector<LabeledModule>> ground_truth_from_text(
 
 bool save_ground_truth(const std::string& path,
                        const std::vector<LabeledModule>& samples) {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << ground_truth_to_text(samples);
-  return static_cast<bool>(out);
+  // Atomic temp-file + rename: a crash or full disk mid-write leaves the
+  // previous ground-truth file intact instead of a torn one (which the
+  // footer would reject, discarding the whole cached labelling).
+  return atomic_write_file(path, ground_truth_to_text(samples));
 }
 
 std::optional<std::vector<LabeledModule>> load_ground_truth(
@@ -252,10 +253,9 @@ CacheLoadStats module_cache_from_text(const std::string& text,
 }
 
 bool save_module_cache(const std::string& path, const ModuleCache& cache) {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << module_cache_to_text(cache);
-  return static_cast<bool>(out);
+  // Atomic replace: the checkpoint is the crash-recovery story itself, so a
+  // crash *while checkpointing* must never destroy the previous checkpoint.
+  return atomic_write_file(path, module_cache_to_text(cache));
 }
 
 CacheLoadStats load_module_cache(const std::string& path, ModuleCache& cache) {

@@ -29,12 +29,27 @@ void RandomForest::fit(const std::vector<std::vector<double>>& x,
   // Each tree trains from its own Rng, seeded as a pure function of the
   // forest seed and the tree index -- not from a shared generator -- so the
   // loop parallelizes with bit-identical results at any jobs value.
-  parallel_for_each(opts.jobs, trees_.size(), [&](std::size_t t) {
-    Rng rng(task_seed(opts.seed, "tree:" + std::to_string(t)));
-    std::vector<std::size_t> bootstrap(n);
-    for (std::size_t i = 0; i < n; ++i) bootstrap[i] = rng.index(n);
-    trees_[t].fit(x, y, tree_opts, rng, &bootstrap);
-  });
+  // Cancellation aborts by exception (see RForestOptions::cancel): the
+  // per-tree throw below surfaces through parallel_for_each's
+  // lowest-index-wins rethrow, and the token also stops new trees from
+  // starting. The half-built trees_ vector is discarded by the caller.
+  try {
+    parallel_for_each(
+        opts.jobs, trees_.size(),
+        [&](std::size_t t) {
+          throw_if_cancelled(opts.cancel);
+          Rng rng(task_seed(opts.seed, "tree:" + std::to_string(t)));
+          std::vector<std::size_t> bootstrap(n);
+          for (std::size_t i = 0; i < n; ++i) bootstrap[i] = rng.index(n);
+          trees_[t].fit(x, y, tree_opts, rng, &bootstrap);
+        },
+        opts.cancel);
+    throw_if_cancelled(opts.cancel);
+  } catch (...) {
+    trees_.clear();     // leave the forest untrained, never half-trained
+    importance_.clear();
+    throw;
+  }
   // Importance merge is sequential in tree order (deterministic FP sums).
   for (const DecisionTree& tree : trees_) {
     const std::vector<double>& imp = tree.feature_importance();

@@ -22,6 +22,10 @@ struct RForestOptions {
   /// task_seed(seed, "tree:<index>"), so the fitted forest is bit-identical
   /// at any jobs value.
   int jobs = MF_JOBS_DEFAULT;
+  /// Cooperative cancellation, polled once per tree. A partially trained
+  /// forest is not a resumable artifact (unlike the flow's per-block cache),
+  /// so fit() throws CancelledError and leaves the forest untrained.
+  const CancelToken* cancel = nullptr;
 };
 
 class RandomForest {

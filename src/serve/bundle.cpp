@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/atomic_file.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "ml/model_io.hpp"
@@ -160,11 +161,12 @@ std::optional<ModelBundle> bundle_from_text(const std::string& text,
   return bundle;
 }
 
-bool save_bundle(const std::string& path, const ModelBundle& bundle) {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << bundle_to_text(bundle);
-  return static_cast<bool>(out);
+bool save_bundle(const std::string& path, const ModelBundle& bundle,
+                 std::string* error) {
+  // Atomic replace, with stream/short-write failures propagated: a bundle
+  // that fails to persist (ENOSPC, unwritable dir) must report so, not
+  // leave a truncated .mfb the registry would have to quarantine later.
+  return atomic_write_file(path, bundle_to_text(bundle), error);
 }
 
 std::optional<ModelBundle> load_bundle(const std::string& path,

@@ -61,7 +61,11 @@ std::optional<ModelBundle> bundle_from_text(const std::string& text,
                                             std::string* error = nullptr);
 
 /// File helpers; load returns nullopt when the file is missing or damaged.
-bool save_bundle(const std::string& path, const ModelBundle& bundle);
+/// save_bundle writes atomically (temp file + rename, common/atomic_file):
+/// a crash or full disk mid-write leaves the previous version intact, and
+/// failures are reported through the return value / `error`, never ignored.
+bool save_bundle(const std::string& path, const ModelBundle& bundle,
+                 std::string* error = nullptr);
 std::optional<ModelBundle> load_bundle(const std::string& path,
                                        std::string* error = nullptr);
 

@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <system_error>
 
+#include "common/atomic_file.hpp"
+
 namespace mf {
 namespace {
 
@@ -30,11 +32,33 @@ std::optional<RegistryEntry> parse_filename(const fs::path& path) {
   return entry;
 }
 
+/// Move a bundle that failed to load into `<dir>/quarantine/`, recording why
+/// in a `.reason` sibling. Best effort -- a read-only registry directory
+/// still resolves (the damaged file is merely skipped, not moved) -- and
+/// returns whether the move actually happened.
+bool quarantine_entry(const std::string& dir, const RegistryEntry& entry,
+                      const std::string& reason) {
+  std::error_code ec;
+  const fs::path qdir = fs::path(dir) / "quarantine";
+  fs::create_directories(qdir, ec);
+  if (ec) return false;
+  const fs::path target = qdir / fs::path(entry.path).filename();
+  fs::rename(entry.path, target, ec);
+  if (ec) return false;
+  // The reason file is diagnostics, not control flow: ignore its outcome.
+  atomic_write_file(target.string() + ".reason", reason + "\n");
+  return true;
+}
+
 }  // namespace
 
 ModelRegistry::ModelRegistry(std::string dir) : dir_(std::move(dir)) {
   std::error_code ec;
   fs::create_directories(dir_, ec);  // best effort; put() reports failures
+}
+
+std::string ModelRegistry::quarantine_dir() const {
+  return (fs::path(dir_) / "quarantine").string();
 }
 
 std::vector<RegistryEntry> ModelRegistry::list() const {
@@ -59,6 +83,18 @@ std::optional<RegistryEntry> ModelRegistry::put(ModelBundle bundle) {
   for (const RegistryEntry& entry : list()) {
     if (entry.name == bundle.name) {
       next_version = std::max(next_version, entry.version + 1);
+    }
+  }
+  // Versions stay monotonic across quarantines: a quarantined m-v2 keeps its
+  // filename as forensic evidence, so v2 must never be reissued (the next
+  // corrupt v2 would collide with -- and overwrite -- the preserved one).
+  std::error_code ec;
+  for (const auto& item : fs::directory_iterator(quarantine_dir(), ec)) {
+    if (!item.is_regular_file(ec)) continue;
+    if (const auto entry = parse_filename(item.path())) {
+      if (entry->name == bundle.name) {
+        next_version = std::max(next_version, entry->version + 1);
+      }
     }
   }
   bundle.version = next_version;
@@ -87,6 +123,9 @@ std::optional<ModelBundle> ModelRegistry::resolve(
     if (!bundle) {
       ++s.corrupt;
       s.last_error = entry.path + ": " + error;
+      // Self-healing: park the damaged file (plus a reason note) in
+      // quarantine/ and fall through to the next-newest version.
+      if (quarantine_entry(dir_, entry, s.last_error)) ++s.quarantined;
       continue;
     }
     if ((features && bundle->estimator.features() != *features) ||

@@ -33,6 +33,7 @@ struct RegistryEntry {
 struct ResolveStats {
   int considered = 0;   ///< entries with the requested name
   int corrupt = 0;      ///< skipped: failed to load/validate
+  int quarantined = 0;  ///< of the corrupt: moved into quarantine/
   int incompatible = 0; ///< skipped: loaded but wrong features/kind
   std::string last_error;
 };
@@ -43,6 +44,14 @@ class ModelRegistry {
   explicit ModelRegistry(std::string dir);
 
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// Where resolve() moves bundles that fail to load: `<dir>/quarantine/`.
+  /// Each quarantined `<file>.mfb` gets a sibling `<file>.mfb.reason` text
+  /// file recording the load diagnostic. Quarantined files are invisible to
+  /// list()/resolve() (the subdirectory is never scanned), so a poisoned
+  /// newest version stops being re-parsed on every resolve and the registry
+  /// self-heals onto the newest older clean version.
+  [[nodiscard]] std::string quarantine_dir() const;
 
   /// Store a bundle under the next free version of its name (the bundle's
   /// own version field is overwritten). Returns the stored entry, or

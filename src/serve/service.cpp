@@ -36,6 +36,26 @@ std::shared_ptr<const ModelBundle> EstimatorService::acquire(
       ++stats_.lru_hits;
       return it->second->second;
     }
+    // Open breaker: skip the registry entirely until the cool-down expires
+    // (a broken registry must not cost a directory scan + parse attempt per
+    // request). When it has expired, let exactly this call through as the
+    // half-open probe and push retry_at forward so concurrent requests keep
+    // serving the fallback while the probe is in flight.
+    if (options_.breaker_failure_threshold > 0) {
+      BreakerState& breaker = breakers_[model];
+      if (breaker.open) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now < breaker.retry_at) {
+          last_error_ = "circuit open for '" + model + "'";
+          return nullptr;
+        }
+        breaker.retry_at =
+            now + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(
+                          options_.breaker_cooldown_seconds));
+      }
+    }
   }
   // Resolve outside the lock: disk + parse is the slow path, and two
   // threads racing on the same cold name both load a valid bundle (the
@@ -51,8 +71,27 @@ std::shared_ptr<const ModelBundle> EstimatorService::acquire(
                       : "all " + std::to_string(resolve_stats.considered) +
                             " bundle(s) named '" + model +
                             "' rejected: " + resolve_stats.last_error;
+    ++stats_.resolve_failures;
+    if (options_.breaker_failure_threshold > 0) {
+      BreakerState& breaker = breakers_[model];
+      ++breaker.consecutive_failures;
+      const bool trip =
+          !breaker.open && breaker.consecutive_failures >=
+                               options_.breaker_failure_threshold;
+      if (trip) ++stats_.breaker_trips;  // closed -> open edge
+      if (trip || breaker.open) {        // failed half-open probe re-arms
+        breaker.open = true;
+        breaker.retry_at =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(
+                    options_.breaker_cooldown_seconds));
+      }
+    }
     return nullptr;
   }
+  // A clean load heals the model: close the breaker and forget failures.
+  breakers_.erase(model);
   ++stats_.bundle_loads;
   auto shared = std::make_shared<const ModelBundle>(std::move(*bundle));
   const auto it = index_.find(model);
@@ -78,7 +117,16 @@ std::optional<double> EstimatorService::estimate(const std::string& model,
                                                  const ShapeReport& shape) {
   const std::uint64_t start = now_ns();
   const std::shared_ptr<const ModelBundle> bundle = acquire(model);
-  if (bundle == nullptr) return std::nullopt;
+  if (bundle == nullptr) {
+    // Degraded serving: with the breaker armed a missing/broken bundle is
+    // answered with the constant-CF policy instead of an error (nullopt
+    // stays reserved for the breaker-disabled legacy contract).
+    if (options_.breaker_failure_threshold > 0) {
+      record_fallback(now_ns() - start, 1);
+      return options_.fallback_cf;
+    }
+    return std::nullopt;
+  }
   const double value = bundle->estimator.estimate(report, shape);
   record_latency(now_ns() - start, 1);
   return value;
@@ -89,7 +137,13 @@ std::optional<std::vector<double>> EstimatorService::predict_rows(
     const std::vector<std::vector<double>>& rows) {
   const std::uint64_t start = now_ns();
   const std::shared_ptr<const ModelBundle> bundle = acquire(model);
-  if (bundle == nullptr) return std::nullopt;
+  if (bundle == nullptr) {
+    if (options_.breaker_failure_threshold > 0) {
+      record_fallback(now_ns() - start, rows.size());
+      return std::vector<double>(rows.size(), options_.fallback_cf);
+    }
+    return std::nullopt;
+  }
 
   // Deterministic micro-batching: grain g covers the half-open slot range
   // [g*grain, min((g+1)*grain, n)) of the pre-sized output. Prediction is
@@ -99,13 +153,22 @@ std::optional<std::vector<double>> EstimatorService::predict_rows(
   const std::size_t grain = options_.batch_grain;
   const std::size_t grains = (rows.size() + grain - 1) / grain;
   const CfEstimator& estimator = bundle->estimator;
-  parallel_for_each(options_.jobs, grains, [&](std::size_t g) {
-    const std::size_t lo = g * grain;
-    const std::size_t hi = std::min(rows.size(), lo + grain);
-    for (std::size_t i = lo; i < hi; ++i) {
-      out[i] = estimator.predict_row(rows[i]);
-    }
-  });
+  parallel_for_each(
+      options_.jobs, grains,
+      [&](std::size_t g) {
+        const std::size_t lo = g * grain;
+        const std::size_t hi = std::min(rows.size(), lo + grain);
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i] = estimator.predict_row(rows[i]);
+        }
+      },
+      options_.cancel);
+  if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+    // Never hand back a partially filled batch.
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_error_ = "predict_rows cancelled for '" + model + "'";
+    return std::nullopt;
+  }
   record_latency(now_ns() - start, rows.size());
   return out;
 }
@@ -120,6 +183,14 @@ void EstimatorService::record_latency(std::uint64_t ns, std::uint64_t rows) {
   ++stats_.requests;
   stats_.rows += rows;
   stats_.latency_ns += ns;
+}
+
+void EstimatorService::record_fallback(std::uint64_t ns, std::uint64_t rows) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.requests;
+  stats_.rows += rows;
+  stats_.latency_ns += ns;
+  ++stats_.fallback_requests;
 }
 
 ServiceStats EstimatorService::stats() const {

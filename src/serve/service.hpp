@@ -17,6 +17,7 @@
 //     monotonically increasing totals -- cheap enough at estimator-service
 //     granularity (one lock per request, never per row).
 
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -40,6 +41,23 @@ struct ServiceOptions {
   /// Rows per micro-batch grain; small enough to load-balance, large
   /// enough to amortise task dispatch.
   std::size_t batch_grain = 256;
+  /// Circuit breaker (self-healing serving). 0 disables it: a resolve
+  /// failure then returns nullopt exactly as before. N >= 1 arms it: a
+  /// model whose resolve fails is served `fallback_cf` instead (degraded,
+  /// never erroring -- the paper's constant-CF baseline is always a valid
+  /// answer), and after N *consecutive* failures the breaker opens:
+  /// requests skip the registry entirely (no disk scan / parse per call)
+  /// until `breaker_cooldown_seconds` passes, when one half-open probe is
+  /// let through -- success closes the breaker, failure re-opens it for
+  /// another cool-down. All transitions are counted in ServiceStats.
+  int breaker_failure_threshold = 0;
+  double breaker_cooldown_seconds = 30.0;
+  /// CF served while degraded (RW's default constant).
+  double fallback_cf = 1.5;
+  /// Cooperative cancellation for batched prediction: a tripped token makes
+  /// predict_rows() stop scheduling grains and return nullopt (partial
+  /// batches are never returned); last_error() reports the cancellation.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Monotonic service counters (totals since construction).
@@ -50,6 +68,9 @@ struct ServiceStats {
   std::uint64_t lru_hits = 0;
   std::uint64_t evictions = 0;
   std::uint64_t latency_ns = 0;    ///< summed wall time inside predict calls
+  std::uint64_t resolve_failures = 0;  ///< acquire() found no usable bundle
+  std::uint64_t breaker_trips = 0;     ///< closed/half-open -> open edges
+  std::uint64_t fallback_requests = 0; ///< requests served the constant CF
 };
 
 class EstimatorService {
@@ -79,8 +100,18 @@ class EstimatorService {
   }
 
  private:
+  /// Per-model circuit-breaker state (guarded by mutex_).
+  struct BreakerState {
+    int consecutive_failures = 0;
+    bool open = false;
+    std::chrono::steady_clock::time_point retry_at{};
+  };
+
   std::shared_ptr<const ModelBundle> acquire(const std::string& model);
   void record_latency(std::uint64_t ns, std::uint64_t rows);
+  /// Degraded-path bookkeeping for one request of `rows` rows served the
+  /// constant fallback CF.
+  void record_fallback(std::uint64_t ns, std::uint64_t rows);
 
   ModelRegistry registry_;
   ServiceOptions options_;
@@ -89,6 +120,7 @@ class EstimatorService {
   /// LRU: most-recently-used at the front; list nodes own the cache keys.
   std::list<std::pair<std::string, std::shared_ptr<const ModelBundle>>> lru_;
   std::unordered_map<std::string, decltype(lru_)::iterator> index_;
+  std::unordered_map<std::string, BreakerState> breakers_;
   ServiceStats stats_;
   std::string last_error_;
 };

@@ -330,11 +330,14 @@ class Annealer {
          temp *= opts_.cooling) {
       for (int k = 0; k < moves_per_temp; ++k) {
         // Watchdog: a budgeted anneal stops mid-schedule and degrades to
-        // the best snapshot seen so far (restored below). The wall-clock
-        // check is amortised over 32 moves to keep the hot loop cheap.
+        // the best snapshot seen so far (restored below). The wall-clock and
+        // cancel-token checks are amortised over 32 moves to keep the hot
+        // loop cheap (the token's deadline path consults a clock too).
         if ((opts_.max_moves > 0 && result_.total_moves >= opts_.max_moves) ||
             (opts_.max_seconds > 0.0 && result_.total_moves % 32 == 0 &&
-             timer_.seconds() >= opts_.max_seconds)) {
+             timer_.seconds() >= opts_.max_seconds) ||
+            (opts_.cancel != nullptr && result_.total_moves % 32 == 0 &&
+             opts_.cancel->cancelled())) {
           result_.watchdog_fired = true;
           break;
         }

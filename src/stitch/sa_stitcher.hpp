@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "fabric/device.hpp"
 #include "stitch/macro.hpp"
 
@@ -55,6 +56,13 @@ struct StitchOptions {
   /// Same degradation semantics as max_moves, but non-deterministic -- meant
   /// for production service deadlines, not for reproducible experiments.
   double max_seconds = 0.0;
+  /// Cooperative cancellation (common/cancel.hpp): polled by the same
+  /// amortised watchdog check as max_seconds, with the same degradation
+  /// semantics (stop, restore best-so-far, watchdog_fired = true). This
+  /// subsumes max_seconds for end-to-end deadlines -- one token armed with
+  /// set_deadline_seconds() bounds the whole flow, annealer included, and
+  /// every multi-start restart polls the same token.
+  const CancelToken* cancel = nullptr;
   /// Independent annealing restarts (multi-start SA). 1 = one anneal seeded
   /// with `seed` -- exactly the historical single-start behaviour, move for
   /// move. K > 1 runs K independent anneals, restart k seeded with

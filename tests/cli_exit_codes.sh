@@ -1,0 +1,58 @@
+#!/bin/sh
+# Assert the CLI's documented exit-code contract (macroflow_cli header):
+#   0 success, 1 usage error, 2 runtime failure, 130 cancelled.
+# Registered as ctest `cli_exit_codes` with $1 = path to macroflow_cli.
+set -u
+
+CLI=${1:?usage: cli_exit_codes.sh <path-to-macroflow_cli>}
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/mf_cli_exit.XXXXXX") || exit 2
+trap 'rm -rf "$TMP"' EXIT
+FAILURES=0
+
+expect() {
+  WANT=$1
+  LABEL=$2
+  shift 2
+  "$@" > "$TMP/out" 2> "$TMP/err"
+  GOT=$?
+  if [ "$GOT" -ne "$WANT" ]; then
+    echo "FAIL: $LABEL: expected exit $WANT, got $GOT" >&2
+    sed 's/^/  stderr: /' "$TMP/err" >&2
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok: $LABEL (exit $GOT)"
+  fi
+}
+
+# 0 -- success.
+expect 0 "devices succeeds" "$CLI" devices
+
+# 1 -- usage errors: no command, unknown command, bad flag value, unknown
+# module name.
+expect 1 "no command" "$CLI"
+expect 1 "unknown command" "$CLI" frobnicate
+expect 1 "bad numeric flag" "$CLI" sweep not-a-number
+expect 1 "unknown module" "$CLI" implement no-such-module --min
+expect 1 "bad deadline value" "$CLI" cnv --deadline-seconds nope
+
+# 2 -- runtime failure: a bundle path that is not a bundle.
+echo garbage > "$TMP/not-a-bundle.mfb"
+expect 2 "corrupt bundle file" \
+  "$CLI" predict shiftreg_0 --model "$TMP/not-a-bundle.mfb"
+
+# 130 -- cancelled: a deadline that expires immediately. The flow must still
+# exit cleanly (drain + checkpoint), just with the distinct status.
+expect 130 "expired deadline" \
+  "$CLI" cnv --deadline-seconds 0 --checkpoint "$TMP/cnv.ckpt"
+
+# The cancelled run above must have checkpointed atomically: no temp litter.
+if ls "$TMP"/cnv.ckpt.tmp.* > /dev/null 2>&1; then
+  echo "FAIL: cancelled run left checkpoint temp files behind" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+
+# Resume after cancel: without a deadline the same checkpoint completes.
+expect 0 "resume after cancel" "$CLI" cnv --checkpoint "$TMP/cnv.ckpt"
+
+[ "$FAILURES" -eq 0 ] || exit 1
+exit 0

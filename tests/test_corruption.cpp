@@ -1,0 +1,342 @@
+// Corruption-injection suite: every persisted format (ground-truth sets,
+// module-cache checkpoints, model bundles) is attacked with zero-length
+// files, truncation at every byte boundary, byte flips, and CRLF rewrites.
+// The invariant under attack is "fail cleanly or parse the original" --
+// loaders must never crash, never silently return different data, and the
+// checksummed formats (cache entries, bundles) must detect every flip.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "flow/rw_flow.hpp"
+#include "flow/serialize.hpp"
+#include "serve/bundle.hpp"
+
+namespace mf {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_((fs::temp_directory_path() / ("mf_corrupt_" + tag)).string()) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (fs::path(path_) / name).string();
+  }
+
+ private:
+  std::string path_;
+};
+
+void write_raw(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+std::string crlf(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() * 2);
+  for (char c : text) {
+    if (c == '\n') out += '\r';
+    out += c;
+  }
+  return out;
+}
+
+std::vector<LabeledModule> sample_ground_truth() {
+  std::vector<LabeledModule> samples;
+  for (int i = 0; i < 3; ++i) {
+    LabeledModule s;
+    s.name = "mod_" + std::to_string(i);
+    s.min_cf = 1.1 + 0.2 * i;
+    s.report.stats.luts = 150 + 31 * i;
+    s.report.stats.ffs = 90 + 7 * i;
+    s.report.stats.carry4 = 2 * i;
+    s.report.stats.cells = 260 + i;
+    s.report.stats.carry_chains = {3 + i};
+    s.report.est_slices = 44 + i;
+    s.shape.bbox_w = 6;
+    s.shape.bbox_h = 8 + i;
+    s.shape.min_height = 3 + i;
+    s.shape.carry_columns = 1;
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+void fill_sample_cache(ModuleCache& cache) {
+  const char* names[] = {"alpha", "beta", "gamma"};
+  for (int i = 0; i < 3; ++i) {
+    ImplementedBlock b;
+    b.name = names[i];
+    b.status = i == 1 ? FlowStatus::Degraded : FlowStatus::Ok;
+    b.seed_cf = 1.4 + 0.1 * i;
+    b.first_run_success = i != 1;
+    b.attempts = i + 1;
+    b.macro.name = names[i];
+    b.macro.cf = 1.2 + 0.05 * i;
+    b.macro.fill_ratio = 0.6;
+    b.macro.tool_runs = i + 2;
+    b.macro.used_slices = 25 + i;
+    b.macro.est_slices = 24 + i;
+    b.macro.pblock = PBlock{i, i + 4, 0, 7};
+    b.macro.footprint.height = 8;
+    b.macro.footprint.kinds = {ColumnKind::ClbL, ColumnKind::ClbL,
+                               ColumnKind::ClbM};
+    cache.restore(std::move(b));
+  }
+}
+
+ModelBundle sample_bundle() {
+  Dataset data;
+  data.feature_names = feature_names(FeatureSet::Classical);
+  Rng rng(11);
+  for (std::size_t i = 0; i < 50; ++i) {
+    std::vector<double> row(data.feature_names.size());
+    double target = 0.5;
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      row[j] = j % 2 == 0 ? rng.uniform(0.0, 3000.0) : rng.uniform(0.0, 1.0);
+      target += row[j] * (j % 3 == 0 ? 3.0e-4 : 0.04);
+    }
+    data.add(std::move(row), target, "s" + std::to_string(i));
+  }
+  CfEstimator::Options options;
+  options.dtree.max_depth = 4;
+  ModelBundle bundle;
+  bundle.name = "m";
+  bundle.provenance.seed = 11;
+  bundle.provenance.dataset_rows = 50;
+  bundle.estimator = CfEstimator(EstimatorKind::DecisionTree,
+                                 FeatureSet::Classical, options);
+  bundle.estimator.train(data);
+  return bundle;
+}
+
+// -- ground truth (v3: `# samples N` footer, no checksum) -------------------
+
+TEST(Corruption, GroundTruthZeroLengthFileFailsCleanly) {
+  TempDir dir("gt_zero");
+  const std::string path = dir.file("gt.txt");
+  write_raw(path, "");
+  EXPECT_FALSE(load_ground_truth(path).has_value());
+}
+
+TEST(Corruption, GroundTruthTruncationNeverYieldsDifferentData) {
+  const auto samples = sample_ground_truth();
+  const std::string text = ground_truth_to_text(samples);
+  TempDir dir("gt_trunc");
+  const std::string path = dir.file("gt.txt");
+  for (std::size_t len = 0; len < text.size(); ++len) {
+    write_raw(path, text.substr(0, len));
+    const auto loaded = load_ground_truth(path);
+    // Clean failure, or -- when the cut only removed trailing whitespace --
+    // an exact parse of the original. Never a third outcome.
+    if (loaded.has_value()) {
+      EXPECT_EQ(ground_truth_to_text(*loaded), text) << "truncated at " << len;
+    }
+  }
+}
+
+TEST(Corruption, GroundTruthByteFlipsNeverCrash) {
+  // The ground-truth format carries a sample-count footer but no per-line
+  // checksum, so a flip inside a numeric field can legitimately parse as a
+  // different number. The guarantee tested here is the weaker one the
+  // format actually makes: every flip either fails cleanly or parses --
+  // no crashes, no partial vectors (count footer mismatch -> reject).
+  const std::string text = ground_truth_to_text(sample_ground_truth());
+  TempDir dir("gt_flip");
+  const std::string path = dir.file("gt.txt");
+  for (std::size_t pos = 0; pos < text.size(); ++pos) {
+    std::string damaged = text;
+    damaged[pos] = damaged[pos] == '\x01' ? '\x02' : '\x01';
+    write_raw(path, damaged);
+    const auto loaded = load_ground_truth(path);
+    if (loaded.has_value()) {
+      EXPECT_EQ(loaded->size(), sample_ground_truth().size())
+          << "flip at " << pos << " produced a partial sample set";
+    }
+  }
+}
+
+TEST(Corruption, GroundTruthSurvivesCrlfRewrite) {
+  const auto samples = sample_ground_truth();
+  const std::string text = ground_truth_to_text(samples);
+  TempDir dir("gt_crlf");
+  const std::string path = dir.file("gt.txt");
+  write_raw(path, crlf(text));
+  const auto loaded = load_ground_truth(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(ground_truth_to_text(*loaded), text);
+}
+
+// -- module cache (v1: per-entry FNV-1a checksums + `# entries N` footer) ---
+
+TEST(Corruption, CacheZeroLengthFileFailsCleanly) {
+  TempDir dir("cache_zero");
+  const std::string path = dir.file("cache.ckpt");
+  write_raw(path, "");
+  ModuleCache cache;
+  const CacheLoadStats stats = load_module_cache(path, cache);
+  EXPECT_FALSE(stats.header_ok);
+  EXPECT_EQ(stats.loaded, 0);
+  EXPECT_TRUE(cache.entries().empty());
+}
+
+TEST(Corruption, CacheTruncationNeverYieldsDifferentData) {
+  ModuleCache original;
+  fill_sample_cache(original);
+  const std::string text = module_cache_to_text(original);
+  TempDir dir("cache_trunc");
+  const std::string path = dir.file("cache.ckpt");
+  for (std::size_t len = 0; len < text.size(); ++len) {
+    write_raw(path, text.substr(0, len));
+    ModuleCache cache;
+    const CacheLoadStats stats = load_module_cache(path, cache);
+    if (stats.complete && stats.corrupted == 0 && stats.header_ok) {
+      EXPECT_EQ(module_cache_to_text(cache), text) << "truncated at " << len;
+    } else {
+      // Partial loads are allowed (checkpoints resume from what survived)
+      // but every surviving entry must be bit-identical to the original.
+      for (const auto& [name, block] : cache.entries()) {
+        const ImplementedBlock* want = original.find(name);
+        ASSERT_NE(want, nullptr) << "truncation invented entry " << name;
+        EXPECT_EQ(block.macro.cf, want->macro.cf);
+        EXPECT_EQ(block.macro.used_slices, want->macro.used_slices);
+      }
+    }
+  }
+}
+
+TEST(Corruption, CacheByteFlipsAreDetectedOrHarmless) {
+  ModuleCache original;
+  fill_sample_cache(original);
+  const std::string text = module_cache_to_text(original);
+  TempDir dir("cache_flip");
+  const std::string path = dir.file("cache.ckpt");
+  for (std::size_t pos = 0; pos < text.size(); ++pos) {
+    std::string damaged = text;
+    damaged[pos] = damaged[pos] == '\x01' ? '\x02' : '\x01';
+    write_raw(path, damaged);
+    ModuleCache cache;
+    load_module_cache(path, cache);
+    // Per-entry checksums: a flipped entry is dropped, never mutated.
+    for (const auto& [name, block] : cache.entries()) {
+      const ImplementedBlock* want = original.find(name);
+      ASSERT_NE(want, nullptr) << "flip at " << pos << " invented " << name;
+      EXPECT_EQ(block.macro.cf, want->macro.cf) << "flip at " << pos;
+      EXPECT_EQ(block.seed_cf, want->seed_cf) << "flip at " << pos;
+    }
+  }
+}
+
+TEST(Corruption, CacheSingleEntryFlipDropsOnlyThatEntry) {
+  ModuleCache original;
+  fill_sample_cache(original);
+  const std::string text = module_cache_to_text(original);
+  // Flip a digit inside the beta entry's payload (its cf field value).
+  const std::size_t beta = text.find("\nbeta ");
+  ASSERT_NE(beta, std::string::npos);
+  const std::size_t digit = text.find_first_of("0123456789", beta + 6);
+  ASSERT_NE(digit, std::string::npos);
+  std::string damaged = text;
+  damaged[digit] = damaged[digit] == '9' ? '8' : '9';
+
+  TempDir dir("cache_one_flip");
+  const std::string path = dir.file("cache.ckpt");
+  write_raw(path, damaged);
+  ModuleCache cache;
+  const CacheLoadStats stats = load_module_cache(path, cache);
+  EXPECT_TRUE(stats.header_ok);
+  EXPECT_TRUE(stats.complete);  // entry count still matches the footer
+  EXPECT_EQ(stats.corrupted, 1);
+  EXPECT_EQ(stats.loaded, 2);
+  EXPECT_EQ(cache.find("beta"), nullptr);
+  EXPECT_NE(cache.find("alpha"), nullptr);
+  EXPECT_NE(cache.find("gamma"), nullptr);
+}
+
+TEST(Corruption, CacheSurvivesCrlfRewrite) {
+  ModuleCache original;
+  fill_sample_cache(original);
+  const std::string text = module_cache_to_text(original);
+  TempDir dir("cache_crlf");
+  const std::string path = dir.file("cache.ckpt");
+  write_raw(path, crlf(text));
+  ModuleCache cache;
+  const CacheLoadStats stats = load_module_cache(path, cache);
+  EXPECT_TRUE(stats.header_ok);
+  EXPECT_TRUE(stats.complete);
+  EXPECT_EQ(stats.corrupted, 0);
+  EXPECT_EQ(module_cache_to_text(cache), text);
+}
+
+// -- model bundle (v1: magic + payload line count + checksum footer) --------
+
+TEST(Corruption, BundleZeroLengthFileFailsCleanly) {
+  TempDir dir("bundle_zero");
+  const std::string path = dir.file("m.mfb");
+  write_raw(path, "");
+  std::string error;
+  EXPECT_FALSE(load_bundle(path, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Corruption, BundleTruncationNeverYieldsDifferentData) {
+  const ModelBundle original = sample_bundle();
+  const std::string text = bundle_to_text(original);
+  TempDir dir("bundle_trunc");
+  const std::string path = dir.file("m.mfb");
+  for (std::size_t len = 0; len < text.size(); ++len) {
+    write_raw(path, text.substr(0, len));
+    const auto loaded = load_bundle(path);
+    if (loaded.has_value()) {
+      EXPECT_EQ(bundle_to_text(*loaded), text) << "truncated at " << len;
+    }
+  }
+}
+
+TEST(Corruption, BundleByteFlipsAreDetectedOrHarmless) {
+  const ModelBundle original = sample_bundle();
+  const std::string text = bundle_to_text(original);
+  TempDir dir("bundle_flip");
+  const std::string path = dir.file("m.mfb");
+  for (std::size_t pos = 0; pos < text.size(); ++pos) {
+    std::string damaged = text;
+    damaged[pos] = damaged[pos] == '\x01' ? '\x02' : '\x01';
+    write_raw(path, damaged);
+    const auto loaded = load_bundle(path);
+    // The whole-payload checksum rejects every meaningful flip; the only
+    // flips allowed to load must reproduce the original bit for bit.
+    if (loaded.has_value()) {
+      EXPECT_EQ(bundle_to_text(*loaded), text) << "flip at " << pos;
+    }
+  }
+}
+
+TEST(Corruption, BundleSurvivesCrlfRewrite) {
+  const ModelBundle original = sample_bundle();
+  const std::string text = bundle_to_text(original);
+  TempDir dir("bundle_crlf");
+  const std::string path = dir.file("m.mfb");
+  write_raw(path, crlf(text));
+  const auto loaded = load_bundle(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(bundle_to_text(*loaded), text);
+}
+
+}  // namespace
+}  // namespace mf

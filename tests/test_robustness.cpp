@@ -1,0 +1,669 @@
+// Robustness suite (DESIGN.md section 9): crash-safe persistence via the
+// atomic-write protocol (with a crash-injection harness walking every byte
+// boundary of all three persisted formats), cooperative cancellation with
+// checkpoint + bit-identical resume, the serving circuit breaker, and
+// registry quarantine. Everything here is deterministic: crash points are
+// byte counts, cancellation points are poll counts, and resumed runs are
+// compared bit-for-bit against uninterrupted ones.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.hpp"
+#include "common/cancel.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "fabric/catalog.hpp"
+#include "flow/rw_flow.hpp"
+#include "flow/serialize.hpp"
+#include "ml/rforest.hpp"
+#include "nn/finn_blocks.hpp"
+#include "rtlgen/generators.hpp"
+#include "serve/bundle.hpp"
+#include "serve/registry.hpp"
+#include "serve/service.hpp"
+
+namespace mf {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Scratch directory wiped per test.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_((fs::temp_directory_path() / ("mf_robust_" + tag)).string()) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (fs::path(path_) / name).string();
+  }
+
+ private:
+  std::string path_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Same synthetic design as the chaos suite: 3 unique blocks, 8 instances.
+BlockDesign small_design() {
+  BlockDesign design;
+  Rng rng(1);
+  MixedParams a;
+  a.luts = 120;
+  a.ffs = 100;
+  design.unique_modules.push_back(gen_mixed(a, rng));
+  design.unique_modules.back().name = "block_a";
+  MixedParams bparams;
+  bparams.luts = 60;
+  bparams.ffs = 90;
+  bparams.carry_adders = 1;
+  design.unique_modules.push_back(gen_mixed(bparams, rng));
+  design.unique_modules.back().name = "block_b";
+  Rng rng2(2);
+  design.unique_modules.push_back(gen_mvau({32, 1, 16, 1}, rng2));
+  design.unique_modules.back().name = "block_c";
+
+  const int pattern[] = {0, 1, 2, 1, 0, 2, 1, 1};
+  for (int i = 0; i < 8; ++i) {
+    design.instances.push_back(
+        BlockInstance{"i" + std::to_string(i), pattern[i]});
+  }
+  for (int i = 0; i + 1 < 8; ++i) {
+    design.nets.push_back(BlockNet{{i, i + 1}, 1.0});
+  }
+  return design;
+}
+
+RwFlowOptions fast_opts() {
+  RwFlowOptions opts;
+  opts.compute_timing = false;
+  opts.stitch.moves_per_temp = 100;
+  opts.stitch.cooling = 0.8;
+  if (const char* jobs = std::getenv("MF_TEST_JOBS")) {
+    opts.jobs = std::max(1, std::atoi(jobs));
+  }
+  return opts;
+}
+
+/// Tiny labelled ground-truth set (hand-filled; serialisation does not care
+/// how the labels were produced).
+std::vector<LabeledModule> tiny_ground_truth(int n, int salt = 0) {
+  std::vector<LabeledModule> samples;
+  for (int i = 0; i < n; ++i) {
+    LabeledModule s;
+    s.name = "mod_" + std::to_string(i + salt);
+    s.min_cf = 1.0 + 0.25 * i + 0.01 * salt;
+    s.report.stats.luts = 100 + 17 * i;
+    s.report.stats.ffs = 80 + 3 * i;
+    s.report.stats.carry4 = i;
+    s.report.stats.cells = 200 + i;
+    s.report.stats.carry_chains = {4 + i, 8};
+    s.report.est_slices = 40 + i;
+    s.shape.bbox_w = 5 + i;
+    s.shape.bbox_h = 7;
+    s.shape.min_height = 3;
+    s.shape.carry_columns = 1;
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+/// A tiny trained bundle (decision tree on a synthetic set: fast).
+ModelBundle tiny_bundle(const std::string& name = "m", std::uint64_t seed = 7) {
+  Dataset data;
+  data.feature_names = feature_names(FeatureSet::Classical);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < 60; ++i) {
+    std::vector<double> row(data.feature_names.size());
+    double target = 0.4;
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      row[j] = j % 2 == 0 ? rng.uniform(0.0, 4000.0) : rng.uniform(0.0, 1.0);
+      target += row[j] * (j % 3 == 0 ? 2.5e-4 : 0.05);
+    }
+    data.add(std::move(row), target, "s" + std::to_string(i));
+  }
+  CfEstimator::Options options;
+  options.dtree.max_depth = 4;
+  ModelBundle bundle;
+  bundle.name = name;
+  bundle.provenance.seed = seed;
+  bundle.provenance.dataset_rows = 60;
+  bundle.estimator =
+      CfEstimator(EstimatorKind::DecisionTree, FeatureSet::Classical, options);
+  bundle.estimator.train(data);
+  return bundle;
+}
+
+/// A cache entry with every persisted field exercised.
+ImplementedBlock fake_block(const std::string& name, int salt) {
+  ImplementedBlock b;
+  b.name = name;
+  b.status = salt % 2 == 0 ? FlowStatus::Ok : FlowStatus::Degraded;
+  b.seed_cf = 1.5 + 0.1 * salt;
+  b.first_run_success = salt % 2 == 0;
+  b.attempts = salt;
+  b.macro.name = name;
+  b.macro.cf = 1.25 + 0.05 * salt;
+  b.macro.fill_ratio = 0.5;
+  b.macro.tool_runs = 2 + salt;
+  b.macro.used_slices = 30 + salt;
+  b.macro.est_slices = 28 + salt;
+  b.macro.pblock = PBlock{1 + salt, 3 + salt, 0, 5};
+  b.macro.footprint.height = 6;
+  b.macro.footprint.kinds = {ColumnKind::ClbL, ColumnKind::ClbM};
+  return b;
+}
+
+// -- atomic_write_file ------------------------------------------------------
+
+TEST(AtomicFile, WritesCreateAndReplace) {
+  TempDir dir("atomic_basic");
+  const std::string path = dir.file("a.txt");
+  EXPECT_TRUE(atomic_write_file(path, "one\n"));
+  EXPECT_EQ(read_file(path), "one\n");
+  EXPECT_TRUE(atomic_write_file(path, "two\n"));
+  EXPECT_EQ(read_file(path), "two\n");
+  // No temp litter after successful writes.
+  int files = 0;
+  for ([[maybe_unused]] const auto& e : fs::directory_iterator(dir.path())) {
+    ++files;
+  }
+  EXPECT_EQ(files, 1);
+}
+
+TEST(AtomicFile, ReportsUnwritableDirectory) {
+  std::string error;
+  EXPECT_FALSE(atomic_write_file("/no/such/dir/file.txt", "x", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(AtomicFile, CrashAtEveryByteBoundaryLeavesOldOrNew) {
+  TempDir dir("atomic_crash");
+  const std::string path = dir.file("state.txt");
+  const std::string old_content = "the complete old file\n";
+  const std::string new_content = "an entirely different new file body\n";
+  ASSERT_TRUE(atomic_write_file(path, old_content));
+
+  for (std::size_t n = 0; n <= new_content.size(); ++n) {
+    ScopedWriteCrash crash(static_cast<long>(n));
+    std::string error;
+    EXPECT_FALSE(atomic_write_file(path, new_content, &error));
+    EXPECT_NE(error.find("crash"), std::string::npos);
+    // Old-or-new invariant: the visible file is always the complete old one.
+    EXPECT_EQ(read_file(path), old_content) << "crash after " << n << " bytes";
+  }
+  // Hook disarmed: the write goes through and replaces wholesale.
+  EXPECT_TRUE(atomic_write_file(path, new_content));
+  EXPECT_EQ(read_file(path), new_content);
+}
+
+// -- crash-injection harness over the three persisted formats ---------------
+// For every byte boundary of the new serialisation: arm the crash, attempt
+// the save, and assert the on-disk file still loads as the complete *old*
+// state. Then disarm and assert the save commits the complete new state.
+
+TEST(CrashHarness, GroundTruthIsAlwaysOldOrNew) {
+  TempDir dir("crash_gt");
+  const std::string path = dir.file("gt.txt");
+  const auto old_samples = tiny_ground_truth(2);
+  const auto new_samples = tiny_ground_truth(3, 100);
+  ASSERT_TRUE(save_ground_truth(path, old_samples));
+  const std::string old_text = read_file(path);
+  const std::string new_text = ground_truth_to_text(new_samples);
+
+  for (std::size_t n = 0; n <= new_text.size(); ++n) {
+    ScopedWriteCrash crash(static_cast<long>(n));
+    EXPECT_FALSE(save_ground_truth(path, new_samples));
+    const auto loaded = load_ground_truth(path);
+    ASSERT_TRUE(loaded.has_value()) << "crash after " << n << " bytes";
+    EXPECT_EQ(ground_truth_to_text(*loaded), old_text);
+  }
+  ASSERT_TRUE(save_ground_truth(path, new_samples));
+  const auto loaded = load_ground_truth(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(ground_truth_to_text(*loaded), new_text);
+}
+
+TEST(CrashHarness, ModuleCacheIsAlwaysOldOrNew) {
+  TempDir dir("crash_cache");
+  const std::string path = dir.file("cache.ckpt");
+  ModuleCache old_cache;
+  old_cache.restore(fake_block("alpha", 0));
+  old_cache.restore(fake_block("beta", 1));
+  ModuleCache new_cache;
+  new_cache.restore(fake_block("alpha", 2));
+  new_cache.restore(fake_block("gamma", 3));
+  ASSERT_TRUE(save_module_cache(path, old_cache));
+  const std::string old_text = read_file(path);
+  const std::string new_text = module_cache_to_text(new_cache);
+
+  for (std::size_t n = 0; n <= new_text.size(); ++n) {
+    ScopedWriteCrash crash(static_cast<long>(n));
+    EXPECT_FALSE(save_module_cache(path, new_cache));
+    ModuleCache reloaded;
+    const CacheLoadStats stats = load_module_cache(path, reloaded);
+    EXPECT_TRUE(stats.complete) << "crash after " << n << " bytes";
+    EXPECT_EQ(stats.corrupted, 0);
+    EXPECT_EQ(module_cache_to_text(reloaded), old_text);
+  }
+  ASSERT_TRUE(save_module_cache(path, new_cache));
+  EXPECT_EQ(read_file(path), new_text);
+}
+
+TEST(CrashHarness, ModelBundleIsAlwaysOldOrNew) {
+  TempDir dir("crash_bundle");
+  const std::string path = dir.file("m-v1.mfb");
+  const ModelBundle old_bundle = tiny_bundle("m", 7);
+  const ModelBundle new_bundle = tiny_bundle("m", 8);
+  ASSERT_TRUE(save_bundle(path, old_bundle));
+  const std::string old_text = read_file(path);
+  const std::string new_text = bundle_to_text(new_bundle);
+
+  for (std::size_t n = 0; n <= new_text.size(); ++n) {
+    ScopedWriteCrash crash(static_cast<long>(n));
+    std::string error;
+    EXPECT_FALSE(save_bundle(path, new_bundle, &error));
+    const auto loaded = load_bundle(path);
+    ASSERT_TRUE(loaded.has_value()) << "crash after " << n << " bytes";
+    EXPECT_EQ(bundle_to_text(*loaded), old_text);
+  }
+  ASSERT_TRUE(save_bundle(path, new_bundle));
+  EXPECT_EQ(read_file(path), new_text);
+}
+
+TEST(CrashHarness, RegistryPutCrashLeavesNoVisibleBundle) {
+  TempDir dir("crash_put");
+  ModelRegistry registry(dir.path());
+  {
+    ScopedWriteCrash crash(16);
+    EXPECT_FALSE(registry.put(tiny_bundle()).has_value());
+  }
+  // The temp file left by the "crash" is invisible to the registry scan.
+  EXPECT_TRUE(registry.list().empty());
+  // And a clean retry commits version 1 as if the crash never happened.
+  const auto entry = registry.put(tiny_bundle());
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->version, 1);
+  ASSERT_EQ(registry.list().size(), 1u);
+}
+
+// -- cooperative cancellation -----------------------------------------------
+
+TEST(Cancel, TokenSemantics) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.cancelled());  // sticky
+
+  CancelToken deadline;
+  deadline.set_deadline_seconds(-1.0);  // already expired
+  EXPECT_TRUE(deadline.cancelled());
+
+  CancelToken polls;
+  polls.cancel_after(3);
+  EXPECT_FALSE(polls.cancelled());
+  EXPECT_FALSE(polls.cancelled());
+  EXPECT_TRUE(polls.cancelled());  // third poll trips
+  EXPECT_TRUE(polls.cancelled());
+
+  EXPECT_THROW(throw_if_cancelled(&polls), CancelledError);
+  EXPECT_NO_THROW(throw_if_cancelled(nullptr));
+}
+
+TEST(Cancel, SequentialParallelForEachStopsAtDeterministicPoint) {
+  CancelToken token;
+  token.cancel_after(10);
+  int executed = 0;
+  parallel_for_each(1, 100, [&](std::size_t) { ++executed; }, &token);
+  // The token is polled once before each iteration: 9 run, the 10th poll
+  // trips before i = 9.
+  EXPECT_EQ(executed, 9);
+}
+
+TEST(Cancel, PooledParallelForEachStopsClaiming) {
+  CancelToken token;
+  token.cancel_after(1);  // first poll trips, before any index is claimed
+  std::atomic<int> executed{0};
+  parallel_for_each(8, 64, [&](std::size_t) { ++executed; }, &token);
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(Cancel, PreCancelledFlowMarksEveryBlockCancelled) {
+  CancelToken token;
+  token.cancel();
+  RwFlowOptions opts = fast_opts();
+  opts.cancel = &token;
+  const RwFlowResult result =
+      run_rw_flow(small_design(), xc7z020_model(), CfPolicy{}, opts);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_EQ(result.cancelled_blocks, 3);
+  EXPECT_EQ(result.failed_blocks, 0);  // cancelled != failed
+  for (const ImplementedBlock& block : result.blocks) {
+    EXPECT_EQ(block.status, FlowStatus::Cancelled);
+    EXPECT_FALSE(block.ok());
+    EXPECT_FALSE(block.name.empty());
+  }
+  // No stitch on a cancelled run: a partial placement is not a result.
+  EXPECT_TRUE(result.problem.instances.empty());
+  EXPECT_EQ(std::string(to_string(FlowStatus::Cancelled)), "cancelled");
+}
+
+TEST(Cancel, CancelledFlowCheckpointsAndResumeIsBitIdentical) {
+  const BlockDesign design = small_design();
+  const Device dev = xc7z020_model();
+  TempDir dir("cancel_resume");
+
+  // Reference: one uninterrupted run, checkpointed.
+  RwFlowOptions full_opts = fast_opts();
+  full_opts.checkpoint_path = dir.file("full.ckpt");
+  ModuleCache full_cache;
+  const RwFlowResult full =
+      full_cache.run(design, dev, CfPolicy{}, full_opts);
+  ASSERT_FALSE(full.cancelled);
+  ASSERT_EQ(full.failed_blocks, 0);
+
+  // Cancelled run: jobs = 1 so the poll-count hook stops after exactly one
+  // implemented block.
+  CancelToken token;
+  token.cancel_after(2);
+  RwFlowOptions cancel_opts = fast_opts();
+  cancel_opts.jobs = 1;
+  cancel_opts.cancel = &token;
+  cancel_opts.checkpoint_path = dir.file("resume.ckpt");
+  ModuleCache cancelled_cache;
+  const RwFlowResult cancelled =
+      cancelled_cache.run(design, dev, CfPolicy{}, cancel_opts);
+  EXPECT_TRUE(cancelled.cancelled);
+  EXPECT_EQ(cancelled.cancelled_blocks, 2);
+  EXPECT_EQ(cancelled.blocks[0].status, FlowStatus::Ok);
+  EXPECT_EQ(cancelled.blocks[1].status, FlowStatus::Cancelled);
+  EXPECT_EQ(cancelled.blocks[2].status, FlowStatus::Cancelled);
+
+  // The checkpoint holds exactly the completed block.
+  ModuleCache resumed_cache;
+  const CacheLoadStats loaded =
+      load_module_cache(dir.file("resume.ckpt"), resumed_cache);
+  EXPECT_TRUE(loaded.complete);
+  EXPECT_EQ(loaded.loaded, 1);
+  EXPECT_EQ(loaded.corrupted, 0);
+
+  // Resume without the token: recomputes only the missing blocks, and the
+  // final state is bit-identical to the uninterrupted run -- same macros
+  // (checkpoint text equality) and same stitch, move for move.
+  RwFlowOptions resume_opts = fast_opts();
+  resume_opts.checkpoint_path = dir.file("resume.ckpt");
+  const RwFlowResult resumed =
+      resumed_cache.run(design, dev, CfPolicy{}, resume_opts);
+  EXPECT_FALSE(resumed.cancelled);
+  EXPECT_EQ(resumed_cache.misses(), 2);  // only the two cancelled blocks
+  EXPECT_EQ(read_file(dir.file("resume.ckpt")),
+            read_file(dir.file("full.ckpt")));
+  ASSERT_EQ(resumed.blocks.size(), full.blocks.size());
+  for (std::size_t i = 0; i < full.blocks.size(); ++i) {
+    EXPECT_EQ(resumed.blocks[i].status, full.blocks[i].status);
+    EXPECT_EQ(resumed.blocks[i].macro.cf, full.blocks[i].macro.cf);
+    EXPECT_EQ(resumed.blocks[i].macro.used_slices,
+              full.blocks[i].macro.used_slices);
+  }
+  EXPECT_EQ(resumed.stitch.cost, full.stitch.cost);
+  EXPECT_EQ(resumed.stitch.wirelength, full.stitch.wirelength);
+  EXPECT_EQ(resumed.stitch.total_moves, full.stitch.total_moves);
+  ASSERT_EQ(resumed.stitch.positions.size(), full.stitch.positions.size());
+  for (std::size_t i = 0; i < full.stitch.positions.size(); ++i) {
+    EXPECT_EQ(resumed.stitch.positions[i].col, full.stitch.positions[i].col);
+    EXPECT_EQ(resumed.stitch.positions[i].row, full.stitch.positions[i].row);
+  }
+}
+
+TEST(Cancel, MidRunCancellationAtAnyJobsStillResumesIdentically) {
+  // Schedule-dependent variant: at MF_TEST_JOBS workers the set of blocks
+  // that completes before the trip is arbitrary -- the invariant is that
+  // resume converges to the exact uninterrupted state anyway (each block is
+  // a pure function of its inputs).
+  const BlockDesign design = small_design();
+  const Device dev = xc7z020_model();
+  TempDir dir("cancel_resume_mt");
+
+  RwFlowOptions full_opts = fast_opts();
+  full_opts.checkpoint_path = dir.file("full.ckpt");
+  ModuleCache full_cache;
+  full_cache.run(design, dev, CfPolicy{}, full_opts);
+
+  CancelToken token;
+  token.cancel_after(2);
+  RwFlowOptions cancel_opts = fast_opts();
+  cancel_opts.cancel = &token;
+  cancel_opts.checkpoint_path = dir.file("resume.ckpt");
+  ModuleCache cancelled_cache;
+  cancelled_cache.run(design, dev, CfPolicy{}, cancel_opts);
+
+  ModuleCache resumed_cache;
+  load_module_cache(dir.file("resume.ckpt"), resumed_cache);
+  RwFlowOptions resume_opts = fast_opts();
+  resume_opts.checkpoint_path = dir.file("resume.ckpt");
+  resumed_cache.run(design, dev, CfPolicy{}, resume_opts);
+  EXPECT_EQ(read_file(dir.file("resume.ckpt")),
+            read_file(dir.file("full.ckpt")));
+}
+
+TEST(Cancel, StitchWatchdogHonoursToken) {
+  // Build a stitch problem from a clean run, then stitch it again with a
+  // tripped token: the amortised watchdog fires on the first check and the
+  // result degrades to the initial placement.
+  const RwFlowResult full =
+      run_rw_flow(small_design(), xc7z020_model(), CfPolicy{}, fast_opts());
+  ASSERT_FALSE(full.problem.instances.empty());
+
+  CancelToken token;
+  token.cancel();
+  StitchOptions opts = fast_opts().stitch;
+  opts.cancel = &token;
+  const StitchResult result =
+      stitch(xc7z020_model(), full.problem, opts);
+  EXPECT_TRUE(result.watchdog_fired);
+  EXPECT_LT(result.total_moves, 32);
+}
+
+TEST(Cancel, ForestFitThrowsAndLeavesNoHalfForest) {
+  std::vector<std::vector<double>> x(40, std::vector<double>(4, 0.0));
+  std::vector<double> y(40, 1.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i][0] = static_cast<double>(i);
+    y[i] = static_cast<double>(i % 5);
+  }
+  CancelToken token;
+  token.cancel();
+  RForestOptions opts;
+  opts.trees = 16;
+  opts.jobs = 1;
+  opts.cancel = &token;
+  RandomForest forest;
+  EXPECT_THROW(forest.fit(x, y, opts), CancelledError);
+  EXPECT_EQ(forest.tree_count(), 0u);
+}
+
+TEST(Cancel, PredictRowsReturnsNulloptNeverAPartialBatch) {
+  TempDir dir("cancel_predict");
+  ModelRegistry registry(dir.path());
+  ASSERT_TRUE(registry.put(tiny_bundle()).has_value());
+
+  CancelToken token;
+  token.cancel();
+  ServiceOptions options;
+  options.jobs = 1;
+  options.batch_grain = 8;
+  options.cancel = &token;
+  EstimatorService service(dir.path(), options);
+  const std::vector<std::vector<double>> rows(
+      64, std::vector<double>(feature_names(FeatureSet::Classical).size(),
+                              1.0));
+  EXPECT_FALSE(service.predict_rows("m", rows).has_value());
+  EXPECT_NE(service.last_error().find("cancelled"), std::string::npos);
+}
+
+// -- circuit breaker --------------------------------------------------------
+
+TEST(Breaker, DisabledKeepsLegacyNulloptContract) {
+  TempDir dir("breaker_off");
+  EstimatorService service(dir.path());  // threshold 0 = disabled
+  const std::vector<std::vector<double>> rows(
+      4, std::vector<double>(feature_names(FeatureSet::Classical).size(),
+                             1.0));
+  EXPECT_FALSE(service.predict_rows("ghost", rows).has_value());
+  EXPECT_EQ(service.stats().fallback_requests, 0u);
+  EXPECT_EQ(service.stats().breaker_trips, 0u);
+  EXPECT_EQ(service.stats().resolve_failures, 1u);
+}
+
+TEST(Breaker, TripsAfterConsecutiveFailuresAndServesConstantCf) {
+  TempDir dir("breaker_trip");
+  ServiceOptions options;
+  options.breaker_failure_threshold = 2;
+  options.breaker_cooldown_seconds = 3600.0;  // stays open for the test
+  options.fallback_cf = 1.75;
+  EstimatorService service(dir.path(), options);
+
+  ResourceReport report;
+  ShapeReport shape;
+  // Every request is answered (degraded), never an error.
+  for (int k = 0; k < 5; ++k) {
+    const auto cf = service.estimate("ghost", report, shape);
+    ASSERT_TRUE(cf.has_value());
+    EXPECT_EQ(*cf, 1.75);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.fallback_requests, 5u);
+  EXPECT_EQ(stats.breaker_trips, 1u);
+  // After the trip the registry is not consulted again: failures 1 and 2
+  // hit the disk, requests 3..5 short-circuit.
+  EXPECT_EQ(stats.resolve_failures, 2u);
+  EXPECT_EQ(stats.bundle_loads, 0u);
+
+  // Batched prediction degrades the same way.
+  const std::vector<std::vector<double>> rows(
+      3, std::vector<double>(feature_names(FeatureSet::Classical).size(),
+                             1.0));
+  const auto batch = service.predict_rows("ghost", rows);
+  ASSERT_TRUE(batch.has_value());
+  for (double v : *batch) EXPECT_EQ(v, 1.75);
+}
+
+TEST(Breaker, HalfOpenProbeHealsOnceABundleAppears) {
+  TempDir dir("breaker_heal");
+  ServiceOptions options;
+  options.breaker_failure_threshold = 1;
+  options.breaker_cooldown_seconds = 0.0;  // immediate half-open probes
+  options.fallback_cf = 1.5;
+  EstimatorService service(dir.path(), options);
+
+  ResourceReport report;
+  ShapeReport shape;
+  EXPECT_EQ(service.estimate("m", report, shape), 1.5);  // trips the breaker
+  EXPECT_EQ(service.stats().breaker_trips, 1u);
+
+  // A model shows up; the next request's half-open probe loads it and the
+  // breaker closes -- real predictions from here on.
+  ModelRegistry registry(dir.path());
+  ASSERT_TRUE(registry.put(tiny_bundle()).has_value());
+  const auto healed = service.estimate("m", report, shape);
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_EQ(service.stats().bundle_loads, 1u);
+  EXPECT_EQ(service.stats().fallback_requests, 1u);  // only the first call
+  // And failures reset: stats stay put across further healthy requests.
+  service.estimate("m", report, shape);
+  EXPECT_EQ(service.stats().breaker_trips, 1u);
+}
+
+// -- registry quarantine ----------------------------------------------------
+
+TEST(Quarantine, CorruptBundleIsMovedWithReasonAndOlderVersionServes) {
+  TempDir dir("quarantine");
+  ModelRegistry registry(dir.path());
+  ASSERT_TRUE(registry.put(tiny_bundle("m", 7)).has_value());   // v1
+  const auto v2 = registry.put(tiny_bundle("m", 8));            // v2
+  ASSERT_TRUE(v2.has_value());
+
+  // Damage the newest version on disk (truncate to half).
+  const std::string text = read_file(v2->path);
+  {
+    std::ofstream out(v2->path, std::ios::binary | std::ios::trunc);
+    out << text.substr(0, text.size() / 2);
+  }
+
+  ResolveStats stats;
+  const auto resolved =
+      registry.resolve("m", std::nullopt, std::nullopt, &stats);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(resolved->version, 1);
+  EXPECT_EQ(stats.corrupt, 1);
+  EXPECT_EQ(stats.quarantined, 1);
+
+  // The damaged file moved into quarantine/ with a .reason sibling.
+  EXPECT_FALSE(fs::exists(v2->path));
+  const fs::path moved =
+      fs::path(registry.quarantine_dir()) / fs::path(v2->path).filename();
+  EXPECT_TRUE(fs::exists(moved));
+  const std::string reason = read_file(moved.string() + ".reason");
+  EXPECT_NE(reason.find("m-v2"), std::string::npos);
+  EXPECT_FALSE(reason.empty());
+
+  // Self-healed: the next resolve no longer sees (or re-parses) the corpse.
+  ResolveStats again;
+  const auto second =
+      registry.resolve("m", std::nullopt, std::nullopt, &again);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(again.considered, 1);
+  EXPECT_EQ(again.corrupt, 0);
+  EXPECT_EQ(again.quarantined, 0);
+
+  // put() keeps counting versions upward: quarantine does not recycle v2.
+  const auto v3 = registry.put(tiny_bundle("m", 9));
+  ASSERT_TRUE(v3.has_value());
+  EXPECT_EQ(v3->version, 3);
+}
+
+TEST(Quarantine, ServiceFallsBackToOlderCleanBundleTransparently) {
+  TempDir dir("quarantine_service");
+  ModelRegistry registry(dir.path());
+  const ModelBundle good = tiny_bundle("m", 7);
+  ASSERT_TRUE(registry.put(good).has_value());
+  const auto v2 = registry.put(tiny_bundle("m", 8));
+  ASSERT_TRUE(v2.has_value());
+  {
+    std::ofstream out(v2->path, std::ios::binary | std::ios::trunc);
+    out << "not a bundle";
+  }
+
+  EstimatorService service(dir.path());
+  const std::vector<std::vector<double>> rows(
+      4, std::vector<double>(feature_names(FeatureSet::Classical).size(),
+                             2.0));
+  const auto batch = service.predict_rows("m", rows);
+  ASSERT_TRUE(batch.has_value());
+  // Served from v1 -- the same numbers the good bundle produces directly.
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ((*batch)[i], good.estimator.predict_row(rows[i]));
+  }
+  EXPECT_EQ(service.bundle("m")->version, 1);
+}
+
+}  // namespace
+}  // namespace mf

@@ -15,16 +15,23 @@
 //   cnv [--xdc out.xdc] [--dot out.dot]
 //                              -- run the cnvW1A1 flow and export artefacts
 //
-// Exit status: 0 on success, 1 on user error, 2 on flow failure.
+// Exit status (uniform across subcommands, asserted by tests/cli_exit_codes.sh):
+//   0   -- success
+//   1   -- usage / user error (unknown flag, bad value, unknown module)
+//   2   -- runtime failure (flow found no solution, file not writable)
+//   130 -- cancelled: SIGINT/SIGTERM or an expired --deadline-seconds.
+//          A first SIGINT cancels cooperatively (running work drains and
+//          checkpoints); a second hard-exits with the same status.
 
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <optional>
 #include <string>
 
+#include "common/atomic_file.hpp"
+#include "common/cancel.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
@@ -33,6 +40,7 @@
 #include "fabric/catalog.hpp"
 #include "flow/ground_truth.hpp"
 #include "flow/rw_flow.hpp"
+#include "flow/serialize.hpp"
 #include "netlist/writer.hpp"
 #include "nn/cnv_w1a1.hpp"
 #include "serve/registry.hpp"
@@ -44,6 +52,17 @@ namespace {
 
 using namespace mf;
 
+// Documented exit codes (keep in sync with the header comment, usage(), and
+// tests/cli_exit_codes.sh).
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitRuntime = 2;
+constexpr int kExitCancelled = 130;
+
+/// Process-wide cancellation token: tripped by SIGINT/SIGTERM (installed in
+/// main) or by --deadline-seconds, polled by every long-running stage.
+CancelToken g_cancel;
+
 int usage() {
   std::fputs(
       "usage: macroflow_cli <command> [options]\n"
@@ -53,12 +72,21 @@ int usage() {
       "  estimate <module> [--jobs N] [--seed S] [--registry DIR]\n"
       "  train [--kind linreg|mlp|dtree|rforest|gboost] [--name NAME]\n"
       "        [--count N] [--trees N] [--seed S] [--jobs N]\n"
-      "        [--out FILE | --registry DIR]\n"
+      "        [--deadline-seconds S] [--out FILE | --registry DIR]\n"
       "  predict <module> (--model FILE | --name NAME [--registry DIR])\n"
       "  cnv [--xdc FILE] [--dot FILE] [--jobs N] [--model FILE-or-NAME]\n"
-      "      [--stitch-restarts K] [--stitch-jobs N]\n"
+      "      [--stitch-restarts K] [--stitch-jobs N] [--checkpoint FILE]\n"
+      "      [--deadline-seconds S]\n"
       "--jobs: worker threads (1 = sequential, 0 = all hardware threads);\n"
       "results are bit-identical at any value.\n"
+      "--deadline-seconds: end-to-end wall-clock budget; on expiry (or\n"
+      "SIGINT) the run drains in-flight work, checkpoints what finished\n"
+      "(cnv with --checkpoint), and exits with status 130.\n"
+      "--checkpoint: module-cache file; loaded before the cnv flow and\n"
+      "rewritten (atomically) after it, so a cancelled run resumes with its\n"
+      "completed blocks and recomputes only the rest.\n"
+      "exit codes: 0 success, 1 usage error, 2 runtime failure,\n"
+      "130 cancelled.\n"
       "--seed: estimator training seed (default 3).\n"
       "--registry: model-bundle directory (default $MACROFLOW_MODEL_DIR or\n"
       "./macroflow-models). `estimate` serves a matching bundle from it and\n"
@@ -131,9 +159,9 @@ std::optional<int> parse_int_option(int argc, char** argv, int& i,
 }
 
 bool write_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path);
-  out << content;
-  return static_cast<bool>(out);
+  // Atomic temp+rename with stream-state checks: exported artefacts are
+  // either complete or absent, and ENOSPC surfaces as a failure.
+  return atomic_write_file(path, content);
 }
 
 /// Look the module up in the dataset sweep first, then in cnvW1A1.
@@ -357,6 +385,10 @@ int cmd_train(const std::string& kind_text, const std::string& model_name,
   spec.options.rforest.trees = trees;
   apply_seed(spec.options, seed);
   spec.jobs = jobs;
+  // Forest training honours the global deadline/SIGINT token; cancellation
+  // surfaces as CancelledError and exits 130 from main (a partial forest is
+  // not a resumable artifact, so there is nothing to checkpoint).
+  spec.options.rforest.cancel = &g_cancel;
 
   std::printf("training %s on a %d-spec sweep (seed %llu)...\n",
               to_string(*kind), count,
@@ -431,11 +463,12 @@ int cmd_predict(const std::string& name, const std::string& model_path,
 
 int cmd_cnv(const std::string& xdc_path, const std::string& dot_path,
             int jobs, int stitch_restarts, int stitch_jobs,
-            const std::string& model, const std::string& registry_dir) {
+            const std::string& model, const std::string& registry_dir,
+            const std::string& checkpoint_path) {
   const Device dev = xc7z020_model();
   const CnvDesign design = build_cnv_w1a1();
   if (!dot_path.empty()) {
-    if (!write_file(dot_path, write_dot(design))) return 2;
+    if (!write_file(dot_path, write_dot(design))) return kExitRuntime;
     std::printf("block diagram written to %s\n", dot_path.c_str());
   }
   RwFlowOptions opts;
@@ -443,6 +476,8 @@ int cmd_cnv(const std::string& xdc_path, const std::string& dot_path,
   opts.jobs = jobs;
   opts.stitch.restarts = stitch_restarts;
   opts.stitch.jobs = stitch_jobs;
+  opts.cancel = &g_cancel;
+  opts.checkpoint_path = checkpoint_path;
   CfPolicy policy;
   policy.mode = CfPolicy::Mode::MinSearch;
 
@@ -474,7 +509,33 @@ int cmd_cnv(const std::string& xdc_path, const std::string& dot_path,
     policy.estimator = &bundle->estimator;
   }
   Timer timer;
-  const RwFlowResult result = run_rw_flow(design, dev, policy, opts);
+  RwFlowResult result;
+  if (!checkpoint_path.empty()) {
+    // Checkpointed flow: resume completed blocks, rewrite the checkpoint
+    // after the run (ModuleCache::run does both; the write is atomic).
+    ModuleCache cache;
+    const CacheLoadStats loaded = load_module_cache(checkpoint_path, cache);
+    if (loaded.loaded > 0 || loaded.corrupted > 0) {
+      std::printf("checkpoint %s: %d block(s) resumed, %d corrupt entr%s "
+                  "dropped\n",
+                  checkpoint_path.c_str(), loaded.loaded, loaded.corrupted,
+                  loaded.corrupted == 1 ? "y" : "ies");
+    }
+    result = cache.run(design, dev, policy, opts);
+  } else {
+    result = run_rw_flow(design, dev, policy, opts);
+  }
+  if (result.cancelled) {
+    const std::size_t total = design.unique_modules.size();
+    std::fprintf(stderr,
+                 "cancelled: %zu/%zu unique blocks implemented%s\n",
+                 total - static_cast<std::size_t>(result.cancelled_blocks),
+                 total,
+                 checkpoint_path.empty()
+                     ? " (no --checkpoint: progress not persisted)"
+                     : ", checkpointed -- rerun to resume");
+    return kExitCancelled;
+  }
   std::printf("flow: %d tool runs, %d failed blocks, %d/%zu unplaced "
               "(%.1fs)\n",
               result.total_tool_runs, result.failed_blocks,
@@ -483,16 +544,16 @@ int cmd_cnv(const std::string& xdc_path, const std::string& dot_path,
   if (!xdc_path.empty()) {
     if (!write_file(xdc_path,
                     write_xdc(result.problem, result.stitch.positions))) {
-      return 2;
+      return kExitRuntime;
     }
     std::printf("floorplan constraints written to %s\n", xdc_path.c_str());
   }
-  return 0;
+  return kExitOk;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+/// Full command dispatch; main() wraps it with signal installation and the
+/// CancelledError -> 130 mapping.
+int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
 
@@ -606,6 +667,11 @@ int main(int argc, char** argv) {
         const char* path = option_value(argc, argv, i, "--registry");
         if (path == nullptr) return 1;
         registry_dir = path;
+      } else if (std::strcmp(argv[i], "--deadline-seconds") == 0) {
+        const std::optional<double> parsed = parse_double_option(
+            argc, argv, i, "--deadline-seconds", 0.0, 1e9);
+        if (!parsed) return 1;
+        g_cancel.set_deadline_seconds(*parsed);
       } else {
         return usage();
       }
@@ -652,6 +718,7 @@ int main(int argc, char** argv) {
     int stitch_jobs = MF_JOBS_DEFAULT;
     std::string model;
     std::string registry_dir;
+    std::string checkpoint;
     for (int i = 2; i < argc; ++i) {
       if (std::strcmp(argv[i], "--xdc") == 0) {
         const char* path = option_value(argc, argv, i, "--xdc");
@@ -684,12 +751,42 @@ int main(int argc, char** argv) {
         const char* path = option_value(argc, argv, i, "--registry");
         if (path == nullptr) return 1;
         registry_dir = path;
+      } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
+        const char* path = option_value(argc, argv, i, "--checkpoint");
+        if (path == nullptr) return 1;
+        checkpoint = path;
+      } else if (std::strcmp(argv[i], "--deadline-seconds") == 0) {
+        const std::optional<double> parsed = parse_double_option(
+            argc, argv, i, "--deadline-seconds", 0.0, 1e9);
+        if (!parsed) return 1;
+        g_cancel.set_deadline_seconds(*parsed);
       } else {
         return usage();
       }
     }
     return cmd_cnv(xdc, dot, jobs, stitch_restarts, stitch_jobs, model,
-                   registry_dir);
+                   registry_dir, checkpoint);
   }
   return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // First SIGINT/SIGTERM trips g_cancel (cooperative: work drains and
+  // checkpoints), a second hard-exits 130.
+  install_signal_cancel(&g_cancel);
+  try {
+    const int status = dispatch(argc, argv);
+    // A deadline that expired after the last cancellation point still means
+    // the run was cut short somewhere -- report it uniformly.
+    if (status == kExitOk && g_cancel.cancelled()) {
+      std::fprintf(stderr, "cancelled\n");
+      return kExitCancelled;
+    }
+    return status;
+  } catch (const CancelledError&) {
+    std::fprintf(stderr, "cancelled\n");
+    return kExitCancelled;
+  }
 }
