@@ -31,6 +31,31 @@ inline constexpr double kBinWidth = 0.02;
 inline constexpr int kBinCap = 75;
 inline constexpr double kTrainFraction = 0.8;
 
+/// Version stamp shared by every BENCH_*.json artifact. Bump it whenever a
+/// field changes meaning or moves, so downstream tooling comparing bench
+/// history across commits can refuse mismatched shapes instead of silently
+/// misreading them.
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// Write one BENCH_*.json artifact: `body` carries the emitter's fields
+/// (without the outer braces); the common envelope prepends the
+/// schema_version stamp so every artifact self-identifies.
+inline bool write_bench_json(const std::string& path,
+                             const std::string& body) {
+  const std::string json = "{\n \"schema_version\": " +
+                           std::to_string(kBenchSchemaVersion) + ",\n" +
+                           body + "}\n";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 inline void banner(const char* experiment, const char* paper_summary) {
   std::printf("==================================================================\n");
   std::printf("%s\n", experiment);

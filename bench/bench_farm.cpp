@@ -1,0 +1,147 @@
+// Farm bench: what multi-process supervision buys and what recovery costs.
+//
+// Two claims are measured and *checked*, not just timed:
+//   1. throughput scaling: the same labelling plan run with 1, 2, and 4
+//      worker processes produces byte-identical merged datasets (the
+//      headline guarantee), with wall time expected to drop as workers are
+//      added (reported, not asserted -- tiny plans are scheduling-noise
+//      dominated);
+//   2. recovery latency: a chaos campaign that SIGKILLs every shard's first
+//      attempts must still complete with the same bytes, and the extra wall
+//      time over the clean run is the price of detection + backoff +
+//      resume-from-checkpoint.
+// A violated invariant aborts the bench via MF_CHECK -- the ctest entry
+// (`--quick`) relies on that to turn this into a correctness gate.
+//
+// Results land in BENCH_FARM.json. Plain main (the fork/exec structure does
+// not fit the BM_ harness); like every farm host binary, it answers
+// --farm-worker before doing anything else.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.hpp"
+#include "common/check.hpp"
+#include "common/timer.hpp"
+#include "farm/supervisor.hpp"
+#include "farm/worker.hpp"
+#include "flow/serialize.hpp"
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mf;
+namespace fs = std::filesystem;
+
+FarmResult run_plan(const std::string& dir, const FarmPlan& plan,
+                    int workers, int max_attempts = 3) {
+  fs::remove_all(dir);
+  FarmOptions options;
+  options.dir = dir;
+  options.plan = plan;
+  options.workers = workers;
+  options.max_attempts = max_attempts;
+  options.quiet = true;
+  options.poll_ms = 2.0;
+  options.backoff_base_ms = 5.0;
+  options.backoff_cap_ms = 50.0;
+  return run_farm(options);
+}
+
+std::string merged_bytes(const FarmResult& result) {
+  MF_CHECK(result.merged_paths.size() == 1);
+  return read_file(result.merged_paths[0]).value_or("");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (const std::optional<int> code = maybe_run_farm_worker(argc, argv)) {
+    return *code;
+  }
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  bench::banner("DSE farm: multi-process scaling and crash recovery",
+                "robustness infrastructure; no table in the paper");
+
+  const std::string work_dir =
+      (fs::temp_directory_path() / "mf_bench_farm").string();
+  fs::remove_all(work_dir);
+  fs::create_directories(work_dir);
+
+  FarmPlan plan;
+  plan.count = quick ? 24 : 96;
+  plan.seed = 42;
+  plan.shards_per_grid = 4;
+  plan.checkpoint_every = 2;
+  plan.worker_jobs = 1;
+
+  // -- 1. worker-count scaling, byte-identity asserted ----------------------
+  const std::vector<int> worker_sweep = {1, 2, 4};
+  std::printf("\n%-10s %10s %10s %10s %12s\n", "workers", "wall ms", "spawns",
+              "samples", "bytes");
+  std::string reference;
+  std::vector<std::pair<int, double>> scaling;
+  for (const int workers : worker_sweep) {
+    Timer timer;
+    const FarmResult result =
+        run_plan(work_dir + "/w" + std::to_string(workers), plan, workers);
+    const double seconds = timer.seconds();
+    MF_CHECK_MSG(result.ok, "clean farm run must complete");
+    const std::string bytes = merged_bytes(result);
+    if (reference.empty()) {
+      reference = bytes;
+    } else {
+      MF_CHECK_MSG(bytes == reference,
+                   "merged dataset must be byte-identical at any worker "
+                   "count");
+    }
+    std::printf("%-10d %10.1f %10ld %10ld %12zu\n", workers, seconds * 1e3,
+                result.spawns, result.samples, bytes.size());
+    scaling.emplace_back(workers, seconds * 1e3);
+  }
+
+  // -- 2. chaos recovery: kill-heavy campaign vs the clean run --------------
+  FarmPlan chaos_plan = plan;
+  chaos_plan.chaos.enabled = true;
+  chaos_plan.chaos.p_kill = 1.0;
+  chaos_plan.chaos.faults_per_shard = 1;  // every shard dies exactly once
+  Timer chaos_timer;
+  const FarmResult chaos =
+      run_plan(work_dir + "/chaos", chaos_plan, 2, /*max_attempts=*/3);
+  const double chaos_ms = chaos_timer.seconds() * 1e3;
+  MF_CHECK_MSG(chaos.ok, "kill-chaos farm must recover and complete");
+  MF_CHECK_MSG(chaos.respawns >= chaos_plan.shards_per_grid,
+               "every shard's injected death must be detected and respawned");
+  MF_CHECK_MSG(merged_bytes(chaos) == reference,
+               "recovery must not change a byte of the merged dataset");
+  const double clean_ms = scaling[1].second;  // the same 2-worker topology
+  std::printf("\nchaos recovery: %ld respawns, %.1f ms vs %.1f ms clean "
+              "(+%.1f ms for detection + backoff + resume)\n",
+              chaos.respawns, chaos_ms, clean_ms, chaos_ms - clean_ms);
+
+  std::string json;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                " \"count\": %d,\n \"shards\": %d,\n"
+                " \"chaos_respawns\": %ld,\n \"chaos_wall_ms\": %.1f,\n"
+                " \"runs\": [",
+                plan.count, plan.shards_per_grid, chaos.respawns, chaos_ms);
+  json += buf;
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%s\n  {\"workers\": %d, \"wall_ms\": %.1f}",
+                  i == 0 ? "" : ",", scaling[i].first, scaling[i].second);
+    json += buf;
+  }
+  json += "\n ]\n";
+  std::printf("\n");
+  if (!bench::write_bench_json("BENCH_FARM.json", json)) return 1;
+  fs::remove_all(work_dir);
+  return 0;
+}

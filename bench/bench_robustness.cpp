@@ -38,17 +38,12 @@
 #include "serve/service.hpp"
 #include "stitch/sa_stitcher.hpp"
 
+#include "bench_common.hpp"
+
 namespace {
 
 using namespace mf;
 namespace fs = std::filesystem;
-
-std::string read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
 
 /// A checkpoint-sized payload: a module cache with `n` synthetic entries.
 std::string checkpoint_payload(int n) {
@@ -138,7 +133,7 @@ int main(int argc, char** argv) {
     MF_CHECK(atomic_write_file(atomic_path, payload));
   }
   const double atomic_ms = atomic_timer.seconds() * 1e3 / write_reps;
-  MF_CHECK(read_file(atomic_path) == payload);
+  MF_CHECK(read_file(atomic_path).value_or("") == payload);
 
   // Mini crash sweep: old-or-new must hold at a spread of byte boundaries
   // (the exhaustive every-byte sweep lives in tests/test_robustness.cpp).
@@ -149,7 +144,7 @@ int main(int argc, char** argv) {
   for (long n = 0; n <= static_cast<long>(payload.size()); n += step) {
     ScopedWriteCrash crash(n);
     MF_CHECK(!atomic_write_file(atomic_path, payload));
-    MF_CHECK_MSG(read_file(atomic_path) == old_payload,
+    MF_CHECK_MSG(read_file(atomic_path).value_or("") == old_payload,
                  "crash left a torn checkpoint on disk");
     ++crash_points;
   }
@@ -242,22 +237,14 @@ int main(int argc, char** argv) {
 
   char buf[512];
   std::snprintf(buf, sizeof buf,
-                "{\n \"atomic_write_ms\": %.4f,\n \"raw_write_ms\": %.4f,\n"
+                " \"atomic_write_ms\": %.4f,\n \"raw_write_ms\": %.4f,\n"
                 " \"crash_points\": %d,\n \"cancel_predict_ms\": %.3f,\n"
                 " \"cancel_stitch_ms\": %.3f,\n"
                 " \"breaker_req_per_sec\": %.0f,\n"
-                " \"cold_miss_req_per_sec\": %.0f\n}\n",
+                " \"cold_miss_req_per_sec\": %.0f\n",
                 atomic_ms, raw_ms, crash_points, cancel_ms, stitch_cancel_ms,
                 breaker_per_sec, miss_per_sec);
-  std::FILE* out = std::fopen("BENCH_ROBUSTNESS.json", "w");
-  if (out != nullptr) {
-    std::fputs(buf, out);
-    std::fclose(out);
-    std::printf("wrote BENCH_ROBUSTNESS.json\n");
-  } else {
-    std::fprintf(stderr, "could not write BENCH_ROBUSTNESS.json\n");
-    return 1;
-  }
+  if (!bench::write_bench_json("BENCH_ROBUSTNESS.json", buf)) return 1;
   fs::remove_all(work_dir, ec);
   return 0;
 }

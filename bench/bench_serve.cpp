@@ -29,6 +29,8 @@
 #include "serve/service.hpp"
 #include "serve/trainer.hpp"
 
+#include "bench_common.hpp"
+
 namespace {
 
 using namespace mf;
@@ -139,7 +141,7 @@ int main(int argc, char** argv) {
     throughput.emplace_back(jobs, rows_per_sec);
   }
 
-  std::string json = "{\n";
+  std::string json;
   char buf[256];
   std::snprintf(buf, sizeof buf,
                 " \"train_ms\": %.3f,\n \"warm_load_ms\": %.3f,\n"
@@ -153,16 +155,9 @@ int main(int argc, char** argv) {
                   throughput[i].second);
     json += buf;
   }
-  json += "\n ]\n}\n";
-  std::FILE* out = std::fopen("BENCH_SERVE.json", "w");
-  if (out != nullptr) {
-    std::fputs(json.c_str(), out);
-    std::fclose(out);
-    std::printf("\nwrote BENCH_SERVE.json\n");
-  } else {
-    std::fprintf(stderr, "could not write BENCH_SERVE.json\n");
-    return 1;
-  }
+  json += "\n ]\n";
+  std::printf("\n");
+  if (!bench::write_bench_json("BENCH_SERVE.json", json)) return 1;
   fs::remove_all(registry_dir, ec);
   return 0;
 }

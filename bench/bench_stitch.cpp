@@ -27,6 +27,8 @@
 #include "flow/rw_flow.hpp"
 #include "nn/cnv_w1a1.hpp"
 
+#include "bench_common.hpp"
+
 namespace {
 
 using namespace mf;
@@ -166,7 +168,7 @@ int main(int argc, char** argv) {
   std::printf("multi-start winner: restart %d of %d (cost %.1f)\n",
               jobs1_result.restart_index, restarts, jobs1_result.cost);
 
-  json += "{\n \"problem\": {\"instances\": " +
+  json += " \"problem\": {\"instances\": " +
           std::to_string(problem.instances.size()) +
           ", \"nets\": " + std::to_string(problem.nets.size()) +
           ", \"macros\": " + std::to_string(problem.macros.size()) + "},\n";
@@ -177,15 +179,8 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < samples.size(); ++i) {
     append_json(json, samples[i], i == 0);
   }
-  json += "\n ]\n}\n";
-  std::FILE* out = std::fopen("BENCH_STITCH.json", "w");
-  if (out != nullptr) {
-    std::fputs(json.c_str(), out);
-    std::fclose(out);
-    std::printf("\nwrote BENCH_STITCH.json\n");
-  } else {
-    std::fprintf(stderr, "could not write BENCH_STITCH.json\n");
-    return 1;
-  }
+  json += "\n ]\n";
+  std::printf("\n");
+  if (!bench::write_bench_json("BENCH_STITCH.json", json)) return 1;
   return 0;
 }

@@ -50,6 +50,22 @@ void sync_directory(const fs::path& dir) {
 
 }  // namespace
 
+std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return std::nullopt;
+  std::string content;
+  char buf[1 << 16];
+  for (;;) {
+    const std::size_t got = std::fread(buf, 1, sizeof buf, in);
+    content.append(buf, got);
+    if (got < sizeof buf) break;
+  }
+  const bool ok = std::ferror(in) == 0;
+  std::fclose(in);
+  if (!ok) return std::nullopt;
+  return content;
+}
+
 void set_atomic_write_crash_after(long bytes) noexcept {
   g_crash_after_bytes.store(bytes, std::memory_order_relaxed);
 }

@@ -24,9 +24,17 @@
 // tests/test_robustness.cpp walks N over every byte boundary and asserts
 // the old-or-new invariant for all three persisted formats.
 
+#include <optional>
 #include <string>
 
 namespace mf {
+
+/// Slurp a file into a string (binary, no newline translation); nullopt when
+/// the file is missing or unreadable. The read-side companion of
+/// atomic_write_file -- every loader in the library reads whole files and
+/// parses from memory, so torn reads of a concurrently renamed file are
+/// impossible (the open() either sees the old inode or the new one).
+[[nodiscard]] std::optional<std::string> read_file(const std::string& path);
 
 struct AtomicWriteOptions {
   /// fsync file + directory (step 3/5). Tests may disable for speed; the

@@ -11,6 +11,16 @@ namespace {
 std::atomic<CancelToken*> g_signal_token{nullptr};
 std::atomic<int> g_signal_count{0};
 
+/// Dispositions that were live before our handler went in, restored on
+/// detach so nesting callers (a farm supervisor embedding a worker-style
+/// run, tests that install around a region) leave the process as they found
+/// it. Written only from install_signal_cancel (single-threaded install
+/// contract); the handler itself never reads them.
+using SignalHandler = void (*)(int);
+bool g_installed = false;
+SignalHandler g_previous_sigint = SIG_DFL;
+SignalHandler g_previous_sigterm = SIG_DFL;
+
 void on_signal(int) {
   if (g_signal_count.fetch_add(1, std::memory_order_relaxed) >= 1) {
     // Second Ctrl-C: the user wants out *now*; skip atexit/destructors.
@@ -23,14 +33,36 @@ void on_signal(int) {
 }  // namespace
 
 bool install_signal_cancel(CancelToken* token) noexcept {
+  if (token == nullptr) {
+    g_signal_token.store(nullptr, std::memory_order_relaxed);
+    if (!g_installed) return true;  // nothing of ours to take down
+    g_installed = false;
+    const bool int_ok =
+        std::signal(SIGINT, g_previous_sigint) != SIG_ERR;
+    const bool term_ok =
+        std::signal(SIGTERM, g_previous_sigterm) != SIG_ERR;
+    return int_ok && term_ok;
+  }
+
   g_signal_token.store(token, std::memory_order_relaxed);
   g_signal_count.store(0, std::memory_order_relaxed);
-  if (token == nullptr) {
-    return std::signal(SIGINT, SIG_DFL) != SIG_ERR &&
-           std::signal(SIGTERM, SIG_DFL) != SIG_ERR;
+  if (g_installed) return true;  // idempotent: our handler is already live
+
+  const SignalHandler previous_int = std::signal(SIGINT, &on_signal);
+  if (previous_int == SIG_ERR) {
+    g_signal_token.store(nullptr, std::memory_order_relaxed);
+    return false;
   }
-  return std::signal(SIGINT, &on_signal) != SIG_ERR &&
-         std::signal(SIGTERM, &on_signal) != SIG_ERR;
+  const SignalHandler previous_term = std::signal(SIGTERM, &on_signal);
+  if (previous_term == SIG_ERR) {
+    std::signal(SIGINT, previous_int);  // undo the half-install
+    g_signal_token.store(nullptr, std::memory_order_relaxed);
+    return false;
+  }
+  g_previous_sigint = previous_int;
+  g_previous_sigterm = previous_term;
+  g_installed = true;
+  return true;
 }
 
 }  // namespace mf

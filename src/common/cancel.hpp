@@ -91,6 +91,15 @@ inline void throw_if_cancelled(const CancelToken* token) {
 /// detach). The first signal cancels cooperatively -- running work drains
 /// and checkpoints; a second signal hard-exits with status 130. Returns
 /// false when handler installation failed.
+///
+/// Installation is idempotent: re-installing (with the same or a different
+/// token) swaps which token the live handler trips and resets the
+/// second-signal counter, without stacking handlers or forgetting the
+/// dispositions that were in place before the *first* install. Detaching
+/// restores exactly those saved dispositions, so a farm supervisor and the
+/// workers it spawns (or nested test fixtures) can each bracket their run
+/// with install/detach without clobbering each other. Not thread-safe:
+/// install/detach from one thread (signal *delivery* stays safe from any).
 bool install_signal_cancel(CancelToken* token) noexcept;
 
 }  // namespace mf

@@ -1,0 +1,63 @@
+#include "farm/chaos.hpp"
+
+#include <chrono>
+#include <csignal>
+#include <string>
+#include <thread>
+
+#include "common/rng.hpp"
+
+namespace mf {
+
+const char* to_string(FarmChaos::Action action) noexcept {
+  switch (action) {
+    case FarmChaos::Action::None:
+      return "none";
+    case FarmChaos::Action::Kill:
+      return "kill";
+    case FarmChaos::Action::Hang:
+      return "hang";
+    case FarmChaos::Action::Slow:
+      return "slow";
+  }
+  return "?";
+}
+
+FarmChaos::Action FarmChaos::draw(int shard, int attempt, int ordinal) const {
+  if (!opts_.enabled || ordinal < 1) return Action::None;
+  const std::string key = "farm-chaos:s" + std::to_string(shard) + ":a" +
+                          std::to_string(attempt) + ":b" +
+                          std::to_string(ordinal);
+  Rng rng(task_seed(opts_.seed, key));
+  const double roll = rng.uniform();
+  // Kill/hang are real faults and respect the per-shard eligibility budget;
+  // slow is benign and always eligible.
+  if (attempt < opts_.faults_per_shard) {
+    if (roll < opts_.p_kill) return Action::Kill;
+    if (roll < opts_.p_kill + opts_.p_hang) return Action::Hang;
+  }
+  if (roll < opts_.p_kill + opts_.p_hang + opts_.p_slow) return Action::Slow;
+  return Action::None;
+}
+
+void FarmChaos::execute(Action action, double slow_ms) {
+  switch (action) {
+    case Action::None:
+      return;
+    case Action::Kill:
+      std::raise(SIGKILL);  // uncatchable: simulated hard worker death
+      return;               // unreachable
+    case Action::Hang:
+      // A true hang: no heartbeat, no cancellation polling, no exit. Only
+      // the supervisor's staleness detector (SIGKILL) ends this process.
+      for (;;) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      }
+    case Action::Slow:
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          slow_ms));
+      return;
+  }
+}
+
+}  // namespace mf

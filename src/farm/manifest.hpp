@@ -1,0 +1,124 @@
+#pragma once
+// Farm work manifest: the deterministic contract between the supervisor and
+// its worker processes (DESIGN.md section 10).
+//
+// One farm labels `count` generator specs at every correction-factor search
+// start in `grid` (the module list x CF grid of the dataset-generation
+// sweeps). The item space is sharded *by pure function*, never by runtime
+// assignment: item -> shard is task_seed(seed, item key) mod shards, so the
+// supervisor, every worker attempt, and the final merge all agree on who
+// owns what without any shared mutable state. Which worker *process* runs a
+// shard is dynamic (work stealing over idle workers); what a shard
+// *contains* is not -- that split is what makes the merged output
+// bit-identical to a single-process run no matter how many workers died
+// along the way.
+//
+// The manifest is persisted as a versioned text file in the farm directory
+// so a respawned worker (or a whole restarted farm) re-derives the exact
+// same plan; a farm directory whose manifest does not match the requested
+// plan is refused rather than silently re-sharded over stale checkpoints.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "farm/chaos.hpp"
+#include "rtlgen/sweep.hpp"
+
+namespace mf {
+
+/// Everything that defines the farm's work, persisted in the manifest.
+struct FarmPlan {
+  int count = 200;            ///< dataset_sweep spec count
+  std::uint64_t seed = 42;    ///< sweep seed (also the sharding seed)
+  std::vector<double> grid = {0.9};  ///< CF search-start grid
+  int shards_per_grid = 8;    ///< shards each grid value is split into
+  int checkpoint_every = 8;   ///< items per worker checkpoint chunk
+  int worker_jobs = 1;        ///< threads inside one worker process
+  FarmChaosOptions chaos;     ///< fault injection, seen by every worker
+};
+
+class FarmManifest {
+ public:
+  FarmManifest() = default;
+  explicit FarmManifest(FarmPlan plan) : plan_(std::move(plan)) {}
+
+  [[nodiscard]] const FarmPlan& plan() const noexcept { return plan_; }
+
+  /// Total shard count: one block of `shards_per_grid` per grid value.
+  [[nodiscard]] int total_shards() const noexcept {
+    return plan_.shards_per_grid * static_cast<int>(plan_.grid.size());
+  }
+  /// Grid index a global shard id belongs to.
+  [[nodiscard]] int grid_of_shard(int shard) const noexcept {
+    return shard / plan_.shards_per_grid;
+  }
+  /// Shard id within its grid block.
+  [[nodiscard]] int local_shard(int shard) const noexcept {
+    return shard % plan_.shards_per_grid;
+  }
+
+  /// The sweep spec list (deterministic; every process re-derives it).
+  [[nodiscard]] std::vector<GenSpec> specs() const {
+    return dataset_sweep({plan_.count, plan_.seed});
+  }
+
+  /// Owning local shard of one item: task_seed(seed, name) mod shards.
+  [[nodiscard]] int shard_of_item(const std::string& name) const noexcept;
+
+  /// Spec indices owned by global shard `shard`, in global spec order.
+  [[nodiscard]] std::vector<std::size_t> shard_items(
+      int shard, const std::vector<GenSpec>& specs) const;
+
+ private:
+  FarmPlan plan_;
+};
+
+/// Versioned text round-trip (footer-terminated; truncation is rejected).
+[[nodiscard]] std::string manifest_to_text(const FarmManifest& manifest);
+[[nodiscard]] std::optional<FarmManifest> manifest_from_text(
+    const std::string& text);
+
+/// File helpers (atomic write; load returns nullopt on damage).
+bool save_manifest(const std::string& path, const FarmManifest& manifest);
+[[nodiscard]] std::optional<FarmManifest> load_manifest(
+    const std::string& path);
+
+// -- farm directory layout ---------------------------------------------------
+// <dir>/MANIFEST                   the plan (this file)
+// <dir>/shards/shard_NNNN.gt       per-shard labelled samples (checkpoint
+//                                  and final output; ground-truth format)
+// <dir>/shards/shard_NNNN.infe     infeasible spec names (resume sidecar)
+// <dir>/shards/shard_NNNN.hb       heartbeat (attempt + chunk counter)
+// <dir>/shards/shard_NNNN.done     completion marker (written last)
+// <dir>/quarantine/shard_NNNN.*    poison shards moved out of the way
+// <dir>/quarantine/shard_NNNN.reason  why the shard was given up on
+// <dir>/ground_truth.gt            merged output (grid of one)
+// <dir>/ground_truth.gK.gt         merged output of grid index K (grid > 1)
+
+[[nodiscard]] std::string farm_manifest_path(const std::string& dir);
+[[nodiscard]] std::string farm_shards_dir(const std::string& dir);
+[[nodiscard]] std::string farm_quarantine_dir(const std::string& dir);
+[[nodiscard]] std::string farm_shard_stem(int shard);  ///< "shard_NNNN"
+[[nodiscard]] std::string farm_shard_gt_path(const std::string& dir,
+                                             int shard);
+[[nodiscard]] std::string farm_shard_infeasible_path(const std::string& dir,
+                                                     int shard);
+[[nodiscard]] std::string farm_shard_heartbeat_path(const std::string& dir,
+                                                    int shard);
+[[nodiscard]] std::string farm_shard_done_path(const std::string& dir,
+                                               int shard);
+/// Merged output path for grid index `grid` of `grid_size` values; a
+/// single-value grid keeps the bare name so the common case stays tidy.
+[[nodiscard]] std::string farm_merged_path(const std::string& dir, int grid,
+                                           int grid_size);
+
+/// The infeasible-name sidecar (versioned, count-terminated like the other
+/// text formats; a torn file is rejected and the worker relabels).
+[[nodiscard]] std::string infeasible_to_text(
+    const std::vector<std::string>& names);
+[[nodiscard]] std::optional<std::vector<std::string>> infeasible_from_text(
+    const std::string& text);
+
+}  // namespace mf

@@ -1,0 +1,238 @@
+#include "farm/worker.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/atomic_file.hpp"
+#include "common/cancel.hpp"
+#include "fabric/catalog.hpp"
+#include "farm/chaos.hpp"
+#include "farm/manifest.hpp"
+#include "flow/ground_truth.hpp"
+#include "flow/serialize.hpp"
+
+namespace mf {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// One worker's view of its shard: the resumable result vectors plus the
+/// paths they persist to.
+struct ShardRun {
+  std::string gt_path;
+  std::string infeasible_path;
+  std::vector<LabeledModule> samples;
+  std::vector<std::string> infeasible;
+
+  /// Rewrite both shard artifacts atomically. A crash between the two
+  /// writes leaves independently valid files; the next attempt merely
+  /// relabels whichever tail the older file is missing.
+  [[nodiscard]] bool checkpoint() const {
+    return save_ground_truth(gt_path, samples) &&
+           atomic_write_file(infeasible_path, infeasible_to_text(infeasible));
+  }
+};
+
+/// Heartbeat: tiny, frequently rewritten, never fsynced (losing one is
+/// harmless -- staleness is judged by *content change*, not durability).
+void beat(const std::string& path, int attempt, std::size_t chunk) {
+  AtomicWriteOptions options;
+  options.sync = false;
+  atomic_write_file(path,
+                    "attempt " + std::to_string(attempt) + " chunk " +
+                        std::to_string(chunk) + "\n",
+                    nullptr, options);
+}
+
+int parse_int_or(const char* text, int fallback) {
+  int value = 0;
+  const char* end = text + std::strlen(text);
+  const auto [ptr, ec] = std::from_chars(text, end, value);
+  return ec == std::errc{} && ptr == end ? value : fallback;
+}
+
+}  // namespace
+
+std::vector<std::string> farm_worker_argv(const FarmWorkerArgs& args) {
+  return {"--farm-worker",
+          "--farm-dir",
+          args.dir,
+          "--shard",
+          std::to_string(args.shard),
+          "--attempt",
+          std::to_string(args.attempt)};
+}
+
+std::optional<FarmWorkerArgs> parse_farm_worker_argv(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--farm-worker") != 0) {
+    return std::nullopt;
+  }
+  FarmWorkerArgs args;
+  args.shard = -1;  // malformed until every required flag parses
+  std::string dir;
+  int shard = -1;
+  int attempt = 0;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--farm-dir") == 0) {
+      dir = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--shard") == 0) {
+      shard = parse_int_or(argv[i + 1], -1);
+    } else if (std::strcmp(argv[i], "--attempt") == 0) {
+      attempt = parse_int_or(argv[i + 1], -1);
+    } else {
+      return args;  // unknown flag: reject via shard = -1
+    }
+  }
+  if (dir.empty() || shard < 0 || attempt < 0) return args;
+  args.dir = std::move(dir);
+  args.shard = shard;
+  args.attempt = attempt;
+  return args;
+}
+
+int run_farm_worker(const FarmWorkerArgs& args) {
+  const std::optional<FarmManifest> manifest =
+      load_manifest(farm_manifest_path(args.dir));
+  if (!manifest) {
+    std::fprintf(stderr, "farm worker: cannot load manifest in %s\n",
+                 args.dir.c_str());
+    return 2;
+  }
+  if (args.shard < 0 || args.shard >= manifest->total_shards()) {
+    std::fprintf(stderr, "farm worker: shard %d out of range (0..%d)\n",
+                 args.shard, manifest->total_shards() - 1);
+    return 2;
+  }
+
+  // Cooperative cancellation: the supervisor's SIGTERM (deadline, Ctrl-C,
+  // or supervisor death via the spawn-time parent-death signal) trips the
+  // token; the chunk loop checkpoints and exits 130. Detach on every path
+  // so the token never dangles past this frame.
+  CancelToken token;
+  install_signal_cancel(&token);
+  struct DetachSignals {
+    ~DetachSignals() { install_signal_cancel(nullptr); }
+  } detach;
+
+  const FarmPlan& plan = manifest->plan();
+  const std::vector<GenSpec> specs = manifest->specs();
+  const std::vector<std::size_t> items =
+      manifest->shard_items(args.shard, specs);
+  CfSearchOptions search;
+  search.start = plan.grid[static_cast<std::size_t>(
+      manifest->grid_of_shard(args.shard))];
+
+  ShardRun run;
+  run.gt_path = farm_shard_gt_path(args.dir, args.shard);
+  run.infeasible_path = farm_shard_infeasible_path(args.dir, args.shard);
+  const std::string done_path = farm_shard_done_path(args.dir, args.shard);
+  const std::string hb_path = farm_shard_heartbeat_path(args.dir, args.shard);
+
+  // A completed shard from an earlier farm run (or a respawn that lost the
+  // race with its own SIGKILL) is final: verify and return.
+  if (fs::exists(done_path) && load_ground_truth(run.gt_path)) return 0;
+
+  // Resume: everything the previous attempts recorded is reused verbatim.
+  std::map<std::string, LabeledModule> have;
+  if (std::optional<std::vector<LabeledModule>> previous =
+          load_ground_truth(run.gt_path)) {
+    for (LabeledModule& sample : *previous) {
+      const std::string name = sample.name;
+      have.emplace(name, std::move(sample));
+    }
+  }
+  std::set<std::string> known_infeasible;
+  if (const std::optional<std::string> text = read_file(run.infeasible_path)) {
+    if (const auto names = infeasible_from_text(*text)) {
+      known_infeasible.insert(names->begin(), names->end());
+    }
+  }
+
+  const Device device = xc7z020_model();
+  const FarmChaos chaos(plan.chaos);
+  const std::size_t chunk_len =
+      static_cast<std::size_t>(plan.checkpoint_every);
+  std::size_t chunk = 0;
+  for (std::size_t begin = 0; begin < items.size();
+       begin += chunk_len, ++chunk) {
+    beat(hb_path, args.attempt, chunk);
+    // Chaos boundary: may SIGKILL this process, hang it forever, or just
+    // slow it down. Boundary 0 never faults, so every attempt banks at
+    // least one checkpointed chunk and kill-heavy campaigns terminate.
+    chaos.act(args.shard, args.attempt, static_cast<int>(chunk));
+    if (token.cancelled()) {
+      return run.checkpoint() ? 130 : 2;
+    }
+
+    const std::size_t end = std::min(items.size(), begin + chunk_len);
+    // Label the chunk's not-yet-known specs in one parallel region; the
+    // results are bit-identical at any worker_jobs, so intra-process
+    // threading composes with process sharding without affecting output.
+    std::vector<GenSpec> todo;
+    for (std::size_t j = begin; j < end; ++j) {
+      const GenSpec& spec = specs[items[j]];
+      if (have.count(spec.name) == 0 &&
+          known_infeasible.count(spec.name) == 0) {
+        todo.push_back(spec);
+      }
+    }
+    if (!todo.empty()) {
+      GroundTruth labelled =
+          build_ground_truth(todo, device, search, plan.worker_jobs);
+      std::set<std::string> feasible;
+      for (LabeledModule& sample : labelled.samples) {
+        const std::string name = sample.name;
+        feasible.insert(name);
+        have.emplace(name, std::move(sample));
+      }
+      for (const GenSpec& spec : todo) {
+        if (feasible.count(spec.name) == 0) {
+          known_infeasible.insert(spec.name);
+        }
+      }
+    }
+    // Re-emit the chunk in item order so the shard file is always a clean
+    // prefix of the final result regardless of which attempt labelled what.
+    for (std::size_t j = begin; j < end; ++j) {
+      const std::string& name = specs[items[j]].name;
+      if (const auto it = have.find(name); it != have.end()) {
+        run.samples.push_back(it->second);
+      } else {
+        run.infeasible.push_back(name);
+      }
+    }
+    if (!run.checkpoint()) {
+      std::fprintf(stderr, "farm worker: cannot checkpoint shard %d in %s\n",
+                   args.shard, args.dir.c_str());
+      return 2;
+    }
+  }
+
+  beat(hb_path, args.attempt, chunk);
+  if (!atomic_write_file(done_path,
+                         "samples " + std::to_string(run.samples.size()) +
+                             " infeasible " +
+                             std::to_string(run.infeasible.size()) + "\n")) {
+    return 2;
+  }
+  return 0;
+}
+
+std::optional<int> maybe_run_farm_worker(int argc, char** argv) {
+  const std::optional<FarmWorkerArgs> args =
+      parse_farm_worker_argv(argc, argv);
+  if (!args) return std::nullopt;
+  if (args->shard < 0) {
+    std::fprintf(stderr, "farm worker: malformed --farm-worker argv\n");
+    return 2;
+  }
+  return run_farm_worker(*args);
+}
+
+}  // namespace mf

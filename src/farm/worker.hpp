@@ -1,0 +1,56 @@
+#pragma once
+// Farm worker process entry point (DESIGN.md section 10).
+//
+// A worker is the *same binary* as its supervisor, re-executed with
+// `--farm-worker --farm-dir D --shard S --attempt K`. It re-derives its
+// item list from the persisted manifest (never from argv, so a respawn
+// cannot drift from the plan), labels the shard in checkpoint-sized chunks,
+// and leaves three artifacts behind: the shard ground-truth file and the
+// infeasible-name sidecar (both rewritten atomically after every chunk --
+// the crash-recovery state), and a completion marker written last. A
+// heartbeat file is bumped before each chunk so the supervisor can tell a
+// hung worker from a slow one.
+//
+// Resume is free: a respawned attempt reloads the shard checkpoint, reuses
+// every recorded result, and relabels only what is missing. Because each
+// label is a pure function of its spec, the shard file converges to the
+// same bytes no matter how many times the worker died along the way.
+//
+// Exit codes follow the CLI contract: 0 done (marker written), 2 runtime
+// failure (unreadable manifest/unwritable shard), 130 cancelled (SIGTERM
+// from the supervisor or Ctrl-C; progress is checkpointed first).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mf {
+
+struct FarmWorkerArgs {
+  std::string dir;  ///< farm directory (holds MANIFEST and shards/)
+  int shard = 0;
+  int attempt = 0;  ///< how many earlier attempts of this shard died
+};
+
+/// Build the exec argv tail for one worker invocation (everything after the
+/// binary path). Kept next to the parser so the two cannot drift.
+[[nodiscard]] std::vector<std::string> farm_worker_argv(
+    const FarmWorkerArgs& args);
+
+/// Parse a full process argv. Returns nullopt when argv is not a worker
+/// invocation (argv[1] != "--farm-worker"); a malformed worker argv yields
+/// args with `shard = -1`, which run_farm_worker rejects with exit 2.
+[[nodiscard]] std::optional<FarmWorkerArgs> parse_farm_worker_argv(
+    int argc, char** argv);
+
+/// Run one worker to completion (or cancellation). Returns the process exit
+/// code; the caller returns it from main() unchanged.
+int run_farm_worker(const FarmWorkerArgs& args);
+
+/// Host-binary hook: every binary that can supervise a farm calls this
+/// first in main() and returns the contained code when set. This is what
+/// makes "fork/exec of the same binary" work for the CLI, the test runner,
+/// and the farm bench alike.
+[[nodiscard]] std::optional<int> maybe_run_farm_worker(int argc, char** argv);
+
+}  // namespace mf

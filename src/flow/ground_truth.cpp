@@ -1,6 +1,8 @@
 #include "flow/ground_truth.hpp"
 
+#include <map>
 #include <optional>
+#include <utility>
 
 #include "common/thread_pool.hpp"
 #include "synth/optimize.hpp"
@@ -76,6 +78,51 @@ GroundTruth label_blocks(const BlockDesign& design, const Device& device,
     truth.samples.push_back(std::move(*sample));
   }
   return truth;
+}
+
+std::vector<LabeledModule> merge_ground_truth_shards(
+    std::vector<std::vector<LabeledModule>> shard_samples,
+    const std::vector<std::string>& order, ShardMergeStats* stats) {
+  ShardMergeStats local;
+  local.shards = static_cast<int>(shard_samples.size());
+
+  // First pass: key -> winning sample. Shards are visited in index order and
+  // the first claim of a key wins, which makes the winner the lowest shard
+  // index (and, within a shard, the earliest occurrence) by construction.
+  std::map<std::string, LabeledModule*> winners;
+  std::map<std::string, std::size_t> known_order;
+  for (std::size_t i = 0; i < order.size(); ++i) known_order.emplace(order[i], i);
+  for (std::size_t shard = 0; shard < shard_samples.size(); ++shard) {
+    for (LabeledModule& sample : shard_samples[shard]) {
+      if (known_order.find(sample.name) == known_order.end()) {
+        ++local.unknown_dropped;
+        local.warnings.push_back("shard " + std::to_string(shard) +
+                                 ": unknown module key '" + sample.name +
+                                 "' dropped");
+        continue;
+      }
+      const auto [it, inserted] = winners.emplace(sample.name, &sample);
+      if (!inserted) {
+        ++local.duplicates_dropped;
+        local.warnings.push_back(
+            "duplicate module key '" + sample.name + "' in shard " +
+            std::to_string(shard) + " dropped (lowest shard index wins)");
+      }
+    }
+  }
+
+  // Second pass: emit in the global order a single-process run would have
+  // used, so the merged dataset serialises byte-identically to it.
+  std::vector<LabeledModule> merged;
+  merged.reserve(winners.size());
+  for (const std::string& key : order) {
+    const auto it = winners.find(key);
+    if (it == winners.end()) continue;  // infeasible or quarantined
+    merged.push_back(std::move(*it->second));
+  }
+  local.samples = static_cast<long>(merged.size());
+  if (stats != nullptr) *stats = std::move(local);
+  return merged;
 }
 
 }  // namespace mf

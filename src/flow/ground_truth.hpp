@@ -3,6 +3,7 @@
 // examples: realize generator specs (or the cnvW1A1 blocks), synthesize, and
 // label each with its minimal feasible CF from the oracle search.
 
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -34,5 +35,33 @@ GroundTruth build_ground_truth(const std::vector<GenSpec>& specs,
 GroundTruth label_blocks(const BlockDesign& design, const Device& device,
                          double search_start = 0.5, int min_est_slices = 0,
                          int jobs = MF_JOBS_DEFAULT);
+
+/// Bookkeeping from a shard merge; `warnings` carries one human-readable
+/// line per anomaly (duplicate keys, samples outside the expected order).
+struct ShardMergeStats {
+  int shards = 0;              ///< shard lists consumed
+  long samples = 0;            ///< samples in the merged result
+  int duplicates_dropped = 0;  ///< same module key seen in > 1 place
+  int unknown_dropped = 0;     ///< samples whose key is not in `order`
+  std::vector<std::string> warnings;
+};
+
+/// Merge per-shard sample lists back into one dataset ordered by `order`
+/// (the global module-key order of the generating sweep -- the order a
+/// single-process run would have produced). Keys in `order` that no shard
+/// labelled are skipped (infeasible, or their shard was quarantined).
+///
+/// Duplicate keys are resolved deterministically, never appended twice:
+/// the sample from the lowest shard index wins (within one shard, the
+/// earliest occurrence), and every loser is counted in
+/// `duplicates_dropped` with a warning naming the key -- a silent
+/// duplicate would poison downstream training with conflicting labels.
+/// The result is a pure function of (shard_samples, order), independent of
+/// which worker processes produced the shards or in what order they
+/// finished; merging the shards of an uninterrupted sharded run reproduces
+/// the single-process dataset byte-for-byte once serialised.
+std::vector<LabeledModule> merge_ground_truth_shards(
+    std::vector<std::vector<LabeledModule>> shard_samples,
+    const std::vector<std::string>& order, ShardMergeStats* stats = nullptr);
 
 }  // namespace mf

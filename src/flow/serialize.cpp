@@ -115,11 +115,11 @@ bool save_ground_truth(const std::string& path,
 
 std::optional<std::vector<LabeledModule>> load_ground_truth(
     const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ground_truth_from_text(buffer.str());
+  // Whole-file read (the atomic-write counterpart): a concurrently renamed
+  // replacement can never be observed half-old, half-new.
+  const std::optional<std::string> text = read_file(path);
+  if (!text) return std::nullopt;
+  return ground_truth_from_text(*text);
 }
 
 namespace {
@@ -259,11 +259,9 @@ bool save_module_cache(const std::string& path, const ModuleCache& cache) {
 }
 
 CacheLoadStats load_module_cache(const std::string& path, ModuleCache& cache) {
-  std::ifstream in(path);
-  if (!in) return CacheLoadStats{};
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return module_cache_from_text(buffer.str(), cache);
+  const std::optional<std::string> text = read_file(path);
+  if (!text) return CacheLoadStats{};
+  return module_cache_from_text(*text, cache);
 }
 
 }  // namespace mf

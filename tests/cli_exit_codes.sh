@@ -54,5 +54,68 @@ fi
 # Resume after cancel: without a deadline the same checkpoint completes.
 expect 0 "resume after cancel" "$CLI" cnv --checkpoint "$TMP/cnv.ckpt"
 
+# -- farm: the whole supervised process tree obeys the same contract --------
+FARM_COMMON="--count 8 --shards 2 --checkpoint-every 2 --workers 2 --quiet"
+
+# 1 -- usage errors surface before any process is spawned.
+expect 1 "farm without --dir" "$CLI" farm $FARM_COMMON
+expect 1 "farm bad grid" "$CLI" farm --dir "$TMP/farm-bad" --grid nope
+expect 1 "farm bad workers" "$CLI" farm --dir "$TMP/farm-bad" --workers 0
+
+# 0 -- a clean farm completes and merges.
+expect 0 "farm completes" "$CLI" farm --dir "$TMP/farm-a" $FARM_COMMON
+expect 0 "farm resumes done shards" "$CLI" farm --dir "$TMP/farm-a" $FARM_COMMON
+
+# Determinism across topologies: a single-shard single-worker farm of the
+# same plan must produce the identical merged bytes.
+expect 0 "farm single process" \
+  "$CLI" farm --dir "$TMP/farm-b" --count 8 --shards 1 --workers 1 --quiet
+if ! cmp -s "$TMP/farm-a/ground_truth.gt" "$TMP/farm-b/ground_truth.gt"; then
+  echo "FAIL: sharded farm output differs from single-shard run" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: farm merge is byte-identical across topologies"
+fi
+
+# 0 -- injected SIGKILLs at every checkpoint boundary recover transparently
+# and change nothing about the merged bytes.
+expect 0 "farm recovers from chaos kills" \
+  "$CLI" farm --dir "$TMP/farm-c" $FARM_COMMON \
+  --chaos-kill 1.0 --chaos-faults 1 --max-attempts 3
+if ! cmp -s "$TMP/farm-a/ground_truth.gt" "$TMP/farm-c/ground_truth.gt"; then
+  echo "FAIL: chaos-kill farm output differs from clean run" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: chaos-kill farm merge is byte-identical to the clean run"
+fi
+
+# 2 -- a poison shard (faults never stop) is quarantined with a .reason
+# trail; the farm still finishes the rest and reports the degradation.
+expect 2 "farm quarantines poison shards" \
+  "$CLI" farm --dir "$TMP/farm-d" $FARM_COMMON \
+  --chaos-kill 1.0 --max-attempts 2
+if ! ls "$TMP"/farm-d/quarantine/*.reason > /dev/null 2>&1; then
+  echo "FAIL: quarantined farm left no .reason files" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: poison shards quarantined with .reason files"
+fi
+
+# 2 -- a farm directory holding a different plan is refused, not re-sharded.
+expect 2 "farm refuses mismatched manifest" \
+  "$CLI" farm --dir "$TMP/farm-a" --count 9 --shards 2 --workers 2 --quiet
+
+# 130 -- an expired deadline tears the whole process tree down with the
+# cancelled status; rerunning without the deadline resumes and completes.
+expect 130 "farm expired deadline" \
+  "$CLI" farm --dir "$TMP/farm-e" $FARM_COMMON --deadline-seconds 0
+expect 0 "farm resume after cancel" "$CLI" farm --dir "$TMP/farm-e" $FARM_COMMON
+if ! cmp -s "$TMP/farm-a/ground_truth.gt" "$TMP/farm-e/ground_truth.gt"; then
+  echo "FAIL: resumed farm output differs from uninterrupted run" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: farm resumed after cancellation with identical bytes"
+fi
+
 [ "$FAILURES" -eq 0 ] || exit 1
 exit 0

@@ -6,6 +6,7 @@
 // checksummed formats (cache entries, bundles) must detect every flip.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -26,7 +27,9 @@ namespace fs = std::filesystem;
 class TempDir {
  public:
   explicit TempDir(const std::string& tag)
-      : path_((fs::temp_directory_path() / ("mf_corrupt_" + tag)).string()) {
+      : path_((fs::temp_directory_path() /
+               ("mf_corrupt_" + tag + "_" + std::to_string(::getpid())))
+                  .string()) {
     fs::remove_all(path_);
     fs::create_directories(path_);
   }

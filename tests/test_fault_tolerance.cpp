@@ -3,9 +3,12 @@
 // resume, and the SA watchdog. Everything here is seeded -- two runs with
 // the same knobs must agree bit-for-bit.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -503,7 +506,12 @@ TEST_F(CheckpointTest, RoundTripRestoresEveryMacro) {
 }
 
 TEST_F(CheckpointTest, ResumeAfterReloadRunsNothing) {
-  const std::string path = "/tmp/mf_ckpt_resume.txt";
+  // Pid-unique: this test also runs concurrently with itself under the
+  // fault_parallel_jobs ctest entry.
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("mf_ckpt_resume_" + std::to_string(::getpid()) + ".txt"))
+          .string();
   ASSERT_TRUE(save_module_cache(path, cache_));
   ModuleCache resumed;
   const CacheLoadStats stats = load_module_cache(path, resumed);

@@ -1,0 +1,19 @@
+// Custom gtest main: the farm suites spawn worker *processes* by
+// re-executing the running binary with --farm-worker (see
+// src/farm/worker.hpp), so the test runner itself must answer that argv
+// before Google Test ever sees it. Ordinary test invocations fall through
+// unchanged.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "farm/worker.hpp"
+
+int main(int argc, char** argv) {
+  if (const std::optional<int> code = mf::maybe_run_farm_worker(argc, argv)) {
+    return *code;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -117,6 +117,71 @@ TEST(ThreadPool, ParallelForEachSequentialFallback) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(ThreadPool, RealExceptionBeatsCancelledErrorSequential) {
+  // jobs = 1 is the baseline the pool must reproduce: a sequential loop
+  // throws the first exception it reaches, so the runtime_error at index 2
+  // surfaces before any higher index can raise CancelledError.
+  const auto body = [](std::size_t i) {
+    if (i == 2) throw std::runtime_error("boom");
+    if (i >= 5) throw CancelledError();
+  };
+  EXPECT_THROW(parallel_for_each(1, 100, body), std::runtime_error);
+}
+
+TEST(ThreadPool, RealExceptionBeatsCancelledErrorParallel) {
+  // A pool draining the same region must agree: the lowest-indexed failure
+  // is the runtime_error, so a flood of CancelledError from higher indices
+  // (a cancelled pool mid-drain) must not mask it.
+  const auto body = [](std::size_t i) {
+    if (i == 3) throw std::runtime_error("boom");
+    if (i >= 10) throw CancelledError();
+  };
+  try {
+    parallel_for_each(8, 200, body);
+    FAIL() << "for_each should have thrown";
+  } catch (const CancelledError&) {
+    FAIL() << "CancelledError from index >= 10 masked the index-3 failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST(ThreadPool, PureCancelledErrorRegionPropagatesCancelledError) {
+  // When cancellation itself is the lowest failure, that is what callers
+  // must see (main maps it to exit 130).
+  const auto body = [](std::size_t i) {
+    if (i >= 1) throw CancelledError();
+  };
+  EXPECT_THROW(parallel_for_each(8, 64, body), CancelledError);
+}
+
+TEST(ThreadPool, ExceptionRecordedBeforeCancelStillPropagates) {
+  // Index 0 trips the shared token *and* throws. The token stops every
+  // other index from starting, but the recorded exception must still be
+  // rethrown -- a cancelled drain never swallows a real failure.
+  CancelToken token;
+  std::atomic<int> ran{0};
+  const auto body = [&](std::size_t i) {
+    ran.fetch_add(1);
+    if (i == 0) {
+      token.cancel();
+      throw std::runtime_error("real failure");
+    }
+  };
+  EXPECT_THROW(parallel_for_each(8, 1000, body, &token), std::runtime_error);
+  EXPECT_LT(ran.load(), 1000);  // the token cut the region short
+}
+
+TEST(ThreadPool, SequentialCancelAfterStopsAtDeterministicIndex) {
+  // cancel_after(n) trips on the n-th cancelled() poll; the sequential path
+  // polls once before each index, so exactly n - 1 iterations run.
+  CancelToken token;
+  token.cancel_after(3);
+  int ran = 0;
+  parallel_for_each(1, 100, [&](std::size_t) { ++ran; }, &token);
+  EXPECT_EQ(ran, 2);
+}
+
 TEST(ThreadPool, TaskSeedIsPureAndKeySensitive) {
   EXPECT_EQ(task_seed(42, "tree:3"), task_seed(42, "tree:3"));
   EXPECT_NE(task_seed(42, "tree:3"), task_seed(42, "tree:4"));

@@ -7,6 +7,7 @@
 // compared bit-for-bit against uninterrupted ones.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -37,7 +38,9 @@ namespace fs = std::filesystem;
 class TempDir {
  public:
   explicit TempDir(const std::string& tag)
-      : path_((fs::temp_directory_path() / ("mf_robust_" + tag)).string()) {
+      : path_((fs::temp_directory_path() /
+               ("mf_robust_" + tag + "_" + std::to_string(::getpid())))
+                  .string()) {
     fs::remove_all(path_);
     fs::create_directories(path_);
   }

@@ -3,6 +3,7 @@
 // versioning/resolution, and EstimatorService determinism + thread safety.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstring>
@@ -91,7 +92,9 @@ const std::vector<EstimatorKind> kAllKinds = {
 class TempDir {
  public:
   explicit TempDir(const std::string& tag)
-      : path_((fs::temp_directory_path() / ("mf_serve_" + tag)).string()) {
+      : path_((fs::temp_directory_path() /
+               ("mf_serve_" + tag + "_" + std::to_string(::getpid())))
+                  .string()) {
     fs::remove_all(path_);
     fs::create_directories(path_);
   }

@@ -14,6 +14,14 @@
 //                                 retraining
 //   cnv [--xdc out.xdc] [--dot out.dot]
 //                              -- run the cnvW1A1 flow and export artefacts
+//   farm --dir DIR [...]       -- supervise a multi-process dataset farm:
+//                                 shard the sweep deterministically, spawn
+//                                 worker processes (this binary re-executed
+//                                 with --farm-worker), respawn crashed or
+//                                 hung workers, quarantine poison shards,
+//                                 and merge the shard checkpoints into a
+//                                 dataset bit-identical to a single-process
+//                                 run
 //
 // Exit status (uniform across subcommands, asserted by tests/cli_exit_codes.sh):
 //   0   -- success
@@ -38,6 +46,8 @@
 #include "core/cf_search.hpp"
 #include "core/estimator.hpp"
 #include "fabric/catalog.hpp"
+#include "farm/supervisor.hpp"
+#include "farm/worker.hpp"
 #include "flow/ground_truth.hpp"
 #include "flow/rw_flow.hpp"
 #include "flow/serialize.hpp"
@@ -77,6 +87,12 @@ int usage() {
       "  cnv [--xdc FILE] [--dot FILE] [--jobs N] [--model FILE-or-NAME]\n"
       "      [--stitch-restarts K] [--stitch-jobs N] [--checkpoint FILE]\n"
       "      [--deadline-seconds S]\n"
+      "  farm --dir DIR [--count N] [--seed S] [--grid A,B,C]\n"
+      "       [--workers N] [--shards N] [--worker-jobs N]\n"
+      "       [--checkpoint-every N] [--max-attempts N]\n"
+      "       [--hang-timeout-seconds S] [--deadline-seconds S] [--quiet]\n"
+      "       [--chaos-kill P] [--chaos-hang P] [--chaos-slow P]\n"
+      "       [--chaos-faults N] [--chaos-seed S]\n"
       "--jobs: worker threads (1 = sequential, 0 = all hardware threads);\n"
       "results are bit-identical at any value.\n"
       "--deadline-seconds: end-to-end wall-clock budget; on expiry (or\n"
@@ -94,7 +110,13 @@ int usage() {
       "--stitch-restarts: independent SA stitch anneals, best result wins\n"
       "(default 1 = the single-start anneal).\n"
       "--stitch-jobs: worker threads for the stitch restarts (same 0/1\n"
-      "semantics and bit-identical guarantee as --jobs).\n",
+      "semantics and bit-identical guarantee as --jobs).\n"
+      "farm: the merged dataset lands in DIR/ground_truth.gt (one file per\n"
+      "--grid value when several are given); rerunning over the same DIR\n"
+      "resumes completed shards. Crashed/hung workers respawn from their\n"
+      "checkpoints; a shard that keeps dying is quarantined (exit 2, the\n"
+      "merged output covers the surviving shards). --chaos-* enable seeded\n"
+      "fault injection in the workers for testing the supervisor.\n",
       stderr);
   return 1;
 }
@@ -551,6 +573,57 @@ int cmd_cnv(const std::string& xdc_path, const std::string& dot_path,
   return kExitOk;
 }
 
+/// Comma-separated positive-double list ("0.5,0.9") for --grid.
+std::optional<std::vector<double>> parse_double_list(const char* text) {
+  std::vector<double> values;
+  const std::string input = text;
+  std::size_t begin = 0;
+  while (begin <= input.size()) {
+    const std::size_t comma = input.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? input.size() : comma;
+    const std::optional<double> value =
+        parse_double(input.substr(begin, end - begin).c_str());
+    if (!value || !(*value > 0.0)) return std::nullopt;
+    values.push_back(*value);
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  if (values.empty()) return std::nullopt;
+  return values;
+}
+
+int cmd_farm(const FarmOptions& options) {
+  Timer timer;
+  const FarmResult result = run_farm(options);
+  if (result.cancelled) {
+    std::fprintf(stderr, "cancelled\n");
+    return kExitCancelled;
+  }
+  for (const std::string& warning : result.merge.warnings) {
+    std::fprintf(stderr, "warning: %s\n", warning.c_str());
+  }
+  if (!result.ok && result.shards_quarantined == 0) {
+    std::fprintf(stderr, "farm failed: %s\n", result.error.c_str());
+    return kExitRuntime;
+  }
+  std::printf(
+      "farm: %d/%d shards done (%d resumed), %ld spawns (%ld respawns, "
+      "%ld hung killed), %ld samples + %ld infeasible in %.1fs\n",
+      result.shards_done, result.shards_total, result.shards_resumed,
+      result.spawns, result.respawns, result.hung_killed, result.samples,
+      result.infeasible, timer.seconds());
+  for (const std::string& path : result.merged_paths) {
+    std::printf("merged dataset written to %s\n", path.c_str());
+  }
+  if (result.shards_quarantined > 0) {
+    std::fprintf(stderr, "farm degraded: %s (see %s)\n",
+                 result.error.c_str(),
+                 farm_quarantine_dir(options.dir).c_str());
+    return kExitRuntime;
+  }
+  return kExitOk;
+}
+
 /// Full command dispatch; main() wraps it with signal installation and the
 /// CancelledError -> 130 mapping.
 int dispatch(int argc, char** argv) {
@@ -767,12 +840,132 @@ int dispatch(int argc, char** argv) {
     return cmd_cnv(xdc, dot, jobs, stitch_restarts, stitch_jobs, model,
                    registry_dir, checkpoint);
   }
+  if (command == "farm") {
+    FarmOptions options;
+    options.cancel = &g_cancel;
+    options.plan.count = 48;  // small default; real sweeps pass --count
+    bool hang_timeout_set = false;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--dir") == 0) {
+        const char* path = option_value(argc, argv, i, "--dir");
+        if (path == nullptr) return 1;
+        options.dir = path;
+      } else if (std::strcmp(argv[i], "--count") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--count", 1, 100000);
+        if (!parsed) return 1;
+        options.plan.count = *parsed;
+      } else if (std::strcmp(argv[i], "--seed") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--seed", 0, 1 << 30);
+        if (!parsed) return 1;
+        options.plan.seed = static_cast<std::uint64_t>(*parsed);
+      } else if (std::strcmp(argv[i], "--grid") == 0) {
+        const char* text = option_value(argc, argv, i, "--grid");
+        if (text == nullptr) return 1;
+        const std::optional<std::vector<double>> grid =
+            parse_double_list(text);
+        if (!grid) {
+          std::fprintf(stderr,
+                       "invalid value '%s' for --grid (expected a comma-"
+                       "separated list of positive CF starts)\n",
+                       text);
+          return 1;
+        }
+        options.plan.grid = *grid;
+      } else if (std::strcmp(argv[i], "--workers") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--workers", 1, 256);
+        if (!parsed) return 1;
+        options.workers = *parsed;
+      } else if (std::strcmp(argv[i], "--shards") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--shards", 1, 4096);
+        if (!parsed) return 1;
+        options.plan.shards_per_grid = *parsed;
+      } else if (std::strcmp(argv[i], "--worker-jobs") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--worker-jobs", 0, 1024);
+        if (!parsed) return 1;
+        options.plan.worker_jobs = *parsed;
+      } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--checkpoint-every", 1, 100000);
+        if (!parsed) return 1;
+        options.plan.checkpoint_every = *parsed;
+      } else if (std::strcmp(argv[i], "--max-attempts") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--max-attempts", 1, 1000);
+        if (!parsed) return 1;
+        options.max_attempts = *parsed;
+      } else if (std::strcmp(argv[i], "--hang-timeout-seconds") == 0) {
+        const std::optional<double> parsed = parse_double_option(
+            argc, argv, i, "--hang-timeout-seconds", 0.01, 1e6);
+        if (!parsed) return 1;
+        options.hang_timeout_seconds = *parsed;
+        hang_timeout_set = true;
+      } else if (std::strcmp(argv[i], "--deadline-seconds") == 0) {
+        const std::optional<double> parsed = parse_double_option(
+            argc, argv, i, "--deadline-seconds", 0.0, 1e9);
+        if (!parsed) return 1;
+        g_cancel.set_deadline_seconds(*parsed);
+      } else if (std::strcmp(argv[i], "--chaos-kill") == 0) {
+        const std::optional<double> parsed =
+            parse_double_option(argc, argv, i, "--chaos-kill", 0.0, 1.0);
+        if (!parsed) return 1;
+        options.plan.chaos.p_kill = *parsed;
+        options.plan.chaos.enabled = true;
+      } else if (std::strcmp(argv[i], "--chaos-hang") == 0) {
+        const std::optional<double> parsed =
+            parse_double_option(argc, argv, i, "--chaos-hang", 0.0, 1.0);
+        if (!parsed) return 1;
+        options.plan.chaos.p_hang = *parsed;
+        options.plan.chaos.enabled = true;
+      } else if (std::strcmp(argv[i], "--chaos-slow") == 0) {
+        const std::optional<double> parsed =
+            parse_double_option(argc, argv, i, "--chaos-slow", 0.0, 1.0);
+        if (!parsed) return 1;
+        options.plan.chaos.p_slow = *parsed;
+        options.plan.chaos.enabled = true;
+      } else if (std::strcmp(argv[i], "--chaos-faults") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--chaos-faults", 0, 1 << 30);
+        if (!parsed) return 1;
+        options.plan.chaos.faults_per_shard = *parsed;
+      } else if (std::strcmp(argv[i], "--chaos-seed") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--chaos-seed", 0, 1 << 30);
+        if (!parsed) return 1;
+        options.plan.chaos.seed = static_cast<std::uint64_t>(*parsed);
+      } else if (std::strcmp(argv[i], "--quiet") == 0) {
+        options.quiet = true;
+      } else {
+        return usage();
+      }
+    }
+    if (options.dir.empty()) {
+      std::fprintf(stderr, "farm needs --dir DIR\n");
+      return 1;
+    }
+    // Hung chaos workers are detected via the heartbeat; keep the default
+    // timeout tight enough that an injected hang resolves promptly.
+    if (!hang_timeout_set && options.plan.chaos.enabled &&
+        options.plan.chaos.p_hang > 0.0) {
+      options.hang_timeout_seconds = 2.0;
+    }
+    return cmd_farm(options);
+  }
   return usage();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Farm worker mode first: a supervisor re-executes this very binary with
+  // --farm-worker, and the worker entry installs its own signal handling.
+  if (const std::optional<int> code = maybe_run_farm_worker(argc, argv)) {
+    return *code;
+  }
   // First SIGINT/SIGTERM trips g_cancel (cooperative: work drains and
   // checkpoints), a second hard-exits 130.
   install_signal_cancel(&g_cancel);

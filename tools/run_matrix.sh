@@ -1,0 +1,42 @@
+#!/bin/sh
+# Build + test the whole matrix of sanitizer flavours in one command:
+#
+#   tools/run_matrix.sh              # plain, asan, tsan (in that order)
+#   tools/run_matrix.sh plain tsan   # just the named flavours
+#   JOBS=4 tools/run_matrix.sh       # cap build/test parallelism
+#
+# Each flavour gets its own build directory (build-matrix-<flavour>) so the
+# matrix never invalidates an existing ./build, and a failure in one flavour
+# stops the run with that flavour's name on stderr. This is the one-command
+# pre-merge gate: the farm chaos suites, the parallel-engine suites, and the
+# serving suites all re-run under ASan/UBSan and TSan here.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+FLAVOURS="${*:-plain asan tsan}"
+
+sanitize_value() {
+  case "$1" in
+    plain) echo "OFF" ;;
+    asan)  echo "ON" ;;
+    tsan)  echo "tsan" ;;
+    *) echo "unknown flavour '$1' (expected plain, asan, tsan)" >&2; exit 1 ;;
+  esac
+}
+
+for flavour in $FLAVOURS; do
+  sanitize="$(sanitize_value "$flavour")"
+  dir="build-matrix-$flavour"
+  echo "== [$flavour] configure ($dir, MF_SANITIZE=$sanitize) =="
+  cmake -B "$dir" -S . -DMF_SANITIZE="$sanitize" >/dev/null
+  echo "== [$flavour] build =="
+  cmake --build "$dir" -j "$JOBS"
+  echo "== [$flavour] ctest =="
+  if ! (cd "$dir" && ctest --output-on-failure -j "$JOBS"); then
+    echo "matrix flavour '$flavour' FAILED" >&2
+    exit 1
+  fi
+done
+echo "matrix OK: $FLAVOURS"
