@@ -1,0 +1,314 @@
+#include "common/binfile.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace mf {
+namespace {
+
+constexpr char kMagic[6] = {'M', 'F', 'B', 'I', 'N', '\n'};
+constexpr char kEndMagic[8] = {'M', 'F', 'B', 'E', 'N', 'D', '0', '1'};
+constexpr std::size_t kHeaderSize = sizeof kMagic + 2;  // magic + u16 version
+constexpr std::size_t kFooterSize = 8 + 8 + 8 + sizeof kEndMagic;
+constexpr std::size_t kMaxSectionName = 1u << 16;
+/// Table entry floor: name_len (2) + empty name + offset/length/checksum.
+constexpr std::size_t kMinTableEntry = 2 + 8 + 8 + 8;
+
+void put_u16(std::string& out, std::uint16_t value) {
+  out.push_back(static_cast<char>(value & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+}
+
+void put_u32(std::string& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+std::uint16_t get_u16(const unsigned char* p) noexcept {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const unsigned char* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const unsigned char* p) noexcept {
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) value = (value << 8) | p[i];
+  return value;
+}
+
+bool reject(std::string* error, const char* message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+bool is_binfile(std::string_view bytes) noexcept {
+  return bytes.size() >= sizeof kMagic &&
+         std::memcmp(bytes.data(), kMagic, sizeof kMagic) == 0;
+}
+
+namespace {
+
+/// One little-endian 64-bit load; a single mov on little-endian hosts, the
+/// explicit shuffle elsewhere -- the checksum value never depends on the
+/// host's byte order.
+std::uint64_t load_le64(const unsigned char* p) noexcept {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint64_t word;
+    std::memcpy(&word, p, sizeof word);
+    return word;
+  } else {
+    std::uint64_t word = 0;
+    for (int i = 7; i >= 0; --i) word = (word << 8) | p[i];
+    return word;
+  }
+}
+
+}  // namespace
+
+std::uint64_t binfile_checksum(std::string_view bytes) noexcept {
+  // FNV-1a64 constants over four independent word lanes. A single FNV chain
+  // is latency-bound (the next multiply waits on the last), so four lanes
+  // of 8-byte words run the multiplies in parallel and are folded together
+  // at the end; trailing full words and tail bytes continue the combined
+  // state. The lane split is part of the checksum's definition -- the same
+  // bytes hash to the same value everywhere, it is just not plain FNV.
+  constexpr std::uint64_t kBasis = 14695981039346656037ull;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  std::size_t n = bytes.size();
+  std::uint64_t lane[4] = {kBasis, kBasis ^ kPrime, ~kBasis, ~kBasis ^ kPrime};
+  for (; n >= 32; p += 32, n -= 32) {
+    lane[0] = (lane[0] ^ load_le64(p)) * kPrime;
+    lane[1] = (lane[1] ^ load_le64(p + 8)) * kPrime;
+    lane[2] = (lane[2] ^ load_le64(p + 16)) * kPrime;
+    lane[3] = (lane[3] ^ load_le64(p + 24)) * kPrime;
+  }
+  std::uint64_t hash = lane[0];
+  hash = (hash ^ lane[1]) * kPrime;
+  hash = (hash ^ lane[2]) * kPrime;
+  hash = (hash ^ lane[3]) * kPrime;
+  for (; n >= 8; p += 8, n -= 8) {
+    hash = (hash ^ load_le64(p)) * kPrime;
+  }
+  for (; n > 0; ++p, --n) {
+    hash = (hash ^ *p) * kPrime;
+  }
+  return hash;
+}
+
+// -- BinWriter ---------------------------------------------------------------
+
+BinWriter::BinWriter() {
+  buf_.append(kMagic, sizeof kMagic);
+  put_u16(buf_, kBinContainerVersion);
+}
+
+void BinWriter::begin_section(std::string_view name) {
+  MF_CHECK_MSG(!finished_, "BinWriter reused after finish()");
+  MF_CHECK_MSG(!name.empty() && name.size() < kMaxSectionName,
+               "section names must be non-empty and < 64 KiB");
+  for (const Entry& entry : table_) {
+    MF_CHECK_MSG(entry.name != name, "duplicate section name");
+  }
+  end_section();
+  Entry entry;
+  entry.name = std::string(name);
+  entry.offset = buf_.size();
+  table_.push_back(std::move(entry));
+  in_section_ = true;
+}
+
+void BinWriter::end_section() {
+  if (!in_section_) return;
+  table_.back().length = buf_.size() - table_.back().offset;
+  in_section_ = false;
+}
+
+void BinWriter::u8(std::uint8_t value) {
+  MF_CHECK_MSG(in_section_, "writes must happen inside a section");
+  buf_.push_back(static_cast<char>(value));
+}
+
+void BinWriter::u32(std::uint32_t value) {
+  MF_CHECK_MSG(in_section_, "writes must happen inside a section");
+  put_u32(buf_, value);
+}
+
+void BinWriter::u64(std::uint64_t value) {
+  MF_CHECK_MSG(in_section_, "writes must happen inside a section");
+  put_u64(buf_, value);
+}
+
+void BinWriter::i32(std::int32_t value) {
+  u32(static_cast<std::uint32_t>(value));
+}
+
+void BinWriter::i64(std::int64_t value) {
+  u64(static_cast<std::uint64_t>(value));
+}
+
+void BinWriter::f64(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof value);
+  std::memcpy(&bits, &value, sizeof bits);
+  u64(bits);
+}
+
+void BinWriter::str(std::string_view bytes) {
+  MF_CHECK_MSG(bytes.size() < (1u << 31), "string too large to serialise");
+  u32(static_cast<std::uint32_t>(bytes.size()));
+  buf_.append(bytes);
+}
+
+void BinWriter::raw(std::string_view bytes) {
+  MF_CHECK_MSG(in_section_, "writes must happen inside a section");
+  buf_.append(bytes);
+}
+
+std::string BinWriter::finish() {
+  MF_CHECK_MSG(!finished_, "BinWriter reused after finish()");
+  end_section();
+  finished_ = true;
+
+  const std::uint64_t table_offset = buf_.size();
+  std::string table;
+  put_u32(table, static_cast<std::uint32_t>(table_.size()));
+  for (const Entry& entry : table_) {
+    put_u16(table, static_cast<std::uint16_t>(entry.name.size()));
+    table += entry.name;
+    put_u64(table, entry.offset);
+    put_u64(table, entry.length);
+    put_u64(table, binfile_checksum(std::string_view(buf_).substr(
+                       static_cast<std::size_t>(entry.offset),
+                       static_cast<std::size_t>(entry.length))));
+  }
+  const std::uint64_t payload_checksum = binfile_checksum(buf_);
+  buf_ += table;
+  put_u64(buf_, table_offset);
+  put_u64(buf_, binfile_checksum(table));
+  put_u64(buf_, payload_checksum);
+  buf_.append(kEndMagic, sizeof kEndMagic);
+  return std::move(buf_);
+}
+
+// -- BinFile -----------------------------------------------------------------
+
+std::optional<BinFile> BinFile::open(std::string_view bytes,
+                                     std::string* error) {
+  const auto fail = [error](const char* message) -> std::optional<BinFile> {
+    reject(error, message);
+    return std::nullopt;
+  };
+  if (bytes.size() < kHeaderSize + kFooterSize) {
+    return fail("too short to be a binary container (truncated)");
+  }
+  if (!is_binfile(bytes)) return fail("bad magic: not a binary container");
+  const auto* data = reinterpret_cast<const unsigned char*>(bytes.data());
+  const std::uint16_t version = get_u16(data + sizeof kMagic);
+  if (version != kBinContainerVersion) {
+    return fail("unsupported binary container version");
+  }
+  const std::size_t footer = bytes.size() - kFooterSize;
+  if (std::memcmp(bytes.data() + footer + 24, kEndMagic, sizeof kEndMagic) !=
+      0) {
+    return fail("missing end magic (truncated container)");
+  }
+  const std::uint64_t table_offset = get_u64(data + footer);
+  const std::uint64_t table_checksum = get_u64(data + footer + 8);
+  const std::uint64_t payload_checksum = get_u64(data + footer + 16);
+  // Bounds before trust: every later index is derived from table_offset.
+  if (table_offset < kHeaderSize || table_offset > footer) {
+    return fail("section table offset out of bounds (corrupt footer)");
+  }
+  const std::string_view table =
+      bytes.substr(static_cast<std::size_t>(table_offset),
+                   footer - static_cast<std::size_t>(table_offset));
+  if (binfile_checksum(table) != table_checksum) {
+    return fail("section table checksum mismatch (corrupt container)");
+  }
+  // One hash pass over the payload, not two: the whole-payload checksum
+  // already covers every section byte (sections are subranges of
+  // [0, table_offset)), so the per-section checksums add no integrity --
+  // they exist to *name* the damaged section. They are therefore only
+  // walked on mismatch, below; re-verifying them here would double the
+  // dominant cost of opening a large container.
+  const bool payload_ok =
+      binfile_checksum(
+          bytes.substr(0, static_cast<std::size_t>(table_offset))) ==
+      payload_checksum;
+
+  // The table checksum already matched, but the counts inside it are still
+  // validated against the table's physical size before sizing anything: a
+  // checksum collision (or a hand-tampered file with a recomputed checksum)
+  // must not drive a wild allocation.
+  if (table.size() < 4) return fail("section table truncated");
+  const auto* tp = reinterpret_cast<const unsigned char*>(table.data());
+  const std::uint32_t count = get_u32(tp);
+  if (count > (table.size() - 4) / kMinTableEntry) {
+    return fail("section count exceeds table size (corrupt count)");
+  }
+  BinFile file;
+  file.sections_.reserve(count);
+  std::size_t pos = 4;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (table.size() - pos < 2) return fail("section table entry truncated");
+    const std::uint16_t name_len = get_u16(tp + pos);
+    pos += 2;
+    if (table.size() - pos < name_len + 24u) {
+      return fail("section table entry truncated");
+    }
+    BinSection section;
+    section.name = std::string(table.substr(pos, name_len));
+    pos += name_len;
+    const std::uint64_t offset = get_u64(tp + pos);
+    const std::uint64_t length = get_u64(tp + pos + 8);
+    const std::uint64_t checksum = get_u64(tp + pos + 16);
+    pos += 24;
+    if (offset < kHeaderSize || offset > table_offset ||
+        length > table_offset - offset) {
+      return fail("section bounds outside the payload area (corrupt table)");
+    }
+    section.bytes = bytes.substr(static_cast<std::size_t>(offset),
+                                 static_cast<std::size_t>(length));
+    if (!payload_ok && binfile_checksum(section.bytes) != checksum) {
+      return fail("section checksum mismatch (corrupt section)");
+    }
+    for (const BinSection& seen : file.sections_) {
+      if (seen.name == section.name) return fail("duplicate section name");
+    }
+    file.sections_.push_back(std::move(section));
+  }
+  if (pos != table.size()) return fail("trailing bytes in section table");
+  if (!payload_ok) {
+    // Damage outside every section (header bytes, inter-section gap a
+    // foreign writer might leave) -- or a checksum field itself tampered.
+    return fail("payload checksum mismatch (corrupt container)");
+  }
+  return file;
+}
+
+std::optional<std::string_view> BinFile::section(
+    std::string_view name) const noexcept {
+  for (const BinSection& section : sections_) {
+    if (section.name == name) return section.bytes;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mf

@@ -1,0 +1,241 @@
+#pragma once
+// Versioned binary container for persisted artifacts (DESIGN.md section 11).
+//
+// The text formats (flow/serialize, serve/bundle) are the interchange and
+// debugging path: diffable, greppable, editor-safe. At scale they are the
+// bottleneck -- loading a 100k-row ground-truth set spends its time in
+// per-line istringstream parsing, not I/O. This container is the fast path:
+// a little-endian, section-table binary file that loaders can bulk-read
+// without tokenising, while keeping every robustness property the text
+// formats earned (versioned magic, per-section checksums, whole-file
+// truncation detection, atomic writes via common/atomic_file).
+//
+// Layout (all integers little-endian, independent of the host):
+//
+//   "MFBIN\n" u16 version          <- 8-byte header: magic + container version
+//   <section payloads...>          <- raw bytes, back to back
+//   section table:                 <- at table_offset
+//     u32 count
+//     per section: u16 name_len, name bytes,
+//                  u64 offset, u64 length, u64 checksum(payload)
+//   footer (last 32 bytes):
+//     u64 table_offset
+//     u64 checksum(table bytes)
+//     u64 checksum(bytes [0, table_offset))  <- whole-file payload checksum
+//     "MFBEND01"                   <- 8-byte end magic
+//
+// checksum() is binfile_checksum below -- a word-wise FNV-1a64 fold, not the
+// byte-wise fnv1a64 the text formats use (see its comment for why).
+//
+// open() verifies everything up front -- magic, version, end magic, all
+// three checksum tiers, and that every offset/length/count is in bounds
+// *before* any allocation sized by it (a tampered count must be rejected as
+// corruption, never wrap or drive a giant reserve). A damaged file is
+// rejected wholesale with a diagnostic naming what failed; there is no
+// partial load at this layer.
+//
+// BinWriter produces the byte string; callers persist it through
+// atomic_write_file, which supplies the temp+fsync+rename crash safety and
+// the crash-injection hook the every-byte robustness suites drive.
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mf {
+
+/// Container format version (the u16 after the magic). Readers reject
+/// anything newer: a file written by a future build is not half-understood.
+inline constexpr std::uint16_t kBinContainerVersion = 1;
+
+/// True when `bytes` starts with the container magic -- the format
+/// auto-detection hook every loader uses to route text vs binary.
+[[nodiscard]] bool is_binfile(std::string_view bytes) noexcept;
+
+/// The container's checksum function: FNV-1a64 constants folded over four
+/// independent lanes of 8-byte little-endian words, lanes combined at the
+/// end (trailing words and tail bytes continue the combined state). The
+/// byte-serial fnv1a64 used by the text formats is latency-bound at one
+/// multiply *per byte* (~1 GB/s), and a single word-wide chain still stalls
+/// on multiply latency; open() hashes every payload byte twice (per-section
+/// + whole-file), which at those rates would eat the binary tier's >= 10x
+/// load budget on a 100k-row file by itself. Four lanes keep the multiplies
+/// pipelined, and the little-endian word assembly keeps the value identical
+/// on any host.
+[[nodiscard]] std::uint64_t binfile_checksum(std::string_view bytes) noexcept;
+
+/// Which on-disk representation a save_* helper should emit. Loaders always
+/// auto-detect by magic, so the two formats interconvert freely (see the
+/// `macroflow convert` CLI verb).
+enum class PersistFormat {
+  Text,    ///< line-oriented, diffable interchange/debugging format
+  Binary,  ///< this container: bulk-loadable, ~10x faster at scale
+};
+
+/// Typed append-only writer. Build sections in order; finish() seals the
+/// table + footer and returns the complete file image.
+class BinWriter {
+ public:
+  BinWriter();
+
+  /// Start a new section (ends the previous one). Names must be non-empty,
+  /// unique within the file, and at most 64 KiB.
+  void begin_section(std::string_view name);
+
+  void u8(std::uint8_t value);
+  void u32(std::uint32_t value);
+  void u64(std::uint64_t value);
+  void i32(std::int32_t value);
+  void i64(std::int64_t value);
+  /// IEEE-754 bit pattern, little-endian: bit-exact by construction.
+  void f64(double value);
+  /// Length-prefixed (u32) byte string.
+  void str(std::string_view bytes);
+  /// Bare bytes, no length prefix (for sections that are one raw blob).
+  void raw(std::string_view bytes);
+
+  /// Seal the file: close the open section, append table + footer. The
+  /// writer must not be reused afterwards.
+  [[nodiscard]] std::string finish();
+
+ private:
+  struct Entry {
+    std::string name;
+    std::uint64_t offset = 0;
+    std::uint64_t length = 0;
+  };
+
+  void end_section();
+
+  std::string buf_;
+  std::vector<Entry> table_;
+  bool in_section_ = false;
+  bool finished_ = false;
+};
+
+/// One parsed section: a view into the file image passed to BinFile::open
+/// (the caller keeps that buffer alive for as long as the views are used).
+struct BinSection {
+  std::string name;
+  std::string_view bytes;
+};
+
+/// Parsed, fully verified container.
+class BinFile {
+ public:
+  /// Parse + verify `bytes`; nullopt on any damage, with `*error` naming the
+  /// failure when non-null. Integrity is established by the table checksum
+  /// plus ONE pass over the payload (which covers every section byte); the
+  /// per-section checksums are consulted only to name the damaged section
+  /// when that pass fails.
+  static std::optional<BinFile> open(std::string_view bytes,
+                                     std::string* error = nullptr);
+
+  [[nodiscard]] const std::vector<BinSection>& sections() const noexcept {
+    return sections_;
+  }
+  /// Bytes of the named section; nullopt when absent.
+  [[nodiscard]] std::optional<std::string_view> section(
+      std::string_view name) const noexcept;
+
+ private:
+  std::vector<BinSection> sections_;
+};
+
+/// Bounds-checked typed reader over one section's bytes. Mirrors the
+/// ModelReader contract: the first out-of-bounds or invalid read latches a
+/// sticky fail flag and every subsequent read returns a zero value, so
+/// loaders parse optimistically and reject once at the end.
+///
+/// Fully inline: a 100k-sample load issues millions of cursor reads, and
+/// out-of-line calls (with their per-call bounds branch kept opaque to the
+/// optimiser) are what separated the binary tier from its 10x load target.
+class BinCursor {
+ public:
+  explicit BinCursor(std::string_view bytes) noexcept : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t u8() noexcept {
+    const unsigned char* p = take(1);
+    return p != nullptr ? *p : 0;
+  }
+  [[nodiscard]] std::uint32_t u32() noexcept {
+    const unsigned char* p = take(4);
+    if (p == nullptr) return 0;
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+  }
+  [[nodiscard]] std::uint64_t u64() noexcept {
+    const unsigned char* p = take(8);
+    if (p == nullptr) return 0;
+    std::uint64_t value = 0;
+    for (int i = 7; i >= 0; --i) value = (value << 8) | p[i];
+    return value;
+  }
+  [[nodiscard]] std::int32_t i32() noexcept {
+    return static_cast<std::int32_t>(u32());
+  }
+  [[nodiscard]] std::int64_t i64() noexcept {
+    return static_cast<std::int64_t>(u64());
+  }
+  [[nodiscard]] double f64() noexcept {
+    const std::uint64_t bits = u64();
+    double value = 0.0;
+    static_assert(sizeof bits == sizeof value);
+    std::memcpy(&value, &bits, sizeof value);
+    return ok_ ? value : 0.0;
+  }
+  /// Length-prefixed string; lengths above `max_len` (or past the end of the
+  /// section) latch the fail flag instead of allocating.
+  [[nodiscard]] std::string str(std::size_t max_len = 1u << 20) {
+    const std::uint32_t len = u32();
+    if (!ok_ || len > max_len || bytes_.size() - pos_ < len) {
+      ok_ = false;
+      return {};
+    }
+    std::string out(bytes_.substr(pos_, len));
+    pos_ += len;
+    return out;
+  }
+  /// Bare view of the next n bytes.
+  [[nodiscard]] std::string_view raw(std::size_t n) noexcept {
+    if (!ok_ || bytes_.size() - pos_ < n) {
+      ok_ = false;
+      return {};
+    }
+    const std::string_view out = bytes_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  void fail() noexcept { ok_ = false; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+  /// True when every byte was consumed -- loaders check this so trailing
+  /// garbage in a section is rejected, mirroring the text parsers.
+  [[nodiscard]] bool at_end() const noexcept { return ok_ && pos_ == bytes_.size(); }
+
+ private:
+  [[nodiscard]] const unsigned char* take(std::size_t n) noexcept {
+    if (!ok_ || bytes_.size() - pos_ < n) {
+      ok_ = false;
+      return nullptr;
+    }
+    const auto* p =
+        reinterpret_cast<const unsigned char*>(bytes_.data()) + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace mf

@@ -1,0 +1,73 @@
+#pragma once
+// Checked numeric parsing and round-trip-exact decimal formatting.
+//
+// Parsing: std::atoi/istringstream>> silently turn malformed text into 0 --
+// and `stream >> size_t` *wraps* a negative count instead of rejecting it,
+// so a tampered "# samples -1" footer became 18446744073709551615. Every
+// count or numeric field read from untrusted text (checkpoint footers,
+// bundle footers, CLI flags) goes through these std::from_chars wrappers:
+// full consumption required, range checked, nullopt on anything else.
+//
+// Formatting: the default ostream precision (6 significant digits) silently
+// rounds doubles, so a text checkpoint written with `out << 1.0000000000000002`
+// reloads as 1.0 -- labels drift every save/load cycle. format_double uses
+// std::to_chars, which emits the *shortest* decimal string that parses back
+// to the exact same double: round-trip lossless, locale-independent, and
+// byte-stable across save/load/save cycles (the property the text<->binary
+// conversion gates in bench_persist rely on). Every text format in the
+// library formats doubles through this one helper.
+
+#include <charconv>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mf {
+
+/// Parse a whole string_view as an integer of type T in [lo, hi]; nullopt on
+/// empty input, trailing garbage, sign mismatch, or overflow. Negative text
+/// given an unsigned T is rejected by from_chars itself (no wrapping).
+template <typename T>
+[[nodiscard]] std::optional<T> parse_number(
+    std::string_view text, T lo = std::numeric_limits<T>::min(),
+    T hi = std::numeric_limits<T>::max()) {
+  T value{};
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  if (value < lo || value > hi) return std::nullopt;
+  return value;
+}
+
+/// Parse a whole string_view as a double; nullopt on malformed input.
+[[nodiscard]] inline std::optional<double> parse_double_text(
+    std::string_view text) {
+  double value = 0.0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+/// Shortest decimal representation that round-trips to the exact bits.
+[[nodiscard]] inline std::string format_double(double value) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  return std::string(buf, ptr);
+}
+
+/// Module/entry names are embedded in whitespace-delimited text formats and
+/// reused as map keys on load; whitespace inside one would shift every
+/// following field, and a leading '#' would be skipped as a comment line.
+/// Writers reject such names up front (MF_CHECK), loaders treat them as
+/// corruption.
+[[nodiscard]] inline bool serializable_name(std::string_view name) {
+  if (name.empty() || name.front() == '#') return false;
+  return name.find_first_of(" \t\r\n\v\f") == std::string_view::npos;
+}
+
+}  // namespace mf

@@ -32,9 +32,13 @@ struct ShardRun {
 
   /// Rewrite both shard artifacts atomically. A crash between the two
   /// writes leaves independently valid files; the next attempt merely
-  /// relabels whichever tail the older file is missing.
+  /// relabels whichever tail the older file is missing. Shard checkpoints
+  /// are the highest-frequency rewrite in the system, so they use the
+  /// binary tier; resume auto-detects, so pre-binary text shards still
+  /// load, and the supervisor's merged output stays text (its byte-identity
+  /// contract is over the text serialisation).
   [[nodiscard]] bool checkpoint() const {
-    return save_ground_truth(gt_path, samples) &&
+    return save_ground_truth(gt_path, samples, PersistFormat::Binary) &&
            atomic_write_file(infeasible_path, infeasible_to_text(infeasible));
   }
 };

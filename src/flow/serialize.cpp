@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "common/atomic_file.hpp"
+#include "common/check.hpp"
+#include "common/parse_num.hpp"
 #include "common/rng.hpp"
 
 namespace mf {
@@ -16,6 +18,14 @@ constexpr const char* kSampleFooter = "# samples ";
 
 constexpr const char* kCacheHeader = "macroflow-module-cache v1";
 constexpr const char* kCacheFooter = "# entries ";
+
+// Binary container identities (the `meta` section): format lineage
+// continues from the text versions -- ground truth text is v3, binary is
+// v4; module cache text is v1, binary is v2.
+constexpr const char* kGtKind = "ground-truth";
+constexpr std::uint32_t kGtBinaryVersion = 4;
+constexpr const char* kCacheKind = "module-cache";
+constexpr std::uint32_t kCacheBinaryVersion = 2;
 
 /// Hex checksum of one entry's payload text.
 std::string checksum_of(const std::string& payload) {
@@ -33,6 +43,52 @@ void strip_cr(std::string& line) {
   if (!line.empty() && line.back() == '\r') line.pop_back();
 }
 
+/// Every persisted name flows through the whitespace-delimited text formats
+/// sooner or later (directly, or via `macroflow convert`), so both writers
+/// enforce the same contract.
+void check_name(const std::string& name) {
+  MF_CHECK_MSG(serializable_name(name),
+               "module name '" + name +
+                   "' is not serialisable (empty, leading '#', or embedded "
+                   "whitespace would corrupt the on-disk format)");
+}
+
+/// Shared meta section: lets loaders (and `macroflow convert`) tell the
+/// binary artifact kinds apart before touching the data section.
+void write_meta(BinWriter& writer, const char* kind, std::uint32_t version) {
+  writer.begin_section("meta");
+  writer.str(kind);
+  writer.u32(version);
+}
+
+/// Verify the meta section of an opened container; false on kind/version
+/// mismatch (with a diagnostic in `*error` when non-null).
+bool check_meta(const BinFile& file, const char* kind, std::uint32_t version,
+                std::string* error) {
+  const std::optional<std::string_view> meta = file.section("meta");
+  if (!meta) {
+    if (error != nullptr) *error = "missing meta section";
+    return false;
+  }
+  BinCursor cursor(*meta);
+  const std::string got_kind = cursor.str(256);
+  const std::uint32_t got_version = cursor.u32();
+  if (!cursor.at_end() || got_kind != kind) {
+    if (error != nullptr) {
+      *error = "not a " + std::string(kind) + " container";
+    }
+    return false;
+  }
+  if (got_version != version) {
+    if (error != nullptr) {
+      *error = "unsupported " + std::string(kind) + " format version " +
+               std::to_string(got_version);
+    }
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string ground_truth_to_text(const std::vector<LabeledModule>& samples) {
@@ -43,11 +99,16 @@ std::string ground_truth_to_text(const std::vector<LabeledModule>& samples) {
          " est est_m bram36_equiv dsp_need bbox_w bbox_h min_height"
          " carry_columns chains...\n";
   for (const LabeledModule& s : samples) {
+    check_name(s.name);
     const NetlistStats& st = s.report.stats;
-    out << s.name << ' ' << s.min_cf << ' ' << st.luts << ' ' << st.ffs << ' '
-        << st.carry4 << ' ' << st.srls << ' ' << st.lutrams << ' '
-        << st.bram18 << ' ' << st.bram36 << ' ' << st.dsp << ' ' << st.cells
-        << ' ' << st.control_sets << ' ' << st.max_fanout << ' '
+    // min_cf goes through the shortest-round-trip formatter: the default
+    // ostream precision (6 digits) silently rounded labels, so a
+    // save/load/save cycle -- or a text->binary->text conversion -- was not
+    // byte-identical and the dataset drifted.
+    out << s.name << ' ' << format_double(s.min_cf) << ' ' << st.luts << ' '
+        << st.ffs << ' ' << st.carry4 << ' ' << st.srls << ' ' << st.lutrams
+        << ' ' << st.bram18 << ' ' << st.bram36 << ' ' << st.dsp << ' '
+        << st.cells << ' ' << st.control_sets << ' ' << st.max_fanout << ' '
         << s.report.slices_for_luts << ' ' << s.report.slices_for_ffs << ' '
         << s.report.slices_for_carry << ' ' << s.report.est_slices << ' '
         << s.report.est_slices_m << ' ' << s.report.bram36 << ' '
@@ -77,8 +138,12 @@ std::optional<std::vector<LabeledModule>> ground_truth_from_text(
     strip_cr(line);
     if (line.empty()) continue;
     if (line.rfind(kSampleFooter, 0) == 0) {
-      std::istringstream footer(line.substr(std::string(kSampleFooter).size()));
-      if (!(footer >> footer_count)) return std::nullopt;
+      // Checked parse: a tampered footer ("-1", "1e99", trailing junk) is
+      // corruption, not a wrapped size_t.
+      const std::optional<std::size_t> count = parse_number<std::size_t>(
+          line.substr(std::string(kSampleFooter).size()));
+      if (!count) return std::nullopt;
+      footer_count = *count;
       footer_seen = true;
       continue;
     }
@@ -105,12 +170,127 @@ std::optional<std::vector<LabeledModule>> ground_truth_from_text(
   return samples;
 }
 
+std::string ground_truth_to_binary(
+    const std::vector<LabeledModule>& samples) {
+  BinWriter writer;
+  write_meta(writer, kGtKind, kGtBinaryVersion);
+  writer.begin_section("data");
+  writer.u64(samples.size());
+  for (const LabeledModule& s : samples) {
+    check_name(s.name);
+    const NetlistStats& st = s.report.stats;
+    writer.str(s.name);
+    writer.f64(s.min_cf);
+    writer.i32(st.luts);
+    writer.i32(st.ffs);
+    writer.i32(st.carry4);
+    writer.i32(st.srls);
+    writer.i32(st.lutrams);
+    writer.i32(st.bram18);
+    writer.i32(st.bram36);
+    writer.i32(st.dsp);
+    writer.i32(st.cells);
+    writer.i32(st.control_sets);
+    writer.i32(st.max_fanout);
+    writer.u32(static_cast<std::uint32_t>(st.carry_chains.size()));
+    for (int len : st.carry_chains) writer.i32(len);
+    writer.i32(s.report.slices_for_luts);
+    writer.i32(s.report.slices_for_ffs);
+    writer.i32(s.report.slices_for_carry);
+    writer.i32(s.report.est_slices);
+    writer.i32(s.report.est_slices_m);
+    writer.i32(s.report.bram36);
+    writer.i32(s.report.dsp);
+    writer.i32(s.shape.bbox_w);
+    writer.i32(s.shape.bbox_h);
+    writer.i32(s.shape.min_height);
+    writer.i32(s.shape.carry_columns);
+  }
+  return writer.finish();
+}
+
+std::optional<std::vector<LabeledModule>> ground_truth_from_binary(
+    std::string_view bytes, std::string* error) {
+  const std::optional<BinFile> file = BinFile::open(bytes, error);
+  if (!file) return std::nullopt;
+  if (!check_meta(*file, kGtKind, kGtBinaryVersion, error)) {
+    return std::nullopt;
+  }
+  const std::optional<std::string_view> data = file->section("data");
+  if (!data) {
+    if (error != nullptr) *error = "missing data section";
+    return std::nullopt;
+  }
+  BinCursor cursor(*data);
+  const std::uint64_t count = cursor.u64();
+  // Plausibility bound before the reserve: a sample is >= 100 bytes, so a
+  // tampered count can never drive a wild allocation (the checksums make
+  // this unreachable in practice; the bound makes it impossible).
+  if (!cursor.ok() || count > cursor.remaining() / 100) {
+    if (error != nullptr) *error = "sample count exceeds data section size";
+    return std::nullopt;
+  }
+  std::vector<LabeledModule> samples;
+  samples.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count && cursor.ok(); ++i) {
+    // Filled in place (no per-sample move) -- this loop is the hot path the
+    // >= 10x bench_persist load gate measures.
+    LabeledModule& s = samples.emplace_back();
+    NetlistStats& st = s.report.stats;
+    const std::uint32_t name_len = cursor.u32();
+    if (name_len > (1u << 20)) cursor.fail();
+    s.name.assign(cursor.raw(name_len));
+    s.min_cf = cursor.f64();
+    st.luts = cursor.i32();
+    st.ffs = cursor.i32();
+    st.carry4 = cursor.i32();
+    st.srls = cursor.i32();
+    st.lutrams = cursor.i32();
+    st.bram18 = cursor.i32();
+    st.bram36 = cursor.i32();
+    st.dsp = cursor.i32();
+    st.cells = cursor.i32();
+    st.control_sets = cursor.i32();
+    st.max_fanout = cursor.i32();
+    const std::uint32_t chains = cursor.u32();
+    if (!cursor.ok() || chains > cursor.remaining() / 4) {
+      cursor.fail();
+      break;
+    }
+    st.carry_chains.reserve(chains);
+    for (std::uint32_t c = 0; c < chains; ++c) {
+      st.carry_chains.push_back(cursor.i32());
+    }
+    s.report.slices_for_luts = cursor.i32();
+    s.report.slices_for_ffs = cursor.i32();
+    s.report.slices_for_carry = cursor.i32();
+    s.report.est_slices = cursor.i32();
+    s.report.est_slices_m = cursor.i32();
+    s.report.bram36 = cursor.i32();
+    s.report.dsp = cursor.i32();
+    s.shape.bbox_w = cursor.i32();
+    s.shape.bbox_h = cursor.i32();
+    s.shape.min_height = cursor.i32();
+    s.shape.carry_columns = cursor.i32();
+    if (!serializable_name(s.name)) cursor.fail();
+    if (!cursor.ok()) break;  // partial tail discarded with the whole load
+  }
+  if (!cursor.at_end()) {
+    if (error != nullptr) *error = "malformed ground-truth data section";
+    return std::nullopt;
+  }
+  return samples;
+}
+
 bool save_ground_truth(const std::string& path,
-                       const std::vector<LabeledModule>& samples) {
+                       const std::vector<LabeledModule>& samples,
+                       PersistFormat format) {
   // Atomic temp-file + rename: a crash or full disk mid-write leaves the
   // previous ground-truth file intact instead of a torn one (which the
-  // footer would reject, discarding the whole cached labelling).
-  return atomic_write_file(path, ground_truth_to_text(samples));
+  // footer/checksums would reject, discarding the whole cached labelling).
+  return atomic_write_file(path, format == PersistFormat::Binary
+                                     ? ground_truth_to_binary(samples)
+                                     : ground_truth_to_text(samples));
 }
 
 std::optional<std::vector<LabeledModule>> load_ground_truth(
@@ -119,6 +299,7 @@ std::optional<std::vector<LabeledModule>> load_ground_truth(
   // replacement can never be observed half-old, half-new.
   const std::optional<std::string> text = read_file(path);
   if (!text) return std::nullopt;
+  if (is_binfile(*text)) return ground_truth_from_binary(*text);
   return ground_truth_from_text(*text);
 }
 
@@ -127,14 +308,17 @@ namespace {
 /// Payload (everything but the trailing checksum) of one cache entry.
 std::string cache_entry_payload(const ImplementedBlock& b) {
   std::ostringstream out;
-  out << std::setprecision(17);
   const Macro& m = b.macro;
-  out << b.name << ' ' << static_cast<int>(b.status) << ' ' << b.seed_cf
-      << ' ' << (b.first_run_success ? 1 : 0) << ' ' << b.attempts << ' '
-      << static_cast<int>(b.error.kind) << ' ' << b.error.cf << ' '
-      << b.error.attempts << ' ' << m.cf << ' ' << m.fill_ratio << ' '
+  // Doubles through format_double: shortest text that parses back to the
+  // exact bits (setprecision(17) round-tripped too, but printed 0.15 as
+  // 0.14999999999999999 -- not byte-stable against the binary format).
+  out << b.name << ' ' << static_cast<int>(b.status) << ' '
+      << format_double(b.seed_cf) << ' ' << (b.first_run_success ? 1 : 0)
+      << ' ' << b.attempts << ' ' << static_cast<int>(b.error.kind) << ' '
+      << format_double(b.error.cf) << ' ' << b.error.attempts << ' '
+      << format_double(m.cf) << ' ' << format_double(m.fill_ratio) << ' '
       << m.tool_runs << ' ' << m.used_slices << ' ' << m.est_slices << ' '
-      << m.longest_path_ns << ' ' << m.pblock.col_lo << ' '
+      << format_double(m.longest_path_ns) << ' ' << m.pblock.col_lo << ' '
       << m.pblock.col_hi << ' ' << m.pblock.row_lo << ' ' << m.pblock.row_hi
       << ' ' << m.footprint.height << ' '
       << (m.footprint.uses_bram_or_dsp ? 1 : 0) << ' '
@@ -190,6 +374,20 @@ std::optional<ImplementedBlock> parse_cache_entry(const std::string& payload) {
   return b;
 }
 
+/// Shared validation for both cache loaders: enum ranges and the
+/// never-cached Failed status.
+bool cache_entry_valid(const ImplementedBlock& b, int status, int error_kind) {
+  if (status < 0 || status > static_cast<int>(FlowStatus::Failed)) {
+    return false;
+  }
+  if (static_cast<FlowStatus>(status) == FlowStatus::Failed) return false;
+  if (error_kind < 0 ||
+      error_kind > static_cast<int>(FlowErrorKind::DegradedExhausted)) {
+    return false;
+  }
+  return serializable_name(b.name);
+}
+
 }  // namespace
 
 std::string module_cache_to_text(const ModuleCache& cache) {
@@ -199,6 +397,7 @@ std::string module_cache_to_text(const ModuleCache& cache) {
          " cf fill tool_runs used_slices est_slices longest_ns"
          " pblock(c0 c1 r0 r1) fp_height fp_hard n_kinds kinds... checksum\n";
   for (const auto& [name, block] : cache.entries()) {
+    check_name(name);
     const std::string payload = cache_entry_payload(block);
     out << payload << ' ' << checksum_of(payload) << '\n';
   }
@@ -222,8 +421,13 @@ CacheLoadStats module_cache_from_text(const std::string& text,
     strip_cr(line);
     if (line.empty()) continue;
     if (line.rfind(kCacheFooter, 0) == 0) {
-      std::istringstream footer(line.substr(std::string(kCacheFooter).size()));
-      if (footer >> footer_count) footer_seen = true;
+      // Checked parse (see ground_truth_from_text): a tampered count is a
+      // missing footer, not a wrapped size_t.
+      if (const std::optional<std::size_t> count = parse_number<std::size_t>(
+              line.substr(std::string(kCacheFooter).size()))) {
+        footer_count = *count;
+        footer_seen = true;
+      }
       continue;
     }
     if (line.front() == '#') continue;
@@ -252,15 +456,125 @@ CacheLoadStats module_cache_from_text(const std::string& text,
   return stats;
 }
 
-bool save_module_cache(const std::string& path, const ModuleCache& cache) {
+std::string module_cache_to_binary(const ModuleCache& cache) {
+  BinWriter writer;
+  write_meta(writer, kCacheKind, kCacheBinaryVersion);
+  writer.begin_section("data");
+  writer.u64(cache.entries().size());
+  for (const auto& [name, b] : cache.entries()) {
+    check_name(name);
+    const Macro& m = b.macro;
+    writer.str(b.name);
+    writer.u8(static_cast<std::uint8_t>(b.status));
+    writer.f64(b.seed_cf);
+    writer.u8(b.first_run_success ? 1 : 0);
+    writer.i32(b.attempts);
+    writer.u8(static_cast<std::uint8_t>(b.error.kind));
+    writer.f64(b.error.cf);
+    writer.i32(b.error.attempts);
+    writer.f64(m.cf);
+    writer.f64(m.fill_ratio);
+    writer.i32(m.tool_runs);
+    writer.i32(m.used_slices);
+    writer.i32(m.est_slices);
+    writer.f64(m.longest_path_ns);
+    writer.i32(m.pblock.col_lo);
+    writer.i32(m.pblock.col_hi);
+    writer.i32(m.pblock.row_lo);
+    writer.i32(m.pblock.row_hi);
+    writer.i32(m.footprint.height);
+    writer.u8(m.footprint.uses_bram_or_dsp ? 1 : 0);
+    writer.u32(static_cast<std::uint32_t>(m.footprint.kinds.size()));
+    for (ColumnKind kind : m.footprint.kinds) {
+      writer.u8(static_cast<std::uint8_t>(kind));
+    }
+  }
+  return writer.finish();
+}
+
+CacheLoadStats module_cache_from_binary(std::string_view bytes,
+                                        ModuleCache& cache) {
+  CacheLoadStats stats;
+  const std::optional<BinFile> file = BinFile::open(bytes);
+  if (!file || !check_meta(*file, kCacheKind, kCacheBinaryVersion, nullptr)) {
+    return stats;
+  }
+  const std::optional<std::string_view> data = file->section("data");
+  if (!data) return stats;
+  stats.header_ok = true;
+  BinCursor cursor(*data);
+  const std::uint64_t count = cursor.u64();
+  // An entry is >= 80 bytes; bound the count before trusting it.
+  if (!cursor.ok() || count > cursor.remaining() / 80) return stats;
+  std::vector<ImplementedBlock> entries;
+  entries.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count && cursor.ok(); ++i) {
+    ImplementedBlock b;
+    Macro& m = b.macro;
+    b.name = cursor.str();
+    const int status = cursor.u8();
+    b.seed_cf = cursor.f64();
+    b.first_run_success = cursor.u8() != 0;
+    b.attempts = cursor.i32();
+    const int error_kind = cursor.u8();
+    b.error.cf = cursor.f64();
+    b.error.attempts = cursor.i32();
+    m.cf = cursor.f64();
+    m.fill_ratio = cursor.f64();
+    m.tool_runs = cursor.i32();
+    m.used_slices = cursor.i32();
+    m.est_slices = cursor.i32();
+    m.longest_path_ns = cursor.f64();
+    m.pblock.col_lo = cursor.i32();
+    m.pblock.col_hi = cursor.i32();
+    m.pblock.row_lo = cursor.i32();
+    m.pblock.row_hi = cursor.i32();
+    m.footprint.height = cursor.i32();
+    m.footprint.uses_bram_or_dsp = cursor.u8() != 0;
+    const std::uint32_t kinds = cursor.u32();
+    if (!cursor.ok() || kinds > cursor.remaining()) {
+      cursor.fail();
+      break;
+    }
+    m.footprint.kinds.reserve(kinds);
+    bool kinds_ok = true;
+    for (std::uint32_t k = 0; k < kinds; ++k) {
+      const int kind = cursor.u8();
+      if (kind > static_cast<int>(ColumnKind::Clock)) kinds_ok = false;
+      m.footprint.kinds.push_back(static_cast<ColumnKind>(kind));
+    }
+    if (!kinds_ok || !cache_entry_valid(b, status, error_kind)) {
+      cursor.fail();
+      break;
+    }
+    b.status = static_cast<FlowStatus>(status);
+    b.error.kind = static_cast<FlowErrorKind>(error_kind);
+    b.error.block = b.name;
+    m.name = b.name;
+    entries.push_back(std::move(b));
+  }
+  if (!cursor.at_end()) return stats;  // header_ok, but nothing restored
+  // All-or-nothing: entries only reach the cache once the whole section
+  // parsed (the container checksums make partial damage unreachable anyway).
+  for (ImplementedBlock& b : entries) cache.restore(std::move(b));
+  stats.loaded = static_cast<int>(count);
+  stats.complete = true;
+  return stats;
+}
+
+bool save_module_cache(const std::string& path, const ModuleCache& cache,
+                       PersistFormat format) {
   // Atomic replace: the checkpoint is the crash-recovery story itself, so a
   // crash *while checkpointing* must never destroy the previous checkpoint.
-  return atomic_write_file(path, module_cache_to_text(cache));
+  return atomic_write_file(path, format == PersistFormat::Binary
+                                     ? module_cache_to_binary(cache)
+                                     : module_cache_to_text(cache));
 }
 
 CacheLoadStats load_module_cache(const std::string& path, ModuleCache& cache) {
   const std::optional<std::string> text = read_file(path);
   if (!text) return CacheLoadStats{};
+  if (is_binfile(*text)) return module_cache_from_binary(*text, cache);
   return module_cache_from_text(*text, cache);
 }
 

@@ -1,23 +1,35 @@
 #pragma once
-// Plain-text serialisation of labelled ground truth and of the module cache.
+// Serialisation of labelled ground truth and of the module cache, in two
+// interconvertible on-disk representations.
 //
-// Labelling 2,000 modules costs ~10 s; the estimator benches and the CLI can
-// cache the result on disk (opt-in via MACROFLOW_GT_CACHE) and reload it
-// instantly. The format is a versioned, self-describing text table -- stable
+// The *text* formats are versioned, self-describing line tables -- stable
 // across runs, diffable, and safe to regenerate at any time. A sample-count
-// footer makes truncation detectable: a cut-off file is rejected as corrupt
-// instead of silently loading a prefix of the dataset.
+// footer makes truncation detectable, and the module-cache entries carry
+// per-entry FNV-1a checksums so an interrupted flow resumes with its good
+// macros intact.
 //
-// The module-cache checkpoint is the flow's crash-recovery story: every
-// implemented macro is written as one line with a per-entry FNV-1a checksum
-// plus an entry-count footer. On reload, entries with a bad checksum (or a
-// truncated tail) are dropped and counted, so an interrupted flow resumes
-// with its good macros intact and re-runs only the corrupted/missing blocks.
+// The *binary* formats (ground-truth v4-bin, module-cache v2-bin) pack the
+// same data into the common/binfile container: little-endian sections with
+// per-section checksums, bulk-read on load without per-line parsing. They
+// exist for scale -- million-module datasets and per-shard farm checkpoints
+// reload ~10x+ faster (gated by bench_persist) -- while the text format
+// remains the interchange path. Loaders auto-detect the format by magic, so
+// every existing text file keeps loading; `macroflow convert` migrates
+// files in either direction, byte-identically round-trippable because all
+// text doubles go through the shortest-round-trip formatter in
+// common/parse_num.hpp.
+//
+// Module (and cache-entry) names must be whitespace-free and must not start
+// with '#': the text formats are whitespace-delimited, so an embedded space
+// would shift every following field on load. Writers reject such names with
+// MF_CHECK (both text and binary paths); loaders treat them as corruption.
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/binfile.hpp"
 #include "core/estimator.hpp"
 #include "flow/rw_flow.hpp"
 
@@ -32,9 +44,20 @@ std::string ground_truth_to_text(const std::vector<LabeledModule>& samples);
 std::optional<std::vector<LabeledModule>> ground_truth_from_text(
     const std::string& text);
 
-/// File helpers; load returns nullopt when the file is missing or invalid.
+/// Binary ground truth (v4-bin): the same samples in a binfile container.
+std::string ground_truth_to_binary(const std::vector<LabeledModule>& samples);
+
+/// Parse a binary ground-truth file; nullopt on any damage (the container
+/// verifies checksums wholesale -- there is no partial load). When `error`
+/// is non-null it receives a one-line diagnostic.
+std::optional<std::vector<LabeledModule>> ground_truth_from_binary(
+    std::string_view bytes, std::string* error = nullptr);
+
+/// File helpers; load auto-detects text vs binary by magic and returns
+/// nullopt when the file is missing or invalid.
 bool save_ground_truth(const std::string& path,
-                       const std::vector<LabeledModule>& samples);
+                       const std::vector<LabeledModule>& samples,
+                       PersistFormat format = PersistFormat::Text);
 std::optional<std::vector<LabeledModule>> load_ground_truth(
     const std::string& path);
 
@@ -57,8 +80,18 @@ std::string module_cache_to_text(const ModuleCache& cache);
 CacheLoadStats module_cache_from_text(const std::string& text,
                                       ModuleCache& cache);
 
-/// File helpers for checkpoint/resume of an interrupted flow.
-bool save_module_cache(const std::string& path, const ModuleCache& cache);
+/// Binary module cache (v2-bin). Integrity is whole-file (container
+/// checksums): a damaged binary checkpoint loads nothing (header_ok=false)
+/// rather than a subset -- the flow then re-runs from scratch, which is
+/// always safe.
+std::string module_cache_to_binary(const ModuleCache& cache);
+CacheLoadStats module_cache_from_binary(std::string_view bytes,
+                                        ModuleCache& cache);
+
+/// File helpers for checkpoint/resume of an interrupted flow; load
+/// auto-detects text vs binary by magic.
+bool save_module_cache(const std::string& path, const ModuleCache& cache,
+                       PersistFormat format = PersistFormat::Text);
 CacheLoadStats load_module_cache(const std::string& path, ModuleCache& cache);
 
 }  // namespace mf

@@ -6,6 +6,7 @@
 
 #include "common/atomic_file.hpp"
 #include "common/check.hpp"
+#include "common/parse_num.hpp"
 #include "common/rng.hpp"
 #include "ml/model_io.hpp"
 
@@ -14,6 +15,11 @@ namespace {
 
 constexpr const char* kMagic = "macroflow-model-bundle";
 constexpr const char* kFooterPrefix = "# payload ";
+
+// Binary container identity (`meta` section); the binary layout is version
+// 1 of its own lineage, independent of the text kBundleFormatVersion.
+constexpr const char* kBundleKind = "model-bundle";
+constexpr std::uint32_t kBundleBinaryVersion = 1;
 
 std::string checksum_of(const std::string& payload) {
   std::ostringstream out;
@@ -30,15 +36,19 @@ bool set_error(std::string* error, const std::string& message) {
   return false;
 }
 
-}  // namespace
-
-std::string bundle_to_text(const ModelBundle& bundle) {
+void check_bundle(const ModelBundle& bundle) {
   MF_CHECK_MSG(bundle.estimator.trained(),
                "only trained estimators can be bundled");
   MF_CHECK_MSG(!bundle.name.empty() &&
                    bundle.name.find_first_of(" \t/\\\r\n") == std::string::npos,
                "bundle names must be non-empty, whitespace- and slash-free");
   MF_CHECK(bundle.version >= 1);
+}
+
+}  // namespace
+
+std::string bundle_to_text(const ModelBundle& bundle) {
+  check_bundle(bundle);
 
   // Payload: identity + provenance + estimator token stream, as lines.
   std::ostringstream payload_out;
@@ -105,12 +115,22 @@ std::optional<ModelBundle> bundle_from_text(const std::string& text,
     if (line.rfind(kFooterPrefix, 0) == 0) {
       std::istringstream footer(
           line.substr(std::string(kFooterPrefix).size()));
+      std::string count_text;
       std::string keyword;
-      if (!(footer >> footer_lines >> keyword >> footer_checksum) ||
+      if (!(footer >> count_text >> keyword >> footer_checksum) ||
           keyword != "checksum") {
         set_error(error, "malformed footer");
         return std::nullopt;
       }
+      // Checked count parse: "-1" or an overflowing value is corruption,
+      // never a wrapped size_t.
+      const std::optional<std::size_t> count =
+          parse_number<std::size_t>(count_text);
+      if (!count) {
+        set_error(error, "malformed footer line count");
+        return std::nullopt;
+      }
+      footer_lines = *count;
       footer_seen = true;
       continue;
     }
@@ -161,24 +181,122 @@ std::optional<ModelBundle> bundle_from_text(const std::string& text,
   return bundle;
 }
 
+std::string bundle_to_binary(const ModelBundle& bundle) {
+  check_bundle(bundle);
+  BinWriter writer;
+  writer.begin_section("meta");
+  writer.str(kBundleKind);
+  writer.u32(kBundleBinaryVersion);
+  writer.begin_section("identity");
+  writer.str(bundle.name);
+  writer.i32(bundle.version);
+  writer.begin_section("provenance");
+  const BundleProvenance& p = bundle.provenance;
+  writer.u64(p.seed);
+  writer.u64(p.dataset_seed);
+  writer.i64(p.dataset_rows);
+  writer.i64(p.holdout_rows);
+  writer.f64(p.holdout_mean_rel_err);
+  writer.f64(p.holdout_median_rel_err);
+  // The estimator rides as its PR-4 bit-exact token stream, raw: the binary
+  // and text bundles share one model codec, so text<->binary conversion can
+  // never change a model bit (the bench_persist byte-identity gate).
+  std::ostringstream estimator_out;
+  ModelWriter model_writer(estimator_out);
+  bundle.estimator.save(model_writer);
+  writer.begin_section("estimator");
+  writer.raw(estimator_out.str());
+  return writer.finish();
+}
+
+std::optional<ModelBundle> bundle_from_binary(std::string_view bytes,
+                                              std::string* error) {
+  const std::optional<BinFile> file = BinFile::open(bytes, error);
+  if (!file) return std::nullopt;
+  const std::optional<std::string_view> meta = file->section("meta");
+  if (!meta) {
+    set_error(error, "missing meta section");
+    return std::nullopt;
+  }
+  BinCursor meta_cursor(*meta);
+  const std::string kind = meta_cursor.str(256);
+  const std::uint32_t version = meta_cursor.u32();
+  if (!meta_cursor.at_end() || kind != kBundleKind) {
+    set_error(error, "not a model-bundle container");
+    return std::nullopt;
+  }
+  if (version != kBundleBinaryVersion) {
+    set_error(error, "unsupported binary bundle version v" +
+                         std::to_string(version));
+    return std::nullopt;
+  }
+  const std::optional<std::string_view> identity = file->section("identity");
+  const std::optional<std::string_view> provenance =
+      file->section("provenance");
+  const std::optional<std::string_view> estimator_bytes =
+      file->section("estimator");
+  if (!identity || !provenance || !estimator_bytes) {
+    set_error(error, "missing bundle section");
+    return std::nullopt;
+  }
+  ModelBundle bundle;
+  BinCursor id_cursor(*identity);
+  bundle.name = id_cursor.str(1u << 10);
+  bundle.version = id_cursor.i32();
+  if (!id_cursor.at_end() || bundle.name.empty() || bundle.version < 1 ||
+      bundle.version > (1 << 20) ||
+      bundle.name.find_first_of(" \t/\\\r\n") != std::string::npos) {
+    set_error(error, "malformed bundle identity");
+    return std::nullopt;
+  }
+  BinCursor prov_cursor(*provenance);
+  BundleProvenance& p = bundle.provenance;
+  p.seed = prov_cursor.u64();
+  p.dataset_seed = prov_cursor.u64();
+  p.dataset_rows = prov_cursor.i64();
+  p.holdout_rows = prov_cursor.i64();
+  p.holdout_mean_rel_err = prov_cursor.f64();
+  p.holdout_median_rel_err = prov_cursor.f64();
+  if (!prov_cursor.at_end() || p.dataset_rows < 0 ||
+      p.dataset_rows > (1LL << 40) || p.holdout_rows < 0 ||
+      p.holdout_rows > (1LL << 40)) {
+    set_error(error, "malformed bundle provenance");
+    return std::nullopt;
+  }
+  std::istringstream estimator_in{std::string(*estimator_bytes)};
+  ModelReader reader(estimator_in);
+  std::optional<CfEstimator> estimator = CfEstimator::load(reader);
+  if (!estimator) {
+    set_error(error, "malformed estimator payload");
+    return std::nullopt;
+  }
+  bundle.estimator = std::move(*estimator);
+  return bundle;
+}
+
 bool save_bundle(const std::string& path, const ModelBundle& bundle,
-                 std::string* error) {
+                 std::string* error, PersistFormat format) {
   // Atomic replace, with stream/short-write failures propagated: a bundle
   // that fails to persist (ENOSPC, unwritable dir) must report so, not
   // leave a truncated .mfb the registry would have to quarantine later.
-  return atomic_write_file(path, bundle_to_text(bundle), error);
+  return atomic_write_file(path,
+                           format == PersistFormat::Binary
+                               ? bundle_to_binary(bundle)
+                               : bundle_to_text(bundle),
+                           error);
 }
 
 std::optional<ModelBundle> load_bundle(const std::string& path,
                                        std::string* error) {
-  std::ifstream in(path);
-  if (!in) {
+  // Whole-file binary-safe read (an ifstream in text mode would translate
+  // bytes on some platforms and cannot represent a binary bundle).
+  const std::optional<std::string> bytes = read_file(path);
+  if (!bytes) {
     if (error != nullptr) *error = "cannot open " + path;
     return std::nullopt;
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return bundle_from_text(buffer.str(), error);
+  if (is_binfile(*bytes)) return bundle_from_binary(*bytes, error);
+  return bundle_from_text(*bytes, error);
 }
 
 }  // namespace mf

@@ -23,7 +23,9 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 
+#include "common/binfile.hpp"
 #include "core/estimator.hpp"
 
 namespace mf {
@@ -60,12 +62,23 @@ std::string bundle_to_text(const ModelBundle& bundle);
 std::optional<ModelBundle> bundle_from_text(const std::string& text,
                                             std::string* error = nullptr);
 
-/// File helpers; load returns nullopt when the file is missing or damaged.
+/// Binary bundle (v1-bin): a common/binfile container whose `estimator`
+/// section holds the bit-exact ModelWriter token stream as one raw blob
+/// (identity and provenance live in typed sections of their own). Loads
+/// skip the line-gathering/checksumming pass of the text path entirely --
+/// the container's section checksums cover integrity.
+std::string bundle_to_binary(const ModelBundle& bundle);
+std::optional<ModelBundle> bundle_from_binary(std::string_view bytes,
+                                              std::string* error = nullptr);
+
+/// File helpers; load auto-detects text vs binary by magic and returns
+/// nullopt when the file is missing or damaged.
 /// save_bundle writes atomically (temp file + rename, common/atomic_file):
 /// a crash or full disk mid-write leaves the previous version intact, and
 /// failures are reported through the return value / `error`, never ignored.
 bool save_bundle(const std::string& path, const ModelBundle& bundle,
-                 std::string* error = nullptr);
+                 std::string* error = nullptr,
+                 PersistFormat format = PersistFormat::Text);
 std::optional<ModelBundle> load_bundle(const std::string& path,
                                        std::string* error = nullptr);
 

@@ -117,5 +117,32 @@ else
   echo "ok: farm resumed after cancellation with identical bytes"
 fi
 
+# -- convert: text <-> binary migration obeys the same contract -------------
+
+# 1 -- usage errors: missing operands, unknown --to value.
+expect 1 "convert without output" "$CLI" convert "$TMP/farm-a/ground_truth.gt"
+expect 1 "convert bad --to" \
+  "$CLI" convert "$TMP/farm-a/ground_truth.gt" "$TMP/gt.mfb" --to nope
+
+# 2 -- runtime failures: missing input, input that is no known artifact.
+expect 2 "convert missing input" \
+  "$CLI" convert "$TMP/no-such-file.gt" "$TMP/gt.mfb"
+echo garbage > "$TMP/garbage.gt"
+expect 2 "convert unrecognised input" \
+  "$CLI" convert "$TMP/garbage.gt" "$TMP/gt.mfb"
+
+# 0 -- text -> binary -> text reproduces the original bytes exactly (the
+# lossless-migration contract; the farm merge above supplies real data).
+expect 0 "convert text to binary" \
+  "$CLI" convert "$TMP/farm-a/ground_truth.gt" "$TMP/gt.mfb"
+expect 0 "convert binary back to text" \
+  "$CLI" convert "$TMP/gt.mfb" "$TMP/gt_roundtrip.gt"
+if ! cmp -s "$TMP/farm-a/ground_truth.gt" "$TMP/gt_roundtrip.gt"; then
+  echo "FAIL: convert text->binary->text changed the bytes" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: convert text->binary->text is byte-identical"
+fi
+
 [ "$FAILURES" -eq 0 ] || exit 1
 exit 0

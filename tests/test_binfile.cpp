@@ -1,0 +1,350 @@
+// Container-level suite for common/binfile: round trips, cursor semantics,
+// writer misuse, and the every-byte damage sweeps. The damage invariant is
+// stronger than the text formats': every byte of a binary container is
+// covered by a checksum tier (header -> magic/version compare, payload ->
+// whole-payload checksum, table -> table checksum, footer -> field
+// cross-checks), so EVERY single-byte flip and EVERY truncation must be
+// rejected -- there is no "happens to still parse" carve-out here.
+//
+// Golden fixtures: tests/data/ holds container files produced by this
+// build's writers (plain container, ground-truth v4-bin, module-cache
+// v2-bin). The fixture tests assert (a) today's reader still accepts the
+// checked-in bytes and (b) today's writer still produces exactly those
+// bytes -- any format drift shows up as a fixture diff in review instead
+// of a silent compatibility break. Regenerate with MF_REGEN_FIXTURES=1.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/binfile.hpp"
+#include "common/check.hpp"
+#include "flow/rw_flow.hpp"
+#include "flow/serialize.hpp"
+
+namespace mf {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A small container exercising every typed write plus a raw blob.
+std::string sample_container() {
+  BinWriter writer;
+  writer.begin_section("meta");
+  writer.str("macroflow-test");
+  writer.u32(7);
+  writer.begin_section("values");
+  writer.u8(0xAB);
+  writer.u32(0xDEADBEEF);
+  writer.u64(0x0123456789ABCDEFull);
+  writer.i32(-42);
+  writer.i64(-1234567890123ll);
+  writer.f64(0.1);
+  writer.f64(1e-17);
+  writer.begin_section("blob");
+  writer.raw(std::string("\x00\x01\x02\xFF binary soup \n\r\t", 20));
+  return writer.finish();
+}
+
+TEST(BinFile, RoundTripsEveryTypedValue) {
+  const std::string bytes = sample_container();
+  std::string error;
+  const auto file = BinFile::open(bytes, &error);
+  ASSERT_TRUE(file.has_value()) << error;
+  ASSERT_EQ(file->sections().size(), 3u);
+  EXPECT_EQ(file->sections()[0].name, "meta");
+  EXPECT_EQ(file->sections()[1].name, "values");
+  EXPECT_EQ(file->sections()[2].name, "blob");
+
+  const auto meta = file->section("meta");
+  ASSERT_TRUE(meta.has_value());
+  BinCursor mc(*meta);
+  EXPECT_EQ(mc.str(), "macroflow-test");
+  EXPECT_EQ(mc.u32(), 7u);
+  EXPECT_TRUE(mc.at_end());
+
+  const auto values = file->section("values");
+  ASSERT_TRUE(values.has_value());
+  BinCursor vc(*values);
+  EXPECT_EQ(vc.u8(), 0xAB);
+  EXPECT_EQ(vc.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(vc.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(vc.i32(), -42);
+  EXPECT_EQ(vc.i64(), -1234567890123ll);
+  EXPECT_EQ(vc.f64(), 0.1);  // bit-exact: stored as the IEEE pattern
+  EXPECT_EQ(vc.f64(), 1e-17);
+  EXPECT_TRUE(vc.at_end());
+
+  const auto blob = file->section("blob");
+  ASSERT_TRUE(blob.has_value());
+  EXPECT_EQ(*blob, std::string_view("\x00\x01\x02\xFF binary soup \n\r\t", 20));
+  EXPECT_FALSE(file->section("absent").has_value());
+}
+
+TEST(BinFile, EmptyContainerAndEmptySectionRoundTrip) {
+  BinWriter empty;
+  const std::string no_sections = empty.finish();
+  const auto file = BinFile::open(no_sections);
+  ASSERT_TRUE(file.has_value());
+  EXPECT_TRUE(file->sections().empty());
+
+  BinWriter one;
+  one.begin_section("nothing");
+  // Keep the image alive: sections are views into the opened bytes.
+  const std::string image = one.finish();
+  const auto file2 = BinFile::open(image);
+  ASSERT_TRUE(file2.has_value());
+  const auto bytes = file2->section("nothing");
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_TRUE(bytes->empty());
+  BinCursor cursor(*bytes);
+  EXPECT_TRUE(cursor.at_end());
+}
+
+TEST(BinCursor, StickyFailOnOverrun) {
+  const std::string two_bytes = "ab";
+  BinCursor cursor(two_bytes);
+  EXPECT_EQ(cursor.u32(), 0u);  // 4 > 2: latches the fail flag
+  EXPECT_FALSE(cursor.ok());
+  // Every subsequent read stays zero even though bytes remain.
+  EXPECT_EQ(cursor.u8(), 0u);
+  EXPECT_EQ(cursor.f64(), 0.0);
+  EXPECT_EQ(cursor.str(), "");
+  EXPECT_EQ(cursor.raw(1), "");
+  EXPECT_FALSE(cursor.at_end());
+}
+
+TEST(BinCursor, StrRejectsLengthsAboveMaxLen) {
+  BinWriter writer;
+  writer.begin_section("s");
+  writer.str("0123456789");
+  const std::string image = writer.finish();
+  const auto file = BinFile::open(image);
+  ASSERT_TRUE(file.has_value());
+  BinCursor cursor(*file->section("s"));
+  EXPECT_EQ(cursor.str(4), "");  // 10 > 4: reject instead of allocating
+  EXPECT_FALSE(cursor.ok());
+}
+
+TEST(BinCursor, AtEndDetectsTrailingGarbage) {
+  BinWriter writer;
+  writer.begin_section("s");
+  writer.u32(1);
+  writer.u32(2);
+  const std::string image = writer.finish();
+  const auto file = BinFile::open(image);
+  ASSERT_TRUE(file.has_value());
+  BinCursor cursor(*file->section("s"));
+  EXPECT_EQ(cursor.u32(), 1u);
+  EXPECT_FALSE(cursor.at_end());  // one u32 of "garbage" still unread
+  EXPECT_EQ(cursor.u32(), 2u);
+  EXPECT_TRUE(cursor.at_end());
+}
+
+TEST(BinWriter, MisuseThrowsCheckError) {
+  {
+    BinWriter writer;
+    EXPECT_THROW(writer.u32(1), CheckError);  // write outside any section
+  }
+  {
+    BinWriter writer;
+    writer.begin_section("twice");
+    EXPECT_THROW(writer.begin_section("twice"), CheckError);
+  }
+  {
+    BinWriter writer;
+    EXPECT_THROW(writer.begin_section(""), CheckError);
+  }
+  {
+    BinWriter writer;
+    writer.begin_section("s");
+    (void)writer.finish();
+    EXPECT_THROW(writer.begin_section("again"), CheckError);
+  }
+}
+
+TEST(BinFile, RejectsZeroLengthAndForeignBytes) {
+  EXPECT_FALSE(BinFile::open("").has_value());
+  std::string error;
+  EXPECT_FALSE(BinFile::open("not a container", &error).has_value());
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+  // Long enough to clear the size floor: rejected on the magic itself.
+  const std::string foreign(100, 'x');
+  EXPECT_FALSE(BinFile::open(foreign, &error).has_value());
+  EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(BinFile, RejectsTruncationAtEveryByte) {
+  const std::string bytes = sample_container();
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    const auto file = BinFile::open(bytes.substr(0, n));
+    EXPECT_FALSE(file.has_value()) << "parsed a " << n << "-byte prefix of a "
+                                   << bytes.size() << "-byte container";
+  }
+  EXPECT_TRUE(BinFile::open(bytes).has_value());
+}
+
+TEST(BinFile, RejectsBitFlipAtEveryByte) {
+  // Every byte of the container is under some checksum/compare tier, so a
+  // flip anywhere -- including inside the stored checksums themselves --
+  // must be rejected. This is the property the text formats cannot offer
+  // (their unchecksummed bytes can corrupt silently... into a parse error
+  // at best).
+  const std::string bytes = sample_container();
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string damaged = bytes;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x20);
+    const auto file = BinFile::open(damaged);
+    EXPECT_FALSE(file.has_value()) << "accepted a flip at byte " << i;
+  }
+}
+
+TEST(BinFile, RejectsTamperedSectionCountBeforeAllocating) {
+  // Adversarial (not random) damage: rewrite the section count to
+  // 0xFFFFFFFF and *recompute* the table checksum so only the bounds check
+  // stands between the reader and a wild reserve. The count must be
+  // validated against the table's physical size, never trusted.
+  const std::string bytes = sample_container();
+  constexpr std::size_t kFooterSize = 32;
+  const auto* data = reinterpret_cast<const unsigned char*>(bytes.data());
+  const std::size_t footer = bytes.size() - kFooterSize;
+  std::uint64_t table_offset = 0;
+  for (int i = 7; i >= 0; --i) {
+    table_offset = (table_offset << 8) | data[footer + i];
+  }
+  std::string damaged = bytes;
+  for (int i = 0; i < 4; ++i) {
+    damaged[static_cast<std::size_t>(table_offset) + i] = '\xFF';
+  }
+  const std::string_view table(
+      damaged.data() + table_offset, footer - static_cast<std::size_t>(table_offset));
+  const std::uint64_t new_checksum = binfile_checksum(table);
+  for (int i = 0; i < 8; ++i) {
+    damaged[footer + 8 + i] =
+        static_cast<char>((new_checksum >> (8 * i)) & 0xFF);
+  }
+  std::string error;
+  EXPECT_FALSE(BinFile::open(damaged, &error).has_value());
+  EXPECT_NE(error.find("section count"), std::string::npos) << error;
+}
+
+// -- golden fixtures ---------------------------------------------------------
+
+std::string data_dir() { return MF_TEST_DATA_DIR; }
+
+std::optional<std::string> read_fixture(const std::string& name) {
+  std::ifstream in(data_dir() + "/" + name, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Compare `bytes` against the checked-in fixture -- or rewrite the fixture
+/// when MF_REGEN_FIXTURES is set (used once, at fixture-creation time; the
+/// diff then goes through review like any other change).
+void expect_matches_fixture(const std::string& name, const std::string& bytes) {
+  if (std::getenv("MF_REGEN_FIXTURES") != nullptr) {
+    fs::create_directories(data_dir());
+    std::ofstream out(data_dir() + "/" + name,
+                      std::ios::binary | std::ios::trunc);
+    out << bytes;
+    ASSERT_TRUE(out.good()) << "failed to regenerate fixture " << name;
+    return;
+  }
+  const auto golden = read_fixture(name);
+  ASSERT_TRUE(golden.has_value())
+      << "missing fixture " << name
+      << " (regenerate with MF_REGEN_FIXTURES=1)";
+  EXPECT_EQ(*golden, bytes) << "writer output drifted from fixture " << name;
+}
+
+/// Deterministic ground truth for the fixture (no RNG: fixture bytes must
+/// be identical on every host).
+std::vector<LabeledModule> fixture_ground_truth() {
+  std::vector<LabeledModule> samples;
+  for (int i = 0; i < 4; ++i) {
+    LabeledModule s;
+    s.name = "fix_mod_" + std::to_string(i);
+    s.min_cf = 1.05 + 0.15 * i;
+    s.report.stats.luts = 120 + 17 * i;
+    s.report.stats.ffs = 80 + 9 * i;
+    s.report.stats.carry4 = i;
+    s.report.stats.cells = 200 + 26 * i;
+    s.report.stats.control_sets = 5 + i;
+    s.report.stats.max_fanout = 30 + 4 * i;
+    if (i % 2 == 1) s.report.stats.carry_chains = {4, 2 + i};
+    s.report.slices_for_luts = (s.report.stats.luts + 3) / 4;
+    s.report.slices_for_ffs = (s.report.stats.ffs + 7) / 8;
+    s.report.est_slices = s.report.slices_for_luts;
+    s.shape.bbox_w = 5 + i;
+    s.shape.bbox_h = 7;
+    s.shape.min_height = 2 + i;
+    s.shape.carry_columns = i % 2;
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+void fill_fixture_cache(ModuleCache& cache) {
+  const char* names[] = {"fix_alpha", "fix_beta"};
+  for (int i = 0; i < 2; ++i) {
+    ImplementedBlock b;
+    b.name = names[i];
+    b.status = i == 0 ? FlowStatus::Ok : FlowStatus::Degraded;
+    b.seed_cf = 1.3 + 0.1 * i;
+    b.first_run_success = i == 0;
+    b.attempts = i + 1;
+    b.macro.name = names[i];
+    b.macro.cf = 1.15 + 0.05 * i;
+    b.macro.fill_ratio = 0.55 + 0.01 * i;
+    b.macro.tool_runs = 2 + i;
+    b.macro.used_slices = 31 + i;
+    b.macro.est_slices = 30 + i;
+    b.macro.pblock = PBlock{i, i + 5, 1, 6};
+    b.macro.footprint.height = 6;
+    b.macro.footprint.kinds = {ColumnKind::ClbL, ColumnKind::ClbM};
+    cache.restore(std::move(b));
+  }
+}
+
+TEST(BinFileFixtures, PlainContainerMatchesGolden) {
+  const std::string bytes = sample_container();
+  expect_matches_fixture("golden_container_v1.bin", bytes);
+  ASSERT_TRUE(BinFile::open(bytes).has_value());
+}
+
+TEST(BinFileFixtures, GroundTruthBinaryMatchesGoldenAndLoads) {
+  const auto samples = fixture_ground_truth();
+  const std::string bytes = ground_truth_to_binary(samples);
+  expect_matches_fixture("golden_ground_truth_v4.bin", bytes);
+  // The checked-in bytes (not just this build's output) must still load
+  // and reproduce the samples exactly.
+  const auto golden = read_fixture("golden_ground_truth_v4.bin");
+  ASSERT_TRUE(golden.has_value());
+  const auto loaded = ground_truth_from_binary(*golden);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(ground_truth_to_text(*loaded), ground_truth_to_text(samples));
+}
+
+TEST(BinFileFixtures, ModuleCacheBinaryMatchesGoldenAndLoads) {
+  ModuleCache cache;
+  fill_fixture_cache(cache);
+  const std::string bytes = module_cache_to_binary(cache);
+  expect_matches_fixture("golden_module_cache_v2.bin", bytes);
+  const auto golden = read_fixture("golden_module_cache_v2.bin");
+  ASSERT_TRUE(golden.has_value());
+  ModuleCache loaded;
+  const CacheLoadStats stats = module_cache_from_binary(*golden, loaded);
+  EXPECT_TRUE(stats.header_ok);
+  EXPECT_TRUE(stats.complete);
+  EXPECT_EQ(stats.corrupted, 0);
+  EXPECT_EQ(module_cache_to_text(loaded), module_cache_to_text(cache));
+}
+
+}  // namespace
+}  // namespace mf

@@ -341,5 +341,92 @@ TEST(Corruption, BundleSurvivesCrlfRewrite) {
   EXPECT_EQ(bundle_to_text(*loaded), text);
 }
 
+// -- binary tier (binfile container) ----------------------------------------
+// Stronger invariant than the text formats: every byte of the container is
+// covered by a checksum tier, so EVERY truncation and EVERY single-byte
+// flip must be rejected wholesale -- no partial loads, no "happens to still
+// parse" carve-outs, for all three artifact kinds.
+
+TEST(Corruption, BinaryGroundTruthRejectsEveryTruncationAndFlip) {
+  const auto samples = sample_ground_truth();
+  const std::string bytes = ground_truth_to_binary(samples);
+  TempDir dir("gt_bin");
+  const std::string path = dir.file("gt.mfb");
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    write_raw(path, bytes.substr(0, len));
+    EXPECT_FALSE(load_ground_truth(path).has_value())
+        << "binary truncation at " << len << " loaded";
+  }
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string damaged = bytes;
+    damaged[pos] = static_cast<char>(damaged[pos] ^ 0x10);
+    write_raw(path, damaged);
+    EXPECT_FALSE(load_ground_truth(path).has_value())
+        << "binary flip at " << pos << " loaded";
+  }
+  write_raw(path, bytes);
+  const auto loaded = load_ground_truth(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(ground_truth_to_text(*loaded), ground_truth_to_text(samples));
+}
+
+TEST(Corruption, BinaryCacheRejectsEveryTruncationAndFlip) {
+  ModuleCache original;
+  fill_sample_cache(original);
+  const std::string bytes = module_cache_to_binary(original);
+  TempDir dir("cache_bin");
+  const std::string path = dir.file("cache.ckpt");
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    write_raw(path, bytes.substr(0, len));
+    ModuleCache cache;
+    const CacheLoadStats stats = load_module_cache(path, cache);
+    // All-or-nothing: a damaged binary checkpoint loads *nothing* (the flow
+    // re-runs from scratch), unlike text where entries survive per-checksum.
+    EXPECT_EQ(stats.loaded, 0) << "binary truncation at " << len;
+    EXPECT_FALSE(stats.complete) << "binary truncation at " << len;
+    EXPECT_TRUE(cache.entries().empty());
+  }
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string damaged = bytes;
+    damaged[pos] = static_cast<char>(damaged[pos] ^ 0x10);
+    write_raw(path, damaged);
+    ModuleCache cache;
+    const CacheLoadStats stats = load_module_cache(path, cache);
+    EXPECT_EQ(stats.loaded, 0) << "binary flip at " << pos;
+    EXPECT_TRUE(cache.entries().empty());
+  }
+  write_raw(path, bytes);
+  ModuleCache cache;
+  const CacheLoadStats stats = load_module_cache(path, cache);
+  EXPECT_TRUE(stats.complete);
+  EXPECT_EQ(stats.corrupted, 0);
+  EXPECT_EQ(module_cache_to_text(cache), module_cache_to_text(original));
+}
+
+TEST(Corruption, BinaryBundleRejectsEveryTruncationAndFlip) {
+  const ModelBundle original = sample_bundle();
+  const std::string bytes = bundle_to_binary(original);
+  TempDir dir("bundle_bin");
+  const std::string path = dir.file("m.mfb");
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    write_raw(path, bytes.substr(0, len));
+    EXPECT_FALSE(load_bundle(path).has_value())
+        << "binary truncation at " << len << " loaded";
+  }
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string damaged = bytes;
+    damaged[pos] = static_cast<char>(damaged[pos] ^ 0x10);
+    write_raw(path, damaged);
+    std::string error;
+    EXPECT_FALSE(load_bundle(path, &error).has_value())
+        << "binary flip at " << pos << " loaded";
+    EXPECT_FALSE(error.empty());
+  }
+  write_raw(path, bytes);
+  const auto loaded = load_bundle(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(bundle_to_text(*loaded), bundle_to_text(original));
+}
+
 }  // namespace
 }  // namespace mf

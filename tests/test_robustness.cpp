@@ -291,6 +291,76 @@ TEST(CrashHarness, ModelBundleIsAlwaysOldOrNew) {
   EXPECT_EQ(read_file(path), new_text);
 }
 
+// -- the same old-or-new sweeps over the *binary* tier -----------------------
+// The binary saves go through the identical atomic_write_file path, so a
+// crash at any byte must leave the complete old file -- and because binary
+// loads are all-or-nothing, "old" is checked by loading, not just by bytes.
+
+TEST(CrashHarness, BinaryGroundTruthIsAlwaysOldOrNew) {
+  TempDir dir("crash_gt_bin");
+  const std::string path = dir.file("gt.mfb");
+  const auto old_samples = tiny_ground_truth(2);
+  const auto new_samples = tiny_ground_truth(3, 100);
+  ASSERT_TRUE(save_ground_truth(path, old_samples, PersistFormat::Binary));
+  const std::string old_text = ground_truth_to_text(old_samples);
+  const std::string new_binary = ground_truth_to_binary(new_samples);
+
+  for (std::size_t n = 0; n <= new_binary.size(); n += 7) {
+    ScopedWriteCrash crash(static_cast<long>(n));
+    EXPECT_FALSE(save_ground_truth(path, new_samples, PersistFormat::Binary));
+    const auto loaded = load_ground_truth(path);
+    ASSERT_TRUE(loaded.has_value()) << "crash after " << n << " bytes";
+    EXPECT_EQ(ground_truth_to_text(*loaded), old_text);
+  }
+  ASSERT_TRUE(save_ground_truth(path, new_samples, PersistFormat::Binary));
+  EXPECT_EQ(read_file(path), new_binary);
+}
+
+TEST(CrashHarness, BinaryModuleCacheIsAlwaysOldOrNew) {
+  TempDir dir("crash_cache_bin");
+  const std::string path = dir.file("cache.ckpt");
+  ModuleCache old_cache;
+  old_cache.restore(fake_block("alpha", 0));
+  ModuleCache new_cache;
+  new_cache.restore(fake_block("alpha", 2));
+  new_cache.restore(fake_block("gamma", 3));
+  ASSERT_TRUE(save_module_cache(path, old_cache, PersistFormat::Binary));
+  const std::string old_text = module_cache_to_text(old_cache);
+  const std::string new_binary = module_cache_to_binary(new_cache);
+
+  for (std::size_t n = 0; n <= new_binary.size(); n += 7) {
+    ScopedWriteCrash crash(static_cast<long>(n));
+    EXPECT_FALSE(save_module_cache(path, new_cache, PersistFormat::Binary));
+    ModuleCache reloaded;
+    const CacheLoadStats stats = load_module_cache(path, reloaded);
+    EXPECT_TRUE(stats.complete) << "crash after " << n << " bytes";
+    EXPECT_EQ(stats.corrupted, 0);
+    EXPECT_EQ(module_cache_to_text(reloaded), old_text);
+  }
+  ASSERT_TRUE(save_module_cache(path, new_cache, PersistFormat::Binary));
+  EXPECT_EQ(read_file(path), new_binary);
+}
+
+TEST(CrashHarness, BinaryModelBundleIsAlwaysOldOrNew) {
+  TempDir dir("crash_bundle_bin");
+  const std::string path = dir.file("m-v1.mfb");
+  const ModelBundle old_bundle = tiny_bundle("m", 7);
+  const ModelBundle new_bundle = tiny_bundle("m", 8);
+  ASSERT_TRUE(save_bundle(path, old_bundle, nullptr, PersistFormat::Binary));
+  const std::string old_text = bundle_to_text(old_bundle);
+  const std::string new_binary = bundle_to_binary(new_bundle);
+
+  for (std::size_t n = 0; n <= new_binary.size(); n += 7) {
+    ScopedWriteCrash crash(static_cast<long>(n));
+    EXPECT_FALSE(save_bundle(path, new_bundle, nullptr, PersistFormat::Binary));
+    const auto loaded = load_bundle(path);
+    ASSERT_TRUE(loaded.has_value()) << "crash after " << n << " bytes";
+    EXPECT_EQ(bundle_to_text(*loaded), old_text);
+  }
+  ASSERT_TRUE(save_bundle(path, new_bundle, nullptr, PersistFormat::Binary));
+  EXPECT_EQ(read_file(path), new_binary);
+}
+
 TEST(CrashHarness, RegistryPutCrashLeavesNoVisibleBundle) {
   TempDir dir("crash_put");
   ModelRegistry registry(dir.path());

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "fabric/catalog.hpp"
 #include "flow/ground_truth.hpp"
@@ -171,6 +172,150 @@ TEST(Serialize, FileRoundTrip) {
   EXPECT_EQ(loaded->size(), original.size());
   std::remove(path.c_str());
   EXPECT_FALSE(load_ground_truth(path).has_value());
+}
+
+/// One minimal sample with a chosen label -- the precision tests vary only
+/// min_cf, the lone double in the ground-truth row.
+LabeledModule sample_with_cf(double min_cf) {
+  LabeledModule s;
+  s.name = "m";
+  s.min_cf = min_cf;
+  s.report.stats.luts = 10;
+  s.report.stats.cells = 10;
+  s.shape.bbox_w = 1;
+  s.shape.bbox_h = 1;
+  s.shape.min_height = 1;
+  return s;
+}
+
+TEST(Serialize, TextDoublesRoundTripBitExact) {
+  // Regression for the 6-significant-digit ostream default: labels like
+  // 1.0000000000000002 used to reload as 1.0 and drift on every save/load
+  // cycle. format_double (shortest round-trip) must preserve the exact
+  // bits, including subnormal-adjacent and tiny values.
+  const double awkward[] = {0.1, 1e-17, 1.0000000000000002, 1.0 / 3.0,
+                            123456.789012345678};
+  for (double value : awkward) {
+    const std::vector<LabeledModule> original = {sample_with_cf(value)};
+    const auto parsed = ground_truth_from_text(ground_truth_to_text(original));
+    ASSERT_TRUE(parsed.has_value());
+    // Exact-bit compare, deliberately not EXPECT_DOUBLE_EQ (4-ulp slack).
+    EXPECT_EQ((*parsed)[0].min_cf, value);
+    // Stability: a second save/load cycle produces identical bytes.
+    EXPECT_EQ(ground_truth_to_text(*parsed), ground_truth_to_text(original));
+  }
+}
+
+TEST(Serialize, RejectsWhitespaceModuleNamesAtSave) {
+  // The text row format is whitespace-delimited; a name with a space would
+  // shift every following field on load. Both writers refuse up front.
+  for (const char* name : {"bad name", "tab\tname", "line\nname", "#lead"}) {
+    std::vector<LabeledModule> samples = {sample_with_cf(1.5)};
+    samples[0].name = name;
+    EXPECT_THROW((void)ground_truth_to_text(samples), CheckError) << name;
+    EXPECT_THROW((void)ground_truth_to_binary(samples), CheckError) << name;
+  }
+
+  ModuleCache cache;
+  ImplementedBlock b;
+  b.name = "spaced name";
+  b.macro.name = b.name;
+  b.macro.footprint.height = 1;
+  b.macro.footprint.kinds = {ColumnKind::ClbL};
+  cache.restore(std::move(b));
+  EXPECT_THROW((void)module_cache_to_text(cache), CheckError);
+  EXPECT_THROW((void)module_cache_to_binary(cache), CheckError);
+}
+
+TEST(Serialize, RejectsNegativeFooterCounts) {
+  // `stream >> size_t` wraps "-1" to 2^64-1; the from_chars-based parser
+  // must reject the sign outright instead of attempting a giant reserve.
+  std::string text = ground_truth_to_text({sample_with_cf(1.5)});
+  const std::size_t footer = text.rfind("# samples 1");
+  ASSERT_NE(footer, std::string::npos);
+  text.replace(footer, std::string("# samples 1").size(), "# samples -1");
+  EXPECT_FALSE(ground_truth_from_text(text).has_value());
+}
+
+TEST(Serialize, BinaryGroundTruthRoundTripsAndAutoDetects) {
+  const std::vector<LabeledModule> original = small_truth();
+  ASSERT_FALSE(original.empty());
+  const std::string binary = ground_truth_to_binary(original);
+  const auto parsed = ground_truth_from_binary(binary);
+  ASSERT_TRUE(parsed.has_value());
+  // Byte-identity through the text serialiser covers every field at once.
+  EXPECT_EQ(ground_truth_to_text(*parsed), ground_truth_to_text(original));
+
+  // Saved binary, loaded through the same auto-detecting entry point the
+  // text files use.
+  const std::string path = "/tmp/mf_gt_test_bin.mfb";
+  ASSERT_TRUE(save_ground_truth(path, original, PersistFormat::Binary));
+  const auto loaded = load_ground_truth(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(ground_truth_to_text(*loaded), ground_truth_to_text(original));
+}
+
+TEST(Serialize, BinaryGroundTruthRejectsTrailingGarbage) {
+  // A well-formed container whose samples section carries extra bytes after
+  // the last sample must be rejected (mirrors the text footer contract).
+  const std::string binary = ground_truth_to_binary({sample_with_cf(1.5)});
+  ASSERT_TRUE(ground_truth_from_binary(binary).has_value());
+  // Appending to the *container* breaks the footer scan; corrupting inside
+  // is covered by test_corruption. Here: rebuild with a tampered section via
+  // the public writer is impossible by design, so assert the all-or-nothing
+  // contract instead -- a truncated binary never half-loads.
+  for (std::size_t n : {binary.size() / 2, binary.size() - 1}) {
+    EXPECT_FALSE(ground_truth_from_binary(binary.substr(0, n)).has_value());
+  }
+}
+
+TEST(Serialize, BinaryModuleCacheRoundTripsAndAutoDetects) {
+  const Device dev = xc7z020_model();
+  BlockDesign design;
+  Rng rng(5);
+  MixedParams p;
+  p.luts = 90;
+  p.ffs = 70;
+  design.unique_modules.push_back(gen_mixed(p, rng));
+  design.unique_modules.back().name = "bin_block";
+  design.instances.push_back(BlockInstance{"i0", 0});
+  CfPolicy policy;
+  policy.constant_cf = 1.8;
+  RwFlowOptions opts;
+  opts.compute_timing = false;
+  opts.run_stitch = false;
+  ModuleCache cache;
+  ASSERT_EQ(cache.run(design, dev, policy, opts).failed_blocks, 0);
+
+  ModuleCache reloaded;
+  const CacheLoadStats stats =
+      module_cache_from_binary(module_cache_to_binary(cache), reloaded);
+  EXPECT_TRUE(stats.header_ok);
+  EXPECT_TRUE(stats.complete);
+  EXPECT_EQ(stats.loaded, 1);
+  EXPECT_EQ(stats.corrupted, 0);
+  EXPECT_EQ(module_cache_to_text(reloaded), module_cache_to_text(cache));
+
+  const std::string path = "/tmp/mf_cache_test_bin.mfb";
+  ASSERT_TRUE(save_module_cache(path, cache, PersistFormat::Binary));
+  ModuleCache from_file;
+  const CacheLoadStats file_stats = load_module_cache(path, from_file);
+  std::remove(path.c_str());
+  EXPECT_TRUE(file_stats.complete);
+  EXPECT_EQ(module_cache_to_text(from_file), module_cache_to_text(cache));
+}
+
+TEST(Serialize, TextBinaryTextIsByteIdentical) {
+  // The lossless-conversion contract `macroflow convert` rests on: parsing
+  // text, re-encoding through the binary container, and re-serialising must
+  // reproduce the original text byte for byte.
+  const std::vector<LabeledModule> original = small_truth();
+  const std::string text = ground_truth_to_text(original);
+  const auto via_binary =
+      ground_truth_from_binary(ground_truth_to_binary(*ground_truth_from_text(text)));
+  ASSERT_TRUE(via_binary.has_value());
+  EXPECT_EQ(ground_truth_to_text(*via_binary), text);
 }
 
 }  // namespace

@@ -14,6 +14,13 @@
 //                                 retraining
 //   cnv [--xdc out.xdc] [--dot out.dot]
 //                              -- run the cnvW1A1 flow and export artefacts
+//   convert <input> <output> [--to text|binary]
+//                              -- migrate a persisted artifact (ground
+//                                 truth, module cache, or model bundle)
+//                                 between the text and binary formats;
+//                                 the artifact kind and source format are
+//                                 auto-detected, and the default target is
+//                                 the opposite of the source
 //   farm --dir DIR [...]       -- supervise a multi-process dataset farm:
 //                                 shard the sweep deterministically, spawn
 //                                 worker processes (this binary re-executed
@@ -39,7 +46,9 @@
 #include <string>
 
 #include "common/atomic_file.hpp"
+#include "common/binfile.hpp"
 #include "common/cancel.hpp"
+#include "common/parse_num.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
@@ -53,6 +62,7 @@
 #include "flow/serialize.hpp"
 #include "netlist/writer.hpp"
 #include "nn/cnv_w1a1.hpp"
+#include "serve/bundle.hpp"
 #include "serve/registry.hpp"
 #include "serve/service.hpp"
 #include "serve/trainer.hpp"
@@ -87,6 +97,7 @@ int usage() {
       "  cnv [--xdc FILE] [--dot FILE] [--jobs N] [--model FILE-or-NAME]\n"
       "      [--stitch-restarts K] [--stitch-jobs N] [--checkpoint FILE]\n"
       "      [--deadline-seconds S]\n"
+      "  convert <input> <output> [--to text|binary]\n"
       "  farm --dir DIR [--count N] [--seed S] [--grid A,B,C]\n"
       "       [--workers N] [--shards N] [--worker-jobs N]\n"
       "       [--checkpoint-every N] [--max-attempts N]\n"
@@ -103,6 +114,10 @@ int usage() {
       "completed blocks and recomputes only the rest.\n"
       "exit codes: 0 success, 1 usage error, 2 runtime failure,\n"
       "130 cancelled.\n"
+      "convert: migrate a ground-truth, module-cache, or model-bundle file\n"
+      "between text and binary (kind and source format auto-detected;\n"
+      "--to defaults to the opposite of the source). Conversion refuses\n"
+      "incomplete or corrupt inputs: migration must be lossless.\n"
       "--seed: estimator training seed (default 3).\n"
       "--registry: model-bundle directory (default $MACROFLOW_MODEL_DIR or\n"
       "./macroflow-models). `estimate` serves a matching bundle from it and\n"
@@ -123,24 +138,17 @@ int usage() {
 
 // -- checked numeric option parsing -----------------------------------------
 // std::atof/atoi silently turn a malformed value into 0 (and a flag given
-// last would read past argv); every numeric option instead goes through
-// std::from_chars with full-consumption, range, and missing-value checks,
-// and a bad option exits non-zero with a message naming the flag.
+// last would read past argv); every numeric option instead goes through the
+// shared common/parse_num.hpp from_chars wrappers (full consumption, range,
+// no wrapping), and a bad option exits non-zero with a message naming the
+// flag.
 
 std::optional<double> parse_double(const char* text) {
-  double value = 0.0;
-  const char* end = text + std::strlen(text);
-  const auto [ptr, ec] = std::from_chars(text, end, value);
-  if (ec != std::errc{} || ptr != end) return std::nullopt;
-  return value;
+  return parse_double_text(text);
 }
 
 std::optional<int> parse_int(const char* text) {
-  int value = 0;
-  const char* end = text + std::strlen(text);
-  const auto [ptr, ec] = std::from_chars(text, end, value);
-  if (ec != std::errc{} || ptr != end) return std::nullopt;
-  return value;
+  return parse_number<int>(text);
 }
 
 /// Value of option `flag` at argv[i + 1]; exits via the returned nullopt
@@ -624,6 +632,119 @@ int cmd_farm(const FarmOptions& options) {
   return kExitOk;
 }
 
+// -- convert ----------------------------------------------------------------
+
+/// What kind of persisted artifact a file holds, detected without loading it.
+enum class ArtifactKind { GroundTruth, ModuleCache, ModelBundle, Unknown };
+
+ArtifactKind detect_kind(const std::string& bytes) {
+  if (is_binfile(bytes)) {
+    // The meta section names the kind; a damaged container is reported by
+    // the kind-specific loader below, so be permissive here.
+    std::string error;
+    const std::optional<BinFile> file = BinFile::open(bytes, &error);
+    if (!file) return ArtifactKind::Unknown;
+    const std::optional<std::string_view> meta = file->section("meta");
+    if (!meta) return ArtifactKind::Unknown;
+    BinCursor cursor(*meta);
+    const std::string kind = cursor.str(256);
+    if (kind == "ground-truth") return ArtifactKind::GroundTruth;
+    if (kind == "module-cache") return ArtifactKind::ModuleCache;
+    if (kind == "model-bundle") return ArtifactKind::ModelBundle;
+    return ArtifactKind::Unknown;
+  }
+  if (bytes.rfind("macroflow-ground-truth ", 0) == 0)
+    return ArtifactKind::GroundTruth;
+  if (bytes.rfind("macroflow-module-cache ", 0) == 0)
+    return ArtifactKind::ModuleCache;
+  if (bytes.rfind("macroflow-model-bundle ", 0) == 0)
+    return ArtifactKind::ModelBundle;
+  return ArtifactKind::Unknown;
+}
+
+int cmd_convert(const std::string& input_path, const std::string& output_path,
+                std::optional<PersistFormat> target) {
+  const std::optional<std::string> bytes = read_file(input_path);
+  if (!bytes) {
+    std::fprintf(stderr, "convert: cannot read %s\n", input_path.c_str());
+    return kExitRuntime;
+  }
+  const bool source_binary = is_binfile(*bytes);
+  // Default target: the opposite representation of the source.
+  const PersistFormat format = target.value_or(
+      source_binary ? PersistFormat::Text : PersistFormat::Binary);
+  const ArtifactKind kind = detect_kind(*bytes);
+
+  std::string out;
+  std::string error = "unrecognised format";
+  switch (kind) {
+    case ArtifactKind::GroundTruth: {
+      const std::optional<std::vector<LabeledModule>> samples =
+          source_binary ? ground_truth_from_binary(*bytes, &error)
+                        : ground_truth_from_text(*bytes);
+      if (!samples) {
+        std::fprintf(stderr, "convert: %s: corrupt ground truth (%s)\n",
+                     input_path.c_str(), error.c_str());
+        return kExitRuntime;
+      }
+      out = format == PersistFormat::Binary ? ground_truth_to_binary(*samples)
+                                            : ground_truth_to_text(*samples);
+      std::printf("convert: %zu ground-truth samples -> %s (%s)\n",
+                  samples->size(), output_path.c_str(),
+                  format == PersistFormat::Binary ? "binary" : "text");
+      break;
+    }
+    case ArtifactKind::ModuleCache: {
+      // Migration must be lossless: a cache that loads partially (dropped
+      // corrupt entries) is fine for flow resume but wrong to convert --
+      // the damage would be silently laundered into a clean-looking file.
+      ModuleCache cache;
+      const CacheLoadStats stats = source_binary
+                                       ? module_cache_from_binary(*bytes, cache)
+                                       : module_cache_from_text(*bytes, cache);
+      if (!stats.header_ok || !stats.complete || stats.corrupted != 0) {
+        std::fprintf(stderr,
+                     "convert: %s: incomplete or corrupt module cache "
+                     "(loaded %d, corrupted %d)\n",
+                     input_path.c_str(), stats.loaded, stats.corrupted);
+        return kExitRuntime;
+      }
+      out = format == PersistFormat::Binary ? module_cache_to_binary(cache)
+                                            : module_cache_to_text(cache);
+      std::printf("convert: %d cache entries -> %s (%s)\n", stats.loaded,
+                  output_path.c_str(),
+                  format == PersistFormat::Binary ? "binary" : "text");
+      break;
+    }
+    case ArtifactKind::ModelBundle: {
+      const std::optional<ModelBundle> bundle =
+          source_binary ? bundle_from_binary(*bytes, &error)
+                        : bundle_from_text(*bytes, &error);
+      if (!bundle) {
+        std::fprintf(stderr, "convert: %s: corrupt model bundle (%s)\n",
+                     input_path.c_str(), error.c_str());
+        return kExitRuntime;
+      }
+      out = format == PersistFormat::Binary ? bundle_to_binary(*bundle)
+                                            : bundle_to_text(*bundle);
+      std::printf("convert: bundle %s v%d -> %s (%s)\n",
+                  bundle->name.c_str(), bundle->version, output_path.c_str(),
+                  format == PersistFormat::Binary ? "binary" : "text");
+      break;
+    }
+    case ArtifactKind::Unknown:
+      std::fprintf(stderr,
+                   "convert: %s is not a recognised macroflow artifact\n",
+                   input_path.c_str());
+      return kExitRuntime;
+  }
+  if (!write_file(output_path, out)) {
+    std::fprintf(stderr, "convert: cannot write %s\n", output_path.c_str());
+    return kExitRuntime;
+  }
+  return kExitOk;
+}
+
 /// Full command dispatch; main() wraps it with signal installation and the
 /// CancelledError -> 130 mapping.
 int dispatch(int argc, char** argv) {
@@ -839,6 +960,29 @@ int dispatch(int argc, char** argv) {
     }
     return cmd_cnv(xdc, dot, jobs, stitch_restarts, stitch_jobs, model,
                    registry_dir, checkpoint);
+  }
+  if (command == "convert") {
+    if (argc < 4) return usage();
+    std::optional<PersistFormat> target;
+    for (int i = 4; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--to") == 0) {
+        const char* value = option_value(argc, argv, i, "--to");
+        if (value == nullptr) return kExitUsage;
+        if (std::strcmp(value, "text") == 0) {
+          target = PersistFormat::Text;
+        } else if (std::strcmp(value, "binary") == 0) {
+          target = PersistFormat::Binary;
+        } else {
+          std::fprintf(stderr,
+                       "invalid value '%s' for --to (expected text|binary)\n",
+                       value);
+          return kExitUsage;
+        }
+      } else {
+        return usage();
+      }
+    }
+    return cmd_convert(argv[2], argv[3], target);
   }
   if (command == "farm") {
     FarmOptions options;

@@ -8,8 +8,10 @@
 # Each flavour gets its own build directory (build-matrix-<flavour>) so the
 # matrix never invalidates an existing ./build, and a failure in one flavour
 # stops the run with that flavour's name on stderr. This is the one-command
-# pre-merge gate: the farm chaos suites, the parallel-engine suites, and the
-# serving suites all re-run under ASan/UBSan and TSan here.
+# pre-merge gate: the farm chaos suites, the parallel-engine suites, the
+# serving suites, and the persistence gate (bench_persist_quick: binary
+# load >= 10x text, text<->binary byte-identity) all re-run under
+# ASan/UBSan and TSan here via each flavour's ctest.
 
 set -eu
 
