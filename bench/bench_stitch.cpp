@@ -1,12 +1,19 @@
-// Stitcher engine bench: incremental-vs-reference A/B plus multi-start
-// scaling, on the fig5-scale cnvW1A1 stitch problem (constant CF 1.5).
+// Stitcher engine bench: incremental-vs-reference A/B, multi-start
+// scaling, and the engine-portfolio race, on the fig5-scale cnvW1A1
+// stitch problem (constant CF 1.5) plus a device-filling synthetic.
 //
-// Two claims are measured and *checked*, not just timed:
+// Four claims are measured and *checked*, not just timed:
 //   1. the incremental cost engine (cached net boxes, bitset occupancy,
 //      memoized anchor scans) returns bit-identical placements to the
 //      pre-change reference engine while moving >= 3x faster;
 //   2. multi-start annealing (restarts > 1) returns bit-identical results
-//      at every `jobs` value.
+//      at every `jobs` value;
+//   3. the engine portfolio beats lone SA on both problems: >= 1.5x fewer
+//      moves to reach SA's final cost OR >= 5% lower cost at SA's move
+//      budget (the ISSUE-8 acceptance gate);
+//   4. a portfolio race is bit-identical at any `jobs` value, and racing
+//      `portfolio = {sa}` at restarts = 1 reproduces the plain historical
+//      anneal move for move.
 // A violated invariant aborts the bench via MF_CHECK -- the ctest entry
 // (`--quick`) relies on that to turn this into a correctness gate.
 //
@@ -19,6 +26,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -26,6 +34,7 @@
 #include "fabric/catalog.hpp"
 #include "flow/rw_flow.hpp"
 #include "nn/cnv_w1a1.hpp"
+#include "stitch/engine.hpp"
 
 #include "bench_common.hpp"
 
@@ -57,6 +66,69 @@ void check_identical(const StitchResult& a, const StitchResult& b) {
   }
 }
 
+/// Move-for-move identity: counters, trace samples, and per-engine stats
+/// (wall seconds excluded -- everything else must match).
+void check_move_for_move(const StitchResult& a, const StitchResult& b) {
+  check_identical(a, b);
+  MF_CHECK(a.accepted == b.accepted);
+  MF_CHECK(a.rejected == b.rejected);
+  MF_CHECK(a.illegal == b.illegal);
+  MF_CHECK(a.engine == b.engine);
+  MF_CHECK(a.restart_index == b.restart_index);
+  MF_CHECK(a.cost_trace.size() == b.cost_trace.size());
+  for (std::size_t i = 0; i < a.cost_trace.size(); ++i) {
+    MF_CHECK(a.cost_trace[i].first == b.cost_trace[i].first);
+    MF_CHECK(a.cost_trace[i].second == b.cost_trace[i].second);
+  }
+  MF_CHECK(a.engines.size() == b.engines.size());
+  for (std::size_t i = 0; i < a.engines.size(); ++i) {
+    const EngineStats& x = a.engines[i];
+    const EngineStats& y = b.engines[i];
+    MF_CHECK(x.engine == y.engine);
+    MF_CHECK(x.config == y.config);
+    MF_CHECK(x.seed == y.seed);
+    MF_CHECK(x.warm_start == y.warm_start);
+    MF_CHECK(x.moves == y.moves);
+    MF_CHECK(x.evals == y.evals);
+    MF_CHECK(x.best_cost == y.best_cost);
+    MF_CHECK(x.unplaced == y.unplaced);
+    MF_CHECK(x.target_move == y.target_move);
+  }
+}
+
+/// Device-filling synthetic: two mid-size macro shapes chained with star
+/// nets, enough copies to oversubscribe the xc7z020 fabric. This is the
+/// regime where lone SA spends most of its budget shuffling parked blocks.
+StitchProblem filling_problem(const Device& dev) {
+  StitchProblem problem;
+  auto add_macro = [&](const char* name, int col0, int w, int h) {
+    Macro m;
+    m.name = name;
+    m.pblock = PBlock{col0, col0 + w - 1, 0, h - 1};
+    m.footprint = footprint_of(dev, m.pblock, false);
+    m.used_slices = w * h;
+    problem.macros.push_back(std::move(m));
+  };
+  add_macro("mid", 0, 5, 20);
+  add_macro("tall", 6, 4, 34);
+  int next = 0;
+  auto instances = [&](int macro, int count) {
+    for (int i = 0; i < count; ++i) {
+      problem.instances.push_back(
+          BlockInstance{"f" + std::to_string(next++), macro});
+    }
+  };
+  instances(0, 90);
+  instances(1, 60);
+  for (int i = 0; i + 1 < next; ++i) {
+    problem.nets.push_back(BlockNet{{i, i + 1}, 1.0});
+  }
+  for (int i = 0; i + 8 < next; i += 8) {
+    problem.nets.push_back(BlockNet{{i, i + 4, i + 8}, 0.5});
+  }
+  return problem;
+}
+
 Sample run_once(const char* name, const Device& dev,
                 const StitchProblem& problem, const StitchOptions& opts,
                 StitchResult* out = nullptr) {
@@ -70,6 +142,51 @@ Sample run_once(const char* name, const Device& dev,
   s.unplaced = r.unplaced;
   if (out != nullptr) *out = std::move(r);
   return s;
+}
+
+/// The ISSUE-8 portfolio gate on one problem: race the default portfolio
+/// against lone SA under both policies and require >= 1.5x time-to-equal-
+/// cost OR >= 5% cost-at-equal-budget. Returns the two measured margins.
+std::pair<double, double> portfolio_gate(const char* tag, const Device& dev,
+                                         const StitchProblem& problem,
+                                         const StitchResult& sa,
+                                         std::vector<Sample>& samples) {
+  StitchOptions pf;
+  pf.engine = StitchEngine::Portfolio;
+  pf.jobs = 4;
+
+  // First-to-target: how many moves does the winning engine need to reach
+  // the cost lone SA ends at? (target_move can be 0 when an engine's very
+  // first placement already beats SA -- clamp the divisor.)
+  StitchOptions to_target = pf;
+  to_target.target_cost = sa.cost;
+  StitchResult r_target;
+  samples.push_back(run_once((std::string("pf_to_target_") + tag).c_str(),
+                             dev, problem, to_target, &r_target));
+  const double speedup =
+      r_target.target_move >= 0
+          ? static_cast<double>(sa.total_moves) /
+                static_cast<double>(std::max(r_target.target_move, 1L))
+          : 0.0;
+
+  // Cost-at-equal-budget: every raced engine capped at SA's move count.
+  StitchOptions budgeted = pf;
+  budgeted.engine_budget = sa.total_moves;
+  StitchResult r_budget;
+  samples.push_back(run_once((std::string("pf_equal_budget_") + tag).c_str(),
+                             dev, problem, budgeted, &r_budget));
+  const double improvement = (sa.cost - r_budget.cost) / sa.cost;
+
+  std::printf(
+      "portfolio vs sa [%s]: time-to-equal-cost %.2fx (sa %ld moves, "
+      "winner %s at %ld), cost-at-equal-budget %+.2f%% (%.1f -> %.1f, "
+      "winner %s)\n",
+      tag, speedup, sa.total_moves, r_target.engine.c_str(),
+      r_target.target_move, improvement * 100.0, sa.cost, r_budget.cost,
+      r_budget.engine.c_str());
+  MF_CHECK_MSG(speedup >= 1.5 || improvement >= 0.05,
+               "portfolio gate failed: need >= 1.5x speedup or >= 5% cost");
+  return {speedup, improvement};
 }
 
 void append_json(std::string& json, const Sample& s, bool first) {
@@ -168,13 +285,62 @@ int main(int argc, char** argv) {
   std::printf("multi-start winner: restart %d of %d (cost %.1f)\n",
               jobs1_result.restart_index, restarts, jobs1_result.cost);
 
+  // -- engine portfolio: race analytic + warm SA + evo against lone SA ----
+  // inc_result above IS the lone-SA baseline on the fig5 problem (default
+  // options); the filling problem needs its own baseline run.
+  std::printf("\n");
+  const StitchProblem filling = filling_problem(dev);
+  StitchResult filling_sa;
+  samples.push_back(
+      run_once("sa_filling", dev, filling, StitchOptions{}, &filling_sa));
+  const auto [fig5_speedup, fig5_improvement] =
+      portfolio_gate("fig5", dev, problem, inc_result, samples);
+  const auto [fill_speedup, fill_improvement] =
+      portfolio_gate("filling", dev, filling, filling_sa, samples);
+
+  // Determinism gate 1: the same portfolio race is bit-identical at any
+  // fan-out width, per-engine stats included.
+  {
+    StitchOptions pf;
+    pf.engine = StitchEngine::Portfolio;
+    pf.jobs = 1;
+    const StitchResult serial = stitch(dev, problem, pf);
+    pf.jobs = 4;
+    const StitchResult wide = stitch(dev, problem, pf);
+    check_move_for_move(serial, wide);
+    std::printf("portfolio jobs=1 vs jobs=4: bit-identical (%zu configs, "
+                "winner %s, cost %.1f)\n",
+                serial.engines.size(), serial.engine.c_str(), serial.cost);
+  }
+
+  // Determinism gate 2: racing portfolio={sa} at restarts=1 reproduces the
+  // plain historical anneal move for move (the portfolio layer is inert
+  // for a pure-SA run).
+  {
+    StitchOptions plain;
+    const StitchResult historical = stitch(dev, problem, plain);
+    StitchOptions raced = plain;
+    raced.engine = StitchEngine::Portfolio;
+    raced.portfolio = {StitchEngine::Sa};
+    check_move_for_move(historical, stitch(dev, problem, raced));
+    std::printf("portfolio={sa} restarts=1: reproduces the historical "
+                "anneal move for move (%ld moves)\n",
+                historical.total_moves);
+  }
+
   json += " \"problem\": {\"instances\": " +
           std::to_string(problem.instances.size()) +
           ", \"nets\": " + std::to_string(problem.nets.size()) +
           ", \"macros\": " + std::to_string(problem.macros.size()) + "},\n";
-  char head[128];
-  std::snprintf(head, sizeof head, " \"incremental_speedup\": %.3f,\n \"runs\": [",
-                speedup);
+  char head[320];
+  std::snprintf(head, sizeof head,
+                " \"incremental_speedup\": %.3f,\n"
+                " \"portfolio_gate\": {"
+                "\"fig5_speedup\": %.3f, \"fig5_improvement\": %.4f, "
+                "\"filling_speedup\": %.3f, \"filling_improvement\": %.4f},\n"
+                " \"runs\": [",
+                speedup, fig5_speedup, fig5_improvement, fill_speedup,
+                fill_improvement);
   json += head;
   for (std::size_t i = 0; i < samples.size(); ++i) {
     append_json(json, samples[i], i == 0);

@@ -1,0 +1,34 @@
+#pragma once
+// Deterministic analytic pre-placer.
+//
+// A two-phase centroid placer in the DREAMPlaceFPGA-MP spirit, scaled down
+// to the stitcher's rectangle-on-anchors model: (1) damped Gauss-Seidel
+// iterations pull every instance's continuous position toward the weighted
+// centroid of its nets' bounding boxes (force-directed wirelength descent
+// with no legality constraints); (2) a legalization pass snaps instances --
+// most-constrained first -- onto the nearest free footprint-compatible
+// anchor of the occupancy bitset. No RNG anywhere: the result is a pure
+// function of (device, problem), identical for every seed, which is what
+// lets one analytic configuration stand in a portfolio of seeded engines
+// and double as the warm start for SA.
+
+#include <vector>
+
+#include "fabric/device.hpp"
+#include "stitch/engine.hpp"
+#include "stitch/macro.hpp"
+
+namespace mf {
+
+/// The legalized pre-placement only (positions per instance; unplaceable
+/// blocks stay {-1, -1}). This is the SA warm-start input.
+[[nodiscard]] std::vector<BlockPlacement> analytic_placement(
+    const Device& device, const StitchProblem& problem);
+
+/// Full engine run: pre-placement + greedy fill + stats/trace. Ignores the
+/// seed (deterministic) and the move budget (one pass is the whole run).
+[[nodiscard]] StitchResult stitch_analytic(const Device& device,
+                                           const StitchProblem& problem,
+                                           const StitchOptions& opts);
+
+}  // namespace mf

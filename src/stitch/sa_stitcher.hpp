@@ -19,103 +19,27 @@
 // occupancy grid (stitch/occupancy), with O(log n) random block selection
 // (common/indexed_set) -- all bit-identical in behaviour to the naive
 // reference engine, which `StitchOptions::reference_engine` keeps available
-// for differential tests and benches. `restarts` / `jobs` add deterministic
-// parallel multi-start annealing on top.
+// for differential tests and benches.
+//
+// The option/result types and the Engine interface live in stitch/engine.hpp;
+// `stitch()` below is the front door that dispatches to the requested engine
+// (SA stays the default) or to the portfolio race (stitch/portfolio.hpp).
 
-#include <cstdint>
-#include <vector>
-
-#include "common/cancel.hpp"
-#include "fabric/device.hpp"
-#include "stitch/macro.hpp"
-
-#ifndef MF_JOBS_DEFAULT
-#define MF_JOBS_DEFAULT 1
-#endif
+#include "stitch/engine.hpp"
 
 namespace mf {
 
-struct StitchOptions {
-  std::uint64_t seed = 99;
-  double initial_temp = 0.0;  ///< 0 = auto (from initial cost scale)
-  double cooling = 0.95;
-  int moves_per_temp = 0;  ///< 0 = auto (10 x instances)
-  double min_temp_ratio = 1e-4;  ///< stop when T < ratio * T0
-  double unplaced_penalty = 0.0;  ///< 0 = auto (device half-perimeter x 4)
-  int place_retry_every = 25;  ///< try to un-park an unplaced block this often
-  /// Stop annealing after this many temperature steps without a >0.1% cost
-  /// improvement (0 = anneal the full schedule). Easier problems quiesce
-  /// sooner, which is what makes SA convergence a quality metric.
-  int stagnation_temps = 15;
-  /// Watchdog: hard iteration budget on the anneal (0 = unbounded). When the
-  /// budget trips, the walk stops and the best-so-far snapshot is restored,
-  /// so an over-budget anneal degrades to its best intermediate placement
-  /// instead of running unbounded. Deterministic (move-count based).
-  long max_moves = 0;
-  /// Watchdog: wall-clock budget in seconds on the anneal (0 = unbounded).
-  /// Same degradation semantics as max_moves, but non-deterministic -- meant
-  /// for production service deadlines, not for reproducible experiments.
-  double max_seconds = 0.0;
-  /// Cooperative cancellation (common/cancel.hpp): polled by the same
-  /// amortised watchdog check as max_seconds, with the same degradation
-  /// semantics (stop, restore best-so-far, watchdog_fired = true). This
-  /// subsumes max_seconds for end-to-end deadlines -- one token armed with
-  /// set_deadline_seconds() bounds the whole flow, annealer included, and
-  /// every multi-start restart polls the same token.
-  const CancelToken* cancel = nullptr;
-  /// Independent annealing restarts (multi-start SA). 1 = one anneal seeded
-  /// with `seed` -- exactly the historical single-start behaviour, move for
-  /// move. K > 1 runs K independent anneals, restart k seeded with
-  /// task_seed(seed, "restart:<k>"); the lowest final cost wins, ties going
-  /// to the lowest k. Deterministic at any `jobs` value.
-  int restarts = 1;
-  /// Worker threads for the multi-start fan-out (1 = sequential, 0 = auto,
-  /// i.e. hardware concurrency). Results are bit-identical at any value --
-  /// each restart is an isolated annealer with its own derived seed.
-  int jobs = MF_JOBS_DEFAULT;
-  /// Run the pre-incremental reference cost engine: naive per-net bounding
-  /// box rescans, a per-cell occupant grid, and O(instances) candidate
-  /// scans per move. Kept for differential tests and the bench_stitch A/B;
-  /// results are bit-identical to the default incremental engine, only
-  /// slower.
-  bool reference_engine = false;
-};
-
-struct BlockPlacement {
-  int col = -1;
-  int row = -1;
-  [[nodiscard]] bool placed() const noexcept { return col >= 0; }
-};
-
-struct StitchResult {
-  std::vector<BlockPlacement> positions;  ///< per instance
-  int unplaced = 0;
-  double wirelength = 0.0;  ///< final HPWL cost (penalty excluded)
-  double cost = 0.0;        ///< wirelength + unplaced penalty
-  long total_moves = 0;
-  long accepted = 0;
-  long rejected = 0;
-  long illegal = 0;  ///< moves discarded for overlap / no legal anchor
-  /// First move index after which the cost stays within 1% of the final
-  /// cost -- the convergence metric behind the paper's "1.37x faster".
-  long converge_move = 0;
-  /// True when a watchdog budget (max_moves / max_seconds) cut the anneal
-  /// short; the result is the best placement seen up to that point.
-  bool watchdog_fired = false;
-  double seconds = 0.0;  ///< wall clock of the whole stitch (all restarts)
-  /// Which restart produced this result (0 when restarts = 1).
-  int restart_index = 0;
-  /// SA moves summed over every restart (== total_moves when restarts = 1).
-  long restart_moves = 0;
-  /// (move index, cost) samples for convergence plots; one sample per
-  /// temperature step, downsampled by stride doubling to at most ~4096
-  /// entries so pathological schedules cannot grow the trace unbounded.
-  std::vector<std::pair<long, double>> cost_trace;
-  /// Fraction of device slices covered by placed macro rectangles.
-  double coverage = 0.0;
-};
-
+/// Solve a stitch problem with the engine selected by `opts.engine`.
+/// The default (SA, restarts = 1) is the historical single-start annealer,
+/// move for move; everything else routes through the portfolio driver.
 StitchResult stitch(const Device& device, const StitchProblem& problem,
                     const StitchOptions& opts = {});
+
+/// One SA run for one configuration (restarts/jobs ignored; `opts.seed` used
+/// directly; honours `opts.warm_start` via the analytic pre-placer). This is
+/// the SA engine the portfolio races.
+StitchResult stitch_sa_single(const Device& device,
+                              const StitchProblem& problem,
+                              const StitchOptions& opts);
 
 }  // namespace mf

@@ -1,0 +1,361 @@
+// The engine-portfolio contract, pinned four ways:
+//
+//   1. history: the restarts = 1 SA cost trace serialises to the exact
+//      bytes of tests/data/golden_sa_trace.txt (captured before the engine
+//      split), and racing `portfolio = {sa}` reproduces the plain single
+//      anneal move for move -- the portfolio layer adds nothing to a
+//      pure-SA run;
+//   2. legality: every alternative engine (evo, analytic, warm-started SA)
+//      returns footprint-legal, overlap-free, correctly costed placements
+//      on every catalog device;
+//   3. determinism: a portfolio race is bit-identical at any `jobs` value
+//      (ctest re-runs this suite as `stitch_portfolio_jobs` with
+//      MF_TEST_JOBS=8), the analytic engine ignores the seed entirely, and
+//      observing `target_cost` never perturbs a run;
+//   4. validation: malformed StitchOptions fail fast with CheckError
+//      instead of silently falling back to SA.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "fabric/catalog.hpp"
+#include "stitch/engine.hpp"
+#include "stitch/sa_stitcher.hpp"
+
+namespace mf {
+namespace {
+
+/// Same mixed problem as test_stitch_incremental: three macro shapes, one
+/// BRAM-bound, 36 instances in a chain. The golden trace fixture is tied
+/// to this exact problem -- do not reshape it.
+StitchProblem mixed_problem(const Device& dev) {
+  StitchProblem problem;
+  auto add_macro = [&](const char* name, int col0, int w, int h, bool hard) {
+    Macro m;
+    m.name = name;
+    m.pblock = PBlock{col0, col0 + w - 1, 0, h - 1};
+    m.footprint = footprint_of(dev, m.pblock, hard);
+    m.used_slices = w * h;
+    problem.macros.push_back(std::move(m));
+  };
+  add_macro("small", 0, 3, 8, false);
+  add_macro("wide", 3, 9, 12, false);
+  int bram_col = -1;
+  for (int c = 0; c < dev.num_columns(); ++c) {
+    if (dev.column(c) == ColumnKind::Bram) {
+      bram_col = c;
+      break;
+    }
+  }
+  add_macro("brammy", bram_col - 1, 3, 10, true);
+
+  int next = 0;
+  auto instances = [&](int macro, int count) {
+    for (int i = 0; i < count; ++i) {
+      problem.instances.push_back(
+          BlockInstance{"i" + std::to_string(next++), macro});
+    }
+  };
+  instances(0, 20);
+  instances(1, 10);
+  instances(2, 6);
+  for (int i = 0; i + 1 < next; ++i) {
+    problem.nets.push_back(BlockNet{{i, i + 1}, 1.0});
+  }
+  return problem;
+}
+
+StitchOptions golden_opts(std::uint64_t seed) {
+  StitchOptions opts;
+  opts.seed = seed;
+  opts.moves_per_temp = 150;
+  opts.cooling = 0.85;
+  return opts;
+}
+
+int env_jobs() {
+  if (const char* jobs = std::getenv("MF_TEST_JOBS")) {
+    const int n = std::atoi(jobs);
+    if (n > 0) return n;
+  }
+  return 8;
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+std::uint64_t positions_hash(const StitchResult& r) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const BlockPlacement& p : r.positions) {
+    h = mix(h, static_cast<std::uint64_t>(p.col));
+    h = mix(h, static_cast<std::uint64_t>(p.row));
+  }
+  return h;
+}
+
+std::uint64_t trace_hash(const StitchResult& r) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& [move, cost] : r.cost_trace) {
+    h = mix(h, static_cast<std::uint64_t>(move));
+    h = mix(h, std::bit_cast<std::uint64_t>(cost));
+  }
+  return h;
+}
+
+void expect_identical(const StitchResult& a, const StitchResult& b) {
+  EXPECT_EQ(a.total_moves, b.total_moves);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.illegal, b.illegal);
+  EXPECT_EQ(a.unplaced, b.unplaced);
+  EXPECT_EQ(a.converge_move, b.converge_move);
+  EXPECT_EQ(a.engine, b.engine);
+  EXPECT_EQ(a.restart_index, b.restart_index);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.wirelength),
+            std::bit_cast<std::uint64_t>(b.wirelength));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.cost),
+            std::bit_cast<std::uint64_t>(b.cost));
+  EXPECT_EQ(positions_hash(a), positions_hash(b));
+  EXPECT_EQ(trace_hash(a), trace_hash(b));
+}
+
+/// Every placed instance sits on a legal anchor, no two footprints share a
+/// cell, and cost == wirelength + penalty * unplaced.
+void expect_legal(const Device& dev, const StitchProblem& problem,
+                  const StitchResult& r) {
+  ASSERT_EQ(r.positions.size(), problem.instances.size());
+  std::vector<int> grid(static_cast<std::size_t>(dev.num_columns()) *
+                            static_cast<std::size_t>(dev.rows()),
+                        -1);
+  int placed = 0;
+  for (std::size_t i = 0; i < r.positions.size(); ++i) {
+    const BlockPlacement& p = r.positions[i];
+    if (!p.placed()) continue;
+    ++placed;
+    const Macro& macro =
+        problem.macros[static_cast<std::size_t>(problem.instances[i].macro)];
+    ASSERT_TRUE(footprint_fits(dev, macro.footprint, p.col, p.row,
+                               macro.pblock.row_lo))
+        << "illegal anchor for " << problem.instances[i].name;
+    for (int c = p.col; c < p.col + macro.footprint.width(); ++c) {
+      for (int row = p.row; row < p.row + macro.footprint.height; ++row) {
+        auto& cell = grid[static_cast<std::size_t>(c) *
+                              static_cast<std::size_t>(dev.rows()) +
+                          static_cast<std::size_t>(row)];
+        ASSERT_EQ(cell, -1) << "overlap at " << c << "," << row;
+        cell = static_cast<int>(i);
+      }
+    }
+  }
+  EXPECT_EQ(placed + r.unplaced, static_cast<int>(problem.instances.size()));
+  const double penalty = 4.0 * (dev.num_columns() + dev.rows());
+  EXPECT_NEAR(r.cost, r.wirelength + penalty * r.unplaced, 1e-6);
+  EXPECT_GE(r.wirelength, 0.0);
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << "missing fixture " << path;
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+// -- 1. history --------------------------------------------------------------
+
+TEST(StitchPortfolio, SaTraceMatchesGoldenFixtureByteForByte) {
+  const Device dev = xc7z020_model();
+  const StitchResult r = stitch(dev, mixed_problem(dev), golden_opts(1));
+  EXPECT_EQ(r.engine, "sa");
+  const std::string golden =
+      read_file(std::string(MF_TEST_DATA_DIR) + "/golden_sa_trace.txt");
+  EXPECT_EQ(trace_to_text(r), golden);
+}
+
+TEST(StitchPortfolio, PureSaPortfolioReproducesThePlainAnneal) {
+  const Device dev = xc7z020_model();
+  const StitchProblem problem = mixed_problem(dev);
+  const StitchResult plain = stitch(dev, problem, golden_opts(7));
+  StitchOptions opts = golden_opts(7);
+  opts.engine = StitchEngine::Portfolio;
+  opts.portfolio = {StitchEngine::Sa};
+  const StitchResult raced = stitch(dev, problem, opts);
+  expect_identical(plain, raced);
+  ASSERT_EQ(raced.engines.size(), 1u);
+  EXPECT_EQ(raced.engines[0].engine, "sa");
+  EXPECT_FALSE(raced.engines[0].warm_start);
+  EXPECT_EQ(raced.engines[0].seed, 7u);
+  EXPECT_EQ(raced.engines[0].moves, plain.total_moves);
+  EXPECT_EQ(raced.engines[0].evals, plain.accepted + plain.rejected);
+}
+
+TEST(StitchPortfolio, ObservingTargetCostNeverPerturbsARun) {
+  const Device dev = xc7z020_model();
+  const StitchProblem problem = mixed_problem(dev);
+  const StitchResult cold = stitch(dev, problem, golden_opts(2));
+  StitchOptions opts = golden_opts(2);
+  opts.target_cost = cold.cost;  // generous: the run reaches it by the end
+  const StitchResult watched = stitch(dev, problem, opts);
+  expect_identical(cold, watched);
+  EXPECT_GE(watched.target_move, 0);
+  EXPECT_LE(watched.target_move, watched.total_moves);
+  EXPECT_EQ(cold.target_move, -1);  // no target, never observed
+}
+
+// -- 2. legality on every catalog device ------------------------------------
+
+TEST(StitchPortfolio, EvoIsLegalOnEveryCatalogDevice) {
+  for (const Device& dev : {xc7z020_model(), xc7z045_model()}) {
+    const StitchProblem problem = mixed_problem(dev);
+    StitchOptions opts = golden_opts(3);
+    opts.engine = StitchEngine::Evo;
+    const StitchResult r = stitch(dev, problem, opts);
+    EXPECT_EQ(r.engine, "evo");
+    expect_legal(dev, problem, r);
+    // Reproducible per seed.
+    expect_identical(r, stitch(dev, problem, opts));
+  }
+}
+
+TEST(StitchPortfolio, AnalyticIsLegalAndSeedFreeOnEveryCatalogDevice) {
+  for (const Device& dev : {xc7z020_model(), xc7z045_model()}) {
+    const StitchProblem problem = mixed_problem(dev);
+    StitchOptions opts = golden_opts(4);
+    opts.engine = StitchEngine::Analytic;
+    const StitchResult r = stitch(dev, problem, opts);
+    EXPECT_EQ(r.engine, "analytic");
+    expect_legal(dev, problem, r);
+    // The pre-placer is deterministic and ignores the seed entirely.
+    StitchOptions reseeded = opts;
+    reseeded.seed = 0xdecafbadULL;
+    expect_identical(r, stitch(dev, problem, reseeded));
+  }
+}
+
+TEST(StitchPortfolio, WarmStartedSaIsLegalAndDeterministic) {
+  const Device dev = xc7z020_model();
+  const StitchProblem problem = mixed_problem(dev);
+  StitchOptions opts = golden_opts(5);
+  opts.warm_start = true;
+  const StitchResult r = stitch(dev, problem, opts);
+  expect_legal(dev, problem, r);
+  expect_identical(r, stitch(dev, problem, opts));
+  // Warm start changes the run (seeded placement + quenched schedule).
+  const StitchResult cold = stitch(dev, problem, golden_opts(5));
+  EXPECT_NE(positions_hash(r), positions_hash(cold));
+}
+
+// -- 3. portfolio determinism ------------------------------------------------
+
+TEST(StitchPortfolio, RaceIsBitIdenticalAtAnyJobs) {
+  const Device dev = xc7z020_model();
+  const StitchProblem problem = mixed_problem(dev);
+  StitchOptions opts = golden_opts(6);
+  opts.engine = StitchEngine::Portfolio;  // default analytic + sa + evo race
+  opts.jobs = 1;
+  const StitchResult serial = stitch(dev, problem, opts);
+  opts.jobs = env_jobs();
+  const StitchResult wide = stitch(dev, problem, opts);
+  expect_identical(serial, wide);
+  ASSERT_EQ(serial.engines.size(), wide.engines.size());
+  for (std::size_t i = 0; i < serial.engines.size(); ++i) {
+    const EngineStats& a = serial.engines[i];
+    const EngineStats& b = wide.engines[i];
+    EXPECT_EQ(a.engine, b.engine);
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.warm_start, b.warm_start);
+    EXPECT_EQ(a.moves, b.moves);
+    EXPECT_EQ(a.evals, b.evals);
+    EXPECT_EQ(a.unplaced, b.unplaced);
+    EXPECT_EQ(a.target_move, b.target_move);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.best_cost),
+              std::bit_cast<std::uint64_t>(b.best_cost));
+    // seconds is wall clock and is allowed to differ.
+  }
+}
+
+TEST(StitchPortfolio, WinnerIsLowestCostThenLowestConfigIndex) {
+  const Device dev = xc7z020_model();
+  const StitchProblem problem = mixed_problem(dev);
+  StitchOptions opts = golden_opts(6);
+  opts.engine = StitchEngine::Portfolio;
+  const StitchResult r = stitch(dev, problem, opts);
+  ASSERT_EQ(r.engines.size(), 3u);  // analytic + sa + evo, one seed each
+  expect_legal(dev, problem, r);
+  long sum = 0;
+  for (const EngineStats& s : r.engines) {
+    sum += s.moves;
+    // Winner rule: strictly-lower cost wins; ties keep the lowest index.
+    if (s.config < r.restart_index) EXPECT_GT(s.best_cost, r.cost);
+    EXPECT_GE(s.best_cost, r.cost);
+  }
+  EXPECT_EQ(r.restart_moves, sum);
+  const EngineStats& winner =
+      r.engines[static_cast<std::size_t>(r.restart_index)];
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(winner.best_cost),
+            std::bit_cast<std::uint64_t>(r.cost));
+  EXPECT_EQ(winner.engine, r.engine);
+  EXPECT_EQ(winner.moves, r.total_moves);
+  // The cost trace belongs to the winning engine only.
+  const std::string header = trace_to_text(r);
+  EXPECT_EQ(header.rfind("macroflow-cost-trace v1 engine=" + r.engine, 0), 0u);
+}
+
+// -- 4. fail-fast validation -------------------------------------------------
+
+TEST(StitchPortfolio, MalformedOptionsThrowInsteadOfFallingBackToSa) {
+  const Device dev = xc7z020_model();
+  const StitchProblem problem = mixed_problem(dev);
+  auto with = [&](auto tweak) {
+    StitchOptions opts = golden_opts(1);
+    tweak(opts);
+    return opts;
+  };
+  EXPECT_THROW(
+      stitch(dev, problem, with([](StitchOptions& o) { o.restarts = 0; })),
+      CheckError);
+  EXPECT_THROW(
+      stitch(dev, problem, with([](StitchOptions& o) { o.jobs = -1; })),
+      CheckError);
+  EXPECT_THROW(stitch(dev, problem,
+                      with([](StitchOptions& o) { o.evo_population = 1; })),
+               CheckError);
+  EXPECT_THROW(stitch(dev, problem,
+                      with([](StitchOptions& o) { o.engine_budget = -1; })),
+               CheckError);
+  EXPECT_THROW(stitch(dev, problem,
+                      with([](StitchOptions& o) { o.target_cost = -0.5; })),
+               CheckError);
+  EXPECT_THROW(stitch(dev, problem,
+                      with([](StitchOptions& o) {
+                        o.engine = StitchEngine::Portfolio;
+                        o.portfolio = {StitchEngine::Portfolio};
+                      })),
+               CheckError);
+  EXPECT_THROW(stitch(dev, problem,
+                      with([](StitchOptions& o) {
+                        o.portfolio = {StitchEngine::Evo};  // engine still sa
+                      })),
+               CheckError);
+  // Unknown engine names never reach the library: the parser rejects them.
+  EXPECT_EQ(stitch_engine_from_string("frobnicate"), std::nullopt);
+  EXPECT_EQ(stitch_engine_from_string(""), std::nullopt);
+}
+
+}  // namespace
+}  // namespace mf

@@ -9,9 +9,12 @@
 # matrix never invalidates an existing ./build, and a failure in one flavour
 # stops the run with that flavour's name on stderr. This is the one-command
 # pre-merge gate: the farm chaos suites, the parallel-engine suites, the
-# serving suites, and the persistence gate (bench_persist_quick: binary
-# load >= 10x text, text<->binary byte-identity) all re-run under
-# ASan/UBSan and TSan here via each flavour's ctest.
+# serving suites, the persistence gate (bench_persist_quick: binary
+# load >= 10x text, text<->binary byte-identity), and the stitcher
+# portfolio gates (bench_stitch_quick: portfolio >= 1.5x time-to-equal-cost
+# or >= 5% cost-at-equal-budget vs lone SA, plus the stitch_portfolio_jobs
+# bit-identity rerun at MF_TEST_JOBS=8) all re-run under ASan/UBSan and
+# TSan here via each flavour's ctest.
 
 set -eu
 
