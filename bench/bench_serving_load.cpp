@@ -1,0 +1,324 @@
+// Serving-daemon load bench: coalesced batching throughput, tail latency,
+// and canary rollback under a real Unix-domain socket.
+//
+// Three claims are measured and *checked*, not just timed (MF_CHECK aborts
+// on violation; the `bench_serving_load_quick` ctest entry relies on that):
+//
+//   1. Coalescing pays: many concurrent closed-loop clients sustain >= 5x
+//      the QPS of one request-at-a-time client against the same daemon.
+//      Each lone request must sit out the full coalesce window alone, while
+//      concurrent clients share windows -- the speedup is amortisation, not
+//      multicore (the gate holds on a 1-core container).
+//   2. Batching is invisible in the bytes: every `OK <cf>` response parses
+//      back (shortest round-trip format) to the bit-exact double the
+//      bundle's estimator produces for that row in isolation, no matter
+//      which rows shared a flush. Tail latency stays bounded: server-side
+//      ESTIMATE p99 <= coalesce budget + scheduling slack (measured with a
+//      log2 histogram, so the threshold allows its 2x bucket rounding).
+//   3. A poisoned newer bundle version rolls back deterministically: with a
+//      canary configured, a corrupt v2 trips the load breaker after
+//      fail_threshold scans, traffic never leaves v1, and not a single ERR
+//      response reaches any client before, during, or after the rollback.
+//
+// Results land in BENCH_SERVING.json. Plain main, like bench_serve: the
+// daemon lifecycle does not fit the BM_ harness.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "common/check.hpp"
+#include "common/io_util.hpp"
+#include "common/parse_num.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "serve/registry.hpp"
+#include "srv/protocol.hpp"
+#include "srv/server.hpp"
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mf;
+namespace fs = std::filesystem;
+
+ModelBundle make_bundle(const std::string& name) {
+  Dataset data;
+  data.feature_names = feature_names(FeatureSet::Classical);
+  Rng rng(7);
+  for (std::size_t i = 0; i < 80; ++i) {
+    std::vector<double> row(data.feature_names.size());
+    double target = 0.4;
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      row[j] = j % 2 == 0 ? rng.uniform(0.0, 4000.0) : rng.uniform(0.0, 1.0);
+      target += row[j] * (j % 3 == 0 ? 2.5e-4 : 0.05);
+    }
+    data.add(std::move(row), target + rng.uniform(0.0, 0.2),
+             "s" + std::to_string(i));
+  }
+  ModelBundle bundle;
+  bundle.name = name;
+  bundle.provenance.seed = 3;
+  bundle.provenance.dataset_rows = 80;
+  bundle.estimator =
+      CfEstimator(EstimatorKind::LinearRegression, FeatureSet::Classical);
+  bundle.estimator.train(data);
+  return bundle;
+}
+
+std::vector<std::vector<double>> make_rows(std::size_t n, std::uint64_t seed) {
+  const std::size_t dim = feature_names(FeatureSet::Classical).size();
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows(n);
+  for (std::vector<double>& row : rows) {
+    row.resize(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      row[j] = j % 2 == 0 ? rng.uniform(0.0, 5000.0) : rng.uniform(0.0, 1.0);
+    }
+  }
+  return rows;
+}
+
+/// One closed-loop protocol client over the daemon's real socket.
+class Client {
+ public:
+  explicit Client(const std::string& socket_path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    MF_CHECK(fd_ >= 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    MF_CHECK(socket_path.size() < sizeof(addr.sun_path));
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    // The daemon's listener may be a beat behind the bind; retry briefly.
+    for (int attempt = 0;; ++attempt) {
+      if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof addr) == 0) {
+        break;
+      }
+      MF_CHECK_MSG(attempt < 200, "daemon socket never came up");
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  std::string transact(const std::string& line) {
+    MF_CHECK(write_all(fd_, line));
+    for (;;) {
+      if (std::optional<std::string> response = pop_line(buffer_)) {
+        return *response;
+      }
+      const std::optional<std::size_t> n = read_some(fd_, buffer_);
+      MF_CHECK_MSG(n.has_value() && *n > 0, "daemon hung up mid-request");
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+std::string estimate_line(const std::string& client, const std::string& model,
+                          const std::vector<double>& row) {
+  std::string line = "ESTIMATE " + client + " " + model;
+  for (const double v : row) line += " " + format_double(v);
+  line += "\n";
+  return line;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bench::banner("serving daemon: coalesced batching, tail latency, canary "
+                "rollback",
+                "estimator serving for the CF predictions of Section V");
+
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("mf_bench_srv_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string socket_path = dir + "/serve.sock";
+
+  ModelRegistry registry(dir);
+  const ModelBundle v1 = make_bundle("m");
+  MF_CHECK(registry.put(v1).has_value());
+
+  constexpr double kCoalesceUs = 1000.0;
+  CancelToken cancel;
+  ServerOptions options;
+  options.registry_dir = dir;
+  options.socket_path = socket_path;
+  options.coalesce.coalesce_us = kCoalesceUs;
+  options.coalesce.max_batch = 128;
+  options.coalesce.queue_capacity = 512;
+  options.canary.percent = 100;
+  options.canary.fail_threshold = 3;
+  options.reload_poll_seconds = 0.02;
+  options.cancel = &cancel;
+  EstimatorServer server(options);
+  std::thread daemon([&server] { MF_CHECK(server.run() == 130); });
+
+  // -- 1. closed-loop baseline: one request at a time ----------------------
+  // Every lone request waits out the full coalesce window by itself, so
+  // this is the price of not batching.
+  const std::size_t base_n = quick ? 300 : 2000;
+  const auto base_rows = make_rows(base_n, 11);
+  double base_qps = 0.0;
+  {
+    Client client(socket_path);
+    Timer timer;
+    for (std::size_t i = 0; i < base_n; ++i) {
+      const std::string response =
+          client.transact(estimate_line("base", "m", base_rows[i]));
+      const std::optional<double> cf = parse_ok_cf(response + "\n");
+      MF_CHECK_MSG(cf.has_value(), "baseline request failed: " + response);
+      MF_CHECK(*cf == v1.estimator.predict_row(base_rows[i]));
+    }
+    base_qps = static_cast<double>(base_n) / timer.seconds();
+  }
+  std::printf("closed-loop baseline: %zu requests, %.0f QPS "
+              "(coalesce budget %.0f us paid per request)\n",
+              base_n, base_qps, kCoalesceUs);
+
+  // -- 2. concurrent load: windows amortise across clients -----------------
+  const int clients = quick ? 16 : 32;
+  const std::size_t per_client = quick ? 300 : 1500;
+  std::atomic<std::uint64_t> identity_misses{0};
+  std::atomic<std::uint64_t> errors{0};
+  Timer load_timer;
+  {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        const auto rows = make_rows(per_client, 100 + c);
+        Client client(socket_path);
+        const std::string name = "tenant" + std::to_string(c);
+        for (std::size_t i = 0; i < per_client; ++i) {
+          const std::string response =
+              client.transact(estimate_line(name, "m", rows[i]));
+          const std::optional<double> cf = parse_ok_cf(response + "\n");
+          if (!cf.has_value()) {
+            ++errors;
+          } else if (*cf != v1.estimator.predict_row(rows[i])) {
+            ++identity_misses;
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  const double load_s = load_timer.seconds();
+  const double load_qps =
+      static_cast<double>(clients) * static_cast<double>(per_client) / load_s;
+  const double speedup = load_qps / base_qps;
+  std::printf("coalesced load: %d clients x %zu requests -> %.0f QPS, "
+              "%.1fx the baseline (acceptance target >= 5x)\n",
+              clients, per_client, load_qps, speedup);
+  MF_CHECK_MSG(errors.load() == 0, "load phase saw ERR responses");
+  MF_CHECK_MSG(identity_misses.load() == 0,
+               "batched responses must be bit-identical to solo prediction");
+  MF_CHECK_MSG(speedup >= 5.0,
+               "coalesced batching must sustain >= 5x closed-loop QPS");
+
+  // Server-side ESTIMATE p99 against the latency budget. The log2
+  // histogram reports bucket upper bounds (within 2x), so the gate allows
+  // budget + 50 ms scheduling slack, rounded by one bucket.
+  const std::uint64_t p99_us = server.stats().request_ns.quantile_max(0.99) / 1000;
+  const std::uint64_t p99_limit_us =
+      2 * (static_cast<std::uint64_t>(kCoalesceUs) + 50000);
+  std::printf("server-side ESTIMATE p99 <= %lu us (budget %.0f us, "
+              "gate %lu us)\n",
+              static_cast<unsigned long>(p99_us), kCoalesceUs,
+              static_cast<unsigned long>(p99_limit_us));
+  MF_CHECK_MSG(p99_us <= p99_limit_us,
+               "ESTIMATE p99 exceeded the coalesce budget + slack");
+
+  // -- 3. deterministic canary rollback ------------------------------------
+  // A corrupt v2 appears while traffic flows. The canary load breaker must
+  // condemn it after fail_threshold scans; every response before, during,
+  // and after stays a v1 OK.
+  {
+    std::ofstream poison(dir + "/m-v2.mfb", std::ios::binary);
+    poison << "macroflow-model-bundle 1\nnot a bundle at all\n";
+  }
+  std::uint64_t rollback_errors = 0;
+  {
+    Client client(socket_path);
+    const auto rows = make_rows(quick ? 200 : 1000, 77);
+    std::size_t i = 0;
+    Timer rollback_timer;
+    while (server.canary_status("m").rollbacks == 0) {
+      MF_CHECK_MSG(rollback_timer.seconds() < 30.0,
+                   "canary rollback never happened");
+      const std::string response =
+          client.transact(estimate_line("t", "m", rows[i % rows.size()]));
+      const std::optional<double> cf = parse_ok_cf(response + "\n");
+      if (!cf.has_value() ||
+          *cf != v1.estimator.predict_row(rows[i % rows.size()])) {
+        ++rollback_errors;
+      }
+      ++i;
+    }
+    // Post-rollback: still v1, still zero errors.
+    for (std::size_t j = 0; j < 50; ++j) {
+      const std::string response =
+          client.transact(estimate_line("t", "m", rows[j]));
+      const std::optional<double> cf = parse_ok_cf(response + "\n");
+      if (!cf.has_value() || *cf != v1.estimator.predict_row(rows[j])) {
+        ++rollback_errors;
+      }
+    }
+  }
+  const CanaryStatus canary = server.canary_status("m");
+  std::printf("canary rollback: stable=v%d canary=v%d rollbacks=%lu, "
+              "client-visible errors %lu (must be 0)\n",
+              canary.stable_version, canary.canary_version,
+              static_cast<unsigned long>(canary.rollbacks),
+              static_cast<unsigned long>(rollback_errors));
+  MF_CHECK_MSG(canary.rollbacks == 1, "exactly one rollback expected");
+  MF_CHECK_MSG(canary.stable_version == 1, "traffic must stay on v1");
+  MF_CHECK_MSG(canary.canary_version == 0, "canary must be retired");
+  MF_CHECK_MSG(rollback_errors == 0,
+               "rollback must be invisible to clients (zero ERRs)");
+
+  // -- shutdown: SIGINT-equivalent trip, daemon drains and exits 130 -------
+  cancel.cancel();
+  daemon.join();
+
+  const ServerStats stats = server.stats();
+  std::string json;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                " \"baseline_qps\": %.1f,\n \"coalesced_qps\": %.1f,\n"
+                " \"speedup\": %.2f,\n \"clients\": %d,\n"
+                " \"requests\": %lu,\n \"p99_us\": %lu,\n"
+                " \"p99_gate_us\": %lu,\n \"coalesce_us\": %.0f,\n"
+                " \"rollbacks\": %lu,\n \"client_errors\": %lu\n",
+                base_qps, load_qps, speedup, clients,
+                static_cast<unsigned long>(stats.requests),
+                static_cast<unsigned long>(p99_us),
+                static_cast<unsigned long>(p99_limit_us), kCoalesceUs,
+                static_cast<unsigned long>(canary.rollbacks),
+                static_cast<unsigned long>(rollback_errors));
+  json += buf;
+  if (!bench::write_bench_json("BENCH_SERVING.json", json)) return 1;
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return 0;
+}

@@ -1,0 +1,76 @@
+#pragma once
+// Fixed-bucket log2 histogram for service metrics (DESIGN.md section 13).
+//
+// Latency, batch-fill, and queue-depth distributions are recorded into
+// power-of-two buckets: bucket i counts values v with bit_width(v) == i,
+// i.e. v == 0 lands in bucket 0 and [2^(i-1), 2^i) lands in bucket i.
+// Recording is one increment (no allocation, O(1), cheap enough under the
+// per-request stats mutex), quantile queries walk the 48 fixed buckets, and
+// two histograms merge by addition -- which is what makes a race-free
+// snapshot trivial: copy under the lock, query the copy.
+//
+// The price is resolution: a quantile is reported as the *upper bound* of
+// its bucket (within 2x of the true value). For latency SLO checks against
+// budgets that are themselves order-of-magnitude knobs, that is exactly
+// enough, and the fixed memory footprint (one cache line and a half) beats
+// a reservoir sample under a hot mutex.
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace mf {
+
+struct Log2Histogram {
+  /// 2^47 ns is ~39 hours; anything larger saturates into the last bucket.
+  static constexpr int kBuckets = 48;
+
+  std::array<std::uint64_t, kBuckets> counts{};
+  std::uint64_t total = 0;
+
+  void record(std::uint64_t value) noexcept {
+    int bucket = std::bit_width(value);
+    if (bucket >= kBuckets) bucket = kBuckets - 1;
+    ++counts[static_cast<std::size_t>(bucket)];
+    ++total;
+  }
+
+  /// Largest value bucket i counts (inclusive): 0 for bucket 0, 2^i - 1
+  /// otherwise; the last bucket is open-ended and reports its lower edge
+  /// so a saturated histogram never fabricates a ~39-hour quantile.
+  [[nodiscard]] static std::uint64_t bucket_max(int i) noexcept {
+    if (i <= 0) return 0;
+    if (i >= kBuckets - 1) return std::uint64_t{1} << (kBuckets - 2);
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  /// Upper bound of the bucket holding the q-quantile observation
+  /// (0 < q <= 1, by cumulative count); 0 when the histogram is empty.
+  [[nodiscard]] std::uint64_t quantile_max(double q) const noexcept {
+    if (total == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Rank of the target observation, 1-based; ceil without float drift.
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(total));
+    if (rank < 1) rank = 1;
+    if (rank > total) rank = total;
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += counts[static_cast<std::size_t>(i)];
+      if (seen >= rank) return bucket_max(i);
+    }
+    return bucket_max(kBuckets - 1);
+  }
+
+  Log2Histogram& operator+=(const Log2Histogram& other) noexcept {
+    for (int i = 0; i < kBuckets; ++i) {
+      counts[static_cast<std::size_t>(i)] +=
+          other.counts[static_cast<std::size_t>(i)];
+    }
+    total += other.total;
+    return *this;
+  }
+};
+
+}  // namespace mf

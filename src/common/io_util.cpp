@@ -1,0 +1,77 @@
+#include "common/io_util.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <poll.h>
+#include <unistd.h>
+
+namespace mf {
+
+bool write_all(int fd, std::string_view data) noexcept {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // n == 0 from write() on a regular descriptor should not happen, but
+    // looping on it would spin forever; report it as a failure.
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::size_t> read_some(int fd, std::string& out,
+                                     std::size_t max_bytes) {
+  if (max_bytes == 0) return std::size_t{0};
+  const std::size_t old_size = out.size();
+  out.resize(old_size + max_bytes);
+  for (;;) {
+    const ssize_t n = ::read(fd, out.data() + old_size, max_bytes);
+    if (n >= 0) {
+      out.resize(old_size + static_cast<std::size_t>(n));
+      return static_cast<std::size_t>(n);
+    }
+    if (errno == EINTR) continue;
+    out.resize(old_size);
+    return std::nullopt;
+  }
+}
+
+std::optional<std::string> read_all(int fd) {
+  std::string out;
+  for (;;) {
+    const std::optional<std::size_t> n = read_some(fd, out);
+    if (!n) return std::nullopt;
+    if (*n == 0) return out;
+  }
+}
+
+bool ignore_sigpipe() noexcept {
+  struct sigaction current {};
+  if (::sigaction(SIGPIPE, nullptr, &current) != 0) return false;
+  if (current.sa_handler != SIG_DFL) {
+    // Already ignored, or the application installed its own handler --
+    // either way SIGPIPE no longer kills the process.
+    return true;
+  }
+  struct sigaction ignore {};
+  ignore.sa_handler = SIG_IGN;
+  ::sigemptyset(&ignore.sa_mask);
+  return ::sigaction(SIGPIPE, &ignore, nullptr) == 0;
+}
+
+bool wait_readable(int fd, int timeout_ms) noexcept {
+  struct pollfd pfd {};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  // EINTR and timeout both mean "nothing readable yet"; the caller's loop
+  // re-checks its cancel token and waits again. Error revents count as
+  // readable so the subsequent read() surfaces the failure.
+  return rc > 0;
+}
+
+}  // namespace mf

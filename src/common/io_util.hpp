@@ -1,0 +1,58 @@
+#pragma once
+// EINTR-safe file-descriptor I/O (DESIGN.md section 13).
+//
+// The serving daemon (src/srv) and the farm heartbeat pipes move bytes over
+// raw POSIX descriptors, where three classic traps live:
+//
+//   * short reads/writes -- read()/write() may transfer fewer bytes than
+//     asked, so every caller needs a loop;
+//   * EINTR -- a signal delivered mid-call (SIGCHLD from the farm reaper,
+//     the profiling timer) aborts the syscall; the loop must retry, not
+//     fail. Note that the daemon's SIGINT handler is installed via
+//     std::signal (SA_RESTART on glibc), so blocking calls are *restarted*
+//     and never see the signal -- which is why the server always waits in
+//     poll() (never restarted, see signal(7)) and re-checks its CancelToken
+//     before touching a descriptor;
+//   * SIGPIPE -- writing to a socket whose peer vanished kills the whole
+//     process by default. A daemon must ignore it once, process-wide, and
+//     turn the write error (EPIPE) into a closed connection instead.
+//
+// These wrappers centralise all three so callers stay single-line.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mf {
+
+/// Write all of `data` to `fd`, retrying short writes and EINTR. Returns
+/// false on any other error (EPIPE after the peer hung up, ENOSPC, a closed
+/// descriptor); errno is left describing the failure.
+bool write_all(int fd, std::string_view data) noexcept;
+
+/// Read up to `max_bytes` from `fd` into `out` (appended), retrying EINTR.
+/// Returns the byte count on success (0 = end of stream) and nullopt on
+/// error. A single successful read() is reported as-is -- this is a chunk
+/// read for request loops, not a read-until-EOF.
+std::optional<std::size_t> read_some(int fd, std::string& out,
+                                     std::size_t max_bytes = 65536);
+
+/// Read from `fd` until end-of-stream, retrying EINTR; nullopt on error.
+std::optional<std::string> read_all(int fd);
+
+/// Ignore SIGPIPE process-wide so peer-gone writes fail with EPIPE instead
+/// of killing the daemon. Idempotent (repeat calls are no-ops) and
+/// conservative: a SIGPIPE handler installed by the embedding application
+/// is left alone. Returns true when SIGPIPE is now ignored or handled.
+bool ignore_sigpipe() noexcept;
+
+/// Wait until `fd` is readable or `timeout_ms` elapses. Returns true when
+/// readable (or the descriptor errored/hung up -- the following read will
+/// report it), false on timeout. Uses poll(), which -- unlike read() under
+/// an SA_RESTART handler -- always returns on signal delivery, making this
+/// the daemon's only blocking primitive (cancel tokens get polled between
+/// waits).
+bool wait_readable(int fd, int timeout_ms) noexcept;
+
+}  // namespace mf

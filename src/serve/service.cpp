@@ -26,10 +26,16 @@ EstimatorService::EstimatorService(std::string registry_dir,
 }
 
 std::shared_ptr<const ModelBundle> EstimatorService::acquire(
-    const std::string& model) {
+    const std::string& model, int version) {
+  // A pinned version gets its own LRU slot: the daemon's canary routing
+  // keeps `name` (stable) and `name@vN` (candidate) live side by side, and
+  // both stay immutable-shared so neither invalidates in-flight work.
+  const bool pinned = version >= 1;
+  const std::string key =
+      pinned ? model + "@v" + std::to_string(version) : model;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = index_.find(model);
+    const auto it = index_.find(key);
     if (it != index_.end()) {
       // Refresh recency: splice the hit to the front of the LRU list.
       lru_.splice(lru_.begin(), lru_, it->second);
@@ -41,7 +47,7 @@ std::shared_ptr<const ModelBundle> EstimatorService::acquire(
     // request). When it has expired, let exactly this call through as the
     // half-open probe and push retry_at forward so concurrent requests keep
     // serving the fallback while the probe is in flight.
-    if (options_.breaker_failure_threshold > 0) {
+    if (!pinned && options_.breaker_failure_threshold > 0) {
       BreakerState& breaker = breakers_[model];
       if (breaker.open) {
         const auto now = std::chrono::steady_clock::now();
@@ -61,10 +67,23 @@ std::shared_ptr<const ModelBundle> EstimatorService::acquire(
   // threads racing on the same cold name both load a valid bundle (the
   // second insert wins the cache slot; both predictions are correct).
   ResolveStats resolve_stats;
+  std::string load_error;
   std::optional<ModelBundle> bundle =
-      registry_.resolve(model, std::nullopt, std::nullopt, &resolve_stats);
+      pinned ? registry_.load(model, version, &load_error)
+             : registry_.resolve(model, std::nullopt, std::nullopt,
+                                 &resolve_stats);
   std::lock_guard<std::mutex> lock(mutex_);
   if (!bundle) {
+    // A failed pinned load never feeds the breaker or the fallback path:
+    // "this exact version is unusable" is an answer the canary controller
+    // wants verbatim, while degraded serving remains a newest-resolve story.
+    if (pinned) {
+      last_error_ = "bundle '" + model + "' v" + std::to_string(version) +
+                    " failed to load: " +
+                    (load_error.empty() ? "missing" : load_error);
+      ++stats_.resolve_failures;
+      return nullptr;
+    }
     last_error_ = resolve_stats.considered == 0
                       ? "no bundle named '" + model + "' in " +
                             registry_.dir()
@@ -91,10 +110,10 @@ std::shared_ptr<const ModelBundle> EstimatorService::acquire(
     return nullptr;
   }
   // A clean load heals the model: close the breaker and forget failures.
-  breakers_.erase(model);
+  if (!pinned) breakers_.erase(model);
   ++stats_.bundle_loads;
   auto shared = std::make_shared<const ModelBundle>(std::move(*bundle));
-  const auto it = index_.find(model);
+  const auto it = index_.find(key);
   if (it != index_.end()) {
     // A racing loader beat us; serve the freshly parsed copy but keep the
     // cache single-entry-per-name.
@@ -102,8 +121,8 @@ std::shared_ptr<const ModelBundle> EstimatorService::acquire(
     it->second->second = shared;
     return shared;
   }
-  lru_.emplace_front(model, shared);
-  index_[model] = lru_.begin();
+  lru_.emplace_front(key, shared);
+  index_[key] = lru_.begin();
   while (lru_.size() > options_.max_loaded_bundles) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
@@ -134,11 +153,12 @@ std::optional<double> EstimatorService::estimate(const std::string& model,
 
 std::optional<std::vector<double>> EstimatorService::predict_rows(
     const std::string& model,
-    const std::vector<std::vector<double>>& rows) {
+    const std::vector<std::vector<double>>& rows, int version) {
   const std::uint64_t start = now_ns();
-  const std::shared_ptr<const ModelBundle> bundle = acquire(model);
+  const std::shared_ptr<const ModelBundle> bundle = acquire(model, version);
   if (bundle == nullptr) {
-    if (options_.breaker_failure_threshold > 0) {
+    // Pinned versions never degrade to the fallback CF (see acquire()).
+    if (version < 1 && options_.breaker_failure_threshold > 0) {
       record_fallback(now_ns() - start, rows.size());
       return std::vector<double>(rows.size(), options_.fallback_cf);
     }
@@ -174,8 +194,8 @@ std::optional<std::vector<double>> EstimatorService::predict_rows(
 }
 
 std::shared_ptr<const ModelBundle> EstimatorService::bundle(
-    const std::string& model) {
-  return acquire(model);
+    const std::string& model, int version) {
+  return acquire(model, version);
 }
 
 void EstimatorService::record_latency(std::uint64_t ns, std::uint64_t rows) {
@@ -183,6 +203,7 @@ void EstimatorService::record_latency(std::uint64_t ns, std::uint64_t rows) {
   ++stats_.requests;
   stats_.rows += rows;
   stats_.latency_ns += ns;
+  stats_.latency.record(ns);
 }
 
 void EstimatorService::record_fallback(std::uint64_t ns, std::uint64_t rows) {
@@ -190,6 +211,7 @@ void EstimatorService::record_fallback(std::uint64_t ns, std::uint64_t rows) {
   ++stats_.requests;
   stats_.rows += rows;
   stats_.latency_ns += ns;
+  stats_.latency.record(ns);
   ++stats_.fallback_requests;
 }
 

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/histogram.hpp"
 #include "common/thread_pool.hpp"
 #include "serve/registry.hpp"
 
@@ -68,6 +69,10 @@ struct ServiceStats {
   std::uint64_t lru_hits = 0;
   std::uint64_t evictions = 0;
   std::uint64_t latency_ns = 0;    ///< summed wall time inside predict calls
+  /// Per-request wall time (ns) in fixed log2 buckets; p50/p99 for the
+  /// serving daemon come from here (latency.quantile_max(0.5) etc.), not
+  /// from a recomputation outside the service.
+  Log2Histogram latency;
   std::uint64_t resolve_failures = 0;  ///< acquire() found no usable bundle
   std::uint64_t breaker_trips = 0;     ///< closed/half-open -> open edges
   std::uint64_t fallback_requests = 0; ///< requests served the constant CF
@@ -85,15 +90,29 @@ class EstimatorService {
 
   /// Batched prediction over pre-extracted feature rows. Row i of the
   /// result corresponds to rows[i]; bit-identical at any jobs value.
+  ///
+  /// `version` pins an exact bundle version (>= 1): the serving daemon's
+  /// canary/stable routing needs two live versions of one name, so pinned
+  /// entries get their own LRU slot (`name@vN`) and load via
+  /// ModelRegistry::load instead of newest-clean resolve. A pinned version
+  /// that is missing or damaged returns nullopt -- never the fallback CF
+  /// and never a breaker trip; degraded serving stays a newest-resolve
+  /// (version <= 0) policy, because "this exact version is bad" is the
+  /// signal the canary controller consumes.
   std::optional<std::vector<double>> predict_rows(
       const std::string& model,
-      const std::vector<std::vector<double>>& rows);
+      const std::vector<std::vector<double>>& rows, int version = 0);
 
   /// The bundle a name currently serves (loading it if needed) -- for
-  /// provenance display; shares the LRU with the predict paths.
-  std::shared_ptr<const ModelBundle> bundle(const std::string& model);
+  /// provenance display; shares the LRU with the predict paths. Same
+  /// version-pinning contract as predict_rows.
+  std::shared_ptr<const ModelBundle> bundle(const std::string& model,
+                                            int version = 0);
 
   [[nodiscard]] ServiceStats stats() const;
+  /// Race-free copy of the counters *and* histograms: one mutex acquisition,
+  /// no torn histogram reads. (stats() is kept as the legacy alias.)
+  [[nodiscard]] ServiceStats snapshot() const { return stats(); }
   [[nodiscard]] std::string last_error() const;
   [[nodiscard]] const ModelRegistry& registry() const noexcept {
     return registry_;
@@ -107,7 +126,8 @@ class EstimatorService {
     std::chrono::steady_clock::time_point retry_at{};
   };
 
-  std::shared_ptr<const ModelBundle> acquire(const std::string& model);
+  std::shared_ptr<const ModelBundle> acquire(const std::string& model,
+                                             int version = 0);
   void record_latency(std::uint64_t ns, std::uint64_t rows);
   /// Degraded-path bookkeeping for one request of `rows` rows served the
   /// constant fallback CF.

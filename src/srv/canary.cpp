@@ -1,0 +1,110 @@
+#include "srv/canary.hpp"
+
+#include "common/check.hpp"
+
+namespace mf {
+
+CanaryController::CanaryController(CanaryOptions options) : options_(options) {
+  MF_CHECK_MSG(options_.percent >= 0 && options_.percent <= 100,
+               "canary percent must be 0..100");
+  MF_CHECK_MSG(options_.fail_threshold >= 1,
+               "canary fail threshold must be >= 1");
+  MF_CHECK_MSG(options_.promote_after >= 1,
+               "canary promote-after must be >= 1");
+}
+
+std::uint32_t CanaryController::client_hash(std::string_view client) noexcept {
+  // FNV-1a: tiny, seedless, and byte-order independent -- the point is a
+  // stable, well-mixed client -> percentile mapping, not security.
+  std::uint32_t hash = 2166136261u;
+  for (const char c : client) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+bool CanaryController::use_canary(std::string_view client) const noexcept {
+  if (status_.canary_version == 0) return false;
+  return client_hash(client) % 100u <
+         static_cast<std::uint32_t>(options_.percent);
+}
+
+int CanaryController::version_to_load(int on_disk_version) const noexcept {
+  if (on_disk_version <= 0) return 0;
+  if (bad_versions_.count(on_disk_version) != 0) return 0;
+  if (on_disk_version == status_.stable_version ||
+      on_disk_version == status_.canary_version) {
+    return 0;
+  }
+  // Nothing stable yet: any clean version is worth having. Otherwise only
+  // strictly newer versions are candidates (an older file appearing late is
+  // history, not an upgrade).
+  if (status_.stable_version == 0) return on_disk_version;
+  return on_disk_version > status_.stable_version ? on_disk_version : 0;
+}
+
+void CanaryController::on_load_ok(int version) {
+  if (version <= 0 || bad_versions_.count(version) != 0) return;
+  if (load_fail_version_ == version) load_fail_count_ = 0;
+  if (status_.stable_version == 0) {
+    status_.stable_version = version;
+    return;
+  }
+  if (version <= status_.stable_version ||
+      version == status_.canary_version) {
+    return;
+  }
+  if (options_.percent <= 0) {
+    // Plain hot reload: no canary phase configured, swap stable directly.
+    status_.stable_version = version;
+    return;
+  }
+  // A newer clean version supersedes any live canary as *the* candidate.
+  status_.canary_version = version;
+  status_.consecutive_failures = 0;
+  status_.consecutive_successes = 0;
+  ++status_.canaries_started;
+}
+
+void CanaryController::on_load_failed(int version) {
+  if (version <= 0 || bad_versions_.count(version) != 0) return;
+  if (version <= status_.stable_version) return;
+  if (load_fail_version_ != version) {
+    load_fail_version_ = version;
+    load_fail_count_ = 0;
+  }
+  if (++load_fail_count_ >= options_.fail_threshold) rollback(version);
+}
+
+void CanaryController::on_canary_result(bool ok) {
+  if (status_.canary_version == 0) return;
+  if (ok) {
+    status_.consecutive_failures = 0;
+    if (++status_.consecutive_successes >= options_.promote_after) {
+      status_.stable_version = status_.canary_version;
+      status_.canary_version = 0;
+      status_.consecutive_successes = 0;
+      ++status_.promotions;
+    }
+    return;
+  }
+  status_.consecutive_successes = 0;
+  if (++status_.consecutive_failures >= options_.fail_threshold) {
+    rollback(status_.canary_version);
+  }
+}
+
+void CanaryController::rollback(int version) {
+  bad_versions_.insert(version);
+  if (status_.canary_version == version) status_.canary_version = 0;
+  if (load_fail_version_ == version) {
+    load_fail_version_ = 0;
+    load_fail_count_ = 0;
+  }
+  status_.consecutive_failures = 0;
+  status_.consecutive_successes = 0;
+  ++status_.rollbacks;
+}
+
+}  // namespace mf

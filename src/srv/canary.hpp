@@ -1,0 +1,109 @@
+#pragma once
+// Canary rollout / rollback state machine for one served model
+// (DESIGN.md section 13).
+//
+// The registry directory may gain bundle versions at any time (a trainer
+// `put`s v2 while v1 serves). Swapping all traffic instantly onto v2 risks
+// a bad model taking the whole tenant population down, so the controller
+// stages it:
+//
+//   stable only ──(newer version loads)──> stable + canary
+//   stable + canary ──(promote_after consecutive successes)──> new stable
+//   stable + canary ──(fail_threshold consecutive failures)──> rollback:
+//        the version is marked bad (never retried until something newer
+//        appears) and all traffic returns to the stable version
+//
+// While a canary is live, a deterministic hash of the *client* name routes
+// `percent`% of tenants to it -- deterministic so a given tenant sees a
+// consistent model (no flapping between versions request to request) and so
+// tests can enumerate exactly which clients are canaried. A canary that
+// fails at prediction time is invisible to clients: the server re-serves
+// the row from stable and only the controller hears about the failure.
+//
+// Failures *loading* a candidate version count toward the same breaker:
+// a corrupt v2 file trips rollback after fail_threshold scan attempts
+// without a single canaried client ever existing.
+//
+// This class is pure bookkeeping -- no I/O, no clock, no locking (the
+// server serialises access) -- which is what makes the rollback path unit-
+// testable as a deterministic state machine.
+
+#include <cstdint>
+#include <set>
+#include <string_view>
+
+namespace mf {
+
+struct CanaryOptions {
+  /// Percent of clients (by hash) routed to a live canary, 0..100.
+  /// 0 = no canary phase: a newer clean version hot-swaps to stable
+  /// directly (plain hot reload).
+  int percent = 0;
+  /// Consecutive canary failures (load or predict) that trigger rollback.
+  int fail_threshold = 3;
+  /// Consecutive canary prediction successes that promote it to stable.
+  int promote_after = 200;
+};
+
+/// Observable controller state (all versions 0 = none).
+struct CanaryStatus {
+  int stable_version = 0;
+  int canary_version = 0;
+  std::uint64_t canaries_started = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t rollbacks = 0;
+  /// Consecutive-outcome counters for the live canary (reset on start).
+  int consecutive_failures = 0;
+  int consecutive_successes = 0;
+};
+
+class CanaryController {
+ public:
+  explicit CanaryController(CanaryOptions options);
+
+  /// FNV-1a over the client name -- stable across runs and platforms, so
+  /// canary membership is reproducible in tests and consistent per tenant.
+  [[nodiscard]] static std::uint32_t client_hash(
+      std::string_view client) noexcept;
+
+  /// Should this client's request be served by the live canary?
+  [[nodiscard]] bool use_canary(std::string_view client) const noexcept;
+
+  /// Given the newest version present on disk, which version (if any) is
+  /// worth loading right now? 0 = nothing to do. Skips the stable and
+  /// live-canary versions and everything marked bad by a rollback.
+  [[nodiscard]] int version_to_load(int on_disk_version) const noexcept;
+
+  /// `version` loaded cleanly: adopt it -- as the initial stable, as a hot
+  /// swap (percent == 0), or as the new canary.
+  void on_load_ok(int version);
+
+  /// `version` failed to load (corrupt/missing file). Counts toward the
+  /// canary breaker so a poisoned candidate rolls back without traffic.
+  void on_load_failed(int version);
+
+  /// One canaried request finished: ok=false counts toward rollback,
+  /// ok=true toward promotion.
+  void on_canary_result(bool ok);
+
+  [[nodiscard]] const CanaryStatus& status() const noexcept {
+    return status_;
+  }
+  [[nodiscard]] bool is_bad(int version) const {
+    return bad_versions_.count(version) != 0;
+  }
+
+ private:
+  void rollback(int version);
+
+  CanaryOptions options_;
+  CanaryStatus status_;
+  /// Versions a rollback condemned; never loaded again (a fixed corrupt
+  /// file on disk must not flap the canary open/closed forever).
+  std::set<int> bad_versions_;
+  /// Consecutive load failures per candidate version (pre-traffic breaker).
+  int load_fail_version_ = 0;
+  int load_fail_count_ = 0;
+};
+
+}  // namespace mf

@@ -1,0 +1,121 @@
+#include "srv/coalescer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "srv/protocol.hpp"
+
+namespace mf {
+
+Coalescer::Coalescer(CoalescerOptions options, BatchFn fn)
+    : options_(options), fn_(std::move(fn)) {
+  MF_CHECK_MSG(options_.coalesce_us >= 0.0,
+               "coalesce budget must be >= 0 microseconds");
+  MF_CHECK_MSG(options_.max_batch >= 1, "max batch must be >= 1");
+  MF_CHECK_MSG(options_.queue_capacity >= options_.max_batch,
+               "queue capacity must hold at least one full batch");
+  MF_CHECK(fn_ != nullptr);
+  flusher_ = std::thread([this] { flush_loop(); });
+}
+
+Coalescer::~Coalescer() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_flush_.notify_all();
+  cv_space_.notify_all();
+  flusher_.join();
+}
+
+std::shared_ptr<Coalescer::Ticket> Coalescer::submit(BatchItem item) {
+  auto ticket = std::make_shared<Ticket>();
+  ticket->item = std::move(item);
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_space_.wait(lock, [this] {
+    return stop_ || queue_.size() < options_.queue_capacity;
+  });
+  if (stop_) {
+    // Shutdown raced a late submitter (the server joins its connection
+    // threads first, so this is belt-and-braces): answer 503, never hang.
+    ticket->result = {false, 0.0, kErrShutdown, "shutting down"};
+    ticket->done = true;
+    return ticket;
+  }
+  ticket->enqueued = std::chrono::steady_clock::now();
+  queue_.push_back(ticket);
+  ++stats_.submitted;
+  stats_.queue_depth.record(queue_.size());
+  lock.unlock();
+  cv_flush_.notify_one();
+  return ticket;
+}
+
+BatchResult Coalescer::wait(const std::shared_ptr<Ticket>& ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [&] { return ticket->done; });
+  return ticket->result;
+}
+
+BatchResult Coalescer::submit_wait(BatchItem item) {
+  return wait(submit(std::move(item)));
+}
+
+CoalescerStats Coalescer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Coalescer::flush_loop() {
+  const auto budget = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::micro>(options_.coalesce_us));
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_flush_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    // Batch window: hold until max_batch rows are pending or the *oldest*
+    // row's budget expires -- so no row waits more than one budget for
+    // batch-mates. Shutdown drains immediately (no window).
+    const auto deadline = queue_.front()->enqueued + budget;
+    while (!stop_ && queue_.size() < options_.max_batch &&
+           cv_flush_.wait_until(lock, deadline) !=
+               std::cv_status::timeout) {
+    }
+    const std::size_t take = std::min(queue_.size(), options_.max_batch);
+    std::vector<std::shared_ptr<Ticket>> batch(queue_.begin(),
+                                               queue_.begin() + take);
+    queue_.erase(queue_.begin(), queue_.begin() + take);
+    ++stats_.flushes;
+    if (take >= options_.max_batch) {
+      ++stats_.full_flushes;
+    } else {
+      ++stats_.budget_flushes;
+    }
+    stats_.batch_fill.record(take);
+    lock.unlock();
+    cv_space_.notify_all();
+
+    std::vector<BatchItem> items;
+    items.reserve(batch.size());
+    for (const std::shared_ptr<Ticket>& ticket : batch) {
+      items.push_back(std::move(ticket->item));
+    }
+    std::vector<BatchResult> results = fn_(items);
+    MF_CHECK_MSG(results.size() == items.size(),
+                 "batch function must answer every item");
+
+    lock.lock();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch[i]->result = std::move(results[i]);
+      batch[i]->done = true;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+}  // namespace mf

@@ -1,0 +1,135 @@
+#pragma once
+// Cross-request batch coalescing for `macroflow serve`
+// (DESIGN.md section 13).
+//
+// Single rows arriving from many connections are worth far more as one
+// EstimatorService::predict_rows batch than as N separate calls: the
+// per-call costs (LRU lock, bundle pointer chase, dispatch) amortise over
+// the batch, which is where the daemon's throughput comes from on any core
+// count. The coalescer is the meeting point:
+//
+//   * submit() parks a row in a FIFO and wakes the flush thread;
+//   * the flush thread waits until either `max_batch` rows are pending or
+//     the *oldest* pending row has waited `coalesce_us` microseconds (the
+//     latency budget -- no row ever waits longer than one budget for
+//     batch-mates), then hands up to max_batch rows to the batch function
+//     in arrival order;
+//   * wait() blocks the submitting connection thread until its row's
+//     result lands.
+//
+// Determinism: batch composition is timing-dependent (which rows share a
+// flush depends on arrival), but results are not -- the batch function must
+// be pure per row (EstimatorService::predict_rows is: each row's prediction
+// reads only that row and an immutable bundle), so any grouping yields
+// bit-identical answers to the sequential loop. The load bench checks
+// exactly this property end to end.
+//
+// Backpressure: at `queue_capacity` pending rows, submit() blocks the
+// connection thread (which stops reading that socket -- TCP-style push-back
+// to the client) instead of growing the queue without bound; queue wait is
+// thereby capped at ~(capacity / max_batch) flush cycles, which is what
+// keeps tail latency honest under overload.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.hpp"
+
+namespace mf {
+
+struct CoalescerOptions {
+  /// Latency budget: max microseconds the oldest pending row waits for
+  /// batch-mates before the batch is flushed regardless of fill.
+  double coalesce_us = 1000.0;
+  /// Flush immediately once this many rows are pending.
+  std::size_t max_batch = 256;
+  /// Pending-row cap; submit() blocks (backpressure) beyond it.
+  std::size_t queue_capacity = 1024;
+};
+
+/// One request's slice of a flush.
+struct BatchItem {
+  std::string client;
+  std::string model;
+  std::vector<double> row;
+};
+
+struct BatchResult {
+  bool ok = false;
+  double value = 0.0;
+  int code = 0;         ///< protocol ERR code when !ok
+  std::string reason;   ///< protocol ERR reason when !ok
+};
+
+struct CoalescerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t full_flushes = 0;    ///< hit max_batch
+  std::uint64_t budget_flushes = 0;  ///< oldest row's budget expired
+  Log2Histogram batch_fill;          ///< rows per flush
+  Log2Histogram queue_depth;         ///< pending rows after each submit
+};
+
+class Coalescer {
+ public:
+  /// Maps a flush's items (arrival order) to one result per item. Runs on
+  /// the flush thread with no coalescer lock held; must be pure per row.
+  using BatchFn = std::function<std::vector<BatchResult>(
+      const std::vector<BatchItem>& items)>;
+
+  Coalescer(CoalescerOptions options, BatchFn fn);
+  /// Flushes everything still pending, then stops the flush thread.
+  ~Coalescer();
+
+  Coalescer(const Coalescer&) = delete;
+  Coalescer& operator=(const Coalescer&) = delete;
+
+  class Ticket;
+  /// Queue one row; blocks while the queue is at capacity. The returned
+  /// ticket is claimed by exactly one wait() call.
+  std::shared_ptr<Ticket> submit(BatchItem item);
+  /// Block until the ticket's flush completes; returns its result.
+  BatchResult wait(const std::shared_ptr<Ticket>& ticket);
+  /// submit + wait in one call (the single-request closed-loop path).
+  BatchResult submit_wait(BatchItem item);
+
+  [[nodiscard]] CoalescerStats stats() const;
+
+ private:
+  void flush_loop();
+
+  CoalescerOptions options_;
+  BatchFn fn_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_flush_;   ///< wakes the flush thread
+  std::condition_variable cv_space_;   ///< wakes submitters at capacity
+  std::condition_variable cv_done_;    ///< broadcast per completed flush
+  std::deque<std::shared_ptr<Ticket>> queue_;
+  CoalescerStats stats_;
+  bool stop_ = false;
+
+  std::thread flusher_;
+};
+
+/// Pending-row slot: owned jointly by the submitter and the flush thread.
+class Coalescer::Ticket {
+ public:
+  friend class Coalescer;
+
+ private:
+  BatchItem item;
+  BatchResult result;
+  std::chrono::steady_clock::time_point enqueued;
+  bool done = false;
+};
+
+}  // namespace mf

@@ -1,0 +1,134 @@
+#include "srv/protocol.hpp"
+
+#include <cmath>
+
+#include "common/parse_num.hpp"
+
+namespace mf {
+namespace {
+
+constexpr std::string_view kBlanks = " \t";
+
+/// Split `line` into blank-separated tokens (runs of blanks collapse).
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    const std::size_t begin = line.find_first_not_of(kBlanks, pos);
+    if (begin == std::string_view::npos) break;
+    std::size_t end = line.find_first_of(kBlanks, begin);
+    if (end == std::string_view::npos) end = line.size();
+    tokens.push_back(line.substr(begin, end - begin));
+    pos = end;
+  }
+  return tokens;
+}
+
+/// Client and model identifiers reuse the persisted-name contract (no
+/// whitespace, no leading '#') plus a length cap: they end up as map keys
+/// and in `name@vN` LRU keys, so an adversarial identifier must not be able
+/// to smuggle separators or unbounded bytes.
+bool valid_identifier(std::string_view name) {
+  return name.size() <= 128 && serializable_name(name);
+}
+
+std::optional<Request> fail(std::string* error, std::string reason) {
+  if (error != nullptr) *error = std::move(reason);
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Request> parse_request(std::string_view line,
+                                     std::string* error) {
+  if (line.size() > kMaxLineBytes) return fail(error, "line too long");
+  const std::vector<std::string_view> tokens = tokenize(line);
+  if (tokens.empty()) return fail(error, "empty request");
+
+  Request request;
+  const std::string_view verb = tokens.front();
+  if (verb == "PING") {
+    if (tokens.size() != 1) return fail(error, "PING takes no arguments");
+    request.verb = ReqVerb::Ping;
+    return request;
+  }
+  if (verb == "STATS") {
+    if (tokens.size() != 1) return fail(error, "STATS takes no arguments");
+    request.verb = ReqVerb::Stats;
+    return request;
+  }
+  if (verb == "INFO") {
+    if (tokens.size() != 2) return fail(error, "usage: INFO <model>");
+    if (!valid_identifier(tokens[1])) return fail(error, "bad model name");
+    request.verb = ReqVerb::Info;
+    request.model = std::string(tokens[1]);
+    return request;
+  }
+  if (verb == "ESTIMATE") {
+    if (tokens.size() < 4) {
+      return fail(error, "usage: ESTIMATE <client> <model> <features...>");
+    }
+    if (!valid_identifier(tokens[1])) return fail(error, "bad client name");
+    if (!valid_identifier(tokens[2])) return fail(error, "bad model name");
+    const std::size_t n_features = tokens.size() - 3;
+    if (n_features > kMaxFeatures) return fail(error, "too many features");
+    request.verb = ReqVerb::Estimate;
+    request.client = std::string(tokens[1]);
+    request.model = std::string(tokens[2]);
+    request.features.reserve(n_features);
+    for (std::size_t i = 3; i < tokens.size(); ++i) {
+      const std::optional<double> value = parse_double_text(tokens[i]);
+      // Reject non-finite features up front: NaN would poison a batch and
+      // break the "same row, same bits" determinism contract.
+      if (!value || !std::isfinite(*value)) {
+        return fail(error,
+                    "bad feature value '" + std::string(tokens[i]) + "'");
+      }
+      request.features.push_back(*value);
+    }
+    return request;
+  }
+  return fail(error, "unknown verb '" + std::string(verb) + "'");
+}
+
+std::optional<std::string> pop_line(std::string& buffer) {
+  const std::size_t nl = buffer.find('\n');
+  if (nl == std::string::npos) return std::nullopt;
+  std::size_t end = nl;
+  if (end > 0 && buffer[end - 1] == '\r') --end;
+  std::string line = buffer.substr(0, end);
+  buffer.erase(0, nl + 1);
+  return line;
+}
+
+std::string format_ok(std::string_view payload) {
+  std::string out = "OK";
+  if (!payload.empty()) {
+    out += ' ';
+    out += payload;
+  }
+  out += '\n';
+  return out;
+}
+
+std::string format_ok_cf(double cf) { return format_ok(format_double(cf)); }
+
+std::string format_err(int code, std::string_view reason) {
+  std::string out = "ERR " + std::to_string(code);
+  if (!reason.empty()) {
+    out += ' ';
+    out += reason;
+  }
+  out += '\n';
+  return out;
+}
+
+std::optional<double> parse_ok_cf(std::string_view line) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  if (line.rfind("OK ", 0) != 0) return std::nullopt;
+  return parse_double_text(line.substr(3));
+}
+
+}  // namespace mf

@@ -1,0 +1,79 @@
+#pragma once
+// `macroflow serve` wire protocol (DESIGN.md section 13).
+//
+// Line-delimited text over a byte stream (Unix-domain socket or a stdio
+// pipe); one request line, one response line, answered in request order per
+// connection. Grammar (fields separated by runs of spaces/tabs, lines
+// terminated by '\n', a trailing '\r' is tolerated):
+//
+//   ESTIMATE <client> <model> <f1> ... <fN>   predict one CF for a feature
+//                                             row of the model's width
+//   INFO <model>                              what the name currently serves
+//   STATS                                     one-line metrics dump
+//   PING                                      liveness probe
+//
+// Responses:
+//
+//   OK <payload>                              e.g. `OK 1.375` for ESTIMATE,
+//                                             `k=v ...` pairs for STATS/INFO
+//   ERR <code> <reason...>                    HTTP-flavoured codes:
+//     400  malformed request (unknown verb, bad float, wrong feature width)
+//     404  no usable bundle for the model
+//     429  over quota -- shed by admission control, never queued
+//     500  internal failure (prediction error)
+//     503  shutting down / over capacity
+//
+// Numbers travel through common/parse_num.hpp: features are parsed with the
+// same from_chars contract as every persisted format (full consumption,
+// finite), and CF payloads are formatted with format_double (shortest
+// round-trip string), so a client parsing `OK <cf>` recovers the exact
+// double the estimator produced -- the property the load bench's
+// bit-identity gate checks end to end.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mf {
+
+enum class ReqVerb { Estimate, Info, Stats, Ping };
+
+struct Request {
+  ReqVerb verb = ReqVerb::Ping;
+  std::string client;            ///< ESTIMATE only: quota + canary identity
+  std::string model;             ///< ESTIMATE / INFO
+  std::vector<double> features;  ///< ESTIMATE only
+};
+
+inline constexpr int kErrBadRequest = 400;
+inline constexpr int kErrNoModel = 404;
+inline constexpr int kErrOverQuota = 429;
+inline constexpr int kErrInternal = 500;
+inline constexpr int kErrShutdown = 503;
+
+/// Hard cap on one request line; longer input is a protocol error and the
+/// connection is dropped (a missing '\n' must not buffer unbounded bytes).
+inline constexpr std::size_t kMaxLineBytes = std::size_t{1} << 20;
+/// Hard cap on ESTIMATE feature counts (every real feature set is < 32).
+inline constexpr std::size_t kMaxFeatures = 256;
+
+/// Parse one request line (without its '\n'). nullopt on malformed input
+/// with `error` set to the reason clients see in `ERR 400 <reason>`.
+std::optional<Request> parse_request(std::string_view line,
+                                     std::string* error);
+
+/// Pop the next complete '\n'-terminated line off the front of `buffer`
+/// (stripping the terminator and an optional preceding '\r'); nullopt when
+/// no full line is buffered yet.
+std::optional<std::string> pop_line(std::string& buffer);
+
+std::string format_ok(std::string_view payload);
+std::string format_ok_cf(double cf);
+std::string format_err(int code, std::string_view reason);
+
+/// Parse `OK <cf>` back into the exact double (client side of the
+/// bit-identity contract); nullopt for ERR lines or malformed payloads.
+std::optional<double> parse_ok_cf(std::string_view line);
+
+}  // namespace mf

@@ -1,0 +1,74 @@
+#include "srv/quota.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mf {
+
+ClientQuota::ClientQuota(QuotaOptions options) : options_(options) {
+  if (options_.rate_per_second > 0.0) {
+    MF_CHECK_MSG(options_.burst >= 1.0,
+                 "quota burst must admit at least one request");
+    MF_CHECK_MSG(options_.max_clients >= 1,
+                 "quota needs capacity for at least one client");
+  }
+}
+
+bool ClientQuota::try_acquire(const std::string& client,
+                              std::uint64_t now_ns) {
+  if (options_.rate_per_second <= 0.0) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buckets_.find(client);
+  if (it == buckets_.end()) {
+    if (buckets_.size() >= options_.max_clients) {
+      // Recycle the stalest bucket. Linear scan, but only on the
+      // new-client-at-capacity path -- steady-state traffic from known
+      // clients never pays it.
+      auto stalest = buckets_.begin();
+      for (auto scan = buckets_.begin(); scan != buckets_.end(); ++scan) {
+        if (scan->second.refill_ns < stalest->second.refill_ns) {
+          stalest = scan;
+        }
+      }
+      buckets_.erase(stalest);
+    }
+    // A fresh client starts with a full burst allowance.
+    it = buckets_.emplace(client, Bucket{options_.burst, now_ns}).first;
+  } else {
+    Bucket& bucket = it->second;
+    if (now_ns > bucket.refill_ns) {
+      const double elapsed_s =
+          static_cast<double>(now_ns - bucket.refill_ns) * 1e-9;
+      bucket.tokens = std::min(
+          options_.burst, bucket.tokens + elapsed_s * options_.rate_per_second);
+    }
+    // A clock that stands still (or a reordered timestamp from another
+    // thread) just refills nothing; never move refill_ns backwards.
+    bucket.refill_ns = std::max(bucket.refill_ns, now_ns);
+  }
+  if (it->second.tokens >= 1.0) {
+    it->second.tokens -= 1.0;
+    ++admitted_;
+    return true;
+  }
+  ++shed_;
+  return false;
+}
+
+std::uint64_t ClientQuota::admitted_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return admitted_;
+}
+
+std::uint64_t ClientQuota::shed_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shed_;
+}
+
+std::size_t ClientQuota::tracked_clients() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buckets_.size();
+}
+
+}  // namespace mf

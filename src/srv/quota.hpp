@@ -1,0 +1,64 @@
+#pragma once
+// Per-client admission control for `macroflow serve` (DESIGN.md section 13).
+//
+// Classic token bucket per client: a bucket refills at `rate_per_second`
+// tokens up to a `burst` cap; one admitted ESTIMATE costs one token. A
+// client with an empty bucket is *shed* -- the server answers `ERR 429`
+// immediately and the request never reaches the coalescer queue, so one
+// greedy tenant cannot add latency to anybody else's batch.
+//
+// Time is injected (nanosecond timestamps from the caller's monotonic
+// clock) rather than read here: unit tests drive the refill math with exact
+// synthetic clocks, and the server passes steady_clock once per request.
+// Refill is computed lazily on access, so an idle client costs nothing.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace mf {
+
+struct QuotaOptions {
+  /// Sustained tokens per second per client; <= 0 disables admission
+  /// control entirely (every request admitted, nothing tracked).
+  double rate_per_second = 0.0;
+  /// Bucket capacity: the burst a freshly seen (or long-idle) client may
+  /// spend at once. Must be >= 1 when quotas are enabled.
+  double burst = 16.0;
+  /// Distinct client buckets tracked at once. At the cap, a *new* client
+  /// recycles the stalest bucket (oldest refill timestamp) -- bounded
+  /// memory beats perfect fairness against an adversary minting fresh
+  /// client names per request.
+  std::size_t max_clients = 4096;
+};
+
+class ClientQuota {
+ public:
+  explicit ClientQuota(QuotaOptions options);
+
+  /// Spend one token of `client`'s bucket at monotonic time `now_ns`.
+  /// True = admitted, false = shed (the 429 path). Thread-safe.
+  bool try_acquire(const std::string& client, std::uint64_t now_ns);
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return options_.rate_per_second > 0.0;
+  }
+  [[nodiscard]] std::uint64_t admitted_total() const;
+  [[nodiscard]] std::uint64_t shed_total() const;
+  [[nodiscard]] std::size_t tracked_clients() const;
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    std::uint64_t refill_ns = 0;  ///< when `tokens` was last brought current
+  };
+
+  QuotaOptions options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Bucket> buckets_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t shed_ = 0;
+};
+
+}  // namespace mf

@@ -123,6 +123,67 @@ else
   echo "ok: farm resumed after cancellation with identical bytes"
 fi
 
+# -- serve: the daemon obeys the same contract ------------------------------
+
+# 1 -- usage errors: unknown flag, bad numeric value.
+expect 1 "serve unknown flag" "$CLI" serve --stdio --frobnicate
+expect 1 "serve bad coalesce value" "$CLI" serve --stdio --coalesce-us nope
+
+# 2 -- semantic validation fails fast, before any socket is bound or
+# request read (never a partial listen).
+expect 2 "serve without socket or stdio" "$CLI" serve
+expect 2 "serve with both socket and stdio" \
+  "$CLI" serve --stdio --socket "$TMP/s.sock"
+expect 2 "serve queue smaller than a batch" \
+  "$CLI" serve --stdio --max-batch 64 --queue-capacity 4
+expect 2 "serve unbindable socket path" \
+  "$CLI" serve --socket "$TMP/no/such/dir/s.sock"
+
+# 0 -- stdio happy path: train a tiny bundle, pipe the protocol through,
+# EOF ends the session cleanly.
+expect 0 "train bundle for serve" \
+  "$CLI" train --kind linreg --name srv --count 24 \
+  --registry "$TMP/serve-reg"
+printf 'PING\nINFO srv\nESTIMATE c srv 1 2 3 4 5 6 7 8 9\n' \
+  > "$TMP/serve-in"
+expect 0 "serve stdio session" sh -c \
+  "\"$CLI\" serve --stdio --registry \"$TMP/serve-reg\" < \"$TMP/serve-in\""
+OK_LINES=$(grep -c '^OK ' "$TMP/out")
+if [ "$OK_LINES" -ne 3 ]; then
+  echo "FAIL: serve stdio session answered $OK_LINES OK lines, wanted 3" >&2
+  sed 's/^/  stdout: /' "$TMP/out" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: serve stdio session answered every request"
+fi
+
+# 130 -- SIGINT mid-traffic: feed the daemon through a FIFO so it stays
+# alive, interrupt it, and assert the drain exit status.
+mkfifo "$TMP/serve-fifo"
+"$CLI" serve --stdio --registry "$TMP/serve-reg" \
+  < "$TMP/serve-fifo" > "$TMP/serve-sigint-out" 2>/dev/null &
+SERVE_PID=$!
+# Hold the FIFO open and trickle traffic while the signal lands.
+exec 3> "$TMP/serve-fifo"
+printf 'ESTIMATE c srv 1 2 3 4 5 6 7 8 9\n' >&3
+sleep 1
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_STATUS=$?
+exec 3>&-
+if [ "$SERVE_STATUS" -ne 130 ]; then
+  echo "FAIL: serve SIGINT: expected exit 130, got $SERVE_STATUS" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: serve SIGINT mid-traffic (exit 130)"
+fi
+if ! grep -q '^OK ' "$TMP/serve-sigint-out"; then
+  echo "FAIL: serve dropped the request accepted before SIGINT" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: serve drained the in-flight request before exiting"
+fi
+
 # -- convert: text <-> binary migration obeys the same contract -------------
 
 # 1 -- usage errors: missing operands, unknown --to value.

@@ -1,0 +1,795 @@
+// Serving-daemon subsystem tests (src/srv): wire protocol, EINTR-safe fd
+// I/O, log2 histograms, token-bucket quotas, the canary state machine, the
+// batch coalescer's bit-identity and flush triggers, version-pinned service
+// prediction, and full protocol integration over a socketpair -- including
+// the hot-reload-under-traffic and canary rollback/promotion paths.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "common/histogram.hpp"
+#include "common/io_util.hpp"
+#include "common/parse_num.hpp"
+#include "common/rng.hpp"
+#include "serve/registry.hpp"
+#include "srv/canary.hpp"
+#include "srv/coalescer.hpp"
+#include "srv/protocol.hpp"
+#include "srv/quota.hpp"
+#include "srv/server.hpp"
+
+namespace mf {
+namespace {
+
+namespace fs = std::filesystem;
+
+// -- fixtures ---------------------------------------------------------------
+// Protocol and routing behaviour is independent of estimator quality, so
+// everything trains tiny linear models on synthetic data (fast, and two
+// different training seeds give two versions with *different* predictions,
+// which is what the reload/canary tests need to tell versions apart).
+
+Dataset srv_dataset(std::size_t n, std::uint64_t seed) {
+  Dataset data;
+  data.feature_names = feature_names(FeatureSet::Classical);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(data.feature_names.size());
+    double target = 0.4;
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      row[j] = j % 2 == 0 ? rng.uniform(0.0, 4000.0) : rng.uniform(0.0, 1.0);
+      target += row[j] * (j % 3 == 0 ? 2.5e-4 : 0.05);
+    }
+    target += rng.uniform(0.0, 0.2);
+    data.add(std::move(row), target, "s" + std::to_string(i));
+  }
+  return data;
+}
+
+ModelBundle srv_bundle(const std::string& name, std::uint64_t data_seed) {
+  ModelBundle bundle;
+  bundle.name = name;
+  bundle.provenance.seed = 3;
+  bundle.provenance.dataset_seed = data_seed;
+  bundle.provenance.dataset_rows = 60;
+  bundle.estimator = CfEstimator(EstimatorKind::LinearRegression,
+                                 FeatureSet::Classical);
+  bundle.estimator.train(srv_dataset(60, data_seed));
+  return bundle;
+}
+
+std::vector<double> srv_row(std::uint64_t seed) {
+  return srv_dataset(1, seed).x[0];
+}
+
+std::string estimate_line(const std::string& client, const std::string& model,
+                          const std::vector<double>& row) {
+  std::string line = "ESTIMATE " + client + " " + model;
+  for (const double v : row) line += " " + format_double(v);
+  line += "\n";
+  return line;
+}
+
+/// Scratch registry directory wiped per test.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_((fs::temp_directory_path() /
+               ("mf_srv_" + tag + "_" + std::to_string(::getpid())))
+                  .string()) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+ServerOptions fast_server_options(const std::string& registry_dir) {
+  ServerOptions options;
+  options.registry_dir = registry_dir;
+  options.stdio = true;  // satisfies validation; tests drive serve_stream
+  options.coalesce.coalesce_us = 200.0;
+  options.coalesce.max_batch = 32;
+  options.coalesce.queue_capacity = 128;
+  return options;
+}
+
+/// One live protocol connection into `server` over a socketpair, with the
+/// serving side running on its own thread (exactly the daemon's per-
+/// connection shape).
+class Conn {
+ public:
+  explicit Conn(EstimatorServer& server) {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    client_fd_ = fds[0];
+    server_fd_ = fds[1];
+    thread_ = std::thread([&server, fd = server_fd_] {
+      server.serve_stream(fd, fd);
+    });
+  }
+  ~Conn() { finish(); }
+
+  void send(const std::string& bytes) {
+    ASSERT_TRUE(write_all(client_fd_, bytes));
+  }
+
+  /// Next response line ("" after EOF).
+  std::string read_line() {
+    for (;;) {
+      if (std::optional<std::string> line = pop_line(buffer_)) return *line;
+      const std::optional<std::size_t> n = read_some(client_fd_, buffer_);
+      if (!n || *n == 0) return "";
+    }
+  }
+
+  std::string transact(const std::string& request_line) {
+    send(request_line);
+    return read_line();
+  }
+
+  /// Half-close the request direction, join the server side, return any
+  /// remaining response lines.
+  void finish() {
+    if (client_fd_ < 0) return;
+    ::shutdown(client_fd_, SHUT_WR);
+    thread_.join();
+    ::close(server_fd_);
+    ::close(client_fd_);
+    client_fd_ = -1;
+  }
+
+ private:
+  int client_fd_ = -1;
+  int server_fd_ = -1;
+  std::string buffer_;
+  std::thread thread_;
+};
+
+// -- protocol ---------------------------------------------------------------
+
+TEST(SrvProtocol, ParsesEstimate) {
+  std::string error;
+  const std::optional<Request> request =
+      parse_request("ESTIMATE tenant_a model-1 1 2.5 -3e-2", &error);
+  ASSERT_TRUE(request) << error;
+  EXPECT_EQ(request->verb, ReqVerb::Estimate);
+  EXPECT_EQ(request->client, "tenant_a");
+  EXPECT_EQ(request->model, "model-1");
+  ASSERT_EQ(request->features.size(), 3u);
+  EXPECT_EQ(request->features[0], 1.0);
+  EXPECT_EQ(request->features[1], 2.5);
+  EXPECT_EQ(request->features[2], -3e-2);
+}
+
+TEST(SrvProtocol, TokenizesOnRunsAndTolerigesCr) {
+  std::string error;
+  const std::optional<Request> request =
+      parse_request("  ESTIMATE \t c  m \t 1   2 ", &error);
+  ASSERT_TRUE(request) << error;
+  EXPECT_EQ(request->features.size(), 2u);
+  EXPECT_TRUE(parse_request("PING", &error));
+  EXPECT_TRUE(parse_request("STATS", &error));
+  EXPECT_TRUE(parse_request("INFO m", &error));
+}
+
+TEST(SrvProtocol, RejectsMalformedRequests) {
+  std::string error;
+  EXPECT_FALSE(parse_request("", &error));
+  EXPECT_FALSE(parse_request("FROB x", &error));
+  EXPECT_FALSE(parse_request("ESTIMATE c", &error));          // no model
+  EXPECT_FALSE(parse_request("ESTIMATE c m", &error));        // no features
+  EXPECT_FALSE(parse_request("ESTIMATE c m 1x", &error));     // bad float
+  EXPECT_FALSE(parse_request("ESTIMATE c m nan", &error));    // non-finite
+  EXPECT_FALSE(parse_request("ESTIMATE c m inf", &error));
+  EXPECT_FALSE(parse_request("PING extra", &error));
+  EXPECT_FALSE(parse_request("INFO", &error));
+  std::string flood = "ESTIMATE c m";
+  for (std::size_t i = 0; i <= kMaxFeatures; ++i) flood += " 1";
+  EXPECT_FALSE(parse_request(flood, &error));
+  EXPECT_NE(error.find("features"), std::string::npos);
+  const std::string long_name(200, 'a');
+  EXPECT_FALSE(parse_request("ESTIMATE " + long_name + " m 1", &error));
+}
+
+TEST(SrvProtocol, PopLineSplitsBufferedStream) {
+  std::string buffer = "PING\r\nSTATS\nIN";
+  std::optional<std::string> line = pop_line(buffer);
+  ASSERT_TRUE(line);
+  EXPECT_EQ(*line, "PING");
+  line = pop_line(buffer);
+  ASSERT_TRUE(line);
+  EXPECT_EQ(*line, "STATS");
+  EXPECT_FALSE(pop_line(buffer));  // incomplete tail stays buffered
+  EXPECT_EQ(buffer, "IN");
+  buffer += "FO m\n";
+  line = pop_line(buffer);
+  ASSERT_TRUE(line);
+  EXPECT_EQ(*line, "INFO m");
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(SrvProtocol, CfFormatRoundTripsBitwise) {
+  // The client-side half of the bit-identity contract: `OK <cf>` reparses
+  // to the exact double for awkward values (shortest round-trip format).
+  for (const double cf : {0.1, 1.0 / 3.0, 1.375, 6.25e-7, 12345.678901234567}) {
+    const std::string line = format_ok_cf(cf);
+    const std::optional<double> back = parse_ok_cf(line);
+    ASSERT_TRUE(back) << line;
+    EXPECT_EQ(*back, cf) << line;
+  }
+  EXPECT_FALSE(parse_ok_cf("ERR 400 nope\n"));
+  EXPECT_FALSE(parse_ok_cf("OK pong\n"));
+  EXPECT_EQ(format_err(429, "over quota"), "ERR 429 over quota\n");
+}
+
+// -- histogram --------------------------------------------------------------
+
+TEST(SrvHistogram, BucketsByBitWidthAndAnswersQuantiles) {
+  Log2Histogram h;
+  EXPECT_EQ(h.quantile_max(0.5), 0u);  // empty
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  EXPECT_EQ(h.total, 1000u);
+  // The median observation (500) lives in bucket bit_width(500)=9, whose
+  // upper bound is 511.
+  EXPECT_EQ(h.quantile_max(0.5), 511u);
+  EXPECT_EQ(h.quantile_max(1.0), 1023u);
+  EXPECT_LE(h.quantile_max(0.01), 15u);
+}
+
+TEST(SrvHistogram, MergesAndSaturates) {
+  Log2Histogram a;
+  Log2Histogram b;
+  a.record(0);
+  a.record(7);
+  b.record(~std::uint64_t{0});  // saturates into the last bucket
+  a += b;
+  EXPECT_EQ(a.total, 3u);
+  EXPECT_EQ(a.counts[Log2Histogram::kBuckets - 1], 1u);
+  // The open-ended last bucket reports its lower edge, not 2^47-1.
+  EXPECT_EQ(a.quantile_max(1.0),
+            std::uint64_t{1} << (Log2Histogram::kBuckets - 2));
+  EXPECT_EQ(a.counts[0], 1u);  // zero has bit_width 0
+}
+
+// -- fd I/O helpers ---------------------------------------------------------
+
+TEST(SrvIoUtil, WriteAllAndReadAllMoveLargePayloads) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::string payload;
+  payload.reserve(300000);
+  Rng rng(11);
+  for (int i = 0; i < 300000; ++i) {
+    payload.push_back(static_cast<char>('a' + rng.uniform_int(0, 25)));
+  }
+  // Writer on a thread: the payload exceeds the pipe buffer, so write_all
+  // must survive short writes while the reader drains.
+  std::thread writer([fd = fds[1], &payload] {
+    EXPECT_TRUE(write_all(fd, payload));
+    ::close(fd);
+  });
+  const std::optional<std::string> got = read_all(fds[0]);
+  writer.join();
+  ::close(fds[0]);
+  ASSERT_TRUE(got);
+  EXPECT_EQ(*got, payload);
+}
+
+TEST(SrvIoUtil, SigpipeIgnoreIsIdempotentAndTurnsEpipeIntoFalse) {
+  ASSERT_TRUE(ignore_sigpipe());
+  ASSERT_TRUE(ignore_sigpipe());  // second call is a no-op
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ::close(fds[0]);
+  // Without the ignore this write would raise SIGPIPE and kill the test.
+  EXPECT_FALSE(write_all(fds[1], "peer is gone"));
+  ::close(fds[1]);
+}
+
+TEST(SrvIoUtil, WaitReadableTimesOutAndWakes) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  EXPECT_FALSE(wait_readable(fds[0], 10));  // nothing buffered
+  ASSERT_TRUE(write_all(fds[1], "x"));
+  EXPECT_TRUE(wait_readable(fds[0], 1000));
+  std::string out;
+  EXPECT_EQ(read_some(fds[0], out), 1u);
+  EXPECT_EQ(out, "x");
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// -- quotas -----------------------------------------------------------------
+
+constexpr std::uint64_t kSecond = 1000000000ull;
+
+TEST(SrvQuota, DisabledAdmitsEverything) {
+  ClientQuota quota(QuotaOptions{});  // rate <= 0: admission control off
+  EXPECT_FALSE(quota.enabled());
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(quota.try_acquire("c", 0));
+  EXPECT_EQ(quota.shed_total(), 0u);
+}
+
+TEST(SrvQuota, BurstThenRefill) {
+  ClientQuota quota(QuotaOptions{2.0, 3.0, 16});
+  // A fresh client starts with a full burst of 3...
+  EXPECT_TRUE(quota.try_acquire("c", 0));
+  EXPECT_TRUE(quota.try_acquire("c", 0));
+  EXPECT_TRUE(quota.try_acquire("c", 0));
+  EXPECT_FALSE(quota.try_acquire("c", 0));
+  // ...and refills at 2 tokens/s: after half a second exactly one token.
+  EXPECT_TRUE(quota.try_acquire("c", kSecond / 2));
+  EXPECT_FALSE(quota.try_acquire("c", kSecond / 2));
+  // A long idle period caps at burst, not rate * elapsed.
+  EXPECT_TRUE(quota.try_acquire("c", 100 * kSecond));
+  EXPECT_TRUE(quota.try_acquire("c", 100 * kSecond));
+  EXPECT_TRUE(quota.try_acquire("c", 100 * kSecond));
+  EXPECT_FALSE(quota.try_acquire("c", 100 * kSecond));
+  EXPECT_EQ(quota.admitted_total(), 7u);
+  EXPECT_EQ(quota.shed_total(), 3u);
+}
+
+TEST(SrvQuota, ClientsAreIndependentAndClockRegressionIsSafe) {
+  ClientQuota quota(QuotaOptions{1.0, 1.0, 16});
+  EXPECT_TRUE(quota.try_acquire("a", 5 * kSecond));
+  EXPECT_TRUE(quota.try_acquire("b", 5 * kSecond));  // b has its own bucket
+  EXPECT_FALSE(quota.try_acquire("a", 5 * kSecond));
+  // An earlier timestamp (reordered threads) must not mint tokens.
+  EXPECT_FALSE(quota.try_acquire("a", 4 * kSecond));
+  EXPECT_TRUE(quota.try_acquire("a", 6 * kSecond + kSecond));
+}
+
+TEST(SrvQuota, RecyclesStalestBucketAtCapacity) {
+  ClientQuota quota(QuotaOptions{1.0, 1.0, 2});
+  EXPECT_TRUE(quota.try_acquire("old", 0));
+  EXPECT_TRUE(quota.try_acquire("new", 10 * kSecond));
+  EXPECT_EQ(quota.tracked_clients(), 2u);
+  // A third client evicts the stalest bucket ("old"), not a fresh one.
+  EXPECT_TRUE(quota.try_acquire("third", 10 * kSecond));
+  EXPECT_EQ(quota.tracked_clients(), 2u);
+  // "new" kept its (empty) bucket: still shed at the same timestamp.
+  EXPECT_FALSE(quota.try_acquire("new", 10 * kSecond));
+}
+
+// -- canary state machine ---------------------------------------------------
+
+TEST(SrvCanary, FirstCleanLoadBecomesStable) {
+  CanaryController ctl(CanaryOptions{50, 3, 5});
+  EXPECT_EQ(ctl.version_to_load(3), 3);  // nothing stable: anything goes
+  ctl.on_load_ok(3);
+  EXPECT_EQ(ctl.status().stable_version, 3);
+  EXPECT_EQ(ctl.status().canary_version, 0);
+  EXPECT_EQ(ctl.version_to_load(3), 0);
+  EXPECT_EQ(ctl.version_to_load(2), 0);  // older files are history
+}
+
+TEST(SrvCanary, PercentZeroHotSwapsDirectly) {
+  CanaryController ctl(CanaryOptions{0, 3, 5});
+  ctl.on_load_ok(1);
+  ctl.on_load_ok(2);
+  EXPECT_EQ(ctl.status().stable_version, 2);
+  EXPECT_EQ(ctl.status().canary_version, 0);
+  EXPECT_EQ(ctl.status().canaries_started, 0u);
+}
+
+TEST(SrvCanary, PromotesAfterConsecutiveSuccesses) {
+  CanaryController ctl(CanaryOptions{100, 3, 4});
+  ctl.on_load_ok(1);
+  ctl.on_load_ok(2);
+  EXPECT_EQ(ctl.status().canary_version, 2);
+  EXPECT_EQ(ctl.status().canaries_started, 1u);
+  ctl.on_canary_result(true);
+  ctl.on_canary_result(true);
+  ctl.on_canary_result(false);  // a failure resets the success streak
+  ctl.on_canary_result(true);
+  ctl.on_canary_result(true);
+  ctl.on_canary_result(true);
+  EXPECT_EQ(ctl.status().canary_version, 2);  // 3 < promote_after
+  ctl.on_canary_result(true);
+  EXPECT_EQ(ctl.status().stable_version, 2);
+  EXPECT_EQ(ctl.status().canary_version, 0);
+  EXPECT_EQ(ctl.status().promotions, 1u);
+}
+
+TEST(SrvCanary, RollsBackOnServeFailuresAndNeverRetries) {
+  CanaryController ctl(CanaryOptions{100, 2, 100});
+  ctl.on_load_ok(1);
+  ctl.on_load_ok(2);
+  ctl.on_canary_result(false);
+  EXPECT_EQ(ctl.status().canary_version, 2);  // 1 < fail_threshold
+  ctl.on_canary_result(false);
+  EXPECT_EQ(ctl.status().canary_version, 0);
+  EXPECT_EQ(ctl.status().stable_version, 1);
+  EXPECT_EQ(ctl.status().rollbacks, 1u);
+  EXPECT_TRUE(ctl.is_bad(2));
+  EXPECT_EQ(ctl.version_to_load(2), 0);  // condemned forever
+  EXPECT_EQ(ctl.version_to_load(3), 3);  // a newer candidate still welcome
+  ctl.on_load_ok(2);                     // stale load result: ignored
+  EXPECT_EQ(ctl.status().canary_version, 0);
+}
+
+TEST(SrvCanary, LoadFailuresTripTheSameBreaker) {
+  CanaryController ctl(CanaryOptions{100, 3, 100});
+  ctl.on_load_ok(1);
+  ctl.on_load_failed(2);
+  ctl.on_load_failed(2);
+  EXPECT_FALSE(ctl.is_bad(2));
+  ctl.on_load_failed(2);
+  EXPECT_TRUE(ctl.is_bad(2));
+  EXPECT_EQ(ctl.status().rollbacks, 1u);
+  EXPECT_EQ(ctl.status().stable_version, 1);
+  // A load success in between resets the count (flaky disk, not poison).
+  ctl.on_load_failed(3);
+  ctl.on_load_ok(3);
+  EXPECT_EQ(ctl.status().canary_version, 3);
+}
+
+TEST(SrvCanary, ClientHashSplitsDeterministically) {
+  CanaryController ctl(CanaryOptions{30, 3, 100});
+  ctl.on_load_ok(1);
+  ctl.on_load_ok(2);
+  int canaried = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string client = "tenant-" + std::to_string(i);
+    const bool first = ctl.use_canary(client);
+    EXPECT_EQ(first, ctl.use_canary(client));  // stable per tenant
+    EXPECT_EQ(first, CanaryController::client_hash(client) % 100 < 30);
+    canaried += first ? 1 : 0;
+  }
+  // Roughly 30% of tenants (hash mixing, not a statistical test).
+  EXPECT_GT(canaried, 30);
+  EXPECT_LT(canaried, 110);
+}
+
+// -- coalescer --------------------------------------------------------------
+
+TEST(SrvCoalescer, ResultsAreBitIdenticalAcrossBatchCompositions) {
+  // The batch function is pure per row, so whatever rows happen to share a
+  // flush, each submitter must get exactly f(row) back.
+  const auto f = [](const BatchItem& item) {
+    double sum = 0.375;
+    for (const double v : item.row) sum += v * 1.0625;
+    return sum;
+  };
+  Coalescer coalescer(
+      CoalescerOptions{500.0, 8, 64},
+      [&f](const std::vector<BatchItem>& items) {
+        std::vector<BatchResult> results;
+        results.reserve(items.size());
+        for (const BatchItem& item : items) {
+          results.push_back({true, f(item), 0, {}});
+        }
+        return results;
+      });
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kPerThread; ++i) {
+        BatchItem item;
+        item.client = "c" + std::to_string(t);
+        item.model = "m";
+        for (int j = 0; j < 5; ++j) item.row.push_back(rng.uniform(0.0, 9.0));
+        const double want = f(item);
+        const BatchResult got = coalescer.submit_wait(std::move(item));
+        if (!got.ok || got.value != want) ++mismatches[t];
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0) << t;
+  const CoalescerStats stats = coalescer.stats();
+  EXPECT_EQ(stats.submitted, kThreads * kPerThread);
+  EXPECT_EQ(stats.flushes, stats.full_flushes + stats.budget_flushes);
+  EXPECT_EQ(stats.batch_fill.total, stats.flushes);
+}
+
+TEST(SrvCoalescer, FullBatchFlushesWithoutWaitingForTheBudget) {
+  // Budget is 10 seconds; the only way these 4 submits finish promptly is
+  // the max_batch=4 trigger.
+  Coalescer coalescer(CoalescerOptions{10e6, 4, 16},
+                      [](const std::vector<BatchItem>& items) {
+                        return std::vector<BatchResult>(items.size(),
+                                                        {true, 1.0, 0, {}});
+                      });
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&coalescer] {
+      const BatchResult result = coalescer.submit_wait({"c", "m", {1.0}});
+      EXPECT_TRUE(result.ok);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed_s, 5.0);
+  EXPECT_GE(coalescer.stats().full_flushes, 1u);
+}
+
+TEST(SrvCoalescer, LoneRowFlushesWhenTheBudgetExpires) {
+  Coalescer coalescer(CoalescerOptions{2000.0, 1000, 2000},
+                      [](const std::vector<BatchItem>& items) {
+                        return std::vector<BatchResult>(items.size(),
+                                                        {true, 2.0, 0, {}});
+                      });
+  const BatchResult result = coalescer.submit_wait({"c", "m", {1.0}});
+  EXPECT_TRUE(result.ok);
+  EXPECT_GE(coalescer.stats().budget_flushes, 1u);
+}
+
+TEST(SrvCoalescer, DestructorDrainsPendingRows) {
+  // Long budget, small submits, immediate destruction: the dtor must flush
+  // the queue (shutdown skips the batch window) instead of deadlocking.
+  std::vector<std::shared_ptr<Coalescer::Ticket>> tickets;
+  {
+    Coalescer coalescer(CoalescerOptions{10e6, 1000, 2000},
+                        [](const std::vector<BatchItem>& items) {
+                          return std::vector<BatchResult>(
+                              items.size(), {true, 3.0, 0, {}});
+                        });
+    for (int i = 0; i < 5; ++i) {
+      tickets.push_back(coalescer.submit({"c", "m", {double(i)}}));
+    }
+    for (const auto& ticket : tickets) {
+      EXPECT_TRUE(coalescer.wait(ticket).ok);
+    }
+  }
+}
+
+// -- version-pinned service prediction --------------------------------------
+
+TEST(SrvServicePin, PinnedVersionsServeSideBySide) {
+  TempDir dir("pin");
+  ModelRegistry registry(dir.path());
+  const ModelBundle v1 = srv_bundle("m", 7);
+  const ModelBundle v2 = srv_bundle("m", 8);
+  ASSERT_TRUE(registry.put(v1));
+  ASSERT_TRUE(registry.put(v2));
+  EstimatorService service(dir.path());
+  const std::vector<std::vector<double>> rows = {srv_row(21), srv_row(22)};
+  const auto got1 = service.predict_rows("m", rows, 1);
+  const auto got2 = service.predict_rows("m", rows, 2);
+  ASSERT_TRUE(got1);
+  ASSERT_TRUE(got2);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ((*got1)[i], v1.estimator.predict_row(rows[i]));
+    EXPECT_EQ((*got2)[i], v2.estimator.predict_row(rows[i]));
+  }
+  // Different training data must actually disagree, or the reload tests
+  // above this layer prove nothing.
+  EXPECT_NE((*got1)[0], (*got2)[0]);
+  // Unpinned still resolves the newest version.
+  const auto newest = service.predict_rows("m", rows);
+  ASSERT_TRUE(newest);
+  EXPECT_EQ((*newest)[0], (*got2)[0]);
+}
+
+TEST(SrvServicePin, MissingPinnedVersionIsNulloptNeverFallback) {
+  TempDir dir("pinmiss");
+  ModelRegistry registry(dir.path());
+  ASSERT_TRUE(registry.put(srv_bundle("m", 7)));
+  ServiceOptions options;
+  options.fallback_cf = 1.5;  // must NOT leak into the pinned path
+  EstimatorService service(dir.path(), options);
+  EXPECT_FALSE(service.predict_rows("m", {srv_row(1)}, 99));
+  EXPECT_FALSE(service.bundle("m", 99));
+  EXPECT_TRUE(service.predict_rows("m", {srv_row(1)}, 1));
+}
+
+TEST(SrvServicePin, SnapshotCarriesLatencyHistogram) {
+  TempDir dir("snap");
+  ModelRegistry registry(dir.path());
+  ASSERT_TRUE(registry.put(srv_bundle("m", 7)));
+  EstimatorService service(dir.path());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(service.predict_rows("m", {srv_row(i)}));
+  }
+  const ServiceStats stats = service.snapshot();
+  EXPECT_EQ(stats.requests, 5u);
+  EXPECT_EQ(stats.latency.total, 5u);
+  EXPECT_GT(stats.latency.quantile_max(0.99), 0u);
+}
+
+// -- server integration (protocol over a socketpair) ------------------------
+
+TEST(SrvServer, OptionValidationFailsFast) {
+  ServerOptions options;  // neither socket nor stdio
+  EXPECT_TRUE(server_options_error(options));
+  options.stdio = true;
+  EXPECT_FALSE(server_options_error(options));
+  options.socket_path = "/tmp/x.sock";  // both: ambiguous
+  EXPECT_TRUE(server_options_error(options));
+  options.socket_path.clear();
+  options.coalesce.queue_capacity = 4;
+  options.coalesce.max_batch = 64;  // capacity < one batch
+  EXPECT_TRUE(server_options_error(options));
+}
+
+TEST(SrvServer, AnswersTheProtocolEndToEnd) {
+  TempDir dir("e2e");
+  ModelRegistry registry(dir.path());
+  const ModelBundle v1 = srv_bundle("m", 7);
+  ASSERT_TRUE(registry.put(v1));
+  EstimatorServer server(fast_server_options(dir.path()));
+  Conn conn(server);
+  EXPECT_EQ(conn.transact("PING\n"), "OK pong");
+  const std::vector<double> row = srv_row(33);
+  // The response must be the exact shortest-round-trip rendering of the
+  // direct in-process prediction: coalescing is invisible in the bytes.
+  EXPECT_EQ(conn.transact(estimate_line("c1", "m", row)),
+            "OK " + format_double(v1.estimator.predict_row(row)));
+  EXPECT_EQ(conn.transact("ESTIMATE c1 m 1 2\n"),
+            "ERR 400 expected " +
+                std::to_string(feature_names(FeatureSet::Classical).size()) +
+                " features for 'm'");
+  EXPECT_EQ(conn.transact("ESTIMATE c1 ghost 1\n"),
+            "ERR 404 no usable bundle for 'ghost'");
+  EXPECT_EQ(conn.transact("NOPE\n"), "ERR 400 unknown verb 'NOPE'");
+  const std::string info = conn.transact("INFO m\n");
+  EXPECT_NE(info.find("OK model=m stable=v1 canary=none"), std::string::npos);
+  // STATS renders at settle time, so it reflects the 6 requests before it
+  // on this very pipeline (PING + INFO settle as ok alongside the good
+  // ESTIMATE).
+  const std::string stats = conn.transact("STATS\n");
+  EXPECT_NE(stats.find("requests=6"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("ok=3"), std::string::npos) << stats;
+  conn.finish();
+  const ServerStats server_stats = server.stats();
+  EXPECT_EQ(server_stats.requests, 7u);
+  EXPECT_EQ(server_stats.err_bad_request, 2u);
+  EXPECT_EQ(server_stats.err_no_model, 1u);
+  EXPECT_EQ(server_stats.request_ns.total, 3u);  // ESTIMATEs only
+}
+
+TEST(SrvServer, OverQuotaClientsAreShedWith429) {
+  TempDir dir("quota");
+  ModelRegistry registry(dir.path());
+  ASSERT_TRUE(registry.put(srv_bundle("m", 7)));
+  ServerOptions options = fast_server_options(dir.path());
+  options.quota.rate_per_second = 0.001;  // effectively no refill in-test
+  options.quota.burst = 2.0;
+  EstimatorServer server(options);
+  Conn conn(server);
+  const std::string line = estimate_line("greedy", "m", srv_row(1));
+  EXPECT_EQ(conn.transact(line).rfind("OK ", 0), 0u);
+  EXPECT_EQ(conn.transact(line).rfind("OK ", 0), 0u);
+  EXPECT_EQ(conn.transact(line), "ERR 429 client 'greedy' over quota");
+  // Another tenant is untouched by the greedy one's empty bucket.
+  EXPECT_EQ(conn.transact(estimate_line("modest", "m", srv_row(1)))
+                .rfind("OK ", 0),
+            0u);
+  conn.finish();
+  EXPECT_EQ(server.stats().err_over_quota, 1u);
+}
+
+TEST(SrvServer, HotReloadUnderTrafficServesOldOrNewNeverTorn) {
+  // Satellite: ModelRegistry::put a newer bundle while requests are in
+  // flight. Every response must be bit-exact from either v1 or v2 -- a torn
+  // read would show up as any other byte string -- and after a reload scan
+  // the stream must settle on v2.
+  TempDir dir("reload");
+  ModelRegistry registry(dir.path());
+  const ModelBundle v1 = srv_bundle("m", 7);
+  ASSERT_TRUE(registry.put(v1));
+  ServerOptions options = fast_server_options(dir.path());
+  options.reload_poll_seconds = 1e4;  // reloads happen only via reload_now
+  EstimatorServer server(options);
+  Conn conn(server);
+  const std::vector<double> row = srv_row(42);
+  const std::string want_v1 = "OK " + format_double(v1.estimator.predict_row(row));
+  EXPECT_EQ(conn.transact(estimate_line("c", "m", row)), want_v1);
+
+  const ModelBundle v2 = srv_bundle("m", 8);
+  const std::string want_v2 = "OK " + format_double(v2.estimator.predict_row(row));
+  ASSERT_NE(want_v1, want_v2);
+
+  std::atomic<bool> put_done{false};
+  std::thread writer([&] {
+    ASSERT_TRUE(registry.put(v2));
+    put_done.store(true);
+    server.reload_now();
+  });
+  // Traffic while the put + reload land: nothing but the two exact strings
+  // may ever come back (in-flight rows finish on whichever immutable
+  // bundle they were routed to).
+  bool saw_v2 = false;
+  for (int i = 0; i < 200; ++i) {
+    const std::string response = conn.transact(estimate_line("c", "m", row));
+    ASSERT_TRUE(response == want_v1 || response == want_v2) << response;
+    if (response == want_v2) saw_v2 = true;
+    if (saw_v2 && put_done.load()) break;
+  }
+  writer.join();
+  server.reload_now();
+  EXPECT_EQ(conn.transact(estimate_line("c", "m", row)), want_v2);
+  conn.finish();
+  EXPECT_EQ(server.canary_status("m").stable_version, 2);
+}
+
+TEST(SrvServer, CorruptCanaryRollsBackWithoutClientErrors) {
+  TempDir dir("rollback");
+  ModelRegistry registry(dir.path());
+  const ModelBundle v1 = srv_bundle("m", 7);
+  ASSERT_TRUE(registry.put(v1));
+  ServerOptions options = fast_server_options(dir.path());
+  options.reload_poll_seconds = 1e4;
+  options.canary.percent = 100;
+  options.canary.fail_threshold = 2;
+  EstimatorServer server(options);
+  Conn conn(server);
+  const std::vector<double> row = srv_row(5);
+  const std::string want_v1 = "OK " + format_double(v1.estimator.predict_row(row));
+  EXPECT_EQ(conn.transact(estimate_line("c", "m", row)), want_v1);
+  // Drop a poisoned v2 into the registry: it never loads, so the load
+  // breaker must roll it back after fail_threshold scans -- no client ever
+  // sees an error.
+  {
+    std::ofstream poison(dir.path() + "/m-v2.mfb", std::ios::binary);
+    poison << "macroflow-model-bundle 1\nthis is not a bundle\n";
+  }
+  server.reload_now();
+  EXPECT_EQ(conn.transact(estimate_line("c", "m", row)), want_v1);
+  server.reload_now();
+  const CanaryStatus status = server.canary_status("m");
+  EXPECT_EQ(status.stable_version, 1);
+  EXPECT_EQ(status.canary_version, 0);
+  EXPECT_EQ(status.rollbacks, 1u);
+  // Condemned: further scans must not resurrect it.
+  server.reload_now();
+  EXPECT_EQ(server.canary_status("m").rollbacks, 1u);
+  EXPECT_EQ(conn.transact(estimate_line("c", "m", row)), want_v1);
+  conn.finish();
+  EXPECT_EQ(server.stats().err_no_model, 0u);
+  EXPECT_EQ(server.stats().err_internal, 0u);
+}
+
+TEST(SrvServer, CanaryServesPercentAndPromotes) {
+  TempDir dir("promote");
+  ModelRegistry registry(dir.path());
+  const ModelBundle v1 = srv_bundle("m", 7);
+  const ModelBundle v2 = srv_bundle("m", 8);
+  ASSERT_TRUE(registry.put(v1));
+  ServerOptions options = fast_server_options(dir.path());
+  options.reload_poll_seconds = 1e4;
+  options.canary.percent = 100;
+  options.canary.promote_after = 3;
+  EstimatorServer server(options);
+  Conn conn(server);
+  const std::vector<double> row = srv_row(9);
+  const std::string want_v1 = "OK " + format_double(v1.estimator.predict_row(row));
+  const std::string want_v2 = "OK " + format_double(v2.estimator.predict_row(row));
+  EXPECT_EQ(conn.transact(estimate_line("c", "m", row)), want_v1);
+  ASSERT_TRUE(registry.put(v2));
+  server.reload_now();
+  EXPECT_EQ(server.canary_status("m").canary_version, 2);
+  // percent=100 routes every client to the canary; three successes promote.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(conn.transact(estimate_line("c", "m", row)), want_v2);
+  }
+  const CanaryStatus status = server.canary_status("m");
+  EXPECT_EQ(status.stable_version, 2);
+  EXPECT_EQ(status.canary_version, 0);
+  EXPECT_EQ(status.promotions, 1u);
+  conn.finish();
+}
+
+}  // namespace
+}  // namespace mf

@@ -21,6 +21,12 @@
 //                                 the artifact kind and source format are
 //                                 auto-detected, and the default target is
 //                                 the opposite of the source
+//   serve (--socket PATH | --stdio) [...]
+//                              -- long-running estimator serving daemon: a
+//                                 line protocol (ESTIMATE/INFO/STATS/PING)
+//                                 over a Unix socket or stdin/stdout, with
+//                                 cross-request batch coalescing, per-client
+//                                 quotas, hot reload, and canary rollout
 //   farm --dir DIR [...]       -- supervise a multi-process dataset farm:
 //                                 shard the sweep deterministically, spawn
 //                                 worker processes (this binary re-executed
@@ -66,6 +72,7 @@
 #include "serve/registry.hpp"
 #include "serve/service.hpp"
 #include "serve/trainer.hpp"
+#include "srv/server.hpp"
 #include "synth/optimize.hpp"
 
 namespace {
@@ -101,6 +108,13 @@ int usage() {
       "      [--stitch-warm-start] [--checkpoint FILE]\n"
       "      [--deadline-seconds S]\n"
       "  convert <input> <output> [--to text|binary]\n"
+      "  serve (--socket PATH | --stdio) [--registry DIR] [--jobs N]\n"
+      "        [--coalesce-us U] [--max-batch N] [--queue-capacity N]\n"
+      "        [--quota-rate R] [--quota-burst B] [--canary-percent P]\n"
+      "        [--canary-fail-threshold N] [--canary-promote-after N]\n"
+      "        [--reload-poll-seconds S] [--stats-json FILE]\n"
+      "        [--stats-interval S] [--max-connections N] [--max-loaded N]\n"
+      "        [--deadline-seconds S]\n"
       "  farm --dir DIR [--count N] [--seed S] [--grid A,B,C]\n"
       "       [--workers N] [--shards N] [--worker-jobs N]\n"
       "       [--checkpoint-every N] [--max-attempts N]\n"
@@ -141,6 +155,16 @@ int usage() {
       "default 12).\n"
       "--stitch-warm-start: seed SA / evolutionary individual 0 with the\n"
       "deterministic analytic pre-placement.\n"
+      "serve: answers 'ESTIMATE <client> <model> <f1..fN>' lines with\n"
+      "'OK <cf>' / 'ERR <code> <reason>'; also INFO <model>, STATS, PING.\n"
+      "Requests from all connections coalesce into one predict batch per\n"
+      "--coalesce-us window (bit-identical to sequential answers); the\n"
+      "registry is rescanned every --reload-poll-seconds, and with\n"
+      "--canary-percent P a newer bundle version first serves P% of\n"
+      "clients, auto-promoted after --canary-promote-after successes or\n"
+      "rolled back after --canary-fail-threshold failures. stdio mode\n"
+      "serves stdin/stdout and exits 0 at EOF; SIGINT drains and exits\n"
+      "130.\n"
       "farm: the merged dataset lands in DIR/ground_truth.gt (one file per\n"
       "--grid value when several are given); rerunning over the same DIR\n"
       "resumes completed shards. Crashed/hung workers respawn from their\n"
@@ -685,6 +709,26 @@ int cmd_farm(const FarmOptions& options) {
   return kExitOk;
 }
 
+// -- serve ------------------------------------------------------------------
+
+int cmd_serve(ServerOptions options) {
+  options.cancel = &g_cancel;
+  // Fail-fast semantic validation: a bad combination exits 2 before any
+  // socket is bound or request read (never a partial listen).
+  if (const std::optional<std::string> error = server_options_error(options)) {
+    std::fprintf(stderr, "serve: %s\n", error->c_str());
+    return kExitRuntime;
+  }
+  EstimatorServer server(std::move(options));
+  const int code = server.run();
+  if (code == kExitRuntime) {
+    std::fprintf(stderr, "serve: %s\n", server.last_error().c_str());
+  } else if (code == kExitCancelled) {
+    std::fprintf(stderr, "cancelled\n");
+  }
+  return code;
+}
+
 // -- convert ----------------------------------------------------------------
 
 /// What kind of persisted artifact a file holds, detected without loading it.
@@ -1079,6 +1123,103 @@ int dispatch(int argc, char** argv) {
       }
     }
     return cmd_convert(argv[2], argv[3], target);
+  }
+  if (command == "serve") {
+    ServerOptions options;
+    std::string registry_flag;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--registry") == 0) {
+        const char* path = option_value(argc, argv, i, "--registry");
+        if (path == nullptr) return 1;
+        registry_flag = path;
+      } else if (std::strcmp(argv[i], "--socket") == 0) {
+        const char* path = option_value(argc, argv, i, "--socket");
+        if (path == nullptr) return 1;
+        options.socket_path = path;
+      } else if (std::strcmp(argv[i], "--stdio") == 0) {
+        options.stdio = true;
+      } else if (std::strcmp(argv[i], "--jobs") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--jobs", 0, 1024);
+        if (!parsed) return 1;
+        options.jobs = *parsed;
+      } else if (std::strcmp(argv[i], "--max-loaded") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--max-loaded", 1, 4096);
+        if (!parsed) return 1;
+        options.max_loaded_bundles = static_cast<std::size_t>(*parsed);
+      } else if (std::strcmp(argv[i], "--coalesce-us") == 0) {
+        const std::optional<double> parsed =
+            parse_double_option(argc, argv, i, "--coalesce-us", 0.0, 1e7);
+        if (!parsed) return 1;
+        options.coalesce.coalesce_us = *parsed;
+      } else if (std::strcmp(argv[i], "--max-batch") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--max-batch", 1, 65536);
+        if (!parsed) return 1;
+        options.coalesce.max_batch = static_cast<std::size_t>(*parsed);
+      } else if (std::strcmp(argv[i], "--queue-capacity") == 0) {
+        // Capacity < max-batch is a semantic error: caught by
+        // server_options_error in cmd_serve (exit 2), not here.
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--queue-capacity", 1, 1 << 20);
+        if (!parsed) return 1;
+        options.coalesce.queue_capacity = static_cast<std::size_t>(*parsed);
+      } else if (std::strcmp(argv[i], "--quota-rate") == 0) {
+        const std::optional<double> parsed =
+            parse_double_option(argc, argv, i, "--quota-rate", 0.0, 1e9);
+        if (!parsed) return 1;
+        options.quota.rate_per_second = *parsed;
+      } else if (std::strcmp(argv[i], "--quota-burst") == 0) {
+        const std::optional<double> parsed =
+            parse_double_option(argc, argv, i, "--quota-burst", 1.0, 1e9);
+        if (!parsed) return 1;
+        options.quota.burst = *parsed;
+      } else if (std::strcmp(argv[i], "--canary-percent") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--canary-percent", 0, 100);
+        if (!parsed) return 1;
+        options.canary.percent = *parsed;
+      } else if (std::strcmp(argv[i], "--canary-fail-threshold") == 0) {
+        const std::optional<int> parsed = parse_int_option(
+            argc, argv, i, "--canary-fail-threshold", 1, 1 << 20);
+        if (!parsed) return 1;
+        options.canary.fail_threshold = *parsed;
+      } else if (std::strcmp(argv[i], "--canary-promote-after") == 0) {
+        const std::optional<int> parsed = parse_int_option(
+            argc, argv, i, "--canary-promote-after", 1, 1 << 30);
+        if (!parsed) return 1;
+        options.canary.promote_after = *parsed;
+      } else if (std::strcmp(argv[i], "--reload-poll-seconds") == 0) {
+        const std::optional<double> parsed = parse_double_option(
+            argc, argv, i, "--reload-poll-seconds", 0.001, 1e6);
+        if (!parsed) return 1;
+        options.reload_poll_seconds = *parsed;
+      } else if (std::strcmp(argv[i], "--stats-json") == 0) {
+        const char* path = option_value(argc, argv, i, "--stats-json");
+        if (path == nullptr) return 1;
+        options.stats_json_path = path;
+      } else if (std::strcmp(argv[i], "--stats-interval") == 0) {
+        const std::optional<double> parsed = parse_double_option(
+            argc, argv, i, "--stats-interval", 0.001, 1e6);
+        if (!parsed) return 1;
+        options.stats_interval_seconds = *parsed;
+      } else if (std::strcmp(argv[i], "--max-connections") == 0) {
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--max-connections", 1, 4096);
+        if (!parsed) return 1;
+        options.max_connections = *parsed;
+      } else if (std::strcmp(argv[i], "--deadline-seconds") == 0) {
+        const std::optional<double> parsed = parse_double_option(
+            argc, argv, i, "--deadline-seconds", 0.0, 1e9);
+        if (!parsed) return 1;
+        g_cancel.set_deadline_seconds(*parsed);
+      } else {
+        return usage();
+      }
+    }
+    options.registry_dir = default_registry_dir(registry_flag);
+    return cmd_serve(std::move(options));
   }
   if (command == "farm") {
     FarmOptions options;

@@ -13,8 +13,12 @@
 # load >= 10x text, text<->binary byte-identity), and the stitcher
 # portfolio gates (bench_stitch_quick: portfolio >= 1.5x time-to-equal-cost
 # or >= 5% cost-at-equal-budget vs lone SA, plus the stitch_portfolio_jobs
-# bit-identity rerun at MF_TEST_JOBS=8) all re-run under ASan/UBSan and
-# TSan here via each flavour's ctest.
+# bit-identity rerun at MF_TEST_JOBS=8), and the serving-daemon gates
+# (bench_serving_load_quick: >= 5x coalesced QPS with bit-identical
+# responses, p99 within the coalesce budget + slack, canary rollback with
+# zero client-visible errors; srv_parallel_jobs: the protocol/coalescer/
+# reload suites under contention) all re-run under ASan/UBSan and TSan
+# here via each flavour's ctest.
 
 set -eu
 
