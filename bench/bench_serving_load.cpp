@@ -1,7 +1,7 @@
 // Serving-daemon load bench: coalesced batching throughput, tail latency,
-// and canary rollback under a real Unix-domain socket.
+// canary rollback, and chaos recovery under a real Unix-domain socket.
 //
-// Three claims are measured and *checked*, not just timed (MF_CHECK aborts
+// Four claims are measured and *checked*, not just timed (MF_CHECK aborts
 // on violation; the `bench_serving_load_quick` ctest entry relies on that):
 //
 //   1. Coalescing pays: many concurrent closed-loop clients sustain >= 5x
@@ -19,15 +19,26 @@
 //      canary configured, a corrupt v2 trips the load breaker after
 //      fail_threshold scans, traffic never leaves v1, and not a single ERR
 //      response reaches any client before, during, or after the rollback.
+//   4. A SIGKILLed daemon under `--supervised`-equivalent supervision costs
+//      clients only latency: 8 closed-loop ServeClients under seeded
+//      network chaos ride out a daemon kill with zero wrong answers and
+//      zero gave-up requests, and the p99 of requests started after the
+//      kill stays under a 10 s recovery bound.
+//
+// Every client in every phase is a ServeClient (src/srv/client.hpp): the
+// retry/trace machinery the CLI uses is the machinery being measured.
 //
 // Results land in BENCH_SERVING.json. Plain main, like bench_serve: the
-// daemon lifecycle does not fit the BM_ harness.
+// daemon lifecycle does not fit the BM_ harness. The supervised phase
+// re-executes this binary as the daemon child via the --serve-child hook
+// (answered before anything else in main).
 
-#include <sys/socket.h>
-#include <sys/un.h>
+#include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -38,13 +49,12 @@
 
 #include "common/cancel.hpp"
 #include "common/check.hpp"
-#include "common/io_util.hpp"
-#include "common/parse_num.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "serve/registry.hpp"
-#include "srv/protocol.hpp"
+#include "srv/client.hpp"
 #include "srv/server.hpp"
+#include "srv/supervised.hpp"
 
 #include "bench_common.hpp"
 
@@ -90,60 +100,36 @@ std::vector<std::vector<double>> make_rows(std::size_t n, std::uint64_t seed) {
   return rows;
 }
 
-/// One closed-loop protocol client over the daemon's real socket.
-class Client {
- public:
-  explicit Client(const std::string& socket_path) {
-    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    MF_CHECK(fd_ >= 0);
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    MF_CHECK(socket_path.size() < sizeof(addr.sun_path));
-    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-    // The daemon's listener may be a beat behind the bind; retry briefly.
-    for (int attempt = 0;; ++attempt) {
-      if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                    sizeof addr) == 0) {
-        break;
-      }
-      MF_CHECK_MSG(attempt < 200, "daemon socket never came up");
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    }
-  }
-  ~Client() {
-    if (fd_ >= 0) ::close(fd_);
-  }
+/// Fault-free resilient-client options (phases 1-3: the transport is
+/// healthy, the client machinery is just the normal access path).
+ClientOptions plain_client_options(const std::string& socket_path,
+                                   const std::string& name) {
+  ClientOptions options;
+  options.socket_path = socket_path;
+  options.client_name = name;
+  options.connect_deadline_s = 10.0;
+  options.request_deadline_s = 60.0;
+  return options;
+}
 
-  std::string transact(const std::string& line) {
-    MF_CHECK(write_all(fd_, line));
-    for (;;) {
-      if (std::optional<std::string> response = pop_line(buffer_)) {
-        return *response;
-      }
-      const std::optional<std::size_t> n = read_some(fd_, buffer_);
-      MF_CHECK_MSG(n.has_value() && *n > 0, "daemon hung up mid-request");
-    }
-  }
-
- private:
-  int fd_ = -1;
-  std::string buffer_;
-};
-
-std::string estimate_line(const std::string& client, const std::string& model,
-                          const std::vector<double>& row) {
-  std::string line = "ESTIMATE " + client + " " + model;
-  for (const double v : row) line += " " + format_double(v);
-  line += "\n";
-  return line;
+double quantile_99(std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t index =
+      std::min(values.size() - 1, (values.size() * 99) / 100);
+  return values[index];
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Daemon-child mode first: the supervised phase re-executes this binary.
+  if (const std::optional<int> code = maybe_run_serve_child(argc, argv)) {
+    return *code;
+  }
   const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
   bench::banner("serving daemon: coalesced batching, tail latency, canary "
-                "rollback",
+                "rollback, chaos recovery",
                 "estimator serving for the CF predictions of Section V");
 
   const std::string dir =
@@ -180,13 +166,13 @@ int main(int argc, char** argv) {
   const auto base_rows = make_rows(base_n, 11);
   double base_qps = 0.0;
   {
-    Client client(socket_path);
+    ServeClient client(plain_client_options(socket_path, "base"));
     Timer timer;
     for (std::size_t i = 0; i < base_n; ++i) {
-      const std::string response =
-          client.transact(estimate_line("base", "m", base_rows[i]));
-      const std::optional<double> cf = parse_ok_cf(response + "\n");
-      MF_CHECK_MSG(cf.has_value(), "baseline request failed: " + response);
+      std::string error;
+      const std::optional<double> cf =
+          client.estimate("base", "m", base_rows[i], &error);
+      MF_CHECK_MSG(cf.has_value(), "baseline request failed: " + error);
       MF_CHECK(*cf == v1.estimator.predict_row(base_rows[i]));
     }
     base_qps = static_cast<double>(base_n) / timer.seconds();
@@ -206,12 +192,13 @@ int main(int argc, char** argv) {
     for (int c = 0; c < clients; ++c) {
       threads.emplace_back([&, c] {
         const auto rows = make_rows(per_client, 100 + c);
-        Client client(socket_path);
+        ServeClient client(plain_client_options(
+            socket_path, "tenant" + std::to_string(c)));
         const std::string name = "tenant" + std::to_string(c);
         for (std::size_t i = 0; i < per_client; ++i) {
-          const std::string response =
-              client.transact(estimate_line(name, "m", rows[i]));
-          const std::optional<double> cf = parse_ok_cf(response + "\n");
+          std::string error;
+          const std::optional<double> cf =
+              client.estimate(name, "m", rows[i], &error);
           if (!cf.has_value()) {
             ++errors;
           } else if (*cf != v1.estimator.predict_row(rows[i])) {
@@ -258,16 +245,16 @@ int main(int argc, char** argv) {
   }
   std::uint64_t rollback_errors = 0;
   {
-    Client client(socket_path);
+    ServeClient client(plain_client_options(socket_path, "rollback"));
     const auto rows = make_rows(quick ? 200 : 1000, 77);
     std::size_t i = 0;
     Timer rollback_timer;
     while (server.canary_status("m").rollbacks == 0) {
       MF_CHECK_MSG(rollback_timer.seconds() < 30.0,
                    "canary rollback never happened");
-      const std::string response =
-          client.transact(estimate_line("t", "m", rows[i % rows.size()]));
-      const std::optional<double> cf = parse_ok_cf(response + "\n");
+      std::string error;
+      const std::optional<double> cf =
+          client.estimate("t", "m", rows[i % rows.size()], &error);
       if (!cf.has_value() ||
           *cf != v1.estimator.predict_row(rows[i % rows.size()])) {
         ++rollback_errors;
@@ -276,9 +263,9 @@ int main(int argc, char** argv) {
     }
     // Post-rollback: still v1, still zero errors.
     for (std::size_t j = 0; j < 50; ++j) {
-      const std::string response =
-          client.transact(estimate_line("t", "m", rows[j]));
-      const std::optional<double> cf = parse_ok_cf(response + "\n");
+      std::string error;
+      const std::optional<double> cf =
+          client.estimate("t", "m", rows[j], &error);
       if (!cf.has_value() || *cf != v1.estimator.predict_row(rows[j])) {
         ++rollback_errors;
       }
@@ -300,23 +287,177 @@ int main(int argc, char** argv) {
   cancel.cancel();
   daemon.join();
 
-  const ServerStats stats = server.stats();
-  std::string json;
-  char buf[512];
-  std::snprintf(buf, sizeof buf,
-                " \"baseline_qps\": %.1f,\n \"coalesced_qps\": %.1f,\n"
-                " \"speedup\": %.2f,\n \"clients\": %d,\n"
-                " \"requests\": %lu,\n \"p99_us\": %lu,\n"
-                " \"p99_gate_us\": %lu,\n \"coalesce_us\": %.0f,\n"
-                " \"rollbacks\": %lu,\n \"client_errors\": %lu\n",
-                base_qps, load_qps, speedup, clients,
-                static_cast<unsigned long>(stats.requests),
-                static_cast<unsigned long>(p99_us),
-                static_cast<unsigned long>(p99_limit_us), kCoalesceUs,
-                static_cast<unsigned long>(canary.rollbacks),
-                static_cast<unsigned long>(rollback_errors));
-  json += buf;
-  if (!bench::write_bench_json("BENCH_SERVING.json", json)) return 1;
+  // -- 4. supervised chaos recovery ----------------------------------------
+  // A fresh daemon under the serve supervisor (this binary re-executed via
+  // --serve-child, inheriting the supervisor-owned listener), 8 chaos
+  // clients, one SIGKILL under load. The poison v2 is retired first: this
+  // phase measures transport faults, not canary routing.
+  fs::remove(dir + "/m-v2.mfb");
+  const std::string sup_socket = dir + "/sup.sock";
+  CancelToken sup_cancel;
+  SupervisedOptions sup;
+  sup.socket_path = sup_socket;
+  sup.child_args = {"--serve-child", dir, "{LISTEN_FD}",
+                    dir + "/sup-stats.json"};
+  sup.heartbeat_path = dir + "/sup-stats.json";
+  sup.heartbeat_timeout_s = 30.0;
+  sup.backoff_base_ms = 10.0;
+  sup.backoff_cap_ms = 50.0;
+  sup.grace_seconds = 3.0;
+  sup.poll_ms = 5.0;
+  sup.quiet = true;
+  sup.cancel = &sup_cancel;
+  std::atomic<pid_t> child_pid{-1};
+  sup.on_spawn = [&child_pid](pid_t pid) { child_pid.store(pid); };
+  SupervisedResult sup_result;
+  std::thread supervisor([&] { sup_result = run_supervised(sup); });
+
+  using SteadyClock = std::chrono::steady_clock;
+  struct Sample {
+    SteadyClock::time_point start;
+    double latency_s = 0.0;
+  };
+  const int chaos_clients = 8;
+  const std::size_t chaos_per_client = quick ? 150 : 600;
+  std::vector<std::vector<Sample>> samples(chaos_clients);
+  std::vector<ClientStats> chaos_stats(chaos_clients);
+  std::vector<int> chaos_injected(chaos_clients, 0);
+  std::atomic<std::uint64_t> chaos_wrong{0};
+  std::atomic<std::uint64_t> chaos_gave_up{0};
+  std::atomic<std::size_t> chaos_done{0};
+  {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < chaos_clients; ++c) {
+      threads.emplace_back([&, c] {
+        const auto rows = make_rows(chaos_per_client, 500 + c);
+        ClientOptions copts;
+        copts.socket_path = sup_socket;
+        copts.client_name = "chaos" + std::to_string(c);
+        copts.connect_deadline_s = 20.0;
+        copts.request_deadline_s = 60.0;
+        copts.max_retries = 200;
+        copts.backoff_base_ms = 1.0;
+        copts.backoff_cap_ms = 20.0;
+        copts.chaos.enabled = true;
+        copts.chaos.seed = task_seed(2024, copts.client_name);
+        copts.chaos.p_sever = 0.02;
+        copts.chaos.p_truncate = 0.02;
+        copts.chaos.p_duplicate = 0.02;
+        copts.chaos.p_garbage = 0.02;
+        ServeClient client(std::move(copts));
+        samples[c].reserve(chaos_per_client);
+        for (std::size_t i = 0; i < chaos_per_client; ++i) {
+          const SteadyClock::time_point start = SteadyClock::now();
+          std::string error;
+          const std::optional<double> cf =
+              client.estimate("t", "m", rows[i], &error);
+          const double latency =
+              std::chrono::duration<double>(SteadyClock::now() - start)
+                  .count();
+          if (!cf.has_value()) {
+            ++chaos_gave_up;
+          } else if (*cf != v1.estimator.predict_row(rows[i])) {
+            ++chaos_wrong;
+          }
+          samples[c].push_back({start, latency});
+          ++chaos_done;
+        }
+        chaos_stats[c] = client.stats();
+        chaos_injected[c] = client.chaos_faults();
+      });
+    }
+    // One daemon kill under load: what the recovery gate measures. Fire it
+    // once a quarter of the traffic is through, so a substantial tail of
+    // requests *starts* after the kill whatever the machine's speed.
+    const std::size_t kill_after =
+        static_cast<std::size_t>(chaos_clients) * chaos_per_client / 4;
+    while (chaos_done.load() < kill_after) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const pid_t pid = child_pid.load();
+    MF_CHECK_MSG(pid > 0, "supervised daemon never spawned");
+    MF_CHECK(::kill(pid, SIGKILL) == 0);
+    const SteadyClock::time_point kill_at = SteadyClock::now();
+    // Hold the phase open until the supervisor has actually respawned --
+    // cancelling first would race its poll loop and tear down a dead sock.
+    for (int i = 0; i < 2000 && child_pid.load() == pid; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    MF_CHECK_MSG(child_pid.load() != pid,
+                 "supervisor never respawned the killed daemon");
+    for (std::thread& thread : threads) thread.join();
+    sup_cancel.cancel();
+    supervisor.join();
+
+    std::vector<double> chaos_lat;
+    std::vector<double> recovery_lat;
+    for (const std::vector<Sample>& per_client_samples : samples) {
+      for (const Sample& sample : per_client_samples) {
+        chaos_lat.push_back(sample.latency_s);
+        if (sample.start >= kill_at) recovery_lat.push_back(sample.latency_s);
+      }
+    }
+    std::uint64_t retries = 0;
+    std::uint64_t reconnects = 0;
+    std::uint64_t stray_lines = 0;
+    std::uint64_t injected = 0;
+    for (int c = 0; c < chaos_clients; ++c) {
+      retries += chaos_stats[c].retries;
+      reconnects += chaos_stats[c].reconnects;
+      stray_lines += chaos_stats[c].stray_lines;
+      injected += static_cast<std::uint64_t>(chaos_injected[c]);
+    }
+    const double p99_chaos_us = quantile_99(chaos_lat) * 1e6;
+    const double recovery_p99_us = quantile_99(recovery_lat) * 1e6;
+    std::printf(
+        "chaos recovery: %d clients x %zu requests, %lu faults injected, "
+        "%lu retries, %lu reconnects, %lu stray lines, %ld respawn(s)\n",
+        chaos_clients, chaos_per_client, static_cast<unsigned long>(injected),
+        static_cast<unsigned long>(retries),
+        static_cast<unsigned long>(reconnects),
+        static_cast<unsigned long>(stray_lines), sup_result.respawns);
+    std::printf(
+        "chaos latency: p99 %.0f us overall, %.0f us for the %zu requests "
+        "started after the kill (recovery gate <= 10 s)\n",
+        p99_chaos_us, recovery_p99_us, recovery_lat.size());
+    MF_CHECK_MSG(sup_result.exit_code == 130,
+                 "supervisor must exit 130 on cancellation");
+    MF_CHECK_MSG(sup_result.respawns >= 1, "the killed daemon must respawn");
+    MF_CHECK_MSG(chaos_wrong.load() == 0,
+                 "chaos may cost latency, never a wrong answer");
+    MF_CHECK_MSG(chaos_gave_up.load() == 0,
+                 "every chaos request must eventually be answered");
+    MF_CHECK_MSG(recovery_p99_us <= 10e6,
+                 "post-kill recovery p99 exceeded 10 s");
+
+    const ServerStats stats = server.stats();
+    std::string json;
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof buf,
+        " \"baseline_qps\": %.1f,\n \"coalesced_qps\": %.1f,\n"
+        " \"speedup\": %.2f,\n \"clients\": %d,\n"
+        " \"requests\": %lu,\n \"p99_us\": %lu,\n"
+        " \"p99_gate_us\": %lu,\n \"coalesce_us\": %.0f,\n"
+        " \"rollbacks\": %lu,\n \"client_errors\": %lu,\n"
+        " \"chaos_clients\": %d,\n \"chaos_faults\": %lu,\n"
+        " \"retries\": %lu,\n \"reconnects\": %lu,\n"
+        " \"stray_lines\": %lu,\n \"respawns\": %ld,\n"
+        " \"p99_chaos_us\": %.0f,\n \"recovery_p99_us\": %.0f\n",
+        base_qps, load_qps, speedup, clients,
+        static_cast<unsigned long>(stats.requests),
+        static_cast<unsigned long>(p99_us),
+        static_cast<unsigned long>(p99_limit_us), kCoalesceUs,
+        static_cast<unsigned long>(canary.rollbacks),
+        static_cast<unsigned long>(rollback_errors), chaos_clients,
+        static_cast<unsigned long>(injected),
+        static_cast<unsigned long>(retries),
+        static_cast<unsigned long>(reconnects),
+        static_cast<unsigned long>(stray_lines), sup_result.respawns,
+        p99_chaos_us, recovery_p99_us);
+    json += buf;
+    if (!bench::write_bench_json("BENCH_SERVING.json", json)) return 1;
+  }
 
   std::error_code ec;
   fs::remove_all(dir, ec);

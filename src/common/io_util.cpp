@@ -63,6 +63,14 @@ bool ignore_sigpipe() noexcept {
   return ::sigaction(SIGPIPE, &ignore, nullptr) == 0;
 }
 
+int timeout_ms_from_seconds(double seconds) noexcept {
+  if (!(seconds > 0.0)) return 0;
+  const double ms = seconds * 1000.0;
+  if (ms >= 2147483647.0) return 2147483647;
+  const int whole = static_cast<int>(ms);
+  return (static_cast<double>(whole) < ms) ? whole + 1 : whole;
+}
+
 bool wait_readable(int fd, int timeout_ms) noexcept {
   struct pollfd pfd {};
   pfd.fd = fd;

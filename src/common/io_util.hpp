@@ -55,4 +55,10 @@ bool ignore_sigpipe() noexcept;
 /// waits).
 bool wait_readable(int fd, int timeout_ms) noexcept;
 
+/// Convert a seconds budget to a wait_readable()/poll() timeout, rounding
+/// *up* to the next millisecond: a positive sub-millisecond budget must wait
+/// 1ms, because truncating to 0 turns the deadline loop into a busy poll.
+/// Non-positive (and NaN) budgets return 0; huge budgets clamp to INT_MAX.
+int timeout_ms_from_seconds(double seconds) noexcept;
+
 }  // namespace mf

@@ -97,6 +97,7 @@ void Coalescer::flush_loop() {
       ++stats_.budget_flushes;
     }
     stats_.batch_fill.record(take);
+    const auto flushed_at = std::chrono::steady_clock::now();
     lock.unlock();
     cv_space_.notify_all();
 
@@ -104,6 +105,13 @@ void Coalescer::flush_loop() {
     items.reserve(batch.size());
     for (const std::shared_ptr<Ticket>& ticket : batch) {
       items.push_back(std::move(ticket->item));
+      // Stamp the queue-wait and fill so traced requests can be reported
+      // per item without another trip through the coalescer lock.
+      items.back().queue_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              flushed_at - ticket->enqueued)
+              .count());
+      items.back().batch_size = static_cast<std::uint32_t>(take);
     }
     std::vector<BatchResult> results = fn_(items);
     MF_CHECK_MSG(results.size() == items.size(),

@@ -55,11 +55,17 @@ struct CoalescerOptions {
   std::size_t queue_capacity = 1024;
 };
 
-/// One request's slice of a flush.
+/// One request's slice of a flush. `trace` rides along from the request
+/// line; `queue_ns` and `batch_size` are stamped by the flush thread as the
+/// batch is assembled, so the batch function can record per-request metrics
+/// (the TRACE verb) without ever re-entering the coalescer.
 struct BatchItem {
   std::string client;
   std::string model;
   std::vector<double> row;
+  std::string trace;             ///< request's `id=` stamp; "" = untraced
+  std::uint64_t queue_ns = 0;    ///< time parked in the FIFO before flush
+  std::uint32_t batch_size = 0;  ///< rows in the flush this item rode in
 };
 
 struct BatchResult {

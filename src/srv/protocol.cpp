@@ -32,6 +32,13 @@ bool valid_identifier(std::string_view name) {
   return name.size() <= 128 && serializable_name(name);
 }
 
+/// Trace ids are freer than identifiers (the `<client>:<seq>` convention
+/// needs ':') but still bounded: non-empty, capped, and -- by construction
+/// of the tokenizer -- free of blanks and line terminators.
+bool valid_trace(std::string_view trace) {
+  return !trace.empty() && trace.size() <= kMaxTraceBytes;
+}
+
 std::optional<Request> fail(std::string* error, std::string reason) {
   if (error != nullptr) *error = std::move(reason);
   return std::nullopt;
@@ -40,12 +47,26 @@ std::optional<Request> fail(std::string* error, std::string reason) {
 }  // namespace
 
 std::optional<Request> parse_request(std::string_view line,
-                                     std::string* error) {
+                                     std::string* error,
+                                     std::string* trace) {
+  if (trace != nullptr) trace->clear();
   if (line.size() > kMaxLineBytes) return fail(error, "line too long");
-  const std::vector<std::string_view> tokens = tokenize(line);
+  std::vector<std::string_view> tokens = tokenize(line);
   if (tokens.empty()) return fail(error, "empty request");
 
   Request request;
+  // Optional leading `id=<trace>` stamp. It is peeled off before verb
+  // dispatch (so every verb accepts it) and surfaced via `trace` even when
+  // the rest of the line is malformed, so the ERR echo still correlates.
+  if (tokens.front().rfind("id=", 0) == 0) {
+    const std::string_view stamp = tokens.front().substr(3);
+    if (!valid_trace(stamp)) return fail(error, "bad trace id");
+    request.trace = std::string(stamp);
+    if (trace != nullptr) *trace = request.trace;
+    tokens.erase(tokens.begin());
+    if (tokens.empty()) return fail(error, "empty request");
+  }
+
   const std::string_view verb = tokens.front();
   if (verb == "PING") {
     if (tokens.size() != 1) return fail(error, "PING takes no arguments");
@@ -62,6 +83,13 @@ std::optional<Request> parse_request(std::string_view line,
     if (!valid_identifier(tokens[1])) return fail(error, "bad model name");
     request.verb = ReqVerb::Info;
     request.model = std::string(tokens[1]);
+    return request;
+  }
+  if (verb == "TRACE") {
+    if (tokens.size() != 2) return fail(error, "usage: TRACE <id>");
+    if (!valid_trace(tokens[1])) return fail(error, "bad trace id");
+    request.verb = ReqVerb::Trace;
+    request.query = std::string(tokens[1]);
     return request;
   }
   if (verb == "ESTIMATE") {
@@ -92,34 +120,56 @@ std::optional<Request> parse_request(std::string_view line,
 }
 
 std::optional<std::string> pop_line(std::string& buffer) {
-  const std::size_t nl = buffer.find('\n');
-  if (nl == std::string::npos) return std::nullopt;
-  std::size_t end = nl;
-  if (end > 0 && buffer[end - 1] == '\r') --end;
-  std::string line = buffer.substr(0, end);
-  buffer.erase(0, nl + 1);
+  const std::size_t term = buffer.find_first_of("\r\n");
+  if (term == std::string::npos) return std::nullopt;
+  std::size_t skip = 1;
+  if (buffer[term] == '\r') {
+    // A '\r' as the final buffered byte is ambiguous: the '\n' half of a
+    // CRLF may still be in flight. Wait for the next byte -- consuming the
+    // '\r' now would emit a spurious empty line when the '\n' arrives.
+    if (term + 1 == buffer.size()) return std::nullopt;
+    if (buffer[term + 1] == '\n') skip = 2;
+  }
+  std::string line = buffer.substr(0, term);
+  buffer.erase(0, term + skip);
   return line;
 }
 
-std::string format_ok(std::string_view payload) {
+namespace {
+
+/// Shared tail for the format functions: trace echo, then terminator.
+void finish_response(std::string& out, std::string_view trace) {
+  if (!trace.empty()) {
+    out += " id=";
+    out += trace;
+  }
+  out += '\n';
+}
+
+}  // namespace
+
+std::string format_ok(std::string_view payload, std::string_view trace) {
   std::string out = "OK";
   if (!payload.empty()) {
     out += ' ';
     out += payload;
   }
-  out += '\n';
+  finish_response(out, trace);
   return out;
 }
 
-std::string format_ok_cf(double cf) { return format_ok(format_double(cf)); }
+std::string format_ok_cf(double cf, std::string_view trace) {
+  return format_ok(format_double(cf), trace);
+}
 
-std::string format_err(int code, std::string_view reason) {
+std::string format_err(int code, std::string_view reason,
+                       std::string_view trace) {
   std::string out = "ERR " + std::to_string(code);
   if (!reason.empty()) {
     out += ' ';
     out += reason;
   }
-  out += '\n';
+  finish_response(out, trace);
   return out;
 }
 
@@ -128,7 +178,40 @@ std::optional<double> parse_ok_cf(std::string_view line) {
     line.remove_suffix(1);
   }
   if (line.rfind("OK ", 0) != 0) return std::nullopt;
-  return parse_double_text(line.substr(3));
+  std::string_view payload = line.substr(3);
+  const std::size_t space = payload.find(' ');
+  if (space != std::string_view::npos) {
+    // The only thing allowed after the CF payload is the trace echo.
+    if (payload.substr(space + 1).rfind("id=", 0) != 0) return std::nullopt;
+    payload = payload.substr(0, space);
+  }
+  return parse_double_text(payload);
+}
+
+std::string_view response_trace(std::string_view line) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  const std::size_t space = line.rfind(' ');
+  if (space == std::string_view::npos) return {};
+  const std::string_view tail = line.substr(space + 1);
+  if (tail.rfind("id=", 0) != 0) return {};
+  return tail.substr(3);
+}
+
+int response_code(std::string_view response) {
+  while (!response.empty() &&
+         (response.back() == '\n' || response.back() == '\r')) {
+    response.remove_suffix(1);
+  }
+  if (response.rfind("OK", 0) == 0) return 0;
+  if (response.rfind("ERR ", 0) != 0) return kErrInternal;
+  std::string_view tail = response.substr(4);
+  const std::size_t space = tail.find(' ');
+  if (space != std::string_view::npos) tail = tail.substr(0, space);
+  const std::optional<double> code = parse_double_text(tail);
+  if (!code) return kErrInternal;
+  return static_cast<int>(*code);
 }
 
 }  // namespace mf

@@ -4,21 +4,32 @@
 // Line-delimited text over a byte stream (Unix-domain socket or a stdio
 // pipe); one request line, one response line, answered in request order per
 // connection. Grammar (fields separated by runs of spaces/tabs, lines
-// terminated by '\n', a trailing '\r' is tolerated):
+// terminated by '\n', '\r\n', or a bare '\r'):
 //
-//   ESTIMATE <client> <model> <f1> ... <fN>   predict one CF for a feature
+//   [id=<trace>] ESTIMATE <client> <model> <f1> ... <fN>
+//                                             predict one CF for a feature
 //                                             row of the model's width
-//   INFO <model>                              what the name currently serves
-//   STATS                                     one-line metrics dump
-//   PING                                      liveness probe
+//   [id=<trace>] INFO <model>                 what the name currently serves
+//   [id=<trace>] STATS                        one-line metrics dump
+//   [id=<trace>] PING                         liveness probe
+//   [id=<trace>] TRACE <id>                   per-request metrics for a
+//                                             previously traced ESTIMATE
+//
+// The optional leading `id=<trace>` token is the request-tracing hook
+// (DESIGN.md section 14): clients stamp a monotonic `<client>:<seq>` token,
+// the server echoes it as a trailing ` id=<trace>` on the matching response
+// line, and the coalescer threads it through batches so `TRACE <id>`
+// reports queue-wait / batch-size / predict-latency for that request.
+// Requests without an id produce responses byte-identical to the untraced
+// protocol -- the quiet path never pays for tracing.
 //
 // Responses:
 //
-//   OK <payload>                              e.g. `OK 1.375` for ESTIMATE,
+//   OK <payload>[ id=<trace>]                 e.g. `OK 1.375` for ESTIMATE,
 //                                             `k=v ...` pairs for STATS/INFO
-//   ERR <code> <reason...>                    HTTP-flavoured codes:
+//   ERR <code> <reason...>[ id=<trace>]       HTTP-flavoured codes:
 //     400  malformed request (unknown verb, bad float, wrong feature width)
-//     404  no usable bundle for the model
+//     404  no usable bundle for the model / no record for a TRACE id
 //     429  over quota -- shed by admission control, never queued
 //     500  internal failure (prediction error)
 //     503  shutting down / over capacity
@@ -37,13 +48,15 @@
 
 namespace mf {
 
-enum class ReqVerb { Estimate, Info, Stats, Ping };
+enum class ReqVerb { Estimate, Info, Stats, Ping, Trace };
 
 struct Request {
   ReqVerb verb = ReqVerb::Ping;
   std::string client;            ///< ESTIMATE only: quota + canary identity
   std::string model;             ///< ESTIMATE / INFO
   std::vector<double> features;  ///< ESTIMATE only
+  std::string trace;             ///< optional `id=` stamp on this request
+  std::string query;             ///< TRACE only: the id being looked up
 };
 
 inline constexpr int kErrBadRequest = 400;
@@ -57,23 +70,42 @@ inline constexpr int kErrShutdown = 503;
 inline constexpr std::size_t kMaxLineBytes = std::size_t{1} << 20;
 /// Hard cap on ESTIMATE feature counts (every real feature set is < 32).
 inline constexpr std::size_t kMaxFeatures = 256;
+/// Hard cap on one trace id (it ends up as a map key and in echo suffixes).
+inline constexpr std::size_t kMaxTraceBytes = 128;
 
-/// Parse one request line (without its '\n'). nullopt on malformed input
-/// with `error` set to the reason clients see in `ERR 400 <reason>`.
+/// Parse one request line (without its terminator). nullopt on malformed
+/// input with `error` set to the reason clients see in `ERR 400 <reason>`.
+/// When `trace` is non-null it receives the line's `id=` token even on a
+/// parse failure, so the error response can still be correlated.
 std::optional<Request> parse_request(std::string_view line,
-                                     std::string* error);
+                                     std::string* error,
+                                     std::string* trace = nullptr);
 
-/// Pop the next complete '\n'-terminated line off the front of `buffer`
-/// (stripping the terminator and an optional preceding '\r'); nullopt when
-/// no full line is buffered yet.
+/// Pop the next complete line off the front of `buffer`. '\n', '\r\n', and
+/// a bare '\r' all terminate a line (the terminator is consumed, never
+/// returned). A '\r' that is the final buffered byte is NOT popped yet: the
+/// '\n' half of a CRLF may still be in flight, and popping early would turn
+/// one line into a line plus a spurious empty line -- this is what keeps
+/// byte-at-a-time delivery lossless. nullopt when no full line is buffered.
 std::optional<std::string> pop_line(std::string& buffer);
 
-std::string format_ok(std::string_view payload);
-std::string format_ok_cf(double cf);
-std::string format_err(int code, std::string_view reason);
+/// Format a response line. A non-empty `trace` appends the ` id=<trace>`
+/// echo; the empty default emits bytes identical to the untraced protocol.
+std::string format_ok(std::string_view payload, std::string_view trace = {});
+std::string format_ok_cf(double cf, std::string_view trace = {});
+std::string format_err(int code, std::string_view reason,
+                       std::string_view trace = {});
 
-/// Parse `OK <cf>` back into the exact double (client side of the
-/// bit-identity contract); nullopt for ERR lines or malformed payloads.
+/// Parse `OK <cf>[ id=<trace>]` back into the exact double (client side of
+/// the bit-identity contract); nullopt for ERR lines or malformed payloads.
 std::optional<double> parse_ok_cf(std::string_view line);
+
+/// The `id=` token echoed at the end of a response line; empty for an
+/// untraced response.
+std::string_view response_trace(std::string_view line);
+
+/// Protocol code of a response line: 0 for OK, the ERR code otherwise
+/// (a malformed ERR line reads as 500).
+int response_code(std::string_view response);
 
 }  // namespace mf

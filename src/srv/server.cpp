@@ -35,28 +35,15 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
 
 std::string errno_text() { return std::strerror(errno); }
 
-/// Protocol code of a formatted response line: 0 for OK, the ERR code
-/// otherwise (the response string is the single source of truth for what
-/// the client was told).
-int response_code(const std::string& response) {
-  if (response.rfind("ERR ", 0) != 0) return 0;
-  const std::size_t end = response.find(' ', 4);
-  const std::string_view code(response.data() + 4,
-                              (end == std::string::npos ? response.size()
-                                                        : end) -
-                                  4);
-  return parse_number<int>(code).value_or(kErrInternal);
-}
-
 }  // namespace
 
 std::optional<std::string> server_options_error(const ServerOptions& o) {
   if (o.registry_dir.empty()) return "registry directory must not be empty";
-  const bool socket_mode = !o.socket_path.empty();
+  const bool socket_mode = !o.socket_path.empty() || o.listen_fd >= 0;
   if (socket_mode == o.stdio) {
     return "choose exactly one of --socket PATH and --stdio";
   }
-  if (socket_mode &&
+  if (!o.socket_path.empty() &&
       o.socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
     return "socket path too long for sockaddr_un";
   }
@@ -152,18 +139,19 @@ int EstimatorServer::run_stdio() {
   return cancelled() ? 130 : 0;
 }
 
-int EstimatorServer::run_socket() {
-  ignore_sigpipe();
+int bind_unix_listener(const std::string& path, std::string* error) {
+  const auto fail = [&](std::string reason) {
+    if (error != nullptr) *error = std::move(reason);
+    return -1;
+  };
+  if (path.empty() || path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return fail("socket path empty or too long for sockaddr_un");
+  }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
-              options_.socket_path.size() + 1);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    last_error_ = "socket(): " + errno_text();
-    return 2;
-  }
+  if (listen_fd < 0) return fail("socket(): " + errno_text());
   int rc = ::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
                   sizeof addr);
   if (rc != 0 && errno == EADDRINUSE) {
@@ -178,26 +166,39 @@ int EstimatorServer::run_socket() {
     if (probe >= 0) ::close(probe);
     if (live) {
       ::close(listen_fd);
-      std::lock_guard<std::mutex> lock(mutex_);
-      last_error_ = "address already in use: " + options_.socket_path;
-      return 2;
+      return fail("address already in use: " + path);
     }
-    ::unlink(options_.socket_path.c_str());
+    ::unlink(path.c_str());
     rc = ::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof addr);
   }
   if (rc != 0) {
     ::close(listen_fd);
-    std::lock_guard<std::mutex> lock(mutex_);
-    last_error_ = "bind(" + options_.socket_path + "): " + errno_text();
-    return 2;
+    return fail("bind(" + path + "): " + errno_text());
   }
   if (::listen(listen_fd, 64) != 0) {
     ::close(listen_fd);
-    ::unlink(options_.socket_path.c_str());
-    std::lock_guard<std::mutex> lock(mutex_);
-    last_error_ = "listen(" + options_.socket_path + "): " + errno_text();
-    return 2;
+    ::unlink(path.c_str());
+    return fail("listen(" + path + "): " + errno_text());
+  }
+  return listen_fd;
+}
+
+int EstimatorServer::run_socket() {
+  ignore_sigpipe();
+  // Either this daemon owns the listener lifecycle (bind here, unlink at
+  // exit) or a supervisor handed one down and keeps the socket file alive
+  // across respawns.
+  const bool owns_listener = options_.listen_fd < 0;
+  int listen_fd = options_.listen_fd;
+  if (owns_listener) {
+    std::string error;
+    listen_fd = bind_unix_listener(options_.socket_path, &error);
+    if (listen_fd < 0) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      last_error_ = std::move(error);
+      return 2;
+    }
   }
 
   int exit_code = 0;
@@ -239,7 +240,7 @@ int EstimatorServer::run_socket() {
     }).detach();
   }
   ::close(listen_fd);
-  ::unlink(options_.socket_path.c_str());
+  if (owns_listener) ::unlink(options_.socket_path.c_str());
   {
     std::unique_lock<std::mutex> lock(conn_mutex_);
     conn_cv_.wait(lock, [this] { return active_connections_ == 0; });
@@ -290,15 +291,15 @@ void EstimatorServer::handle_line(const std::string& line,
   Slot slot;
   slot.start = std::chrono::steady_clock::now();
   std::string error;
-  std::optional<Request> request = parse_request(line, &error);
+  std::optional<Request> request = parse_request(line, &error, &slot.trace);
   if (!request) {
-    slot.ready = format_err(kErrBadRequest, error);
+    slot.ready = format_err(kErrBadRequest, error, slot.trace);
     slots.push_back(std::move(slot));
     return;
   }
   switch (request->verb) {
     case ReqVerb::Ping:
-      slot.ready = format_ok("pong");
+      slot.ready = format_ok("pong", slot.trace);
       break;
     case ReqVerb::Stats:
       slot.is_stats = true;
@@ -306,22 +307,32 @@ void EstimatorServer::handle_line(const std::string& line,
     case ReqVerb::Info:
       slot.ready = handle_info(*request);
       break;
+    case ReqVerb::Trace:
+      slot.is_trace = true;
+      slot.query = std::move(request->query);
+      break;
     case ReqVerb::Estimate: {
       slot.is_estimate = true;
       if (cancelled()) {
-        slot.ready = format_err(kErrShutdown, "shutting down");
+        slot.ready = format_err(kErrShutdown, "shutting down", slot.trace);
         break;
       }
       // Admission control before the queue: an over-quota request is shed
       // here and never costs anybody else's batch a slot.
       if (!quota_.try_acquire(request->client, steady_now_ns())) {
         slot.ready = format_err(
-            kErrOverQuota, "client '" + request->client + "' over quota");
+            kErrOverQuota, "client '" + request->client + "' over quota",
+            slot.trace);
         break;
+      }
+      if (!slot.trace.empty()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.traced;
       }
       slot.ticket = coalescer_->submit({std::move(request->client),
                                         std::move(request->model),
-                                        std::move(request->features)});
+                                        std::move(request->features),
+                                        slot.trace});
       break;
     }
   }
@@ -333,10 +344,12 @@ void EstimatorServer::settle(std::vector<Slot>& slots, std::string& out) {
     std::string response;
     if (slot.ticket != nullptr) {
       const BatchResult result = coalescer_->wait(slot.ticket);
-      response = result.ok ? format_ok_cf(result.value)
-                           : format_err(result.code, result.reason);
+      response = result.ok ? format_ok_cf(result.value, slot.trace)
+                           : format_err(result.code, result.reason, slot.trace);
     } else if (slot.is_stats) {
-      response = format_ok(stats_payload());
+      response = format_ok(stats_payload(), slot.trace);
+    } else if (slot.is_trace) {
+      response = handle_trace(slot.query, slot.trace);
     } else {
       response = std::move(slot.ready);
     }
@@ -402,6 +415,7 @@ std::vector<BatchResult> EstimatorServer::flush_batch(
     if (version == 0) {
       results[i] = {false, 0.0, kErrNoModel,
                     "no usable bundle for '" + item.model + "'"};
+      record_trace(item, 0, kErrNoModel);
       continue;
     }
     const auto key = std::make_pair(item.model, version);
@@ -431,19 +445,23 @@ std::vector<BatchResult> EstimatorServer::flush_batch(
         results[i] = {false, 0.0, kErrBadRequest,
                       "expected " + std::to_string(width) + " features for '" +
                           group.model + "'"};
+        record_trace(items[i], 0, kErrBadRequest);
         continue;
       }
       keep.push_back(i);
       rows.push_back(items[i].row);
     }
     if (keep.empty()) continue;
+    const auto predict_start = std::chrono::steady_clock::now();
     std::optional<std::vector<double>> out;
     if (bundle != nullptr) {
       out = service_.predict_rows(group.model, rows, group.version);
     }
     if (out) {
+      const std::uint64_t predict_ns = elapsed_ns(predict_start);
       for (std::size_t j = 0; j < keep.size(); ++j) {
         results[keep[j]] = {true, (*out)[j], 0, {}};
+        record_trace(items[keep[j]], predict_ns, 0);
       }
       if (group.canary) note_canary(group.model, keep.size(), true);
       continue;
@@ -452,6 +470,7 @@ std::vector<BatchResult> EstimatorServer::flush_batch(
       for (const std::size_t i : keep) {
         results[i] = {false, 0.0, kErrNoModel,
                       "no usable bundle for '" + group.model + "'"};
+        record_trace(items[i], 0, kErrNoModel);
       }
       continue;
     }
@@ -469,12 +488,15 @@ std::vector<BatchResult> EstimatorServer::flush_batch(
     if (stable != 0) {
       fallback = service_.predict_rows(group.model, rows, stable);
     }
+    const std::uint64_t predict_ns = elapsed_ns(predict_start);
     for (std::size_t j = 0; j < keep.size(); ++j) {
       if (fallback) {
         results[keep[j]] = {true, (*fallback)[j], 0, {}};
+        record_trace(items[keep[j]], predict_ns, 0);
       } else {
         results[keep[j]] = {false, 0.0, kErrNoModel,
                             "no usable bundle for '" + group.model + "'"};
+        record_trace(items[keep[j]], predict_ns, kErrNoModel);
       }
     }
   }
@@ -573,7 +595,8 @@ std::string EstimatorServer::handle_info(const Request& request) {
       stable != 0 ? service_.bundle(request.model, stable) : nullptr;
   if (bundle == nullptr) {
     return format_err(kErrNoModel,
-                      "no usable bundle for '" + request.model + "'");
+                      "no usable bundle for '" + request.model + "'",
+                      request.trace);
   }
   std::string payload = "model=" + request.model;
   payload += " stable=v" + std::to_string(stable);
@@ -584,7 +607,54 @@ std::string EstimatorServer::handle_info(const Request& request) {
       " features=" + std::string(to_string(bundle->estimator.features()));
   payload += " width=" +
              std::to_string(feature_names(bundle->estimator.features()).size());
-  return format_ok(payload);
+  return format_ok(payload, request.trace);
+}
+
+std::string EstimatorServer::handle_trace(const std::string& query,
+                                          const std::string& trace) {
+  std::optional<TraceRecord> record;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = traces_.find(query);
+    if (it != traces_.end()) record = it->second;
+  }
+  if (!record) {
+    return format_err(kErrNoModel, "no trace for '" + query + "'", trace);
+  }
+  std::string payload = "id=" + query;
+  payload += " queue_us=" + std::to_string(record->queue_us);
+  payload += " batch=" + std::to_string(record->batch);
+  payload += " predict_us=" + std::to_string(record->predict_us);
+  payload += record->code == 0
+                 ? std::string(" verdict=ok")
+                 : " verdict=err" + std::to_string(record->code);
+  return format_ok(payload, trace);
+}
+
+void EstimatorServer::record_trace(const BatchItem& item,
+                                   std::uint64_t predict_ns, int code) {
+  if (item.trace.empty()) return;
+  TraceRecord record;
+  record.queue_us = item.queue_ns / 1000;
+  record.batch = item.batch_size;
+  record.predict_us = predict_ns / 1000;
+  record.code = code;
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.trace_queue_ns.record(item.queue_ns);
+  stats_.trace_batch.record(item.batch_size);
+  stats_.trace_predict_ns.record(predict_ns);
+  // A retried request re-uses its id (idempotent retry); latest wins and
+  // the FIFO keeps the original eviction slot.
+  const auto [it, inserted] = traces_.insert_or_assign(item.trace, record);
+  (void)it;
+  if (inserted) {
+    trace_order_.push_back(item.trace);
+    if (trace_order_.size() > kTraceCapacity) {
+      traces_.erase(trace_order_.front());
+      trace_order_.pop_front();
+      ++stats_.trace_evicted;
+    }
+  }
 }
 
 EstimatorServer::StatsView EstimatorServer::collect_stats() {
@@ -652,6 +722,16 @@ std::string EstimatorServer::stats_payload() {
   add("canaries", v.canaries_started);
   add("promotions", v.promotions);
   add("rollbacks", v.rollbacks);
+  add("traced", v.server.traced);
+  add("trace_evicted", v.server.trace_evicted);
+  add("trace_queue_p50_us", v.server.trace_queue_ns.quantile_max(0.5) / 1000);
+  add("trace_queue_p99_us", v.server.trace_queue_ns.quantile_max(0.99) / 1000);
+  add("trace_batch_p50", v.server.trace_batch.quantile_max(0.5));
+  add("trace_batch_p99", v.server.trace_batch.quantile_max(0.99));
+  add("trace_predict_p50_us",
+      v.server.trace_predict_ns.quantile_max(0.5) / 1000);
+  add("trace_predict_p99_us",
+      v.server.trace_predict_ns.quantile_max(0.99) / 1000);
   return out;
 }
 
@@ -699,7 +779,19 @@ std::string EstimatorServer::stats_json() {
   add_u64("models", v.models);
   add_u64("canaries", v.canaries_started);
   add_u64("promotions", v.promotions);
-  add_u64("rollbacks", v.rollbacks, /*last=*/true);
+  add_u64("rollbacks", v.rollbacks);
+  add_u64("traced", v.server.traced);
+  add_u64("trace_evicted", v.server.trace_evicted);
+  add_u64("trace_queue_p50_us",
+          v.server.trace_queue_ns.quantile_max(0.5) / 1000);
+  add_u64("trace_queue_p99_us",
+          v.server.trace_queue_ns.quantile_max(0.99) / 1000);
+  add_u64("trace_batch_p50", v.server.trace_batch.quantile_max(0.5));
+  add_u64("trace_batch_p99", v.server.trace_batch.quantile_max(0.99));
+  add_u64("trace_predict_p50_us",
+          v.server.trace_predict_ns.quantile_max(0.5) / 1000);
+  add_u64("trace_predict_p99_us",
+          v.server.trace_predict_ns.quantile_max(0.99) / 1000, /*last=*/true);
   json += "}\n";
   return json;
 }

@@ -31,6 +31,7 @@
 // replaced.
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -54,6 +55,12 @@ struct ServerOptions {
   std::string registry_dir = "macroflow-models";
   /// Unix-domain socket path (socket mode). Mutually exclusive with stdio.
   std::string socket_path;
+  /// Already-listening descriptor inherited from a supervisor (socket
+  /// handoff, DESIGN.md section 14). >= 0 selects socket mode, skips
+  /// bind/listen, and leaves the socket file alone at shutdown -- the
+  /// supervisor owns it, which is what lets clients park in the listen
+  /// backlog while a crashed daemon respawns.
+  int listen_fd = -1;
   /// Serve stdin/stdout as one connection, exit 0 on EOF (test/pipe mode).
   bool stdio = false;
   /// Prediction threads inside the service (same 0/1 semantics as --jobs).
@@ -78,6 +85,13 @@ struct ServerOptions {
 /// constructor MF_CHECKs the same predicate.
 std::optional<std::string> server_options_error(const ServerOptions& options);
 
+/// Create, bind, and listen a Unix-domain stream socket at `path`. A stale
+/// socket file from a dead daemon (probe connect refused) is silently
+/// replaced; a *live* listener is a hard conflict. Returns the listening
+/// descriptor, or -1 with `*error` describing the failure. Shared by the
+/// daemon's own listener setup and the supervisor's socket handoff.
+int bind_unix_listener(const std::string& path, std::string* error);
+
 /// Daemon-level counters (service/coalescer/quota keep their own).
 struct ServerStats {
   std::uint64_t connections = 0;      ///< accepted (socket) / streams served
@@ -89,8 +103,14 @@ struct ServerStats {
   std::uint64_t err_internal = 0;     ///< 500
   std::uint64_t err_shutdown = 0;     ///< 503
   std::uint64_t reload_scans = 0;
+  std::uint64_t traced = 0;         ///< ESTIMATEs that carried an id= stamp
+  std::uint64_t trace_evicted = 0;  ///< records dropped by the FIFO cap
   /// End-to-end ESTIMATE latency (parse -> response ready), ns.
   Log2Histogram request_ns;
+  /// Per-traced-request breakdown (what TRACE <id> reports, aggregated).
+  Log2Histogram trace_queue_ns;    ///< coalescer queue wait
+  Log2Histogram trace_batch;       ///< flush fill the request rode in
+  Log2Histogram trace_predict_ns;  ///< its flush group's predict latency
 };
 
 class EstimatorServer {
@@ -137,6 +157,20 @@ class EstimatorServer {
     /// the connection has resolved, so a pipelined STATS sees its own
     /// prologue reflected in the counters.
     bool is_stats = false;
+    /// TRACE is likewise rendered at settle time, so `ESTIMATE ... id=x`
+    /// followed by `TRACE x` on the same pipelined connection finds the
+    /// record its predecessor just wrote.
+    bool is_trace = false;
+    std::string query;  ///< TRACE operand
+    std::string trace;  ///< this request's id= stamp, echoed on the answer
+  };
+
+  /// What TRACE <id> reports for one completed traced ESTIMATE.
+  struct TraceRecord {
+    std::uint64_t queue_us = 0;
+    std::uint32_t batch = 0;
+    std::uint64_t predict_us = 0;
+    int code = 0;  ///< 0 = served OK, otherwise the protocol ERR code
   };
 
   /// Everything the STATS verb / JSON snapshot reports, gathered under one
@@ -159,6 +193,10 @@ class EstimatorServer {
   void maintenance_loop();
   void handle_line(const std::string& line, std::vector<Slot>& slots);
   std::string handle_info(const Request& request);
+  /// Render TRACE <query>'s response (settle-time, see Slot::is_trace).
+  std::string handle_trace(const std::string& query, const std::string& trace);
+  /// Store one traced request's outcome in the bounded FIFO trace store.
+  void record_trace(const BatchItem& item, std::uint64_t predict_ns, int code);
   /// Settle slots in order: wait for tickets, append response bytes to
   /// `out`, count outcomes.
   void settle(std::vector<Slot>& slots, std::string& out);
@@ -186,9 +224,15 @@ class EstimatorServer {
   ClientQuota quota_;
   std::unique_ptr<Coalescer> coalescer_;
 
-  mutable std::mutex mutex_;  ///< stats_, models_, last_error_
+  mutable std::mutex mutex_;  ///< stats_, models_, last_error_, traces_
   std::map<std::string, CanaryController> models_;
   ServerStats stats_;
+  /// Bounded FIFO of completed traced requests: oldest records are evicted
+  /// at kTraceCapacity so an id-stamping client can never grow the daemon
+  /// without bound.
+  static constexpr std::size_t kTraceCapacity = 4096;
+  std::map<std::string, TraceRecord> traces_;
+  std::deque<std::string> trace_order_;
   std::string last_error_;
   std::chrono::steady_clock::time_point start_;
 

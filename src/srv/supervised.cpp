@@ -1,0 +1,295 @@
+#include "srv/supervised.hpp"
+
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/parse_num.hpp"
+#include "farm/supervisor.hpp"
+#include "srv/server.hpp"
+
+namespace mf {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration seconds_duration(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+void say(const SupervisedOptions& options, const char* fmt, ...) {
+  if (options.quiet) return;
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+}
+
+/// Whole heartbeat file as a string; "" when unreadable (treated as "no
+/// beat yet", not as a failure -- the file appears after the child's first
+/// snapshot interval).
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Signal the child's whole process group, falling back to the pid alone
+/// (same helper as the farm supervisor's signal topology).
+void signal_child(pid_t pid, int signo) {
+  if (::kill(-pid, signo) != 0) (void)::kill(pid, signo);
+}
+
+pid_t spawn_child(const SupervisedOptions& options, int listen_fd,
+                  std::string* error) {
+  const std::string exe =
+      options.child_exe.empty() ? self_executable_path() : options.child_exe;
+  if (exe.empty()) {
+    *error = "cannot resolve child executable";
+    return -1;
+  }
+  std::vector<std::string> args;
+  args.reserve(options.child_args.size() + 1);
+  args.push_back(exe);
+  for (const std::string& arg : options.child_args) {
+    args.push_back(arg == "{LISTEN_FD}" ? std::to_string(listen_fd) : arg);
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    *error = std::string("fork(): ") + std::strerror(errno);
+    return -1;
+  }
+  if (pid == 0) {
+    // Child: own process group (so teardown kills the whole subtree),
+    // SIGTERM on supervisor death, orphan guard, then exec. Only
+    // async-signal-safe calls between fork and exec.
+    (void)::setpgid(0, 0);
+    (void)::prctl(PR_SET_PDEATHSIG, SIGTERM);
+    if (::getppid() == 1) ::_exit(127);  // supervisor died before prctl took
+    ::execv(exe.c_str(), argv.data());
+    ::_exit(127);
+  }
+  // Both sides set the group so a kill(-pid) right after spawn cannot race
+  // the child's own setpgid.
+  (void)::setpgid(pid, pid);
+  return pid;
+}
+
+/// SIGTERM, wait out the grace window, SIGKILL, reap. Returns the child's
+/// wait status (0 when it was already gone).
+int tear_down(const SupervisedOptions& options, pid_t pid) {
+  signal_child(pid, SIGTERM);
+  const Clock::time_point kill_at =
+      Clock::now() + seconds_duration(options.grace_seconds);
+  bool escalated = false;
+  for (;;) {
+    int status = 0;
+    const pid_t got = ::waitpid(pid, &status, WNOHANG);
+    if (got == pid) return status;
+    if (got < 0 && errno != EINTR) return 0;
+    if (!escalated && Clock::now() >= kill_at) {
+      signal_child(pid, SIGKILL);
+      escalated = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace
+
+std::optional<std::string> supervised_options_error(
+    const SupervisedOptions& o) {
+  if (o.socket_path.empty()) return "supervised mode needs a socket path";
+  if (o.child_args.empty()) return "supervised child args must not be empty";
+  bool has_fd_slot = false;
+  for (const std::string& arg : o.child_args) {
+    if (arg == "{LISTEN_FD}") has_fd_slot = true;
+  }
+  if (!has_fd_slot) return "child args must carry a {LISTEN_FD} placeholder";
+  if (!(o.heartbeat_timeout_s > 0.0)) return "heartbeat timeout must be > 0";
+  if (!(o.backoff_base_ms > 0.0)) return "backoff base must be > 0 ms";
+  if (o.backoff_cap_ms < o.backoff_base_ms) {
+    return "backoff cap must be >= backoff base";
+  }
+  if (o.max_respawns < 0) return "max respawns must be >= 0";
+  if (!(o.grace_seconds >= 0.0)) return "grace must be >= 0 seconds";
+  if (!(o.poll_ms > 0.0)) return "poll must be > 0 ms";
+  return std::nullopt;
+}
+
+SupervisedResult run_supervised(const SupervisedOptions& options) {
+  SupervisedResult result;
+  if (const std::optional<std::string> bad =
+          supervised_options_error(options)) {
+    result.error = *bad;
+    return result;
+  }
+  std::string error;
+  const int listen_fd = bind_unix_listener(options.socket_path, &error);
+  if (listen_fd < 0) {
+    result.error = error;
+    return result;
+  }
+
+  const auto cancelled = [&] {
+    return options.cancel != nullptr && options.cancel->cancelled();
+  };
+  const auto backoff = [&](int attempt) {
+    const double ms = std::min(
+        options.backoff_cap_ms,
+        options.backoff_base_ms * std::ldexp(1.0, std::min(attempt, 20)));
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(ms));
+  };
+
+  pid_t child = -1;
+  int crash_count = 0;
+  Clock::time_point respawn_at = Clock::now();
+  std::string last_beat;
+  Clock::time_point beat_seen = Clock::now();
+  const Clock::duration beat_budget =
+      seconds_duration(options.heartbeat_timeout_s);
+
+  for (;;) {
+    if (cancelled()) {
+      if (child > 0) (void)tear_down(options, child);
+      ::close(listen_fd);
+      ::unlink(options.socket_path.c_str());
+      result.exit_code = 130;
+      return result;
+    }
+
+    if (child <= 0 && Clock::now() >= respawn_at) {
+      child = spawn_child(options, listen_fd, &error);
+      if (child < 0) {
+        // fork/exe failure counts against the same budget as a crash.
+        ++crash_count;
+        if (crash_count > options.max_respawns) {
+          ::close(listen_fd);
+          ::unlink(options.socket_path.c_str());
+          result.error = "spawn failed: " + error;
+          result.exit_code = 2;
+          return result;
+        }
+        respawn_at = Clock::now() + backoff(crash_count);
+      } else {
+        ++result.spawns;
+        if (result.spawns > 1) ++result.respawns;
+        last_beat = slurp(options.heartbeat_path);
+        beat_seen = Clock::now();
+        if (options.on_spawn) options.on_spawn(child);
+        say(options, "[serve] daemon generation %ld up (pid %d)\n",
+            result.spawns, static_cast<int>(child));
+      }
+    }
+
+    if (child > 0) {
+      int status = 0;
+      const pid_t got = ::waitpid(child, &status, WNOHANG);
+      if (got == child) {
+        const bool clean = WIFEXITED(status) && (WEXITSTATUS(status) == 0 ||
+                                                 WEXITSTATUS(status) == 130);
+        if (clean) {
+          // The daemon shut itself down on purpose (EOF / direct signal);
+          // mirror its code rather than second-guessing it.
+          ::close(listen_fd);
+          ::unlink(options.socket_path.c_str());
+          result.exit_code = WEXITSTATUS(status);
+          return result;
+        }
+        child = -1;
+        ++crash_count;
+        say(options, "[serve] daemon died (%s %d); respawn %d/%d\n",
+            WIFSIGNALED(status) ? "signal" : "exit",
+            WIFSIGNALED(status) ? WTERMSIG(status)
+                                : (WIFEXITED(status) ? WEXITSTATUS(status)
+                                                     : status),
+            crash_count,
+            options.max_respawns == INT_MAX ? -1 : options.max_respawns);
+        if (crash_count > options.max_respawns) {
+          ::close(listen_fd);
+          ::unlink(options.socket_path.c_str());
+          result.error = "daemon keeps dying; respawn budget exhausted";
+          result.exit_code = 2;
+          return result;
+        }
+        respawn_at = Clock::now() + backoff(crash_count);
+        continue;
+      }
+      if (!options.heartbeat_path.empty()) {
+        std::string beat = slurp(options.heartbeat_path);
+        if (!beat.empty() && beat != last_beat) {
+          last_beat = std::move(beat);
+          beat_seen = Clock::now();
+        } else if (Clock::now() - beat_seen > beat_budget) {
+          // Alive but wedged: content stopped changing. Kill hard; the
+          // reap branch above turns it into a respawn next poll.
+          say(options, "[serve] heartbeat stale for %.1fs; killing pid %d\n",
+              options.heartbeat_timeout_s, static_cast<int>(child));
+          signal_child(child, SIGKILL);
+          ++result.hung_kills;
+          beat_seen = Clock::now();  // deliver the kill once
+        }
+      }
+    }
+
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(options.poll_ms));
+  }
+}
+
+std::optional<int> maybe_run_serve_child(int argc, char** argv) {
+  if (argc < 2 || std::string_view(argv[1]) != "--serve-child") {
+    return std::nullopt;
+  }
+  if (argc != 5) {
+    std::fprintf(stderr,
+                 "usage: %s --serve-child <registry> <listen_fd> "
+                 "<stats_json>\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::optional<int> listen_fd = parse_number<int>(argv[3]);
+  if (!listen_fd || *listen_fd < 0) {
+    std::fprintf(stderr, "--serve-child: bad listen fd '%s'\n", argv[3]);
+    return 2;
+  }
+  static CancelToken cancel;
+  install_signal_cancel(&cancel);
+  ServerOptions options;
+  options.registry_dir = argv[2];
+  options.listen_fd = *listen_fd;
+  options.stats_json_path = argv[4];
+  // Test/bench child: tight knobs so hot reload and the heartbeat snapshot
+  // tick fast enough for campaigns to observe within seconds.
+  options.coalesce.coalesce_us = 200.0;
+  options.coalesce.max_batch = 32;
+  options.coalesce.queue_capacity = 128;
+  options.reload_poll_seconds = 0.05;
+  options.stats_interval_seconds = 0.05;
+  options.cancel = &cancel;
+  EstimatorServer server(std::move(options));
+  return server.run();
+}
+
+}  // namespace mf

@@ -184,6 +184,60 @@ else
   echo "ok: serve drained the in-flight request before exiting"
 fi
 
+# -- ping / supervised serve: the resilient-client verbs -------------------
+
+# 1 -- usage errors: ping without a socket, malformed deadline.
+expect 1 "ping without --socket" "$CLI" ping
+expect 1 "ping bad deadline value" \
+  "$CLI" ping --socket "$TMP/p.sock" --deadline-seconds nope
+
+# 2 -- a socket nobody listens on is unreachable within the deadline.
+expect 2 "ping dead socket" \
+  "$CLI" ping --socket "$TMP/no-daemon.sock" --deadline-seconds 0.3
+
+# 2 -- supervised mode needs a real socket, validated before any fork.
+expect 2 "supervised needs a socket" "$CLI" serve --stdio --supervised
+expect 2 "supervised rejects bad server flags" \
+  "$CLI" serve --socket "$TMP/sup.sock" --supervised \
+  --max-batch 64 --queue-capacity 4
+
+# 0/130 -- a live supervised daemon answers ping; SIGINT tears the whole
+# supervisor+child tree down with the cancelled status and removes the
+# socket file.
+"$CLI" serve --socket "$TMP/sup.sock" --registry "$TMP/serve-reg" \
+  --supervised 2>/dev/null &
+SUP_PID=$!
+PING_OK=1
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+  if "$CLI" ping --socket "$TMP/sup.sock" --deadline-seconds 1 \
+      > /dev/null 2>&1; then
+    PING_OK=0
+    break
+  fi
+  sleep 0.5
+done
+if [ "$PING_OK" -ne 0 ]; then
+  echo "FAIL: supervised daemon never answered ping" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: supervised daemon answers ping (exit 0)"
+fi
+kill -INT "$SUP_PID"
+wait "$SUP_PID"
+SUP_STATUS=$?
+if [ "$SUP_STATUS" -ne 130 ]; then
+  echo "FAIL: supervised SIGINT: expected exit 130, got $SUP_STATUS" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: supervised serve SIGINT (exit 130)"
+fi
+if [ -e "$TMP/sup.sock" ]; then
+  echo "FAIL: supervised serve left its socket file behind" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: supervised serve removed its socket at shutdown"
+fi
+
 # -- convert: text <-> binary migration obeys the same contract -------------
 
 # 1 -- usage errors: missing operands, unknown --to value.

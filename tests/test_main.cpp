@@ -1,17 +1,23 @@
-// Custom gtest main: the farm suites spawn worker *processes* by
-// re-executing the running binary with --farm-worker (see
-// src/farm/worker.hpp), so the test runner itself must answer that argv
-// before Google Test ever sees it. Ordinary test invocations fall through
-// unchanged.
+// Custom gtest main: the farm suites spawn worker *processes* and the
+// supervised-serve suites spawn daemon *children* by re-executing the
+// running binary with --farm-worker / --serve-child (see
+// src/farm/worker.hpp and src/srv/supervised.hpp), so the test runner
+// itself must answer those argv shapes before Google Test ever sees them.
+// Ordinary test invocations fall through unchanged.
 
 #include <gtest/gtest.h>
 
 #include <optional>
 
 #include "farm/worker.hpp"
+#include "srv/supervised.hpp"
 
 int main(int argc, char** argv) {
   if (const std::optional<int> code = mf::maybe_run_farm_worker(argc, argv)) {
+    return *code;
+  }
+  if (const std::optional<int> code =
+          mf::maybe_run_serve_child(argc, argv)) {
     return *code;
   }
   ::testing::InitGoogleTest(&argc, argv);

@@ -5,12 +5,15 @@
 // the hot-reload-under-traffic and canary rollback/promotion paths.
 
 #include <gtest/gtest.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <csignal>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <thread>
 
 #include "common/histogram.hpp"
@@ -19,10 +22,13 @@
 #include "common/rng.hpp"
 #include "serve/registry.hpp"
 #include "srv/canary.hpp"
+#include "srv/client.hpp"
 #include "srv/coalescer.hpp"
+#include "srv/net_chaos.hpp"
 #include "srv/protocol.hpp"
 #include "srv/quota.hpp"
 #include "srv/server.hpp"
+#include "srv/supervised.hpp"
 
 namespace mf {
 namespace {
@@ -221,6 +227,109 @@ TEST(SrvProtocol, PopLineSplitsBufferedStream) {
   EXPECT_TRUE(buffer.empty());
 }
 
+TEST(SrvProtocol, PopLineHandlesCrTerminators) {
+  // Bare-CR framing (old Mac / sloppy clients) terminates a line too.
+  std::string buffer = "PING\rSTATS\r\nINFO m\r";
+  std::optional<std::string> line = pop_line(buffer);
+  ASSERT_TRUE(line);
+  EXPECT_EQ(*line, "PING");
+  line = pop_line(buffer);
+  ASSERT_TRUE(line);
+  EXPECT_EQ(*line, "STATS");
+  // A CR as the final buffered byte could be the first half of a CRLF
+  // split across reads: it must stay buffered until the next byte decides.
+  EXPECT_FALSE(pop_line(buffer));
+  EXPECT_EQ(buffer, "INFO m\r");
+  buffer += "\nPING\n";
+  line = pop_line(buffer);
+  ASSERT_TRUE(line);
+  EXPECT_EQ(*line, "INFO m");  // the late LF completed one CRLF, not two
+  line = pop_line(buffer);
+  ASSERT_TRUE(line);
+  EXPECT_EQ(*line, "PING");
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(SrvProtocol, ByteAtATimeDeliveryIsLossless) {
+  // Fuzz-ish framing check: a stream of random non-empty lines with mixed
+  // terminators parses to the same lines whether it arrives in one read or
+  // one byte at a time (chunking can split any terminator anywhere).
+  Rng rng(0xF00D);
+  const char* terminators[] = {"\n", "\r\n", "\r"};
+  std::string stream;
+  std::vector<std::string> want;
+  for (int i = 0; i < 400; ++i) {
+    std::string text;
+    const int len = 1 + static_cast<int>(rng.uniform(0.0, 12.0));
+    for (int j = 0; j < len; ++j) {
+      text.push_back(static_cast<char>('a' + rng.uniform_int(0, 25)));
+    }
+    want.push_back(text);
+    stream += text;
+    stream += i + 1 == 400 ? "\n" : terminators[rng.uniform_int(0, 2)];
+  }
+  std::string bulk = stream;
+  std::vector<std::string> bulk_lines;
+  while (std::optional<std::string> line = pop_line(bulk)) {
+    bulk_lines.push_back(*line);
+  }
+  EXPECT_EQ(bulk_lines, want);
+  EXPECT_TRUE(bulk.empty());
+
+  std::string buffer;
+  std::vector<std::string> got;
+  for (const char byte : stream) {
+    buffer.push_back(byte);
+    while (std::optional<std::string> line = pop_line(buffer)) {
+      got.push_back(*line);
+    }
+  }
+  EXPECT_EQ(got, want);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(SrvProtocol, TraceIdRoundTrip) {
+  std::string error;
+  std::string trace;
+  const std::optional<Request> request =
+      parse_request("id=cli:7 ESTIMATE c m 1 2", &error, &trace);
+  ASSERT_TRUE(request) << error;
+  EXPECT_EQ(request->verb, ReqVerb::Estimate);
+  EXPECT_EQ(request->trace, "cli:7");
+  EXPECT_EQ(trace, "cli:7");
+  EXPECT_EQ(format_ok("pong", "cli:7"), "OK pong id=cli:7\n");
+  EXPECT_EQ(format_err(404, "nope", "cli:7"), "ERR 404 nope id=cli:7\n");
+  EXPECT_EQ(response_trace("OK pong id=cli:7\n"), "cli:7");
+  EXPECT_EQ(response_trace("OK pong"), "");
+  EXPECT_EQ(response_code("OK pong id=cli:7"), 0);
+  EXPECT_EQ(response_code("ERR 429 over quota id=cli:7"), 429);
+  // The CF bit-identity contract holds with the id echo attached.
+  const std::string line = format_ok_cf(1.0 / 3.0, "cli:9");
+  const std::optional<double> back = parse_ok_cf(line);
+  ASSERT_TRUE(back) << line;
+  EXPECT_EQ(*back, 1.0 / 3.0);
+  EXPECT_EQ(response_trace(line), "cli:9");
+  // TRACE lookups parse to the queried id.
+  const std::optional<Request> lookup = parse_request("TRACE cli:7", &error);
+  ASSERT_TRUE(lookup) << error;
+  EXPECT_EQ(lookup->verb, ReqVerb::Trace);
+  EXPECT_EQ(lookup->query, "cli:7");
+}
+
+TEST(SrvProtocol, RejectsBadTraceIdsAndKeepsQuietPathBytes) {
+  std::string error;
+  EXPECT_FALSE(parse_request("id= PING", &error));    // empty id
+  EXPECT_FALSE(parse_request("id=cli:1", &error));    // id with no verb
+  EXPECT_FALSE(parse_request("TRACE", &error));       // lookup needs an id
+  EXPECT_FALSE(parse_request("TRACE a b", &error));   // exactly one id
+  const std::string oversize(kMaxTraceBytes + 1, 'x');
+  EXPECT_FALSE(parse_request("id=" + oversize + " PING", &error));
+  // Untraced responses carry not a byte more than before tracing existed.
+  EXPECT_EQ(format_ok("pong"), "OK pong\n");
+  EXPECT_EQ(format_err(429, "over quota"), "ERR 429 over quota\n");
+  EXPECT_EQ(format_ok_cf(1.375), "OK 1.375\n");
+}
+
 TEST(SrvProtocol, CfFormatRoundTripsBitwise) {
   // The client-side half of the bit-identity contract: `OK <cf>` reparses
   // to the exact double for awkward values (shortest round-trip format).
@@ -308,6 +417,39 @@ TEST(SrvIoUtil, WaitReadableTimesOutAndWakes) {
   std::string out;
   EXPECT_EQ(read_some(fds[0], out), 1u);
   EXPECT_EQ(out, "x");
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(SrvIoUtil, WriteAllReportsEpipeAfterPeerClose) {
+  ASSERT_TRUE(ignore_sigpipe());
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[0]);
+  // The payload dwarfs the socket buffer, so even if an early chunk lands
+  // there the loop must surface EPIPE as false -- never spin or raise.
+  const std::string payload(1 << 20, 'x');
+  EXPECT_FALSE(write_all(fds[1], payload));
+  ::close(fds[1]);
+}
+
+TEST(SrvIoUtil, TimeoutRoundingAtSubMillisecondBudgets) {
+  // Deadline arithmetic can leave a remaining budget under one
+  // millisecond; poll() takes whole ms, and rounding *down* would turn the
+  // tail of every deadline into a 0 ms busy-poll loop. Round up, saturate.
+  EXPECT_EQ(timeout_ms_from_seconds(0.0), 0);
+  EXPECT_EQ(timeout_ms_from_seconds(-1.0), 0);
+  EXPECT_EQ(timeout_ms_from_seconds(1e-9), 1);
+  EXPECT_EQ(timeout_ms_from_seconds(0.0004), 1);
+  EXPECT_EQ(timeout_ms_from_seconds(0.001), 1);
+  EXPECT_EQ(timeout_ms_from_seconds(0.0011), 2);
+  EXPECT_EQ(timeout_ms_from_seconds(2.0), 2000);
+  EXPECT_EQ(timeout_ms_from_seconds(1e9), 2147483647);
+  // Behavioural check: a sub-ms wait still blocks (and times out) rather
+  // than degenerating into poll(0).
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  EXPECT_FALSE(wait_readable(fds[0], timeout_ms_from_seconds(2e-4)));
   ::close(fds[0]);
   ::close(fds[1]);
 }
@@ -789,6 +931,411 @@ TEST(SrvServer, CanaryServesPercentAndPromotes) {
   EXPECT_EQ(status.canary_version, 0);
   EXPECT_EQ(status.promotions, 1u);
   conn.finish();
+}
+
+// -- per-request tracing ----------------------------------------------------
+
+TEST(SrvTrace, TraceVerbReportsPerRequestMetrics) {
+  TempDir dir("trace");
+  ModelRegistry registry(dir.path());
+  const ModelBundle v1 = srv_bundle("m", 7);
+  ASSERT_TRUE(registry.put(v1));
+  EstimatorServer server(fast_server_options(dir.path()));
+  Conn conn(server);
+  const std::vector<double> row = srv_row(5);
+  const std::string want =
+      "OK " + format_double(v1.estimator.predict_row(row)) + " id=t:1";
+  EXPECT_EQ(conn.transact("id=t:1 " + estimate_line("c", "m", row)), want);
+  // TRACE of a served id reports its queue wait, flush fill, predict
+  // latency, and verdict.
+  const std::string traced = conn.transact("TRACE t:1\n");
+  EXPECT_EQ(traced.rfind("OK id=t:1 ", 0), 0u) << traced;
+  EXPECT_NE(traced.find("queue_us="), std::string::npos) << traced;
+  EXPECT_NE(traced.find("batch="), std::string::npos) << traced;
+  EXPECT_NE(traced.find("predict_us="), std::string::npos) << traced;
+  EXPECT_NE(traced.find("verdict=ok"), std::string::npos) << traced;
+  // Unknown ids are a 404 echoing the lookup; a traced PING echoes too.
+  EXPECT_EQ(conn.transact("TRACE nope:9\n").rfind("ERR 404", 0), 0u);
+  EXPECT_EQ(conn.transact("id=t:2 PING\n"), "OK pong id=t:2");
+  // Untraced requests keep the exact pre-tracing bytes.
+  EXPECT_EQ(conn.transact(estimate_line("c", "m", row)),
+            "OK " + format_double(v1.estimator.predict_row(row)));
+  conn.finish();
+  EXPECT_EQ(server.stats().traced, 1u);
+  EXPECT_EQ(server.stats().trace_evicted, 0u);
+}
+
+// -- network chaos shim -----------------------------------------------------
+
+TEST(SrvNetChaos, DrawsArePureAndBudgeted) {
+  NetChaosOptions options;
+  options.enabled = true;
+  options.seed = 42;
+  options.p_sever = 0.2;
+  options.p_stall = 0.2;
+  options.p_truncate = 0.2;
+  options.p_duplicate = 0.1;
+  options.p_garbage = 0.1;
+  options.max_faults = 5;
+  NetChaos a(options);
+  NetChaos b(options);
+  // draw() is a pure function of (conn, op, direction): identical across
+  // instances and across repeated calls (no hidden stream state).
+  int disruptive = 0;
+  for (int op = 0; op < 200; ++op) {
+    const NetChaos::Action act = a.draw(0, op, true);
+    EXPECT_EQ(act, b.draw(0, op, true));
+    EXPECT_EQ(act, a.draw(0, op, true));
+    if (act != NetChaos::Action::None && act != NetChaos::Action::Stall) {
+      ++disruptive;
+    }
+  }
+  EXPECT_GT(disruptive, 0);
+  // Op 0 never faults: the first exchange on a connection always works,
+  // so a campaign cannot wedge a client before its first send.
+  EXPECT_EQ(a.draw(0, 0, true), NetChaos::Action::None);
+  EXPECT_EQ(a.draw(7, 0, false), NetChaos::Action::None);
+  // tx and rx draw decorrelated streams.
+  bool differs = false;
+  for (int op = 1; op < 100; ++op) {
+    differs = differs || a.draw(2, op, true) != a.draw(2, op, false);
+  }
+  EXPECT_TRUE(differs);
+  // next() enforces the budget: after max_faults disruptive injections the
+  // shim degrades every further disruptive draw to None (termination).
+  int injected = 0;
+  for (int op = 0; op < 500; ++op) {
+    const NetChaos::Action act = a.next(1, op, false);
+    if (act != NetChaos::Action::None && act != NetChaos::Action::Stall) {
+      ++injected;
+    }
+  }
+  EXPECT_EQ(injected, options.max_faults);
+  EXPECT_EQ(a.faults_injected(), options.max_faults);
+  // Garbage lines are deterministic and can never be a valid response.
+  EXPECT_EQ(a.garbage_line(3, 9), b.garbage_line(3, 9));
+  EXPECT_EQ(a.garbage_line(3, 9).rfind("XCHAOS ", 0), 0u);
+  // A disabled shim is a strict no-op.
+  NetChaos off(NetChaosOptions{});
+  for (int op = 0; op < 100; ++op) {
+    EXPECT_EQ(off.next(0, op, true), NetChaos::Action::None);
+  }
+  EXPECT_EQ(off.faults_injected(), 0);
+}
+
+// -- resilient client -------------------------------------------------------
+
+/// A real socket-mode daemon on its own thread, for client tests.
+class SocketDaemon {
+ public:
+  explicit SocketDaemon(const std::string& registry_dir,
+                        const std::string& socket_path) {
+    ServerOptions options = fast_server_options(registry_dir);
+    options.stdio = false;
+    options.socket_path = socket_path;
+    options.cancel = &cancel_;
+    server_ = std::make_unique<EstimatorServer>(std::move(options));
+    thread_ = std::thread([this] { server_->run(); });
+  }
+  ~SocketDaemon() {
+    cancel_.cancel();
+    thread_.join();
+  }
+
+ private:
+  CancelToken cancel_;
+  std::unique_ptr<EstimatorServer> server_;
+  std::thread thread_;
+};
+
+TEST(SrvClient, OptionValidationFailsFast) {
+  ClientOptions options;
+  EXPECT_TRUE(client_options_error(options));  // no socket path
+  options.socket_path = "/tmp/x.sock";
+  EXPECT_FALSE(client_options_error(options));
+  ClientOptions chaos = options;
+  chaos.chaos.enabled = true;
+  chaos.chaos.p_garbage = 0.1;
+  chaos.trace = false;
+  // Untraced + duplicate/garbage chaos would deliver a stray line as some
+  // later request's answer: rejected up front, never a silent corruption.
+  EXPECT_TRUE(client_options_error(chaos));
+  chaos.trace = true;
+  EXPECT_FALSE(client_options_error(chaos));
+  ClientOptions sum = options;
+  sum.chaos.p_sever = 0.6;
+  sum.chaos.p_stall = 0.6;
+  EXPECT_TRUE(client_options_error(sum));  // probabilities sum over 1
+}
+
+TEST(SrvClient, RetriesThroughSeededChaos) {
+  TempDir dir("chaos_client");
+  ModelRegistry registry(dir.path());
+  const ModelBundle v1 = srv_bundle("m", 7);
+  ASSERT_TRUE(registry.put(v1));
+  const std::string socket_path = dir.path() + "/daemon.sock";
+  SocketDaemon daemon(dir.path(), socket_path);
+
+  ClientOptions copts;
+  copts.socket_path = socket_path;
+  copts.client_name = "chaos";
+  copts.connect_deadline_s = 10.0;
+  copts.request_deadline_s = 30.0;
+  copts.max_retries = 64;
+  copts.backoff_base_ms = 0.5;
+  copts.backoff_cap_ms = 5.0;
+  copts.chaos.enabled = true;
+  copts.chaos.seed = 7;
+  copts.chaos.p_sever = 0.08;
+  copts.chaos.p_stall = 0.05;
+  copts.chaos.p_truncate = 0.08;
+  copts.chaos.p_duplicate = 0.08;
+  copts.chaos.p_garbage = 0.08;
+  copts.chaos.stall_ms = 1.0;
+  ServeClient client(std::move(copts));
+  const std::vector<double> row = srv_row(5);
+  const double want = v1.estimator.predict_row(row);
+  for (int i = 0; i < 60; ++i) {
+    std::string error;
+    const std::optional<double> got = client.estimate("c", "m", row, &error);
+    ASSERT_TRUE(got) << "request " << i << ": " << error;
+    // The whole point: chaos may cost retries, never correctness.
+    EXPECT_EQ(*got, want);
+  }
+  const ClientStats& stats = client.stats();
+  EXPECT_EQ(stats.ok, 60u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_GT(stats.transport_faults, 0u);
+  EXPECT_GT(stats.stray_lines, 0u);  // duplicates/garbage were id-filtered
+  EXPECT_GT(stats.reconnects, 0u);
+  EXPECT_GT(client.chaos_faults(), 0);
+  client.close();
+}
+
+TEST(SrvClient, BreakerOpensAndRecovers) {
+  TempDir dir("breaker");
+  const std::string socket_path = dir.path() + "/daemon.sock";
+  ClientOptions copts;
+  copts.socket_path = socket_path;
+  copts.client_name = "brk";
+  copts.connect_deadline_s = 0.05;
+  copts.request_deadline_s = 0.1;
+  copts.max_retries = 0;
+  copts.breaker_threshold = 2;
+  copts.breaker_cooldown_s = 0.05;
+  ServeClient client(std::move(copts));
+  std::string error;
+  EXPECT_FALSE(client.ping(&error));  // no daemon yet: transport failure
+  EXPECT_FALSE(client.ping(&error));  // second consecutive failure opens it
+  EXPECT_EQ(client.stats().breaker_opens, 1u);
+  EXPECT_FALSE(client.ping(&error));  // within the cooldown: fail fast
+  EXPECT_GE(client.stats().breaker_fastfails, 1u);
+  EXPECT_EQ(error, "circuit breaker open");
+
+  // Bring a daemon up; once the cooldown passes, a half-open probe closes
+  // the breaker and normal service resumes.
+  ModelRegistry registry(dir.path());
+  ASSERT_TRUE(registry.put(srv_bundle("m", 7)));
+  SocketDaemon daemon(dir.path(), socket_path);
+  bool ok = false;
+  for (int i = 0; i < 100 && !ok; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    ok = client.ping(&error);
+  }
+  EXPECT_TRUE(ok) << error;
+  EXPECT_TRUE(client.ping(&error)) << error;  // breaker closed, stays closed
+  client.close();
+}
+
+// -- supervised self-healing daemon -----------------------------------------
+
+SupervisedOptions test_supervised_options(const std::string& registry_dir,
+                                          const std::string& socket_path,
+                                          const CancelToken* cancel) {
+  // The child is this very test binary re-executed through the
+  // --serve-child hook (answered in test_main.cpp before gtest runs).
+  SupervisedOptions sup;
+  sup.socket_path = socket_path;
+  sup.child_args = {"--serve-child", registry_dir, "{LISTEN_FD}",
+                    socket_path + ".stats.json"};
+  sup.heartbeat_path = socket_path + ".stats.json";
+  sup.heartbeat_timeout_s = 30.0;  // child exits drive respawn in tests
+  sup.backoff_base_ms = 10.0;
+  sup.backoff_cap_ms = 50.0;
+  sup.grace_seconds = 3.0;
+  sup.poll_ms = 5.0;
+  sup.quiet = true;
+  sup.cancel = cancel;
+  return sup;
+}
+
+TEST(SrvSupervised, OptionValidationFailsFast) {
+  SupervisedOptions sup;
+  EXPECT_TRUE(supervised_options_error(sup));  // no socket
+  sup.socket_path = "/tmp/x.sock";
+  EXPECT_TRUE(supervised_options_error(sup));  // no child args
+  sup.child_args = {"serve"};
+  EXPECT_TRUE(supervised_options_error(sup));  // no {LISTEN_FD} slot
+  sup.child_args = {"serve", "--listen-fd", "{LISTEN_FD}"};
+  EXPECT_FALSE(supervised_options_error(sup));
+  sup.max_respawns = -1;
+  EXPECT_TRUE(supervised_options_error(sup));
+}
+
+TEST(SrvSupervised, RespawnsKilledDaemonAndServes) {
+  TempDir dir("supervised");
+  ModelRegistry registry(dir.path());
+  const ModelBundle v1 = srv_bundle("m", 7);
+  ASSERT_TRUE(registry.put(v1));
+  const std::string socket_path = dir.path() + "/sup.sock";
+  CancelToken cancel;
+  SupervisedOptions sup =
+      test_supervised_options(dir.path(), socket_path, &cancel);
+  std::mutex mutex;
+  std::vector<pid_t> pids;
+  sup.on_spawn = [&](pid_t pid) {
+    std::lock_guard<std::mutex> lock(mutex);
+    pids.push_back(pid);
+  };
+  SupervisedResult result;
+  std::thread supervisor([&] { result = run_supervised(sup); });
+
+  ClientOptions copts;
+  copts.socket_path = socket_path;
+  copts.client_name = "sup";
+  copts.connect_deadline_s = 15.0;
+  copts.request_deadline_s = 30.0;
+  ServeClient client(std::move(copts));
+  const std::vector<double> row = srv_row(5);
+  const double want = v1.estimator.predict_row(row);
+  std::string error;
+  std::optional<double> got = client.estimate("c", "m", row, &error);
+  ASSERT_TRUE(got) << error;
+  EXPECT_EQ(*got, want);
+
+  pid_t first = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    ASSERT_FALSE(pids.empty());
+    first = pids.front();
+  }
+  ASSERT_EQ(::kill(first, SIGKILL), 0);
+  // The supervisor keeps the listener bound while it respawns, so the
+  // client's reconnect parks in the backlog and the retried answer is
+  // bit-identical -- a kill -9 costs a latency blip, nothing else.
+  got = client.estimate("c", "m", row, &error);
+  ASSERT_TRUE(got) << error;
+  EXPECT_EQ(*got, want);
+  EXPECT_GT(client.stats().reconnects + client.stats().retries, 0u);
+  client.close();
+
+  cancel.cancel();
+  supervisor.join();
+  EXPECT_EQ(result.exit_code, 130);
+  EXPECT_GE(result.spawns, 2);
+  EXPECT_GE(result.respawns, 1);
+  EXPECT_EQ(result.error, "");
+  // The supervisor unlinked its socket on the way out.
+  EXPECT_FALSE(fs::exists(socket_path));
+}
+
+// -- chaos campaign ---------------------------------------------------------
+
+TEST(SrvChaosCampaign, SixteenClientsBitIdenticalUnderChaos) {
+  TempDir dir("campaign");
+  ModelRegistry registry(dir.path());
+  const ModelBundle v1 = srv_bundle("m", 7);
+  ASSERT_TRUE(registry.put(v1));
+  const std::string socket_path = dir.path() + "/campaign.sock";
+  CancelToken cancel;
+  SupervisedOptions sup =
+      test_supervised_options(dir.path(), socket_path, &cancel);
+  std::atomic<pid_t> current_child{-1};
+  sup.on_spawn = [&](pid_t pid) { current_child.store(pid); };
+  SupervisedResult result;
+  std::thread supervisor([&] { result = run_supervised(sup); });
+
+  // 16 closed-loop clients, each under its own deterministically seeded
+  // chaos stream, while the daemon is SIGKILLed under load. Acceptance:
+  // zero wrong answers -- every delivered OK is bit-identical to the
+  // no-chaos prediction -- and zero gave-up requests.
+  constexpr int kClients = 16;
+  constexpr int kRequests = 25;
+  std::vector<ClientStats> stats(kClients);
+  std::vector<int> wrong(kClients, 0);
+  std::vector<int> gave_up(kClients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientOptions copts;
+      copts.socket_path = socket_path;
+      copts.client_name = "camp" + std::to_string(c);
+      copts.connect_deadline_s = 20.0;
+      copts.request_deadline_s = 60.0;
+      copts.max_retries = 200;
+      copts.backoff_base_ms = 1.0;
+      copts.backoff_cap_ms = 20.0;
+      copts.chaos.enabled = true;
+      copts.chaos.seed = task_seed(99, copts.client_name);
+      copts.chaos.p_sever = 0.05;
+      copts.chaos.p_truncate = 0.05;
+      copts.chaos.p_duplicate = 0.05;
+      copts.chaos.p_garbage = 0.05;
+      ServeClient client(std::move(copts));
+      for (int i = 0; i < kRequests; ++i) {
+        const std::vector<double> row =
+            srv_row(task_seed(static_cast<std::uint64_t>(c), "row") + i);
+        const double want = v1.estimator.predict_row(row);
+        std::string error;
+        const std::optional<double> got =
+            client.estimate("tenant", "m", row, &error);
+        if (!got) {
+          ++gave_up[c];
+        } else if (*got != want) {
+          ++wrong[c];
+        }
+      }
+      stats[c] = client.stats();
+    });
+  }
+
+  // Two daemon kills while the fleet is (very likely) mid-load; respawn is
+  // asserted regardless, because each SIGKILL lands on a live child pid.
+  for (int round = 0; round < 2; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    const pid_t pid = current_child.load();
+    if (pid > 0) (void)::kill(pid, SIGKILL);
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  std::uint64_t total_ok = 0;
+  std::uint64_t total_retries = 0;
+  std::uint64_t total_reconnects = 0;
+  std::uint64_t total_strays = 0;
+  int total_wrong = 0;
+  int total_gave_up = 0;
+  for (int c = 0; c < kClients; ++c) {
+    total_ok += stats[c].ok;
+    total_retries += stats[c].retries;
+    total_reconnects += stats[c].reconnects;
+    total_strays += stats[c].stray_lines;
+    total_wrong += wrong[c];
+    total_gave_up += gave_up[c];
+  }
+  EXPECT_EQ(total_wrong, 0);
+  EXPECT_EQ(total_gave_up, 0);
+  EXPECT_EQ(total_ok,
+            static_cast<std::uint64_t>(kClients) * kRequests);
+  EXPECT_GT(total_retries, 0u);
+  EXPECT_GT(total_reconnects, 0u);
+  EXPECT_GT(total_strays, 0u);
+
+  cancel.cancel();
+  supervisor.join();
+  EXPECT_EQ(result.exit_code, 130);
+  EXPECT_GE(result.respawns, 1);
 }
 
 }  // namespace

@@ -23,10 +23,18 @@
 //                                 the opposite of the source
 //   serve (--socket PATH | --stdio) [...]
 //                              -- long-running estimator serving daemon: a
-//                                 line protocol (ESTIMATE/INFO/STATS/PING)
-//                                 over a Unix socket or stdin/stdout, with
-//                                 cross-request batch coalescing, per-client
-//                                 quotas, hot reload, and canary rollout
+//                                 line protocol (ESTIMATE/INFO/STATS/PING/
+//                                 TRACE) over a Unix socket or stdin/stdout,
+//                                 with cross-request batch coalescing,
+//                                 per-client quotas, hot reload, canary
+//                                 rollout, and per-request trace ids; with
+//                                 --supervised a tiny supervisor owns the
+//                                 listening socket and respawns crashed or
+//                                 wedged daemon children, so a kill -9 under
+//                                 load costs clients only a retry
+//   ping --socket PATH         -- one resilient-client PING against a
+//                                 serving daemon (0 = pong, 2 = unreachable
+//                                 within --deadline-seconds)
 //   farm --dir DIR [...]       -- supervise a multi-process dataset farm:
 //                                 shard the sweep deterministically, spawn
 //                                 worker processes (this binary re-executed
@@ -44,12 +52,14 @@
 //          A first SIGINT cancels cooperatively (running work drains and
 //          checkpoints); a second hard-exits with the same status.
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/atomic_file.hpp"
 #include "common/binfile.hpp"
@@ -60,6 +70,7 @@
 #include "common/timer.hpp"
 #include "core/cf_search.hpp"
 #include "core/estimator.hpp"
+#include "core/features.hpp"
 #include "fabric/catalog.hpp"
 #include "farm/supervisor.hpp"
 #include "farm/worker.hpp"
@@ -72,7 +83,9 @@
 #include "serve/registry.hpp"
 #include "serve/service.hpp"
 #include "serve/trainer.hpp"
+#include "srv/client.hpp"
 #include "srv/server.hpp"
+#include "srv/supervised.hpp"
 #include "synth/optimize.hpp"
 
 namespace {
@@ -97,10 +110,12 @@ int usage() {
       "  sweep [N]\n"
       "  implement <module> [--cf X | --min] [--verilog FILE]\n"
       "  estimate <module> [--jobs N] [--seed S] [--registry DIR]\n"
+      "           [--socket PATH]\n"
       "  train [--kind linreg|mlp|dtree|rforest|gboost] [--name NAME]\n"
       "        [--count N] [--trees N] [--seed S] [--jobs N]\n"
       "        [--deadline-seconds S] [--out FILE | --registry DIR]\n"
-      "  predict <module> (--model FILE | --name NAME [--registry DIR])\n"
+      "  predict <module> (--model FILE | --name NAME [--registry DIR]\n"
+      "          [--socket PATH])\n"
       "  cnv [--xdc FILE] [--dot FILE] [--jobs N] [--model FILE-or-NAME]\n"
       "      [--stitch-engine sa|evo|analytic|portfolio|LIST]\n"
       "      [--stitch-restarts K] [--stitch-jobs N] [--stitch-budget N]\n"
@@ -114,7 +129,8 @@ int usage() {
       "        [--canary-fail-threshold N] [--canary-promote-after N]\n"
       "        [--reload-poll-seconds S] [--stats-json FILE]\n"
       "        [--stats-interval S] [--max-connections N] [--max-loaded N]\n"
-      "        [--deadline-seconds S]\n"
+      "        [--deadline-seconds S] [--supervised] [--listen-fd N]\n"
+      "  ping --socket PATH [--deadline-seconds S]\n"
       "  farm --dir DIR [--count N] [--seed S] [--grid A,B,C]\n"
       "       [--workers N] [--shards N] [--worker-jobs N]\n"
       "       [--checkpoint-every N] [--max-attempts N]\n"
@@ -156,7 +172,9 @@ int usage() {
       "--stitch-warm-start: seed SA / evolutionary individual 0 with the\n"
       "deterministic analytic pre-placement.\n"
       "serve: answers 'ESTIMATE <client> <model> <f1..fN>' lines with\n"
-      "'OK <cf>' / 'ERR <code> <reason>'; also INFO <model>, STATS, PING.\n"
+      "'OK <cf>' / 'ERR <code> <reason>'; also INFO <model>, STATS, PING,\n"
+      "and TRACE <id> (per-request queue wait, batch size, and predict\n"
+      "latency for a request stamped 'id=<client>:<seq>').\n"
       "Requests from all connections coalesce into one predict batch per\n"
       "--coalesce-us window (bit-identical to sequential answers); the\n"
       "registry is rescanned every --reload-poll-seconds, and with\n"
@@ -165,6 +183,16 @@ int usage() {
       "rolled back after --canary-fail-threshold failures. stdio mode\n"
       "serves stdin/stdout and exits 0 at EOF; SIGINT drains and exits\n"
       "130.\n"
+      "--supervised: a supervisor process binds and keeps the socket while\n"
+      "daemon children (this binary re-executed with --listen-fd) serve on\n"
+      "it; crashed or heartbeat-stale children are respawned with capped\n"
+      "backoff, and connections made during a respawn park in the listen\n"
+      "backlog instead of being refused.\n"
+      "ping/predict/estimate --socket: talk to a running daemon through\n"
+      "the resilient client (retries with backoff, trace ids, automatic\n"
+      "reconnect); predict/estimate extract the module's features locally\n"
+      "for the feature set the daemon reports and print the exact served\n"
+      "CF.\n"
       "farm: the merged dataset lands in DIR/ground_truth.gt (one file per\n"
       "--grid value when several are given); rerunning over the same DIR\n"
       "resumes completed shards. Crashed/hung workers respawn from their\n"
@@ -729,6 +757,173 @@ int cmd_serve(ServerOptions options) {
   return code;
 }
 
+/// `serve --supervised`: a supervisor owns the listening socket and
+/// fork/execs `serve ... --listen-fd N` children (this very binary),
+/// respawning on crashes and heartbeat stalls (DESIGN.md section 14). The
+/// server options are validated up front so a bad flag combination exits 2
+/// immediately instead of crash-looping the child against its budget.
+int cmd_serve_supervised(ServerOptions options,
+                         std::vector<std::string> child_args) {
+  if (options.stdio || options.socket_path.empty()) {
+    std::fprintf(stderr,
+                 "serve: --supervised needs a socket (--socket PATH, not "
+                 "--stdio)\n");
+    return kExitRuntime;
+  }
+  if (options.listen_fd >= 0) {
+    std::fprintf(
+        stderr,
+        "serve: --supervised and --listen-fd are mutually exclusive\n");
+    return kExitRuntime;
+  }
+  if (const std::optional<std::string> error = server_options_error(options)) {
+    std::fprintf(stderr, "serve: %s\n", error->c_str());
+    return kExitRuntime;
+  }
+  SupervisedOptions sup;
+  sup.socket_path = options.socket_path;
+  sup.cancel = &g_cancel;
+  // The child's stats-JSON snapshot doubles as the liveness heartbeat
+  // (uptime_s changes every interval, so fresh bytes == alive); force one
+  // next to the socket when the user did not ask for a snapshot file.
+  double interval = options.stats_interval_seconds;
+  sup.heartbeat_path = options.stats_json_path;
+  if (sup.heartbeat_path.empty()) {
+    interval = 0.25;
+    sup.heartbeat_path = options.socket_path + ".stats.json";
+    child_args.push_back("--stats-json");
+    child_args.push_back(sup.heartbeat_path);
+    child_args.push_back("--stats-interval");
+    child_args.push_back("0.25");
+  }
+  sup.heartbeat_timeout_s = std::max(5.0, 20.0 * interval);
+  child_args.insert(child_args.begin(), "serve");
+  child_args.push_back("--listen-fd");
+  child_args.push_back("{LISTEN_FD}");
+  sup.child_args = std::move(child_args);
+  const SupervisedResult result = run_supervised(sup);
+  if (result.exit_code == kExitRuntime && !result.error.empty()) {
+    std::fprintf(stderr, "serve: %s\n", result.error.c_str());
+  } else if (result.exit_code == kExitCancelled) {
+    std::fprintf(stderr, "cancelled\n");
+  }
+  return result.exit_code;
+}
+
+// -- ping / remote predict --------------------------------------------------
+
+/// Shared resilient-client options for the CLI's daemon-facing verbs.
+ClientOptions cli_client_options(const std::string& socket_path,
+                                 const char* name, double deadline_s) {
+  ClientOptions options;
+  options.socket_path = socket_path;
+  options.client_name = name;
+  options.connect_deadline_s = deadline_s;
+  options.request_deadline_s = deadline_s;
+  options.cancel = &g_cancel;
+  return options;
+}
+
+int cmd_ping(const std::string& socket_path, double deadline_s) {
+  ClientOptions copts = cli_client_options(socket_path, "cli-ping",
+                                           deadline_s);
+  if (const std::optional<std::string> error = client_options_error(copts)) {
+    std::fprintf(stderr, "ping: %s\n", error->c_str());
+    return kExitUsage;
+  }
+  Timer timer;
+  ServeClient client(std::move(copts));
+  std::string error;
+  if (!client.ping(&error)) {
+    if (g_cancel.cancelled()) {
+      std::fprintf(stderr, "cancelled\n");
+      return kExitCancelled;
+    }
+    std::fprintf(stderr, "ping: %s unreachable: %s\n", socket_path.c_str(),
+                 error.c_str());
+    return kExitRuntime;
+  }
+  std::printf("pong from %s in %.1f ms\n", socket_path.c_str(),
+              timer.seconds() * 1e3);
+  return kExitOk;
+}
+
+/// predict/estimate with --socket: INFO names the served bundle's feature
+/// set, the module's features are extracted locally for that set, and
+/// ESTIMATE goes through the resilient client (retries, backoff, trace
+/// ids), so the printed CF is the exact value the daemon served.
+int cmd_remote_predict(const std::string& name,
+                       const std::string& socket_path,
+                       const std::string& model_name) {
+  const std::optional<Module> found = find_module(name);
+  if (!found) {
+    std::fprintf(stderr, "unknown module '%s'\n", name.c_str());
+    return kExitUsage;
+  }
+  Module module = *found;
+  optimize(module.netlist);
+  const ResourceReport report = make_report(module.netlist);
+  const ShapeReport shape = quick_place(report);
+
+  ClientOptions copts = cli_client_options(socket_path, "cli", 10.0);
+  if (const std::optional<std::string> error = client_options_error(copts)) {
+    std::fprintf(stderr, "predict: %s\n", error->c_str());
+    return kExitUsage;
+  }
+  Timer timer;
+  ServeClient client(std::move(copts));
+  std::string error;
+  const std::optional<std::string> info = client.info(model_name, &error);
+  if (!info) {
+    if (g_cancel.cancelled()) {
+      std::fprintf(stderr, "cancelled\n");
+      return kExitCancelled;
+    }
+    std::fprintf(stderr, "cannot serve '%s' via %s: %s\n",
+                 model_name.c_str(), socket_path.c_str(), error.c_str());
+    return kExitRuntime;
+  }
+  std::optional<FeatureSet> set;
+  const std::size_t pos = info->find("features=");
+  if (pos != std::string::npos) {
+    std::string token = info->substr(pos + 9);
+    if (const std::size_t space = token.find(' ');
+        space != std::string::npos) {
+      token.resize(space);
+    }
+    for (const FeatureSet candidate :
+         {FeatureSet::Classical, FeatureSet::ClassicalStar,
+          FeatureSet::Additional, FeatureSet::All, FeatureSet::LinReg9}) {
+      if (token == to_string(candidate)) set = candidate;
+    }
+  }
+  if (!set) {
+    std::fprintf(stderr,
+                 "predict: daemon INFO names no known feature set (%s)\n",
+                 info->c_str());
+    return kExitRuntime;
+  }
+  const std::vector<double> row = extract_features(*set, report, shape);
+  const std::optional<double> cf =
+      client.estimate("cli", model_name, row, &error);
+  if (!cf) {
+    std::fprintf(stderr, "cannot serve '%s' via %s: %s\n",
+                 model_name.c_str(), socket_path.c_str(), error.c_str());
+    return kExitRuntime;
+  }
+  const ClientStats& stats = client.stats();
+  std::string suffix;
+  if (stats.retries > 0) {
+    suffix = ", " + std::to_string(stats.retries) +
+             (stats.retries == 1 ? " retry" : " retries");
+  }
+  std::printf("daemon bundle: %s\n", info->c_str());
+  std::printf("predicted CF for '%s': %.3f (served via %s, %.0f ms%s)\n",
+              name.c_str(), *cf, socket_path.c_str(), timer.seconds() * 1e3,
+              suffix.c_str());
+  return kExitOk;
+}
+
 // -- convert ----------------------------------------------------------------
 
 /// What kind of persisted artifact a file holds, detected without loading it.
@@ -890,6 +1085,7 @@ int dispatch(int argc, char** argv) {
     int jobs = MF_JOBS_DEFAULT;
     int seed = 3;  // the historical hard-coded Options::seed
     std::string registry_dir;
+    std::string socket_path;
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--jobs") == 0) {
         const std::optional<int> parsed =
@@ -905,9 +1101,19 @@ int dispatch(int argc, char** argv) {
         const char* path = option_value(argc, argv, i, "--registry");
         if (path == nullptr) return 1;
         registry_dir = path;
+      } else if (std::strcmp(argv[i], "--socket") == 0) {
+        const char* path = option_value(argc, argv, i, "--socket");
+        if (path == nullptr) return 1;
+        socket_path = path;
       } else {
         return usage();
       }
+    }
+    if (!socket_path.empty()) {
+      // Same model name cmd_estimate would resolve, but answered by a
+      // running daemon instead of an in-process registry load.
+      return cmd_remote_predict(argv[2], socket_path,
+                                "cli-rforest-s" + std::to_string(seed));
     }
     return cmd_estimate(argv[2], jobs, static_cast<std::uint64_t>(seed),
                         registry_dir);
@@ -976,6 +1182,7 @@ int dispatch(int argc, char** argv) {
     std::string model_path;
     std::string model_name;
     std::string registry_dir;
+    std::string socket_path;
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--model") == 0) {
         const char* path = option_value(argc, argv, i, "--model");
@@ -989,9 +1196,24 @@ int dispatch(int argc, char** argv) {
         const char* path = option_value(argc, argv, i, "--registry");
         if (path == nullptr) return 1;
         registry_dir = path;
+      } else if (std::strcmp(argv[i], "--socket") == 0) {
+        const char* path = option_value(argc, argv, i, "--socket");
+        if (path == nullptr) return 1;
+        socket_path = path;
       } else {
         return usage();
       }
+    }
+    if (!socket_path.empty()) {
+      // The daemon serves registry bundles by name; a local --model file
+      // cannot be routed through it.
+      if (model_name.empty() || !model_path.empty()) {
+        std::fprintf(stderr,
+                     "predict --socket needs --name NAME (a registry bundle "
+                     "the daemon serves), not --model\n");
+        return 1;
+      }
+      return cmd_remote_predict(argv[2], socket_path, model_name);
     }
     if (model_path.empty() == model_name.empty()) {
       std::fprintf(stderr,
@@ -1127,7 +1349,14 @@ int dispatch(int argc, char** argv) {
   if (command == "serve") {
     ServerOptions options;
     std::string registry_flag;
+    bool supervised = false;
+    // With --supervised, every flag except the supervisor-owned ones
+    // (--supervised, --socket, --listen-fd, --deadline-seconds) is forwarded
+    // verbatim to the re-executed daemon child.
+    std::vector<std::string> passthrough;
     for (int i = 2; i < argc; ++i) {
+      const int arg_start = i;
+      bool forward = true;
       if (std::strcmp(argv[i], "--registry") == 0) {
         const char* path = option_value(argc, argv, i, "--registry");
         if (path == nullptr) return 1;
@@ -1136,6 +1365,18 @@ int dispatch(int argc, char** argv) {
         const char* path = option_value(argc, argv, i, "--socket");
         if (path == nullptr) return 1;
         options.socket_path = path;
+        forward = false;
+      } else if (std::strcmp(argv[i], "--supervised") == 0) {
+        supervised = true;
+        forward = false;
+      } else if (std::strcmp(argv[i], "--listen-fd") == 0) {
+        // Internal handoff flag: the supervisor spawns children with the
+        // inherited listening descriptor's number here.
+        const std::optional<int> parsed =
+            parse_int_option(argc, argv, i, "--listen-fd", 0, 1 << 20);
+        if (!parsed) return 1;
+        options.listen_fd = *parsed;
+        forward = false;
       } else if (std::strcmp(argv[i], "--stdio") == 0) {
         options.stdio = true;
       } else if (std::strcmp(argv[i], "--jobs") == 0) {
@@ -1214,12 +1455,42 @@ int dispatch(int argc, char** argv) {
             argc, argv, i, "--deadline-seconds", 0.0, 1e9);
         if (!parsed) return 1;
         g_cancel.set_deadline_seconds(*parsed);
+        forward = false;  // the supervisor's deadline governs teardown
+      } else {
+        return usage();
+      }
+      if (forward) {
+        for (int k = arg_start; k <= i; ++k) passthrough.emplace_back(argv[k]);
+      }
+    }
+    options.registry_dir = default_registry_dir(registry_flag);
+    if (supervised) {
+      return cmd_serve_supervised(std::move(options), std::move(passthrough));
+    }
+    return cmd_serve(std::move(options));
+  }
+  if (command == "ping") {
+    std::string socket_path;
+    double deadline = 2.0;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--socket") == 0) {
+        const char* path = option_value(argc, argv, i, "--socket");
+        if (path == nullptr) return 1;
+        socket_path = path;
+      } else if (std::strcmp(argv[i], "--deadline-seconds") == 0) {
+        const std::optional<double> parsed = parse_double_option(
+            argc, argv, i, "--deadline-seconds", 0.001, 1e9);
+        if (!parsed) return 1;
+        deadline = *parsed;
       } else {
         return usage();
       }
     }
-    options.registry_dir = default_registry_dir(registry_flag);
-    return cmd_serve(std::move(options));
+    if (socket_path.empty()) {
+      std::fprintf(stderr, "ping needs --socket PATH\n");
+      return kExitUsage;
+    }
+    return cmd_ping(socket_path, deadline);
   }
   if (command == "farm") {
     FarmOptions options;

@@ -16,9 +16,12 @@
 # bit-identity rerun at MF_TEST_JOBS=8), and the serving-daemon gates
 # (bench_serving_load_quick: >= 5x coalesced QPS with bit-identical
 # responses, p99 within the coalesce budget + slack, canary rollback with
-# zero client-visible errors; srv_parallel_jobs: the protocol/coalescer/
-# reload suites under contention) all re-run under ASan/UBSan and TSan
-# here via each flavour's ctest.
+# zero client-visible errors, and chaos recovery -- a SIGKILLed supervised
+# daemon costs chaos clients only latency, never a wrong answer;
+# srv_parallel_jobs: the protocol/coalescer/reload suites under
+# contention; srv_chaos: the resilient-client retry machinery crossed
+# with the supervisor's respawn loop) all re-run under ASan/UBSan and
+# TSan here via each flavour's ctest.
 
 set -eu
 
